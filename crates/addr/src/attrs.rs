@@ -1,0 +1,374 @@
+//! Attribute-value naming (the paper's §7 extension).
+//!
+//! §7: "Both the naming scheme and the naming service implementation are
+//! currently being replaced … The former will be attribute-value based."
+//! §2.3 also notes naming schemes are application dependent and the design
+//! lets them be "readily changed".
+//!
+//! An [`AttrSet`] is the set of attributes a module registers; an
+//! [`AttrQuery`] is a conjunction of constraints evaluated against it. Both
+//! have a stable character-format wire encoding (`key=value&key=value`) in
+//! the spirit of the packed transport format (§5.1).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{NtcsError, Result};
+
+/// Reserved attribute key that carries the module's plain logical name, so
+/// string naming remains a special case of attribute naming.
+pub const NAME_ATTR: &str = "name";
+
+fn validate_token(what: &str, s: &str) -> Result<()> {
+    if s.is_empty() {
+        return Err(NtcsError::InvalidArgument(format!("empty {what}")));
+    }
+    if s.contains(['=', '&', '*']) {
+        return Err(NtcsError::InvalidArgument(format!(
+            "{what} {s:?} contains a reserved character (=, & or *)"
+        )));
+    }
+    Ok(())
+}
+
+/// A set of named attributes describing a module.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttrSet {
+    attrs: BTreeMap<String, String>,
+}
+
+impl AttrSet {
+    /// Creates an empty attribute set.
+    #[must_use]
+    pub fn new() -> Self {
+        AttrSet::default()
+    }
+
+    /// Creates an attribute set holding only the reserved name attribute.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NtcsError::InvalidArgument`] if `name` contains reserved
+    /// characters or is empty.
+    pub fn named(name: &str) -> Result<Self> {
+        let mut s = AttrSet::new();
+        s.set(NAME_ATTR, name)?;
+        Ok(s)
+    }
+
+    /// Sets (or replaces) an attribute.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NtcsError::InvalidArgument`] if the key or value is empty or
+    /// contains the reserved characters `=`, `&`, `*`.
+    pub fn set(&mut self, key: &str, value: &str) -> Result<&mut Self> {
+        validate_token("attribute key", key)?;
+        validate_token("attribute value", value)?;
+        self.attrs.insert(key.to_owned(), value.to_owned());
+        Ok(self)
+    }
+
+    /// Looks up an attribute value.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.attrs.get(key).map(String::as_str)
+    }
+
+    /// The module's plain logical name, if present.
+    #[must_use]
+    pub fn name(&self) -> Option<&str> {
+        self.get(NAME_ATTR)
+    }
+
+    /// Number of attributes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Iterates over `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.attrs.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Encodes to the character wire format `k=v&k=v` (keys sorted).
+    #[must_use]
+    pub fn to_wire(&self) -> String {
+        let mut out = String::new();
+        for (i, (k, v)) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                out.push('&');
+            }
+            out.push_str(k);
+            out.push('=');
+            out.push_str(v);
+        }
+        out
+    }
+
+    /// Decodes the character wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NtcsError::Protocol`] for malformed input.
+    pub fn from_wire(s: &str) -> Result<Self> {
+        let mut set = AttrSet::new();
+        if s.is_empty() {
+            return Ok(set);
+        }
+        for pair in s.split('&') {
+            let (k, v) = pair
+                .split_once('=')
+                .ok_or_else(|| NtcsError::Protocol(format!("malformed attribute pair {pair:?}")))?;
+            set.set(k, v)
+                .map_err(|e| NtcsError::Protocol(e.to_string()))?;
+        }
+        Ok(set)
+    }
+}
+
+impl fmt::Display for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{}}}", self.to_wire())
+    }
+}
+
+impl FromIterator<(String, String)> for AttrSet {
+    fn from_iter<I: IntoIterator<Item = (String, String)>>(iter: I) -> Self {
+        let mut s = AttrSet::new();
+        for (k, v) in iter {
+            // Invalid pairs are skipped rather than panicking; FromIterator
+            // cannot fail. Callers wanting validation use `set`.
+            let _ = s.set(&k, &v);
+        }
+        s
+    }
+}
+
+/// One constraint inside an [`AttrQuery`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttrConstraint {
+    /// The attribute must exist and equal the value exactly.
+    Equals(String, String),
+    /// The attribute must merely exist (wire form `key=*`).
+    Exists(String),
+}
+
+/// A conjunctive query over attribute sets.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttrQuery {
+    constraints: Vec<AttrConstraint>,
+}
+
+impl AttrQuery {
+    /// Creates an empty query, which matches every attribute set.
+    #[must_use]
+    pub fn any() -> Self {
+        AttrQuery::default()
+    }
+
+    /// Creates a query matching modules registered under the plain name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NtcsError::InvalidArgument`] for an invalid name token.
+    pub fn by_name(name: &str) -> Result<Self> {
+        AttrQuery::any().and_equals(NAME_ATTR, name)
+    }
+
+    /// Adds an equality constraint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NtcsError::InvalidArgument`] for invalid tokens.
+    pub fn and_equals(mut self, key: &str, value: &str) -> Result<Self> {
+        validate_token("query key", key)?;
+        validate_token("query value", value)?;
+        self.constraints
+            .push(AttrConstraint::Equals(key.to_owned(), value.to_owned()));
+        Ok(self)
+    }
+
+    /// Adds an existence constraint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NtcsError::InvalidArgument`] for an invalid key token.
+    pub fn and_exists(mut self, key: &str) -> Result<Self> {
+        validate_token("query key", key)?;
+        self.constraints.push(AttrConstraint::Exists(key.to_owned()));
+        Ok(self)
+    }
+
+    /// Number of constraints.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Whether the query is unconstrained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// Evaluates the query against an attribute set.
+    #[must_use]
+    pub fn matches(&self, attrs: &AttrSet) -> bool {
+        self.constraints.iter().all(|c| match c {
+            AttrConstraint::Equals(k, v) => attrs.get(k) == Some(v.as_str()),
+            AttrConstraint::Exists(k) => attrs.get(k).is_some(),
+        })
+    }
+
+    /// Encodes to the character wire format (`k=v&k2=*`).
+    #[must_use]
+    pub fn to_wire(&self) -> String {
+        let mut out = String::new();
+        for (i, c) in self.constraints.iter().enumerate() {
+            if i > 0 {
+                out.push('&');
+            }
+            match c {
+                AttrConstraint::Equals(k, v) => {
+                    out.push_str(k);
+                    out.push('=');
+                    out.push_str(v);
+                }
+                AttrConstraint::Exists(k) => {
+                    out.push_str(k);
+                    out.push_str("=*");
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes the character wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NtcsError::Protocol`] for malformed input.
+    pub fn from_wire(s: &str) -> Result<Self> {
+        let mut q = AttrQuery::any();
+        if s.is_empty() {
+            return Ok(q);
+        }
+        for pair in s.split('&') {
+            let (k, v) = pair
+                .split_once('=')
+                .ok_or_else(|| NtcsError::Protocol(format!("malformed query pair {pair:?}")))?;
+            q = if v == "*" {
+                q.and_exists(k)
+            } else {
+                q.and_equals(k, v)
+            }
+            .map_err(|e| NtcsError::Protocol(e.to_string()))?;
+        }
+        Ok(q)
+    }
+}
+
+impl fmt::Display for AttrQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.to_wire())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AttrSet {
+        let mut a = AttrSet::named("search-backend").unwrap();
+        a.set("role", "search").unwrap();
+        a.set("version", "2").unwrap();
+        a
+    }
+
+    #[test]
+    fn named_set_has_name() {
+        assert_eq!(sample().name(), Some("search-backend"));
+        assert_eq!(sample().len(), 3);
+    }
+
+    #[test]
+    fn reserved_characters_rejected() {
+        let mut a = AttrSet::new();
+        assert!(a.set("k=", "v").is_err());
+        assert!(a.set("k", "v&w").is_err());
+        assert!(a.set("", "v").is_err());
+        assert!(a.set("k", "").is_err());
+        assert!(a.set("k", "v*").is_err());
+    }
+
+    #[test]
+    fn attr_wire_round_trip() {
+        let a = sample();
+        let w = a.to_wire();
+        assert_eq!(AttrSet::from_wire(&w).unwrap(), a);
+        assert_eq!(AttrSet::from_wire("").unwrap(), AttrSet::new());
+        assert!(AttrSet::from_wire("no-equals-here").is_err());
+    }
+
+    #[test]
+    fn query_matching() {
+        let a = sample();
+        assert!(AttrQuery::any().matches(&a));
+        assert!(AttrQuery::by_name("search-backend").unwrap().matches(&a));
+        assert!(!AttrQuery::by_name("other").unwrap().matches(&a));
+        let q = AttrQuery::any()
+            .and_equals("role", "search")
+            .unwrap()
+            .and_exists("version")
+            .unwrap();
+        assert!(q.matches(&a));
+        let q2 = q.and_equals("version", "3").unwrap();
+        assert!(!q2.matches(&a));
+        let q3 = AttrQuery::any().and_exists("absent").unwrap();
+        assert!(!q3.matches(&a));
+    }
+
+    #[test]
+    fn query_wire_round_trip() {
+        let q = AttrQuery::by_name("x")
+            .unwrap()
+            .and_exists("role")
+            .unwrap()
+            .and_equals("version", "2")
+            .unwrap();
+        let w = q.to_wire();
+        assert_eq!(AttrQuery::from_wire(&w).unwrap(), q);
+        assert!(AttrQuery::from_wire("?broken").is_err());
+        assert!(AttrQuery::from_wire("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn from_iterator_skips_invalid() {
+        let s: AttrSet = vec![
+            ("a".to_string(), "1".to_string()),
+            ("bad=".to_string(), "2".to_string()),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get("a"), Some("1"));
+    }
+
+    #[test]
+    fn display_forms() {
+        let a = AttrSet::named("x").unwrap();
+        assert_eq!(a.to_string(), "{name=x}");
+        let q = AttrQuery::by_name("x").unwrap();
+        assert_eq!(q.to_string(), "?name=x");
+    }
+}

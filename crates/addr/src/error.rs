@@ -1,0 +1,217 @@
+//! The shared NTCS error type.
+//!
+//! §6.3 of the paper observes that a communication system becomes "inundated
+//! with the handling of unlikely exceptional conditions", and that a layered
+//! system struggles to decide whether a condition *is* an error. We keep a
+//! single rich error enum so every layer can pass conditions upward
+//! uninterpreted ("notification is simply passed upward", §2.2), with the
+//! deciding layer matching on the variant.
+
+use std::fmt;
+
+/// Convenient result alias used across all NTCS crates.
+pub type Result<T, E = NtcsError> = std::result::Result<T, E>;
+
+/// Error type shared by every NTCS layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NtcsError {
+    /// A previously resolved address is no longer reachable — the module
+    /// moved or its channel failed (§3.5 "a simple address fault in the
+    /// ND-Layer"). Carries the faulted UAdd's raw value.
+    AddressFault(u64),
+    /// The virtual circuit was closed by the peer or torn down underneath us.
+    ConnectionClosed,
+    /// Connection establishment failed at the IPCS level (after the
+    /// retry-on-open the ND-Layer is allowed, §2.2).
+    ConnectRefused(String),
+    /// No gateway route exists between the source and destination networks.
+    NoRoute {
+        /// Source network raw id.
+        from: u32,
+        /// Destination network raw id.
+        to: u32,
+    },
+    /// The naming service has no entry for the requested name.
+    NameNotFound(String),
+    /// The naming service has no entry for the requested UAdd.
+    UnknownAddress(u64),
+    /// No forwarding address is available: no replacement module was located
+    /// (§3.5 first case).
+    NoForwardingAddress(u64),
+    /// The Name Server itself could not be reached.
+    NameServerUnreachable,
+    /// A blocking operation timed out.
+    Timeout,
+    /// A non-blocking operation would have blocked.
+    WouldBlock,
+    /// Malformed or unexpected protocol data.
+    Protocol(String),
+    /// A failure inside the underlying IPCS (the substrate below the
+    /// ND-Layer).
+    Ipcs(String),
+    /// The recursion-depth guard fired (§6.3: stands in for the stack
+    /// overflow observed in the unpatched system).
+    RecursionLimit {
+        /// Depth at which the guard fired.
+        depth: u32,
+    },
+    /// The caller passed an invalid argument (ALI-layer parameter checking,
+    /// §2.4).
+    InvalidArgument(String),
+    /// The module attempted an operation requiring registration before
+    /// registering with the naming service.
+    NotRegistered,
+    /// The operation is not supported by this layer/driver.
+    Unsupported(String),
+    /// The module, machine, or testbed object has been shut down.
+    ShutDown,
+}
+
+impl fmt::Display for NtcsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NtcsError::AddressFault(u) => write!(f, "address fault on uadd {u:#x}"),
+            NtcsError::ConnectionClosed => f.write_str("virtual circuit closed"),
+            NtcsError::ConnectRefused(why) => write!(f, "connection refused: {why}"),
+            NtcsError::NoRoute { from, to } => {
+                write!(f, "no gateway route from net{from} to net{to}")
+            }
+            NtcsError::NameNotFound(name) => write!(f, "name not found: {name}"),
+            NtcsError::UnknownAddress(u) => write!(f, "unknown uadd {u:#x}"),
+            NtcsError::NoForwardingAddress(u) => {
+                write!(f, "no forwarding address for uadd {u:#x}")
+            }
+            NtcsError::NameServerUnreachable => f.write_str("name server unreachable"),
+            NtcsError::Timeout => f.write_str("operation timed out"),
+            NtcsError::WouldBlock => f.write_str("operation would block"),
+            NtcsError::Protocol(why) => write!(f, "protocol error: {why}"),
+            NtcsError::Ipcs(why) => write!(f, "ipcs error: {why}"),
+            NtcsError::RecursionLimit { depth } => {
+                write!(f, "recursion limit reached at depth {depth}")
+            }
+            NtcsError::InvalidArgument(why) => write!(f, "invalid argument: {why}"),
+            NtcsError::NotRegistered => f.write_str("module is not registered"),
+            NtcsError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+            NtcsError::ShutDown => f.write_str("shut down"),
+        }
+    }
+}
+
+impl std::error::Error for NtcsError {}
+
+impl NtcsError {
+    /// Whether this condition indicates the peer may have *relocated* and a
+    /// forwarding-address query is worth attempting (the LCM-Layer's address
+    /// fault handler predicate, §3.5).
+    #[must_use]
+    pub fn is_relocation_candidate(&self) -> bool {
+        matches!(
+            self,
+            NtcsError::AddressFault(_)
+                | NtcsError::ConnectionClosed
+                | NtcsError::ConnectRefused(_)
+        )
+    }
+
+    /// Stable small integer used when an error must cross the wire inside an
+    /// NTCS control message (shift mode header field).
+    #[must_use]
+    pub fn wire_code(&self) -> u32 {
+        match self {
+            NtcsError::AddressFault(_) => 1,
+            NtcsError::ConnectionClosed => 2,
+            NtcsError::ConnectRefused(_) => 3,
+            NtcsError::NoRoute { .. } => 4,
+            NtcsError::NameNotFound(_) => 5,
+            NtcsError::UnknownAddress(_) => 6,
+            NtcsError::NoForwardingAddress(_) => 7,
+            NtcsError::NameServerUnreachable => 8,
+            NtcsError::Timeout => 9,
+            NtcsError::WouldBlock => 10,
+            NtcsError::Protocol(_) => 11,
+            NtcsError::Ipcs(_) => 12,
+            NtcsError::RecursionLimit { .. } => 13,
+            NtcsError::InvalidArgument(_) => 14,
+            NtcsError::NotRegistered => 15,
+            NtcsError::Unsupported(_) => 16,
+            NtcsError::ShutDown => 17,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let samples: Vec<NtcsError> = vec![
+            NtcsError::AddressFault(0x10),
+            NtcsError::ConnectionClosed,
+            NtcsError::ConnectRefused("no listener".into()),
+            NtcsError::NoRoute { from: 1, to: 2 },
+            NtcsError::NameNotFound("x".into()),
+            NtcsError::UnknownAddress(9),
+            NtcsError::NoForwardingAddress(9),
+            NtcsError::NameServerUnreachable,
+            NtcsError::Timeout,
+            NtcsError::WouldBlock,
+            NtcsError::Protocol("bad frame".into()),
+            NtcsError::Ipcs("mailbox gone".into()),
+            NtcsError::RecursionLimit { depth: 64 },
+            NtcsError::InvalidArgument("empty".into()),
+            NtcsError::NotRegistered,
+            NtcsError::Unsupported("scatter-gather".into()),
+            NtcsError::ShutDown,
+        ];
+        for e in samples {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase(), "{s}");
+            assert!(!s.ends_with('.'), "{s}");
+        }
+    }
+
+    #[test]
+    fn relocation_candidates() {
+        assert!(NtcsError::AddressFault(1).is_relocation_candidate());
+        assert!(NtcsError::ConnectionClosed.is_relocation_candidate());
+        assert!(NtcsError::ConnectRefused("x".into()).is_relocation_candidate());
+        assert!(!NtcsError::Timeout.is_relocation_candidate());
+        assert!(!NtcsError::NameNotFound("x".into()).is_relocation_candidate());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<NtcsError>();
+    }
+
+    #[test]
+    fn wire_codes_are_distinct() {
+        let errors = [
+            NtcsError::AddressFault(0),
+            NtcsError::ConnectionClosed,
+            NtcsError::ConnectRefused(String::new()),
+            NtcsError::NoRoute { from: 0, to: 0 },
+            NtcsError::NameNotFound(String::new()),
+            NtcsError::UnknownAddress(0),
+            NtcsError::NoForwardingAddress(0),
+            NtcsError::NameServerUnreachable,
+            NtcsError::Timeout,
+            NtcsError::WouldBlock,
+            NtcsError::Protocol(String::new()),
+            NtcsError::Ipcs(String::new()),
+            NtcsError::RecursionLimit { depth: 0 },
+            NtcsError::InvalidArgument(String::new()),
+            NtcsError::NotRegistered,
+            NtcsError::Unsupported(String::new()),
+            NtcsError::ShutDown,
+        ];
+        let mut codes: Vec<u32> = errors.iter().map(NtcsError::wire_code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), errors.len());
+    }
+}

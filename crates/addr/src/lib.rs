@@ -1,0 +1,304 @@
+//! Addressing, naming, and error types for the NTCS.
+//!
+//! The NTCS (Zeleznik, ICDCS 1986, §2.3) employs two levels of internal
+//! addressing and one level of logical naming:
+//!
+//! * **Physical addresses** — network-dependent, uninterpreted by everything
+//!   except the ND-Layer driver that created them ([`PhysAddr`]).
+//! * **UAdds** — a flat, network- and location-independent unique address
+//!   space, the foundation of the NTCS ([`UAdd`]). Temporary addresses
+//!   (**TAdds**, §3.4) are UAdds with only local significance, used to
+//!   bootstrap the recursive naming service.
+//! * **Logical names** — application-level names ([`LogicalName`]), later
+//!   extended to attribute-value naming ([`AttrSet`]).
+//!
+//! This crate also hosts [`NtcsError`], the error type shared by every layer,
+//! and small identifier newtypes for the simulated world ([`MachineId`],
+//! [`NetworkId`], [`MachineType`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+pub mod attrs;
+pub mod error;
+pub mod phys;
+pub mod uadd;
+
+pub use attrs::{AttrQuery, AttrSet};
+pub use error::{NtcsError, Result};
+pub use phys::PhysAddr;
+pub use uadd::{TAddGenerator, UAdd, UAddGenerator};
+
+/// Identifier of a simulated machine in the testbed.
+///
+/// Machines are the unit of placement: every module runs *on* exactly one
+/// machine at a time, and relocation (§3.5) moves it to another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MachineId(pub u32);
+
+impl fmt::Display for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Identifier of a (simulated) physical network.
+///
+/// Networks are *disjoint* (§4): the ND-Layer can only reach machines
+/// attached to the same network; crossing networks requires an IVC chained
+/// through one or more Gateways.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NetworkId(pub u32);
+
+impl fmt::Display for NetworkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "net{}", self.0)
+    }
+}
+
+/// Byte order of a machine's native data representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Endianness {
+    /// Least-significant byte first (VAX, PDP-11 style for 16-bit words).
+    Little,
+    /// Most-significant byte first (Sun-2/3, Apollo — MC68000 family).
+    Big,
+}
+
+/// The kind of machine a module runs on, as in the paper's Apollo/VAX/Sun
+/// environment (§1).
+///
+/// The machine type determines the *native memory image* of a message
+/// (byte ordering of its integers), which in turn determines whether the
+/// NTCS may use image mode between two endpoints or must fall back to packed
+/// mode (§5). The enum is open-ended in spirit; these four cover both byte
+/// orders and give us "identical" and "incompatible" pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MachineType {
+    /// DEC VAX — little-endian.
+    Vax,
+    /// Sun-3 workstation (MC68020) — big-endian.
+    Sun,
+    /// Apollo DN series (MC68000 family) — big-endian.
+    Apollo,
+    /// A generic MC68000 single-board machine — big-endian.
+    M68k,
+}
+
+impl MachineType {
+    /// All machine types known to the testbed.
+    pub const ALL: [MachineType; 4] = [
+        MachineType::Vax,
+        MachineType::Sun,
+        MachineType::Apollo,
+        MachineType::M68k,
+    ];
+
+    /// The byte order of this machine's native integer representation.
+    #[must_use]
+    pub fn endianness(self) -> Endianness {
+        match self {
+            MachineType::Vax => Endianness::Little,
+            MachineType::Sun | MachineType::Apollo | MachineType::M68k => Endianness::Big,
+        }
+    }
+
+    /// Whether a raw byte-copied memory image produced on `self` is directly
+    /// usable on `other` (§5: "messages between identical machines are simply
+    /// byte-copied").
+    ///
+    /// The paper keys this on machine *type* identity; we relax it to
+    /// representation compatibility (same byte order), which is what the
+    /// image actually requires and what the ND-Layer can check locally.
+    #[must_use]
+    pub fn image_compatible(self, other: MachineType) -> bool {
+        self.endianness() == other.endianness()
+    }
+
+    /// Stable small integer used in wire headers (shift mode, §5.2).
+    #[must_use]
+    pub fn wire_code(self) -> u32 {
+        match self {
+            MachineType::Vax => 1,
+            MachineType::Sun => 2,
+            MachineType::Apollo => 3,
+            MachineType::M68k => 4,
+        }
+    }
+
+    /// Inverse of [`MachineType::wire_code`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NtcsError::Protocol`] for an unknown code.
+    pub fn from_wire_code(code: u32) -> Result<Self> {
+        match code {
+            1 => Ok(MachineType::Vax),
+            2 => Ok(MachineType::Sun),
+            3 => Ok(MachineType::Apollo),
+            4 => Ok(MachineType::M68k),
+            other => Err(NtcsError::Protocol(format!(
+                "unknown machine type code {other}"
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for MachineType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MachineType::Vax => "VAX",
+            MachineType::Sun => "Sun",
+            MachineType::Apollo => "Apollo",
+            MachineType::M68k => "M68k",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An application-level logical name (§2.3 top level).
+///
+/// Currently a character string, exactly as in the paper; the naming service
+/// extension replaces this with attribute-value naming ([`AttrSet`]) without
+/// touching the rest of the system.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LogicalName(String);
+
+impl LogicalName {
+    /// Creates a logical name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NtcsError::InvalidArgument`] if the name is empty or longer
+    /// than [`LogicalName::MAX_LEN`] bytes (the registration message carries
+    /// it in a bounded field).
+    pub fn new(name: impl Into<String>) -> Result<Self> {
+        let name = name.into();
+        if name.is_empty() {
+            return Err(NtcsError::InvalidArgument("logical name is empty".into()));
+        }
+        if name.len() > Self::MAX_LEN {
+            return Err(NtcsError::InvalidArgument(format!(
+                "logical name longer than {} bytes",
+                Self::MAX_LEN
+            )));
+        }
+        Ok(LogicalName(name))
+    }
+
+    /// Maximum length of a logical name in bytes.
+    pub const MAX_LEN: usize = 255;
+
+    /// The name as a string slice.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for LogicalName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::str::FromStr for LogicalName {
+    type Err = NtcsError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        LogicalName::new(s)
+    }
+}
+
+impl AsRef<str> for LogicalName {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+/// Monotonic registration generation of a module under a given name.
+///
+/// When a module is relocated it re-registers under the same name with a
+/// higher generation; forwarding resolution (§3.5) looks for "a similar name
+/// in a newer module", i.e. the highest live generation.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Generation(pub u32);
+
+impl Generation {
+    /// The next generation.
+    #[must_use]
+    pub fn next(self) -> Generation {
+        Generation(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Generation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_type_endianness() {
+        assert_eq!(MachineType::Vax.endianness(), Endianness::Little);
+        assert_eq!(MachineType::Sun.endianness(), Endianness::Big);
+        assert_eq!(MachineType::Apollo.endianness(), Endianness::Big);
+        assert_eq!(MachineType::M68k.endianness(), Endianness::Big);
+    }
+
+    #[test]
+    fn image_compatibility_is_endianness_equality() {
+        assert!(MachineType::Sun.image_compatible(MachineType::Apollo));
+        assert!(MachineType::Sun.image_compatible(MachineType::M68k));
+        assert!(MachineType::Vax.image_compatible(MachineType::Vax));
+        assert!(!MachineType::Vax.image_compatible(MachineType::Sun));
+        assert!(!MachineType::Apollo.image_compatible(MachineType::Vax));
+    }
+
+    #[test]
+    fn machine_type_wire_code_round_trips() {
+        for mt in MachineType::ALL {
+            assert_eq!(MachineType::from_wire_code(mt.wire_code()).unwrap(), mt);
+        }
+        assert!(MachineType::from_wire_code(0).is_err());
+        assert!(MachineType::from_wire_code(99).is_err());
+    }
+
+    #[test]
+    fn logical_name_validation() {
+        assert!(LogicalName::new("index-server").is_ok());
+        assert!(LogicalName::new("").is_err());
+        assert!(LogicalName::new("x".repeat(256)).is_err());
+        assert!(LogicalName::new("x".repeat(255)).is_ok());
+    }
+
+    #[test]
+    fn logical_name_display_and_parse() {
+        let n: LogicalName = "search.backend".parse().unwrap();
+        assert_eq!(n.to_string(), "search.backend");
+        assert_eq!(n.as_str(), "search.backend");
+    }
+
+    #[test]
+    fn generation_ordering() {
+        let g = Generation::default();
+        assert!(g.next() > g);
+        assert_eq!(g.next(), Generation(1));
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(MachineId(3).to_string(), "m3");
+        assert_eq!(NetworkId(7).to_string(), "net7");
+    }
+}

@@ -1,0 +1,210 @@
+//! Network-dependent physical addresses.
+//!
+//! §2.3: "At the lowest level are network-dependent physical addresses, such
+//! as TCP/IP 32-bit integers or Apollo MBX pathnames, over which we have no
+//! control." §3.2: the naming service maintains this information
+//! **uninterpreted** — only the ND-Layer driver that created a physical
+//! address ever looks inside it. We honour that by shipping physical
+//! addresses through the naming service as opaque byte strings
+//! ([`PhysAddr::to_opaque`] / [`PhysAddr::from_opaque`]).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{NtcsError, Result};
+use crate::NetworkId;
+
+/// A network-dependent physical address.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PhysAddr {
+    /// An Apollo-MBX-style mailbox pathname on a mailbox network.
+    Mbx {
+        /// The network this mailbox lives on.
+        network: NetworkId,
+        /// The mailbox pathname, e.g. `/sys/mbx/name_server`.
+        path: String,
+    },
+    /// A TCP endpoint on a TCP network.
+    Tcp {
+        /// The logical network this endpoint belongs to (disjointness of
+        /// simulated networks is enforced at the handshake even though all
+        /// sockets share a loopback interface).
+        network: NetworkId,
+        /// Host, as a dotted string (always `127.0.0.1` in the testbed).
+        host: String,
+        /// TCP port.
+        port: u16,
+    },
+}
+
+impl PhysAddr {
+    /// The network this address is reachable on.
+    #[must_use]
+    pub fn network(&self) -> NetworkId {
+        match self {
+            PhysAddr::Mbx { network, .. } | PhysAddr::Tcp { network, .. } => *network,
+        }
+    }
+
+    /// Encodes this address into the opaque byte string stored
+    /// (uninterpreted) by the naming service.
+    ///
+    /// The encoding is a stable, text-based form — in the spirit of the
+    /// paper's character transport format (§5.1).
+    #[must_use]
+    pub fn to_opaque(&self) -> Vec<u8> {
+        match self {
+            PhysAddr::Mbx { network, path } => format!("mbx:{}:{}", network.0, path).into_bytes(),
+            PhysAddr::Tcp {
+                network,
+                host,
+                port,
+            } => format!("tcp:{}:{}:{}", network.0, host, port).into_bytes(),
+        }
+    }
+
+    /// Decodes an opaque byte string produced by [`PhysAddr::to_opaque`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NtcsError::Protocol`] for malformed input.
+    pub fn from_opaque(bytes: &[u8]) -> Result<PhysAddr> {
+        let s = std::str::from_utf8(bytes)
+            .map_err(|_| NtcsError::Protocol("physical address is not utf-8".into()))?;
+        let mut parts = s.splitn(2, ':');
+        let scheme = parts.next().unwrap_or_default();
+        let rest = parts
+            .next()
+            .ok_or_else(|| NtcsError::Protocol(format!("malformed physical address {s:?}")))?;
+        match scheme {
+            "mbx" => {
+                let (net, path) = rest.split_once(':').ok_or_else(|| {
+                    NtcsError::Protocol(format!("malformed mbx address {s:?}"))
+                })?;
+                let network = NetworkId(net.parse().map_err(|_| {
+                    NtcsError::Protocol(format!("bad network id in {s:?}"))
+                })?);
+                if path.is_empty() {
+                    return Err(NtcsError::Protocol("empty mailbox path".into()));
+                }
+                Ok(PhysAddr::Mbx {
+                    network,
+                    path: path.to_owned(),
+                })
+            }
+            "tcp" => {
+                let mut f = rest.splitn(3, ':');
+                let net = f
+                    .next()
+                    .ok_or_else(|| NtcsError::Protocol(format!("malformed tcp address {s:?}")))?;
+                let host = f
+                    .next()
+                    .ok_or_else(|| NtcsError::Protocol(format!("malformed tcp address {s:?}")))?;
+                let port = f
+                    .next()
+                    .ok_or_else(|| NtcsError::Protocol(format!("malformed tcp address {s:?}")))?;
+                Ok(PhysAddr::Tcp {
+                    network: NetworkId(net.parse().map_err(|_| {
+                        NtcsError::Protocol(format!("bad network id in {s:?}"))
+                    })?),
+                    host: host.to_owned(),
+                    port: port.parse().map_err(|_| {
+                        NtcsError::Protocol(format!("bad port in {s:?}"))
+                    })?,
+                })
+            }
+            other => Err(NtcsError::Protocol(format!(
+                "unknown physical address scheme {other:?}"
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhysAddr::Mbx { network, path } => write!(f, "mbx://{network}{path}"),
+            PhysAddr::Tcp {
+                network,
+                host,
+                port,
+            } => write!(f, "tcp://{network}/{host}:{port}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mbx_opaque_round_trip() {
+        let a = PhysAddr::Mbx {
+            network: NetworkId(3),
+            path: "/sys/mbx/index_server".into(),
+        };
+        assert_eq!(PhysAddr::from_opaque(&a.to_opaque()).unwrap(), a);
+    }
+
+    #[test]
+    fn tcp_opaque_round_trip() {
+        let a = PhysAddr::Tcp {
+            network: NetworkId(0),
+            host: "127.0.0.1".into(),
+            port: 45999,
+        };
+        assert_eq!(PhysAddr::from_opaque(&a.to_opaque()).unwrap(), a);
+    }
+
+    #[test]
+    fn mbx_path_may_contain_colons() {
+        let a = PhysAddr::Mbx {
+            network: NetworkId(1),
+            path: "/odd:path:with:colons".into(),
+        };
+        assert_eq!(PhysAddr::from_opaque(&a.to_opaque()).unwrap(), a);
+    }
+
+    #[test]
+    fn malformed_opaque_is_rejected() {
+        assert!(PhysAddr::from_opaque(b"").is_err());
+        assert!(PhysAddr::from_opaque(b"bogus").is_err());
+        assert!(PhysAddr::from_opaque(b"xyz:1:2").is_err());
+        assert!(PhysAddr::from_opaque(b"tcp:1:127.0.0.1").is_err());
+        assert!(PhysAddr::from_opaque(b"tcp:x:127.0.0.1:80").is_err());
+        assert!(PhysAddr::from_opaque(b"tcp:1:127.0.0.1:notaport").is_err());
+        assert!(PhysAddr::from_opaque(b"mbx:2:").is_err());
+        assert!(PhysAddr::from_opaque(&[0xFF, 0xFE]).is_err());
+    }
+
+    #[test]
+    fn network_accessor() {
+        let a = PhysAddr::Mbx {
+            network: NetworkId(9),
+            path: "/m".into(),
+        };
+        assert_eq!(a.network(), NetworkId(9));
+        let b = PhysAddr::Tcp {
+            network: NetworkId(4),
+            host: "127.0.0.1".into(),
+            port: 1,
+        };
+        assert_eq!(b.network(), NetworkId(4));
+    }
+
+    #[test]
+    fn display_forms() {
+        let a = PhysAddr::Mbx {
+            network: NetworkId(2),
+            path: "/mb".into(),
+        };
+        assert_eq!(a.to_string(), "mbx://net2/mb");
+        let b = PhysAddr::Tcp {
+            network: NetworkId(0),
+            host: "127.0.0.1".into(),
+            port: 80,
+        };
+        assert_eq!(b.to_string(), "tcp://net0/127.0.0.1:80");
+    }
+}

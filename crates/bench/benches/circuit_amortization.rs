@@ -1,0 +1,81 @@
+//! Experiment E5 (§4.2): circuit establishment is rare, so its cost (and
+//! the centralized topology query behind it) amortizes.
+//!
+//! Rows: cold first-send (name resolution + route + LVC open + handshake)
+//! vs warm send on an established circuit; then the effective per-message
+//! cost for conversations of various lengths. Expected shape: cold ≫ warm;
+//! per-message cost approaches the warm floor within tens of messages.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ntcs::NetKind;
+use ntcs_bench::{round_trip, EchoServer};
+use ntcs_repro::scenarios::single_net;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E5/amortization");
+    group
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(15);
+
+    // Cold: a fresh module each iteration — resolution + establishment +
+    // one exchange. (Registration is excluded; it is a once-per-lifetime
+    // cost.)
+    let lab = single_net(2, NetKind::Mbx).unwrap();
+    let echo = EchoServer::spawn(&lab.testbed, lab.machines[1], "echo").unwrap();
+    let mut fresh_counter = 0u32;
+    group.bench_function("cold_first_send", |b| {
+        b.iter(|| {
+            fresh_counter += 1;
+            let client = lab
+                .testbed
+                .commod(lab.machines[0], &format!("cold-{fresh_counter}"))
+                .unwrap();
+            client.register(&format!("cold-{fresh_counter}")).unwrap();
+            let dst = client.locate("echo").unwrap();
+            round_trip(&client, dst, fresh_counter);
+            client.shutdown();
+        });
+    });
+
+    // Warm: one established circuit, repeated exchanges.
+    let client = lab.testbed.module(lab.machines[0], "warm").unwrap();
+    let dst = client.locate("echo").unwrap();
+    round_trip(&client, dst, 0);
+    group.bench_function("warm_send", |b| {
+        let mut n = 0;
+        b.iter(|| {
+            n += 1;
+            round_trip(&client, dst, n);
+        });
+    });
+
+    // Conversation lengths: total cost of open+k exchanges, per exchange.
+    for k in [1u32, 10, 100] {
+        group.bench_with_input(
+            BenchmarkId::new("per_message_in_conversation", k),
+            &k,
+            |b, &k| {
+                let mut conv = 0u32;
+                b.iter(|| {
+                    conv += 1;
+                    let client = lab
+                        .testbed
+                        .commod(lab.machines[0], &format!("conv-{k}-{conv}"))
+                        .unwrap();
+                    client.register(&format!("conv-{k}-{conv}")).unwrap();
+                    let dst = client.locate("echo").unwrap();
+                    for i in 0..k {
+                        round_trip(&client, dst, i);
+                    }
+                    client.shutdown();
+                });
+            },
+        );
+    }
+    echo.stop();
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

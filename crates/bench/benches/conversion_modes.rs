@@ -1,0 +1,104 @@
+//! Experiment E3 (§5): conversion-mode cost.
+//!
+//! Rows: payload encode+decode throughput for image mode, packed mode, and
+//! the "needless conversion" baseline the paper's design avoids (packing
+//! even between like machines); plus end-to-end round trips for a like pair
+//! (image) vs an unlike pair (packed).
+//!
+//! Expected shape: image ≫ packed on the codec path; end-to-end gap narrows
+//! (transport dominates) but image stays ahead — which is exactly why the
+//! lowest layer avoids needless conversions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ntcs::{ConvMode, MachineType, NetKind, Testbed};
+use ntcs_bench::{round_trip, EchoServer};
+use ntcs_repro::messages::Bulk;
+use ntcs_wire::{encode_payload, InboundPayload, Message};
+
+fn codec_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E3/codec");
+    group
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20);
+    for words in [16usize, 256, 4096] {
+        let msg = Bulk::sized(0, words);
+        let bytes = (words * 4) as u64;
+        group.throughput(Throughput::Bytes(bytes));
+        group.bench_with_input(BenchmarkId::new("image", words), &msg, |b, msg| {
+            b.iter(|| {
+                let payload = encode_payload(msg, ConvMode::Image, MachineType::Sun);
+                let inbound = InboundPayload {
+                    type_id: Bulk::TYPE_ID,
+                    mode: ConvMode::Image,
+                    src_machine: MachineType::Sun,
+                    bytes: payload,
+                };
+                let got: Bulk = inbound.decode(MachineType::Apollo).unwrap();
+                assert_eq!(got.seq, msg.seq);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("packed", words), &msg, |b, msg| {
+            b.iter(|| {
+                let payload = encode_payload(msg, ConvMode::Packed, MachineType::Vax);
+                let inbound = InboundPayload {
+                    type_id: Bulk::TYPE_ID,
+                    mode: ConvMode::Packed,
+                    src_machine: MachineType::Vax,
+                    bytes: payload,
+                };
+                let got: Bulk = inbound.decode(MachineType::Sun).unwrap();
+                assert_eq!(got.seq, msg.seq);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn end_to_end_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E3/end-to-end");
+    group
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    // (label, src type, dst type) — like pair rides image, unlike packed.
+    let cases = [
+        ("image(sun-apollo)", MachineType::Sun, MachineType::Apollo),
+        ("packed(vax-sun)", MachineType::Vax, MachineType::Sun),
+    ];
+    for (label, a, b) in cases {
+        let mut tb = Testbed::builder();
+        let net = tb.add_network(NetKind::Mbx, "lan");
+        let ma = tb.add_machine(a, "a", &[net]).unwrap();
+        let mb = tb.add_machine(b, "b", &[net]).unwrap();
+        tb.name_server_on(ma);
+        let testbed = tb.start().unwrap();
+        let echo = EchoServer::spawn(&testbed, mb, "echo").unwrap();
+        let client = testbed.module(ma, "client").unwrap();
+        let dst = client.locate("echo").unwrap();
+        round_trip(&client, dst, 0); // establish the circuit outside timing
+
+        for words in [64usize, 1024] {
+            let msg = Bulk::sized(1, words);
+            group.throughput(Throughput::Bytes((words * 4) as u64));
+            group.bench_with_input(
+                BenchmarkId::new(label, words),
+                &msg,
+                |bch, msg| {
+                    bch.iter(|| {
+                        let reply = client
+                            .send_receive(dst, msg, ntcs_bench::T)
+                            .expect("bulk round trip");
+                        let got: Bulk = reply.decode().unwrap();
+                        assert_eq!(got.words.len(), msg.words.len());
+                    });
+                },
+            );
+        }
+        echo.stop();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, codec_benches, end_to_end_benches);
+criterion_main!(benches);

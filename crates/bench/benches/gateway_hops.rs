@@ -1,0 +1,39 @@
+//! Experiment E6 (§4): round-trip cost vs gateway hop count.
+//!
+//! Expected shape: latency grows roughly linearly with hops (each hop adds
+//! two relay traversals per round trip); hop 0 (shared network) is the
+//! floor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ntcs::NetKind;
+use ntcs_bench::{round_trip, EchoServer};
+use ntcs_repro::scenarios::line_internet;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E6/gateway_hops");
+    group
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+
+    for hops in 0usize..=3 {
+        let k = hops + 1; // k networks ⇒ k-1 gateways between the ends
+        let lab = line_internet(k.max(1), NetKind::Mbx).unwrap();
+        let echo = EchoServer::spawn(&lab.testbed, lab.edge_machines[k - 1], "echo").unwrap();
+        let client = lab.testbed.module(lab.edge_machines[0], "client").unwrap();
+        let dst = client.locate("echo").unwrap();
+        round_trip(&client, dst, 0); // establish outside timing
+        group.bench_with_input(BenchmarkId::from_parameter(hops), &hops, |b, _| {
+            let mut n = 0;
+            b.iter(|| {
+                n += 1;
+                round_trip(&client, dst, n);
+            });
+        });
+        echo.stop();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Experiment E10 (§1.3): cost of the clean layering.
+//!
+//! "We were somewhat insensitive to any possible layering inefficiencies,
+//! due to the loosely-coupled nature of the application." Rows: a raw IPCS
+//! round trip (bytes over one mailbox/TCP channel) vs the full NTCS stack
+//! (ALI → NSP → LCM → IP → ND, with headers, conversion, and bookkeeping),
+//! on both substrates. Expected shape: the NTCS costs a small multiple of
+//! the raw substrate — tolerable for large-grain modules, exactly the
+//! paper's bet.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ntcs::{MachineType, NetKind, World};
+use ntcs_bench::{round_trip, EchoServer};
+use ntcs_repro::scenarios::single_net;
+
+fn raw_ipcs(c: &mut Criterion, kind: NetKind, label: &str) {
+    let world = World::new();
+    let net = world.add_network(kind, "raw");
+    let a = world.add_machine(MachineType::Vax, "a", &[net]).unwrap();
+    let b = world.add_machine(MachineType::Sun, "b", &[net]).unwrap();
+    let (addr, listener) = world.create_listener(b, net, "raw-echo").unwrap();
+    let w2 = world.clone();
+    let server = std::thread::spawn(move || {
+        let chan = listener.accept(Some(Duration::from_secs(5))).unwrap();
+        while let Ok(block) = chan.recv(Some(Duration::from_secs(5))) {
+            if chan.send(block).is_err() {
+                break;
+            }
+        }
+    });
+    let chan: Arc<dyn ntcs_ipcs::IpcsChannel> = Arc::from(w2.connect(a, &addr).unwrap());
+    let payload = Bytes::from(vec![7u8; 64]);
+    c.benchmark_group("E10/layering")
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .bench_with_input(BenchmarkId::new("raw_ipcs", label), &payload, |bch, p| {
+            bch.iter(|| {
+                chan.send(p.clone()).unwrap();
+                let got = chan.recv(Some(Duration::from_secs(5))).unwrap();
+                assert_eq!(got.len(), p.len());
+            });
+        });
+    chan.close();
+    server.join().unwrap();
+}
+
+fn full_stack(c: &mut Criterion, kind: NetKind, label: &str) {
+    let lab = single_net(2, kind).unwrap();
+    let echo = EchoServer::spawn(&lab.testbed, lab.machines[1], "echo").unwrap();
+    let client = lab.testbed.module(lab.machines[0], "client").unwrap();
+    let dst = client.locate("echo").unwrap();
+    round_trip(&client, dst, 0);
+    c.benchmark_group("E10/layering")
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .bench_function(BenchmarkId::new("full_ntcs", label), |b| {
+            let mut n = 0;
+            b.iter(|| {
+                n += 1;
+                round_trip(&client, dst, n);
+            });
+        });
+    echo.stop();
+}
+
+fn bench(c: &mut Criterion) {
+    raw_ipcs(c, NetKind::Mbx, "mbx");
+    full_stack(c, NetKind::Mbx, "mbx");
+    raw_ipcs(c, NetKind::Tcp, "tcp");
+    full_stack(c, NetKind::Tcp, "tcp");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

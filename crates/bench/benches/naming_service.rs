@@ -1,0 +1,140 @@
+//! Experiments E1/E2/E11: naming-service costs.
+//!
+//! Rows: registration (the TAdd bootstrap handshake included), plain-name
+//! resolution, attribute-query resolution with growing constraint counts,
+//! resolution against a replicated deployment, and the send path before vs
+//! after Name-Server removal (E2: identical, because warm paths never touch
+//! the server).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ntcs::{AttrQuery, AttrSet, MachineType, NetKind, Testbed};
+use ntcs_bench::{round_trip, EchoServer};
+use ntcs_repro::scenarios::single_net;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E11/naming");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(15);
+
+    // Registration (includes the §3.4 bootstrap: the request leaves from a
+    // TAdd, the reply assigns the UAdd). Fresh lab so leftover circuits do
+    // not pollute the other rows.
+    {
+        let lab = single_net(2, NetKind::Mbx).unwrap();
+        let mut reg_n = 0u32;
+        group.bench_function("register", |b| {
+            b.iter(|| {
+                reg_n += 1;
+                let cm = lab
+                    .testbed
+                    .commod(lab.machines[1], &format!("r{reg_n}"))
+                    .unwrap();
+                cm.register(&format!("r{reg_n}")).unwrap();
+                cm.shutdown();
+            });
+        });
+    }
+
+    // Resolution by plain name, over a warm client (one NS circuit).
+    let lab = single_net(2, NetKind::Mbx).unwrap();
+    let client = lab.testbed.module(lab.machines[1], "resolver").unwrap();
+    let _svc = lab.testbed.module(lab.machines[0], "lookup-target").unwrap();
+    group.bench_function("locate_by_name", |b| {
+        b.iter(|| {
+            client.locate("lookup-target").unwrap();
+        });
+    });
+
+    // Attribute queries with 1..3 constraints over a populated database.
+    let mut populated = Vec::new();
+    for i in 0..50u32 {
+        let cm = lab
+            .testbed
+            .commod(lab.machines[0], &format!("pop{i}"))
+            .unwrap();
+        let mut attrs = AttrSet::named(&format!("pop{i}")).unwrap();
+        attrs.set("role", if i % 2 == 0 { "search" } else { "index" }).unwrap();
+        attrs.set("tier", &format!("t{}", i % 4)).unwrap();
+        attrs.set("zone", &format!("z{}", i % 8)).unwrap();
+        cm.register_attrs(&attrs).unwrap();
+        populated.push(cm);
+    }
+    for n_constraints in [1usize, 2, 3] {
+        group.bench_with_input(
+            BenchmarkId::new("attribute_query", n_constraints),
+            &n_constraints,
+            |b, &n| {
+                let mut q = AttrQuery::any().and_equals("role", "search").unwrap();
+                if n >= 2 {
+                    q = q.and_equals("tier", "t0").unwrap();
+                }
+                if n >= 3 {
+                    q = q.and_equals("zone", "z0").unwrap();
+                }
+                b.iter(|| {
+                    client.list(&q).unwrap();
+                });
+            },
+        );
+    }
+    for cm in &populated {
+        cm.shutdown();
+    }
+    drop(populated);
+
+    // Replicated deployment (E11): resolution cost via primary with a
+    // replica receiving every mutation.
+    {
+        let mut tb = Testbed::builder();
+        let net = tb.add_network(NetKind::Mbx, "lan");
+        let m0 = tb.add_machine(MachineType::Sun, "h0", &[net]).unwrap();
+        let m1 = tb.add_machine(MachineType::Vax, "h1", &[net]).unwrap();
+        tb.name_server_on(m0);
+        tb.replica_on(m1);
+        let rep = tb.start().unwrap();
+        let _svc = rep.module(m0, "target").unwrap();
+        let cli = rep.module(m1, "cli").unwrap();
+        group.bench_function("locate_with_replication", |b| {
+            b.iter(|| {
+                cli.locate("target").unwrap();
+            });
+        });
+    }
+
+    group.finish();
+
+    // E2: the warm send path with and without a Name Server.
+    let mut group = c.benchmark_group("E2/ns_removal");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let lab2 = single_net(2, NetKind::Mbx).unwrap();
+    let mut testbed = lab2.testbed;
+    let echo = EchoServer::spawn(&testbed, lab2.machines[1], "echo").unwrap();
+    let client = testbed.module(lab2.machines[0], "cli").unwrap();
+    let dst = client.locate("echo").unwrap();
+    round_trip(&client, dst, 0);
+    group.bench_function("send_with_ns_running", |b| {
+        let mut n = 0;
+        b.iter(|| {
+            n += 1;
+            round_trip(&client, dst, n);
+        });
+    });
+    assert!(testbed.remove_name_server());
+    group.bench_function("send_after_ns_removed", |b| {
+        let mut n = 100_000;
+        b.iter(|| {
+            n += 1;
+            round_trip(&client, dst, n);
+        });
+    });
+    echo.stop();
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

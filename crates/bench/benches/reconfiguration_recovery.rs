@@ -1,0 +1,97 @@
+//! Experiment E7 (§3.5): cost of transparent recovery after relocation.
+//!
+//! Rows: a send on a healthy circuit, vs the first send after the peer
+//! relocated (address fault → forwarding query → re-establishment).
+//! Expected shape: recovery costs a few circuit-establishment units — paid
+//! once per reconfiguration, not per message.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntcs::NetKind;
+use ntcs_drts::host::Handler;
+use ntcs_drts::ServiceHost;
+use ntcs_repro::messages::{Answer, Ask};
+use ntcs_repro::scenarios::single_net;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E7/recovery");
+    group
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(3))
+        .sample_size(10);
+
+    let lab = single_net(3, NetKind::Mbx).unwrap();
+    let handler: Handler = Box::new(|commod, msg| {
+        if let Ok(a) = msg.decode::<Ask>() {
+            let _ = commod.reply(&msg, &Answer { n: a.n, body: String::new() });
+        }
+    });
+    let host = ServiceHost::spawn(&lab.testbed, lab.machines[1], "mover", handler).unwrap();
+    let client = lab.testbed.module(lab.machines[0], "measurer").unwrap();
+    let dst = client.locate("mover").unwrap();
+
+    let exchange = |n: u32| {
+        let reply = client
+            .send_receive(dst, &Ask { n, body: String::new() }, ntcs_bench::T)
+            .expect("exchange");
+        assert_eq!(reply.decode::<Answer>().unwrap().n, n);
+    };
+    exchange(0);
+
+    group.bench_function("healthy_send", |b| {
+        let mut n = 0;
+        b.iter(|| {
+            n += 1;
+            exchange(n);
+        });
+    });
+
+    // Recovery: relocate (outside the timed section conceptually dominates,
+    // but the *client-visible* cost is the faulting exchange — we time that
+    // exchange alone by relocating between iterations).
+    group.bench_function("first_send_after_relocation", |b| {
+        let mut flip = false;
+        let mut n = 1000;
+        b.iter_custom(|iters| {
+            let mut total = std::time::Duration::ZERO;
+            for _ in 0..iters {
+                flip = !flip;
+                let target = if flip { lab.machines[2] } else { lab.machines[1] };
+                host.relocate(target).expect("relocate");
+                n += 1;
+                let started = std::time::Instant::now();
+                exchange(n);
+                total += started.elapsed();
+            }
+            total
+        });
+    });
+
+    // Ablation: the reliable extension on a healthy circuit — what the
+    // per-message ack costs when nothing goes wrong (§3.5's redundant
+    // recovery, priced).
+    group.bench_function("reliable_send_healthy", |b| {
+        let mut n = 10_000;
+        b.iter(|| {
+            n += 1;
+            client
+                .send_reliable(
+                    dst,
+                    &Ask { n, body: String::new() },
+                    std::time::Duration::from_secs(5),
+                )
+                .expect("reliable send");
+        });
+    });
+
+    let m = client.metrics();
+    println!(
+        "[E7] client totals: {} address faults, {} forwarding queries, {} reconnects, \
+         {} sends, {} retransmissions",
+        m.address_faults, m.forward_queries, m.reconnects, m.sends, m.retransmissions
+    );
+    host.stop();
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

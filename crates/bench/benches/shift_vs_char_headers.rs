@@ -1,0 +1,66 @@
+//! Experiment E4 (§5.2): shift mode vs character conversion for headers.
+//!
+//! "Character conversion was viewed as excessive overhead, and results in
+//! undesirable variable length (or worst-case-long) messages." Expected
+//! shape: shift encode/decode is faster, and its length is constant while
+//! the character form varies with field values.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntcs::{MachineType, UAdd};
+use ntcs_wire::{ConvMode, FrameHeader, FrameType, HEADER_LEN};
+
+fn header(big_values: bool) -> FrameHeader {
+    let mut h = FrameHeader::new(
+        FrameType::Data,
+        UAdd::from_raw(if big_values { u64::MAX / 3 } else { 2 }),
+        UAdd::from_raw(if big_values { u64::MAX / 5 } else { 3 }),
+        MachineType::Vax,
+    );
+    h.flags.set_conv_mode(ConvMode::Packed);
+    h.flags.reply_expected = true;
+    h.msg_id = if big_values { u64::MAX - 7 } else { 1 };
+    h.reply_to = if big_values { u64::MAX / 2 } else { 0 };
+    h.aux = if big_values { u32::MAX } else { 7 };
+    h.payload_len = if big_values { u32::MAX / 2 } else { 64 };
+    h
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E4/headers");
+    group
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+
+    let small = header(false);
+    let large = header(true);
+
+    // The paper's complaint about variable length, demonstrated up front.
+    let shift_len = small.to_shift().len();
+    assert_eq!(shift_len, large.to_shift().len());
+    assert_eq!(shift_len, HEADER_LEN);
+    let char_small = small.to_packed().len();
+    let char_large = large.to_packed().len();
+    println!(
+        "[E4] header sizes: shift = {shift_len} B (constant); \
+         character = {char_small}..{char_large} B (variable)"
+    );
+
+    group.bench_function("shift/encode+decode", |b| {
+        b.iter(|| {
+            let bytes = large.to_shift();
+            let got = FrameHeader::from_shift(&bytes).unwrap();
+            assert_eq!(got.msg_id, large.msg_id);
+        });
+    });
+    group.bench_function("char/encode+decode", |b| {
+        b.iter(|| {
+            let bytes = large.to_packed();
+            let got = FrameHeader::from_packed(&bytes).unwrap();
+            assert_eq!(got.msg_id, large.msg_id);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

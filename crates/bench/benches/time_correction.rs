@@ -1,0 +1,87 @@
+//! Experiments E8/E14: DRTS costs.
+//!
+//! Rows: one time-service synchronization exchange; a send with DRTS hooks
+//! enabled (steady state: monitor cast included) vs hooks disabled; and the
+//! §6.1 first-send with everything cold (printed, since it is a one-shot).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntcs::NetKind;
+use ntcs_bench::{round_trip, EchoServer};
+use ntcs_drts::{DrtsRuntime, MonitorService, TimeService};
+use ntcs_repro::scenarios::single_net_with_skews;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E14/drts");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(15);
+
+    let lab = single_net_with_skews(3, NetKind::Mbx, &[0, 75_000, 0]).unwrap();
+    let ts = TimeService::spawn(&lab.testbed, lab.machines[0]).unwrap();
+    let monitor = MonitorService::spawn(&lab.testbed, lab.machines[2]).unwrap();
+    let echo = EchoServer::spawn(&lab.testbed, lab.machines[0], "echo").unwrap();
+
+    // A bare module (no hooks) as the baseline.
+    let bare = lab.testbed.module(lab.machines[1], "bare").unwrap();
+    let dst = bare.locate("echo").unwrap();
+    round_trip(&bare, dst, 0);
+    group.bench_function("send_without_drts", |b| {
+        let mut n = 0;
+        b.iter(|| {
+            n += 1;
+            round_trip(&bare, dst, n);
+        });
+    });
+
+    // Hooked module: steady-state sends include a monitor cast; the time
+    // sync is cached (hourly interval).
+    let hooked = Arc::new(lab.testbed.module(lab.machines[1], "hooked").unwrap());
+    let rt = DrtsRuntime::attach(
+        &hooked,
+        Some(ts.uadd()),
+        Some(monitor.uadd()),
+        Duration::from_secs(3600),
+    );
+    let dst2 = hooked.locate("echo").unwrap();
+    let started = std::time::Instant::now();
+    round_trip(&hooked, dst2, 0); // the §6.1 cold first send
+    println!(
+        "[E8] first send with cold DRTS (time sync + naming + monitor): {:?}; \
+         time exchanges = {}, monitor casts = {}, max recursion depth = {}",
+        started.elapsed(),
+        rt.time_exchanges.load(std::sync::atomic::Ordering::Relaxed),
+        rt.monitor_casts.load(std::sync::atomic::Ordering::Relaxed),
+        hooked.nucleus().gauge().max_seen(),
+    );
+    group.bench_function("send_with_drts_hooks", |b| {
+        let mut n = 0;
+        b.iter(|| {
+            n += 1;
+            round_trip(&hooked, dst2, n);
+        });
+    });
+
+    // One full synchronization exchange, including the correction math.
+    let clock = lab.testbed.world().clock(lab.machines[1]).unwrap();
+    group.bench_function("time_sync_exchange", |b| {
+        b.iter(|| {
+            let stats = TimeService::sync(&bare, &clock, ts.uadd(), 1).unwrap();
+            assert!(stats.best_rtt_us >= 0);
+        });
+    });
+    println!(
+        "[E14] residual clock error after repeated syncs: {} µs (skew was 75000 µs)",
+        clock.error_us()
+    );
+
+    echo.stop();
+    monitor.stop();
+    ts.stop();
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Experiment E12 (§1.2): the URSA retrieval workload end to end.
+//!
+//! Rows: ranked query latency vs shard count (1..3 backends), and full user
+//! interactions (search + fetch best). Expected shape: per-query latency
+//! grows with shard count under a sequential fan-out (each shard adds one
+//! round trip) while each shard's work shrinks — the trade the paper's
+//! backend architecture navigates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ntcs::{MachineType, NetKind, Testbed};
+use ntcs_ursa::{Corpus, UrsaClient, UrsaDeployment, UrsaLayout};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E12/ursa");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(15);
+
+    let corpus = Corpus::generate(77, 400, 40);
+    for shards in [1usize, 2, 3] {
+        let mut tb = Testbed::builder();
+        let net = tb.add_network(NetKind::Mbx, "campus");
+        let m0 = tb.add_machine(MachineType::Sun, "ws", &[net]).unwrap();
+        let backends: Vec<_> = (0..shards)
+            .map(|i| {
+                tb.add_machine(
+                    [MachineType::Vax, MachineType::Apollo, MachineType::M68k][i % 3],
+                    &format!("be{i}"),
+                    &[net],
+                )
+                .unwrap()
+            })
+            .collect();
+        tb.name_server_on(m0);
+        let testbed = tb.start().unwrap();
+        let deployment = UrsaDeployment::deploy(
+            &testbed,
+            &corpus,
+            &UrsaLayout {
+                index_machine: backends[0],
+                search_machines: backends.clone(),
+                doc_machine: backends[0],
+            },
+        )
+        .unwrap();
+        let client = UrsaClient::new(&testbed, m0, "bench-ws").unwrap();
+        client.search("retrieval", 5).unwrap(); // warm circuits
+
+        group.bench_with_input(BenchmarkId::new("search", shards), &shards, |b, _| {
+            b.iter(|| {
+                let hits = client.search("retrieval network system", 10).unwrap();
+                assert!(!hits.is_empty());
+            });
+        });
+        if shards == 2 {
+            group.bench_function("search_and_fetch_best", |b| {
+                b.iter(|| {
+                    let (_hit, doc) = client.search_and_fetch_best("document index").unwrap();
+                    assert!(!doc.title.is_empty());
+                });
+            });
+            // E16: the historical boolean query model over the same shards.
+            group.bench_function("boolean_search", |b| {
+                b.iter(|| {
+                    let docs = client
+                        .search_boolean("retrieval AND (network OR system) AND NOT gateway")
+                        .unwrap();
+                    assert!(!docs.is_empty());
+                });
+            });
+        }
+        deployment.stop();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

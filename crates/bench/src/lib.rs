@@ -1,0 +1,112 @@
+//! Shared helpers for the NTCS experiment benches.
+//!
+//! Each bench target regenerates one experiment from EXPERIMENTS.md. The
+//! helpers here build the standard deployments and provide an echo service
+//! so request/reply latencies can be measured end to end.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ntcs::{ComMod, MachineId, NtcsError, Result, Testbed, UAdd};
+use ntcs_repro::messages::{Answer, Ask, Bulk};
+
+/// Standard request/reply timeout for benches.
+pub const T: Option<Duration> = Some(Duration::from_secs(10));
+
+/// A background echo module that answers `Ask` with `Answer` and `Bulk`
+/// with the same `Bulk`, until stopped.
+pub struct EchoServer {
+    commod: Option<Arc<ComMod>>,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+    uadd: UAdd,
+}
+
+impl EchoServer {
+    /// Spawns the echo module registered as `name`.
+    ///
+    /// # Errors
+    ///
+    /// Binding/registration failures.
+    pub fn spawn(testbed: &Testbed, machine: MachineId, name: &str) -> Result<EchoServer> {
+        let commod = Arc::new(testbed.module(machine, name)?);
+        let uadd = commod.my_uadd();
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let commod = Arc::clone(&commod);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name(format!("echo-{name}"))
+                .spawn(move || {
+                    while !stop.load(Ordering::SeqCst) {
+                        match commod.receive(Some(Duration::from_millis(50))) {
+                            Ok(msg) => {
+                                if let Ok(a) = msg.decode::<Ask>() {
+                                    let _ = commod
+                                        .reply(&msg, &Answer { n: a.n, body: a.body });
+                                } else if let Ok(b) = msg.decode::<Bulk>() {
+                                    let _ = commod.reply(&msg, &b);
+                                }
+                            }
+                            Err(NtcsError::Timeout) => {}
+                            Err(_) => return,
+                        }
+                    }
+                })
+                .expect("spawn echo server")
+        };
+        Ok(EchoServer {
+            commod: Some(commod),
+            stop,
+            thread: Some(thread),
+            uadd,
+        })
+    }
+
+    /// The echo module's UAdd.
+    #[must_use]
+    pub fn uadd(&self) -> UAdd {
+        self.uadd
+    }
+
+    /// Stops the module.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        if let Some(c) = self.commod.take() {
+            c.shutdown();
+        }
+    }
+}
+
+impl Drop for EchoServer {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+/// One synchronous round trip through the full stack.
+///
+/// # Panics
+///
+/// Panics on any transport failure (benches should be loud).
+pub fn round_trip(client: &ComMod, dst: UAdd, n: u32) {
+    let reply = client
+        .send_receive(dst, &Ask { n, body: String::new() }, T)
+        .expect("round trip");
+    assert_eq!(
+        reply.decode::<Answer>().expect("decode").n,
+        n,
+        "echo integrity"
+    );
+}

@@ -1,0 +1,160 @@
+//! Live architecture introspection — the paper's Figures 2-1 … 2-4,
+//! regenerated from the running system.
+//!
+//! The paper's only figures are architecture diagrams: the application's
+//! view of the ComMod (Fig. 2-1), the Nucleus internal layering (Fig. 2-2),
+//! the NSP layer's position (Fig. 2-3), and the ComMod internal layering
+//! (Fig. 2-4). [`ArchReport`] captures the live stack of a bound module as
+//! data (so tests can assert the layering) and renders it as an ASCII
+//! figure (so examples can print it).
+
+use std::fmt;
+
+use crate::commod::ComMod;
+
+/// One layer of a module's live stack, top-down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerInfo {
+    /// Short layer name ("ALI", "NSP", "LCM", "IP", "ND", "IPCS").
+    pub name: &'static str,
+    /// The paper's long name.
+    pub long_name: &'static str,
+    /// Live details harvested from the running module.
+    pub detail: String,
+}
+
+/// A module's live layer stack.
+#[derive(Debug, Clone)]
+pub struct ArchReport {
+    /// The module's name hint.
+    pub module: String,
+    /// Layers, topmost (application-facing) first.
+    pub layers: Vec<LayerInfo>,
+}
+
+impl ArchReport {
+    /// Harvests the report from a bound ComMod.
+    #[must_use]
+    pub fn for_commod(commod: &ComMod) -> ArchReport {
+        let nucleus = commod.nucleus();
+        let metrics = commod.metrics();
+        let nets: Vec<String> = nucleus
+            .nd()
+            .phys_addrs()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let registered = commod
+            .registered_attrs()
+            .and_then(|a| a.name().map(ToString::to_string))
+            .unwrap_or_else(|| "(unregistered)".into());
+        let layers = vec![
+            LayerInfo {
+                name: "ALI",
+                long_name: "Application Level Interface Layer",
+                detail: format!(
+                    "module {:?} as {} ({})",
+                    commod.name_hint(),
+                    registered,
+                    commod.my_uadd()
+                ),
+            },
+            LayerInfo {
+                name: "NSP",
+                long_name: "Name Service Protocol Layer",
+                detail: format!("{} name-server exchanges", commod.nsp().comms()),
+            },
+            LayerInfo {
+                name: "LCM",
+                long_name: "Logical Connection Maintenance Layer",
+                detail: format!(
+                    "{} circuits opened, {} accepted, {} faults, {} forwardings",
+                    metrics.circuits_opened,
+                    metrics.circuits_accepted,
+                    metrics.address_faults,
+                    metrics.forward_queries
+                ),
+            },
+            LayerInfo {
+                name: "IP",
+                long_name: "Internet Protocol Layer",
+                detail: format!("{} route queries", metrics.route_queries),
+            },
+            LayerInfo {
+                name: "ND",
+                long_name: "Network Dependent Layer",
+                detail: nets.join(", "),
+            },
+            LayerInfo {
+                name: "IPCS",
+                long_name: "native interprocess communication system",
+                detail: format!(
+                    "machine {} ({})",
+                    commod.machine(),
+                    commod.machine_type()
+                ),
+            },
+        ];
+        ArchReport {
+            module: commod.name_hint().to_owned(),
+            layers,
+        }
+    }
+
+    /// The layer names, topmost first (test hook for Figs. 2-2/2-4).
+    #[must_use]
+    pub fn layer_names(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.name).collect()
+    }
+}
+
+impl fmt::Display for ArchReport {
+    /// Renders the stack as the paper's box diagrams.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = self
+            .layers
+            .iter()
+            .map(|l| l.long_name.len().max(l.detail.len()) + 8)
+            .max()
+            .unwrap_or(40);
+        writeln!(f, "application module {:?}", self.module)?;
+        writeln!(f, "{:^width$}", "|")?;
+        writeln!(f, "+{}+", "-".repeat(width))?;
+        for (i, l) in self.layers.iter().enumerate() {
+            writeln!(f, "|{:^width$}|", format!("{}: {}", l.name, l.long_name))?;
+            writeln!(f, "|{:^width$}|", l.detail)?;
+            if i + 1 < self.layers.len() {
+                writeln!(f, "+{}+", "-".repeat(width))?;
+            }
+        }
+        writeln!(f, "+{}+", "-".repeat(width))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::testbed::Testbed;
+    use ntcs_addr::MachineType;
+    use ntcs_ipcs::NetKind;
+
+    #[test]
+    fn report_layers_match_figures() {
+        let mut tb = Testbed::builder();
+        let net = tb.add_network(NetKind::Mbx, "lab");
+        let m = tb.add_machine(MachineType::Sun, "host", &[net]).unwrap();
+        tb.name_server_on(m);
+        let testbed = tb.start().unwrap();
+        let module = testbed.module(m, "probe").unwrap();
+        let report = module.architecture();
+        // Fig. 2-4: ALI atop NSP atop the Nucleus; Fig. 2-2: LCM/IP/ND
+        // inside the Nucleus, IPCS below everything.
+        assert_eq!(
+            report.layer_names(),
+            vec!["ALI", "NSP", "LCM", "IP", "ND", "IPCS"]
+        );
+        let rendered = report.to_string();
+        assert!(rendered.contains("Application Level Interface"));
+        assert!(rendered.contains("Network Dependent"));
+        assert!(rendered.contains("probe"));
+    }
+}

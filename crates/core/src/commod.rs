@@ -1,0 +1,559 @@
+//! The ComMod and its Application Level Interface (ALI) layer.
+//!
+//! §2.1: "Each application process must bind with a passive communication
+//! module (ComMod), which is the only aspect of the NTCS visible to the
+//! application. To the application, the ComMod is the NTCS."
+//!
+//! §2.4: the ALI layer "simply provides the application interface primitives
+//! from the Nucleus and NSP-Layer services, tailors the error returns, and
+//! performs parameter checking. It may be better described as a thin
+//! veneer." The interface has the paper's three primitive classes (§1.3):
+//! basic communication ([`ComMod::send`], [`ComMod::receive`],
+//! [`ComMod::send_receive`], [`ComMod::reply`], [`ComMod::cast`]), resource
+//! location ([`ComMod::register`], [`ComMod::locate`], [`ComMod::list`]),
+//! and utilities (metrics, traces, architecture introspection).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ntcs_addr::{
+    AttrQuery, AttrSet, Generation, MachineId, MachineType, NetworkId, NtcsError, PhysAddr,
+    Result, UAdd,
+};
+use ntcs_ipcs::World;
+use ntcs_naming::NspLayer;
+use ntcs_nucleus::{Nucleus, NucleusConfig, NucleusMetricsSnapshot, Received};
+use ntcs_wire::Message;
+use parking_lot::RwLock;
+
+use crate::arch::ArchReport;
+use crate::hooks::{DrtsHooks, MonitorEvent, MonitorEventKind};
+
+/// A message as delivered to the application, with decode sugar.
+#[derive(Debug, Clone)]
+pub struct Incoming {
+    inner: Received,
+    local_machine: MachineType,
+}
+
+impl Incoming {
+    /// The sender's address.
+    #[must_use]
+    pub fn src(&self) -> UAdd {
+        self.inner.src
+    }
+
+    /// The sender's message id (for manual correlation).
+    #[must_use]
+    pub fn msg_id(&self) -> u64 {
+        self.inner.msg_id
+    }
+
+    /// The message id this replies to (0 = unsolicited).
+    #[must_use]
+    pub fn reply_to(&self) -> u64 {
+        self.inner.reply_to
+    }
+
+    /// Whether the sender awaits a reply ([`ComMod::reply`]).
+    #[must_use]
+    pub fn reply_expected(&self) -> bool {
+        self.inner.reply_expected
+    }
+
+    /// Whether this arrived via the connectionless protocol.
+    #[must_use]
+    pub fn connectionless(&self) -> bool {
+        self.inner.connectionless
+    }
+
+    /// The message type id, for dispatching before decoding.
+    #[must_use]
+    pub fn type_id(&self) -> u32 {
+        self.inner.payload.type_id
+    }
+
+    /// Whether the payload carries message type `M`.
+    #[must_use]
+    pub fn is<M: Message>(&self) -> bool {
+        self.inner.payload.is::<M>()
+    }
+
+    /// Decodes the payload as `M` (image or packed mode resolved
+    /// automatically).
+    ///
+    /// # Errors
+    ///
+    /// [`NtcsError::Protocol`] on a type mismatch or malformed payload.
+    pub fn decode<M: Message>(&self) -> Result<M> {
+        self.inner.payload.decode(self.local_machine)
+    }
+
+    /// The raw nucleus-level record (advanced use).
+    #[must_use]
+    pub fn raw(&self) -> &Received {
+        &self.inner
+    }
+}
+
+/// A failed relocation: the error, plus the original (still functional)
+/// binding so the module can keep running where it was.
+#[derive(Debug)]
+pub struct RelocateError {
+    /// What went wrong.
+    pub error: NtcsError,
+    /// The original binding, untouched.
+    pub commod: ComMod,
+}
+
+impl std::fmt::Display for RelocateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "relocation failed: {}", self.error)
+    }
+}
+
+/// The per-module communication module: the application's entire view of
+/// the NTCS.
+pub struct ComMod {
+    world: World,
+    machine: MachineId,
+    name_hint: String,
+    nucleus: Nucleus,
+    nsp: Arc<NspLayer>,
+    hooks: RwLock<Option<Arc<dyn DrtsHooks>>>,
+    registration: RwLock<Option<(AttrSet, UAdd, Generation)>>,
+    /// Well-known preload and server list, kept so relocation can rebuild an
+    /// identically configured ComMod on another machine.
+    ns_well_known: Vec<(UAdd, Vec<PhysAddr>)>,
+    ns_servers: Vec<UAdd>,
+}
+
+impl std::fmt::Debug for ComMod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ComMod")
+            .field("module", &self.name_hint)
+            .field("machine", &self.machine)
+            .field("uadd", &self.my_uadd())
+            .finish()
+    }
+}
+
+impl ComMod {
+    /// Binds a ComMod for a module on `machine`.
+    ///
+    /// `ns_well_known` preloads the Name Server (and prime gateway)
+    /// addresses (§3.4); `ns_servers` lists Name-Server UAdds in failover
+    /// order. Most callers use [`crate::Testbed::module`] instead.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the Nucleus cannot bind its endpoints.
+    pub fn bind(
+        world: &World,
+        machine: MachineId,
+        name_hint: &str,
+        ns_well_known: Vec<(UAdd, Vec<PhysAddr>)>,
+        ns_servers: Vec<UAdd>,
+    ) -> Result<ComMod> {
+        let mut config = NucleusConfig::new(machine, name_hint);
+        config.well_known = ns_well_known;
+        Self::bind_with_config(world, config, ns_servers)
+    }
+
+    /// Binds a ComMod with a fully custom [`NucleusConfig`] — experiment
+    /// hook (e.g. disabling the §6.3 fault-handler patch or changing the
+    /// recursion limit). The well-known table comes from the config.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the Nucleus cannot bind its endpoints.
+    pub fn bind_with_config(
+        world: &World,
+        config: NucleusConfig,
+        ns_servers: Vec<UAdd>,
+    ) -> Result<ComMod> {
+        let machine = config.machine;
+        let name_hint = config.module_hint.clone();
+        let ns_well_known = config.well_known.clone();
+        let nucleus = Nucleus::bind(world, config)?;
+        let nsp = NspLayer::new(nucleus.clone(), ns_servers.clone());
+        nucleus.set_resolver(nsp.clone());
+        Ok(ComMod {
+            world: world.clone(),
+            machine,
+            name_hint,
+            nucleus,
+            nsp,
+            hooks: RwLock::new(None),
+            registration: RwLock::new(None),
+            ns_well_known,
+            ns_servers,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Resource location primitives
+    // ------------------------------------------------------------------
+
+    /// Registers this module under a plain logical name (§3.2); returns its
+    /// newly assigned UAdd.
+    ///
+    /// # Errors
+    ///
+    /// Naming-service failures, or [`NtcsError::InvalidArgument`] for a bad
+    /// name.
+    pub fn register(&self, name: &str) -> Result<UAdd> {
+        self.register_attrs(&AttrSet::named(name)?)
+    }
+
+    /// Registers this module under an attribute set (§7 naming extension).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ComMod::register`].
+    pub fn register_attrs(&self, attrs: &AttrSet) -> Result<UAdd> {
+        let prev = self.registration.read().as_ref().map(|(_, u, _)| *u);
+        let (uadd, generation) = self.nsp.register(attrs, false, &[], prev)?;
+        *self.registration.write() = Some((attrs.clone(), uadd, generation));
+        Ok(uadd)
+    }
+
+    /// Resolves a plain name to the newest live module (§3.3). An
+    /// application "need only obtain an address once; module relocation will
+    /// then occur as required, during all communication, transparent at
+    /// this interface" (§1.3).
+    ///
+    /// # Errors
+    ///
+    /// [`NtcsError::NameNotFound`] when nothing matches.
+    pub fn locate(&self, name: &str) -> Result<UAdd> {
+        self.nsp.locate(&AttrQuery::by_name(name)?)
+    }
+
+    /// Resolves an attribute query.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ComMod::locate`].
+    pub fn locate_query(&self, query: &AttrQuery) -> Result<UAdd> {
+        self.nsp.locate(query)
+    }
+
+    /// Lists all live modules matching a query.
+    ///
+    /// # Errors
+    ///
+    /// Naming-service transport failures.
+    pub fn list(&self, query: &AttrQuery) -> Result<Vec<UAdd>> {
+        self.nsp.list(query)
+    }
+
+    /// Deregisters this module (clean shutdown).
+    ///
+    /// # Errors
+    ///
+    /// Naming-service transport failures.
+    pub fn deregister(&self) -> Result<()> {
+        if let Some((_, uadd, _)) = self.registration.read().clone() {
+            self.nsp.deregister(uadd)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Basic communication primitives
+    // ------------------------------------------------------------------
+
+    fn stamp(&self) -> i64 {
+        self.hooks
+            .read()
+            .as_ref()
+            .map_or(0, |h| h.timestamp_us())
+    }
+
+    fn monitor(&self, kind: MonitorEventKind, peer: UAdd, msg_id: u64, ts: i64) {
+        if let Some(h) = self.hooks.read().clone() {
+            h.monitor_event(MonitorEvent {
+                module: self.my_uadd(),
+                module_name: self.name_hint.clone(),
+                kind,
+                peer,
+                msg_id,
+                timestamp_us: ts,
+            });
+        }
+    }
+
+    fn check_dst(dst: UAdd) -> Result<()> {
+        if dst.raw() == 0 {
+            return Err(NtcsError::InvalidArgument(
+                "destination address is null".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Asynchronous send: queues the message toward `dst`, transparently
+    /// establishing or re-establishing circuits (§2.2, §3.5).
+    ///
+    /// Returns the message id for later reply correlation.
+    ///
+    /// # Errors
+    ///
+    /// Unrecoverable faults only; relocation of the destination is handled
+    /// transparently.
+    pub fn send<M: Message>(&self, dst: UAdd, msg: &M) -> Result<u64> {
+        Self::check_dst(dst)?;
+        let faults_before = self.nucleus.metrics().snapshot().address_faults;
+        // §6.1: "control passes to the LCM-layer, which generates a time
+        // stamp for monitor data" — possibly recursing into the time
+        // service.
+        let ts = self.stamp();
+        let msg_id = self.nucleus.send_message(dst, msg, false)?;
+        let after = self.nucleus.metrics().snapshot();
+        if after.address_faults > faults_before {
+            self.monitor(MonitorEventKind::Reconnect, dst, msg_id, ts);
+        }
+        // "Upon success, the LCM-layer sends data to the monitor" (§6.1).
+        self.monitor(MonitorEventKind::Send, dst, msg_id, ts);
+        Ok(msg_id)
+    }
+
+    /// Blocking receive with optional timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`NtcsError::Timeout`] if nothing arrives.
+    pub fn receive(&self, timeout: Option<Duration>) -> Result<Incoming> {
+        let received = self.nucleus.recv(timeout)?;
+        let ts = self.stamp();
+        self.monitor(MonitorEventKind::Receive, received.src, received.msg_id, ts);
+        Ok(Incoming {
+            inner: received,
+            local_machine: self.machine_type(),
+        })
+    }
+
+    /// Synchronous send/receive/reply exchange (§1.3): sends and waits for
+    /// the correlated reply.
+    ///
+    /// # Errors
+    ///
+    /// Send errors, or [`NtcsError::Timeout`] if no reply arrives.
+    pub fn send_receive<M: Message>(
+        &self,
+        dst: UAdd,
+        msg: &M,
+        timeout: Option<Duration>,
+    ) -> Result<Incoming> {
+        Self::check_dst(dst)?;
+        let ts = self.stamp();
+        let msg_id = self.nucleus.send_message(dst, msg, true)?;
+        self.monitor(MonitorEventKind::Send, dst, msg_id, ts);
+        let received = self.nucleus.wait_reply(msg_id, timeout)?;
+        let ts = self.stamp();
+        self.monitor(MonitorEventKind::Receive, received.src, received.msg_id, ts);
+        Ok(Incoming {
+            inner: received,
+            local_machine: self.machine_type(),
+        })
+    }
+
+    /// Replies to a received message.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ComMod::send`].
+    pub fn reply<M: Message>(&self, to: &Incoming, msg: &M) -> Result<u64> {
+        let ts = self.stamp();
+        let id = self.nucleus.reply_message(&to.inner, msg)?;
+        self.monitor(MonitorEventKind::Send, to.src(), id, ts);
+        Ok(id)
+    }
+
+    /// Reliable send — the §3.5 "modified sliding window protocol"
+    /// counterfactual, built as an optional extension: retransmits until an
+    /// LCM-level acknowledgement arrives (duplicates suppressed at the
+    /// receiver), surviving relocations and transient faults within the
+    /// deadline. The paper argues this layer is largely redundant under a
+    /// transaction manager; experiment E7's ablation quantifies the trade.
+    ///
+    /// # Errors
+    ///
+    /// [`NtcsError::Timeout`] if no acknowledgement arrives in time.
+    pub fn send_reliable<M: Message>(
+        &self,
+        dst: UAdd,
+        msg: &M,
+        timeout: Duration,
+    ) -> Result<u64> {
+        Self::check_dst(dst)?;
+        let ts = self.stamp();
+        let id = self.nucleus.send_reliable_message(dst, msg, timeout)?;
+        self.monitor(MonitorEventKind::Send, dst, id, ts);
+        Ok(id)
+    }
+
+    /// Connectionless best-effort send (§2.2).
+    ///
+    /// # Errors
+    ///
+    /// Argument/shutdown errors only; transport losses are silent.
+    pub fn cast<M: Message>(&self, dst: UAdd, msg: &M) -> Result<()> {
+        Self::check_dst(dst)?;
+        let ts = self.stamp();
+        self.nucleus.cast_message(dst, msg)?;
+        self.monitor(MonitorEventKind::Send, dst, 0, ts);
+        Ok(())
+    }
+
+    /// Liveness probe round-trip time.
+    ///
+    /// # Errors
+    ///
+    /// Establishment errors or [`NtcsError::Timeout`].
+    pub fn ping(&self, dst: UAdd, timeout: Option<Duration>) -> Result<Duration> {
+        Self::check_dst(dst)?;
+        self.nucleus.ping(dst, timeout)
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamic reconfiguration
+    // ------------------------------------------------------------------
+
+    /// Relocates this module to another machine (§3.5): binds a fresh ComMod
+    /// there, re-registers under the same attributes (advancing the
+    /// generation and marking this incarnation dead), and shuts this binding
+    /// down. Peers' next sends fault, obtain the forwarding UAdd, and
+    /// reconnect — transparently at their interface.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the module never registered, or if binding/registration on
+    /// the target machine fails. On failure the original binding is handed
+    /// back intact inside the [`RelocateError`].
+    #[allow(clippy::result_large_err)]
+    pub fn relocate_to(self, machine: MachineId) -> Result<ComMod, RelocateError> {
+        let Some((attrs, old_uadd, _)) = self.registration.read().clone() else {
+            return Err(RelocateError {
+                error: NtcsError::NotRegistered,
+                commod: self,
+            });
+        };
+        let new = match ComMod::bind(
+            &self.world,
+            machine,
+            &self.name_hint,
+            self.ns_well_known.clone(),
+            self.ns_servers.clone(),
+        ) {
+            Ok(n) => n,
+            Err(error) => return Err(RelocateError { error, commod: self }),
+        };
+        match new.nsp.register(&attrs, false, &[], Some(old_uadd)) {
+            Ok((uadd, generation)) => {
+                *new.registration.write() = Some((attrs, uadd, generation));
+            }
+            Err(error) => {
+                new.shutdown();
+                return Err(RelocateError { error, commod: self });
+            }
+        }
+        *new.hooks.write() = self.hooks.read().clone();
+        self.nucleus.shutdown();
+        Ok(new)
+    }
+
+    /// Shuts the binding down without deregistering (a crash, from the
+    /// naming service's point of view).
+    pub fn shutdown(&self) {
+        self.nucleus.shutdown();
+    }
+
+    // ------------------------------------------------------------------
+    // Utilities
+    // ------------------------------------------------------------------
+
+    /// This module's current UAdd (a TAdd before registration, §3.4).
+    #[must_use]
+    pub fn my_uadd(&self) -> UAdd {
+        self.nucleus.my_uadd()
+    }
+
+    /// The machine this binding runs on.
+    #[must_use]
+    pub fn machine(&self) -> MachineId {
+        self.machine
+    }
+
+    /// The machine's representation type.
+    #[must_use]
+    pub fn machine_type(&self) -> MachineType {
+        self.nucleus.machine_type()
+    }
+
+    /// Networks directly reachable from this module.
+    #[must_use]
+    pub fn networks(&self) -> Vec<NetworkId> {
+        self.nucleus.nd().networks()
+    }
+
+    /// The module's name hint (traces; not its registered name).
+    #[must_use]
+    pub fn name_hint(&self) -> &str {
+        &self.name_hint
+    }
+
+    /// The registered attribute set, if registered.
+    #[must_use]
+    pub fn registered_attrs(&self) -> Option<AttrSet> {
+        self.registration.read().as_ref().map(|(a, _, _)| a.clone())
+    }
+
+    /// Installs the DRTS hooks (time service + monitor).
+    pub fn set_hooks(&self, hooks: Arc<dyn DrtsHooks>) {
+        *self.hooks.write() = Some(hooks);
+    }
+
+    /// Removes the DRTS hooks (used by the DRTS services' own ComMods to
+    /// break the obvious infinite recursion, §6.1).
+    pub fn clear_hooks(&self) {
+        *self.hooks.write() = None;
+    }
+
+    /// Nucleus counters.
+    #[must_use]
+    pub fn metrics(&self) -> NucleusMetricsSnapshot {
+        self.nucleus.metrics().snapshot()
+    }
+
+    /// The §6.2 selective layer trace.
+    #[must_use]
+    pub fn trace(&self) -> &ntcs_nucleus::LayerTrace {
+        self.nucleus.trace()
+    }
+
+    /// The live architecture report (paper Figs. 2-1 … 2-4).
+    #[must_use]
+    pub fn architecture(&self) -> ArchReport {
+        ArchReport::for_commod(self)
+    }
+
+    /// The underlying Nucleus (advanced use, experiments).
+    #[must_use]
+    pub fn nucleus(&self) -> &Nucleus {
+        &self.nucleus
+    }
+
+    /// The NSP layer (advanced use, experiments).
+    #[must_use]
+    pub fn nsp(&self) -> &Arc<NspLayer> {
+        &self.nsp
+    }
+
+    /// The world this module lives in.
+    #[must_use]
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+}

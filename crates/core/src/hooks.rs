@@ -1,0 +1,75 @@
+//! The DRTS hook points inside the ComMod.
+//!
+//! §6.1's first-send scenario: "As the application level Send is initiated,
+//! control passes to the LCM-layer, which generates a time stamp for monitor
+//! data. A distributed time primitive is called, which may recursively call
+//! on the ComMod … Upon success, the LCM-layer sends data to the monitor by
+//! calling itself."
+//!
+//! The ComMod calls [`DrtsHooks::timestamp_us`] before each send and
+//! [`DrtsHooks::monitor_event`] after sends/receives/faults. The DRTS crate
+//! implements the trait with the real distributed time service and monitor —
+//! both of which are themselves modules communicating over the NTCS, so
+//! these calls recurse exactly as the paper describes. Modules without DRTS
+//! wiring simply leave the hooks unset.
+
+use ntcs_addr::UAdd;
+
+/// What happened, for the distributed monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MonitorEventKind {
+    /// A message was sent.
+    Send,
+    /// A message was delivered to the application.
+    Receive,
+    /// A circuit was established.
+    CircuitOpen,
+    /// An address fault was observed (§3.5).
+    AddressFault,
+    /// A transparent reconnection succeeded after a fault.
+    Reconnect,
+}
+
+impl std::fmt::Display for MonitorEventKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            MonitorEventKind::Send => "send",
+            MonitorEventKind::Receive => "receive",
+            MonitorEventKind::CircuitOpen => "circuit-open",
+            MonitorEventKind::AddressFault => "address-fault",
+            MonitorEventKind::Reconnect => "reconnect",
+        })
+    }
+}
+
+/// One monitor record, timestamped with the (corrected) local clock.
+#[derive(Debug, Clone)]
+pub struct MonitorEvent {
+    /// The reporting module.
+    pub module: UAdd,
+    /// The reporting module's name hint.
+    pub module_name: String,
+    /// What happened.
+    pub kind: MonitorEventKind,
+    /// The peer involved (0 if none).
+    pub peer: UAdd,
+    /// The message id involved (0 if none).
+    pub msg_id: u64,
+    /// Corrected timestamp, microseconds since the testbed epoch.
+    pub timestamp_us: i64,
+}
+
+/// The distributed-run-time-support services the ComMod consumes.
+///
+/// Implementations may recurse into the NTCS (the time service and monitor
+/// are modules reached through a ComMod of their own); implementors must
+/// disable their *own* hooks to avoid the obvious infinite recursion (§6.1).
+pub trait DrtsHooks: Send + Sync {
+    /// Current corrected time in microseconds (may trigger a time-service
+    /// exchange).
+    fn timestamp_us(&self) -> i64;
+
+    /// Reports an event to the distributed monitor (may trigger a monitor
+    /// send).
+    fn monitor_event(&self, event: MonitorEvent);
+}

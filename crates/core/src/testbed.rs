@@ -1,0 +1,434 @@
+//! The testbed: wires a [`World`] (machines, networks), the Name Server
+//! (plus optional replicas), gateways, and application modules into a
+//! running NTCS deployment.
+//!
+//! This is the reproduction of the paper's URSA-style deployment procedure:
+//! decide the machine/network topology, start the Name Server at its
+//! well-known address (§3.4), start the gateways (which register their
+//! connected networks, §4.1), then bring modules up and let them register
+//! and locate each other.
+
+use ntcs_addr::{MachineId, MachineType, NetworkId, NtcsError, PhysAddr, Result, UAdd};
+use ntcs_gateway::Gateway;
+use ntcs_ipcs::{NetKind, World};
+use ntcs_naming::{NameServer, NameServerConfig};
+
+use crate::commod::ComMod;
+
+/// Builder for a [`Testbed`].
+#[derive(Debug)]
+pub struct TestbedBuilder {
+    world: World,
+    ns_machine: Option<MachineId>,
+    replica_machines: Vec<MachineId>,
+}
+
+impl Default for TestbedBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TestbedBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        TestbedBuilder {
+            world: World::new(),
+            ns_machine: None,
+            replica_machines: Vec::new(),
+        }
+    }
+
+    /// Adds a (disjoint) network backed by the given native IPCS.
+    pub fn add_network(&mut self, kind: NetKind, name: &str) -> NetworkId {
+        self.world.add_network(kind, name)
+    }
+
+    /// Adds a machine attached to the given networks.
+    ///
+    /// # Errors
+    ///
+    /// [`NtcsError::InvalidArgument`] for unknown networks or an empty list.
+    pub fn add_machine(
+        &mut self,
+        machine_type: MachineType,
+        name: &str,
+        networks: &[NetworkId],
+    ) -> Result<MachineId> {
+        self.world.add_machine(machine_type, name, networks)
+    }
+
+    /// Adds a machine whose clock is skewed (grist for the DRTS time
+    /// corrector).
+    ///
+    /// # Errors
+    ///
+    /// As for [`TestbedBuilder::add_machine`].
+    pub fn add_machine_with_skew(
+        &mut self,
+        machine_type: MachineType,
+        name: &str,
+        networks: &[NetworkId],
+        offset_us: i64,
+        drift_ppm: f64,
+    ) -> Result<MachineId> {
+        self.world
+            .add_machine_with_skew(machine_type, name, networks, offset_us, drift_ppm)
+    }
+
+    /// Places the primary Name Server on a machine.
+    pub fn name_server_on(&mut self, machine: MachineId) -> &mut Self {
+        self.ns_machine = Some(machine);
+        self
+    }
+
+    /// Adds a replica Name Server on a machine (§7 replication extension).
+    pub fn replica_on(&mut self, machine: MachineId) -> &mut Self {
+        self.replica_machines.push(machine);
+        self
+    }
+
+    /// The world under construction (for advanced wiring).
+    #[must_use]
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Starts the naming service and returns the running testbed.
+    ///
+    /// # Errors
+    ///
+    /// [`NtcsError::InvalidArgument`] if no Name-Server machine was chosen,
+    /// or any spawn failure.
+    pub fn start(self) -> Result<Testbed> {
+        let ns_machine = self.ns_machine.ok_or_else(|| {
+            NtcsError::InvalidArgument("testbed has no name-server machine".into())
+        })?;
+        // Replicas first (the primary replicates to them).
+        let mut replicas = Vec::new();
+        for (i, &m) in self.replica_machines.iter().enumerate() {
+            let uadd = UAdd::from_raw(2 + i as u64);
+            let server = NameServer::spawn(
+                &self.world,
+                NameServerConfig {
+                    machine: m,
+                    uadd,
+                    server_id: 1 + i as u16,
+                    peers: Vec::new(),
+                    sync_from: None,
+                },
+            )?;
+            replicas.push(server);
+        }
+        let peer_info: Vec<(UAdd, Vec<PhysAddr>)> = replicas
+            .iter()
+            .map(|r| (r.uadd(), r.phys_addrs()))
+            .collect();
+        let primary = NameServer::spawn(
+            &self.world,
+            NameServerConfig {
+                machine: ns_machine,
+                uadd: UAdd::NAME_SERVER,
+                server_id: 0,
+                peers: peer_info.clone(),
+                sync_from: None,
+            },
+        )?;
+        let mut ns_well_known = vec![(UAdd::NAME_SERVER, primary.phys_addrs())];
+        ns_well_known.extend(peer_info);
+        let mut ns_servers = vec![UAdd::NAME_SERVER];
+        ns_servers.extend(replicas.iter().map(NameServer::uadd));
+        Ok(Testbed {
+            world: self.world,
+            primary: Some(primary),
+            replicas,
+            ns_well_known,
+            ns_servers,
+        })
+    }
+}
+
+/// A running NTCS deployment.
+#[derive(Debug)]
+pub struct Testbed {
+    world: World,
+    primary: Option<NameServer>,
+    replicas: Vec<NameServer>,
+    ns_well_known: Vec<(UAdd, Vec<PhysAddr>)>,
+    ns_servers: Vec<UAdd>,
+}
+
+impl Testbed {
+    /// Starts building a testbed.
+    #[must_use]
+    pub fn builder() -> TestbedBuilder {
+        TestbedBuilder::new()
+    }
+
+    /// The world (machines, networks, fault injection).
+    #[must_use]
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// The well-known address preload handed to every module (§3.4).
+    #[must_use]
+    pub fn ns_well_known(&self) -> Vec<(UAdd, Vec<PhysAddr>)> {
+        self.ns_well_known.clone()
+    }
+
+    /// Name-Server UAdds in failover order.
+    #[must_use]
+    pub fn ns_servers(&self) -> Vec<UAdd> {
+        self.ns_servers.clone()
+    }
+
+    /// The primary Name Server, if still present.
+    #[must_use]
+    pub fn name_server(&self) -> Option<&NameServer> {
+        self.primary.as_ref()
+    }
+
+    /// The replica Name Servers.
+    #[must_use]
+    pub fn replicas(&self) -> &[NameServer] {
+        &self.replicas
+    }
+
+    /// Binds a ComMod on `machine` *without* registering it.
+    ///
+    /// # Errors
+    ///
+    /// Binding failures.
+    pub fn commod(&self, machine: MachineId, hint: &str) -> Result<ComMod> {
+        ComMod::bind(
+            &self.world,
+            machine,
+            hint,
+            self.ns_well_known.clone(),
+            self.ns_servers.clone(),
+        )
+    }
+
+    /// Binds a ComMod and registers it under `name` — the normal way a
+    /// module comes on-line (§3.2).
+    ///
+    /// # Errors
+    ///
+    /// Binding or registration failures.
+    pub fn module(&self, machine: MachineId, name: &str) -> Result<ComMod> {
+        let commod = self.commod(machine, name)?;
+        commod.register(name)?;
+        Ok(commod)
+    }
+
+    /// Spawns a gateway on `machine` (which must join ≥ 2 networks).
+    ///
+    /// # Errors
+    ///
+    /// Spawn or registration failures.
+    pub fn gateway(&self, machine: MachineId, name: &str) -> Result<Gateway> {
+        let ns_phys = self
+            .ns_well_known
+            .first()
+            .map(|(_, p)| p.clone())
+            .unwrap_or_default();
+        Gateway::spawn(&self.world, machine, name, ns_phys)
+    }
+
+    /// Removes the (primary) Name Server — experiment E2's "the Name Server
+    /// can be removed with no consequence" (§3.3). Returns whether one was
+    /// running.
+    pub fn remove_name_server(&mut self) -> bool {
+        match self.primary.take() {
+            Some(mut ns) => {
+                ns.shutdown();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Restarts the primary Name Server on a machine (after removal). The
+    /// database restarts empty: modules must re-register, exactly as in the
+    /// paper's testbed when the system is reconfigured.
+    ///
+    /// # Errors
+    ///
+    /// Spawn failures, or [`NtcsError::InvalidArgument`] if one is running.
+    pub fn restart_name_server(&mut self, machine: MachineId) -> Result<()> {
+        if self.primary.is_some() {
+            return Err(NtcsError::InvalidArgument(
+                "a name server is already running".into(),
+            ));
+        }
+        let peers: Vec<(UAdd, Vec<PhysAddr>)> = self
+            .replicas
+            .iter()
+            .map(|r| (r.uadd(), r.phys_addrs()))
+            .collect();
+        let ns = NameServer::spawn(
+            &self.world,
+            NameServerConfig {
+                machine,
+                uadd: UAdd::NAME_SERVER,
+                server_id: 0,
+                peers,
+                // A rebuilt primary catches up from the first replica, if
+                // any (the §7 failure-resiliency path).
+                sync_from: self
+                    .replicas
+                    .first()
+                    .map(|r| (r.uadd(), r.phys_addrs())),
+            },
+        )?;
+        // The new instance listens at new physical addresses; refresh the
+        // preload used for *future* modules.
+        self.ns_well_known[0] = (UAdd::NAME_SERVER, ns.phys_addrs());
+        self.primary = Some(ns);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntcs_wire::ntcs_message;
+    use std::time::Duration;
+
+    ntcs_message! {
+        pub struct Note: 800 { pub text: String }
+    }
+
+    const T: Option<Duration> = Some(Duration::from_secs(5));
+
+    #[test]
+    fn builder_requires_name_server() {
+        let mut tb = Testbed::builder();
+        let net = tb.add_network(NetKind::Mbx, "n");
+        let _m = tb.add_machine(MachineType::Vax, "m", &[net]).unwrap();
+        assert!(tb.start().is_err());
+    }
+
+    #[test]
+    fn module_round_trip() {
+        let mut tb = Testbed::builder();
+        let net = tb.add_network(NetKind::Mbx, "lab");
+        let m0 = tb.add_machine(MachineType::Sun, "h0", &[net]).unwrap();
+        let m1 = tb.add_machine(MachineType::Vax, "h1", &[net]).unwrap();
+        tb.name_server_on(m0);
+        let testbed = tb.start().unwrap();
+
+        let server = testbed.module(m0, "echo").unwrap();
+        let client = testbed.module(m1, "cli").unwrap();
+        let dst = client.locate("echo").unwrap();
+        let t = std::thread::spawn(move || {
+            let m = server.receive(T).unwrap();
+            let n: Note = m.decode().unwrap();
+            server.reply(&m, &Note { text: n.text.to_uppercase() }).unwrap();
+        });
+        let reply = client
+            .send_receive(dst, &Note { text: "quiet".into() }, T)
+            .unwrap();
+        let n: Note = reply.decode().unwrap();
+        assert_eq!(n.text, "QUIET");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn relocation_is_transparent_to_peers() {
+        let mut tb = Testbed::builder();
+        let net = tb.add_network(NetKind::Mbx, "lab");
+        let m0 = tb.add_machine(MachineType::Sun, "h0", &[net]).unwrap();
+        let m1 = tb.add_machine(MachineType::Vax, "h1", &[net]).unwrap();
+        let m2 = tb.add_machine(MachineType::Apollo, "h2", &[net]).unwrap();
+        tb.name_server_on(m0);
+        let testbed = tb.start().unwrap();
+
+        let server = testbed.module(m1, "svc").unwrap();
+        let client = testbed.module(m0, "cli").unwrap();
+        let dst = client.locate("svc").unwrap();
+        client.send(dst, &Note { text: "one".into() }).unwrap();
+        let got = server.receive(T).unwrap();
+        assert_eq!(got.decode::<Note>().unwrap().text, "one");
+
+        // Relocate the server from the VAX to the Apollo.
+        let server = server.relocate_to(m2).unwrap();
+        assert_eq!(server.machine(), m2);
+
+        // The client keeps using the OLD UAdd; the LCM layer faults,
+        // forwards, reconnects (§3.5) — transparent at this interface.
+        client.send(dst, &Note { text: "two".into() }).unwrap();
+        let got = server.receive(T).unwrap();
+        assert_eq!(got.decode::<Note>().unwrap().text, "two");
+        let m = client.metrics();
+        assert!(m.address_faults >= 1, "expected an address fault");
+        assert!(m.forward_queries >= 1, "expected a forwarding query");
+        assert!(m.reconnects >= 1, "expected a transparent reconnect");
+    }
+
+    #[test]
+    fn name_server_removal_after_warmup() {
+        let mut tb = Testbed::builder();
+        let net = tb.add_network(NetKind::Mbx, "lab");
+        let m0 = tb.add_machine(MachineType::Sun, "h0", &[net]).unwrap();
+        let m1 = tb.add_machine(MachineType::Vax, "h1", &[net]).unwrap();
+        tb.name_server_on(m0);
+        let mut testbed = tb.start().unwrap();
+
+        let server = testbed.module(m0, "svc").unwrap();
+        let client = testbed.module(m1, "cli").unwrap();
+        let dst = client.locate("svc").unwrap();
+        client.send(dst, &Note { text: "warm".into() }).unwrap();
+        server.receive(T).unwrap();
+
+        // §3.3: "once all necessary addresses have been resolved … the Name
+        // Server can be removed with no consequence, unless the system is
+        // reconfigured."
+        assert!(testbed.remove_name_server());
+        for i in 0..5 {
+            client
+                .send(dst, &Note { text: format!("post-ns-{i}") })
+                .unwrap();
+            server.receive(T).unwrap();
+        }
+        // But *new* resolution now fails.
+        assert!(client.locate("svc").is_err());
+    }
+
+    #[test]
+    fn replica_failover() {
+        let mut tb = Testbed::builder();
+        let net = tb.add_network(NetKind::Mbx, "lab");
+        let m0 = tb.add_machine(MachineType::Sun, "h0", &[net]).unwrap();
+        let m1 = tb.add_machine(MachineType::Vax, "h1", &[net]).unwrap();
+        let m2 = tb.add_machine(MachineType::Apollo, "h2", &[net]).unwrap();
+        tb.name_server_on(m0);
+        tb.replica_on(m2);
+        let mut testbed = tb.start().unwrap();
+
+        let _server = testbed.module(m0, "svc").unwrap();
+        let client = testbed.module(m1, "cli").unwrap();
+        // Let replication drain.
+        std::thread::sleep(Duration::from_millis(200));
+        assert!(testbed.remove_name_server());
+        // The NSP layer fails over to the replica (§7).
+        let dst = client.locate("svc").unwrap();
+        assert!(dst.is_permanent());
+    }
+
+    #[test]
+    fn commod_without_registration_has_tadd() {
+        let mut tb = Testbed::builder();
+        let net = tb.add_network(NetKind::Mbx, "lab");
+        let m0 = tb.add_machine(MachineType::Sun, "h0", &[net]).unwrap();
+        tb.name_server_on(m0);
+        let testbed = tb.start().unwrap();
+        let c = testbed.commod(m0, "anon").unwrap();
+        assert!(c.my_uadd().is_temporary());
+        let u = c.register("anon").unwrap();
+        assert!(u.is_permanent());
+        assert_eq!(c.my_uadd(), u);
+    }
+}

@@ -1,0 +1,123 @@
+//! The distributed error logger.
+//!
+//! §6.3: "one negative side effect of recovering from these conditions is
+//! that the better the system is at it, the less one may know about how it
+//! is actually running. … a running table of errors could be maintained and
+//! monitored." This service is that running table, built — like everything
+//! else in the DRTS — as an ordinary module on top of the NTCS.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ntcs::{ComMod, MachineId, NtcsError, Result, Testbed, UAdd};
+use parking_lot::Mutex;
+
+use crate::host::{Handler, ServiceHost};
+use crate::protocol::{ErrLogQuery, ErrLogReply, ErrorRecord};
+
+/// The registered name of the error log.
+pub const ERROR_LOG_NAME: &str = "error-log";
+
+const RING_CAP: usize = 4096;
+
+/// The running error-log module.
+#[derive(Debug)]
+pub struct ErrorLogService {
+    host: ServiceHost,
+    records: Arc<Mutex<VecDeque<ErrorRecord>>>,
+}
+
+impl ErrorLogService {
+    /// Spawns the error log on `machine`.
+    ///
+    /// # Errors
+    ///
+    /// Binding/registration failures.
+    pub fn spawn(testbed: &Testbed, machine: MachineId) -> Result<ErrorLogService> {
+        let records: Arc<Mutex<VecDeque<ErrorRecord>>> =
+            Arc::new(Mutex::new(VecDeque::new()));
+        let rs = Arc::clone(&records);
+        let handler: Handler = Box::new(move |commod, msg| {
+            if msg.is::<ErrorRecord>() {
+                if let Ok(rec) = msg.decode::<ErrorRecord>() {
+                    let mut r = rs.lock();
+                    if r.len() == RING_CAP {
+                        r.pop_front();
+                    }
+                    r.push_back(rec);
+                }
+            } else if msg.is::<ErrLogQuery>() {
+                let Ok(q) = msg.decode::<ErrLogQuery>() else { return };
+                let r = rs.lock();
+                let take = (q.limit as usize).min(r.len());
+                let records: Vec<ErrorRecord> =
+                    r.iter().skip(r.len() - take).cloned().collect();
+                drop(r);
+                let _ = commod.reply(&msg, &ErrLogReply { records });
+            }
+        });
+        let host = ServiceHost::spawn(testbed, machine, ERROR_LOG_NAME, handler)?;
+        Ok(ErrorLogService { host, records })
+    }
+
+    /// The log's UAdd.
+    #[must_use]
+    pub fn uadd(&self) -> UAdd {
+        self.host.uadd()
+    }
+
+    /// Local view of the newest `limit` records.
+    #[must_use]
+    pub fn tail(&self, limit: usize) -> Vec<ErrorRecord> {
+        let r = self.records.lock();
+        let take = limit.min(r.len());
+        r.iter().skip(r.len() - take).cloned().collect()
+    }
+
+    /// Remote query through the NTCS.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or timeout.
+    pub fn query(commod: &ComMod, log: UAdd, limit: u32) -> Result<Vec<ErrorRecord>> {
+        let reply = commod.send_receive(
+            log,
+            &ErrLogQuery { limit },
+            Some(Duration::from_secs(5)),
+        )?;
+        let rep: ErrLogReply = reply.decode()?;
+        Ok(rep.records)
+    }
+
+    /// Stops the service.
+    pub fn stop(self) {
+        self.host.stop();
+    }
+}
+
+/// Reports an error condition to the distributed log (best-effort).
+///
+/// # Errors
+///
+/// Argument errors only; losses are silent, as for any connectionless send.
+pub fn log_error(
+    commod: &ComMod,
+    log: UAdd,
+    layer: &str,
+    error: &NtcsError,
+    detail: &str,
+    timestamp_us: i64,
+) -> Result<()> {
+    commod.cast(
+        log,
+        &ErrorRecord {
+            module: commod.my_uadd().raw(),
+            module_name: commod.name_hint().to_owned(),
+            layer: layer.to_owned(),
+            code: error.wire_code(),
+            detail: detail.to_owned(),
+            timestamp_us,
+        },
+    )
+}

@@ -1,0 +1,298 @@
+//! The distributed file service.
+//!
+//! §1.2 lists the DRTS services: "distributed process management, **file
+//! service**, time service, and monitoring." This module is the file
+//! service: a pathname-addressed store served by an ordinary NTCS module,
+//! so files are reachable from any machine and any network by logical name
+//! — and, being a hosted service, the store *relocates with its module*
+//! when the testbed is reconfigured.
+//!
+//! The backing store is in-memory (the simulated machines have no disks);
+//! the protocol and placement behaviour are what the reproduction needs.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ntcs::{ComMod, MachineId, NtcsError, Result, Testbed, UAdd};
+use ntcs_wire::ntcs_message;
+use ntcs_wire::pack::Blob;
+use parking_lot::Mutex;
+
+use crate::host::{Handler, ServiceHost};
+
+/// The registered name of the file service.
+pub const FILE_SERVICE_NAME: &str = "file-service";
+
+ntcs_message! {
+    /// Write (or append to) a file.
+    pub struct FsWrite: 130 {
+        /// Pathname (flat namespace with `/` conventions).
+        pub path: String,
+        /// Contents.
+        pub data: Blob,
+        /// Append instead of replace.
+        pub append: bool,
+    }
+
+    /// Read a file.
+    pub struct FsRead: 131 {
+        /// Pathname.
+        pub path: String,
+    }
+
+    /// Read reply.
+    pub struct FsData: 132 {
+        /// Whether the file exists.
+        pub found: bool,
+        /// Contents (empty if not found).
+        pub data: Blob,
+    }
+
+    /// List files under a prefix.
+    pub struct FsList: 133 {
+        /// Pathname prefix ("" = everything).
+        pub prefix: String,
+    }
+
+    /// Listing reply.
+    pub struct FsListing: 134 {
+        /// Matching pathnames, sorted.
+        pub paths: Vec<String>,
+        /// Sizes, aligned with `paths`.
+        pub sizes: Vec<u32>,
+    }
+
+    /// Delete a file.
+    pub struct FsDelete: 135 {
+        /// Pathname.
+        pub path: String,
+    }
+
+    /// Generic file-service acknowledgement.
+    pub struct FsAck: 136 {
+        /// Whether the operation succeeded.
+        pub ok: bool,
+        /// Failure detail ("" on success).
+        pub detail: String,
+    }
+}
+
+type Store = Arc<Mutex<BTreeMap<String, Vec<u8>>>>;
+
+/// The running file-service module.
+#[derive(Debug)]
+pub struct FileService {
+    host: ServiceHost,
+    store: Store,
+}
+
+impl FileService {
+    /// Spawns the file service on `machine`.
+    ///
+    /// # Errors
+    ///
+    /// Binding/registration failures.
+    pub fn spawn(testbed: &Testbed, machine: MachineId) -> Result<FileService> {
+        let store: Store = Arc::new(Mutex::new(BTreeMap::new()));
+        let st = Arc::clone(&store);
+        let handler: Handler = Box::new(move |commod, msg| {
+            if msg.is::<FsWrite>() {
+                let Ok(req) = msg.decode::<FsWrite>() else { return };
+                let reply = if req.path.is_empty() {
+                    FsAck {
+                        ok: false,
+                        detail: "empty pathname".into(),
+                    }
+                } else {
+                    let mut s = st.lock();
+                    if req.append {
+                        s.entry(req.path).or_default().extend_from_slice(&req.data.0);
+                    } else {
+                        s.insert(req.path, req.data.0);
+                    }
+                    FsAck {
+                        ok: true,
+                        detail: String::new(),
+                    }
+                };
+                let _ = commod.reply(&msg, &reply);
+            } else if msg.is::<FsRead>() {
+                let Ok(req) = msg.decode::<FsRead>() else { return };
+                let s = st.lock();
+                let reply = match s.get(&req.path) {
+                    Some(data) => FsData {
+                        found: true,
+                        data: Blob(data.clone()),
+                    },
+                    None => FsData {
+                        found: false,
+                        data: Blob(Vec::new()),
+                    },
+                };
+                drop(s);
+                let _ = commod.reply(&msg, &reply);
+            } else if msg.is::<FsList>() {
+                let Ok(req) = msg.decode::<FsList>() else { return };
+                let s = st.lock();
+                let mut paths = Vec::new();
+                let mut sizes = Vec::new();
+                for (p, d) in s.range(req.prefix.clone()..) {
+                    if !p.starts_with(&req.prefix) {
+                        break;
+                    }
+                    paths.push(p.clone());
+                    sizes.push(d.len() as u32);
+                }
+                drop(s);
+                let _ = commod.reply(&msg, &FsListing { paths, sizes });
+            } else if msg.is::<FsDelete>() {
+                let Ok(req) = msg.decode::<FsDelete>() else { return };
+                let existed = st.lock().remove(&req.path).is_some();
+                let _ = commod.reply(
+                    &msg,
+                    &FsAck {
+                        ok: existed,
+                        detail: if existed {
+                            String::new()
+                        } else {
+                            format!("no such file {:?}", req.path)
+                        },
+                    },
+                );
+            }
+        });
+        let host = ServiceHost::spawn(testbed, machine, FILE_SERVICE_NAME, handler)?;
+        Ok(FileService { host, store })
+    }
+
+    /// The service's current UAdd.
+    #[must_use]
+    pub fn uadd(&self) -> UAdd {
+        self.host.uadd()
+    }
+
+    /// The underlying host (relocation — the store moves with the module).
+    #[must_use]
+    pub fn host(&self) -> &ServiceHost {
+        &self.host
+    }
+
+    /// Number of files stored (test hook).
+    #[must_use]
+    pub fn file_count(&self) -> usize {
+        self.store.lock().len()
+    }
+
+    /// Stops the service.
+    pub fn stop(self) {
+        self.host.stop();
+    }
+}
+
+const T: Option<Duration> = Some(Duration::from_secs(10));
+
+/// Writes a file through the service.
+///
+/// # Errors
+///
+/// Transport failures, or a negative ack (as [`NtcsError::InvalidArgument`]).
+pub fn fs_write(commod: &ComMod, fs: UAdd, path: &str, data: &[u8]) -> Result<()> {
+    let reply = commod.send_receive(
+        fs,
+        &FsWrite {
+            path: path.to_owned(),
+            data: Blob(data.to_vec()),
+            append: false,
+        },
+        T,
+    )?;
+    let ack: FsAck = reply.decode()?;
+    if ack.ok {
+        Ok(())
+    } else {
+        Err(NtcsError::InvalidArgument(ack.detail))
+    }
+}
+
+/// Appends to a file through the service.
+///
+/// # Errors
+///
+/// As for [`fs_write`].
+pub fn fs_append(commod: &ComMod, fs: UAdd, path: &str, data: &[u8]) -> Result<()> {
+    let reply = commod.send_receive(
+        fs,
+        &FsWrite {
+            path: path.to_owned(),
+            data: Blob(data.to_vec()),
+            append: true,
+        },
+        T,
+    )?;
+    let ack: FsAck = reply.decode()?;
+    if ack.ok {
+        Ok(())
+    } else {
+        Err(NtcsError::InvalidArgument(ack.detail))
+    }
+}
+
+/// Reads a file through the service.
+///
+/// # Errors
+///
+/// Transport failures, or [`NtcsError::NameNotFound`] for a missing file.
+pub fn fs_read(commod: &ComMod, fs: UAdd, path: &str) -> Result<Vec<u8>> {
+    let reply = commod.send_receive(
+        fs,
+        &FsRead {
+            path: path.to_owned(),
+        },
+        T,
+    )?;
+    let data: FsData = reply.decode()?;
+    if data.found {
+        Ok(data.data.0)
+    } else {
+        Err(NtcsError::NameNotFound(format!("file {path:?}")))
+    }
+}
+
+/// Lists files under a prefix.
+///
+/// # Errors
+///
+/// Transport failures.
+pub fn fs_list(commod: &ComMod, fs: UAdd, prefix: &str) -> Result<Vec<(String, u32)>> {
+    let reply = commod.send_receive(
+        fs,
+        &FsList {
+            prefix: prefix.to_owned(),
+        },
+        T,
+    )?;
+    let listing: FsListing = reply.decode()?;
+    Ok(listing.paths.into_iter().zip(listing.sizes).collect())
+}
+
+/// Deletes a file.
+///
+/// # Errors
+///
+/// Transport failures, or [`NtcsError::NameNotFound`] for a missing file.
+pub fn fs_delete(commod: &ComMod, fs: UAdd, path: &str) -> Result<()> {
+    let reply = commod.send_receive(
+        fs,
+        &FsDelete {
+            path: path.to_owned(),
+        },
+        T,
+    )?;
+    let ack: FsAck = reply.decode()?;
+    if ack.ok {
+        Ok(())
+    } else {
+        Err(NtcsError::NameNotFound(ack.detail))
+    }
+}

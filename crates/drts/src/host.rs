@@ -1,0 +1,300 @@
+//! Hosted service loops and distributed process control.
+//!
+//! The paper's DRTS includes "distributed process management" (§1.2) and the
+//! URSA testbed "dictated the need to dynamically add, modify, or replace
+//! system modules, while in operation" (§1.2). [`ServiceHost`] runs a module
+//! as a message loop that can be **relocated to another machine between
+//! messages** — the driver for the paper's dynamic reconfiguration (§3.5) —
+//! and [`ProcessController`] exposes that ability over the NTCS itself.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
+use ntcs::{ComMod, Incoming, MachineId, NtcsError, Result, Testbed, UAdd};
+use parking_lot::{Mutex, RwLock};
+
+use crate::protocol::{CtlList, CtlRelocate, CtlReply, CtlStop};
+
+/// The message handler of a hosted service.
+pub type Handler = Box<dyn FnMut(&ComMod, Incoming) + Send>;
+
+enum HostCmd {
+    Relocate(MachineId, Sender<Result<()>>),
+    Stop,
+}
+
+/// A module hosted on its own thread: receives messages, dispatches them to
+/// a handler, and relocates between machines on command.
+pub struct ServiceHost {
+    name: String,
+    cmd_tx: Sender<HostCmd>,
+    thread: Option<JoinHandle<()>>,
+    uadd: Arc<RwLock<UAdd>>,
+    machine: Arc<RwLock<MachineId>>,
+}
+
+impl std::fmt::Debug for ServiceHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceHost")
+            .field("name", &self.name)
+            .field("uadd", &*self.uadd.read())
+            .field("machine", &*self.machine.read())
+            .finish()
+    }
+}
+
+impl ServiceHost {
+    /// Spawns a hosted service: binds and registers a ComMod named `name`
+    /// on `machine`, then loops `handler` over incoming messages.
+    ///
+    /// # Errors
+    ///
+    /// Binding/registration failures.
+    pub fn spawn(
+        testbed: &Testbed,
+        machine: MachineId,
+        name: &str,
+        handler: Handler,
+    ) -> Result<ServiceHost> {
+        let attrs = ntcs::AttrSet::named(name)?;
+        Self::spawn_with_attrs(testbed, machine, &attrs, handler)
+    }
+
+    /// Spawns a hosted service registered under a full attribute set (the
+    /// §7 attribute-value naming extension). The set must include a `name`
+    /// attribute, which becomes the host's service name.
+    ///
+    /// # Errors
+    ///
+    /// Binding/registration failures, or a missing `name` attribute.
+    pub fn spawn_with_attrs(
+        testbed: &Testbed,
+        machine: MachineId,
+        attrs: &ntcs::AttrSet,
+        mut handler: Handler,
+    ) -> Result<ServiceHost> {
+        let name = attrs
+            .name()
+            .ok_or_else(|| NtcsError::InvalidArgument("attrs lack a name".into()))?
+            .to_owned();
+        let name = name.as_str();
+        let commod = testbed.commod(machine, name)?;
+        commod.register_attrs(attrs)?;
+        let uadd = Arc::new(RwLock::new(commod.my_uadd()));
+        let machine_slot = Arc::new(RwLock::new(machine));
+        let (cmd_tx, cmd_rx): (Sender<HostCmd>, Receiver<HostCmd>) = unbounded();
+        let thread = {
+            let uadd = Arc::clone(&uadd);
+            let machine_slot = Arc::clone(&machine_slot);
+            let name = name.to_owned();
+            std::thread::Builder::new()
+                .name(format!("svc-{name}"))
+                .spawn(move || {
+                    let mut commod = commod;
+                    loop {
+                        match cmd_rx.try_recv() {
+                            Ok(HostCmd::Stop) => {
+                                let _ = commod.deregister();
+                                commod.shutdown();
+                                return;
+                            }
+                            Ok(HostCmd::Relocate(target, done)) => {
+                                // Relocation happens *between* messages — the
+                                // paper's "minor perturbation on these
+                                // conversations" (§1.3).
+                                match commod.relocate_to(target) {
+                                    Ok(new) => {
+                                        commod = new;
+                                        *uadd.write() = commod.my_uadd();
+                                        *machine_slot.write() = target;
+                                        let _ = done.send(Ok(()));
+                                    }
+                                    Err(e) => {
+                                        // Keep serving from the old binding.
+                                        let _ = done.send(Err(e.error));
+                                        commod = e.commod;
+                                    }
+                                }
+                            }
+                            Err(_) => {}
+                        }
+                        match commod.receive(Some(Duration::from_millis(50))) {
+                            Ok(msg) => handler(&commod, msg),
+                            Err(NtcsError::Timeout) => {}
+                            Err(_) => return,
+                        }
+                    }
+                })
+                .map_err(|e| NtcsError::Ipcs(format!("spawn service thread: {e}")))?
+        };
+        Ok(ServiceHost {
+            name: name.to_owned(),
+            cmd_tx,
+            thread: Some(thread),
+            uadd,
+            machine: machine_slot,
+        })
+    }
+
+    /// The service's registered name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The service's *current* UAdd (changes on relocation).
+    #[must_use]
+    pub fn uadd(&self) -> UAdd {
+        *self.uadd.read()
+    }
+
+    /// The machine the service currently runs on.
+    #[must_use]
+    pub fn machine(&self) -> MachineId {
+        *self.machine.read()
+    }
+
+    /// Relocates the service to another machine, blocking until done.
+    ///
+    /// # Errors
+    ///
+    /// Relocation failures (the service keeps running where it is on a bind
+    /// failure, and dies on a partial failure — surfaced here).
+    pub fn relocate(&self, target: MachineId) -> Result<()> {
+        let (done_tx, done_rx) = bounded(1);
+        self.cmd_tx
+            .send(HostCmd::Relocate(target, done_tx))
+            .map_err(|_| NtcsError::ShutDown)?;
+        done_rx
+            .recv_timeout(Duration::from_secs(10))
+            .map_err(|_| NtcsError::Timeout)?
+    }
+
+    /// Stops the service (deregisters and shuts down).
+    pub fn stop(mut self) {
+        let _ = self.cmd_tx.send(HostCmd::Stop);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServiceHost {
+    fn drop(&mut self) {
+        let _ = self.cmd_tx.send(HostCmd::Stop);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The distributed process-management service: relocates and stops hosted
+/// services on command, **over the NTCS** (it is itself a hosted service).
+pub struct ProcessController {
+    host: ServiceHost,
+    registry: Arc<Mutex<Vec<ServiceHost>>>,
+}
+
+impl std::fmt::Debug for ProcessController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcessController")
+            .field("services", &self.registry.lock().len())
+            .finish()
+    }
+}
+
+impl ProcessController {
+    /// Spawns the controller module (registered as `proc-ctl`) on `machine`.
+    ///
+    /// # Errors
+    ///
+    /// Binding/registration failures.
+    pub fn spawn(testbed: &Testbed, machine: MachineId) -> Result<ProcessController> {
+        let registry: Arc<Mutex<Vec<ServiceHost>>> = Arc::new(Mutex::new(Vec::new()));
+        let reg2 = Arc::clone(&registry);
+        let handler: Handler = Box::new(move |commod, msg| {
+            if msg.is::<CtlRelocate>() {
+                let Ok(req) = msg.decode::<CtlRelocate>() else { return };
+                let target = MachineId(req.target_machine);
+                let reg = reg2.lock();
+                let reply = match reg.iter().find(|h| h.name() == req.service) {
+                    Some(h) => match h.relocate(target) {
+                        Ok(()) => CtlReply {
+                            ok: true,
+                            detail: format!("{} now on {target}", req.service),
+                        },
+                        Err(e) => CtlReply {
+                            ok: false,
+                            detail: e.to_string(),
+                        },
+                    },
+                    None => CtlReply {
+                        ok: false,
+                        detail: format!("unknown service {:?}", req.service),
+                    },
+                };
+                drop(reg);
+                let _ = commod.reply(&msg, &reply);
+            } else if msg.is::<CtlStop>() {
+                let Ok(req) = msg.decode::<CtlStop>() else { return };
+                let mut reg = reg2.lock();
+                let found = reg.iter().position(|h| h.name() == req.service);
+                let reply = match found {
+                    Some(i) => {
+                        let h = reg.remove(i);
+                        h.stop();
+                        CtlReply {
+                            ok: true,
+                            detail: format!("{} stopped", req.service),
+                        }
+                    }
+                    None => CtlReply {
+                        ok: false,
+                        detail: format!("unknown service {:?}", req.service),
+                    },
+                };
+                drop(reg);
+                let _ = commod.reply(&msg, &reply);
+            } else if msg.is::<CtlList>() {
+                let reg = reg2.lock();
+                let listing = reg
+                    .iter()
+                    .map(|h| format!("{} @ {} ({})", h.name(), h.machine(), h.uadd()))
+                    .collect::<Vec<_>>()
+                    .join("\n");
+                drop(reg);
+                let _ = commod.reply(
+                    &msg,
+                    &CtlReply {
+                        ok: true,
+                        detail: listing,
+                    },
+                );
+            }
+        });
+        let host = ServiceHost::spawn(testbed, machine, "proc-ctl", handler)?;
+        Ok(ProcessController { host, registry })
+    }
+
+    /// Places a hosted service under this controller's management.
+    pub fn manage(&self, host: ServiceHost) {
+        self.registry.lock().push(host);
+    }
+
+    /// The controller's UAdd (send it [`CtlRelocate`]/[`CtlStop`]/
+    /// [`CtlList`]).
+    #[must_use]
+    pub fn uadd(&self) -> UAdd {
+        self.host.uadd()
+    }
+
+    /// Stops the controller and every managed service.
+    pub fn stop(self) {
+        for h in self.registry.lock().drain(..) {
+            h.stop();
+        }
+        self.host.stop();
+    }
+}

@@ -1,0 +1,55 @@
+//! Distributed run-time support (DRTS) services, built **on top of** the
+//! NTCS (paper §1.2, §1.3).
+//!
+//! "Software support for any distributed system involves more than simply
+//! grafting on a communication mechanism … a second, less obvious issue is
+//! the necessary distributed run-time support (DRTS). This includes such
+//! services as distributed process management, file service, time service,
+//! and monitoring."
+//!
+//! The URSA project built "a distributed network monitor and precision time
+//! corrector … on top of the NTCS. Since the NTCS itself utilizes both of
+//! these services, recursive operation in addition to that of the naming
+//! service is observed" (§1.3). This crate reproduces that arrangement:
+//!
+//! * [`TimeService`](time::TimeService) — the precision time corrector: a
+//!   reference module plus a Cristian-style synchronization exchange that
+//!   corrects each machine's skewed [`ntcs::SimClock`].
+//! * [`MonitorService`](monitor::MonitorService) — the distributed network
+//!   monitor: collects send/receive/fault events from every module,
+//!   timestamped with corrected clocks, and answers aggregate queries.
+//! * [`DrtsRuntime`](runtime::DrtsRuntime) — the glue implementing
+//!   [`ntcs::DrtsHooks`]: each ComMod call may recurse into the time service
+//!   and monitor **through the same ComMod**, with hooks self-disabled
+//!   during their own traffic ("time correction and monitoring are disabled
+//!   here, to avoid the obvious infinite recursion", §6.1).
+//! * [`ServiceHost`](host::ServiceHost) + process control — distributed
+//!   process management: hosted service loops that can be relocated across
+//!   machines on command.
+//! * [`FileService`](files::FileService) — the distributed file service:
+//!   a pathname-addressed store reachable by logical name from any machine,
+//!   relocating with its module.
+//! * [`ErrorLogService`](errlog::ErrorLogService) — the distributed error logger
+//!   §6.3 wishes for ("a running table of errors could be maintained and
+//!   monitored").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod errlog;
+pub mod files;
+pub mod host;
+pub mod monitor;
+pub mod protocol;
+pub mod runtime;
+pub mod time;
+
+pub use errlog::{log_error, ErrorLogService};
+pub use files::{fs_append, fs_delete, fs_list, fs_read, fs_write, FileService};
+pub use host::{ProcessController, ServiceHost};
+pub use monitor::{MonitorService, MonitorStats};
+pub use runtime::DrtsRuntime;
+pub use time::{SyncStats, TimeService};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,159 @@
+//! The distributed network monitor (paper §1.3, reference \[27\]).
+//!
+//! "A distributed network monitor … \[has\] been developed by another project
+//! member, on top of the NTCS. Since the NTCS itself utilizes \[it\],
+//! recursive operation … is observed." Modules cast [`MonitorRecord`]s here
+//! (via their [`crate::DrtsRuntime`] hooks); the monitor aggregates them and
+//! answers [`MonitorQuery`]s over the same NTCS.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ntcs::{ComMod, MachineId, Result, Testbed, UAdd};
+use parking_lot::Mutex;
+
+use crate::host::{Handler, ServiceHost};
+use crate::protocol::{MonitorQuery, MonitorRecord, MonitorReply};
+
+/// The registered name of the monitor.
+pub const MONITOR_NAME: &str = "monitor";
+
+const RING_CAP: usize = 10_000;
+
+#[derive(Debug, Default)]
+struct MonState {
+    records: VecDeque<MonitorRecord>,
+}
+
+impl MonState {
+    fn ingest(&mut self, rec: MonitorRecord) {
+        if self.records.len() == RING_CAP {
+            self.records.pop_front();
+        }
+        self.records.push_back(rec);
+    }
+
+    fn stats(&self, module: u64) -> MonitorStats {
+        let mut s = MonitorStats::default();
+        for r in &self.records {
+            if module != 0 && r.module != module {
+                continue;
+            }
+            s.total += 1;
+            match r.kind {
+                1 => s.sends += 1,
+                2 => s.receives += 1,
+                3 => s.circuit_opens += 1,
+                4 => s.address_faults += 1,
+                5 => s.reconnects += 1,
+                _ => {}
+            }
+            s.last_timestamp_us = s.last_timestamp_us.max(r.timestamp_us);
+        }
+        s
+    }
+}
+
+/// Aggregated monitor counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct MonitorStats {
+    pub total: u64,
+    pub sends: u64,
+    pub receives: u64,
+    pub circuit_opens: u64,
+    pub address_faults: u64,
+    pub reconnects: u64,
+    pub last_timestamp_us: i64,
+}
+
+/// The running monitor module.
+#[derive(Debug)]
+pub struct MonitorService {
+    host: ServiceHost,
+    state: Arc<Mutex<MonState>>,
+}
+
+impl MonitorService {
+    /// Spawns the monitor on `machine`.
+    ///
+    /// # Errors
+    ///
+    /// Binding/registration failures.
+    pub fn spawn(testbed: &Testbed, machine: MachineId) -> Result<MonitorService> {
+        let state = Arc::new(Mutex::new(MonState::default()));
+        let st = Arc::clone(&state);
+        let handler: Handler = Box::new(move |commod, msg| {
+            if msg.is::<MonitorRecord>() {
+                if let Ok(rec) = msg.decode::<MonitorRecord>() {
+                    st.lock().ingest(rec);
+                }
+            } else if msg.is::<MonitorQuery>() {
+                let Ok(q) = msg.decode::<MonitorQuery>() else { return };
+                let s = st.lock().stats(q.module);
+                let _ = commod.reply(
+                    &msg,
+                    &MonitorReply {
+                        total: s.total,
+                        sends: s.sends,
+                        receives: s.receives,
+                        circuit_opens: s.circuit_opens,
+                        address_faults: s.address_faults,
+                        reconnects: s.reconnects,
+                        last_timestamp_us: s.last_timestamp_us,
+                    },
+                );
+            }
+        });
+        let host = ServiceHost::spawn(testbed, machine, MONITOR_NAME, handler)?;
+        Ok(MonitorService { host, state })
+    }
+
+    /// The monitor's UAdd.
+    #[must_use]
+    pub fn uadd(&self) -> UAdd {
+        self.host.uadd()
+    }
+
+    /// Local (in-process) view of the aggregates, for tests and experiment
+    /// harnesses.
+    #[must_use]
+    pub fn stats(&self, module_filter: u64) -> MonitorStats {
+        self.state.lock().stats(module_filter)
+    }
+
+    /// Remote query through the NTCS (what a real operator console does).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or timeout.
+    pub fn query(
+        commod: &ComMod,
+        monitor: UAdd,
+        module_filter: u64,
+    ) -> Result<MonitorStats> {
+        let reply = commod.send_receive(
+            monitor,
+            &MonitorQuery {
+                module: module_filter,
+            },
+            Some(Duration::from_secs(5)),
+        )?;
+        let rep: MonitorReply = reply.decode()?;
+        Ok(MonitorStats {
+            total: rep.total,
+            sends: rep.sends,
+            receives: rep.receives,
+            circuit_opens: rep.circuit_opens,
+            address_faults: rep.address_faults,
+            reconnects: rep.reconnects,
+            last_timestamp_us: rep.last_timestamp_us,
+        })
+    }
+
+    /// Stops the monitor.
+    pub fn stop(self) {
+        self.host.stop();
+    }
+}

@@ -1,0 +1,192 @@
+//! Wire messages of the DRTS services (type-id block 100-149).
+
+use ntcs_wire::ntcs_message;
+
+ntcs_message! {
+    /// Time-service request (Cristian-style exchange).
+    pub struct TimeRequest: 100 {
+        /// Client's uncorrected local clock at send, µs.
+        pub client_send_us: i64,
+    }
+
+    /// Time-service reply.
+    pub struct TimeReply: 101 {
+        /// Echo of the client's send time.
+        pub client_send_us: i64,
+        /// The reference clock at the server when it replied, µs.
+        pub server_time_us: i64,
+    }
+
+    /// One monitor record (cast to the monitor module).
+    pub struct MonitorRecord: 102 {
+        /// Reporting module's UAdd (raw).
+        pub module: u64,
+        /// Reporting module's name hint.
+        pub module_name: String,
+        /// Event kind code (see `kind_code`).
+        pub kind: u32,
+        /// Peer UAdd (raw; 0 = none).
+        pub peer: u64,
+        /// Message id (0 = none).
+        pub msg_id: u64,
+        /// Corrected timestamp, µs since the testbed epoch.
+        pub timestamp_us: i64,
+    }
+
+    /// Monitor aggregate query.
+    pub struct MonitorQuery: 103 {
+        /// Restrict to one module's UAdd (raw; 0 = all).
+        pub module: u64,
+    }
+
+    /// Monitor aggregate reply.
+    pub struct MonitorReply: 104 {
+        /// Total records matching.
+        pub total: u64,
+        /// Sends.
+        pub sends: u64,
+        /// Receives.
+        pub receives: u64,
+        /// Circuit opens.
+        pub circuit_opens: u64,
+        /// Address faults.
+        pub address_faults: u64,
+        /// Reconnects.
+        pub reconnects: u64,
+        /// Most recent timestamps observed, µs.
+        pub last_timestamp_us: i64,
+    }
+
+    /// Process control: relocate a hosted service to another machine.
+    pub struct CtlRelocate: 110 {
+        /// The hosted service's registered name.
+        pub service: String,
+        /// Target machine raw id.
+        pub target_machine: u32,
+    }
+
+    /// Process control: stop a hosted service.
+    pub struct CtlStop: 111 {
+        /// The hosted service's registered name.
+        pub service: String,
+    }
+
+    /// Process control: list hosted services.
+    pub struct CtlList: 112 { }
+
+    /// Process-control reply.
+    pub struct CtlReply: 113 {
+        /// Whether the command was applied.
+        pub ok: bool,
+        /// Detail or listing (newline-separated for `CtlList`).
+        pub detail: String,
+    }
+
+    /// One error record (cast to the error log).
+    pub struct ErrorRecord: 120 {
+        /// Reporting module's UAdd (raw).
+        pub module: u64,
+        /// Reporting module's name hint.
+        pub module_name: String,
+        /// Layer name ("LCM", "ND", …).
+        pub layer: String,
+        /// Error wire code.
+        pub code: u32,
+        /// Human-readable detail.
+        pub detail: String,
+        /// Timestamp, µs since the testbed epoch.
+        pub timestamp_us: i64,
+    }
+
+    /// Error-log query.
+    pub struct ErrLogQuery: 121 {
+        /// Maximum records to return.
+        pub limit: u32,
+    }
+
+    /// Error-log reply.
+    pub struct ErrLogReply: 122 {
+        /// Matching records, newest last.
+        pub records: Vec<ErrorRecord>,
+    }
+}
+
+/// Maps a monitor event kind to its wire code.
+#[must_use]
+pub fn kind_code(kind: ntcs::MonitorEventKind) -> u32 {
+    match kind {
+        ntcs::MonitorEventKind::Send => 1,
+        ntcs::MonitorEventKind::Receive => 2,
+        ntcs::MonitorEventKind::CircuitOpen => 3,
+        ntcs::MonitorEventKind::AddressFault => 4,
+        ntcs::MonitorEventKind::Reconnect => 5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntcs::MachineType;
+    use ntcs_wire::{encode_payload, ConvMode, InboundPayload, Message};
+
+    #[test]
+    fn records_round_trip() {
+        let rec = MonitorRecord {
+            module: 0x100,
+            module_name: "searcher".into(),
+            kind: 1,
+            peer: 0x101,
+            msg_id: 9,
+            timestamp_us: -12,
+        };
+        let bytes = encode_payload(&rec, ConvMode::Packed, MachineType::Vax);
+        let inbound = InboundPayload {
+            type_id: MonitorRecord::TYPE_ID,
+            mode: ConvMode::Packed,
+            src_machine: MachineType::Vax,
+            bytes,
+        };
+        assert_eq!(inbound.decode::<MonitorRecord>(MachineType::Sun).unwrap(), rec);
+    }
+
+    #[test]
+    fn kind_codes_distinct() {
+        let codes = [
+            kind_code(ntcs::MonitorEventKind::Send),
+            kind_code(ntcs::MonitorEventKind::Receive),
+            kind_code(ntcs::MonitorEventKind::CircuitOpen),
+            kind_code(ntcs::MonitorEventKind::AddressFault),
+            kind_code(ntcs::MonitorEventKind::Reconnect),
+        ];
+        let mut s = codes.to_vec();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), codes.len());
+    }
+
+    #[test]
+    fn error_log_round_trip() {
+        let rec = ErrorRecord {
+            module: 1,
+            module_name: "m".into(),
+            layer: "LCM".into(),
+            code: 2,
+            detail: "circuit closed".into(),
+            timestamp_us: 5,
+        };
+        let q = ErrLogReply {
+            records: vec![rec],
+        };
+        let bytes = encode_payload(&q, ConvMode::Image, MachineType::Sun);
+        let inbound = InboundPayload {
+            type_id: ErrLogReply::TYPE_ID,
+            mode: ConvMode::Image,
+            src_machine: MachineType::Sun,
+            bytes,
+        };
+        assert_eq!(
+            inbound.decode::<ErrLogReply>(MachineType::Apollo).unwrap(),
+            q
+        );
+    }
+}

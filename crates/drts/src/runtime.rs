@@ -1,0 +1,137 @@
+//! The DRTS runtime: wires a module's ComMod to the time service and
+//! monitor — the §6.1 recursion, reproduced.
+//!
+//! "As the application level Send is initiated … \[a\] time stamp for monitor
+//! data [is generated]. A distributed time primitive is called, which may
+//! recursively call on the ComMod to communicate with its support module.
+//! … Upon success, the LCM-layer sends data to the monitor by calling
+//! itself. … (time correction and monitoring are disabled here, to avoid
+//! the obvious infinite recursion)."
+//!
+//! [`DrtsRuntime`] implements [`ntcs::DrtsHooks`]: each timestamp may
+//! trigger a time-service exchange *through the same ComMod that asked for
+//! the timestamp*, and each monitor event is cast through it as well. A
+//! re-entrancy guard self-disables the hooks during their own traffic,
+//! exactly as the paper prescribes.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+use ntcs::{ComMod, DrtsHooks, MonitorEvent, SimClock, UAdd};
+use parking_lot::Mutex;
+
+use crate::protocol::{kind_code, MonitorRecord};
+use crate::time::TimeService;
+
+/// Per-module DRTS glue: the [`ntcs::DrtsHooks`] implementation.
+pub struct DrtsRuntime {
+    commod: Weak<ComMod>,
+    clock: SimClock,
+    time_server: Option<UAdd>,
+    monitor: Option<UAdd>,
+    sync_interval: Duration,
+    last_sync: Mutex<Option<Instant>>,
+    /// Re-entrancy guard: true while the hooks themselves are talking.
+    busy: AtomicBool,
+    /// Time-service exchanges performed (experiment E8 metric).
+    pub time_exchanges: AtomicU64,
+    /// Monitor records cast (experiment E8 metric).
+    pub monitor_casts: AtomicU64,
+}
+
+impl std::fmt::Debug for DrtsRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DrtsRuntime")
+            .field("time_server", &self.time_server)
+            .field("monitor", &self.monitor)
+            .finish()
+    }
+}
+
+impl DrtsRuntime {
+    /// Attaches DRTS hooks to a module's ComMod. Pass `None` for services
+    /// the module should not use (the time service and monitor themselves
+    /// run with no hooks at all).
+    pub fn attach(
+        commod: &Arc<ComMod>,
+        time_server: Option<UAdd>,
+        monitor: Option<UAdd>,
+        sync_interval: Duration,
+    ) -> Arc<DrtsRuntime> {
+        let clock = commod
+            .world()
+            .clock(commod.machine())
+            .expect("module machine exists");
+        let rt = Arc::new(DrtsRuntime {
+            commod: Arc::downgrade(commod),
+            clock,
+            time_server,
+            monitor,
+            sync_interval,
+            last_sync: Mutex::new(None),
+            busy: AtomicBool::new(false),
+            time_exchanges: AtomicU64::new(0),
+            monitor_casts: AtomicU64::new(0),
+        });
+        commod.set_hooks(rt.clone());
+        rt
+    }
+
+    /// The corrected clock this runtime maintains.
+    #[must_use]
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Forces a synchronization on the next timestamp.
+    pub fn invalidate_sync(&self) {
+        *self.last_sync.lock() = None;
+    }
+}
+
+impl DrtsHooks for DrtsRuntime {
+    fn timestamp_us(&self) -> i64 {
+        if let Some(server) = self.time_server {
+            // Only sync when stale, and never while the hooks themselves are
+            // talking (the §6.1 recursion cut-off).
+            let stale = self
+                .last_sync
+                .lock()
+                .is_none_or(|t| t.elapsed() >= self.sync_interval);
+            if stale && !self.busy.swap(true, Ordering::SeqCst) {
+                if let Some(commod) = self.commod.upgrade() {
+                    if TimeService::sync(&commod, &self.clock, server, 1).is_ok() {
+                        self.time_exchanges.fetch_add(1, Ordering::Relaxed);
+                        *self.last_sync.lock() = Some(Instant::now());
+                    }
+                }
+                self.busy.store(false, Ordering::SeqCst);
+            }
+        }
+        self.clock.now_us()
+    }
+
+    fn monitor_event(&self, event: MonitorEvent) {
+        let Some(monitor) = self.monitor else { return };
+        // Drop our own traffic's events — "monitoring [is] disabled here, to
+        // avoid the obvious infinite recursion" (§6.1).
+        if self.busy.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        if let Some(commod) = self.commod.upgrade() {
+            let rec = MonitorRecord {
+                module: event.module.raw(),
+                module_name: event.module_name,
+                kind: kind_code(event.kind),
+                peer: event.peer.raw(),
+                msg_id: event.msg_id,
+                timestamp_us: event.timestamp_us,
+            };
+            if commod.cast(monitor, &rec).is_ok() {
+                self.monitor_casts.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.busy.store(false, Ordering::SeqCst);
+    }
+}

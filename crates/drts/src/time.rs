@@ -1,0 +1,119 @@
+//! The precision time corrector (paper §1.3, reference \[27\]).
+//!
+//! Each simulated machine's clock is skewed and drifting
+//! ([`ntcs::SimClock`]); the time service is a reference module that other
+//! modules query over the NTCS with a Cristian-style exchange, applying a
+//! correction so corrected local time converges on the reference. The
+//! exchange itself rides the same messaging stack it serves — the §6.1
+//! recursion ("a time correction may involve multiple messages to multiple
+//! modules").
+
+use std::time::Duration;
+
+use ntcs::{ComMod, MachineId, Result, SimClock, Testbed, UAdd};
+
+use crate::host::{Handler, ServiceHost};
+use crate::protocol::{TimeRequest, TimeReply};
+
+/// The reference time module.
+#[derive(Debug)]
+pub struct TimeService {
+    host: ServiceHost,
+}
+
+/// The registered name of the time service.
+pub const TIME_SERVICE_NAME: &str = "time-service";
+
+impl TimeService {
+    /// Spawns the reference module on `machine`. That machine's clock *is*
+    /// the reference, so place it on a machine with a trusted clock (the
+    /// paper's corrector likewise designated a reference).
+    ///
+    /// # Errors
+    ///
+    /// Binding/registration failures.
+    pub fn spawn(testbed: &Testbed, machine: MachineId) -> Result<TimeService> {
+        let clock = testbed.world().clock(machine)?;
+        let handler: Handler = Box::new(move |commod, msg| {
+            if msg.is::<TimeRequest>() {
+                let Ok(req) = msg.decode::<TimeRequest>() else { return };
+                let _ = commod.reply(
+                    &msg,
+                    &TimeReply {
+                        client_send_us: req.client_send_us,
+                        server_time_us: clock.now_us(),
+                    },
+                );
+            }
+        });
+        let host = ServiceHost::spawn(testbed, machine, TIME_SERVICE_NAME, handler)?;
+        Ok(TimeService { host })
+    }
+
+    /// The service's UAdd.
+    #[must_use]
+    pub fn uadd(&self) -> UAdd {
+        self.host.uadd()
+    }
+
+    /// Stops the service.
+    pub fn stop(self) {
+        self.host.stop();
+    }
+
+    /// Runs one synchronization from `commod`'s machine against the service
+    /// at `server`: `rounds` exchanges, keeping the minimum-RTT sample, then
+    /// applies the correction to `clock`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or timeout.
+    pub fn sync(
+        commod: &ComMod,
+        clock: &SimClock,
+        server: UAdd,
+        rounds: u32,
+    ) -> Result<SyncStats> {
+        let mut best_rtt = i64::MAX;
+        let mut best_delta = 0i64;
+        for _ in 0..rounds.max(1) {
+            let t0 = clock.now_us();
+            let reply = commod.send_receive(
+                server,
+                &TimeRequest { client_send_us: t0 },
+                Some(Duration::from_secs(5)),
+            )?;
+            let t1 = clock.now_us();
+            let rep: TimeReply = reply.decode()?;
+            let rtt = (t1 - t0).max(0);
+            // Cristian: the server's clock read happened roughly rtt/2 ago.
+            let server_now = rep.server_time_us + rtt / 2;
+            let delta = server_now - t1;
+            if rtt < best_rtt {
+                best_rtt = rtt;
+                best_delta = delta;
+            }
+        }
+        clock.adjust_correction_us(best_delta);
+        Ok(SyncStats {
+            rounds,
+            best_rtt_us: best_rtt,
+            applied_delta_us: best_delta,
+            residual_error_us: clock.error_us(),
+        })
+    }
+}
+
+/// Outcome of one synchronization.
+#[derive(Debug, Clone, Copy)]
+pub struct SyncStats {
+    /// Exchanges performed.
+    pub rounds: u32,
+    /// Best round-trip observed, µs.
+    pub best_rtt_us: i64,
+    /// Correction applied this sync, µs.
+    pub applied_delta_us: i64,
+    /// |corrected − true| after the sync, µs (testbed metric; a real system
+    /// could not observe this).
+    pub residual_error_us: i64,
+}

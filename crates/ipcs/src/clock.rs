@@ -1,0 +1,149 @@
+//! Per-machine simulated clocks.
+//!
+//! The URSA project built a "precision time corrector" on top of the NTCS
+//! (§1.3, \[27\]) because the testbed machines' clocks disagreed. We give every
+//! simulated machine its own clock: real monotonic time from a shared epoch,
+//! plus a configurable constant offset and a drift rate. The DRTS time
+//! service (crate `ntcs-drts`) estimates and corrects the offset exactly the
+//! way the paper's service did, and the corrected timestamps feed the
+//! monitor — which is what makes the §6.1 recursion scenario real.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::RwLock;
+
+#[derive(Debug)]
+struct ClockState {
+    /// Constant skew applied to true time, in microseconds.
+    offset_us: i64,
+    /// Drift in parts-per-million of elapsed true time.
+    drift_ppm: f64,
+    /// Correction applied by the time service, in microseconds.
+    correction_us: i64,
+}
+
+/// A machine-local clock with skew, drift, and an adjustable correction.
+///
+/// Cloning yields a handle to the same clock.
+#[derive(Debug, Clone)]
+pub struct SimClock {
+    epoch: Instant,
+    state: Arc<RwLock<ClockState>>,
+}
+
+impl SimClock {
+    /// Creates a clock over the testbed epoch with the given skew.
+    #[must_use]
+    pub fn new(epoch: Instant, offset_us: i64, drift_ppm: f64) -> Self {
+        SimClock {
+            epoch,
+            state: Arc::new(RwLock::new(ClockState {
+                offset_us,
+                drift_ppm,
+                correction_us: 0,
+            })),
+        }
+    }
+
+    /// True (reference) microseconds since the testbed epoch — what a
+    /// perfectly synchronized observer would read. Used by tests and the
+    /// time-service *server*, which is the reference by definition.
+    #[must_use]
+    pub fn true_us(&self) -> i64 {
+        i64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(i64::MAX)
+    }
+
+    /// The machine's *uncorrected* local reading in microseconds: true time
+    /// plus skew and drift.
+    #[must_use]
+    pub fn raw_us(&self) -> i64 {
+        let t = self.true_us();
+        let s = self.state.read();
+        let drift = (t as f64 * s.drift_ppm / 1_000_000.0) as i64;
+        t + s.offset_us + drift
+    }
+
+    /// The machine's local reading with the time-service correction applied.
+    /// This is what NTCS timestamps use.
+    #[must_use]
+    pub fn now_us(&self) -> i64 {
+        let s = self.state.read();
+        drop(s);
+        self.raw_us() + self.state.read().correction_us
+    }
+
+    /// Applies an *additional* correction (the time service converges
+    /// incrementally).
+    pub fn adjust_correction_us(&self, delta_us: i64) {
+        self.state.write().correction_us += delta_us;
+    }
+
+    /// Replaces the correction outright.
+    pub fn set_correction_us(&self, correction_us: i64) {
+        self.state.write().correction_us = correction_us;
+    }
+
+    /// The current correction.
+    #[must_use]
+    pub fn correction_us(&self) -> i64 {
+        self.state.read().correction_us
+    }
+
+    /// Reconfigures the skew (test hook).
+    pub fn set_skew(&self, offset_us: i64, drift_ppm: f64) {
+        let mut s = self.state.write();
+        s.offset_us = offset_us;
+        s.drift_ppm = drift_ppm;
+    }
+
+    /// Absolute error of the corrected clock versus true time, in
+    /// microseconds (test/experiment metric).
+    #[must_use]
+    pub fn error_us(&self) -> i64 {
+        (self.now_us() - self.true_us()).abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn skewed_clock_reads_offset() {
+        let c = SimClock::new(Instant::now(), 50_000, 0.0);
+        let err = c.raw_us() - c.true_us();
+        assert!((err - 50_000).abs() < 2_000, "err {err}");
+    }
+
+    #[test]
+    fn correction_cancels_offset() {
+        let c = SimClock::new(Instant::now(), -30_000, 0.0);
+        c.set_correction_us(30_000);
+        assert!(c.error_us() < 2_000, "error {}", c.error_us());
+    }
+
+    #[test]
+    fn adjust_accumulates() {
+        let c = SimClock::new(Instant::now(), 0, 0.0);
+        c.adjust_correction_us(10);
+        c.adjust_correction_us(-4);
+        assert_eq!(c.correction_us(), 6);
+    }
+
+    #[test]
+    fn drift_grows_with_time() {
+        let c = SimClock::new(Instant::now() - Duration::from_secs(10), 0, 1000.0);
+        // 1000 ppm over ≥10 s ⇒ ≥ 10 ms of drift.
+        assert!(c.raw_us() - c.true_us() >= 9_000);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let c = SimClock::new(Instant::now(), 0, 0.0);
+        let d = c.clone();
+        c.set_correction_us(123);
+        assert_eq!(d.correction_us(), 123);
+    }
+}

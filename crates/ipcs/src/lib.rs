@@ -1,0 +1,40 @@
+//! The simulated world underneath the NTCS: machines, networks, and the
+//! native interprocess-communication systems (IPCSs) the ND-Layer adapts.
+//!
+//! The paper's environment (§1) was Apollo, VAX and Sun machines joined by
+//! multiple, *disjoint* networks, with two native IPCSs: Apollo MBX
+//! (pathname-addressed mailboxes) and Unix TCP. We reproduce that substrate:
+//!
+//! * [`World`] — the testbed: create networks ([`NetKind::Mbx`] or
+//!   [`NetKind::Tcp`]), attach machines of a given
+//!   [`ntcs_addr::MachineType`], then open listeners and connect channels.
+//! * [`MbxIpcs`](mbx::MbxIpcs) — an in-process mailbox IPC with Apollo MBX semantics
+//!   (server mailboxes addressed by pathname, accept queues, duplex
+//!   channels).
+//! * [`tcp`] — **real TCP** over the loopback interface with
+//!   length-prefixed frames; disjointness of the simulated networks is
+//!   enforced by a logical-network handshake.
+//! * [`SimClock`] — per-machine clocks with configurable offset and drift,
+//!   the raw material for the DRTS precision time corrector.
+//! * Fault injection — machine crash, pairwise partition, per-network
+//!   latency and frame-drop probability — drives the ND/IP/LCM failure
+//!   paths (§2.2, §3.5, §4.3).
+//!
+//! Everything above this crate (the entire Nucleus and up) is portable and
+//! sees only [`IpcsChannel`]/[`IpcsListener`] plus opaque
+//! [`ntcs_addr::PhysAddr`]s, mirroring the paper's claim that "all machine
+//! and network communication dependencies are localized" below the STD-IF.
+//!
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod clock;
+pub mod mbx;
+pub mod tcp;
+pub mod world;
+
+pub use channel::{IpcsChannel, IpcsListener};
+pub use clock::SimClock;
+pub use world::{MachineInfo, NetKind, NetworkInfo, World};

@@ -1,0 +1,584 @@
+//! An Apollo-MBX-style mailbox IPCS.
+//!
+//! Apollo DOMAIN's MBX facility addressed server mailboxes by *pathname*;
+//! clients opened a pathname and obtained a duplex channel to the owner
+//! (§2.3 mentions "Apollo MBX pathnames" as one physical address form, §3.2
+//! "an Apollo MBX server mailbox" as a communication resource). This module
+//! reproduces those semantics in-process: a registry of `(network, path)`
+//! server mailboxes with accept queues, and duplex framed channels built on
+//! crossbeam channels.
+//!
+//! Network conditions (latency, frame drop) and machine faults are injected
+//! through shared [`LinkConditions`] / close flags so the ND-Layer above
+//! observes realistic failures.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
+use ntcs_addr::{MachineId, NetworkId, NtcsError, Result};
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::channel::{IpcsChannel, IpcsListener};
+
+/// Mutable per-network conditions shared by all links on that network.
+#[derive(Debug)]
+pub struct LinkConditions {
+    /// One-way latency applied to every frame, in microseconds.
+    pub latency_us: AtomicU64,
+    /// Probability of silently dropping a frame, in thousandths.
+    pub drop_millis: AtomicU32,
+    rng: Mutex<SmallRng>,
+}
+
+impl LinkConditions {
+    /// Creates pristine conditions (no latency, no loss).
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        LinkConditions {
+            latency_us: AtomicU64::new(0),
+            drop_millis: AtomicU32::new(0),
+            rng: Mutex::new(SmallRng::seed_from_u64(seed)),
+        }
+    }
+
+    fn should_drop(&self) -> bool {
+        let d = self.drop_millis.load(Ordering::Relaxed);
+        d != 0 && self.rng.lock().gen_range(0..1000) < d
+    }
+
+    fn latency(&self) -> Duration {
+        Duration::from_micros(self.latency_us.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct TimedFrame {
+    deliver_at: Instant,
+    data: Bytes,
+}
+
+/// State shared by both endpoints of one mailbox link. Opaque outside this
+/// crate; the [`crate::World`] holds it to sever links on faults.
+#[derive(Debug)]
+pub(crate) struct LinkShared {
+    closed: AtomicBool,
+    close_sig_tx: Sender<()>,
+    close_sig_rx: Receiver<()>,
+    conditions: Arc<LinkConditions>,
+    /// The two machines this link joins (for partition injection).
+    machines: (MachineId, MachineId),
+    network: NetworkId,
+}
+
+impl LinkShared {
+    fn close(&self) {
+        if !self.closed.swap(true, Ordering::SeqCst) {
+            // Wake both endpoints, if blocked in recv/accept.
+            let _ = self.close_sig_tx.send(());
+            let _ = self.close_sig_tx.send(());
+        }
+    }
+}
+
+/// One endpoint of an MBX duplex channel.
+pub struct MbxChannel {
+    tx: Sender<TimedFrame>,
+    rx: Receiver<TimedFrame>,
+    shared: Arc<LinkShared>,
+    label: String,
+}
+
+impl std::fmt::Debug for MbxChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MbxChannel")
+            .field("label", &self.label)
+            .field("closed", &self.shared.closed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl MbxChannel {
+    /// The machines this channel joins.
+    #[must_use]
+    pub fn machines(&self) -> (MachineId, MachineId) {
+        self.shared.machines
+    }
+
+    /// The network this channel crosses.
+    #[must_use]
+    pub fn network(&self) -> NetworkId {
+        self.shared.network
+    }
+
+    pub(crate) fn shared_close_handle(&self) -> Arc<LinkShared> {
+        Arc::clone(&self.shared)
+    }
+}
+
+impl IpcsChannel for MbxChannel {
+    fn send(&self, frame: Bytes) -> Result<()> {
+        if self.shared.closed.load(Ordering::SeqCst) {
+            return Err(NtcsError::ConnectionClosed);
+        }
+        if self.shared.conditions.should_drop() {
+            // Silent loss, as on a flaky wire.
+            return Ok(());
+        }
+        let deliver_at = Instant::now() + self.shared.conditions.latency();
+        self.tx
+            .send(TimedFrame {
+                deliver_at,
+                data: frame,
+            })
+            .map_err(|_| NtcsError::ConnectionClosed)
+    }
+
+    fn recv(&self, timeout: Option<Duration>) -> Result<Bytes> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        loop {
+            if self.shared.closed.load(Ordering::SeqCst) {
+                // Deliver frames already queued before the close? The paper's
+                // circuits drop in-flight data on failure (§3.5); we match.
+                return Err(NtcsError::ConnectionClosed);
+            }
+            let frame = if let Some(deadline) = deadline {
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(NtcsError::Timeout);
+                }
+                crossbeam_channel::select! {
+                    recv(self.rx) -> f => f.map_err(|_| NtcsError::ConnectionClosed)?,
+                    recv(self.shared.close_sig_rx) -> _ => continue,
+                    default(deadline - now) => return Err(NtcsError::Timeout),
+                }
+            } else {
+                crossbeam_channel::select! {
+                    recv(self.rx) -> f => f.map_err(|_| NtcsError::ConnectionClosed)?,
+                    recv(self.shared.close_sig_rx) -> _ => continue,
+                }
+            };
+            let now = Instant::now();
+            if frame.deliver_at > now {
+                std::thread::sleep(frame.deliver_at - now);
+            }
+            return Ok(frame.data);
+        }
+    }
+
+    fn close(&self) {
+        self.shared.close();
+    }
+
+    fn is_closed(&self) -> bool {
+        self.shared.closed.load(Ordering::SeqCst)
+    }
+
+    fn peer_label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+struct PendingConn {
+    channel: MbxChannel,
+}
+
+struct ServerEntry {
+    accept_tx: Sender<PendingConn>,
+    owner: MachineId,
+    closed: Arc<AtomicBool>,
+}
+
+/// A server mailbox: accepts inbound channels opened against its pathname.
+pub struct MbxListener {
+    accept_rx: Receiver<PendingConn>,
+    closed: Arc<AtomicBool>,
+    registry: Arc<Mutex<Registry>>,
+    key: (NetworkId, String),
+}
+
+impl std::fmt::Debug for MbxListener {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MbxListener")
+            .field("path", &self.key.1)
+            .field("network", &self.key.0)
+            .finish()
+    }
+}
+
+impl IpcsListener for MbxListener {
+    fn accept(&self, timeout: Option<Duration>) -> Result<Box<dyn IpcsChannel>> {
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(NtcsError::ShutDown);
+        }
+        let pending = match timeout {
+            Some(t) if t.is_zero() => self
+                .accept_rx
+                .try_recv()
+                .map_err(|_| NtcsError::WouldBlock)?,
+            Some(t) => self
+                .accept_rx
+                .recv_timeout(t)
+                .map_err(|_| {
+                    if self.closed.load(Ordering::SeqCst) {
+                        NtcsError::ShutDown
+                    } else {
+                        NtcsError::Timeout
+                    }
+                })?,
+            None => self
+                .accept_rx
+                .recv()
+                .map_err(|_| NtcsError::ShutDown)?,
+        };
+        Ok(Box::new(pending.channel))
+    }
+
+    fn close(&self) {
+        if !self.closed.swap(true, Ordering::SeqCst) {
+            self.registry.lock().servers.remove(&self.key);
+        }
+    }
+}
+
+impl Drop for MbxListener {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    servers: std::collections::HashMap<(NetworkId, String), ServerEntry>,
+}
+
+/// The in-process mailbox IPC system, shared by all machines attached to
+/// mailbox networks.
+pub struct MbxIpcs {
+    registry: Arc<Mutex<Registry>>,
+}
+
+impl std::fmt::Debug for MbxIpcs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MbxIpcs({} mailboxes)",
+            self.registry.lock().servers.len()
+        )
+    }
+}
+
+impl Default for MbxIpcs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MbxIpcs {
+    /// Creates an empty mailbox registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MbxIpcs {
+            registry: Arc::new(Mutex::new(Registry::default())),
+        }
+    }
+
+    /// Creates a server mailbox at `path` on `network`, owned by `owner`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NtcsError::Ipcs`] if the pathname is already in use.
+    pub fn create_mailbox(
+        &self,
+        network: NetworkId,
+        path: &str,
+        owner: MachineId,
+    ) -> Result<MbxListener> {
+        let mut reg = self.registry.lock();
+        let key = (network, path.to_owned());
+        if reg.servers.contains_key(&key) {
+            return Err(NtcsError::Ipcs(format!(
+                "mailbox {path:?} already exists on {network}"
+            )));
+        }
+        let (accept_tx, accept_rx) = unbounded();
+        let closed = Arc::new(AtomicBool::new(false));
+        reg.servers.insert(
+            key.clone(),
+            ServerEntry {
+                accept_tx,
+                owner,
+                closed: Arc::clone(&closed),
+            },
+        );
+        Ok(MbxListener {
+            accept_rx,
+            closed,
+            registry: Arc::clone(&self.registry),
+            key,
+        })
+    }
+
+    /// Opens a duplex channel to the mailbox at `path` on `network`.
+    ///
+    /// Returns the client endpoint; the server side is queued on the owner's
+    /// accept queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NtcsError::ConnectRefused`] if no such mailbox exists or the
+    /// owner stopped accepting.
+    pub fn connect(
+        &self,
+        network: NetworkId,
+        path: &str,
+        from: MachineId,
+        conditions: Arc<LinkConditions>,
+    ) -> Result<MbxChannel> {
+        let reg = self.registry.lock();
+        let entry = reg
+            .servers
+            .get(&(network, path.to_owned()))
+            .ok_or_else(|| {
+                NtcsError::ConnectRefused(format!("no mailbox {path:?} on {network}"))
+            })?;
+        if entry.closed.load(Ordering::SeqCst) {
+            return Err(NtcsError::ConnectRefused(format!(
+                "mailbox {path:?} is closed"
+            )));
+        }
+        let (a_tx, a_rx) = unbounded();
+        let (b_tx, b_rx) = unbounded();
+        let (close_sig_tx, close_sig_rx) = bounded(2);
+        let shared = Arc::new(LinkShared {
+            closed: AtomicBool::new(false),
+            close_sig_tx,
+            close_sig_rx,
+            conditions,
+            machines: (from, entry.owner),
+            network,
+        });
+        let client = MbxChannel {
+            tx: a_tx,
+            rx: b_rx,
+            shared: Arc::clone(&shared),
+            label: format!("mbx:{network}:{path}"),
+        };
+        let server = MbxChannel {
+            tx: b_tx,
+            rx: a_rx,
+            shared,
+            label: format!("mbx:{network}:client@{from}"),
+        };
+        entry
+            .accept_tx
+            .send(PendingConn { channel: server })
+            .map_err(|_| {
+                NtcsError::ConnectRefused(format!("mailbox {path:?} stopped accepting"))
+            })?;
+        Ok(client)
+    }
+
+    /// Whether a mailbox exists (test hook).
+    #[must_use]
+    pub fn mailbox_exists(&self, network: NetworkId, path: &str) -> bool {
+        self.registry
+            .lock()
+            .servers
+            .contains_key(&(network, path.to_owned()))
+    }
+}
+
+/// Handle kept by the [`crate::World`] so faults can forcibly close links.
+pub(crate) type LinkCloseHandle = Arc<LinkShared>;
+
+pub(crate) fn link_machines(h: &LinkCloseHandle) -> (MachineId, MachineId) {
+    h.machines
+}
+
+pub(crate) fn close_link(h: &LinkCloseHandle) {
+    h.close();
+}
+
+pub(crate) fn link_is_closed(h: &LinkCloseHandle) -> bool {
+    h.closed.load(Ordering::SeqCst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cond() -> Arc<LinkConditions> {
+        Arc::new(LinkConditions::new(42))
+    }
+
+    fn pair(ipcs: &MbxIpcs) -> (MbxChannel, Box<dyn IpcsChannel>) {
+        let net = NetworkId(1);
+        let listener = ipcs.create_mailbox(net, "/mbx/srv", MachineId(2)).unwrap();
+        let client = ipcs.connect(net, "/mbx/srv", MachineId(1), cond()).unwrap();
+        let server = listener.accept(Some(Duration::from_secs(1))).unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn round_trip() {
+        let ipcs = MbxIpcs::new();
+        let (client, server) = pair(&ipcs);
+        client.send(Bytes::from_static(b"ping")).unwrap();
+        assert_eq!(
+            server.recv(Some(Duration::from_secs(1))).unwrap(),
+            Bytes::from_static(b"ping")
+        );
+        server.send(Bytes::from_static(b"pong")).unwrap();
+        assert_eq!(
+            client.recv(Some(Duration::from_secs(1))).unwrap(),
+            Bytes::from_static(b"pong")
+        );
+    }
+
+    #[test]
+    fn duplicate_mailbox_rejected() {
+        let ipcs = MbxIpcs::new();
+        let _l = ipcs.create_mailbox(NetworkId(1), "/m", MachineId(0)).unwrap();
+        assert!(ipcs.create_mailbox(NetworkId(1), "/m", MachineId(0)).is_err());
+        // Same path on a different network is a different mailbox.
+        assert!(ipcs.create_mailbox(NetworkId(2), "/m", MachineId(0)).is_ok());
+    }
+
+    #[test]
+    fn connect_to_missing_mailbox_refused() {
+        let ipcs = MbxIpcs::new();
+        let err = ipcs
+            .connect(NetworkId(1), "/nope", MachineId(0), cond())
+            .unwrap_err();
+        assert!(matches!(err, NtcsError::ConnectRefused(_)));
+    }
+
+    #[test]
+    fn close_wakes_blocked_receiver() {
+        let ipcs = MbxIpcs::new();
+        let (client, server) = pair(&ipcs);
+        let t = std::thread::spawn(move || server.recv(Some(Duration::from_secs(5))));
+        std::thread::sleep(Duration::from_millis(20));
+        client.close();
+        assert!(matches!(
+            t.join().unwrap(),
+            Err(NtcsError::ConnectionClosed)
+        ));
+        assert!(client.is_closed());
+    }
+
+    #[test]
+    fn send_after_close_fails() {
+        let ipcs = MbxIpcs::new();
+        let (client, server) = pair(&ipcs);
+        server.close();
+        assert!(matches!(
+            client.send(Bytes::new()),
+            Err(NtcsError::ConnectionClosed)
+        ));
+    }
+
+    #[test]
+    fn recv_timeout() {
+        let ipcs = MbxIpcs::new();
+        let (client, _server) = pair(&ipcs);
+        let start = Instant::now();
+        assert!(matches!(
+            client.recv(Some(Duration::from_millis(30))),
+            Err(NtcsError::Timeout)
+        ));
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn listener_close_removes_mailbox_and_refuses() {
+        let ipcs = MbxIpcs::new();
+        let l = ipcs.create_mailbox(NetworkId(1), "/m", MachineId(0)).unwrap();
+        assert!(ipcs.mailbox_exists(NetworkId(1), "/m"));
+        l.close();
+        assert!(!ipcs.mailbox_exists(NetworkId(1), "/m"));
+        assert!(ipcs
+            .connect(NetworkId(1), "/m", MachineId(1), cond())
+            .is_err());
+        assert!(matches!(
+            l.accept(Some(Duration::ZERO)),
+            Err(NtcsError::ShutDown)
+        ));
+    }
+
+    #[test]
+    fn zero_timeout_accept_polls() {
+        let ipcs = MbxIpcs::new();
+        let l = ipcs.create_mailbox(NetworkId(1), "/m", MachineId(0)).unwrap();
+        assert!(matches!(
+            l.accept(Some(Duration::ZERO)),
+            Err(NtcsError::WouldBlock)
+        ));
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let ipcs = MbxIpcs::new();
+        let net = NetworkId(1);
+        let conditions = cond();
+        conditions.latency_us.store(50_000, Ordering::Relaxed);
+        let listener = ipcs.create_mailbox(net, "/slow", MachineId(2)).unwrap();
+        let client = ipcs
+            .connect(net, "/slow", MachineId(1), Arc::clone(&conditions))
+            .unwrap();
+        let server = listener.accept(Some(Duration::from_secs(1))).unwrap();
+        let start = Instant::now();
+        client.send(Bytes::from_static(b"x")).unwrap();
+        server.recv(Some(Duration::from_secs(1))).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(45));
+    }
+
+    #[test]
+    fn full_drop_rate_loses_frames() {
+        let ipcs = MbxIpcs::new();
+        let net = NetworkId(1);
+        let conditions = cond();
+        conditions.drop_millis.store(1000, Ordering::Relaxed);
+        let listener = ipcs.create_mailbox(net, "/lossy", MachineId(2)).unwrap();
+        let client = ipcs
+            .connect(net, "/lossy", MachineId(1), Arc::clone(&conditions))
+            .unwrap();
+        let server = listener.accept(Some(Duration::from_secs(1))).unwrap();
+        client.send(Bytes::from_static(b"gone")).unwrap();
+        assert!(matches!(
+            server.recv(Some(Duration::from_millis(50))),
+            Err(NtcsError::Timeout)
+        ));
+    }
+
+    #[test]
+    fn many_concurrent_channels() {
+        let ipcs = Arc::new(MbxIpcs::new());
+        let net = NetworkId(1);
+        let listener = Arc::new(ipcs.create_mailbox(net, "/many", MachineId(0)).unwrap());
+        let mut joins = Vec::new();
+        for i in 0..16u32 {
+            let ipcs = Arc::clone(&ipcs);
+            joins.push(std::thread::spawn(move || {
+                let c = ipcs
+                    .connect(net, "/many", MachineId(i + 1), cond())
+                    .unwrap();
+                c.send(Bytes::from(i.to_string().into_bytes())).unwrap();
+                c.recv(Some(Duration::from_secs(5))).unwrap()
+            }));
+        }
+        for _ in 0..16 {
+            let s = listener.accept(Some(Duration::from_secs(5))).unwrap();
+            let m = s.recv(Some(Duration::from_secs(5))).unwrap();
+            s.send(m).unwrap();
+        }
+        for j in joins {
+            j.join().unwrap().len();
+        }
+    }
+}

@@ -1,0 +1,546 @@
+//! A real-TCP IPCS over the loopback interface.
+//!
+//! The paper's Unix machines used TCP as the native IPCS (§1: "currently
+//! runs under both Unix TCP and Apollo MBX communication support"). This
+//! driver uses genuine `std::net` sockets on `127.0.0.1` with length-prefixed
+//! frames, so the NTCS above it exercises real kernel buffering, real EOF
+//! semantics, and real connection-reset failures.
+//!
+//! Simulated networks remain *disjoint* even though every socket shares the
+//! loopback interface: the connection handshake carries the logical
+//! [`NetworkId`], and a listener refuses peers from a different logical
+//! network.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use ntcs_addr::{MachineId, NetworkId, NtcsError, Result};
+use parking_lot::Mutex;
+
+use crate::channel::{IpcsChannel, IpcsListener};
+use crate::mbx::LinkConditions;
+
+const HANDSHAKE_MAGIC: u32 = 0x4E54_4350; // "NTCP"
+const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+fn io_err(e: &std::io::Error) -> NtcsError {
+    use std::io::ErrorKind;
+    match e.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => NtcsError::Timeout,
+        ErrorKind::UnexpectedEof
+        | ErrorKind::ConnectionReset
+        | ErrorKind::ConnectionAborted
+        | ErrorKind::BrokenPipe
+        | ErrorKind::NotConnected => NtcsError::ConnectionClosed,
+        ErrorKind::ConnectionRefused => NtcsError::ConnectRefused("tcp refused".into()),
+        _ => NtcsError::Ipcs(format!("tcp: {e}")),
+    }
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.push((v >> 24) as u8);
+    buf.push((v >> 16) as u8);
+    buf.push((v >> 8) as u8);
+    buf.push(v as u8);
+}
+
+fn read_u32_exact(stream: &mut TcpStream) -> std::io::Result<u32> {
+    let mut b = [0u8; 4];
+    stream.read_exact(&mut b)?;
+    Ok((u32::from(b[0]) << 24) | (u32::from(b[1]) << 16) | (u32::from(b[2]) << 8) | u32::from(b[3]))
+}
+
+/// Shared state of one TCP channel endpoint, kept so the [`crate::World`]
+/// can sever it on a machine crash.
+#[derive(Debug)]
+pub(crate) struct TcpShared {
+    stream: TcpStream,
+    closed: AtomicBool,
+    pub(crate) machines: (MachineId, MachineId),
+}
+
+impl TcpShared {
+    pub(crate) fn force_close(&self) {
+        if !self.closed.swap(true, Ordering::SeqCst) {
+            let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    pub(crate) fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
+    }
+}
+
+/// Incremental frame reassembly so a timed-out `recv` never corrupts the
+/// stream (a partially read length prefix is kept for the next call).
+#[derive(Debug, Default)]
+struct ReadState {
+    buf: Vec<u8>,
+    body_len: Option<usize>,
+}
+
+/// One endpoint of a TCP channel.
+pub struct TcpChannel {
+    shared: Arc<TcpShared>,
+    read: Mutex<(TcpStream, ReadState)>,
+    write: Mutex<TcpStream>,
+    conditions: Arc<LinkConditions>,
+    label: String,
+}
+
+impl std::fmt::Debug for TcpChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpChannel")
+            .field("label", &self.label)
+            .field("closed", &self.shared.is_closed())
+            .finish()
+    }
+}
+
+impl TcpChannel {
+    fn from_stream(
+        stream: TcpStream,
+        machines: (MachineId, MachineId),
+        conditions: Arc<LinkConditions>,
+        label: String,
+    ) -> Result<Self> {
+        stream
+            .set_nodelay(true)
+            .map_err(|e| NtcsError::Ipcs(format!("set_nodelay: {e}")))?;
+        let read_stream = stream
+            .try_clone()
+            .map_err(|e| NtcsError::Ipcs(format!("try_clone: {e}")))?;
+        let write_stream = stream
+            .try_clone()
+            .map_err(|e| NtcsError::Ipcs(format!("try_clone: {e}")))?;
+        Ok(TcpChannel {
+            shared: Arc::new(TcpShared {
+                stream,
+                closed: AtomicBool::new(false),
+                machines,
+            }),
+            read: Mutex::new((read_stream, ReadState::default())),
+            write: Mutex::new(write_stream),
+            conditions,
+            label,
+        })
+    }
+
+    pub(crate) fn shared_handle(&self) -> Arc<TcpShared> {
+        Arc::clone(&self.shared)
+    }
+}
+
+impl IpcsChannel for TcpChannel {
+    fn send(&self, frame: Bytes) -> Result<()> {
+        if self.shared.is_closed() {
+            return Err(NtcsError::ConnectionClosed);
+        }
+        if frame.len() > MAX_FRAME {
+            return Err(NtcsError::InvalidArgument(format!(
+                "frame of {} bytes exceeds tcp maximum",
+                frame.len()
+            )));
+        }
+        if self.conditions.drop_millis.load(Ordering::Relaxed) != 0 {
+            // LinkConditions::should_drop is private to mbx; replicate the
+            // semantics here through the public fields.
+            use rand::Rng;
+            let d = self.conditions.drop_millis.load(Ordering::Relaxed);
+            if rand::thread_rng().gen_range(0..1000) < d {
+                return Ok(());
+            }
+        }
+        let mut msg = Vec::with_capacity(4 + frame.len());
+        put_u32(&mut msg, frame.len() as u32);
+        msg.extend_from_slice(&frame);
+        let mut w = self.write.lock();
+        w.write_all(&msg).map_err(|e| {
+            self.shared.force_close();
+            io_err(&e)
+        })?;
+        Ok(())
+    }
+
+    fn recv(&self, timeout: Option<Duration>) -> Result<Bytes> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut guard = self.read.lock();
+        let (stream, state) = &mut *guard;
+        loop {
+            if self.shared.is_closed() {
+                return Err(NtcsError::ConnectionClosed);
+            }
+            let wanted = state.body_len.unwrap_or(4);
+            while state.buf.len() < wanted {
+                let remaining = match deadline {
+                    Some(d) => {
+                        let now = Instant::now();
+                        if now >= d {
+                            return Err(NtcsError::Timeout);
+                        }
+                        Some(d - now)
+                    }
+                    None => None,
+                };
+                stream
+                    .set_read_timeout(remaining)
+                    .map_err(|e| NtcsError::Ipcs(format!("set_read_timeout: {e}")))?;
+                let mut chunk = [0u8; 64 * 1024];
+                let want = (wanted - state.buf.len()).min(chunk.len());
+                match stream.read(&mut chunk[..want]) {
+                    Ok(0) => {
+                        self.shared.force_close();
+                        return Err(NtcsError::ConnectionClosed);
+                    }
+                    Ok(n) => state.buf.extend_from_slice(&chunk[..n]),
+                    Err(e) => {
+                        let err = io_err(&e);
+                        if matches!(err, NtcsError::ConnectionClosed) {
+                            self.shared.force_close();
+                        }
+                        return Err(err);
+                    }
+                }
+            }
+            match state.body_len {
+                None => {
+                    let b = &state.buf;
+                    let len = ((b[0] as usize) << 24)
+                        | ((b[1] as usize) << 16)
+                        | ((b[2] as usize) << 8)
+                        | b[3] as usize;
+                    if len > MAX_FRAME {
+                        self.shared.force_close();
+                        return Err(NtcsError::Protocol(format!(
+                            "tcp frame length {len} exceeds maximum"
+                        )));
+                    }
+                    state.buf.clear();
+                    state.body_len = Some(len);
+                }
+                Some(len) => {
+                    let data = Bytes::from(std::mem::take(&mut state.buf));
+                    debug_assert_eq!(data.len(), len);
+                    state.body_len = None;
+                    let lat = self.conditions.latency_us.load(Ordering::Relaxed);
+                    if lat > 0 {
+                        std::thread::sleep(Duration::from_micros(lat));
+                    }
+                    return Ok(data);
+                }
+            }
+        }
+    }
+
+    fn close(&self) {
+        self.shared.force_close();
+    }
+
+    fn is_closed(&self) -> bool {
+        self.shared.is_closed()
+    }
+
+    fn peer_label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// A TCP listening endpoint bound to an ephemeral loopback port.
+pub struct TcpIpcsListener {
+    listener: TcpListener,
+    network: NetworkId,
+    owner: MachineId,
+    closed: AtomicBool,
+    conditions: Arc<LinkConditions>,
+    pub(crate) accepted: Mutex<Vec<Arc<TcpShared>>>,
+}
+
+impl std::fmt::Debug for TcpIpcsListener {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpIpcsListener")
+            .field("addr", &self.listener.local_addr().ok())
+            .field("network", &self.network)
+            .finish()
+    }
+}
+
+impl TcpIpcsListener {
+    /// Binds a new listener for `owner` on logical `network`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NtcsError::Ipcs`] if the bind fails.
+    pub fn bind(
+        network: NetworkId,
+        owner: MachineId,
+        conditions: Arc<LinkConditions>,
+    ) -> Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))
+            .map_err(|e| NtcsError::Ipcs(format!("bind: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| NtcsError::Ipcs(format!("set_nonblocking: {e}")))?;
+        Ok(TcpIpcsListener {
+            listener,
+            network,
+            owner,
+            closed: AtomicBool::new(false),
+            conditions,
+            accepted: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The bound port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NtcsError::Ipcs`] if the socket address is unavailable.
+    pub fn port(&self) -> Result<u16> {
+        Ok(self
+            .listener
+            .local_addr()
+            .map_err(|e| NtcsError::Ipcs(format!("local_addr: {e}")))?
+            .port())
+    }
+
+    fn handshake_server(&self, mut stream: TcpStream) -> Result<TcpChannel> {
+        stream
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .map_err(|e| NtcsError::Ipcs(format!("set_read_timeout: {e}")))?;
+        let magic = read_u32_exact(&mut stream).map_err(|e| io_err(&e))?;
+        if magic != HANDSHAKE_MAGIC {
+            return Err(NtcsError::Protocol(format!(
+                "bad tcp handshake magic {magic:#x}"
+            )));
+        }
+        let net = read_u32_exact(&mut stream).map_err(|e| io_err(&e))?;
+        let client_machine = read_u32_exact(&mut stream).map_err(|e| io_err(&e))?;
+        let ok = net == self.network.0;
+        let mut reply = Vec::new();
+        put_u32(&mut reply, u32::from(ok));
+        stream.write_all(&reply).map_err(|e| io_err(&e))?;
+        if !ok {
+            return Err(NtcsError::ConnectRefused(format!(
+                "peer on net{} tried to join net{}",
+                net, self.network.0
+            )));
+        }
+        TcpChannel::from_stream(
+            stream,
+            (self.owner, MachineId(client_machine)),
+            Arc::clone(&self.conditions),
+            format!("tcp:{}:client@m{}", self.network, client_machine),
+        )
+    }
+}
+
+impl IpcsListener for TcpIpcsListener {
+    fn accept(&self, timeout: Option<Duration>) -> Result<Box<dyn IpcsChannel>> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        loop {
+            if self.closed.load(Ordering::SeqCst) {
+                return Err(NtcsError::ShutDown);
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => match self.handshake_server(stream) {
+                    Ok(chan) => {
+                        self.accepted.lock().push(chan.shared_handle());
+                        return Ok(Box::new(chan));
+                    }
+                    // A refused or garbled handshake is not fatal to the
+                    // listener; keep accepting.
+                    Err(_) => continue,
+                },
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if let Some(d) = deadline {
+                        if Instant::now() >= d {
+                            return Err(if timeout == Some(Duration::ZERO) {
+                                NtcsError::WouldBlock
+                            } else {
+                                NtcsError::Timeout
+                            });
+                        }
+                    }
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+                Err(e) => return Err(io_err(&e)),
+            }
+        }
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Dials a TCP endpoint on logical `network`, performing the NTCS handshake.
+///
+/// # Errors
+///
+/// Returns [`NtcsError::ConnectRefused`] if nothing is listening or the
+/// logical network does not match; other substrate failures map to
+/// [`NtcsError::Ipcs`].
+pub fn tcp_connect(
+    host: &str,
+    port: u16,
+    network: NetworkId,
+    from: MachineId,
+    to: MachineId,
+    conditions: Arc<LinkConditions>,
+) -> Result<TcpChannel> {
+    let addr: SocketAddr = format!("{host}:{port}")
+        .parse()
+        .map_err(|_| NtcsError::InvalidArgument(format!("bad tcp address {host}:{port}")))?;
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))
+        .map_err(|e| io_err(&e))?;
+    let mut hello = Vec::new();
+    put_u32(&mut hello, HANDSHAKE_MAGIC);
+    put_u32(&mut hello, network.0);
+    put_u32(&mut hello, from.0);
+    stream.write_all(&hello).map_err(|e| io_err(&e))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .map_err(|e| NtcsError::Ipcs(format!("set_read_timeout: {e}")))?;
+    let ok = read_u32_exact(&mut stream).map_err(|e| io_err(&e))?;
+    if ok != 1 {
+        return Err(NtcsError::ConnectRefused(format!(
+            "listener rejected logical network {network}"
+        )));
+    }
+    TcpChannel::from_stream(
+        stream,
+        (from, to),
+        conditions,
+        format!("tcp:{network}:{host}:{port}"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cond() -> Arc<LinkConditions> {
+        Arc::new(LinkConditions::new(7))
+    }
+
+    fn pair() -> (TcpChannel, Box<dyn IpcsChannel>) {
+        let listener =
+            TcpIpcsListener::bind(NetworkId(1), MachineId(0), cond()).unwrap();
+        let port = listener.port().unwrap();
+        let t = std::thread::spawn(move || {
+            let c = listener.accept(Some(Duration::from_secs(5))).unwrap();
+            (listener, c)
+        });
+        let client =
+            tcp_connect("127.0.0.1", port, NetworkId(1), MachineId(1), MachineId(0), cond())
+                .unwrap();
+        let (_listener, server) = t.join().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn round_trip() {
+        let (client, server) = pair();
+        client.send(Bytes::from_static(b"over real tcp")).unwrap();
+        assert_eq!(
+            server.recv(Some(Duration::from_secs(2))).unwrap(),
+            Bytes::from_static(b"over real tcp")
+        );
+        server.send(Bytes::from_static(b"back")).unwrap();
+        assert_eq!(
+            client.recv(Some(Duration::from_secs(2))).unwrap(),
+            Bytes::from_static(b"back")
+        );
+    }
+
+    #[test]
+    fn large_frame_round_trip() {
+        let (client, server) = pair();
+        let big = Bytes::from(vec![0xAB; 1_000_000]);
+        client.send(big.clone()).unwrap();
+        assert_eq!(server.recv(Some(Duration::from_secs(5))).unwrap(), big);
+    }
+
+    #[test]
+    fn wrong_logical_network_refused() {
+        let listener =
+            TcpIpcsListener::bind(NetworkId(1), MachineId(0), cond()).unwrap();
+        let port = listener.port().unwrap();
+        let t = std::thread::spawn(move || {
+            // Listener keeps running after refusing; give it a short window.
+            let _ = listener.accept(Some(Duration::from_millis(300)));
+        });
+        let err =
+            tcp_connect("127.0.0.1", port, NetworkId(2), MachineId(1), MachineId(0), cond())
+                .unwrap_err();
+        assert!(matches!(err, NtcsError::ConnectRefused(_)), "{err}");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn connect_to_dead_port_refused() {
+        // Bind-then-drop to obtain a port that is very likely closed.
+        let l = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let port = l.local_addr().unwrap().port();
+        drop(l);
+        let err =
+            tcp_connect("127.0.0.1", port, NetworkId(1), MachineId(1), MachineId(0), cond())
+                .unwrap_err();
+        assert!(
+            matches!(err, NtcsError::ConnectRefused(_) | NtcsError::Ipcs(_)),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn peer_close_yields_connection_closed() {
+        let (client, server) = pair();
+        server.close();
+        // Client may need a read to observe EOF.
+        let got = client.recv(Some(Duration::from_secs(2)));
+        assert!(matches!(got, Err(NtcsError::ConnectionClosed)), "{got:?}");
+    }
+
+    #[test]
+    fn recv_timeout_preserves_stream_integrity() {
+        let (client, server) = pair();
+        assert!(matches!(
+            server.recv(Some(Duration::from_millis(30))),
+            Err(NtcsError::Timeout)
+        ));
+        client.send(Bytes::from_static(b"after timeout")).unwrap();
+        assert_eq!(
+            server.recv(Some(Duration::from_secs(2))).unwrap(),
+            Bytes::from_static(b"after timeout")
+        );
+    }
+
+    #[test]
+    fn force_close_wakes_receiver() {
+        let (client, _server) = pair();
+        let shared = client.shared_handle();
+        let t = std::thread::spawn(move || client.recv(Some(Duration::from_secs(5))));
+        std::thread::sleep(Duration::from_millis(20));
+        shared.force_close();
+        assert!(matches!(
+            t.join().unwrap(),
+            Err(NtcsError::ConnectionClosed)
+        ));
+    }
+
+    #[test]
+    fn many_frames_in_order() {
+        let (client, server) = pair();
+        for i in 0..200u32 {
+            client.send(Bytes::from(i.to_string().into_bytes())).unwrap();
+        }
+        for i in 0..200u32 {
+            let f = server.recv(Some(Duration::from_secs(2))).unwrap();
+            assert_eq!(f, Bytes::from(i.to_string().into_bytes()));
+        }
+    }
+}

@@ -1,0 +1,567 @@
+//! The name/address database behind the Name Server.
+//!
+//! §3.2: registration generates a UAdd and records the module's logical name
+//! (here: attribute set), machine type, and uninterpreted physical address
+//! information. §3.5: forwarding resolution requires "some intelligence in
+//! the naming service, first determining whether the old UAdd is really
+//! inactive, mapping the old UAdd to its name, and then looking for a
+//! similar name in a newer module." §4.2: the internet topology (which
+//! gateway joins which networks) is centralized here and consulted at
+//! circuit-establishment time.
+
+use std::collections::{HashMap, VecDeque};
+
+use ntcs_addr::{
+    AttrQuery, AttrSet, Generation, MachineType, NetworkId, NtcsError, PhysAddr, Result, UAdd,
+    UAddGenerator,
+};
+use ntcs_nucleus::proto::Hop;
+
+/// One registered module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NameRecord {
+    /// The module's UAdd.
+    pub uadd: UAdd,
+    /// Its attribute set (`name=` carries the plain logical name).
+    pub attrs: AttrSet,
+    /// Machine type it runs on.
+    pub machine_type: MachineType,
+    /// Physical addresses, one per attached network. Stored uninterpreted.
+    pub phys: Vec<PhysAddr>,
+    /// Registration generation under this name (§3.5 "newer module").
+    pub generation: Generation,
+    /// Whether the module is believed alive.
+    pub alive: bool,
+    /// Whether the module is a Gateway.
+    pub is_gateway: bool,
+    /// Networks the gateway joins.
+    pub gateway_networks: Vec<NetworkId>,
+}
+
+impl NameRecord {
+    /// The record's plain name, if any.
+    #[must_use]
+    pub fn name(&self) -> Option<&str> {
+        self.attrs.name()
+    }
+}
+
+/// The database: registrations plus the UAdd generator.
+#[derive(Debug)]
+pub struct NameDb {
+    generator: UAddGenerator,
+    records: HashMap<UAdd, NameRecord>,
+}
+
+impl NameDb {
+    /// Creates an empty database whose UAdds carry `server_id` (§3.2: "in a
+    /// distributed implementation, a unique Name Server identifier would be
+    /// appended").
+    #[must_use]
+    pub fn new(server_id: u16) -> Self {
+        NameDb {
+            generator: UAddGenerator::new(server_id),
+            records: HashMap::new(),
+        }
+    }
+
+    /// Number of records (live and dead).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the database is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Registers a module: generates its UAdd and records everything
+    /// (§3.2). When `prev_uadd` names a predecessor (relocation), the
+    /// predecessor is marked dead and the generation is advanced past it;
+    /// otherwise the generation advances past the newest record sharing the
+    /// same name.
+    pub fn register(
+        &mut self,
+        attrs: AttrSet,
+        machine_type: MachineType,
+        phys: Vec<PhysAddr>,
+        is_gateway: bool,
+        gateway_networks: Vec<NetworkId>,
+        prev_uadd: Option<UAdd>,
+    ) -> (UAdd, Generation) {
+        let mut generation = Generation::default();
+        if let Some(prev) = prev_uadd {
+            if let Some(old) = self.records.get_mut(&prev) {
+                old.alive = false;
+                generation = old.generation.next();
+            }
+        }
+        if let Some(name) = attrs.name() {
+            let newest = self
+                .records
+                .values()
+                .filter(|r| r.name() == Some(name))
+                .map(|r| r.generation)
+                .max();
+            if let Some(g) = newest {
+                generation = generation.max(g.next());
+            }
+        }
+        let uadd = self.generator.generate();
+        self.records.insert(
+            uadd,
+            NameRecord {
+                uadd,
+                attrs,
+                machine_type,
+                phys,
+                generation,
+                alive: true,
+                is_gateway,
+                gateway_networks,
+            },
+        );
+        (uadd, generation)
+    }
+
+    /// Inserts a record verbatim (well-known modules, replication apply).
+    pub fn insert_record(&mut self, record: NameRecord) {
+        self.generator.advance_past(record.uadd.counter());
+        self.records.insert(record.uadd, record);
+    }
+
+    /// UAdd → record (§3.3's second mapping).
+    #[must_use]
+    pub fn lookup(&self, uadd: UAdd) -> Option<&NameRecord> {
+        self.records.get(&uadd)
+    }
+
+    /// Resolves a query to the newest live matching module.
+    #[must_use]
+    pub fn resolve(&self, query: &AttrQuery) -> Option<UAdd> {
+        self.records
+            .values()
+            .filter(|r| r.alive && query.matches(&r.attrs))
+            .max_by_key(|r| (r.generation, r.uadd))
+            .map(|r| r.uadd)
+    }
+
+    /// Lists every live matching module, newest generation first.
+    #[must_use]
+    pub fn list(&self, query: &AttrQuery) -> Vec<UAdd> {
+        let mut v: Vec<&NameRecord> = self
+            .records
+            .values()
+            .filter(|r| r.alive && query.matches(&r.attrs))
+            .collect();
+        v.sort_by_key(|r| std::cmp::Reverse((r.generation, r.uadd)));
+        v.into_iter().map(|r| r.uadd).collect()
+    }
+
+    /// §3.5 forwarding resolution: maps a faulted UAdd to its replacement.
+    ///
+    /// # Errors
+    ///
+    /// [`NtcsError::UnknownAddress`] for an unknown UAdd;
+    /// [`NtcsError::NoForwardingAddress`] when no newer module exists (the
+    /// caller should attempt plain re-establishment — §3.5 second case).
+    pub fn forwarding(&self, old: UAdd) -> Result<UAdd> {
+        let rec = self
+            .records
+            .get(&old)
+            .ok_or(NtcsError::UnknownAddress(old.raw()))?;
+        let name = rec
+            .name()
+            .ok_or(NtcsError::NoForwardingAddress(old.raw()))?;
+        let newer = self
+            .records
+            .values()
+            .filter(|r| r.alive && r.name() == Some(name) && r.generation > rec.generation)
+            .max_by_key(|r| (r.generation, r.uadd));
+        match newer {
+            Some(r) => Ok(r.uadd),
+            None => Err(NtcsError::NoForwardingAddress(old.raw())),
+        }
+    }
+
+    /// Marks a module dead.
+    ///
+    /// Returns whether the UAdd was known and live.
+    pub fn deregister(&mut self, uadd: UAdd) -> bool {
+        match self.records.get_mut(&uadd) {
+            Some(r) if r.alive => {
+                r.alive = false;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// All records (replication snapshot).
+    pub fn records(&self) -> impl Iterator<Item = &NameRecord> {
+        self.records.values()
+    }
+
+    /// Live gateways.
+    pub fn gateways(&self) -> impl Iterator<Item = &NameRecord> {
+        self.records.values().filter(|r| r.alive && r.is_gateway)
+    }
+
+    /// Computes the gateway route from any of `from` to the module `dst`
+    /// (§4.2). Returns the hop chain (empty if a network is shared), the
+    /// destination's physical address on the network finally reached, and
+    /// its machine type.
+    ///
+    /// # Errors
+    ///
+    /// [`NtcsError::UnknownAddress`] if `dst` is unknown;
+    /// [`NtcsError::NoRoute`] if the networks are not connected.
+    pub fn route(&self, from: &[NetworkId], dst: UAdd) -> Result<(Vec<Hop>, PhysAddr, MachineType)> {
+        let rec = self
+            .records
+            .get(&dst)
+            .ok_or(NtcsError::UnknownAddress(dst.raw()))?;
+        let dst_nets: Vec<NetworkId> = rec.phys.iter().map(PhysAddr::network).collect();
+        // Shared network: no hops needed.
+        for a in &rec.phys {
+            if from.contains(&a.network()) {
+                return Ok((Vec::new(), a.clone(), rec.machine_type));
+            }
+        }
+        // BFS over networks, edges provided by live gateways.
+        let mut prev: HashMap<NetworkId, (NetworkId, UAdd)> = HashMap::new();
+        let mut queue: VecDeque<NetworkId> = VecDeque::new();
+        for &n in from {
+            prev.insert(n, (n, UAdd::from_raw(0)));
+            queue.push_back(n);
+        }
+        let mut reached: Option<NetworkId> = None;
+        'bfs: while let Some(cur) = queue.pop_front() {
+            for gw in self.gateways() {
+                if !gw.gateway_networks.contains(&cur) {
+                    continue;
+                }
+                for &next in &gw.gateway_networks {
+                    if next == cur || prev.contains_key(&next) {
+                        continue;
+                    }
+                    prev.insert(next, (cur, gw.uadd));
+                    if dst_nets.contains(&next) {
+                        reached = Some(next);
+                        break 'bfs;
+                    }
+                    queue.push_back(next);
+                }
+            }
+        }
+        let Some(final_net) = reached else {
+            return Err(NtcsError::NoRoute {
+                from: from.first().map_or(0, |n| n.0),
+                to: dst_nets.first().map_or(u32::MAX, |n| n.0),
+            });
+        };
+        // Reconstruct the chain back to a source network.
+        let mut hops_rev: Vec<Hop> = Vec::new();
+        let mut cur = final_net;
+        loop {
+            let (parent, gw_uadd) = prev[&cur];
+            if parent == cur {
+                break;
+            }
+            let gw = self
+                .records
+                .get(&gw_uadd)
+                .ok_or(NtcsError::UnknownAddress(gw_uadd.raw()))?;
+            // Entry address: the gateway's listener on the network we come
+            // *from* (the parent side).
+            let entry = gw
+                .phys
+                .iter()
+                .find(|a| a.network() == parent)
+                .ok_or_else(|| {
+                    NtcsError::Protocol(format!(
+                        "gateway {} has no address on {parent}",
+                        gw.uadd
+                    ))
+                })?
+                .clone();
+            hops_rev.push(Hop {
+                gateway: gw_uadd,
+                entry,
+            });
+            cur = parent;
+        }
+        hops_rev.reverse();
+        let dst_phys = rec
+            .phys
+            .iter()
+            .find(|a| a.network() == final_net)
+            .expect("final_net derived from dst_nets")
+            .clone();
+        Ok((hops_rev, dst_phys, rec.machine_type))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mbx(n: u32, p: &str) -> PhysAddr {
+        PhysAddr::Mbx {
+            network: NetworkId(n),
+            path: p.into(),
+        }
+    }
+
+    fn named(name: &str) -> AttrSet {
+        AttrSet::named(name).unwrap()
+    }
+
+    fn db() -> NameDb {
+        NameDb::new(0)
+    }
+
+    #[test]
+    fn register_resolve_lookup() {
+        let mut d = db();
+        let (u, g) = d.register(
+            named("index"),
+            MachineType::Vax,
+            vec![mbx(0, "/i")],
+            false,
+            vec![],
+            None,
+        );
+        assert_eq!(g, Generation(0));
+        assert_eq!(
+            d.resolve(&AttrQuery::by_name("index").unwrap()),
+            Some(u)
+        );
+        let rec = d.lookup(u).unwrap();
+        assert!(rec.alive);
+        assert_eq!(rec.machine_type, MachineType::Vax);
+        assert!(d.resolve(&AttrQuery::by_name("absent").unwrap()).is_none());
+    }
+
+    #[test]
+    fn attribute_queries() {
+        let mut d = db();
+        let mut a1 = named("search-1");
+        a1.set("role", "search").unwrap();
+        a1.set("shard", "1").unwrap();
+        let mut a2 = named("search-2");
+        a2.set("role", "search").unwrap();
+        a2.set("shard", "2").unwrap();
+        let (u1, _) = d.register(a1, MachineType::Vax, vec![mbx(0, "/1")], false, vec![], None);
+        let (u2, _) = d.register(a2, MachineType::Sun, vec![mbx(0, "/2")], false, vec![], None);
+        let q = AttrQuery::any().and_equals("role", "search").unwrap();
+        let all = d.list(&q);
+        assert_eq!(all.len(), 2);
+        assert!(all.contains(&u1) && all.contains(&u2));
+        let q1 = q.clone().and_equals("shard", "1").unwrap();
+        assert_eq!(d.resolve(&q1), Some(u1));
+    }
+
+    #[test]
+    fn relocation_generations_and_forwarding() {
+        let mut d = db();
+        let (u0, g0) = d.register(
+            named("srv"),
+            MachineType::Vax,
+            vec![mbx(0, "/a")],
+            false,
+            vec![],
+            None,
+        );
+        // Still alive, no newer module: no forwarding (§3.5 second case).
+        assert!(matches!(
+            d.forwarding(u0),
+            Err(NtcsError::NoForwardingAddress(_))
+        ));
+        // Relocate: new registration names the predecessor.
+        let (u1, g1) = d.register(
+            named("srv"),
+            MachineType::Sun,
+            vec![mbx(0, "/b")],
+            false,
+            vec![],
+            Some(u0),
+        );
+        assert!(g1 > g0);
+        assert!(!d.lookup(u0).unwrap().alive);
+        assert_eq!(d.forwarding(u0).unwrap(), u1);
+        // Resolution prefers the newest generation.
+        assert_eq!(d.resolve(&AttrQuery::by_name("srv").unwrap()), Some(u1));
+        // A second relocation chains.
+        let (u2, _) = d.register(
+            named("srv"),
+            MachineType::Apollo,
+            vec![mbx(0, "/c")],
+            false,
+            vec![],
+            Some(u1),
+        );
+        assert_eq!(d.forwarding(u0).unwrap(), u2);
+        assert_eq!(d.forwarding(u1).unwrap(), u2);
+    }
+
+    #[test]
+    fn same_name_without_prev_still_advances_generation() {
+        let mut d = db();
+        let (u0, g0) = d.register(
+            named("x"),
+            MachineType::Vax,
+            vec![mbx(0, "/a")],
+            false,
+            vec![],
+            None,
+        );
+        let (_u1, g1) = d.register(
+            named("x"),
+            MachineType::Vax,
+            vec![mbx(0, "/b")],
+            false,
+            vec![],
+            None,
+        );
+        assert!(g1 > g0);
+        // u0 was not marked dead (it may be a legitimate duplicate)…
+        assert!(d.lookup(u0).unwrap().alive);
+    }
+
+    #[test]
+    fn deregister() {
+        let mut d = db();
+        let (u, _) = d.register(
+            named("bye"),
+            MachineType::Vax,
+            vec![mbx(0, "/x")],
+            false,
+            vec![],
+            None,
+        );
+        assert!(d.deregister(u));
+        assert!(!d.deregister(u));
+        assert!(d.resolve(&AttrQuery::by_name("bye").unwrap()).is_none());
+        assert!(!d.deregister(UAdd::from_raw(0xDEAD)));
+    }
+
+    #[test]
+    fn unknown_forwarding_is_unknown_address() {
+        let d = db();
+        assert!(matches!(
+            d.forwarding(UAdd::from_raw(5)),
+            Err(NtcsError::UnknownAddress(5))
+        ));
+    }
+
+    fn gateway_world() -> (NameDb, UAdd) {
+        // net0 –G1– net1 –G2– net2, destination on net2.
+        let mut d = db();
+        d.register(
+            named("gw1"),
+            MachineType::Apollo,
+            vec![mbx(0, "/g1a"), mbx(1, "/g1b")],
+            true,
+            vec![NetworkId(0), NetworkId(1)],
+            None,
+        );
+        d.register(
+            named("gw2"),
+            MachineType::Sun,
+            vec![mbx(1, "/g2a"), mbx(2, "/g2b")],
+            true,
+            vec![NetworkId(1), NetworkId(2)],
+            None,
+        );
+        let (dst, _) = d.register(
+            named("far"),
+            MachineType::Vax,
+            vec![mbx(2, "/far")],
+            false,
+            vec![],
+            None,
+        );
+        (d, dst)
+    }
+
+    #[test]
+    fn route_two_hops() {
+        let (d, dst) = gateway_world();
+        let (hops, dst_phys, mt) = d.route(&[NetworkId(0)], dst).unwrap();
+        assert_eq!(hops.len(), 2);
+        assert_eq!(hops[0].entry, mbx(0, "/g1a"));
+        assert_eq!(hops[1].entry, mbx(1, "/g2a"));
+        assert_eq!(dst_phys, mbx(2, "/far"));
+        assert_eq!(mt, MachineType::Vax);
+    }
+
+    #[test]
+    fn route_one_hop_and_direct() {
+        let (d, dst) = gateway_world();
+        let (hops, _, _) = d.route(&[NetworkId(1)], dst).unwrap();
+        assert_eq!(hops.len(), 1);
+        let (hops, dst_phys, _) = d.route(&[NetworkId(2)], dst).unwrap();
+        assert!(hops.is_empty());
+        assert_eq!(dst_phys, mbx(2, "/far"));
+    }
+
+    #[test]
+    fn route_fails_without_connectivity() {
+        let (mut d, dst) = gateway_world();
+        // Kill gw2: net0 can no longer reach net2.
+        let gw2 = d.resolve(&AttrQuery::by_name("gw2").unwrap()).unwrap();
+        d.deregister(gw2);
+        assert!(matches!(
+            d.route(&[NetworkId(0)], dst),
+            Err(NtcsError::NoRoute { .. })
+        ));
+        assert!(matches!(
+            d.route(&[NetworkId(0)], UAdd::from_raw(0xBEEF)),
+            Err(NtcsError::UnknownAddress(_))
+        ));
+    }
+
+    #[test]
+    fn route_prefers_fewest_hops() {
+        let (mut d, dst) = gateway_world();
+        // Add a direct gateway net0 ↔ net2.
+        d.register(
+            named("gw-direct"),
+            MachineType::Vax,
+            vec![mbx(0, "/gda"), mbx(2, "/gdb")],
+            true,
+            vec![NetworkId(0), NetworkId(2)],
+            None,
+        );
+        let (hops, _, _) = d.route(&[NetworkId(0)], dst).unwrap();
+        assert_eq!(hops.len(), 1);
+        assert_eq!(hops[0].entry, mbx(0, "/gda"));
+    }
+
+    #[test]
+    fn insert_record_advances_generator() {
+        let mut d = db();
+        d.insert_record(NameRecord {
+            uadd: UAdd::from_raw(0x5000),
+            attrs: named("wk"),
+            machine_type: MachineType::Vax,
+            phys: vec![mbx(0, "/wk")],
+            generation: Generation(0),
+            alive: true,
+            is_gateway: false,
+            gateway_networks: vec![],
+        });
+        let (u, _) = d.register(
+            named("next"),
+            MachineType::Vax,
+            vec![mbx(0, "/n")],
+            false,
+            vec![],
+            None,
+        );
+        assert!(u.counter() > 0x5000);
+    }
+}

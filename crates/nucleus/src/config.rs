@@ -1,0 +1,108 @@
+//! Nucleus configuration, including the well-known address preload (§3.4)
+//! and the §6.3 fault-handler patch toggle.
+
+use std::time::Duration;
+
+use ntcs_addr::{MachineId, PhysAddr, UAdd};
+
+use crate::proto::Hop;
+
+/// Configuration for one module's Nucleus binding.
+#[derive(Debug, Clone)]
+pub struct NucleusConfig {
+    /// The machine this module runs on.
+    pub machine: MachineId,
+    /// Module name for traces and listener hints (not the registered logical
+    /// name — naming is the naming service's business).
+    pub module_hint: String,
+    /// Well-known addresses loaded into the address tables at initialization
+    /// (§3.4): the Name Server and any prime gateways. Each entry maps a
+    /// well-known UAdd to the physical addresses it listens on.
+    pub well_known: Vec<(UAdd, Vec<PhysAddr>)>,
+    /// Pre-configured gateway chain for reaching the Name Server from this
+    /// machine's networks (empty when the Name Server is directly
+    /// reachable). These are the "prime" gateways of §3.4.
+    pub ns_route: Vec<Hop>,
+    /// Whether the LCM address-fault handler applies the §6.3 patch
+    /// (special-cases a broken Name-Server circuit instead of recursing into
+    /// the naming service). `true` is the shipped behaviour; `false`
+    /// reproduces the stack-overflow bug.
+    pub ns_fault_patch: bool,
+    /// Recursion depth at which the guard fires — the stand-in for the
+    /// paper's literal stack overflow (§6.3).
+    pub max_recursion_depth: u32,
+    /// How many times the ND-Layer retries a failed channel open (§2.2:
+    /// "except for retry on open").
+    pub open_retries: u32,
+    /// Timeout for circuit establishment (LvcOpen → ack).
+    pub open_timeout: Duration,
+    /// Default timeout for synchronous request/reply exchanges.
+    pub request_timeout: Duration,
+    /// Maximum number of relocation attempts per send (§3.5: one forwarding
+    /// query, then reconnect; bounded so a flapping destination cannot spin).
+    pub max_relocations: u32,
+}
+
+impl NucleusConfig {
+    /// A sensible default configuration for a module on `machine`.
+    #[must_use]
+    pub fn new(machine: MachineId, module_hint: impl Into<String>) -> Self {
+        NucleusConfig {
+            machine,
+            module_hint: module_hint.into(),
+            well_known: Vec::new(),
+            ns_route: Vec::new(),
+            ns_fault_patch: true,
+            max_recursion_depth: 64,
+            open_retries: 2,
+            open_timeout: Duration::from_secs(5),
+            request_timeout: Duration::from_secs(5),
+            max_relocations: 2,
+        }
+    }
+
+    /// Adds a well-known address entry (builder style).
+    #[must_use]
+    pub fn with_well_known(mut self, uadd: UAdd, addrs: Vec<PhysAddr>) -> Self {
+        self.well_known.push((uadd, addrs));
+        self
+    }
+
+    /// Sets the prime-gateway route to the Name Server (builder style).
+    #[must_use]
+    pub fn with_ns_route(mut self, route: Vec<Hop>) -> Self {
+        self.ns_route = route;
+        self
+    }
+
+    /// Disables the §6.3 fault-handler patch (builder style; test/experiment
+    /// hook).
+    #[must_use]
+    pub fn without_ns_fault_patch(mut self) -> Self {
+        self.ns_fault_patch = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = NucleusConfig::new(MachineId(0), "mod");
+        assert!(c.ns_fault_patch);
+        assert!(c.max_recursion_depth >= 8);
+        assert!(c.open_retries >= 1);
+        assert!(c.well_known.is_empty());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = NucleusConfig::new(MachineId(1), "m")
+            .with_well_known(UAdd::NAME_SERVER, vec![])
+            .without_ns_fault_patch();
+        assert_eq!(c.well_known.len(), 1);
+        assert!(!c.ns_fault_patch);
+    }
+}

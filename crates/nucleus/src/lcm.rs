@@ -1,0 +1,1772 @@
+//! The Logical Connection Maintenance layer and the assembled Nucleus.
+//!
+//! §2.2: "Support for dynamic reconfiguration is handled by the Logical
+//! Connection Maintenance Layer … Its primary function is to relocate modules
+//! which may have moved, and to recover from broken connections, though it
+//! also provides a connectionless protocol. **No explicit open or close
+//! primitives are provided at the Nucleus interface**; messages are simply
+//! sent/received directly to/from the desired destinations, with the
+//! underlying IVCs being established as needed."
+//!
+//! The address-fault path follows §3.5 exactly: a failed send surfaces as an
+//! ND fault; the LCM checks its forwarding-address table, then queries the
+//! naming service for a forwarding UAdd, installs it, and re-establishes the
+//! circuit "in exactly the same manner as during an initial connection".
+//! The §6.3 pathology (a broken *Name-Server* circuit making the fault
+//! handler recurse into the naming service forever) is faithfully
+//! reproducible: see [`NucleusConfig::ns_fault_patch`].
+//!
+//! Threading model: all protocol logic runs on the calling thread (the
+//! Nucleus is passive, §2.1). Each established circuit has a lightweight
+//! reader thread that only shuttles raw frames into the module's event
+//! queue, and each listening endpoint has an acceptor thread; neither runs
+//! protocol logic beyond the initial open/ack handshake.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use ntcs_addr::{MachineType, NtcsError, Result, TAddGenerator, UAdd};
+use ntcs_ipcs::World;
+use ntcs_wire::{ConvMode, Frame, FrameHeader, FrameType, InboundPayload, Message};
+use parking_lot::{Mutex, RwLock};
+
+use crate::config::NucleusConfig;
+use crate::metrics::NucleusMetrics;
+use crate::nd::{Lvc, NdLayer};
+use crate::proto::OpenPayload;
+use crate::resolver::{NameResolver, ResolvedModule, StaticResolver};
+use crate::trace::{Layer, LayerTrace, RecursionGauge};
+
+/// A message handed to the Nucleus for sending: a type id plus an encoder
+/// that produces the payload for whatever conversion mode the circuit uses
+/// (the mode is not known until the circuit exists — §5's "decision to apply
+/// them is left to the lowest layers").
+pub struct Outbound<'a> {
+    /// Message type id (travels in the header's aux word).
+    pub type_id: u32,
+    /// Encoder from (mode, local machine type) to payload bytes.
+    pub encoder: &'a dyn Fn(ConvMode, MachineType) -> Bytes,
+}
+
+impl std::fmt::Debug for Outbound<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Outbound")
+            .field("type_id", &self.type_id)
+            .finish()
+    }
+}
+
+/// A message delivered by the Nucleus to the layer above.
+#[derive(Debug, Clone)]
+pub struct Received {
+    /// The sender's address as currently known (a receiver-local TAdd alias
+    /// during bootstrap, §3.4).
+    pub src: UAdd,
+    /// The sender's message id (quote as `reply_to` when replying).
+    pub msg_id: u64,
+    /// The message id this replies to (0 = unsolicited).
+    pub reply_to: u64,
+    /// Whether the sender expects a reply.
+    pub reply_expected: bool,
+    /// Whether this arrived via the connectionless protocol.
+    pub connectionless: bool,
+    /// Whether the sender used the reliable extension (the delivery ack is
+    /// emitted when the application receives this message).
+    pub reliable: bool,
+    /// The payload plus everything needed to decode it.
+    pub payload: InboundPayload,
+    /// Internal circuit id (used to route replies back to TAdd peers).
+    pub conn_id: u64,
+}
+
+/// Callback owned by a Gateway module: receives transit circuits whose open
+/// frame addresses some other module (§4).
+pub trait GatewayHandler: Send + Sync {
+    /// Takes ownership of a transit LVC and its decoded `LvcOpen` frame.
+    fn transit(&self, lvc: Lvc, open: Frame);
+}
+
+#[derive(Debug)]
+struct ConnEntry {
+    id: u64,
+    lvc: Lvc,
+    /// Peer address as keyed in `by_peer` (TAdd alias until upgraded).
+    peer: UAdd,
+    /// Peer address as it appears on the wire (their own TAdd during
+    /// bootstrap — only meaningful to them, so we echo it in `dst`).
+    wire_peer: UAdd,
+    peer_machine: MachineType,
+    mode: ConvMode,
+    established: bool,
+    closed: bool,
+}
+
+#[derive(Debug)]
+enum Event {
+    Frame { conn_id: u64, frame: Frame },
+    Closed { conn_id: u64 },
+}
+
+#[derive(Debug, Default)]
+struct LcmState {
+    conns: HashMap<u64, ConnEntry>,
+    by_peer: HashMap<UAdd, u64>,
+    /// §3.5 forwarding-address table: old UAdd → replacement UAdd.
+    forwarding: HashMap<UAdd, UAdd>,
+    inbox: VecDeque<Received>,
+    /// Pong arrivals by the ping's msg_id.
+    pongs: HashMap<u64, ()>,
+    /// LCM-level acknowledgements received, by the acked msg_id (reliable
+    /// extension).
+    acks: std::collections::HashSet<u64>,
+    /// Recently seen reliable (peer, msg_id) pairs, for duplicate
+    /// suppression; bounded FIFO.
+    seen_reliable: std::collections::HashSet<(u64, u64)>,
+    seen_reliable_order: VecDeque<(u64, u64)>,
+}
+
+/// Message type id reserved for LCM-level acknowledgements (reliable
+/// extension); never delivered to the application.
+pub const RELIABLE_ACK_TYPE: u32 = u32::MAX;
+
+const SEEN_RELIABLE_CAP: usize = 4096;
+
+struct Inner {
+    config: NucleusConfig,
+    nd: NdLayer,
+    statics: StaticResolver,
+    resolver: RwLock<Option<Arc<dyn NameResolver>>>,
+    gateway: RwLock<Option<Arc<dyn GatewayHandler>>>,
+    my_uadd: RwLock<UAdd>,
+    tadds: TAddGenerator,
+    msg_seq: AtomicU64,
+    conn_seq: AtomicU64,
+    state: Mutex<LcmState>,
+    events_tx: Sender<Event>,
+    events_rx: Receiver<Event>,
+    trace: LayerTrace,
+    gauge: RecursionGauge,
+    metrics: NucleusMetrics,
+    shutdown: AtomicBool,
+}
+
+/// One module's Nucleus binding.
+///
+/// Cloning yields another handle to the same binding (the NSP-Layer holds
+/// one, the ALI layer another).
+#[derive(Clone)]
+pub struct Nucleus {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Nucleus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Nucleus")
+            .field("module", &self.inner.config.module_hint)
+            .field("uadd", &*self.inner.my_uadd.read())
+            .finish()
+    }
+}
+
+impl Nucleus {
+    /// Binds a Nucleus for one module: creates its ND-Layer endpoints,
+    /// self-assigns an initial TAdd (§3.4: "each module assigns itself one
+    /// initially"), preloads the well-known address table, and starts the
+    /// acceptor threads.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the ND-Layer cannot create its listening endpoints.
+    pub fn bind(world: &World, config: NucleusConfig) -> Result<Self> {
+        let nd = NdLayer::new(world, config.machine, &config.module_hint)?;
+        let statics = StaticResolver::new();
+        for (uadd, addrs) in &config.well_known {
+            // Machine type of a well-known module is unknown until its ack;
+            // assume ours (the handshake corrects the mode either way).
+            statics.preload(*uadd, addrs.clone(), nd.machine_type());
+        }
+        let (events_tx, events_rx) = unbounded();
+        let salt = (config.machine.0 as u16) ^ 0x1F;
+        let inner = Arc::new(Inner {
+            gauge: RecursionGauge::new(config.max_recursion_depth),
+            config,
+            nd,
+            statics,
+            resolver: RwLock::new(None),
+            gateway: RwLock::new(None),
+            my_uadd: RwLock::new(UAdd::from_raw(0)),
+            tadds: TAddGenerator::new(salt),
+            msg_seq: AtomicU64::new(1),
+            conn_seq: AtomicU64::new(1),
+            state: Mutex::new(LcmState::default()),
+            events_tx,
+            events_rx,
+            trace: LayerTrace::default(),
+            metrics: NucleusMetrics::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        *inner.my_uadd.write() = inner.tadds.generate();
+        let n = Nucleus { inner };
+        n.spawn_acceptors();
+        Ok(n)
+    }
+
+    fn spawn_acceptors(&self) {
+        for (idx, ep) in self.inner.nd.endpoints().iter().enumerate() {
+            let listener = Arc::clone(&ep.listener);
+            let network = ep.network;
+            let inner = Arc::clone(&self.inner);
+            std::thread::Builder::new()
+                .name(format!(
+                    "ntcs-accept-{}-{idx}",
+                    inner.config.module_hint
+                ))
+                .spawn(move || loop {
+                    if inner.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    match listener.accept(Some(Duration::from_millis(200))) {
+                        Ok(chan) => {
+                            let lvc = Lvc::new(Arc::from(chan), network);
+                            let inner2 = Arc::clone(&inner);
+                            std::thread::Builder::new()
+                                .name("ntcs-greeter".into())
+                                .spawn(move || greet_inbound(&inner2, lvc))
+                                .expect("spawn greeter");
+                        }
+                        Err(NtcsError::Timeout | NtcsError::WouldBlock) => continue,
+                        Err(_) => return, // listener shut down
+                    }
+                })
+                .expect("spawn acceptor");
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Identity & wiring
+    // ------------------------------------------------------------------
+
+    /// This module's current address (a TAdd until registration completes).
+    #[must_use]
+    pub fn my_uadd(&self) -> UAdd {
+        *self.inner.my_uadd.read()
+    }
+
+    /// Installs the real UAdd after registration; subsequent frames carry it
+    /// so peers purge our TAdd from their tables (§3.4).
+    pub fn set_my_uadd(&self, uadd: UAdd) {
+        *self.inner.my_uadd.write() = uadd;
+    }
+
+    /// Installs the naming-service resolver (the NSP-Layer) — the point at
+    /// which the Nucleus becomes recursive (§3.1).
+    pub fn set_resolver(&self, resolver: Arc<dyn NameResolver>) {
+        *self.inner.resolver.write() = Some(resolver);
+    }
+
+    /// Installs a gateway handler; inbound circuits addressed to other
+    /// modules are handed to it instead of being refused (§4).
+    pub fn set_gateway_handler(&self, handler: Arc<dyn GatewayHandler>) {
+        *self.inner.gateway.write() = Some(handler);
+    }
+
+    /// This module's machine type.
+    #[must_use]
+    pub fn machine_type(&self) -> MachineType {
+        self.inner.nd.machine_type()
+    }
+
+    /// The ND-Layer (used by gateway splicing and the testbed builder).
+    #[must_use]
+    pub fn nd(&self) -> &NdLayer {
+        &self.inner.nd
+    }
+
+    /// Nucleus metrics.
+    #[must_use]
+    pub fn metrics(&self) -> &NucleusMetrics {
+        &self.inner.metrics
+    }
+
+    /// The layer trace (§6.2 debugging aid).
+    #[must_use]
+    pub fn trace(&self) -> &LayerTrace {
+        &self.inner.trace
+    }
+
+    /// The recursion gauge.
+    #[must_use]
+    pub fn gauge(&self) -> &RecursionGauge {
+        &self.inner.gauge
+    }
+
+    /// The local phys-address cache / well-known table.
+    #[must_use]
+    pub fn statics(&self) -> &StaticResolver {
+        &self.inner.statics
+    }
+
+    /// Addresses currently present in the peer table (test hook for the
+    /// §3.4 purge invariant).
+    #[must_use]
+    pub fn peer_table(&self) -> Vec<UAdd> {
+        self.inner.state.lock().by_peer.keys().copied().collect()
+    }
+
+    /// Installs a forwarding entry directly (test hook).
+    #[doc(hidden)]
+    pub fn test_insert_forwarding(&self, old: UAdd, new: UAdd) {
+        self.inner.state.lock().forwarding.insert(old, new);
+    }
+
+    /// The forwarding-address table (test hook).
+    #[must_use]
+    pub fn forwarding_table(&self) -> Vec<(UAdd, UAdd)> {
+        self.inner
+            .state
+            .lock()
+            .forwarding
+            .iter()
+            .map(|(a, b)| (*a, *b))
+            .collect()
+    }
+
+    /// Shuts the binding down: closes every circuit and listener. Idempotent.
+    pub fn shutdown(&self) {
+        if self.inner.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.inner.nd.close_all();
+        let mut st = self.inner.state.lock();
+        for (_, e) in st.conns.iter() {
+            e.lvc.close();
+        }
+        st.conns.clear();
+        st.by_peer.clear();
+    }
+
+    /// Whether the binding has been shut down.
+    #[must_use]
+    pub fn is_shut_down(&self) -> bool {
+        self.inner.shutdown.load(Ordering::SeqCst)
+    }
+
+    // ------------------------------------------------------------------
+    // The Nucleus interface: send / recv / request / reply / cast
+    // ------------------------------------------------------------------
+
+    /// Sends a message to `dst`, establishing or re-establishing the
+    /// underlying IVC as needed (no explicit opens — §2.2).
+    ///
+    /// Returns the message id.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces unrecoverable faults: unknown addresses, no route, no
+    /// forwarding address after a relocation, recursion-limit hits.
+    pub fn send_outbound(
+        &self,
+        dst: UAdd,
+        out: Outbound<'_>,
+        reply_expected: bool,
+        reply_to: u64,
+    ) -> Result<u64> {
+        self.send_internal(dst, out, reply_expected, reply_to, false)
+    }
+
+    /// Typed convenience over [`Nucleus::send_outbound`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Nucleus::send_outbound`].
+    pub fn send_message<M: Message>(
+        &self,
+        dst: UAdd,
+        msg: &M,
+        reply_expected: bool,
+    ) -> Result<u64> {
+        self.send_outbound(
+            dst,
+            Outbound {
+                type_id: M::TYPE_ID,
+                encoder: &|mode, machine| ntcs_wire::encode_payload(msg, mode, machine),
+            },
+            reply_expected,
+            0,
+        )
+    }
+
+    /// Reliable send — the optional extension the paper declined to build
+    /// (§3.5: "even if the NTCS could guarantee that no messages were lost
+    /// due to itself (e.g., with a modified sliding window protocol),
+    /// problems could still occur"). The message is retransmitted with the
+    /// same id until an LCM-level acknowledgement arrives or the deadline
+    /// passes; the receiver suppresses duplicates. Built here so the
+    /// paper's redundant-recovery argument can be measured (experiment E7
+    /// ablation).
+    ///
+    /// # Errors
+    ///
+    /// [`NtcsError::Timeout`] if no acknowledgement arrives in time, or any
+    /// unrecoverable send error.
+    pub fn send_reliable_message<M: Message>(
+        &self,
+        dst: UAdd,
+        msg: &M,
+        timeout: Duration,
+    ) -> Result<u64> {
+        let msg_id = self.next_msg_id();
+        let deadline = Instant::now() + timeout;
+        let per_try = Duration::from_millis(300);
+        let mut first = true;
+        loop {
+            if Instant::now() >= deadline {
+                return Err(NtcsError::Timeout);
+            }
+            if !first {
+                self.inner
+                    .metrics
+                    .bump(&self.inner.metrics.retransmissions);
+            }
+            first = false;
+            let out = Outbound {
+                type_id: M::TYPE_ID,
+                encoder: &|mode, machine| ntcs_wire::encode_payload(msg, mode, machine),
+            };
+            match self.send_internal_with_id(dst, out, false, 0, false, msg_id, true) {
+                Ok(()) => {}
+                Err(e) if e.is_relocation_candidate() => {
+                    // Transient: back off briefly and retransmit.
+                    std::thread::sleep(Duration::from_millis(20));
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+            // Wait for the ack (or retransmit after per_try).
+            let try_deadline = (Instant::now() + per_try).min(deadline);
+            loop {
+                if self.inner.state.lock().acks.remove(&msg_id) {
+                    return Ok(msg_id);
+                }
+                let now = Instant::now();
+                if now >= try_deadline {
+                    break;
+                }
+                self.pump_once(Some((try_deadline - now).min(Duration::from_millis(20))))?;
+            }
+        }
+    }
+
+    /// Connectionless send (§2.2): best-effort, no relocation recovery, no
+    /// reply. Delivery failures after acceptance are silent, as on a wire.
+    ///
+    /// # Errors
+    ///
+    /// Only argument/shutdown errors; transport losses are absorbed.
+    pub fn cast_message<M: Message>(&self, dst: UAdd, msg: &M) -> Result<()> {
+        if self.is_shut_down() {
+            return Err(NtcsError::ShutDown);
+        }
+        self.inner.metrics.bump(&self.inner.metrics.casts);
+        let out = Outbound {
+            type_id: M::TYPE_ID,
+            encoder: &|mode, machine| ntcs_wire::encode_payload(msg, mode, machine),
+        };
+        match self.send_internal(dst, out, false, 0, true) {
+            Ok(_) => Ok(()),
+            Err(NtcsError::InvalidArgument(e)) => Err(NtcsError::InvalidArgument(e)),
+            Err(NtcsError::ShutDown) => Err(NtcsError::ShutDown),
+            Err(_) => {
+                self.inner
+                    .metrics
+                    .bump(&self.inner.metrics.dropped_messages);
+                Ok(())
+            }
+        }
+    }
+
+    /// Receives the next message, pumping the passive Nucleus while waiting.
+    ///
+    /// # Errors
+    ///
+    /// [`NtcsError::Timeout`] if nothing arrives in time,
+    /// [`NtcsError::ShutDown`] after shutdown.
+    pub fn recv(&self, timeout: Option<Duration>) -> Result<Received> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        loop {
+            if self.is_shut_down() {
+                return Err(NtcsError::ShutDown);
+            }
+            let popped = self.inner.state.lock().inbox.pop_front();
+            if let Some(m) = popped {
+                self.inner.metrics.bump(&self.inner.metrics.recvs);
+                if m.reliable {
+                    // Reliable extension: the ack means *delivered to the
+                    // application*, not merely buffered — exactly the
+                    // distinction §3.5 draws about internally buffered
+                    // messages in failed modules.
+                    let lvc = {
+                        let st = self.inner.state.lock();
+                        st.conns.get(&m.conn_id).map(|e| (e.lvc.clone(), e.wire_peer))
+                    };
+                    if let Some((lvc, wire_peer)) = lvc {
+                        send_reliable_ack(&self.inner, &lvc, wire_peer, m.msg_id);
+                    }
+                }
+                return Ok(m);
+            }
+            self.pump_once(remaining(deadline)?)?;
+        }
+    }
+
+    /// Synchronous request/reply: sends with `reply_expected` and waits for
+    /// the correlated reply, leaving unrelated messages queued.
+    ///
+    /// # Errors
+    ///
+    /// Send errors, or [`NtcsError::Timeout`] if no reply arrives.
+    pub fn request<M: Message>(
+        &self,
+        dst: UAdd,
+        msg: &M,
+        timeout: Option<Duration>,
+    ) -> Result<Received> {
+        let msg_id = self.send_message(dst, msg, true)?;
+        self.wait_reply(msg_id, timeout)
+    }
+
+    /// Waits for the reply to a previously sent message id.
+    ///
+    /// # Errors
+    ///
+    /// [`NtcsError::Timeout`] if no reply arrives in time.
+    pub fn wait_reply(&self, msg_id: u64, timeout: Option<Duration>) -> Result<Received> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        loop {
+            if self.is_shut_down() {
+                return Err(NtcsError::ShutDown);
+            }
+            {
+                let mut st = self.inner.state.lock();
+                if let Some(pos) = st.inbox.iter().position(|m| m.reply_to == msg_id) {
+                    let m = st.inbox.remove(pos).expect("position valid");
+                    self.inner.metrics.bump(&self.inner.metrics.recvs);
+                    return Ok(m);
+                }
+            }
+            self.pump_once(remaining(deadline)?)?;
+        }
+    }
+
+    /// Replies to a received message, preferring the circuit it arrived on
+    /// (which is the only way to reach a TAdd peer, §3.4).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Nucleus::send_outbound`]; replying to a TAdd peer whose
+    /// circuit died is impossible and yields
+    /// [`NtcsError::UnknownAddress`].
+    pub fn reply_message<M: Message>(&self, to: &Received, msg: &M) -> Result<u64> {
+        let out = Outbound {
+            type_id: M::TYPE_ID,
+            encoder: &|mode, machine| ntcs_wire::encode_payload(msg, mode, machine),
+        };
+        let msg_id = self.next_msg_id();
+        // Try the arrival circuit first.
+        {
+            let st = self.inner.state.lock();
+            if let Some(e) = st.conns.get(&to.conn_id) {
+                if !e.closed && e.established {
+                    let frame = self.data_frame(e, &out, msg_id, false, to.msg_id, false, false);
+                    match e.lvc.send_frame(&frame) {
+                        Ok(()) => {
+                            self.inner.metrics.bump(&self.inner.metrics.sends);
+                            return Ok(msg_id);
+                        }
+                        Err(_) => { /* fall through to address-based send */ }
+                    }
+                }
+            }
+        }
+        if to.src.is_temporary() {
+            return Err(NtcsError::UnknownAddress(to.src.raw()));
+        }
+        self.send_internal_with_id(to.src, out, false, to.msg_id, false, msg_id, false)?;
+        Ok(msg_id)
+    }
+
+    /// Round-trip liveness probe over the (re)established circuit.
+    ///
+    /// # Errors
+    ///
+    /// Establishment errors, or [`NtcsError::Timeout`].
+    pub fn ping(&self, dst: UAdd, timeout: Option<Duration>) -> Result<Duration> {
+        let started = Instant::now();
+        let msg_id = self.next_msg_id();
+        let (conn_id, _) = self.ensure_conn(dst)?;
+        {
+            let st = self.inner.state.lock();
+            let e = st
+                .conns
+                .get(&conn_id)
+                .ok_or(NtcsError::ConnectionClosed)?;
+            let mut h = FrameHeader::new(
+                FrameType::Ping,
+                self.my_uadd(),
+                e.wire_peer,
+                self.machine_type(),
+            );
+            h.msg_id = msg_id;
+            e.lvc.send_frame(&Frame::control(h))?;
+        }
+        let deadline = timeout.map(|t| Instant::now() + t);
+        loop {
+            if self.inner.state.lock().pongs.remove(&msg_id).is_some() {
+                return Ok(started.elapsed());
+            }
+            self.pump_once(remaining(deadline)?)?;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Send path (§3.5 fault handling)
+    // ------------------------------------------------------------------
+
+    fn next_msg_id(&self) -> u64 {
+        self.inner.msg_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn send_internal(
+        &self,
+        dst: UAdd,
+        out: Outbound<'_>,
+        reply_expected: bool,
+        reply_to: u64,
+        connectionless: bool,
+    ) -> Result<u64> {
+        let msg_id = self.next_msg_id();
+        self.send_internal_with_id(dst, out, reply_expected, reply_to, connectionless, msg_id, false)?;
+        Ok(msg_id)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn send_internal_with_id(
+        &self,
+        dst: UAdd,
+        out: Outbound<'_>,
+        reply_expected: bool,
+        reply_to: u64,
+        connectionless: bool,
+        msg_id: u64,
+        reliable: bool,
+    ) -> Result<()> {
+        if self.is_shut_down() {
+            return Err(NtcsError::ShutDown);
+        }
+        let _scope = self.inner.gauge.enter()?;
+        self.inner.trace.record(
+            self.inner.gauge.depth(),
+            Layer::Lcm,
+            "send",
+            format!("→ {dst} (msg {msg_id})"),
+        );
+        let mut attempts = 0;
+        loop {
+            let target = self.resolve_forwarded(dst)?;
+            let result = self.try_send_once(
+                target,
+                &out,
+                msg_id,
+                reply_expected,
+                reply_to,
+                connectionless,
+                reliable,
+            );
+            match result {
+                Ok(()) => {
+                    if attempts > 0 {
+                        self.inner.metrics.bump(&self.inner.metrics.reconnects);
+                    }
+                    self.inner.metrics.bump(&self.inner.metrics.sends);
+                    return Ok(());
+                }
+                Err(e) if e.is_relocation_candidate() && !connectionless => {
+                    self.inner.metrics.bump(&self.inner.metrics.address_faults);
+                    self.inner.trace.record(
+                        self.inner.gauge.depth(),
+                        Layer::Lcm,
+                        "address-fault",
+                        format!("{target}: {e}"),
+                    );
+                    attempts += 1;
+                    if attempts > self.inner.config.max_relocations {
+                        return Err(e);
+                    }
+                    self.handle_address_fault(target, &e)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Follows the forwarding-address table (§3.5) transitively, with cycle
+    /// detection and path compression: after a long-lived module relocates
+    /// many times, every stale alias points directly at the newest
+    /// incarnation instead of walking the whole history.
+    fn resolve_forwarded(&self, dst: UAdd) -> Result<UAdd> {
+        let mut st = self.inner.state.lock();
+        let mut cur = dst;
+        let mut seen = vec![dst];
+        while let Some(&next) = st.forwarding.get(&cur) {
+            if next == cur || seen.contains(&next) {
+                return Err(NtcsError::Protocol(format!(
+                    "forwarding cycle detected from {dst}"
+                )));
+            }
+            seen.push(next);
+            cur = next;
+        }
+        if cur != dst {
+            for &hop in &seen[..seen.len() - 1] {
+                st.forwarding.insert(hop, cur);
+            }
+        }
+        Ok(cur)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn data_frame(
+        &self,
+        e: &ConnEntry,
+        out: &Outbound<'_>,
+        msg_id: u64,
+        reply_expected: bool,
+        reply_to: u64,
+        connectionless: bool,
+        reliable: bool,
+    ) -> Frame {
+        let payload = (out.encoder)(e.mode, self.machine_type());
+        let mut h = FrameHeader::new(
+            if connectionless {
+                FrameType::Datagram
+            } else {
+                FrameType::Data
+            },
+            self.my_uadd(),
+            e.wire_peer,
+            self.machine_type(),
+        );
+        h.flags.set_conv_mode(e.mode);
+        h.flags.reply_expected = reply_expected;
+        h.flags.connectionless = connectionless;
+        h.flags.reliable = reliable;
+        h.msg_id = msg_id;
+        h.reply_to = reply_to;
+        h.aux = out.type_id;
+        Frame::new(h, payload)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn try_send_once(
+        &self,
+        target: UAdd,
+        out: &Outbound<'_>,
+        msg_id: u64,
+        reply_expected: bool,
+        reply_to: u64,
+        connectionless: bool,
+        reliable: bool,
+    ) -> Result<()> {
+        let (conn_id, _) = self.ensure_conn(target)?;
+        let (frame, lvc) = {
+            let st = self.inner.state.lock();
+            let e = st.conns.get(&conn_id).ok_or(NtcsError::ConnectionClosed)?;
+            if e.closed {
+                return Err(NtcsError::ConnectionClosed);
+            }
+            (
+                self.data_frame(e, out, msg_id, reply_expected, reply_to, connectionless, reliable),
+                e.lvc.clone(),
+            )
+        };
+        match lvc.send_frame(&frame) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.mark_conn_closed(conn_id);
+                Err(e)
+            }
+        }
+    }
+
+    /// §3.5: the LCM address-fault handler.
+    ///
+    /// The patched variant (shipped behaviour) special-cases a fault on the
+    /// Name-Server circuit: it must *not* query the naming service about the
+    /// naming service, so it simply retries direct re-establishment from the
+    /// well-known table. The paper concedes this patch lives in a layer that
+    /// "also should not know of the Name Server" (§6.3); we reproduce the
+    /// concession. With the patch off, the handler recurses into the
+    /// resolver even for the Name Server — the §6.3 runaway.
+    fn handle_address_fault(&self, target: UAdd, cause: &NtcsError) -> Result<()> {
+        // The circuit was already cleared by try_send_once / ensure_conn.
+        if self.inner.config.ns_fault_patch && target == UAdd::NAME_SERVER {
+            // Patched (§6.3): never recurse into the naming service for its
+            // own address; re-arm the well-known table and let the retry
+            // loop re-open directly.
+            for (u, addrs) in &self.inner.config.well_known {
+                if *u == target {
+                    self.inner
+                        .statics
+                        .preload(*u, addrs.clone(), self.machine_type());
+                }
+            }
+            return Ok(());
+        }
+        // Check the forwarding table "to no avail since this just occurred"
+        // (§3.5), then trap to the naming service. Without a naming service
+        // there is no forwarding address; fall back to plain
+        // re-establishment (§3.5 second case).
+        let Some(resolver) = self.inner.resolver.read().clone() else {
+            return Ok(());
+        };
+        self.inner.metrics.bump(&self.inner.metrics.forward_queries);
+        self.inner.trace.record(
+            self.inner.gauge.depth(),
+            Layer::Nsp,
+            "forwarding-query",
+            format!("who replaces {target}? (fault: {cause})"),
+        );
+        match resolver.forwarding(target) {
+            Ok(new_uadd) => {
+                // The old address is dead for good; drop its cached location
+                // and route future sends to the replacement.
+                self.inner.statics.invalidate(target);
+                let mut st = self.inner.state.lock();
+                st.forwarding.insert(target, new_uadd);
+                Ok(())
+            }
+            Err(NtcsError::NoForwardingAddress(_)) => {
+                // §3.5 second case: "the original module is still alive …
+                // attempt to reestablish what appears to be a broken
+                // communication link" — with the same cached address info.
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn mark_conn_closed(&self, conn_id: u64) {
+        let mut st = self.inner.state.lock();
+        if let Some(e) = st.conns.get_mut(&conn_id) {
+            e.closed = true;
+            e.lvc.close();
+            let peer = e.peer;
+            if st.by_peer.get(&peer) == Some(&conn_id) {
+                st.by_peer.remove(&peer);
+            }
+            st.conns.remove(&conn_id);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Circuit establishment (IP layer, §4)
+    // ------------------------------------------------------------------
+
+    /// Returns (conn id, established now?) for a live circuit to `target`.
+    fn ensure_conn(&self, target: UAdd) -> Result<(u64, bool)> {
+        {
+            let mut st = self.inner.state.lock();
+            if let Some(&id) = st.by_peer.get(&target) {
+                match st.conns.get(&id) {
+                    Some(e) if !e.closed => return Ok((id, false)),
+                    _ => {
+                        st.by_peer.remove(&target);
+                    }
+                }
+            }
+        }
+        if target.is_temporary() {
+            // TAdds "are of no use in locating objects" (§3.4).
+            return Err(NtcsError::UnknownAddress(target.raw()));
+        }
+        let resolved = self.resolve_module(target)?;
+        let conn_id = self.open_circuit(&resolved)?;
+        Ok((conn_id, true))
+    }
+
+    /// UAdd → location info: local cache / well-known table first, then the
+    /// naming service (recursively).
+    fn resolve_module(&self, target: UAdd) -> Result<ResolvedModule> {
+        if let Some(m) = self.inner.statics.get(target) {
+            return Ok(m);
+        }
+        let resolver = self
+            .inner
+            .resolver
+            .read()
+            .clone()
+            .ok_or(NtcsError::UnknownAddress(target.raw()))?;
+        let _scope = self.inner.gauge.enter()?;
+        self.inner.metrics.bump(&self.inner.metrics.ns_lookups);
+        self.inner.trace.record(
+            self.inner.gauge.depth(),
+            Layer::Nsp,
+            "lookup",
+            format!("ND needs phys of {target}"),
+        );
+        let m = resolver.lookup(target)?;
+        self.inner.statics.cache(m.clone());
+        Ok(m)
+    }
+
+    /// Establishes the IVC: a direct LVC when the destination shares a
+    /// network, otherwise a chained circuit through the gateway route
+    /// obtained from the naming service (§4.2).
+    fn open_circuit(&self, resolved: &ResolvedModule) -> Result<u64> {
+        let my_nets = self.inner.nd.networks();
+        let (first_addr, payload) = if let Some(direct) = resolved.addr_on_any(&my_nets) {
+            (direct.clone(), OpenPayload::direct())
+        } else if resolved.uadd == UAdd::NAME_SERVER && !self.inner.config.ns_route.is_empty() {
+            // Prime-gateway route to the Name Server (§3.4).
+            let hops = self.inner.config.ns_route.clone();
+            let first = hops[0].entry.clone();
+            let dst_phys = resolved
+                .addrs
+                .first()
+                .cloned()
+                .ok_or(NtcsError::UnknownAddress(resolved.uadd.raw()))?;
+            (
+                first,
+                OpenPayload {
+                    route: hops[1..].to_vec(),
+                    dst_phys: Some(dst_phys),
+                },
+            )
+        } else {
+            let resolver = self
+                .inner
+                .resolver
+                .read()
+                .clone()
+                .ok_or(NtcsError::NoRoute {
+                    from: my_nets.first().map_or(0, |n| n.0),
+                    to: resolved
+                        .addrs
+                        .first()
+                        .map_or(u32::MAX, |a| a.network().0),
+                })?;
+            let _scope = self.inner.gauge.enter()?;
+            self.inner.metrics.bump(&self.inner.metrics.route_queries);
+            self.inner.trace.record(
+                self.inner.gauge.depth(),
+                Layer::Ip,
+                "route-query",
+                format!("destination {} is on a foreign network", resolved.uadd),
+            );
+            let route = resolver.route(&my_nets, resolved.uadd)?;
+            if route.hops.is_empty() {
+                return Err(NtcsError::NoRoute {
+                    from: my_nets.first().map_or(0, |n| n.0),
+                    to: route.dst_phys.network().0,
+                });
+            }
+            let first = route.hops[0].entry.clone();
+            (
+                first,
+                OpenPayload {
+                    route: route.hops[1..].to_vec(),
+                    dst_phys: Some(route.dst_phys),
+                },
+            )
+        };
+
+        self.inner.trace.record(
+            self.inner.gauge.depth(),
+            Layer::Nd,
+            "open",
+            format!("LVC to {first_addr}"),
+        );
+        self.inner
+            .metrics
+            .bump(&self.inner.metrics.nd_open_attempts);
+        let lvc = self
+            .inner
+            .nd
+            .open(&first_addr, self.inner.config.open_retries)?;
+
+        let mut h = FrameHeader::new(
+            FrameType::LvcOpen,
+            self.my_uadd(),
+            resolved.uadd,
+            self.machine_type(),
+        );
+        h.msg_id = self.next_msg_id();
+        let open = Frame::new(h, Bytes::from(payload.to_packed()));
+        lvc.send_frame(&open)?;
+
+        let conn_id = self.inner.conn_seq.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut st = self.inner.state.lock();
+            st.conns.insert(
+                conn_id,
+                ConnEntry {
+                    id: conn_id,
+                    lvc: lvc.clone(),
+                    peer: resolved.uadd,
+                    wire_peer: resolved.uadd,
+                    peer_machine: resolved.machine_type,
+                    mode: ConvMode::Packed, // provisional until the ack
+                    established: false,
+                    closed: false,
+                },
+            );
+            st.by_peer.insert(resolved.uadd, conn_id);
+        }
+        spawn_reader(&self.inner, conn_id, lvc);
+
+        // Pump until the ack arrives (the passive Nucleus keeps working on
+        // the caller's stack while waiting).
+        let deadline = Instant::now() + self.inner.config.open_timeout;
+        loop {
+            {
+                let st = self.inner.state.lock();
+                match st.conns.get(&conn_id) {
+                    Some(e) if e.established => break,
+                    Some(e) if e.closed => return Err(NtcsError::ConnectionClosed),
+                    Some(_) => {}
+                    None => return Err(NtcsError::ConnectionClosed),
+                }
+            }
+            if Instant::now() >= deadline {
+                self.mark_conn_closed(conn_id);
+                return Err(NtcsError::Timeout);
+            }
+            self.pump_once(Some(Duration::from_millis(10)))?;
+        }
+        self.inner.metrics.bump(&self.inner.metrics.circuits_opened);
+        Ok(conn_id)
+    }
+
+    // ------------------------------------------------------------------
+    // The pump: the passive Nucleus's event processing
+    // ------------------------------------------------------------------
+
+    /// Processes queued events for up to `wait` ("the housekeeping which
+    /// must occur every time the passive Nucleus is called", §6.2).
+    fn pump_once(&self, wait: Option<Duration>) -> Result<()> {
+        let first = match wait {
+            Some(w) => match self.inner.events_rx.recv_timeout(w) {
+                Ok(ev) => Some(ev),
+                Err(crossbeam_channel::RecvTimeoutError::Timeout) => None,
+                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
+                    return Err(NtcsError::ShutDown)
+                }
+            },
+            None => None,
+        };
+        if let Some(ev) = first {
+            self.dispatch(ev);
+        }
+        while let Ok(ev) = self.inner.events_rx.try_recv() {
+            self.dispatch(ev);
+        }
+        Ok(())
+    }
+
+    fn dispatch(&self, ev: Event) {
+        match ev {
+            Event::Closed { conn_id } => {
+                let mut st = self.inner.state.lock();
+                if let Some(e) = st.conns.get_mut(&conn_id) {
+                    e.closed = true;
+                    e.lvc.close();
+                }
+            }
+            Event::Frame { conn_id, frame } => self.dispatch_frame(conn_id, frame),
+        }
+    }
+
+    fn dispatch_frame(&self, conn_id: u64, frame: Frame) {
+        let h = &frame.header;
+        match h.frame_type {
+            FrameType::LvcOpenAck => {
+                let mut st = self.inner.state.lock();
+                if let Some(e) = st.conns.get_mut(&conn_id) {
+                    e.established = true;
+                    e.peer_machine = h.src_machine;
+                    e.mode = ConvMode::select(self.machine_type(), h.src_machine);
+                    // The peer may ack with a different (real) UAdd than the
+                    // possibly-stale one we dialed; prefer what it says.
+                    if h.src.is_permanent() && h.src != e.peer {
+                        let old = e.peer;
+                        e.peer = h.src;
+                        e.wire_peer = h.src;
+                        let id = e.id;
+                        st.by_peer.remove(&old);
+                        st.by_peer.insert(h.src, id);
+                    }
+                }
+            }
+            FrameType::Data if h.aux == RELIABLE_ACK_TYPE => {
+                // An LCM-level acknowledgement (reliable extension): record
+                // and swallow — the application never sees it.
+                self.inner.state.lock().acks.insert(h.reply_to);
+            }
+            FrameType::Data | FrameType::Datagram => {
+                let mut st = self.inner.state.lock();
+                let Some(e) = st.conns.get_mut(&conn_id) else {
+                    return;
+                };
+                // §3.4 purge: a frame from a permanent UAdd replaces any TAdd
+                // alias in the local tables.
+                if h.src.is_permanent() && e.peer.is_temporary() {
+                    let old = e.peer;
+                    e.peer = h.src;
+                    e.wire_peer = h.src;
+                    let id = e.id;
+                    st.by_peer.remove(&old);
+                    st.by_peer.insert(h.src, id);
+                    self.inner.metrics.bump(&self.inner.metrics.tadd_purges);
+                }
+                let e = st.conns.get(&conn_id).expect("just updated");
+                let peer = e.peer;
+                let arrival_lvc = e.lvc.clone();
+                let mut deliver = true;
+                if h.flags.reliable {
+                    // Reliable extension: suppress retransmitted duplicates.
+                    // A duplicate means our delivery ack was lost — re-ack
+                    // immediately so the sender's loop converges.
+                    let key = (peer.raw(), h.msg_id);
+                    if !st.seen_reliable.insert(key) {
+                        deliver = false;
+                        self.inner
+                            .metrics
+                            .bump(&self.inner.metrics.duplicates_suppressed);
+                        send_reliable_ack(&self.inner, &arrival_lvc, h.src, h.msg_id);
+                    } else {
+                        st.seen_reliable_order.push_back(key);
+                        if st.seen_reliable_order.len() > SEEN_RELIABLE_CAP {
+                            if let Some(old) = st.seen_reliable_order.pop_front() {
+                                st.seen_reliable.remove(&old);
+                            }
+                        }
+                    }
+                }
+                if deliver {
+                    let received = Received {
+                        src: peer,
+                        msg_id: h.msg_id,
+                        reply_to: h.reply_to,
+                        reply_expected: h.flags.reply_expected,
+                        connectionless: h.frame_type == FrameType::Datagram,
+                        reliable: h.flags.reliable,
+                        payload: InboundPayload {
+                            type_id: h.aux,
+                            mode: h.flags.conv_mode(),
+                            src_machine: h.src_machine,
+                            bytes: frame.payload.clone(),
+                        },
+                        conn_id,
+                    };
+                    st.inbox.push_back(received);
+                }
+            }
+            FrameType::Close | FrameType::IvcAbort => {
+                self.mark_conn_closed(conn_id);
+            }
+            FrameType::Ping => {
+                let st = self.inner.state.lock();
+                if let Some(e) = st.conns.get(&conn_id) {
+                    let mut pong = FrameHeader::new(
+                        FrameType::Pong,
+                        self.my_uadd(),
+                        e.wire_peer,
+                        self.machine_type(),
+                    );
+                    pong.reply_to = h.msg_id;
+                    let _ = e.lvc.send_frame(&Frame::control(pong));
+                }
+            }
+            FrameType::Pong => {
+                self.inner.state.lock().pongs.insert(h.reply_to, ());
+            }
+            FrameType::LvcOpen | FrameType::IvcOpen | FrameType::IvcOpenAck => {
+                // Opens are handled by the greeter; seeing one here is a
+                // protocol violation we simply drop.
+            }
+        }
+    }
+}
+
+fn remaining(deadline: Option<Instant>) -> Result<Option<Duration>> {
+    match deadline {
+        None => Ok(Some(Duration::from_millis(50))),
+        Some(d) => {
+            let now = Instant::now();
+            if now >= d {
+                Err(NtcsError::Timeout)
+            } else {
+                Ok(Some((d - now).min(Duration::from_millis(50))))
+            }
+        }
+    }
+}
+
+/// Emits a reliable-extension delivery acknowledgement on a circuit.
+fn send_reliable_ack(inner: &Arc<Inner>, lvc: &Lvc, to: UAdd, acked_msg_id: u64) {
+    let mut ack = FrameHeader::new(
+        FrameType::Data,
+        *inner.my_uadd.read(),
+        to,
+        inner.nd.machine_type(),
+    );
+    ack.aux = RELIABLE_ACK_TYPE;
+    ack.reply_to = acked_msg_id;
+    ack.msg_id = inner.msg_seq.fetch_add(1, Ordering::Relaxed);
+    let _ = lvc.send_frame(&Frame::control(ack));
+}
+
+/// Reader thread: shuttles frames from one circuit into the event queue.
+/// Runs no protocol logic (the Nucleus stays passive).
+fn spawn_reader(inner: &Arc<Inner>, conn_id: u64, lvc: Lvc) {
+    let events = inner.events_tx.clone();
+    let shutdown_flag = Arc::clone(inner);
+    std::thread::Builder::new()
+        .name("ntcs-reader".into())
+        .spawn(move || loop {
+            if shutdown_flag.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            match lvc.recv_frame(Some(Duration::from_millis(500))) {
+                Ok(frame) => {
+                    if events.send(Event::Frame { conn_id, frame }).is_err() {
+                        return;
+                    }
+                }
+                Err(NtcsError::Timeout) => continue,
+                Err(_) => {
+                    let _ = events.send(Event::Closed { conn_id });
+                    return;
+                }
+            }
+        })
+        .expect("spawn reader");
+}
+
+/// Greeter: handles the first frame of an inbound circuit (the open
+/// handshake), then becomes its reader thread.
+fn greet_inbound(inner: &Arc<Inner>, lvc: Lvc) {
+    let open = match lvc.recv_frame(Some(Duration::from_secs(5))) {
+        Ok(f) => f,
+        Err(_) => {
+            lvc.close();
+            return;
+        }
+    };
+    if open.header.frame_type != FrameType::LvcOpen {
+        lvc.close();
+        return;
+    }
+    let my_uadd = *inner.my_uadd.read();
+    let for_me = open.header.dst == my_uadd
+        || (open.header.dst.is_permanent() && open.header.dst == UAdd::from_raw(0));
+    if !for_me {
+        // Transit circuit: hand to the gateway handler if present (§4),
+        // otherwise refuse.
+        let handler = inner.gateway.read().clone();
+        if let Some(h) = handler {
+            inner.trace.record(0, Layer::Ip, "transit", open.header.dst);
+            h.transit(lvc, open);
+        } else {
+            let mut close = FrameHeader::new(
+                FrameType::Close,
+                my_uadd,
+                open.header.src,
+                inner.nd.machine_type(),
+            );
+            close.error_code = NtcsError::UnknownAddress(open.header.dst.raw()).wire_code();
+            let _ = lvc.send_frame(&Frame::control(close));
+            lvc.close();
+        }
+        return;
+    }
+
+    // Register the circuit. A TAdd source gets a receiver-local alias, since
+    // "the source TAdd is not unique to the receiver" (§3.4).
+    let peer_on_wire = open.header.src;
+    let peer_key = if peer_on_wire.is_temporary() {
+        inner.tadds.generate()
+    } else {
+        peer_on_wire
+    };
+    let mode = ConvMode::select(inner.nd.machine_type(), open.header.src_machine);
+    let conn_id = inner.conn_seq.fetch_add(1, Ordering::Relaxed);
+    {
+        let mut st = inner.state.lock();
+        st.conns.insert(
+            conn_id,
+            ConnEntry {
+                id: conn_id,
+                lvc: lvc.clone(),
+                peer: peer_key,
+                wire_peer: peer_on_wire,
+                peer_machine: open.header.src_machine,
+                mode,
+                established: true,
+                closed: false,
+            },
+        );
+        st.by_peer.insert(peer_key, conn_id);
+    }
+    inner.metrics.bump(&inner.metrics.circuits_accepted);
+    inner.trace.record(
+        0,
+        Layer::Nd,
+        "accept",
+        format!("from {peer_on_wire} as {peer_key}"),
+    );
+
+    let mut ack = FrameHeader::new(
+        FrameType::LvcOpenAck,
+        my_uadd,
+        peer_on_wire,
+        inner.nd.machine_type(),
+    );
+    ack.reply_to = open.header.msg_id;
+    if lvc.send_frame(&Frame::control(ack)).is_err() {
+        lvc.close();
+        let mut st = inner.state.lock();
+        st.conns.remove(&conn_id);
+        st.by_peer.remove(&peer_key);
+        return;
+    }
+
+    // Become the reader.
+    let events = inner.events_tx.clone();
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match lvc.recv_frame(Some(Duration::from_millis(500))) {
+            Ok(frame) => {
+                if events.send(Event::Frame { conn_id, frame }).is_err() {
+                    return;
+                }
+            }
+            Err(NtcsError::Timeout) => continue,
+            Err(_) => {
+                let _ = events.send(Event::Closed { conn_id });
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntcs_addr::{MachineId, UAddGenerator};
+    use ntcs_ipcs::NetKind;
+    use ntcs_wire::ntcs_message;
+
+    ntcs_message! {
+        pub struct Greeting: 500 {
+            pub text: String,
+            pub n: u32,
+        }
+        pub struct Answer: 501 {
+            pub ok: bool,
+            pub echo: String,
+        }
+    }
+
+    struct Rig {
+        world: World,
+        a: Nucleus,
+        b: Nucleus,
+        ua: UAdd,
+        ub: UAdd,
+    }
+
+    /// Two modules that know each other through the well-known table (no
+    /// naming service yet — this is the Nucleus in isolation).
+    fn rig(kind: NetKind, ta: MachineType, tb: MachineType) -> Rig {
+        let world = World::new();
+        let net = world.add_network(kind, "lab");
+        let ma = world.add_machine(ta, "ma", &[net]).unwrap();
+        let mb = world.add_machine(tb, "mb", &[net]).unwrap();
+        let gen = UAddGenerator::new(0);
+        let ua = gen.generate();
+        let ub = gen.generate();
+        let a = Nucleus::bind(&world, NucleusConfig::new(ma, "a")).unwrap();
+        let b = Nucleus::bind(&world, NucleusConfig::new(mb, "b")).unwrap();
+        a.set_my_uadd(ua);
+        b.set_my_uadd(ub);
+        a.statics().preload(ub, b.nd().phys_addrs(), tb);
+        b.statics().preload(ua, a.nd().phys_addrs(), ta);
+        Rig { world, a, b, ua, ub }
+    }
+
+    const T: Option<Duration> = Some(Duration::from_secs(5));
+
+    #[test]
+    fn send_recv_over_mbx() {
+        let r = rig(NetKind::Mbx, MachineType::Vax, MachineType::Sun);
+        let g = Greeting {
+            text: "hello".into(),
+            n: 7,
+        };
+        r.a.send_message(r.ub, &g, false).unwrap();
+        let m = r.b.recv(T).unwrap();
+        assert_eq!(m.src, r.ua);
+        let got: Greeting = m.payload.decode(r.b.machine_type()).unwrap();
+        assert_eq!(got, g);
+    }
+
+    #[test]
+    fn send_recv_over_tcp() {
+        let r = rig(NetKind::Tcp, MachineType::Sun, MachineType::Apollo);
+        let g = Greeting {
+            text: "tcp".into(),
+            n: 1,
+        };
+        r.a.send_message(r.ub, &g, false).unwrap();
+        let m = r.b.recv(T).unwrap();
+        let got: Greeting = m.payload.decode(r.b.machine_type()).unwrap();
+        assert_eq!(got, g);
+    }
+
+    #[test]
+    fn mode_is_packed_between_unlike_machines() {
+        let r = rig(NetKind::Mbx, MachineType::Vax, MachineType::Sun);
+        r.a.send_message(
+            r.ub,
+            &Greeting {
+                text: "x".into(),
+                n: 0x0102_0304,
+            },
+            false,
+        )
+        .unwrap();
+        let m = r.b.recv(T).unwrap();
+        assert_eq!(m.payload.mode, ConvMode::Packed);
+        let got: Greeting = m.payload.decode(r.b.machine_type()).unwrap();
+        assert_eq!(got.n, 0x0102_0304);
+    }
+
+    #[test]
+    fn mode_is_image_between_like_machines() {
+        let r = rig(NetKind::Mbx, MachineType::Sun, MachineType::Apollo);
+        r.a.send_message(
+            r.ub,
+            &Greeting {
+                text: "img".into(),
+                n: 42,
+            },
+            false,
+        )
+        .unwrap();
+        let m = r.b.recv(T).unwrap();
+        assert_eq!(m.payload.mode, ConvMode::Image);
+        let got: Greeting = m.payload.decode(r.b.machine_type()).unwrap();
+        assert_eq!(got.n, 42);
+    }
+
+    #[test]
+    fn request_reply_round_trip() {
+        let r = rig(NetKind::Mbx, MachineType::Vax, MachineType::Apollo);
+        let b = r.b.clone();
+        let server = std::thread::spawn(move || {
+            let m = b.recv(T).unwrap();
+            let q: Greeting = m.payload.decode(b.machine_type()).unwrap();
+            b.reply_message(
+                &m,
+                &Answer {
+                    ok: true,
+                    echo: q.text,
+                },
+            )
+            .unwrap();
+        });
+        let reply = r
+            .a
+            .request(
+                r.ub,
+                &Greeting {
+                    text: "ask".into(),
+                    n: 3,
+                },
+                T,
+            )
+            .unwrap();
+        let ans: Answer = reply.payload.decode(r.a.machine_type()).unwrap();
+        assert!(ans.ok);
+        assert_eq!(ans.echo, "ask");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn second_send_reuses_circuit() {
+        let r = rig(NetKind::Mbx, MachineType::Vax, MachineType::Vax);
+        for i in 0..3 {
+            r.a.send_message(
+                r.ub,
+                &Greeting {
+                    text: "again".into(),
+                    n: i,
+                },
+                false,
+            )
+            .unwrap();
+        }
+        for _ in 0..3 {
+            r.b.recv(T).unwrap();
+        }
+        assert_eq!(r.a.metrics().snapshot().circuits_opened, 1);
+        assert_eq!(r.b.metrics().snapshot().circuits_accepted, 1);
+    }
+
+    #[test]
+    fn tadd_peer_gets_alias_and_reply_works() {
+        let world = World::new();
+        let net = world.add_network(NetKind::Mbx, "lab");
+        let ma = world.add_machine(MachineType::Vax, "ma", &[net]).unwrap();
+        let mb = world.add_machine(MachineType::Sun, "mb", &[net]).unwrap();
+        let server = Nucleus::bind(&world, NucleusConfig::new(mb, "srv")).unwrap();
+        let us = UAddGenerator::new(0).generate();
+        server.set_my_uadd(us);
+        // Client keeps its self-assigned TAdd (pre-registration state).
+        let client = Nucleus::bind(&world, NucleusConfig::new(ma, "cli")).unwrap();
+        assert!(client.my_uadd().is_temporary());
+        client
+            .statics()
+            .preload(us, server.nd().phys_addrs(), MachineType::Sun);
+
+        client
+            .send_message(
+                us,
+                &Greeting {
+                    text: "from tadd".into(),
+                    n: 1,
+                },
+                true,
+            )
+            .unwrap();
+        let m = server.recv(T).unwrap();
+        // The server keyed the client by a *local* alias TAdd.
+        assert!(m.src.is_temporary());
+        assert_ne!(m.src, client.my_uadd());
+        // Reply flows back over the arrival circuit.
+        server
+            .reply_message(
+                &m,
+                &Answer {
+                    ok: true,
+                    echo: "hi".into(),
+                },
+            )
+            .unwrap();
+        let got = client.wait_reply(m.msg_id, T).unwrap();
+        let a: Answer = got.payload.decode(client.machine_type()).unwrap();
+        assert!(a.ok);
+    }
+
+    #[test]
+    fn tadd_is_purged_after_registration() {
+        let world = World::new();
+        let net = world.add_network(NetKind::Mbx, "lab");
+        let ma = world.add_machine(MachineType::Vax, "ma", &[net]).unwrap();
+        let mb = world.add_machine(MachineType::Sun, "mb", &[net]).unwrap();
+        let server = Nucleus::bind(&world, NucleusConfig::new(mb, "srv")).unwrap();
+        let gen = UAddGenerator::new(0);
+        let us = gen.generate();
+        server.set_my_uadd(us);
+        let client = Nucleus::bind(&world, NucleusConfig::new(ma, "cli")).unwrap();
+        client
+            .statics()
+            .preload(us, server.nd().phys_addrs(), MachineType::Sun);
+
+        // First communication: client still a TAdd.
+        client
+            .send_message(us, &Greeting { text: "1".into(), n: 1 }, false)
+            .unwrap();
+        let m1 = server.recv(T).unwrap();
+        assert!(m1.src.is_temporary());
+        assert!(server.peer_table().iter().any(|u| u.is_temporary()));
+
+        // "Registration": the client learns its real UAdd.
+        let real = gen.generate();
+        client.set_my_uadd(real);
+
+        // Second communication: the server's tables purge the TAdd.
+        client
+            .send_message(us, &Greeting { text: "2".into(), n: 2 }, false)
+            .unwrap();
+        let m2 = server.recv(T).unwrap();
+        assert_eq!(m2.src, real);
+        assert!(
+            server.peer_table().iter().all(|u| u.is_permanent()),
+            "TAdds must be purged within the first two communications (§3.4)"
+        );
+        assert_eq!(server.metrics().snapshot().tadd_purges, 1);
+    }
+
+    #[test]
+    fn unknown_destination_fails() {
+        let r = rig(NetKind::Mbx, MachineType::Vax, MachineType::Sun);
+        let ghost = UAddGenerator::new(7).generate();
+        let err = r
+            .a
+            .send_message(ghost, &Greeting::default(), false)
+            .unwrap_err();
+        assert!(matches!(err, NtcsError::UnknownAddress(_)), "{err}");
+    }
+
+    #[test]
+    fn peer_crash_surfaces_after_relocation_attempts() {
+        let r = rig(NetKind::Mbx, MachineType::Vax, MachineType::Sun);
+        r.a.send_message(r.ub, &Greeting::default(), false).unwrap();
+        r.b.recv(T).unwrap();
+        // Crash B's machine: the circuit dies and no forwarding exists.
+        r.world.crash(MachineId(1));
+        std::thread::sleep(Duration::from_millis(50));
+        let err = r
+            .a
+            .send_message(r.ub, &Greeting::default(), false)
+            .unwrap_err();
+        assert!(err.is_relocation_candidate(), "{err}");
+        assert!(r.a.metrics().snapshot().address_faults >= 1);
+    }
+
+    #[test]
+    fn cast_is_best_effort() {
+        let r = rig(NetKind::Mbx, MachineType::Vax, MachineType::Sun);
+        r.a.cast_message(r.ub, &Greeting { text: "dgram".into(), n: 9 })
+            .unwrap();
+        let m = r.b.recv(T).unwrap();
+        assert!(m.connectionless);
+        // Casting into the void is silently absorbed.
+        r.world.crash(MachineId(1));
+        std::thread::sleep(Duration::from_millis(20));
+        r.a.cast_message(r.ub, &Greeting::default()).unwrap();
+        assert!(r.a.metrics().snapshot().dropped_messages >= 1);
+    }
+
+    #[test]
+    fn ping_round_trip() {
+        let r = rig(NetKind::Mbx, MachineType::Sun, MachineType::Sun);
+        let b = r.b.clone();
+        let t = std::thread::spawn(move || {
+            // The server must be pumping for pings to be answered.
+            let _ = b.recv(Some(Duration::from_millis(500)));
+        });
+        let rtt = r.a.ping(r.ub, T).unwrap();
+        assert!(rtt < Duration::from_secs(1));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_works() {
+        let r = rig(NetKind::Mbx, MachineType::Vax, MachineType::Sun);
+        let err = r.a.recv(Some(Duration::from_millis(50))).unwrap_err();
+        assert!(matches!(err, NtcsError::Timeout));
+    }
+
+    #[test]
+    fn shutdown_stops_everything() {
+        let r = rig(NetKind::Mbx, MachineType::Vax, MachineType::Sun);
+        r.a.send_message(r.ub, &Greeting::default(), false).unwrap();
+        r.b.recv(T).unwrap();
+        r.a.shutdown();
+        assert!(r.a.is_shut_down());
+        assert!(matches!(
+            r.a.send_message(r.ub, &Greeting::default(), false),
+            Err(NtcsError::ShutDown)
+        ));
+        assert!(matches!(r.a.recv(T), Err(NtcsError::ShutDown)));
+    }
+
+    #[test]
+    fn reliable_send_acks_on_delivery() {
+        let r = rig(NetKind::Mbx, MachineType::Vax, MachineType::Sun);
+        let b = r.b.clone();
+        let receiver = std::thread::spawn(move || {
+            let m = b.recv(T).unwrap();
+            assert!(m.reliable);
+            m
+        });
+        let id = r
+            .a
+            .send_reliable_message(
+                r.ub,
+                &Greeting { text: "guaranteed".into(), n: 1 },
+                Duration::from_secs(5),
+            )
+            .unwrap();
+        let m = receiver.join().unwrap();
+        assert_eq!(m.msg_id, id);
+        // No retransmissions were needed, and nothing leaked into B's app
+        // inbox besides the payload itself.
+        assert_eq!(r.a.metrics().snapshot().retransmissions, 0);
+        assert!(matches!(
+            r.b.recv(Some(Duration::from_millis(100))),
+            Err(NtcsError::Timeout)
+        ));
+    }
+
+    #[test]
+    fn forwarding_compression_keeps_chains_short() {
+        let r = rig(NetKind::Mbx, MachineType::Vax, MachineType::Sun);
+        // Simulate a long relocation history in the forwarding table.
+        let gen = UAddGenerator::new(9);
+        let chain: Vec<UAdd> = (0..20).map(|_| gen.generate()).collect();
+        {
+            let mut table = Vec::new();
+            for w in chain.windows(2) {
+                table.push((w[0], w[1]));
+            }
+            // Install via the public-ish surface: there is none, so go
+            // through resolve by seeding the state directly with sends…
+            // simplest: use the test-only accessor.
+            for (old, new) in table {
+                r.a.test_insert_forwarding(old, new);
+            }
+        }
+        // Resolving the head compresses every hop to the tail.
+        let tail = *chain.last().unwrap();
+        assert_eq!(r.a.resolve_forwarded(chain[0]).unwrap(), tail);
+        for (old, new) in r.a.forwarding_table() {
+            if chain.contains(&old) {
+                assert_eq!(new, tail, "path compression must flatten {old}");
+            }
+        }
+        // A cycle is detected rather than looping.
+        r.a.test_insert_forwarding(tail, chain[0]);
+        assert!(matches!(
+            r.a.resolve_forwarded(chain[0]),
+            Err(NtcsError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn inbound_to_wrong_uadd_is_refused_without_gateway() {
+        let r = rig(NetKind::Mbx, MachineType::Vax, MachineType::Sun);
+        // Tell A that some ghost UAdd lives at B's physical address.
+        let ghost = UAddGenerator::new(3).generate();
+        r.a.statics()
+            .preload(ghost, r.b.nd().phys_addrs(), MachineType::Sun);
+        let err = r
+            .a
+            .send_message(ghost, &Greeting::default(), false)
+            .unwrap_err();
+        // B refuses the open (it is not a gateway), so establishment fails.
+        assert!(
+            matches!(err, NtcsError::ConnectionClosed | NtcsError::Timeout),
+            "{err}"
+        );
+    }
+}

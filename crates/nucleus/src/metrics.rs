@@ -1,0 +1,121 @@
+//! Per-Nucleus counters backing the experiment harness.
+//!
+//! These make the paper's qualitative claims measurable: how many circuit
+//! establishments versus data sends (E5), how many address faults and
+//! forwarding queries a reconfiguration causes (E7), how quickly TAdds are
+//! purged (E1), and how deep the recursion goes (E8/E9).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters maintained by one module's Nucleus.
+#[derive(Debug, Default)]
+pub struct NucleusMetrics {
+    /// Data frames sent (application + control replies).
+    pub sends: AtomicU64,
+    /// Data frames delivered to the application.
+    pub recvs: AtomicU64,
+    /// Connectionless datagrams sent.
+    pub casts: AtomicU64,
+    /// Circuits established (LvcOpen acked), outbound.
+    pub circuits_opened: AtomicU64,
+    /// Circuits accepted, inbound.
+    pub circuits_accepted: AtomicU64,
+    /// ND-level open attempts, including retries.
+    pub nd_open_attempts: AtomicU64,
+    /// Address faults observed by the LCM layer (§3.5).
+    pub address_faults: AtomicU64,
+    /// Forwarding queries issued to the naming service.
+    pub forward_queries: AtomicU64,
+    /// Successful transparent reconnections after a fault.
+    pub reconnects: AtomicU64,
+    /// TAdd table entries replaced by real UAdds (§3.4 purge).
+    pub tadd_purges: AtomicU64,
+    /// Naming-service lookups (UAdd → phys).
+    pub ns_lookups: AtomicU64,
+    /// Route queries (IP layer).
+    pub route_queries: AtomicU64,
+    /// Frames relayed (gateway role).
+    pub relayed_frames: AtomicU64,
+    /// Messages known dropped (send accepted but circuit died before/while
+    /// transferring, during reconfiguration).
+    pub dropped_messages: AtomicU64,
+    /// Reliable-extension retransmissions.
+    pub retransmissions: AtomicU64,
+    /// Reliable-extension duplicates suppressed at the receiver.
+    pub duplicates_suppressed: AtomicU64,
+}
+
+/// A point-in-time copy of [`NucleusMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct NucleusMetricsSnapshot {
+    pub sends: u64,
+    pub recvs: u64,
+    pub casts: u64,
+    pub circuits_opened: u64,
+    pub circuits_accepted: u64,
+    pub nd_open_attempts: u64,
+    pub address_faults: u64,
+    pub forward_queries: u64,
+    pub reconnects: u64,
+    pub tadd_purges: u64,
+    pub ns_lookups: u64,
+    pub route_queries: u64,
+    pub relayed_frames: u64,
+    pub dropped_messages: u64,
+    pub retransmissions: u64,
+    pub duplicates_suppressed: u64,
+}
+
+impl NucleusMetrics {
+    /// Creates zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        NucleusMetrics::default()
+    }
+
+    /// Increments a counter by one.
+    pub fn bump(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a snapshot of all counters.
+    #[must_use]
+    pub fn snapshot(&self) -> NucleusMetricsSnapshot {
+        NucleusMetricsSnapshot {
+            sends: self.sends.load(Ordering::Relaxed),
+            recvs: self.recvs.load(Ordering::Relaxed),
+            casts: self.casts.load(Ordering::Relaxed),
+            circuits_opened: self.circuits_opened.load(Ordering::Relaxed),
+            circuits_accepted: self.circuits_accepted.load(Ordering::Relaxed),
+            nd_open_attempts: self.nd_open_attempts.load(Ordering::Relaxed),
+            address_faults: self.address_faults.load(Ordering::Relaxed),
+            forward_queries: self.forward_queries.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            tadd_purges: self.tadd_purges.load(Ordering::Relaxed),
+            ns_lookups: self.ns_lookups.load(Ordering::Relaxed),
+            route_queries: self.route_queries.load(Ordering::Relaxed),
+            relayed_frames: self.relayed_frames.load(Ordering::Relaxed),
+            dropped_messages: self.dropped_messages.load(Ordering::Relaxed),
+            retransmissions: self.retransmissions.load(Ordering::Relaxed),
+            duplicates_suppressed: self.duplicates_suppressed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let m = NucleusMetrics::new();
+        m.bump(&m.sends);
+        m.bump(&m.sends);
+        m.bump(&m.tadd_purges);
+        let s = m.snapshot();
+        assert_eq!(s.sends, 2);
+        assert_eq!(s.tadd_purges, 1);
+        assert_eq!(s.recvs, 0);
+    }
+}

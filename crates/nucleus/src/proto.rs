@@ -1,0 +1,184 @@
+//! Internal Nucleus control payloads.
+//!
+//! §5.2: "Any necessary data field in an NTCS control message is built in
+//! packed mode. Since these data fields are relatively rare, this conversion
+//! overhead is not bothersome." The open payload below is exactly such a
+//! field: it rides behind the shift-mode header of an `LvcOpen` frame and is
+//! always packed.
+
+use ntcs_addr::{NtcsError, PhysAddr, Result, UAdd};
+use ntcs_wire::pack::{pack_to_vec, unpack_from_slice, Blob, Packable};
+use ntcs_wire::{PackReader, PackWriter};
+
+/// One gateway hop of an IVC route: which gateway, and the physical address
+/// to enter it by on the network we are coming from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hop {
+    /// The gateway module's UAdd (may be a placeholder for prime gateways
+    /// contacted before registration completes).
+    pub gateway: UAdd,
+    /// The gateway's physical address on the entering network.
+    pub entry: PhysAddr,
+}
+
+impl Packable for Hop {
+    fn pack(&self, w: &mut PackWriter) {
+        w.put_unsigned(self.gateway.raw());
+        w.put_bytes(&self.entry.to_opaque());
+    }
+    fn unpack(r: &mut PackReader<'_>) -> Result<Self> {
+        let gateway = UAdd::from_raw(r.get_unsigned()?);
+        let entry = PhysAddr::from_opaque(&r.get_bytes()?)?;
+        Ok(Hop { gateway, entry })
+    }
+}
+
+/// The packed payload of an `LvcOpen` frame: the remaining route and the
+/// final destination's physical address (opaque to every layer except the
+/// ND-Layer that finally dials it).
+///
+/// The originator embeds the *entire* route here, obtained from the naming
+/// service; each gateway pops the head and forwards the rest. This is the
+/// §4.2 compromise: "decentralize the circuit routing and establishment,
+/// while centralizing the topological information in the naming service …
+/// no inter-gateway communication ever takes place."
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenPayload {
+    /// Gateways still to traverse after the receiver of this frame.
+    pub route: Vec<Hop>,
+    /// Final destination's physical address (consumed by the last gateway).
+    pub dst_phys: Option<PhysAddr>,
+}
+
+impl OpenPayload {
+    /// A direct (single-LVC) open with no gateway chain.
+    #[must_use]
+    pub fn direct() -> Self {
+        OpenPayload {
+            route: Vec::new(),
+            dst_phys: None,
+        }
+    }
+
+    /// Encodes in packed mode.
+    #[must_use]
+    pub fn to_packed(&self) -> Vec<u8> {
+        let pair = (
+            self.route.clone(),
+            self.dst_phys
+                .as_ref()
+                .map(|p| Blob(p.to_opaque())),
+        );
+        pack_to_vec(&pair)
+    }
+
+    /// Decodes from packed mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NtcsError::Protocol`] on malformed input.
+    pub fn from_packed(bytes: &[u8]) -> Result<Self> {
+        let (route, dst_phys): (Vec<Hop>, Option<Blob>) = unpack_from_slice(bytes)?;
+        let dst_phys = match dst_phys {
+            Some(b) => Some(PhysAddr::from_opaque(&b.0)?),
+            None => None,
+        };
+        Ok(OpenPayload { route, dst_phys })
+    }
+
+    /// Splits off the next hop, returning it and the payload the gateway
+    /// should forward.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NtcsError::Protocol`] if there is neither a next hop nor a
+    /// destination address (a malformed route).
+    pub fn advance(&self) -> Result<(PhysAddr, OpenPayload)> {
+        if let Some((first, rest)) = self.route.split_first() {
+            Ok((
+                first.entry.clone(),
+                OpenPayload {
+                    route: rest.to_vec(),
+                    dst_phys: self.dst_phys.clone(),
+                },
+            ))
+        } else if let Some(dst) = &self.dst_phys {
+            Ok((dst.clone(), OpenPayload::direct()))
+        } else {
+            Err(NtcsError::Protocol(
+                "open payload has no next hop and no destination".into(),
+            ))
+        }
+    }
+
+    /// Whether the receiver of this payload is the final destination.
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        self.route.is_empty() && self.dst_phys.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntcs_addr::NetworkId;
+
+    fn phys(n: u32, p: u16) -> PhysAddr {
+        PhysAddr::Tcp {
+            network: NetworkId(n),
+            host: "127.0.0.1".into(),
+            port: p,
+        }
+    }
+
+    #[test]
+    fn round_trip_direct() {
+        let p = OpenPayload::direct();
+        assert!(p.is_terminal());
+        let got = OpenPayload::from_packed(&p.to_packed()).unwrap();
+        assert_eq!(got, p);
+    }
+
+    #[test]
+    fn round_trip_with_route() {
+        let p = OpenPayload {
+            route: vec![
+                Hop {
+                    gateway: UAdd::from_raw(0x10),
+                    entry: phys(1, 1000),
+                },
+                Hop {
+                    gateway: UAdd::from_raw(0x11),
+                    entry: phys(2, 2000),
+                },
+            ],
+            dst_phys: Some(phys(3, 3000)),
+        };
+        let got = OpenPayload::from_packed(&p.to_packed()).unwrap();
+        assert_eq!(got, p);
+        assert!(!got.is_terminal());
+    }
+
+    #[test]
+    fn advance_pops_hops_then_destination() {
+        let p = OpenPayload {
+            route: vec![Hop {
+                gateway: UAdd::from_raw(0x10),
+                entry: phys(1, 1000),
+            }],
+            dst_phys: Some(phys(2, 2000)),
+        };
+        let (next, rest) = p.advance().unwrap();
+        assert_eq!(next, phys(1, 1000));
+        assert_eq!(rest.route.len(), 0);
+        let (fin, last) = rest.advance().unwrap();
+        assert_eq!(fin, phys(2, 2000));
+        assert!(last.is_terminal());
+        assert!(last.advance().is_err());
+    }
+
+    #[test]
+    fn malformed_payload_rejected() {
+        assert!(OpenPayload::from_packed(b"nonsense").is_err());
+    }
+}

@@ -1,0 +1,223 @@
+//! The Nucleus-side view of the naming service.
+//!
+//! §3: the naming service is built *on top of* the Nucleus yet is used *by*
+//! the layers below — "the ND-Layer to resolve logical to physical
+//! addresses, the IP-Layer to determine destination networks, the LCM-layer
+//! to determine forwarding addresses". To keep the compile-time dependency
+//! graph acyclic while preserving that runtime recursion, the Nucleus
+//! consumes this [`NameResolver`] trait; the NSP-Layer in `ntcs-naming`
+//! implements it *using the same Nucleus it serves*.
+//!
+//! [`StaticResolver`] covers bootstrap: the well-known addresses of §3.4,
+//! consulted before (and without) the real naming service.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ntcs_addr::{MachineType, NetworkId, NtcsError, PhysAddr, Result, UAdd};
+use parking_lot::RwLock;
+
+use crate::proto::Hop;
+
+/// What the naming service knows about a module, as needed for circuit
+/// establishment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolvedModule {
+    /// The module's unique address.
+    pub uadd: UAdd,
+    /// The machine type it currently runs on (for conversion-mode selection
+    /// at the lowest layer, §5).
+    pub machine_type: MachineType,
+    /// Physical addresses, one per network it listens on. Stored
+    /// uninterpreted in the naming service; only ND-Layer drivers look
+    /// inside.
+    pub addrs: Vec<PhysAddr>,
+}
+
+impl ResolvedModule {
+    /// The physical address on a specific network, if any.
+    #[must_use]
+    pub fn addr_on(&self, network: NetworkId) -> Option<&PhysAddr> {
+        self.addrs.iter().find(|a| a.network() == network)
+    }
+
+    /// The physical address on any of the given networks, if any.
+    #[must_use]
+    pub fn addr_on_any(&self, networks: &[NetworkId]) -> Option<&PhysAddr> {
+        self.addrs
+            .iter()
+            .find(|a| networks.contains(&a.network()))
+    }
+}
+
+/// A gateway route to a destination on a foreign network (§4.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteInfo {
+    /// The gateway chain, in traversal order.
+    pub hops: Vec<Hop>,
+    /// The destination's physical address on its own network.
+    pub dst_phys: PhysAddr,
+    /// The destination's machine type.
+    pub dst_machine: MachineType,
+}
+
+/// The naming-service operations the Nucleus layers invoke (recursively).
+pub trait NameResolver: Send + Sync {
+    /// UAdd → current location information (§3.3 second mapping).
+    ///
+    /// # Errors
+    ///
+    /// [`NtcsError::UnknownAddress`] if the naming service has no entry,
+    /// or a transport error if the naming service is unreachable.
+    fn lookup(&self, uadd: UAdd) -> Result<ResolvedModule>;
+
+    /// Old UAdd → forwarding UAdd after a suspected relocation (§3.5).
+    ///
+    /// # Errors
+    ///
+    /// [`NtcsError::NoForwardingAddress`] if no replacement module was
+    /// located or the original is still alive.
+    fn forwarding(&self, old: UAdd) -> Result<UAdd>;
+
+    /// Computes a gateway route from any of `from_networks` to the module
+    /// `dst` (§4.2: topology centralized in the naming service).
+    ///
+    /// # Errors
+    ///
+    /// [`NtcsError::NoRoute`] if the networks are not connected,
+    /// [`NtcsError::UnknownAddress`] if `dst` is unknown.
+    fn route(&self, from_networks: &[NetworkId], dst: UAdd) -> Result<RouteInfo>;
+}
+
+/// The preloaded well-known address table (§3.4) plus a local cache,
+/// consulted before the real resolver. It never answers forwarding or
+/// routing queries beyond the preconfigured Name-Server route.
+#[derive(Debug, Default)]
+pub struct StaticResolver {
+    entries: RwLock<HashMap<UAdd, ResolvedModule>>,
+}
+
+impl StaticResolver {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        StaticResolver::default()
+    }
+
+    /// Preloads a well-known module whose machine type is not yet known
+    /// (it is learned from the open handshake; until then assume the local
+    /// type — the mode will be corrected by the ack).
+    pub fn preload(&self, uadd: UAdd, addrs: Vec<PhysAddr>, machine_type: MachineType) {
+        self.entries.write().insert(
+            uadd,
+            ResolvedModule {
+                uadd,
+                machine_type,
+                addrs,
+            },
+        );
+    }
+
+    /// Looks up a preloaded/cached entry.
+    #[must_use]
+    pub fn get(&self, uadd: UAdd) -> Option<ResolvedModule> {
+        self.entries.read().get(&uadd).cloned()
+    }
+
+    /// Caches a resolved entry (the §3.3 local cache: "this information is
+    /// then locally cached for future reference").
+    pub fn cache(&self, module: ResolvedModule) {
+        self.entries.write().insert(module.uadd, module);
+    }
+
+    /// Drops a cached entry (after an address fault).
+    pub fn invalidate(&self, uadd: UAdd) {
+        self.entries.write().remove(&uadd);
+    }
+
+    /// Number of cached entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+}
+
+/// A resolver that always fails, for modules that must work with only
+/// well-known addresses (e.g. the Name Server itself).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoResolver;
+
+impl NameResolver for NoResolver {
+    fn lookup(&self, uadd: UAdd) -> Result<ResolvedModule> {
+        Err(NtcsError::UnknownAddress(uadd.raw()))
+    }
+    fn forwarding(&self, old: UAdd) -> Result<UAdd> {
+        Err(NtcsError::NoForwardingAddress(old.raw()))
+    }
+    fn route(&self, from_networks: &[NetworkId], _dst: UAdd) -> Result<RouteInfo> {
+        Err(NtcsError::NoRoute {
+            from: from_networks.first().map_or(0, |n| n.0),
+            to: u32::MAX,
+        })
+    }
+}
+
+/// Shared resolver slot, set after the NSP-Layer comes up.
+pub type ResolverSlot = Arc<RwLock<Arc<dyn NameResolver>>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phys(n: u32) -> PhysAddr {
+        PhysAddr::Mbx {
+            network: NetworkId(n),
+            path: format!("/m{n}"),
+        }
+    }
+
+    #[test]
+    fn static_resolver_preload_and_get() {
+        let r = StaticResolver::new();
+        assert!(r.is_empty());
+        let u = UAdd::NAME_SERVER;
+        r.preload(u, vec![phys(0), phys(1)], MachineType::Vax);
+        let m = r.get(u).unwrap();
+        assert_eq!(m.addrs.len(), 2);
+        assert_eq!(m.addr_on(NetworkId(1)), Some(&phys(1)));
+        assert_eq!(m.addr_on(NetworkId(9)), None);
+        assert_eq!(
+            m.addr_on_any(&[NetworkId(9), NetworkId(0)]),
+            Some(&phys(0))
+        );
+    }
+
+    #[test]
+    fn cache_and_invalidate() {
+        let r = StaticResolver::new();
+        let u = UAdd::from_raw(0x1000);
+        r.cache(ResolvedModule {
+            uadd: u,
+            machine_type: MachineType::Sun,
+            addrs: vec![phys(2)],
+        });
+        assert_eq!(r.len(), 1);
+        assert!(r.get(u).is_some());
+        r.invalidate(u);
+        assert!(r.get(u).is_none());
+    }
+
+    #[test]
+    fn no_resolver_always_fails() {
+        let r = NoResolver;
+        assert!(r.lookup(UAdd::from_raw(5)).is_err());
+        assert!(r.forwarding(UAdd::from_raw(5)).is_err());
+        assert!(r.route(&[NetworkId(0)], UAdd::from_raw(5)).is_err());
+    }
+}

@@ -1,0 +1,366 @@
+//! Boolean retrieval.
+//!
+//! The historical URSA testbed ran *boolean* queries against specialized
+//! backend search hardware (Hollaar's full-text architecture); ranked
+//! retrieval came later. This module adds the boolean side: a small query
+//! language (`AND`, `OR`, `NOT`, parentheses, implicit AND on
+//! juxtaposition), an evaluator over the inverted index, and shard-union
+//! semantics for the distributed case.
+
+use std::collections::BTreeSet;
+
+use ntcs::{NtcsError, Result};
+
+use crate::corpus::Document;
+use crate::index::InvertedIndex;
+
+/// A parsed boolean query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoolExpr {
+    /// A single term.
+    Term(String),
+    /// Conjunction.
+    And(Vec<BoolExpr>),
+    /// Disjunction.
+    Or(Vec<BoolExpr>),
+    /// Negation (relative to the shard's document universe).
+    Not(Box<BoolExpr>),
+}
+
+#[derive(Debug, PartialEq)]
+enum Tok {
+    Term(String),
+    And,
+    Or,
+    Not,
+    Open,
+    Close,
+}
+
+fn tokenize(input: &str) -> Result<Vec<Tok>> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let flush = |cur: &mut String, out: &mut Vec<Tok>| {
+        if cur.is_empty() {
+            return;
+        }
+        let word = std::mem::take(cur);
+        out.push(match word.as_str() {
+            "AND" => Tok::And,
+            "OR" => Tok::Or,
+            "NOT" => Tok::Not,
+            _ => Tok::Term(word.to_lowercase()),
+        });
+    };
+    for c in input.chars() {
+        match c {
+            '(' => {
+                flush(&mut cur, &mut out);
+                out.push(Tok::Open);
+            }
+            ')' => {
+                flush(&mut cur, &mut out);
+                out.push(Tok::Close);
+            }
+            c if c.is_whitespace() => flush(&mut cur, &mut out),
+            c => cur.push(c),
+        }
+    }
+    flush(&mut cur, &mut out);
+    if out.is_empty() {
+        return Err(NtcsError::InvalidArgument("empty boolean query".into()));
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<&Tok> {
+        let t = self.toks.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    // or := and ("OR" and)*
+    fn parse_or(&mut self) -> Result<BoolExpr> {
+        let mut parts = vec![self.parse_and()?];
+        while matches!(self.peek(), Some(Tok::Or)) {
+            self.pos += 1;
+            parts.push(self.parse_and()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            BoolExpr::Or(parts)
+        })
+    }
+
+    // and := unary (("AND")? unary)*  — juxtaposition is conjunction
+    fn parse_and(&mut self) -> Result<BoolExpr> {
+        let mut parts = vec![self.parse_unary()?];
+        loop {
+            match self.peek() {
+                Some(Tok::And) => {
+                    self.pos += 1;
+                    parts.push(self.parse_unary()?);
+                }
+                Some(Tok::Term(_) | Tok::Not | Tok::Open) => {
+                    parts.push(self.parse_unary()?);
+                }
+                _ => break,
+            }
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            BoolExpr::And(parts)
+        })
+    }
+
+    fn parse_unary(&mut self) -> Result<BoolExpr> {
+        match self.bump() {
+            Some(Tok::Not) => Ok(BoolExpr::Not(Box::new(self.parse_unary()?))),
+            Some(Tok::Open) => {
+                let inner = self.parse_or()?;
+                match self.bump() {
+                    Some(Tok::Close) => Ok(inner),
+                    _ => Err(NtcsError::InvalidArgument(
+                        "unbalanced parenthesis in boolean query".into(),
+                    )),
+                }
+            }
+            Some(Tok::Term(t)) => Ok(BoolExpr::Term(t.clone())),
+            other => Err(NtcsError::InvalidArgument(format!(
+                "unexpected token {other:?} in boolean query"
+            ))),
+        }
+    }
+}
+
+impl BoolExpr {
+    /// Parses the query language: terms, `AND`, `OR`, `NOT`, parentheses;
+    /// juxtaposed terms are conjoined.
+    ///
+    /// # Errors
+    ///
+    /// [`NtcsError::InvalidArgument`] on syntax errors.
+    pub fn parse(input: &str) -> Result<BoolExpr> {
+        let toks = tokenize(input)?;
+        let mut p = Parser { toks, pos: 0 };
+        let expr = p.parse_or()?;
+        if p.pos != p.toks.len() {
+            return Err(NtcsError::InvalidArgument(format!(
+                "trailing tokens in boolean query at position {}",
+                p.pos
+            )));
+        }
+        Ok(expr)
+    }
+
+    /// Renders back to query-language text (round-trips through
+    /// [`BoolExpr::parse`]).
+    #[must_use]
+    pub fn to_query(&self) -> String {
+        match self {
+            BoolExpr::Term(t) => t.clone(),
+            BoolExpr::And(ps) => {
+                let inner: Vec<String> = ps.iter().map(BoolExpr::to_query).collect();
+                format!("( {} )", inner.join(" AND "))
+            }
+            BoolExpr::Or(ps) => {
+                let inner: Vec<String> = ps.iter().map(BoolExpr::to_query).collect();
+                format!("( {} )", inner.join(" OR "))
+            }
+            BoolExpr::Not(p) => format!("NOT {}", p.to_query()),
+        }
+    }
+
+    /// Evaluates against a document directly (the brute-force oracle used
+    /// by tests).
+    #[must_use]
+    pub fn matches_doc(&self, doc: &Document) -> bool {
+        match self {
+            BoolExpr::Term(t) => doc.terms().any(|w| w == t),
+            BoolExpr::And(ps) => ps.iter().all(|p| p.matches_doc(doc)),
+            BoolExpr::Or(ps) => ps.iter().any(|p| p.matches_doc(doc)),
+            BoolExpr::Not(p) => !p.matches_doc(doc),
+        }
+    }
+}
+
+impl InvertedIndex {
+    /// Evaluates a boolean expression over this shard, returning matching
+    /// document ids in ascending order. `NOT` is relative to the shard's
+    /// own document universe.
+    #[must_use]
+    pub fn search_boolean(&self, expr: &BoolExpr) -> Vec<u32> {
+        fn eval(idx: &InvertedIndex, expr: &BoolExpr, universe: &BTreeSet<u32>) -> BTreeSet<u32> {
+            match expr {
+                BoolExpr::Term(t) => idx.postings(t).iter().map(|p| p.doc).collect(),
+                BoolExpr::And(ps) => {
+                    let mut iter = ps.iter();
+                    let mut acc = iter
+                        .next()
+                        .map_or_else(BTreeSet::new, |p| eval(idx, p, universe));
+                    for p in iter {
+                        let rhs = eval(idx, p, universe);
+                        acc = acc.intersection(&rhs).copied().collect();
+                        if acc.is_empty() {
+                            break;
+                        }
+                    }
+                    acc
+                }
+                BoolExpr::Or(ps) => {
+                    let mut acc = BTreeSet::new();
+                    for p in ps {
+                        acc.extend(eval(idx, p, universe));
+                    }
+                    acc
+                }
+                BoolExpr::Not(p) => {
+                    let inner = eval(idx, p, universe);
+                    universe.difference(&inner).copied().collect()
+                }
+            }
+        }
+        let universe: BTreeSet<u32> = self.doc_ids().collect();
+        eval(self, expr, &universe).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Corpus;
+
+    fn doc(id: u32, body: &str) -> Document {
+        Document {
+            id,
+            title: String::new(),
+            body: body.into(),
+        }
+    }
+
+    fn idx() -> InvertedIndex {
+        InvertedIndex::build(&[
+            doc(0, "network system retrieval"),
+            doc(1, "network index"),
+            doc(2, "system index"),
+            doc(3, "retrieval"),
+        ])
+    }
+
+    #[test]
+    fn parse_shapes() {
+        assert_eq!(
+            BoolExpr::parse("network").unwrap(),
+            BoolExpr::Term("network".into())
+        );
+        assert_eq!(
+            BoolExpr::parse("a AND b").unwrap(),
+            BoolExpr::And(vec![
+                BoolExpr::Term("a".into()),
+                BoolExpr::Term("b".into())
+            ])
+        );
+        // Juxtaposition = AND; OR binds looser than AND.
+        assert_eq!(
+            BoolExpr::parse("a b OR c").unwrap(),
+            BoolExpr::Or(vec![
+                BoolExpr::And(vec![
+                    BoolExpr::Term("a".into()),
+                    BoolExpr::Term("b".into())
+                ]),
+                BoolExpr::Term("c".into())
+            ])
+        );
+        assert_eq!(
+            BoolExpr::parse("NOT (a OR b) c").unwrap(),
+            BoolExpr::And(vec![
+                BoolExpr::Not(Box::new(BoolExpr::Or(vec![
+                    BoolExpr::Term("a".into()),
+                    BoolExpr::Term("b".into())
+                ]))),
+                BoolExpr::Term("c".into())
+            ])
+        );
+        // Terms are case-folded; keywords are not terms.
+        assert_eq!(
+            BoolExpr::parse("NeTwOrK").unwrap(),
+            BoolExpr::Term("network".into())
+        );
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(BoolExpr::parse("").is_err());
+        assert!(BoolExpr::parse("( a").is_err());
+        assert!(BoolExpr::parse("a )").is_err());
+        assert!(BoolExpr::parse("AND").is_err());
+        assert!(BoolExpr::parse("a OR").is_err());
+        assert!(BoolExpr::parse("NOT").is_err());
+    }
+
+    #[test]
+    fn to_query_round_trips() {
+        for q in [
+            "network",
+            "a AND b",
+            "a b OR c",
+            "NOT (a OR b) c",
+            "(a OR b) AND NOT c",
+        ] {
+            let e = BoolExpr::parse(q).unwrap();
+            let e2 = BoolExpr::parse(&e.to_query()).unwrap();
+            assert_eq!(e, e2, "{q}");
+        }
+    }
+
+    #[test]
+    fn evaluation_matches_hand_results() {
+        let idx = idx();
+        let run = |q: &str| idx.search_boolean(&BoolExpr::parse(q).unwrap());
+        assert_eq!(run("network"), vec![0, 1]);
+        assert_eq!(run("network AND system"), vec![0]);
+        assert_eq!(run("network OR retrieval"), vec![0, 1, 3]);
+        assert_eq!(run("NOT network"), vec![2, 3]);
+        assert_eq!(run("index AND NOT system"), vec![1]);
+        assert_eq!(run("(network OR system) AND index"), vec![1, 2]);
+        assert!(run("absent-term").is_empty());
+        assert_eq!(run("NOT absent-term").len(), 4);
+    }
+
+    #[test]
+    fn evaluation_agrees_with_brute_force_on_generated_corpus() {
+        let corpus = Corpus::generate(3, 150, 20);
+        let idx = InvertedIndex::build(corpus.docs());
+        for q in [
+            "retrieval AND network",
+            "system OR (index AND NOT network)",
+            "NOT retrieval",
+            "retrieval network system",
+            "(retrieval OR system) AND (network OR index) AND NOT gateway",
+        ] {
+            let expr = BoolExpr::parse(q).unwrap();
+            let fast = idx.search_boolean(&expr);
+            let slow: Vec<u32> = corpus
+                .docs()
+                .iter()
+                .filter(|d| expr.matches_doc(d))
+                .map(|d| d.id)
+                .collect();
+            assert_eq!(fast, slow, "query {q:?}");
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! The URSA host/workstation side: a client that locates backends through
+//! the naming service, fans queries across shards, merges rankings, and
+//! fetches documents — never knowing (or caring) which machine anything
+//! runs on.
+
+use std::time::Duration;
+
+use ntcs::{AttrQuery, ComMod, MachineId, NtcsError, Result, Testbed, UAdd};
+use parking_lot::Mutex;
+
+use crate::corpus::Document;
+use crate::index::{merge_hits, SearchHit};
+use crate::protocol::{
+    BoolSearchReply, BoolSearchRequest, DocReply, FetchDoc, IndexLookup, PostingsReply,
+    SearchReply, SearchRequest,
+};
+use crate::servers::{ROLE_DOCSTORE, ROLE_INDEX, ROLE_SEARCH};
+
+const T: Option<Duration> = Some(Duration::from_secs(10));
+
+/// A retrieval client (the paper's "host processors or user workstations").
+#[derive(Debug)]
+pub struct UrsaClient {
+    commod: ComMod,
+    search_backends: Mutex<Option<Vec<UAdd>>>,
+    docstore: Mutex<Option<UAdd>>,
+}
+
+impl UrsaClient {
+    /// Binds and registers a client module named `name` on `machine`.
+    ///
+    /// # Errors
+    ///
+    /// Binding/registration failures.
+    pub fn new(testbed: &Testbed, machine: MachineId, name: &str) -> Result<UrsaClient> {
+        let commod = testbed.module(machine, name)?;
+        Ok(UrsaClient {
+            commod,
+            search_backends: Mutex::new(None),
+            docstore: Mutex::new(None),
+        })
+    }
+
+    /// Wraps an existing ComMod.
+    #[must_use]
+    pub fn from_commod(commod: ComMod) -> UrsaClient {
+        UrsaClient {
+            commod,
+            search_backends: Mutex::new(None),
+            docstore: Mutex::new(None),
+        }
+    }
+
+    /// The underlying ComMod (metrics, traces).
+    #[must_use]
+    pub fn commod(&self) -> &ComMod {
+        &self.commod
+    }
+
+    fn search_addrs(&self) -> Result<Vec<UAdd>> {
+        if let Some(v) = self.search_backends.lock().clone() {
+            return Ok(v);
+        }
+        // Attribute-based resource location (§7 naming extension): all live
+        // URSA search backends, whatever their shard count.
+        let q = AttrQuery::any()
+            .and_equals("app", "ursa")?
+            .and_equals("role", ROLE_SEARCH)?;
+        let found = self.commod.list(&q)?;
+        if found.is_empty() {
+            return Err(NtcsError::NameNotFound("role=search".into()));
+        }
+        *self.search_backends.lock() = Some(found.clone());
+        Ok(found)
+    }
+
+    /// Drops cached backend addresses (after a deployment change; plain
+    /// relocations need no invalidation — the LCM layer handles them).
+    pub fn invalidate_backends(&self) {
+        *self.search_backends.lock() = None;
+        *self.docstore.lock() = None;
+    }
+
+    /// Runs a ranked query across every search backend and merges the
+    /// shard rankings into a global top-`k`.
+    ///
+    /// # Errors
+    ///
+    /// Location or transport failures.
+    pub fn search(&self, query: &str, k: usize) -> Result<Vec<SearchHit>> {
+        let backends = self.search_addrs()?;
+        let mut shard_hits = Vec::with_capacity(backends.len());
+        for &backend in &backends {
+            let reply = self.commod.send_receive(
+                backend,
+                &SearchRequest {
+                    query: query.to_owned(),
+                    k: k as u32,
+                },
+                T,
+            )?;
+            let rep: SearchReply = reply.decode()?;
+            shard_hits.push(
+                rep.docs
+                    .iter()
+                    .zip(&rep.scores)
+                    .map(|(&doc, &score)| SearchHit { doc, score })
+                    .collect(),
+            );
+        }
+        Ok(merge_hits(shard_hits, k))
+    }
+
+    /// Runs a boolean query (`AND`/`OR`/`NOT`, parentheses) across every
+    /// search backend; shard results are unioned, ascending. Note the §
+    /// caveat of any sharded boolean engine: `NOT` is evaluated per shard,
+    /// which is equivalent to global `NOT` because shards partition the
+    /// corpus.
+    ///
+    /// # Errors
+    ///
+    /// [`NtcsError::InvalidArgument`] on a malformed query; location or
+    /// transport failures.
+    pub fn search_boolean(&self, query: &str) -> Result<Vec<u32>> {
+        let backends = self.search_addrs()?;
+        let mut all = std::collections::BTreeSet::new();
+        for &backend in &backends {
+            let reply = self.commod.send_receive(
+                backend,
+                &BoolSearchRequest {
+                    query: query.to_owned(),
+                },
+                T,
+            )?;
+            let rep: BoolSearchReply = reply.decode()?;
+            if !rep.ok {
+                return Err(NtcsError::InvalidArgument(format!(
+                    "malformed boolean query {query:?}"
+                )));
+            }
+            all.extend(rep.docs);
+        }
+        Ok(all.into_iter().collect())
+    }
+
+    /// Fetches a document's full text.
+    ///
+    /// # Errors
+    ///
+    /// [`NtcsError::NameNotFound`] for an unknown id, or transport failures.
+    pub fn fetch(&self, id: u32) -> Result<Document> {
+        let docstore = {
+            let cached = *self.docstore.lock();
+            match cached {
+                Some(u) => u,
+                None => {
+                    let q = AttrQuery::any()
+                        .and_equals("app", "ursa")?
+                        .and_equals("role", ROLE_DOCSTORE)?;
+                    let u = self.commod.locate_query(&q)?;
+                    *self.docstore.lock() = Some(u);
+                    u
+                }
+            }
+        };
+        let reply = self.commod.send_receive(docstore, &FetchDoc { id }, T)?;
+        let rep: DocReply = reply.decode()?;
+        if !rep.found {
+            return Err(NtcsError::NameNotFound(format!("document {id}")));
+        }
+        Ok(Document {
+            id: rep.id,
+            title: rep.title,
+            body: rep.body,
+        })
+    }
+
+    /// Raw postings lookup against the index server.
+    ///
+    /// # Errors
+    ///
+    /// Location or transport failures.
+    pub fn lookup_term(&self, term: &str) -> Result<Vec<(u32, u32)>> {
+        let q = AttrQuery::any()
+            .and_equals("app", "ursa")?
+            .and_equals("role", ROLE_INDEX)?;
+        let index = self.commod.locate_query(&q)?;
+        let reply = self.commod.send_receive(
+            index,
+            &IndexLookup {
+                term: term.to_owned(),
+            },
+            T,
+        )?;
+        let rep: PostingsReply = reply.decode()?;
+        Ok(rep.docs.into_iter().zip(rep.tfs).collect())
+    }
+
+    /// Runs `search` then fetches the best document (a full user
+    /// interaction).
+    ///
+    /// # Errors
+    ///
+    /// As for [`UrsaClient::search`] / [`UrsaClient::fetch`];
+    /// [`NtcsError::NameNotFound`] if nothing matches.
+    pub fn search_and_fetch_best(&self, query: &str) -> Result<(SearchHit, Document)> {
+        let hits = self.search(query, 1)?;
+        let best = hits
+            .into_iter()
+            .next()
+            .ok_or_else(|| NtcsError::NameNotFound(format!("no hits for {query:?}")))?;
+        let doc = self.fetch(best.doc)?;
+        Ok((best, doc))
+    }
+}

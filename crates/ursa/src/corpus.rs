@@ -1,0 +1,173 @@
+//! Synthetic document corpus.
+//!
+//! The paper's information-retrieval collections are proprietary 1980s
+//! datasets; this generator is the documented substitution (DESIGN.md): a
+//! deterministic, seeded corpus whose term frequencies follow a Zipf-like
+//! distribution over a fixed vocabulary, which is what the index, search
+//! ranking, and message sizes actually depend on.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// Corpus-wide document id.
+    pub id: u32,
+    /// Title line.
+    pub title: String,
+    /// Body text (space-separated terms).
+    pub body: String,
+}
+
+impl Document {
+    /// Iterates the document's terms (title + body, lowercase-by-construction).
+    pub fn terms(&self) -> impl Iterator<Item = &str> {
+        self.title
+            .split_whitespace()
+            .chain(self.body.split_whitespace())
+    }
+}
+
+/// A generated corpus.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    docs: Vec<Document>,
+}
+
+/// Base vocabulary; rank order gives the Zipf weighting.
+const VOCAB: &[&str] = &[
+    "retrieval", "system", "index", "document", "query", "network", "message", "server",
+    "backend", "search", "term", "architecture", "distributed", "testbed", "transparent",
+    "portable", "gateway", "circuit", "address", "naming", "module", "machine", "protocol",
+    "utah", "workstation", "host", "process", "dynamic", "reconfiguration", "conversion",
+    "layer", "nucleus", "virtual", "mailbox", "socket", "recursive", "monitor", "time",
+    "clock", "fault", "forwarding", "relocation", "packed", "image", "shift", "mode",
+    "apollo", "vax", "sun", "unix",
+];
+
+impl Corpus {
+    /// Generates `n_docs` documents deterministically from `seed`, each with
+    /// `terms_per_doc` body terms drawn Zipf-style from the vocabulary.
+    #[must_use]
+    pub fn generate(seed: u64, n_docs: u32, terms_per_doc: usize) -> Corpus {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Zipf-ish cumulative weights: w(r) ∝ 1/(r+1).
+        let weights: Vec<f64> = (0..VOCAB.len()).map(|r| 1.0 / (r as f64 + 1.0)).collect();
+        let total: f64 = weights.iter().sum();
+        let pick = |rng: &mut SmallRng| {
+            let mut x = rng.gen_range(0.0..total);
+            for (i, w) in weights.iter().enumerate() {
+                if x < *w {
+                    return VOCAB[i];
+                }
+                x -= w;
+            }
+            VOCAB[VOCAB.len() - 1]
+        };
+        let docs = (0..n_docs)
+            .map(|id| {
+                let t1 = pick(&mut rng);
+                let t2 = pick(&mut rng);
+                let body: Vec<&str> = (0..terms_per_doc).map(|_| pick(&mut rng)).collect();
+                Document {
+                    id,
+                    title: format!("{t1} {t2} report {id}"),
+                    body: body.join(" "),
+                }
+            })
+            .collect();
+        Corpus { docs }
+    }
+
+    /// The documents.
+    #[must_use]
+    pub fn docs(&self) -> &[Document] {
+        &self.docs
+    }
+
+    /// Number of documents.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the corpus is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// A document by id.
+    #[must_use]
+    pub fn get(&self, id: u32) -> Option<&Document> {
+        self.docs.get(id as usize)
+    }
+
+    /// Splits the corpus into `n` round-robin shards (how URSA spreads its
+    /// backends).
+    #[must_use]
+    pub fn shards(&self, n: usize) -> Vec<Vec<Document>> {
+        let mut out = vec![Vec::new(); n.max(1)];
+        for (i, d) in self.docs.iter().enumerate() {
+            out[i % n.max(1)].push(d.clone());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Corpus::generate(42, 50, 30);
+        let b = Corpus::generate(42, 50, 30);
+        assert_eq!(a.docs(), b.docs());
+        let c = Corpus::generate(43, 50, 30);
+        assert_ne!(a.docs(), c.docs());
+    }
+
+    #[test]
+    fn zipf_skews_term_frequencies() {
+        let c = Corpus::generate(7, 200, 50);
+        let mut count_top = 0usize;
+        let mut count_rare = 0usize;
+        for d in c.docs() {
+            for t in d.terms() {
+                if t == VOCAB[0] {
+                    count_top += 1;
+                }
+                if t == VOCAB[VOCAB.len() - 1] {
+                    count_rare += 1;
+                }
+            }
+        }
+        assert!(
+            count_top > count_rare * 3,
+            "top term {count_top} vs rare {count_rare}"
+        );
+    }
+
+    #[test]
+    fn shards_partition_the_corpus() {
+        let c = Corpus::generate(1, 10, 5);
+        let shards = c.shards(3);
+        assert_eq!(shards.len(), 3);
+        let total: usize = shards.iter().map(Vec::len).sum();
+        assert_eq!(total, 10);
+        let mut ids: Vec<u32> = shards.iter().flatten().map(|d| d.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn get_by_id() {
+        let c = Corpus::generate(1, 5, 5);
+        assert_eq!(c.get(3).unwrap().id, 3);
+        assert!(c.get(99).is_none());
+        assert_eq!(c.len(), 5);
+        assert!(!c.is_empty());
+    }
+}

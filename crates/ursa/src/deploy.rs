@@ -1,0 +1,182 @@
+//! One-call deployment of a complete URSA installation onto a testbed.
+
+use ntcs::{MachineId, Result, Testbed};
+
+use crate::corpus::Corpus;
+use crate::servers::{DocServer, IndexServer, SearchServer};
+
+/// Where each URSA component should run.
+#[derive(Debug, Clone)]
+pub struct UrsaLayout {
+    /// Machine for the index server.
+    pub index_machine: MachineId,
+    /// Machines for the search backends (one shard each).
+    pub search_machines: Vec<MachineId>,
+    /// Machine for the document server.
+    pub doc_machine: MachineId,
+}
+
+/// A running URSA installation.
+#[derive(Debug)]
+pub struct UrsaDeployment {
+    /// The index server.
+    pub index: IndexServer,
+    /// The sharded search backends.
+    pub search: Vec<SearchServer>,
+    /// The document server.
+    pub docs: DocServer,
+}
+
+impl UrsaDeployment {
+    /// Deploys index, search shards, and document store per the layout.
+    ///
+    /// # Errors
+    ///
+    /// Any backend spawn failure (already started backends are dropped).
+    pub fn deploy(testbed: &Testbed, corpus: &Corpus, layout: &UrsaLayout) -> Result<Self> {
+        let index = IndexServer::spawn(testbed, layout.index_machine, corpus.docs())?;
+        let shards = corpus.shards(layout.search_machines.len());
+        let mut search = Vec::with_capacity(shards.len());
+        for (i, (machine, docs)) in layout.search_machines.iter().zip(&shards).enumerate() {
+            search.push(SearchServer::spawn(testbed, *machine, i as u32, docs)?);
+        }
+        let docs = DocServer::spawn(testbed, layout.doc_machine, corpus.docs().to_vec())?;
+        Ok(UrsaDeployment {
+            index,
+            search,
+            docs,
+        })
+    }
+
+    /// Relocates search shard `i` to another machine while the system runs
+    /// (the paper's testbed requirement, §1.2).
+    ///
+    /// # Errors
+    ///
+    /// Unknown shard or relocation failure.
+    pub fn relocate_search_shard(&self, i: usize, machine: MachineId) -> Result<()> {
+        let shard = self.search.get(i).ok_or_else(|| {
+            ntcs::NtcsError::InvalidArgument(format!("no search shard {i}"))
+        })?;
+        shard.host().relocate(machine)
+    }
+
+    /// Stops every backend.
+    pub fn stop(self) {
+        self.index.stop();
+        for s in self.search {
+            s.stop();
+        }
+        self.docs.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::UrsaClient;
+    use ntcs::{MachineType, NetKind};
+
+    fn lab(n_machines: usize) -> (Testbed, Vec<MachineId>) {
+        let mut tb = Testbed::builder();
+        let net = tb.add_network(NetKind::Mbx, "campus");
+        let types = [
+            MachineType::Sun,
+            MachineType::Vax,
+            MachineType::Apollo,
+            MachineType::M68k,
+        ];
+        let machines: Vec<MachineId> = (0..n_machines)
+            .map(|i| {
+                tb.add_machine(types[i % types.len()], &format!("h{i}"), &[net])
+                    .unwrap()
+            })
+            .collect();
+        tb.name_server_on(machines[0]);
+        (tb.start().unwrap(), machines)
+    }
+
+    #[test]
+    fn end_to_end_retrieval() {
+        let (testbed, m) = lab(4);
+        let corpus = Corpus::generate(11, 120, 30);
+        let deployment = UrsaDeployment::deploy(
+            &testbed,
+            &corpus,
+            &UrsaLayout {
+                index_machine: m[1],
+                search_machines: vec![m[1], m[2]],
+                doc_machine: m[3],
+            },
+        )
+        .unwrap();
+
+        let client = UrsaClient::new(&testbed, m[0], "workstation-1").unwrap();
+        let hits = client.search("retrieval system", 5).unwrap();
+        assert!(!hits.is_empty());
+        let doc = client.fetch(hits[0].doc).unwrap();
+        assert_eq!(doc.id, hits[0].doc);
+        assert!(!doc.title.is_empty());
+
+        // Postings lookups agree with a locally built index.
+        let postings = client.lookup_term("retrieval").unwrap();
+        let local = crate::index::InvertedIndex::build(corpus.docs());
+        assert_eq!(postings.len(), local.postings("retrieval").len());
+
+        // The best-document convenience path works too.
+        let (best, doc) = client.search_and_fetch_best("network").unwrap();
+        assert_eq!(best.doc, doc.id);
+        deployment.stop();
+    }
+
+    #[test]
+    fn search_survives_live_shard_relocation() {
+        let (testbed, m) = lab(4);
+        let corpus = Corpus::generate(13, 80, 25);
+        let deployment = UrsaDeployment::deploy(
+            &testbed,
+            &corpus,
+            &UrsaLayout {
+                index_machine: m[1],
+                search_machines: vec![m[1], m[2]],
+                doc_machine: m[1],
+            },
+        )
+        .unwrap();
+        let client = UrsaClient::new(&testbed, m[0], "ws").unwrap();
+        let before = client.search("network message", 5).unwrap();
+        assert!(!before.is_empty());
+
+        // Move shard 1 from the Apollo to the M68k machine, live.
+        deployment.relocate_search_shard(1, m[3]).unwrap();
+
+        // The client's cached UAdds are now stale; the LCM layer faults,
+        // forwards, reconnects — and the query result is unchanged.
+        let after = client.search("network message", 5).unwrap();
+        assert_eq!(
+            before.iter().map(|h| h.doc).collect::<Vec<_>>(),
+            after.iter().map(|h| h.doc).collect::<Vec<_>>()
+        );
+        assert!(client.commod().metrics().reconnects >= 1);
+        deployment.stop();
+    }
+
+    #[test]
+    fn fetch_unknown_document_fails() {
+        let (testbed, m) = lab(2);
+        let corpus = Corpus::generate(3, 10, 10);
+        let deployment = UrsaDeployment::deploy(
+            &testbed,
+            &corpus,
+            &UrsaLayout {
+                index_machine: m[1],
+                search_machines: vec![m[1]],
+                doc_machine: m[1],
+            },
+        )
+        .unwrap();
+        let client = UrsaClient::new(&testbed, m[0], "ws").unwrap();
+        assert!(client.fetch(9999).is_err());
+        deployment.stop();
+    }
+}

@@ -1,0 +1,218 @@
+//! The inverted index and TF-IDF ranking used by the URSA backends.
+
+use std::collections::HashMap;
+
+use crate::corpus::Document;
+
+/// A posting: a document and the term's frequency in it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Posting {
+    /// Document id.
+    pub doc: u32,
+    /// Term frequency.
+    pub tf: u32,
+}
+
+/// One ranked search result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchHit {
+    /// Document id.
+    pub doc: u32,
+    /// TF-IDF score (higher is better).
+    pub score: f64,
+}
+
+/// An inverted index over a set of documents (one shard's worth).
+#[derive(Debug, Clone, Default)]
+pub struct InvertedIndex {
+    postings: HashMap<String, Vec<Posting>>,
+    doc_ids: Vec<u32>,
+    n_docs: u32,
+}
+
+impl InvertedIndex {
+    /// Builds the index over a document slice.
+    #[must_use]
+    pub fn build(docs: &[Document]) -> InvertedIndex {
+        let mut postings: HashMap<String, Vec<Posting>> = HashMap::new();
+        for d in docs {
+            let mut tfs: HashMap<&str, u32> = HashMap::new();
+            for t in d.terms() {
+                *tfs.entry(t).or_insert(0) += 1;
+            }
+            for (t, tf) in tfs {
+                postings
+                    .entry(t.to_owned())
+                    .or_default()
+                    .push(Posting { doc: d.id, tf });
+            }
+        }
+        for list in postings.values_mut() {
+            list.sort_by_key(|p| p.doc);
+        }
+        let mut doc_ids: Vec<u32> = docs.iter().map(|d| d.id).collect();
+        doc_ids.sort_unstable();
+        InvertedIndex {
+            postings,
+            doc_ids,
+            n_docs: docs.len() as u32,
+        }
+    }
+
+    /// The ids of the documents this shard indexes, ascending.
+    pub fn doc_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.doc_ids.iter().copied()
+    }
+
+    /// Documents indexed.
+    #[must_use]
+    pub fn n_docs(&self) -> u32 {
+        self.n_docs
+    }
+
+    /// Distinct terms indexed.
+    #[must_use]
+    pub fn n_terms(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// The postings list for a term (the index server's lookup primitive).
+    #[must_use]
+    pub fn postings(&self, term: &str) -> &[Posting] {
+        self.postings.get(term).map_or(&[], Vec::as_slice)
+    }
+
+    fn idf(&self, term: &str) -> f64 {
+        let df = self.postings(term).len() as f64;
+        if df == 0.0 {
+            return 0.0;
+        }
+        ((1.0 + f64::from(self.n_docs)) / (1.0 + df)).ln() + 1.0
+    }
+
+    /// Ranked retrieval: scores every document containing any query term,
+    /// returning the top `k` by TF-IDF.
+    #[must_use]
+    pub fn search(&self, query: &str, k: usize) -> Vec<SearchHit> {
+        let mut scores: HashMap<u32, f64> = HashMap::new();
+        for term in query.split_whitespace() {
+            let idf = self.idf(term);
+            for p in self.postings(term) {
+                *scores.entry(p.doc).or_insert(0.0) += f64::from(p.tf) * idf;
+            }
+        }
+        let mut hits: Vec<SearchHit> = scores
+            .into_iter()
+            .map(|(doc, score)| SearchHit { doc, score })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.doc.cmp(&b.doc))
+        });
+        hits.truncate(k);
+        hits
+    }
+}
+
+/// Merges per-shard rankings into a global top-`k` (the frontend's job).
+#[must_use]
+pub fn merge_hits(shard_hits: Vec<Vec<SearchHit>>, k: usize) -> Vec<SearchHit> {
+    let mut all: Vec<SearchHit> = shard_hits.into_iter().flatten().collect();
+    all.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.doc.cmp(&b.doc))
+    });
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Corpus;
+
+    fn doc(id: u32, body: &str) -> Document {
+        Document {
+            id,
+            title: String::new(),
+            body: body.into(),
+        }
+    }
+
+    #[test]
+    fn postings_and_tf() {
+        let idx = InvertedIndex::build(&[
+            doc(0, "network network system"),
+            doc(1, "system"),
+        ]);
+        assert_eq!(idx.n_docs(), 2);
+        let p = idx.postings("network");
+        assert_eq!(p, &[Posting { doc: 0, tf: 2 }]);
+        assert_eq!(idx.postings("system").len(), 2);
+        assert!(idx.postings("absent").is_empty());
+    }
+
+    #[test]
+    fn search_ranks_by_tf_idf() {
+        let idx = InvertedIndex::build(&[
+            doc(0, "network network network"),
+            doc(1, "network system"),
+            doc(2, "system system"),
+        ]);
+        let hits = idx.search("network", 10);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].doc, 0);
+        assert!(hits[0].score > hits[1].score);
+        // Rare terms outweigh common ones for equal tf.
+        let idx2 = InvertedIndex::build(&[
+            doc(0, "common rare"),
+            doc(1, "common"),
+            doc(2, "common"),
+        ]);
+        let hits = idx2.search("common rare", 10);
+        assert_eq!(hits[0].doc, 0);
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let c = Corpus::generate(5, 100, 20);
+        let idx = InvertedIndex::build(c.docs());
+        let hits = idx.search("retrieval system", 7);
+        assert!(hits.len() <= 7);
+        // Scores are non-increasing.
+        for w in hits.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn sharded_search_merges_to_global_ranking() {
+        let c = Corpus::generate(9, 60, 25);
+        let global = InvertedIndex::build(c.docs());
+        let global_hits = global.search("retrieval network", 10);
+
+        let shards = c.shards(3);
+        let shard_hits: Vec<Vec<SearchHit>> = shards
+            .iter()
+            .map(|s| InvertedIndex::build(s).search("retrieval network", 10))
+            .collect();
+        let merged = merge_hits(shard_hits, 10);
+        // Same documents surface (scores differ slightly because IDF is
+        // shard-local, as in any federated retrieval system).
+        let g: Vec<u32> = global_hits.iter().map(|h| h.doc).collect();
+        let m: Vec<u32> = merged.iter().map(|h| h.doc).collect();
+        let overlap = m.iter().filter(|d| g.contains(d)).count();
+        assert!(overlap * 2 >= m.len(), "overlap {overlap} of {}", m.len());
+    }
+
+    #[test]
+    fn empty_query_returns_nothing() {
+        let idx = InvertedIndex::build(&[doc(0, "x")]);
+        assert!(idx.search("", 5).is_empty());
+        assert!(idx.search("unknown-term", 5).is_empty());
+    }
+}

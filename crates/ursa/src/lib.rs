@@ -1,0 +1,44 @@
+//! A miniature **URSA** — the Utah Retrieval System Architecture testbed the
+//! NTCS was built for (paper §1.2, reference \[5\]).
+//!
+//! "The URSA system is based on a number of backend servers (e.g., for index
+//! lookup, searching, or retrieval of documents), handling requests from
+//! host processors or user workstations. A fundamental URSA requirement was
+//! transparent distribution across many, possibly different processors and
+//! communication networks."
+//!
+//! This crate is that application, built entirely on the public `ntcs` API:
+//!
+//! * [`corpus`] — a deterministic synthetic document corpus (the paper's
+//!   retrieval collections are not available; a seeded generator with a
+//!   Zipf-flavoured vocabulary exercises the same code paths).
+//! * [`index`] — an inverted index with TF-IDF scoring, shardable across
+//!   search backends.
+//! * [`boolean`] — the boolean retrieval the historical URSA hardware ran:
+//!   `AND`/`OR`/`NOT` queries over the same index.
+//! * [`servers`] — the backend modules: **index server** (postings lookup),
+//!   **search server** (ranked retrieval over its shard), **document
+//!   server** (full-text fetch) — each a relocatable
+//!   [`ntcs_drts::ServiceHost`].
+//! * [`client`] — the host/workstation side: locates backends by attribute,
+//!   fans a query out across shards, merges rankings, fetches documents.
+//! * [`deploy`] — one-call deployment of a whole URSA installation onto a
+//!   testbed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boolean;
+pub mod client;
+pub mod corpus;
+pub mod deploy;
+pub mod index;
+pub mod protocol;
+pub mod servers;
+
+pub use boolean::BoolExpr;
+pub use client::UrsaClient;
+pub use corpus::{Corpus, Document};
+pub use deploy::{UrsaDeployment, UrsaLayout};
+pub use index::{InvertedIndex, SearchHit};
+pub use servers::{DocServer, IndexServer, SearchServer};

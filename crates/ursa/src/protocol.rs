@@ -1,0 +1,89 @@
+//! URSA application messages (type-id block 200-249).
+//!
+//! These are exactly the kind of messages the paper's intro motivates:
+//! index lookups, ranked search requests, and document retrieval between
+//! host processors and backend servers.
+
+use ntcs_wire::ntcs_message;
+
+ntcs_message! {
+    /// Index-server lookup: one term's postings.
+    pub struct IndexLookup: 200 {
+        /// The term.
+        pub term: String,
+    }
+
+    /// Postings reply (`docs[i]` has frequency `tfs[i]`).
+    pub struct PostingsReply: 201 {
+        /// Matching document ids.
+        pub docs: Vec<u32>,
+        /// Term frequencies, aligned with `docs`.
+        pub tfs: Vec<u32>,
+    }
+
+    /// Ranked search over one backend's shard.
+    pub struct SearchRequest: 202 {
+        /// Free-text query.
+        pub query: String,
+        /// Number of hits wanted.
+        pub k: u32,
+    }
+
+    /// Ranked search reply (`docs[i]` scored `scores[i]`).
+    pub struct SearchReply: 203 {
+        /// Hit document ids, best first.
+        pub docs: Vec<u32>,
+        /// TF-IDF scores, aligned with `docs`.
+        pub scores: Vec<f64>,
+        /// Which shard answered.
+        pub shard: u32,
+    }
+
+    /// Full-document fetch.
+    pub struct FetchDoc: 204 {
+        /// Document id.
+        pub id: u32,
+    }
+
+    /// Document reply.
+    pub struct DocReply: 205 {
+        /// Whether the id was known.
+        pub found: bool,
+        /// Document id.
+        pub id: u32,
+        /// Title.
+        pub title: String,
+        /// Body text.
+        pub body: String,
+    }
+
+    /// Boolean retrieval over one backend's shard (the historical URSA
+    /// query model).
+    pub struct BoolSearchRequest: 208 {
+        /// Query text in the boolean language (AND/OR/NOT, parentheses).
+        pub query: String,
+    }
+
+    /// Boolean retrieval reply.
+    pub struct BoolSearchReply: 209 {
+        /// Whether the query parsed.
+        pub ok: bool,
+        /// Matching document ids, ascending (this shard only).
+        pub docs: Vec<u32>,
+        /// Which shard answered.
+        pub shard: u32,
+    }
+
+    /// Backend status probe.
+    pub struct ShardInfoRequest: 206 { }
+
+    /// Backend status.
+    pub struct ShardInfoReply: 207 {
+        /// Shard number.
+        pub shard: u32,
+        /// Documents indexed.
+        pub n_docs: u32,
+        /// Distinct terms indexed.
+        pub n_terms: u32,
+    }
+}

@@ -1,0 +1,246 @@
+//! The URSA backend servers: index lookup, ranked search, and document
+//! retrieval (paper §1.2) — each an ordinary relocatable NTCS module.
+
+use ntcs::{AttrSet, MachineId, Result, Testbed, UAdd};
+use ntcs_drts::host::Handler;
+use ntcs_drts::ServiceHost;
+
+use crate::corpus::Document;
+use crate::index::InvertedIndex;
+use crate::boolean::BoolExpr;
+use crate::protocol::{
+    BoolSearchReply, BoolSearchRequest, DocReply, FetchDoc, IndexLookup, PostingsReply,
+    SearchReply, SearchRequest, ShardInfoReply, ShardInfoRequest,
+};
+
+/// Attribute value used by every URSA search backend.
+pub const ROLE_SEARCH: &str = "search";
+/// Attribute value used by the index server.
+pub const ROLE_INDEX: &str = "index";
+/// Attribute value used by the document server.
+pub const ROLE_DOCSTORE: &str = "docstore";
+
+fn attrs(name: &str, role: &str, shard: Option<u32>) -> Result<AttrSet> {
+    let mut a = AttrSet::named(name)?;
+    a.set("role", role)?;
+    a.set("app", "ursa")?;
+    if let Some(s) = shard {
+        a.set("shard", &s.to_string())?;
+    }
+    Ok(a)
+}
+
+/// The index-lookup backend: answers raw postings queries.
+#[derive(Debug)]
+pub struct IndexServer {
+    host: ServiceHost,
+}
+
+impl IndexServer {
+    /// Spawns the index server over the given documents.
+    ///
+    /// # Errors
+    ///
+    /// Binding/registration failures.
+    pub fn spawn(
+        testbed: &Testbed,
+        machine: MachineId,
+        docs: &[Document],
+    ) -> Result<IndexServer> {
+        let index = InvertedIndex::build(docs);
+        let handler: Handler = Box::new(move |commod, msg| {
+            if msg.is::<IndexLookup>() {
+                let Ok(req) = msg.decode::<IndexLookup>() else { return };
+                let postings = index.postings(&req.term);
+                let _ = commod.reply(
+                    &msg,
+                    &PostingsReply {
+                        docs: postings.iter().map(|p| p.doc).collect(),
+                        tfs: postings.iter().map(|p| p.tf).collect(),
+                    },
+                );
+            }
+        });
+        let host = ServiceHost::spawn_with_attrs(
+            testbed,
+            machine,
+            &attrs("index-server", ROLE_INDEX, None)?,
+            handler,
+        )?;
+        Ok(IndexServer { host })
+    }
+
+    /// The server's UAdd.
+    #[must_use]
+    pub fn uadd(&self) -> UAdd {
+        self.host.uadd()
+    }
+
+    /// The underlying host (relocation, shutdown).
+    #[must_use]
+    pub fn host(&self) -> &ServiceHost {
+        &self.host
+    }
+
+    /// Stops the server.
+    pub fn stop(self) {
+        self.host.stop();
+    }
+}
+
+/// One ranked-search backend over one corpus shard.
+#[derive(Debug)]
+pub struct SearchServer {
+    host: ServiceHost,
+    shard: u32,
+}
+
+impl SearchServer {
+    /// Spawns search backend number `shard` over its shard of documents.
+    ///
+    /// # Errors
+    ///
+    /// Binding/registration failures.
+    pub fn spawn(
+        testbed: &Testbed,
+        machine: MachineId,
+        shard: u32,
+        docs: &[Document],
+    ) -> Result<SearchServer> {
+        let index = InvertedIndex::build(docs);
+        let handler: Handler = Box::new(move |commod, msg| {
+            if msg.is::<SearchRequest>() {
+                let Ok(req) = msg.decode::<SearchRequest>() else { return };
+                let hits = index.search(&req.query, req.k as usize);
+                let _ = commod.reply(
+                    &msg,
+                    &SearchReply {
+                        docs: hits.iter().map(|h| h.doc).collect(),
+                        scores: hits.iter().map(|h| h.score).collect(),
+                        shard,
+                    },
+                );
+            } else if msg.is::<BoolSearchRequest>() {
+                let Ok(req) = msg.decode::<BoolSearchRequest>() else { return };
+                let reply = match BoolExpr::parse(&req.query) {
+                    Ok(expr) => BoolSearchReply {
+                        ok: true,
+                        docs: index.search_boolean(&expr),
+                        shard,
+                    },
+                    Err(_) => BoolSearchReply {
+                        ok: false,
+                        docs: Vec::new(),
+                        shard,
+                    },
+                };
+                let _ = commod.reply(&msg, &reply);
+            } else if msg.is::<ShardInfoRequest>() {
+                let _ = commod.reply(
+                    &msg,
+                    &ShardInfoReply {
+                        shard,
+                        n_docs: index.n_docs(),
+                        n_terms: index.n_terms() as u32,
+                    },
+                );
+            }
+        });
+        let host = ServiceHost::spawn_with_attrs(
+            testbed,
+            machine,
+            &attrs(&format!("search-{shard}"), ROLE_SEARCH, Some(shard))?,
+            handler,
+        )?;
+        Ok(SearchServer { host, shard })
+    }
+
+    /// The backend's shard number.
+    #[must_use]
+    pub fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    /// The backend's UAdd.
+    #[must_use]
+    pub fn uadd(&self) -> UAdd {
+        self.host.uadd()
+    }
+
+    /// The underlying host (relocation, shutdown).
+    #[must_use]
+    pub fn host(&self) -> &ServiceHost {
+        &self.host
+    }
+
+    /// Stops the backend.
+    pub fn stop(self) {
+        self.host.stop();
+    }
+}
+
+/// The document-retrieval backend.
+#[derive(Debug)]
+pub struct DocServer {
+    host: ServiceHost,
+}
+
+impl DocServer {
+    /// Spawns the document server over the full corpus.
+    ///
+    /// # Errors
+    ///
+    /// Binding/registration failures.
+    pub fn spawn(
+        testbed: &Testbed,
+        machine: MachineId,
+        docs: Vec<Document>,
+    ) -> Result<DocServer> {
+        let by_id: std::collections::HashMap<u32, Document> =
+            docs.into_iter().map(|d| (d.id, d)).collect();
+        let handler: Handler = Box::new(move |commod, msg| {
+            if msg.is::<FetchDoc>() {
+                let Ok(req) = msg.decode::<FetchDoc>() else { return };
+                let reply = match by_id.get(&req.id) {
+                    Some(d) => DocReply {
+                        found: true,
+                        id: d.id,
+                        title: d.title.clone(),
+                        body: d.body.clone(),
+                    },
+                    None => DocReply {
+                        found: false,
+                        id: req.id,
+                        title: String::new(),
+                        body: String::new(),
+                    },
+                };
+                let _ = commod.reply(&msg, &reply);
+            }
+        });
+        let host = ServiceHost::spawn_with_attrs(
+            testbed,
+            machine,
+            &attrs("doc-server", ROLE_DOCSTORE, None)?,
+            handler,
+        )?;
+        Ok(DocServer { host })
+    }
+
+    /// The server's UAdd.
+    #[must_use]
+    pub fn uadd(&self) -> UAdd {
+        self.host.uadd()
+    }
+
+    /// The underlying host (relocation, shutdown).
+    #[must_use]
+    pub fn host(&self) -> &ServiceHost {
+        &self.host
+    }
+
+    /// Stops the server.
+    pub fn stop(self) {
+        self.host.stop();
+    }
+}

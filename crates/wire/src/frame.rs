@@ -1,0 +1,133 @@
+//! A complete NTCS frame: shift-mode header + payload byte stream.
+//!
+//! "The remainder of the message, in packed or image format, is transferred
+//! directly as a byte stream" (§5.2). The frame is what the ND-Layer hands to
+//! the underlying IPCS as one contiguous block (§5.1: messages must be
+//! contiguous).
+
+use bytes::Bytes;
+use ntcs_addr::{NtcsError, Result};
+
+use crate::header::{FrameHeader, HEADER_LEN};
+
+/// A header plus payload, the unit the Nucleus sends and receives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The shift-mode header.
+    pub header: FrameHeader,
+    /// The payload byte stream (packed or image mode; empty for pure control
+    /// frames).
+    pub payload: Bytes,
+}
+
+impl Frame {
+    /// Creates a frame, fixing up `header.payload_len`.
+    #[must_use]
+    pub fn new(mut header: FrameHeader, payload: Bytes) -> Self {
+        header.payload_len = payload.len() as u32;
+        Frame { header, payload }
+    }
+
+    /// Creates a payload-less control frame.
+    #[must_use]
+    pub fn control(header: FrameHeader) -> Self {
+        Frame::new(header, Bytes::new())
+    }
+
+    /// Encodes the frame into one contiguous block.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len());
+        out.extend_from_slice(&self.header.to_shift());
+        out.extend_from_slice(&self.payload);
+        Bytes::from(out)
+    }
+
+    /// Decodes a frame from one contiguous block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NtcsError::Protocol`] on truncation, bad header, or a
+    /// payload length disagreeing with the block size.
+    pub fn decode(block: &[u8]) -> Result<Frame> {
+        if block.len() < HEADER_LEN {
+            return Err(NtcsError::Protocol(format!(
+                "frame shorter than header: {} bytes",
+                block.len()
+            )));
+        }
+        let header = FrameHeader::from_shift(&block[..HEADER_LEN])?;
+        let payload = &block[HEADER_LEN..];
+        if payload.len() != header.payload_len as usize {
+            return Err(NtcsError::Protocol(format!(
+                "payload length mismatch: header says {}, frame carries {}",
+                header.payload_len,
+                payload.len()
+            )));
+        }
+        Ok(Frame {
+            header,
+            payload: Bytes::copy_from_slice(payload),
+        })
+    }
+
+    /// Total encoded size in bytes.
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        HEADER_LEN + self.payload.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::FrameType;
+    use ntcs_addr::{MachineType, UAdd};
+
+    fn header() -> FrameHeader {
+        FrameHeader::new(
+            FrameType::Data,
+            UAdd::from_raw(5),
+            UAdd::from_raw(6),
+            MachineType::Sun,
+        )
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let f = Frame::new(header(), Bytes::from_static(b"payload bytes"));
+        let block = f.encode();
+        assert_eq!(block.len(), f.encoded_len());
+        let got = Frame::decode(&block).unwrap();
+        assert_eq!(got, f);
+    }
+
+    #[test]
+    fn control_frame_has_no_payload() {
+        let f = Frame::control(header());
+        assert_eq!(f.header.payload_len, 0);
+        let got = Frame::decode(&f.encode()).unwrap();
+        assert!(got.payload.is_empty());
+    }
+
+    #[test]
+    fn payload_len_is_fixed_up() {
+        let mut h = header();
+        h.payload_len = 999;
+        let f = Frame::new(h, Bytes::from_static(b"abc"));
+        assert_eq!(f.header.payload_len, 3);
+    }
+
+    #[test]
+    fn short_block_rejected() {
+        assert!(Frame::decode(&[0u8; 10]).is_err());
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let f = Frame::new(header(), Bytes::from_static(b"abcdef"));
+        let mut block = f.encode().to_vec();
+        block.truncate(block.len() - 2);
+        assert!(Frame::decode(&block).is_err());
+    }
+}

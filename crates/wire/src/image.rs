@@ -1,0 +1,380 @@
+//! Image mode: native memory images (paper §5.1).
+//!
+//! "In image mode, a byte-copy of the memory image is simply deposited at the
+//! destination." The paper's machines (VAX vs Sun/Apollo) disagree on byte
+//! order, so an image is only meaningful between representation-compatible
+//! machines — which is exactly why the ND-Layer picks the mode (§5).
+//!
+//! We model the native memory image honestly: [`NativeLayout`] lays a value
+//! out in the byte order of a given [`Endianness`], and reads it back
+//! assuming the *reader's* byte order. Writing on a VAX and reading on a Sun
+//! therefore really does garble multi-byte integers — a property the test
+//! suite and experiment E3 rely on. The original message "must consist of a
+//! contiguous block of memory"; variable-size members (strings, vectors) are
+//! laid out inline with native-order length words, the closest contiguous
+//! equivalent of the paper's C structs.
+
+use ntcs_addr::{Endianness, MachineType, NtcsError, Result};
+
+/// A value with a machine-native contiguous memory image.
+pub trait NativeLayout: Sized {
+    /// Appends this value's native memory image, using `endian` byte order
+    /// for multi-byte scalars.
+    fn write_image(&self, endian: Endianness, out: &mut Vec<u8>);
+
+    /// Reads a value back from a memory image, interpreting multi-byte
+    /// scalars in `endian` byte order (the *reader's* native order — image
+    /// mode performs no conversion).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NtcsError::Protocol`] if the image is truncated or contains
+    /// structurally invalid data (e.g. a length word exceeding the image).
+    fn read_image(r: &mut ImageReader<'_>, endian: Endianness) -> Result<Self>;
+}
+
+/// Cursor over a memory image being decoded.
+#[derive(Debug)]
+pub struct ImageReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ImageReader<'a> {
+    /// Creates a reader over an image.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        ImageReader { buf, pos: 0 }
+    }
+
+    /// Takes the next `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NtcsError::Protocol`] if fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(NtcsError::Protocol(format!(
+                "memory image truncated: wanted {n} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the image has been fully consumed.
+    #[must_use]
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
+fn write_word(v: u64, width: usize, endian: Endianness, out: &mut Vec<u8>) {
+    match endian {
+        Endianness::Little => {
+            for i in 0..width {
+                out.push(((v >> (8 * i)) & 0xFF) as u8);
+            }
+        }
+        Endianness::Big => {
+            for i in (0..width).rev() {
+                out.push(((v >> (8 * i)) & 0xFF) as u8);
+            }
+        }
+    }
+}
+
+fn read_word(r: &mut ImageReader<'_>, width: usize, endian: Endianness) -> Result<u64> {
+    let bytes = r.take(width)?;
+    let mut v: u64 = 0;
+    match endian {
+        Endianness::Little => {
+            for (i, &b) in bytes.iter().enumerate() {
+                v |= u64::from(b) << (8 * i);
+            }
+        }
+        Endianness::Big => {
+            for &b in bytes {
+                v = (v << 8) | u64::from(b);
+            }
+        }
+    }
+    Ok(v)
+}
+
+macro_rules! native_unsigned {
+    ($($t:ty => $w:expr),*) => {$(
+        impl NativeLayout for $t {
+            fn write_image(&self, endian: Endianness, out: &mut Vec<u8>) {
+                write_word(u64::from(*self), $w, endian, out);
+            }
+            fn read_image(r: &mut ImageReader<'_>, endian: Endianness) -> Result<Self> {
+                Ok(read_word(r, $w, endian)? as $t)
+            }
+        }
+    )*};
+}
+
+native_unsigned!(u8 => 1, u16 => 2, u32 => 4, u64 => 8);
+
+macro_rules! native_signed {
+    ($($t:ty => ($u:ty, $w:expr)),*) => {$(
+        impl NativeLayout for $t {
+            fn write_image(&self, endian: Endianness, out: &mut Vec<u8>) {
+                write_word(u64::from(*self as $u), $w, endian, out);
+            }
+            fn read_image(r: &mut ImageReader<'_>, endian: Endianness) -> Result<Self> {
+                Ok(read_word(r, $w, endian)? as $u as $t)
+            }
+        }
+    )*};
+}
+
+native_signed!(i8 => (u8, 1), i16 => (u16, 2), i32 => (u32, 4), i64 => (u64, 8));
+
+impl NativeLayout for bool {
+    fn write_image(&self, _endian: Endianness, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn read_image(r: &mut ImageReader<'_>, _endian: Endianness) -> Result<Self> {
+        Ok(r.take(1)?[0] != 0)
+    }
+}
+
+impl NativeLayout for f64 {
+    fn write_image(&self, endian: Endianness, out: &mut Vec<u8>) {
+        write_word(self.to_bits(), 8, endian, out);
+    }
+    fn read_image(r: &mut ImageReader<'_>, endian: Endianness) -> Result<Self> {
+        Ok(f64::from_bits(read_word(r, 8, endian)?))
+    }
+}
+
+impl NativeLayout for f32 {
+    fn write_image(&self, endian: Endianness, out: &mut Vec<u8>) {
+        write_word(u64::from(self.to_bits()), 4, endian, out);
+    }
+    fn read_image(r: &mut ImageReader<'_>, endian: Endianness) -> Result<Self> {
+        Ok(f32::from_bits(read_word(r, 4, endian)? as u32))
+    }
+}
+
+impl NativeLayout for String {
+    fn write_image(&self, endian: Endianness, out: &mut Vec<u8>) {
+        write_word(self.len() as u64, 4, endian, out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn read_image(r: &mut ImageReader<'_>, endian: Endianness) -> Result<Self> {
+        let len = read_word(r, 4, endian)? as usize;
+        if len > r.remaining() {
+            return Err(NtcsError::Protocol(format!(
+                "image string length {len} exceeds remaining {} bytes \
+                 (likely a byte-order mismatch)",
+                r.remaining()
+            )));
+        }
+        let bytes = r.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| NtcsError::Protocol("image string is not utf-8".into()))
+    }
+}
+
+impl<T: NativeLayout> NativeLayout for Vec<T> {
+    fn write_image(&self, endian: Endianness, out: &mut Vec<u8>) {
+        write_word(self.len() as u64, 4, endian, out);
+        for item in self {
+            item.write_image(endian, out);
+        }
+    }
+    fn read_image(r: &mut ImageReader<'_>, endian: Endianness) -> Result<Self> {
+        let len = read_word(r, 4, endian)? as usize;
+        if len > r.remaining() {
+            return Err(NtcsError::Protocol(format!(
+                "image vector length {len} exceeds remaining {} bytes \
+                 (likely a byte-order mismatch)",
+                r.remaining()
+            )));
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::read_image(r, endian)?);
+        }
+        Ok(out)
+    }
+}
+
+impl NativeLayout for crate::pack::Blob {
+    fn write_image(&self, endian: Endianness, out: &mut Vec<u8>) {
+        write_word(self.0.len() as u64, 4, endian, out);
+        out.extend_from_slice(&self.0);
+    }
+    fn read_image(r: &mut ImageReader<'_>, endian: Endianness) -> Result<Self> {
+        let len = read_word(r, 4, endian)? as usize;
+        if len > r.remaining() {
+            return Err(NtcsError::Protocol(format!(
+                "image blob length {len} exceeds remaining {} bytes",
+                r.remaining()
+            )));
+        }
+        Ok(crate::pack::Blob(r.take(len)?.to_vec()))
+    }
+}
+
+impl<T: NativeLayout> NativeLayout for Option<T> {
+    fn write_image(&self, endian: Endianness, out: &mut Vec<u8>) {
+        match self {
+            Some(v) => {
+                out.push(1);
+                v.write_image(endian, out);
+            }
+            None => out.push(0),
+        }
+    }
+    fn read_image(r: &mut ImageReader<'_>, endian: Endianness) -> Result<Self> {
+        match r.take(1)?[0] {
+            0 => Ok(None),
+            _ => Ok(Some(T::read_image(r, endian)?)),
+        }
+    }
+}
+
+/// Produces the native memory image of `value` as laid out on a machine of
+/// type `machine`.
+#[must_use]
+pub fn image_to_vec<T: NativeLayout>(value: &T, machine: MachineType) -> Vec<u8> {
+    let mut out = Vec::new();
+    value.write_image(machine.endianness(), &mut out);
+    out
+}
+
+/// Interprets a memory image as a machine of type `machine` would.
+///
+/// No conversion is performed — that is the whole point of image mode. If the
+/// image was produced on an incompatible machine the result is garbage (and
+/// often, but not always, a decode error).
+///
+/// # Errors
+///
+/// Returns [`NtcsError::Protocol`] on structural failure (truncation,
+/// impossible lengths, invalid UTF-8).
+pub fn image_from_slice<T: NativeLayout>(bytes: &[u8], machine: MachineType) -> Result<T> {
+    let mut r = ImageReader::new(bytes);
+    let v = T::read_image(&mut r, machine.endianness())?;
+    if !r.is_exhausted() {
+        return Err(NtcsError::Protocol(format!(
+            "{} trailing bytes after memory image",
+            r.remaining()
+        )));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn like_machines_round_trip() {
+        let v: u32 = 0x0102_0304;
+        for m in MachineType::ALL {
+            assert_eq!(
+                image_from_slice::<u32>(&image_to_vec(&v, m), m).unwrap(),
+                v
+            );
+        }
+    }
+
+    #[test]
+    fn vax_image_is_little_endian_sun_image_is_big_endian() {
+        let v: u32 = 0x0102_0304;
+        assert_eq!(image_to_vec(&v, MachineType::Vax), vec![4, 3, 2, 1]);
+        assert_eq!(image_to_vec(&v, MachineType::Sun), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn unlike_machines_garble_integers() {
+        let v: u32 = 0x0102_0304;
+        let img = image_to_vec(&v, MachineType::Vax);
+        let got = image_from_slice::<u32>(&img, MachineType::Sun).unwrap();
+        assert_eq!(got, 0x0403_0201);
+        assert_ne!(got, v);
+    }
+
+    #[test]
+    fn sun_and_apollo_are_image_compatible() {
+        let v: i64 = -123_456_789;
+        let img = image_to_vec(&v, MachineType::Sun);
+        assert_eq!(
+            image_from_slice::<i64>(&img, MachineType::Apollo).unwrap(),
+            v
+        );
+    }
+
+    #[test]
+    fn signed_and_float_round_trip() {
+        for m in [MachineType::Vax, MachineType::Sun] {
+            let a: i32 = -7;
+            assert_eq!(image_from_slice::<i32>(&image_to_vec(&a, m), m).unwrap(), a);
+            let f: f64 = -2.75;
+            assert_eq!(image_from_slice::<f64>(&image_to_vec(&f, m), m).unwrap(), f);
+            let g: f32 = 9.5;
+            assert_eq!(image_from_slice::<f32>(&image_to_vec(&g, m), m).unwrap(), g);
+            let b = true;
+            assert_eq!(
+                image_from_slice::<bool>(&image_to_vec(&b, m), m).unwrap(),
+                b
+            );
+        }
+    }
+
+    #[test]
+    fn strings_and_vectors_round_trip() {
+        let s = "network transparent".to_string();
+        let m = MachineType::Vax;
+        assert_eq!(
+            image_from_slice::<String>(&image_to_vec(&s, m), m).unwrap(),
+            s
+        );
+        let v = vec![1u16, 2, 3];
+        assert_eq!(
+            image_from_slice::<Vec<u16>>(&image_to_vec(&v, m), m).unwrap(),
+            v
+        );
+        let o = Some(42u32);
+        assert_eq!(
+            image_from_slice::<Option<u32>>(&image_to_vec(&o, m), m).unwrap(),
+            o
+        );
+    }
+
+    #[test]
+    fn cross_machine_string_usually_fails_structurally() {
+        // A 19-byte string's length word read with swapped bytes is huge, so
+        // the reader detects the mismatch rather than allocating garbage.
+        let s = "network transparent".to_string();
+        let img = image_to_vec(&s, MachineType::Vax);
+        assert!(image_from_slice::<String>(&img, MachineType::Sun).is_err());
+    }
+
+    #[test]
+    fn truncated_image_fails() {
+        let v: u64 = 1;
+        let img = image_to_vec(&v, MachineType::Sun);
+        assert!(image_from_slice::<u64>(&img[..7], MachineType::Sun).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_fail() {
+        let mut img = image_to_vec(&1u8, MachineType::Sun);
+        img.push(0);
+        assert!(image_from_slice::<u8>(&img, MachineType::Sun).is_err());
+    }
+}

@@ -1,0 +1,287 @@
+//! Application messages and the automatic pack/unpack generator.
+//!
+//! §5.1: "the original application message must consist of a contiguous
+//! block of memory", each module "provides these conversion functions to
+//! pack/unpack its messages", and "one member of the URSA project implemented
+//! an automatic code generating mechanism which builds these pack/unpack
+//! routines directly from the message structure definitions."
+//!
+//! [`Message`] is what the application sends: a type with a stable type id,
+//! a packed-mode encoding ([`Packable`]) and a native memory image
+//! ([`NativeLayout`]). The `ntcs_message!` macro is the automatic
+//! generator: it derives all three from a structure definition.
+
+use bytes::Bytes;
+use ntcs_addr::{MachineType, NtcsError, Result};
+
+use crate::image::{image_from_slice, image_to_vec, NativeLayout};
+use crate::mode::ConvMode;
+use crate::pack::{pack_to_vec, unpack_from_slice, Packable};
+
+/// An application message: packable, imageable, and identified by a stable
+/// type id (the paper's "message 'type'" option for inferring structure,
+/// §5.1).
+pub trait Message: Packable + NativeLayout {
+    /// Stable message type id carried in the frame header's `aux` word.
+    const TYPE_ID: u32;
+}
+
+/// Encodes a message payload in the given conversion mode, as laid out on
+/// (or packed by) a machine of type `machine`.
+#[must_use]
+pub fn encode_payload<M: Message>(msg: &M, mode: ConvMode, machine: MachineType) -> Bytes {
+    match mode {
+        ConvMode::Image => Bytes::from(image_to_vec(msg, machine)),
+        ConvMode::Packed => Bytes::from(pack_to_vec(msg)),
+    }
+}
+
+/// An application payload as received, before the application names its type.
+///
+/// The receiving ALI layer hands this to the application, which calls
+/// [`InboundPayload::decode`] with the expected message type — the moral
+/// equivalent of the paper's receive-then-unpack sequence.
+#[derive(Debug, Clone)]
+pub struct InboundPayload {
+    /// Message type id from the frame header.
+    pub type_id: u32,
+    /// Conversion mode the payload travelled in.
+    pub mode: ConvMode,
+    /// Machine type of the originating endpoint.
+    pub src_machine: MachineType,
+    /// The raw payload byte stream.
+    pub bytes: Bytes,
+}
+
+impl InboundPayload {
+    /// Decodes the payload as message type `M`, interpreting an image-mode
+    /// payload in the *local* machine's native layout (image mode performs no
+    /// conversion — that is its contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NtcsError::Protocol`] if the type id does not match `M`, or
+    /// if the payload is malformed.
+    pub fn decode<M: Message>(&self, local_machine: MachineType) -> Result<M> {
+        if self.type_id != M::TYPE_ID {
+            return Err(NtcsError::Protocol(format!(
+                "message type mismatch: expected {}, received {}",
+                M::TYPE_ID,
+                self.type_id
+            )));
+        }
+        match self.mode {
+            ConvMode::Packed => unpack_from_slice(&self.bytes),
+            ConvMode::Image => image_from_slice(&self.bytes, local_machine),
+        }
+    }
+
+    /// Whether this payload carries message type `M`.
+    #[must_use]
+    pub fn is<M: Message>(&self) -> bool {
+        self.type_id == M::TYPE_ID
+    }
+}
+
+/// Defines one or more message structures and generates their pack/unpack
+/// and native-layout routines — the reproduction of the URSA project's
+/// automatic code generator (§5.1, reference \[22\] in the paper).
+///
+/// ```
+/// use ntcs_wire::ntcs_message;
+///
+/// ntcs_message! {
+///     /// A query sent to the search backend.
+///     pub struct Query: 101 {
+///         pub text: String,
+///         pub max_results: u32,
+///     }
+///
+///     /// An empty acknowledgement.
+///     pub struct Ack: 102 { }
+/// }
+///
+/// # use ntcs_wire::{Message, encode_payload, ConvMode, InboundPayload};
+/// # use ntcs_addr::MachineType;
+/// let q = Query { text: "retrieval".into(), max_results: 10 };
+/// let bytes = encode_payload(&q, ConvMode::Packed, MachineType::Vax);
+/// let inbound = InboundPayload {
+///     type_id: Query::TYPE_ID,
+///     mode: ConvMode::Packed,
+///     src_machine: MachineType::Vax,
+///     bytes,
+/// };
+/// let q2: Query = inbound.decode(MachineType::Sun).unwrap();
+/// assert_eq!(q2, q);
+/// ```
+#[macro_export]
+macro_rules! ntcs_message {
+    ($(
+        $(#[$meta:meta])*
+        $vis:vis struct $name:ident : $type_id:literal {
+            $( $(#[$fmeta:meta])* $fvis:vis $field:ident : $ftype:ty ),* $(,)?
+        }
+    )*) => {$(
+        $(#[$meta])*
+        #[derive(Debug, Clone, Default, PartialEq)]
+        $vis struct $name {
+            $( $(#[$fmeta])* $fvis $field : $ftype, )*
+        }
+
+        impl $crate::Packable for $name {
+            fn pack(&self, w: &mut $crate::PackWriter) {
+                let _ = &w;
+                $( $crate::Packable::pack(&self.$field, w); )*
+            }
+            fn unpack(
+                r: &mut $crate::PackReader<'_>,
+            ) -> ::ntcs_addr::Result<Self> {
+                let _ = &r;
+                Ok($name {
+                    $( $field: <$ftype as $crate::Packable>::unpack(r)?, )*
+                })
+            }
+        }
+
+        impl $crate::NativeLayout for $name {
+            fn write_image(
+                &self,
+                endian: ::ntcs_addr::Endianness,
+                out: &mut ::std::vec::Vec<u8>,
+            ) {
+                $( $crate::NativeLayout::write_image(&self.$field, endian, out); )*
+                // Suppress unused-variable warnings for field-less messages.
+                let _ = (endian, &out);
+            }
+            fn read_image(
+                r: &mut $crate::ImageReader<'_>,
+                endian: ::ntcs_addr::Endianness,
+            ) -> ::ntcs_addr::Result<Self> {
+                let _ = (&r, endian);
+                Ok($name {
+                    $( $field: <$ftype as $crate::NativeLayout>::read_image(r, endian)?, )*
+                })
+            }
+        }
+
+        impl $crate::Message for $name {
+            const TYPE_ID: u32 = $type_id;
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    ntcs_message! {
+        /// Test message with every supported field kind.
+        pub struct Everything: 900 {
+            pub a: u8,
+            pub b: u16,
+            pub c: u32,
+            pub d: u64,
+            pub e: i32,
+            pub f: i64,
+            pub g: f64,
+            pub h: bool,
+            pub s: String,
+            pub v: Vec<u32>,
+            pub o: Option<String>,
+        }
+
+        /// Empty message.
+        pub struct Empty: 901 { }
+    }
+
+    fn sample() -> Everything {
+        Everything {
+            a: 1,
+            b: 2,
+            c: 0xDEAD_BEEF,
+            d: u64::MAX,
+            e: -5,
+            f: i64::MIN,
+            g: 2.5,
+            h: true,
+            s: "URSA".into(),
+            v: vec![10, 20, 30],
+            o: Some("attr".into()),
+        }
+    }
+
+    #[test]
+    fn packed_round_trip_across_unlike_machines() {
+        let m = sample();
+        let bytes = encode_payload(&m, ConvMode::Packed, MachineType::Vax);
+        let inbound = InboundPayload {
+            type_id: Everything::TYPE_ID,
+            mode: ConvMode::Packed,
+            src_machine: MachineType::Vax,
+            bytes,
+        };
+        let got: Everything = inbound.decode(MachineType::Sun).unwrap();
+        assert_eq!(got, m);
+    }
+
+    #[test]
+    fn image_round_trip_across_like_machines() {
+        let m = sample();
+        let bytes = encode_payload(&m, ConvMode::Image, MachineType::Sun);
+        let inbound = InboundPayload {
+            type_id: Everything::TYPE_ID,
+            mode: ConvMode::Image,
+            src_machine: MachineType::Sun,
+            bytes,
+        };
+        let got: Everything = inbound.decode(MachineType::Apollo).unwrap();
+        assert_eq!(got, m);
+    }
+
+    #[test]
+    fn image_across_unlike_machines_garbles_or_fails() {
+        let m = sample();
+        let bytes = encode_payload(&m, ConvMode::Image, MachineType::Vax);
+        let inbound = InboundPayload {
+            type_id: Everything::TYPE_ID,
+            mode: ConvMode::Image,
+            src_machine: MachineType::Vax,
+            bytes,
+        };
+        match inbound.decode::<Everything>(MachineType::Sun) {
+            Err(_) => {}
+            Ok(got) => assert_ne!(got, m, "cross-endian image must not round-trip"),
+        }
+    }
+
+    #[test]
+    fn type_id_mismatch_rejected() {
+        let m = Empty::default();
+        let bytes = encode_payload(&m, ConvMode::Packed, MachineType::Vax);
+        let inbound = InboundPayload {
+            type_id: Empty::TYPE_ID,
+            mode: ConvMode::Packed,
+            src_machine: MachineType::Vax,
+            bytes,
+        };
+        assert!(inbound.is::<Empty>());
+        assert!(!inbound.is::<Everything>());
+        assert!(inbound.decode::<Everything>(MachineType::Vax).is_err());
+    }
+
+    #[test]
+    fn empty_message_round_trips() {
+        let m = Empty::default();
+        for mode in [ConvMode::Packed, ConvMode::Image] {
+            let bytes = encode_payload(&m, mode, MachineType::Vax);
+            let inbound = InboundPayload {
+                type_id: Empty::TYPE_ID,
+                mode,
+                src_machine: MachineType::Vax,
+                bytes,
+            };
+            let got: Empty = inbound.decode(MachineType::Vax).unwrap();
+            assert_eq!(got, m);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Conversion-mode selection (paper §5).
+//!
+//! "Messages between identical machines are simply byte-copied (image mode)
+//! while those between incompatible machines are transmitted in a converted
+//! representation (packed mode). The NTCS determines the correct mode based
+//! on the source and destination machine types, thus avoiding needless
+//! conversions." The decision is made at the *lowest* layer, "where the
+//! destination machine type is visible" — in this implementation, when the
+//! LVC open handshake exchanges endpoint machine types.
+
+use ntcs_addr::MachineType;
+use serde::{Deserialize, Serialize};
+
+/// How an application payload travels on a given virtual circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConvMode {
+    /// Raw byte copy of the sender's native memory image (like machines).
+    Image,
+    /// Application pack/unpack through the character transport format
+    /// (unlike machines).
+    Packed,
+}
+
+impl ConvMode {
+    /// Selects the conversion mode for a circuit between two machine types
+    /// (§5: image between identical machines, packed otherwise).
+    #[must_use]
+    pub fn select(src: MachineType, dst: MachineType) -> ConvMode {
+        if src.image_compatible(dst) {
+            ConvMode::Image
+        } else {
+            ConvMode::Packed
+        }
+    }
+
+    /// Wire bit used in the header flags word.
+    #[must_use]
+    pub fn wire_bit(self) -> u32 {
+        match self {
+            ConvMode::Image => 0,
+            ConvMode::Packed => 1,
+        }
+    }
+
+    /// Inverse of [`ConvMode::wire_bit`].
+    #[must_use]
+    pub fn from_wire_bit(bit: u32) -> ConvMode {
+        if bit == 0 {
+            ConvMode::Image
+        } else {
+            ConvMode::Packed
+        }
+    }
+}
+
+impl std::fmt::Display for ConvMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ConvMode::Image => "image",
+            ConvMode::Packed => "packed",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_machines_use_image() {
+        for m in MachineType::ALL {
+            assert_eq!(ConvMode::select(m, m), ConvMode::Image);
+        }
+    }
+
+    #[test]
+    fn compatible_machines_use_image() {
+        assert_eq!(
+            ConvMode::select(MachineType::Sun, MachineType::Apollo),
+            ConvMode::Image
+        );
+    }
+
+    #[test]
+    fn incompatible_machines_use_packed() {
+        assert_eq!(
+            ConvMode::select(MachineType::Vax, MachineType::Sun),
+            ConvMode::Packed
+        );
+        assert_eq!(
+            ConvMode::select(MachineType::Apollo, MachineType::Vax),
+            ConvMode::Packed
+        );
+    }
+
+    #[test]
+    fn selection_is_symmetric() {
+        for a in MachineType::ALL {
+            for b in MachineType::ALL {
+                assert_eq!(ConvMode::select(a, b), ConvMode::select(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn wire_bit_round_trip() {
+        for m in [ConvMode::Image, ConvMode::Packed] {
+            assert_eq!(ConvMode::from_wire_bit(m.wire_bit()), m);
+        }
+    }
+}

@@ -1,0 +1,599 @@
+//! Packed mode: the character-representation transport format (paper §5.1).
+//!
+//! "Each application module provides these conversion functions to
+//! pack/unpack its messages into/from a standard byte-stream transport
+//! format. … A character representation transport format was chosen for the
+//! current implementation, purely for simplicity. … the pack/unpack functions
+//! are built with language constructs which are machine representation
+//! independent (e.g., sprintf or sscanf in C)."
+//!
+//! [`PackWriter`]/[`PackReader`] are the `sprintf`/`sscanf` analogue: every
+//! field travels as ASCII text with a one-character type tag and a `;`
+//! terminator, so the stream is self-describing enough to catch mismatched
+//! pack/unpack routines, yet endianness never enters the picture. Strings and
+//! blobs are length-prefixed so arbitrary bytes are safe.
+//!
+//! The [`Packable`] trait is what the application implements (usually via the
+//! [`crate::ntcs_message!`] generator, mirroring the URSA project's automatic
+//! pack/unpack code generator).
+
+use ntcs_addr::{NtcsError, Result};
+
+/// Serializes fields into the character transport format.
+#[derive(Debug, Default)]
+pub struct PackWriter {
+    buf: Vec<u8>,
+}
+
+impl PackWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        PackWriter::default()
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn put_unsigned(&mut self, v: u64) -> &mut Self {
+        self.buf.push(b'u');
+        self.buf.extend_from_slice(v.to_string().as_bytes());
+        self.buf.push(b';');
+        self
+    }
+
+    /// Appends a signed integer field.
+    pub fn put_signed(&mut self, v: i64) -> &mut Self {
+        self.buf.push(b'i');
+        self.buf.extend_from_slice(v.to_string().as_bytes());
+        self.buf.push(b';');
+        self
+    }
+
+    /// Appends a float field (carried as the decimal rendering of its IEEE
+    /// bit pattern, which is lossless and still pure characters).
+    pub fn put_float(&mut self, v: f64) -> &mut Self {
+        self.buf.push(b'f');
+        self.buf
+            .extend_from_slice(v.to_bits().to_string().as_bytes());
+        self.buf.push(b';');
+        self
+    }
+
+    /// Appends a boolean field.
+    pub fn put_bool(&mut self, v: bool) -> &mut Self {
+        self.buf.push(b'B');
+        self.buf.push(if v { b'1' } else { b'0' });
+        self.buf.push(b';');
+        self
+    }
+
+    /// Appends a string field (length-prefixed; contents are not escaped).
+    pub fn put_str(&mut self, v: &str) -> &mut Self {
+        self.buf.push(b's');
+        self.buf
+            .extend_from_slice(v.len().to_string().as_bytes());
+        self.buf.push(b':');
+        self.buf.extend_from_slice(v.as_bytes());
+        self.buf.push(b';');
+        self
+    }
+
+    /// Appends a raw byte blob (length-prefixed).
+    pub fn put_bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.push(b'b');
+        self.buf
+            .extend_from_slice(v.len().to_string().as_bytes());
+        self.buf.push(b':');
+        self.buf.extend_from_slice(v);
+        self.buf.push(b';');
+        self
+    }
+
+    /// Number of bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the transport byte stream.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrows the bytes written so far.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Deserializes fields from the character transport format.
+#[derive(Debug)]
+pub struct PackReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PackReader<'a> {
+    /// Creates a reader over a packed byte stream.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        PackReader { buf, pos: 0 }
+    }
+
+    fn expect_tag(&mut self, tag: u8) -> Result<()> {
+        match self.buf.get(self.pos) {
+            Some(&t) if t == tag => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(&t) => Err(NtcsError::Protocol(format!(
+                "packed field tag mismatch: expected {:?}, found {:?} at offset {}",
+                tag as char, t as char, self.pos
+            ))),
+            None => Err(NtcsError::Protocol("packed stream exhausted".into())),
+        }
+    }
+
+    fn take_until(&mut self, delim: u8) -> Result<&'a [u8]> {
+        let start = self.pos;
+        while let Some(&b) = self.buf.get(self.pos) {
+            if b == delim {
+                let s = &self.buf[start..self.pos];
+                self.pos += 1;
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        Err(NtcsError::Protocol(format!(
+            "packed stream truncated looking for {:?}",
+            delim as char
+        )))
+    }
+
+    fn ascii_number<T: std::str::FromStr>(bytes: &[u8]) -> Result<T> {
+        std::str::from_utf8(bytes)
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                NtcsError::Protocol(format!(
+                    "malformed packed number {:?}",
+                    String::from_utf8_lossy(bytes)
+                ))
+            })
+    }
+
+    /// Reads an unsigned integer field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NtcsError::Protocol`] on tag mismatch or malformed data.
+    pub fn get_unsigned(&mut self) -> Result<u64> {
+        self.expect_tag(b'u')?;
+        let digits = self.take_until(b';')?;
+        Self::ascii_number(digits)
+    }
+
+    /// Reads a signed integer field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NtcsError::Protocol`] on tag mismatch or malformed data.
+    pub fn get_signed(&mut self) -> Result<i64> {
+        self.expect_tag(b'i')?;
+        let digits = self.take_until(b';')?;
+        Self::ascii_number(digits)
+    }
+
+    /// Reads a float field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NtcsError::Protocol`] on tag mismatch or malformed data.
+    pub fn get_float(&mut self) -> Result<f64> {
+        self.expect_tag(b'f')?;
+        let digits = self.take_until(b';')?;
+        Ok(f64::from_bits(Self::ascii_number(digits)?))
+    }
+
+    /// Reads a boolean field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NtcsError::Protocol`] on tag mismatch or malformed data.
+    pub fn get_bool(&mut self) -> Result<bool> {
+        self.expect_tag(b'B')?;
+        let body = self.take_until(b';')?;
+        match body {
+            b"0" => Ok(false),
+            b"1" => Ok(true),
+            other => Err(NtcsError::Protocol(format!(
+                "malformed packed bool {:?}",
+                String::from_utf8_lossy(other)
+            ))),
+        }
+    }
+
+    fn get_length_prefixed(&mut self, tag: u8) -> Result<&'a [u8]> {
+        self.expect_tag(tag)?;
+        let len: usize = Self::ascii_number(self.take_until(b':')?)?;
+        if self.buf.len() - self.pos < len + 1 {
+            return Err(NtcsError::Protocol(
+                "packed stream truncated inside length-prefixed field".into(),
+            ));
+        }
+        let body = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        if self.buf[self.pos] != b';' {
+            return Err(NtcsError::Protocol(
+                "length-prefixed field missing terminator".into(),
+            ));
+        }
+        self.pos += 1;
+        Ok(body)
+    }
+
+    /// Reads a string field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NtcsError::Protocol`] on tag mismatch, malformed data, or
+    /// invalid UTF-8.
+    pub fn get_str(&mut self) -> Result<String> {
+        let body = self.get_length_prefixed(b's')?;
+        String::from_utf8(body.to_vec())
+            .map_err(|_| NtcsError::Protocol("packed string is not utf-8".into()))
+    }
+
+    /// Reads a raw byte blob.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NtcsError::Protocol`] on tag mismatch or malformed data.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>> {
+        Ok(self.get_length_prefixed(b'b')?.to_vec())
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the stream has been fully consumed.
+    #[must_use]
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
+/// A value that can pack itself into (and unpack from) the character
+/// transport format.
+///
+/// This is the conversion routine the paper requires each application module
+/// to provide (§5.1). Use [`crate::ntcs_message!`] to generate
+/// implementations from a message structure definition.
+pub trait Packable: Sized {
+    /// Packs `self` into the writer.
+    fn pack(&self, w: &mut PackWriter);
+
+    /// Unpacks a value from the reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NtcsError::Protocol`] if the stream does not contain a valid
+    /// encoding of `Self`.
+    fn unpack(r: &mut PackReader<'_>) -> Result<Self>;
+}
+
+macro_rules! packable_unsigned {
+    ($($t:ty),*) => {$(
+        impl Packable for $t {
+            fn pack(&self, w: &mut PackWriter) {
+                w.put_unsigned(u64::from(*self));
+            }
+            fn unpack(r: &mut PackReader<'_>) -> Result<Self> {
+                let v = r.get_unsigned()?;
+                <$t>::try_from(v).map_err(|_| {
+                    NtcsError::Protocol(format!(
+                        "packed value {v} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+packable_unsigned!(u8, u16, u32);
+
+impl Packable for u64 {
+    fn pack(&self, w: &mut PackWriter) {
+        w.put_unsigned(*self);
+    }
+    fn unpack(r: &mut PackReader<'_>) -> Result<Self> {
+        r.get_unsigned()
+    }
+}
+
+macro_rules! packable_signed {
+    ($($t:ty),*) => {$(
+        impl Packable for $t {
+            fn pack(&self, w: &mut PackWriter) {
+                w.put_signed(i64::from(*self));
+            }
+            fn unpack(r: &mut PackReader<'_>) -> Result<Self> {
+                let v = r.get_signed()?;
+                <$t>::try_from(v).map_err(|_| {
+                    NtcsError::Protocol(format!(
+                        "packed value {v} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+packable_signed!(i8, i16, i32);
+
+impl Packable for i64 {
+    fn pack(&self, w: &mut PackWriter) {
+        w.put_signed(*self);
+    }
+    fn unpack(r: &mut PackReader<'_>) -> Result<Self> {
+        r.get_signed()
+    }
+}
+
+impl Packable for f64 {
+    fn pack(&self, w: &mut PackWriter) {
+        w.put_float(*self);
+    }
+    fn unpack(r: &mut PackReader<'_>) -> Result<Self> {
+        r.get_float()
+    }
+}
+
+impl Packable for f32 {
+    fn pack(&self, w: &mut PackWriter) {
+        w.put_float(f64::from(*self));
+    }
+    fn unpack(r: &mut PackReader<'_>) -> Result<Self> {
+        Ok(r.get_float()? as f32)
+    }
+}
+
+impl Packable for bool {
+    fn pack(&self, w: &mut PackWriter) {
+        w.put_bool(*self);
+    }
+    fn unpack(r: &mut PackReader<'_>) -> Result<Self> {
+        r.get_bool()
+    }
+}
+
+impl Packable for String {
+    fn pack(&self, w: &mut PackWriter) {
+        w.put_str(self);
+    }
+    fn unpack(r: &mut PackReader<'_>) -> Result<Self> {
+        r.get_str()
+    }
+}
+
+/// A raw byte blob with an efficient length-prefixed packed encoding
+/// (packing a `Vec<u8>` element-by-element would be wasteful).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Blob(pub Vec<u8>);
+
+impl Packable for Blob {
+    fn pack(&self, w: &mut PackWriter) {
+        w.put_bytes(&self.0);
+    }
+    fn unpack(r: &mut PackReader<'_>) -> Result<Self> {
+        Ok(Blob(r.get_bytes()?))
+    }
+}
+
+impl From<Vec<u8>> for Blob {
+    fn from(v: Vec<u8>) -> Self {
+        Blob(v)
+    }
+}
+
+impl<T: Packable> Packable for Vec<T> {
+    fn pack(&self, w: &mut PackWriter) {
+        w.put_unsigned(self.len() as u64);
+        for item in self {
+            item.pack(w);
+        }
+    }
+    fn unpack(r: &mut PackReader<'_>) -> Result<Self> {
+        let len = r.get_unsigned()?;
+        // Guard against absurd lengths before allocating.
+        if len > 16 * 1024 * 1024 {
+            return Err(NtcsError::Protocol(format!(
+                "packed vector length {len} exceeds sanity bound"
+            )));
+        }
+        let mut out = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            out.push(T::unpack(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Packable> Packable for Option<T> {
+    fn pack(&self, w: &mut PackWriter) {
+        match self {
+            Some(v) => {
+                w.put_bool(true);
+                v.pack(w);
+            }
+            None => {
+                w.put_bool(false);
+            }
+        }
+    }
+    fn unpack(r: &mut PackReader<'_>) -> Result<Self> {
+        if r.get_bool()? {
+            Ok(Some(T::unpack(r)?))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+impl<A: Packable, B: Packable> Packable for (A, B) {
+    fn pack(&self, w: &mut PackWriter) {
+        self.0.pack(w);
+        self.1.pack(w);
+    }
+    fn unpack(r: &mut PackReader<'_>) -> Result<Self> {
+        Ok((A::unpack(r)?, B::unpack(r)?))
+    }
+}
+
+/// Packs a single value into a fresh byte stream.
+#[must_use]
+pub fn pack_to_vec<T: Packable>(value: &T) -> Vec<u8> {
+    let mut w = PackWriter::new();
+    value.pack(&mut w);
+    w.into_bytes()
+}
+
+/// Unpacks a single value from a byte stream, requiring full consumption.
+///
+/// # Errors
+///
+/// Returns [`NtcsError::Protocol`] on malformed input or trailing bytes.
+pub fn unpack_from_slice<T: Packable>(bytes: &[u8]) -> Result<T> {
+    let mut r = PackReader::new(bytes);
+    let v = T::unpack(&mut r)?;
+    if !r.is_exhausted() {
+        return Err(NtcsError::Protocol(format!(
+            "{} trailing bytes after packed value",
+            r.remaining()
+        )));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        let mut w = PackWriter::new();
+        w.put_unsigned(0)
+            .put_unsigned(u64::MAX)
+            .put_signed(-42)
+            .put_float(3.5)
+            .put_bool(true)
+            .put_str("héllo; world")
+            .put_bytes(&[0, 1, 255, b';']);
+        let bytes = w.into_bytes();
+        let mut r = PackReader::new(&bytes);
+        assert_eq!(r.get_unsigned().unwrap(), 0);
+        assert_eq!(r.get_unsigned().unwrap(), u64::MAX);
+        assert_eq!(r.get_signed().unwrap(), -42);
+        assert_eq!(r.get_float().unwrap(), 3.5);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_str().unwrap(), "héllo; world");
+        assert_eq!(r.get_bytes().unwrap(), vec![0, 1, 255, b';']);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn stream_is_pure_characters_for_numbers() {
+        let mut w = PackWriter::new();
+        w.put_unsigned(1234).put_signed(-5);
+        assert_eq!(w.as_bytes(), b"u1234;i-5;");
+    }
+
+    #[test]
+    fn tag_mismatch_is_detected() {
+        let bytes = pack_to_vec(&42u32);
+        let mut r = PackReader::new(&bytes);
+        assert!(matches!(r.get_signed(), Err(NtcsError::Protocol(_))));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = pack_to_vec(&"hello".to_string());
+        for cut in 0..bytes.len() {
+            assert!(
+                unpack_from_slice::<String>(&bytes[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = pack_to_vec(&7u8);
+        bytes.push(b'x');
+        assert!(unpack_from_slice::<u8>(&bytes).is_err());
+    }
+
+    #[test]
+    fn out_of_range_narrowing_rejected() {
+        let bytes = pack_to_vec(&300u64);
+        assert!(unpack_from_slice::<u8>(&bytes).is_err());
+        let bytes = pack_to_vec(&-200i64);
+        assert!(unpack_from_slice::<i8>(&bytes).is_err());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(unpack_from_slice::<Vec<u32>>(&pack_to_vec(&v)).unwrap(), v);
+        let o = Some("x".to_string());
+        assert_eq!(
+            unpack_from_slice::<Option<String>>(&pack_to_vec(&o)).unwrap(),
+            o
+        );
+        let n: Option<String> = None;
+        assert_eq!(
+            unpack_from_slice::<Option<String>>(&pack_to_vec(&n)).unwrap(),
+            n
+        );
+        let t = (5u32, "y".to_string());
+        assert_eq!(
+            unpack_from_slice::<(u32, String)>(&pack_to_vec(&t)).unwrap(),
+            t
+        );
+        let b = Blob(vec![9, 8, 7]);
+        assert_eq!(unpack_from_slice::<Blob>(&pack_to_vec(&b)).unwrap(), b);
+    }
+
+    #[test]
+    fn special_floats_round_trip() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0, 1e-300] {
+            let got = unpack_from_slice::<f64>(&pack_to_vec(&v)).unwrap();
+            assert_eq!(got.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn absurd_vector_length_rejected() {
+        let mut w = PackWriter::new();
+        w.put_unsigned(u64::MAX);
+        assert!(unpack_from_slice::<Vec<u8>>(&w.into_bytes()).is_err());
+    }
+
+    #[test]
+    fn malformed_bool_rejected() {
+        let mut r = PackReader::new(b"B7;");
+        assert!(r.get_bool().is_err());
+    }
+}

@@ -1,0 +1,274 @@
+//! Shift mode (paper §5.2).
+//!
+//! "Message header information is transferred by byte shifting each header
+//! integer sequentially into the final message, using standard high level
+//! shift and mask routines. … At the destination, the shift mode bytes are
+//! shifted back into the header integers. Byte ordering problems are hidden
+//! by the high level shift/mask routines, and by transmitting the values as
+//! a byte stream."
+//!
+//! [`ShiftWriter`] and [`ShiftReader`] implement exactly that: every value is
+//! a 32-bit integer decomposed MSB-first with `>>` and `& 0xFF` — no
+//! `to_be_bytes`, no unsafe reinterpretation — so the code is independent of
+//! the host representation, as the paper requires of a portable system.
+//! Wider values are carried as multiple 32-bit words; bit-field packing
+//! helpers cover the paper's "bit field divided as required".
+
+use ntcs_addr::{NtcsError, Result};
+
+/// Serializes 32-bit header integers into a byte stream with shift/mask
+/// operations.
+#[derive(Debug, Default)]
+pub struct ShiftWriter {
+    buf: Vec<u8>,
+}
+
+impl ShiftWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        ShiftWriter::default()
+    }
+
+    /// Creates a writer with capacity for `words` 32-bit values.
+    #[must_use]
+    pub fn with_capacity_words(words: usize) -> Self {
+        ShiftWriter {
+            buf: Vec::with_capacity(words * 4),
+        }
+    }
+
+    /// Appends one 32-bit integer, most significant byte first, via explicit
+    /// shifts.
+    pub fn put_u32(&mut self, v: u32) -> &mut Self {
+        self.buf.push(((v >> 24) & 0xFF) as u8);
+        self.buf.push(((v >> 16) & 0xFF) as u8);
+        self.buf.push(((v >> 8) & 0xFF) as u8);
+        self.buf.push((v & 0xFF) as u8);
+        self
+    }
+
+    /// Appends a 64-bit integer as two 32-bit words (high word first).
+    pub fn put_u64(&mut self, v: u64) -> &mut Self {
+        self.put_u32((v >> 32) as u32);
+        self.put_u32((v & 0xFFFF_FFFF) as u32)
+    }
+
+    /// Packs up to 32 bits worth of bit fields into one header integer.
+    ///
+    /// `fields` is a list of `(value, width_in_bits)` pairs packed from the
+    /// most significant end down ("structures of four byte integers, which
+    /// can be bit field divided as required").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NtcsError::InvalidArgument`] if the widths exceed 32 bits in
+    /// total or any value does not fit its width.
+    pub fn put_bit_fields(&mut self, fields: &[(u32, u32)]) -> Result<&mut Self> {
+        let total: u32 = fields.iter().map(|&(_, w)| w).sum();
+        if total > 32 {
+            return Err(NtcsError::InvalidArgument(format!(
+                "bit fields total {total} bits, exceeding one header integer"
+            )));
+        }
+        let mut word: u32 = 0;
+        let mut used = 0;
+        for &(value, width) in fields {
+            if width == 0 || width > 32 {
+                return Err(NtcsError::InvalidArgument(format!(
+                    "bit field width {width} out of range"
+                )));
+            }
+            let max = if width == 32 { u32::MAX } else { (1 << width) - 1 };
+            if value > max {
+                return Err(NtcsError::InvalidArgument(format!(
+                    "value {value} does not fit in {width} bits"
+                )));
+            }
+            used += width;
+            word |= value << (32 - used);
+        }
+        self.put_u32(word);
+        Ok(self)
+    }
+
+    /// Number of bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the byte stream.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrows the bytes written so far.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Deserializes 32-bit header integers from a byte stream with shift/mask
+/// operations.
+#[derive(Debug)]
+pub struct ShiftReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ShiftReader<'a> {
+    /// Creates a reader over a byte stream produced by [`ShiftWriter`].
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        ShiftReader { buf, pos: 0 }
+    }
+
+    /// Reads the next 32-bit integer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NtcsError::Protocol`] if fewer than four bytes remain.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        if self.remaining() < 4 {
+            return Err(NtcsError::Protocol(
+                "shift-mode stream truncated mid-integer".into(),
+            ));
+        }
+        let b = &self.buf[self.pos..];
+        let v = (u32::from(b[0]) << 24)
+            | (u32::from(b[1]) << 16)
+            | (u32::from(b[2]) << 8)
+            | u32::from(b[3]);
+        self.pos += 4;
+        Ok(v)
+    }
+
+    /// Reads a 64-bit integer written by [`ShiftWriter::put_u64`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NtcsError::Protocol`] on truncation.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        let hi = self.get_u32()?;
+        let lo = self.get_u32()?;
+        Ok((u64::from(hi) << 32) | u64::from(lo))
+    }
+
+    /// Unpacks bit fields written by [`ShiftWriter::put_bit_fields`]; widths
+    /// must match the writer's.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NtcsError::Protocol`] on truncation or
+    /// [`NtcsError::InvalidArgument`] if widths exceed 32 bits.
+    pub fn get_bit_fields(&mut self, widths: &[u32]) -> Result<Vec<u32>> {
+        let total: u32 = widths.iter().sum();
+        if total > 32 {
+            return Err(NtcsError::InvalidArgument(format!(
+                "bit fields total {total} bits, exceeding one header integer"
+            )));
+        }
+        let word = self.get_u32()?;
+        let mut out = Vec::with_capacity(widths.len());
+        let mut used = 0;
+        for &width in widths {
+            used += width;
+            let mask = if width == 32 { u32::MAX } else { (1 << width) - 1 };
+            out.push((word >> (32 - used)) & mask);
+        }
+        Ok(out)
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current read offset.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u32_round_trip() {
+        let mut w = ShiftWriter::new();
+        w.put_u32(0).put_u32(1).put_u32(0xDEAD_BEEF).put_u32(u32::MAX);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 16);
+        let mut r = ShiftReader::new(&bytes);
+        assert_eq!(r.get_u32().unwrap(), 0);
+        assert_eq!(r.get_u32().unwrap(), 1);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u32().unwrap(), u32::MAX);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        let mut w = ShiftWriter::new();
+        w.put_u64(0xDEAD_BEEF_CAFE_F00D);
+        let bytes = w.into_bytes();
+        let mut r = ShiftReader::new(&bytes);
+        assert_eq!(r.get_u64().unwrap(), 0xDEAD_BEEF_CAFE_F00D);
+    }
+
+    #[test]
+    fn byte_order_is_network_order_regardless_of_host() {
+        let mut w = ShiftWriter::new();
+        w.put_u32(0x0102_0304);
+        assert_eq!(w.as_bytes(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error() {
+        let mut r = ShiftReader::new(&[1, 2, 3]);
+        assert!(matches!(r.get_u32(), Err(NtcsError::Protocol(_))));
+        let mut r2 = ShiftReader::new(&[1, 2, 3, 4, 5]);
+        assert!(r2.get_u32().is_ok());
+        assert!(r2.get_u32().is_err());
+    }
+
+    #[test]
+    fn bit_fields_round_trip() {
+        let mut w = ShiftWriter::new();
+        w.put_bit_fields(&[(5, 4), (1, 1), (0, 1), (1000, 26)]).unwrap();
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 4);
+        let mut r = ShiftReader::new(&bytes);
+        let fields = r.get_bit_fields(&[4, 1, 1, 26]).unwrap();
+        assert_eq!(fields, vec![5, 1, 0, 1000]);
+    }
+
+    #[test]
+    fn bit_fields_validate_widths_and_values() {
+        let mut w = ShiftWriter::new();
+        assert!(w.put_bit_fields(&[(0, 16), (0, 17)]).is_err());
+        assert!(w.put_bit_fields(&[(16, 4)]).is_err());
+        assert!(w.put_bit_fields(&[(0, 0)]).is_err());
+        assert!(w.put_bit_fields(&[(u32::MAX, 32)]).is_ok());
+    }
+
+    #[test]
+    fn writer_capacity_and_len() {
+        let mut w = ShiftWriter::with_capacity_words(2);
+        assert!(w.is_empty());
+        w.put_u32(7);
+        assert_eq!(w.len(), 4);
+    }
+}

@@ -1,0 +1,29 @@
+//! Regenerates the paper's architecture figures (Figs. 2-1 … 2-4) from a
+//! live module's introspection.
+//!
+//! Run with: `cargo run --example architecture`
+
+use std::time::Duration;
+
+use ntcs::NetKind;
+use ntcs_repro::messages::Ask;
+use ntcs_repro::scenarios::single_net;
+
+fn main() -> ntcs::Result<()> {
+    let lab = single_net(2, NetKind::Mbx)?;
+    let module = lab.testbed.module(lab.machines[1], "example-module")?;
+    let peer = lab.testbed.module(lab.machines[0], "peer")?;
+
+    // Generate some live state so the layer details are non-trivial.
+    let dst = module.locate("peer")?;
+    module.send(dst, &Ask { n: 1, body: "hi".into() })?;
+    peer.receive(Some(Duration::from_secs(5)))?;
+
+    println!("Fig. 2-1 / 2-4 — the application's view and the ComMod stack,");
+    println!("harvested from the running module:\n");
+    println!("{}", module.architecture());
+
+    println!("\n§6.2 layer trace of everything that just happened:");
+    println!("{}", module.trace().render());
+    Ok(())
+}

@@ -1,0 +1,116 @@
+//! The full DRTS (paper §1.2) in one session: time service, monitor,
+//! process control, error log, and file service — every one an ordinary
+//! module on top of the NTCS, administered over the NTCS itself.
+//!
+//! Run with: `cargo run --example drts_tour`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ntcs::{MachineType, NetKind, Testbed};
+use ntcs_drts::host::Handler;
+use ntcs_drts::protocol::{CtlList, CtlRelocate, CtlReply};
+use ntcs_drts::{
+    fs_list, fs_read, fs_write, log_error, DrtsRuntime, ErrorLogService, FileService,
+    MonitorService, ProcessController, ServiceHost, TimeService,
+};
+use ntcs_repro::messages::{Answer, Ask};
+
+fn main() -> ntcs::Result<()> {
+    // Three machines with badly skewed clocks.
+    let mut tb = Testbed::builder();
+    let net = tb.add_network(NetKind::Mbx, "machine-room");
+    let m0 = tb.add_machine_with_skew(MachineType::Sun, "reference", &[net], 0, 0.0)?;
+    let m1 = tb.add_machine_with_skew(MachineType::Vax, "fast-clock", &[net], 90_000, 0.0)?;
+    let m2 = tb.add_machine_with_skew(MachineType::Apollo, "slow-clock", &[net], -120_000, 0.0)?;
+    tb.name_server_on(m0);
+    let testbed = tb.start()?;
+
+    println!("== time service: correcting skewed clocks ==");
+    let ts = TimeService::spawn(&testbed, m0)?;
+    for (name, m) in [("fast-clock", m1), ("slow-clock", m2)] {
+        let probe = testbed.module(m, &format!("sync-{name}"))?;
+        let clock = testbed.world().clock(m)?;
+        let before = clock.error_us();
+        let stats = TimeService::sync(&probe, &clock, ts.uadd(), 3)?;
+        println!(
+            "  {name}: {before} µs off → {} µs after one sync (rtt {} µs)",
+            stats.residual_error_us, stats.best_rtt_us
+        );
+    }
+
+    println!("\n== monitor: watching a conversation, recursively ==");
+    let monitor = MonitorService::spawn(&testbed, m0)?;
+    let echo: Handler = Box::new(|commod, msg| {
+        if let Ok(a) = msg.decode::<Ask>() {
+            let _ = commod.reply(&msg, &Answer { n: a.n, body: String::new() });
+        }
+    });
+    let echo_host = ServiceHost::spawn(&testbed, m2, "echo", echo)?;
+    let client = Arc::new(testbed.module(m1, "observed-client")?);
+    let _rt = DrtsRuntime::attach(
+        &client,
+        Some(ts.uadd()),
+        Some(monitor.uadd()),
+        Duration::from_secs(3600),
+    );
+    let dst = client.locate("echo")?;
+    for i in 0..5 {
+        client.send_receive(dst, &Ask { n: i, body: String::new() }, Some(Duration::from_secs(5)))?;
+    }
+    std::thread::sleep(Duration::from_millis(200));
+    let stats = MonitorService::query(&client, monitor.uadd(), client.my_uadd().raw())?;
+    println!(
+        "  monitor saw: {} sends, {} receives from this module (timestamps corrected)",
+        stats.sends, stats.receives
+    );
+
+    println!("\n== process control: relocating the echo service over the NTCS ==");
+    let ctl = ProcessController::spawn(&testbed, m0)?;
+    ctl.manage(echo_host);
+    let reply = client.send_receive(
+        ctl.uadd(),
+        &CtlRelocate { service: "echo".into(), target_machine: m1.0 },
+        Some(Duration::from_secs(10)),
+    )?;
+    let r: CtlReply = reply.decode()?;
+    println!("  controller: {}", r.detail);
+    let reply = client.send_receive(ctl.uadd(), &CtlList::default(), Some(Duration::from_secs(5)))?;
+    let listing: CtlReply = reply.decode()?;
+    println!("  services:\n    {}", listing.detail.replace('\n', "\n    "));
+    client.send_receive(dst, &Ask { n: 99, body: String::new() }, Some(Duration::from_secs(5)))?;
+    println!("  …and the old address still works after the move.");
+
+    println!("\n== error log: the running table of errors §6.3 wished for ==");
+    let errlog = ErrorLogService::spawn(&testbed, m2)?;
+    let log_addr = client.locate(ntcs_drts::errlog::ERROR_LOG_NAME)?;
+    log_error(
+        &client,
+        log_addr,
+        "LCM",
+        &ntcs::NtcsError::ConnectionClosed,
+        "observed during the relocation above",
+        0,
+    )?;
+    std::thread::sleep(Duration::from_millis(100));
+    for rec in ErrorLogService::query(&client, log_addr, 5)? {
+        println!("  [{}] {} in {}: {}", rec.module_name, rec.code, rec.layer, rec.detail);
+    }
+
+    println!("\n== file service: pathname storage by logical name ==");
+    let fs = FileService::spawn(&testbed, m0)?;
+    let fs_addr = client.locate(ntcs_drts::files::FILE_SERVICE_NAME)?;
+    fs_write(&client, fs_addr, "/reports/tour.txt", b"DRTS tour complete")?;
+    println!(
+        "  wrote and read back: {:?}",
+        String::from_utf8(fs_read(&client, fs_addr, "/reports/tour.txt")?).unwrap()
+    );
+    println!("  listing: {:?}", fs_list(&client, fs_addr, "/")?);
+
+    fs.stop();
+    errlog.stop();
+    ctl.stop();
+    monitor.stop();
+    ts.stop();
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Quickstart: two modules exchanging messages by logical name.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::time::Duration;
+
+use ntcs::{ntcs_message, MachineType, NetKind, Testbed};
+
+ntcs_message! {
+    /// Application-defined message; pack/unpack generated automatically.
+    pub struct Hello: 5000 {
+        pub text: String,
+        pub n: u32,
+    }
+
+    pub struct HelloBack: 5001 {
+        pub text: String,
+    }
+}
+
+fn main() -> ntcs::Result<()> {
+    // 1. Describe the world: one mailbox network, two unlike machines.
+    let mut tb = Testbed::builder();
+    let net = tb.add_network(NetKind::Mbx, "lab");
+    let sun = tb.add_machine(MachineType::Sun, "sun-1", &[net])?;
+    let vax = tb.add_machine(MachineType::Vax, "vax-1", &[net])?;
+    tb.name_server_on(sun);
+    let testbed = tb.start()?;
+
+    // 2. Bring modules on-line; each registers its logical name (§3.2).
+    let greeter = testbed.module(sun, "greeter")?;
+    let caller = testbed.module(vax, "caller")?;
+
+    // 3. The caller locates the greeter by NAME — never by machine.
+    let dst = caller.locate("greeter")?;
+    println!("located \"greeter\" at {dst}");
+
+    // 4. Synchronous send/receive/reply (§1.3), with the server on a thread.
+    let server = std::thread::spawn(move || -> ntcs::Result<()> {
+        let msg = greeter.receive(Some(Duration::from_secs(5)))?;
+        let hello: Hello = msg.decode()?;
+        println!(
+            "greeter got {:?} (#{}) in {} mode from {}",
+            hello.text,
+            hello.n,
+            msg.raw().payload.mode,
+            msg.src()
+        );
+        greeter.reply(&msg, &HelloBack { text: format!("and hello to you, {}", msg.src()) })?;
+        Ok(())
+    });
+
+    let reply = caller.send_receive(
+        dst,
+        &Hello { text: "hello over the NTCS".into(), n: 1 },
+        Some(Duration::from_secs(5)),
+    )?;
+    let back: HelloBack = reply.decode()?;
+    println!("caller got back: {:?}", back.text);
+    server.join().expect("server thread")?;
+
+    // 5. VAX → Sun is a representation change, so the NTCS chose packed mode
+    // automatically; like machines would have used a raw image copy (§5).
+    println!("caller metrics: {:?}", caller.metrics());
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Dynamic reconfiguration (paper §3.5): a service hops across three
+//! machines while a client keeps a conversation going against ONE address.
+//!
+//! Run with: `cargo run --example reconfiguration`
+
+use std::time::Duration;
+
+use ntcs::{NetKind, NtcsError};
+use ntcs_drts::host::Handler;
+use ntcs_drts::ServiceHost;
+use ntcs_repro::messages::{Answer, Ask};
+use ntcs_repro::scenarios::single_net;
+
+fn main() -> ntcs::Result<()> {
+    let lab = single_net(3, NetKind::Mbx)?;
+    let handler: Handler = Box::new(|commod, msg| {
+        if let Ok(a) = msg.decode::<Ask>() {
+            let _ = commod.reply(
+                &msg,
+                &Answer { n: a.n, body: format!("answered from {}", commod.machine()) },
+            );
+        }
+    });
+    let host = ServiceHost::spawn(&lab.testbed, lab.machines[1], "wanderer", handler)?;
+    let client = lab.testbed.module(lab.machines[0], "persistent-client")?;
+    let dst = client.locate("wanderer")?;
+    println!("client resolved \"wanderer\" once: {dst} — and never again\n");
+
+    for round in 0..3 {
+        for i in 0..4u32 {
+            let n = round * 10 + i;
+            match client.send_receive(
+                dst,
+                &Ask { n, body: String::new() },
+                Some(Duration::from_secs(2)),
+            ) {
+                Ok(reply) => {
+                    let a: Answer = reply.decode()?;
+                    println!("  #{n:<3} {}", a.body);
+                }
+                Err(NtcsError::Timeout) => println!("  #{n:<3} (lost in the reconfiguration)"),
+                Err(e) => return Err(e),
+            }
+        }
+        if round < 2 {
+            let target = lab.machines[(round as usize + 2) % 3];
+            println!("\n>>> relocating the service to {target} (§3.5)…\n");
+            host.relocate(target)?;
+        }
+    }
+
+    let m = client.metrics();
+    println!(
+        "\nclient observed: {} address faults, {} forwarding queries, {} reconnects — \
+         all beneath the same send() calls",
+        m.address_faults, m.forward_queries, m.reconnects
+    );
+    host.stop();
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! The motivating application (paper §1.2): a distributed information
+//! retrieval testbed — index server, sharded search backends, document
+//! store — spread over two disjoint networks and three machine types, with
+//! a live relocation in the middle of the session.
+//!
+//! Run with: `cargo run --example ursa_retrieval`
+
+use ntcs::{MachineType, NetKind, Testbed};
+use ntcs_ursa::{Corpus, UrsaClient, UrsaDeployment, UrsaLayout};
+
+fn main() -> ntcs::Result<()> {
+    // Workstation ring (mailboxes) + backend ethernet (real TCP), joined by
+    // a gateway — the paper's deployment shape.
+    let mut tb = Testbed::builder();
+    let ring = tb.add_network(NetKind::Mbx, "workstation-ring");
+    let ether = tb.add_network(NetKind::Tcp, "backend-ethernet");
+    let ns_host = tb.add_machine(MachineType::Sun, "ns-host", &[ring, ether])?;
+    let workstation = tb.add_machine(MachineType::Apollo, "workstation", &[ring])?;
+    let vax_backend = tb.add_machine(MachineType::Vax, "vax-backend", &[ether])?;
+    let sun_backend = tb.add_machine(MachineType::Sun, "sun-backend", &[ether])?;
+    let spare = tb.add_machine(MachineType::M68k, "spare", &[ether])?;
+    let gw_host = tb.add_machine(MachineType::M68k, "gw-host", &[ring, ether])?;
+    tb.name_server_on(ns_host);
+    let testbed = tb.start()?;
+    let gw = testbed.gateway(gw_host, "ring-ether-gw")?;
+
+    println!("generating corpus…");
+    let corpus = Corpus::generate(2026, 500, 60);
+    let deployment = UrsaDeployment::deploy(
+        &testbed,
+        &corpus,
+        &UrsaLayout {
+            index_machine: vax_backend,
+            search_machines: vec![vax_backend, sun_backend],
+            doc_machine: sun_backend,
+        },
+    )?;
+    println!(
+        "deployed URSA: index on vax, 2 search shards, docstore on sun ({} docs)",
+        corpus.len()
+    );
+
+    let client = UrsaClient::new(&testbed, workstation, "workstation-1")?;
+    for query in ["retrieval system", "network transparent", "gateway circuit"] {
+        let hits = client.search(query, 3)?;
+        println!("\nquery {query:?}: {} hits", hits.len());
+        for h in &hits {
+            let doc = client.fetch(h.doc)?;
+            println!("  #{:<4} score {:6.2}  {}", h.doc, h.score, doc.title);
+        }
+    }
+
+    // The historical URSA query model: boolean retrieval over the shards.
+    let q = "retrieval AND (network OR system) AND NOT gateway";
+    let docs = client.search_boolean(q)?;
+    println!("\nboolean query {q:?}: {} matching documents", docs.len());
+
+    // Live reconfiguration: move shard 1 to the spare machine mid-session.
+    println!("\nrelocating search shard 1 to the spare machine…");
+    deployment.relocate_search_shard(1, spare)?;
+    let hits = client.search("retrieval system", 3)?;
+    println!("same query after relocation: {} hits (transparent)", hits.len());
+    println!(
+        "client reconnects: {}, gateway circuits spliced: {}",
+        client.commod().metrics().reconnects,
+        gw.metrics().circuits_spliced
+    );
+
+    deployment.stop();
+    Ok(())
+}

@@ -1,0 +1,310 @@
+//! Shared scenario builders and test messages for the NTCS reproduction's
+//! integration tests, examples, and benches.
+//!
+//! The scenarios mirror the paper's deployments: a single local network of
+//! mixed machine types; a chain of disjoint networks joined by gateways
+//! (with the Name Server either multi-homed for easy bootstrap, or reachable
+//! only through *prime* gateways, §3.4); and machines with skewed clocks for
+//! the DRTS experiments.
+
+#![forbid(unsafe_code)]
+
+pub use ntcs;
+
+pub mod messages {
+    //! Messages used across tests, examples, and benches.
+
+    use ntcs::ntcs_message;
+
+    ntcs_message! {
+        /// A generic request.
+        pub struct Ask: 3000 {
+            /// Sequence number.
+            pub n: u32,
+            /// Free-form body.
+            pub body: String,
+        }
+
+        /// A generic response.
+        pub struct Answer: 3001 {
+            /// Echoed sequence number.
+            pub n: u32,
+            /// Free-form body.
+            pub body: String,
+        }
+
+        /// A bulk payload for throughput measurements.
+        pub struct Bulk: 3002 {
+            /// Sequence number.
+            pub seq: u32,
+            /// Payload words (native image is 4 bytes/word; packed mode is
+            /// decimal text — the contrast experiment E3 measures).
+            pub words: Vec<u32>,
+        }
+
+        /// A numerically rich message for conversion tests.
+        pub struct Numbers: 3003 {
+            /// An unsigned word with distinct bytes.
+            pub a: u32,
+            /// A signed value.
+            pub b: i64,
+            /// A float.
+            pub c: f64,
+            /// A flag.
+            pub d: bool,
+            /// A string.
+            pub s: String,
+        }
+    }
+
+    impl Bulk {
+        /// A deterministic bulk message with `words` 32-bit words.
+        #[must_use]
+        pub fn sized(seq: u32, words: usize) -> Bulk {
+            Bulk {
+                seq,
+                words: (0..words as u32).map(|i| i.wrapping_mul(2_654_435_761)).collect(),
+            }
+        }
+    }
+}
+
+pub mod scenarios {
+    //! Ready-made worlds.
+
+    use ntcs::{
+        Gateway, MachineId, MachineType, NetKind, NetworkId, Result, Testbed, UAdd,
+    };
+    use ntcs_nucleus::proto::Hop;
+
+    /// Machine types cycled through multi-machine scenarios (mixed byte
+    /// orders, like the paper's Apollo/VAX/Sun room).
+    pub const TYPE_CYCLE: [MachineType; 4] = [
+        MachineType::Sun,
+        MachineType::Vax,
+        MachineType::Apollo,
+        MachineType::M68k,
+    ];
+
+    /// A single network with `n` machines; the Name Server on machine 0.
+    pub struct SingleNet {
+        /// The running testbed.
+        pub testbed: Testbed,
+        /// The network.
+        pub net: NetworkId,
+        /// Machines, index 0 hosting the Name Server.
+        pub machines: Vec<MachineId>,
+    }
+
+    /// Builds [`SingleNet`].
+    ///
+    /// # Errors
+    ///
+    /// Construction failures.
+    pub fn single_net(n: usize, kind: NetKind) -> Result<SingleNet> {
+        single_net_with_skews(n, kind, &[])
+    }
+
+    /// [`single_net`] with per-machine clock skews (µs); missing entries
+    /// default to 0.
+    ///
+    /// # Errors
+    ///
+    /// Construction failures.
+    pub fn single_net_with_skews(
+        n: usize,
+        kind: NetKind,
+        skews_us: &[i64],
+    ) -> Result<SingleNet> {
+        let mut tb = Testbed::builder();
+        let net = tb.add_network(kind, "lan");
+        let mut machines = Vec::with_capacity(n);
+        for i in 0..n {
+            let skew = skews_us.get(i).copied().unwrap_or(0);
+            machines.push(tb.add_machine_with_skew(
+                TYPE_CYCLE[i % TYPE_CYCLE.len()],
+                &format!("host{i}"),
+                &[net],
+                skew,
+                0.0,
+            )?);
+        }
+        tb.name_server_on(machines[0]);
+        Ok(SingleNet {
+            testbed: tb.start()?,
+            net,
+            machines,
+        })
+    }
+
+    /// A line of `k` disjoint networks: net0 — gw0 — net1 — gw1 — … Each
+    /// network gets one ordinary machine (`edge_machines[i]`); gateway `i`
+    /// joins nets `i` and `i+1`. The Name Server's machine is multi-homed on
+    /// every network (simple bootstrap).
+    pub struct LineInternet {
+        /// The running testbed.
+        pub testbed: Testbed,
+        /// Networks in line order.
+        pub nets: Vec<NetworkId>,
+        /// One ordinary machine per network.
+        pub edge_machines: Vec<MachineId>,
+        /// The gateways joining consecutive networks.
+        pub gateways: Vec<Gateway>,
+    }
+
+    /// Builds [`LineInternet`].
+    ///
+    /// # Errors
+    ///
+    /// Construction failures.
+    pub fn line_internet(k: usize, kind: NetKind) -> Result<LineInternet> {
+        let mut tb = Testbed::builder();
+        let nets: Vec<NetworkId> = (0..k)
+            .map(|i| tb.add_network(kind, &format!("net{i}")))
+            .collect();
+        let ns_machine = tb.add_machine(MachineType::Sun, "ns-host", &nets)?;
+        let edge_machines: Vec<MachineId> = (0..k)
+            .map(|i| {
+                tb.add_machine(
+                    TYPE_CYCLE[i % TYPE_CYCLE.len()],
+                    &format!("edge{i}"),
+                    &[nets[i]],
+                )
+            })
+            .collect::<Result<_>>()?;
+        let gw_machines: Vec<MachineId> = (0..k.saturating_sub(1))
+            .map(|i| {
+                tb.add_machine(
+                    MachineType::Apollo,
+                    &format!("gw-host{i}"),
+                    &[nets[i], nets[i + 1]],
+                )
+            })
+            .collect::<Result<_>>()?;
+        tb.name_server_on(ns_machine);
+        let testbed = tb.start()?;
+        let gateways: Vec<Gateway> = gw_machines
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| testbed.gateway(m, &format!("gw-{i}-{}", i + 1)))
+            .collect::<Result<_>>()?;
+        Ok(LineInternet {
+            testbed,
+            nets,
+            edge_machines,
+            gateways,
+        })
+    }
+
+    /// Like [`line_internet`], but the Name Server lives **only on net0**;
+    /// modules and gateways on farther networks bootstrap through
+    /// preconfigured *prime gateway* routes (§3.4). Returns the per-network
+    /// route each module must use to reach the Name Server.
+    pub struct PrimedInternet {
+        /// The running testbed.
+        pub testbed: Testbed,
+        /// Networks in line order.
+        pub nets: Vec<NetworkId>,
+        /// One ordinary machine per network.
+        pub edge_machines: Vec<MachineId>,
+        /// The gateways joining consecutive networks.
+        pub gateways: Vec<Gateway>,
+        /// For each network index, the gateway chain to reach the Name
+        /// Server from there (empty for net0).
+        pub ns_routes: Vec<Vec<Hop>>,
+    }
+
+    /// Builds [`PrimedInternet`].
+    ///
+    /// # Errors
+    ///
+    /// Construction failures.
+    pub fn primed_internet(k: usize, kind: NetKind) -> Result<PrimedInternet> {
+        let mut tb = Testbed::builder();
+        let nets: Vec<NetworkId> = (0..k)
+            .map(|i| tb.add_network(kind, &format!("net{i}")))
+            .collect();
+        let ns_machine = tb.add_machine(MachineType::Sun, "ns-host", &[nets[0]])?;
+        let edge_machines: Vec<MachineId> = (0..k)
+            .map(|i| {
+                tb.add_machine(
+                    TYPE_CYCLE[i % TYPE_CYCLE.len()],
+                    &format!("edge{i}"),
+                    &[nets[i]],
+                )
+            })
+            .collect::<Result<_>>()?;
+        let gw_machines: Vec<MachineId> = (0..k.saturating_sub(1))
+            .map(|i| {
+                tb.add_machine(
+                    MachineType::Apollo,
+                    &format!("gw-host{i}"),
+                    &[nets[i], nets[i + 1]],
+                )
+            })
+            .collect::<Result<_>>()?;
+        tb.name_server_on(ns_machine);
+        let testbed = tb.start()?;
+        let ns_phys = testbed
+            .ns_well_known()
+            .first()
+            .map(|(_, p)| p.clone())
+            .unwrap_or_default();
+
+        // Spawn gateways nearest the Name Server first; each farther gateway
+        // reaches the Name Server through the chain built so far.
+        let mut gateways: Vec<Gateway> = Vec::new();
+        let mut ns_routes: Vec<Vec<Hop>> = vec![Vec::new()];
+        for (i, &m) in gw_machines.iter().enumerate() {
+            // Route for modules on net i+1: enter gateway i on net i+1, then
+            // follow net i's route (which is toward net0, i.e. reversed).
+            let gw = Gateway::spawn_with_route(
+                testbed.world(),
+                m,
+                &format!("gw-{i}-{}", i + 1),
+                ns_phys.clone(),
+                ns_routes[i].clone(),
+            )?;
+            let entry = gw
+                .entry_on(nets[i + 1])
+                .expect("gateway listens on its far network");
+            let mut route = vec![Hop {
+                gateway: gw.uadd(),
+                entry,
+            }];
+            route.extend(ns_routes[i].clone());
+            ns_routes.push(route);
+            gateways.push(gw);
+        }
+        Ok(PrimedInternet {
+            testbed,
+            nets,
+            edge_machines,
+            gateways,
+            ns_routes,
+        })
+    }
+
+    /// Binds and registers a module on a primed internet's network `i`,
+    /// using the prime-gateway route for bootstrap.
+    ///
+    /// # Errors
+    ///
+    /// Binding or registration failures.
+    pub fn primed_module(
+        lab: &PrimedInternet,
+        i: usize,
+        name: &str,
+    ) -> Result<ntcs::ComMod> {
+        let mut config = ntcs::NucleusConfig::new(lab.edge_machines[i], name);
+        config.well_known = lab.testbed.ns_well_known();
+        config.ns_route = lab.ns_routes[i].clone();
+        let commod =
+            ntcs::ComMod::bind_with_config(lab.testbed.world(), config, lab.testbed.ns_servers())?;
+        commod.register(name)?;
+        Ok(commod)
+    }
+
+    /// The well-known Name-Server UAdd (re-exported for convenience).
+    pub const NAME_SERVER: UAdd = UAdd::NAME_SERVER;
+}

@@ -1,0 +1,90 @@
+//! Figures F2-1 … F2-4: the paper's architecture diagrams, asserted against
+//! the live system's introspection.
+
+use ntcs::{NetKind, UAdd};
+use ntcs_repro::messages::Ask;
+use ntcs_repro::scenarios::single_net;
+use std::time::Duration;
+
+#[test]
+fn fig_2_1_application_sees_only_the_commod() {
+    // "To the application, the ComMod is the NTCS": the entire public
+    // surface a module touches is the ComMod value — the report's top layer
+    // is ALI, bound to the application module.
+    let lab = single_net(2, NetKind::Mbx).unwrap();
+    let module = lab.testbed.module(lab.machines[1], "app-module").unwrap();
+    let report = module.architecture();
+    assert_eq!(report.module, "app-module");
+    assert_eq!(report.layers[0].name, "ALI");
+    assert!(report.layers[0].detail.contains("app-module"));
+}
+
+#[test]
+fn fig_2_2_nucleus_internal_layering() {
+    // LCM over IP over ND, with the IPCS below.
+    let lab = single_net(2, NetKind::Mbx).unwrap();
+    let module = lab.testbed.module(lab.machines[1], "probe").unwrap();
+    let names = module.architecture().layer_names();
+    let lcm = names.iter().position(|n| *n == "LCM").unwrap();
+    let ip = names.iter().position(|n| *n == "IP").unwrap();
+    let nd = names.iter().position(|n| *n == "ND").unwrap();
+    let ipcs = names.iter().position(|n| *n == "IPCS").unwrap();
+    assert!(lcm < ip && ip < nd && nd < ipcs);
+}
+
+#[test]
+fn fig_2_3_nsp_sits_between_ali_and_the_nucleus() {
+    let lab = single_net(2, NetKind::Mbx).unwrap();
+    let module = lab.testbed.module(lab.machines[1], "probe").unwrap();
+    let names = module.architecture().layer_names();
+    let ali = names.iter().position(|n| *n == "ALI").unwrap();
+    let nsp = names.iter().position(|n| *n == "NSP").unwrap();
+    let lcm = names.iter().position(|n| *n == "LCM").unwrap();
+    assert!(ali < nsp && nsp < lcm);
+}
+
+#[test]
+fn fig_2_4_full_commod_stack_renders() {
+    let lab = single_net(2, NetKind::Mbx).unwrap();
+    let module = lab.testbed.module(lab.machines[1], "render").unwrap();
+    // Generate some live detail first.
+    let peer = lab.testbed.module(lab.machines[0], "peer").unwrap();
+    let dst = module.locate("peer").unwrap();
+    module.send(dst, &Ask { n: 1, body: String::new() }).unwrap();
+    peer.receive(Some(Duration::from_secs(5))).unwrap();
+
+    let report = module.architecture();
+    assert_eq!(
+        report.layer_names(),
+        vec!["ALI", "NSP", "LCM", "IP", "ND", "IPCS"]
+    );
+    let rendered = report.to_string();
+    for needle in [
+        "Application Level Interface",
+        "Name Service Protocol",
+        "Logical Connection Maintenance",
+        "Internet Protocol",
+        "Network Dependent",
+        "render",
+        "circuits opened",
+    ] {
+        assert!(rendered.contains(needle), "missing {needle:?} in:\n{rendered}");
+    }
+    // Live details reflect the traffic that actually happened: one circuit
+    // to the Name Server (resolution) plus one to the peer.
+    let lcm = &report.layers[2];
+    assert!(lcm.detail.contains("2 circuits opened"), "{}", lcm.detail);
+}
+
+#[test]
+fn name_server_is_itself_a_module_on_the_nucleus() {
+    // §3.1: "the naming service is nothing more than an application built
+    // on the Nucleus."
+    let lab = single_net(1, NetKind::Mbx).unwrap();
+    let ns = lab.testbed.name_server().unwrap();
+    assert_eq!(ns.uadd(), UAdd::NAME_SERVER);
+    // Its Nucleus accepted circuits like any module's.
+    let c = lab.testbed.module(lab.machines[0], "visitor").unwrap();
+    let _ = c.locate("visitor").unwrap();
+    assert!(ns.nucleus().metrics().snapshot().circuits_accepted >= 1);
+}

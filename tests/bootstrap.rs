@@ -1,0 +1,138 @@
+//! Experiment E1 (§3.4): TAdd bootstrap.
+//!
+//! "TAdds for any given module will be purged from all layers within the
+//! first two communications with the Name Server, after which time the Name
+//! Server will be referring to the module by its real UAdd."
+
+use std::time::Duration;
+
+use ntcs::{NetKind, UAdd};
+use ntcs_repro::messages::{Answer, Ask};
+use ntcs_repro::scenarios::{primed_internet, primed_module, single_net};
+
+const T: Option<Duration> = Some(Duration::from_secs(10));
+
+#[test]
+fn module_starts_with_tadd_and_registration_assigns_uadd() {
+    let lab = single_net(2, NetKind::Mbx).unwrap();
+    let c = lab.testbed.commod(lab.machines[1], "fresh").unwrap();
+    assert!(c.my_uadd().is_temporary(), "pre-registration = TAdd");
+    let u = c.register("fresh").unwrap();
+    assert!(u.is_permanent());
+    assert!(!u.is_well_known());
+    assert_eq!(c.my_uadd(), u);
+}
+
+#[test]
+fn tadds_purged_within_two_ns_communications() {
+    let lab = single_net(2, NetKind::Mbx).unwrap();
+    let ns_nucleus = lab.testbed.name_server().unwrap().nucleus().clone();
+    let c = lab.testbed.commod(lab.machines[1], "boot").unwrap();
+
+    // Communication #1 with the Name Server: registration. The request
+    // frame carries our TAdd, so the server tables briefly hold a (local
+    // alias) TAdd.
+    c.register("boot").unwrap();
+    // Communication #2: any naming exchange now carries the real UAdd.
+    let located = c.locate("boot").unwrap();
+    assert_eq!(located, c.my_uadd());
+
+    assert!(
+        ns_nucleus.peer_table().iter().all(|u| u.is_permanent()),
+        "name server still holds TAdds after two exchanges: {:?}",
+        ns_nucleus.peer_table()
+    );
+    assert!(
+        ns_nucleus.metrics().snapshot().tadd_purges >= 1,
+        "the purge path must actually have run"
+    );
+    // And the client's own tables never hold anything temporary except its
+    // (already replaced) self-address.
+    assert!(c.my_uadd().is_permanent());
+    assert!(c
+        .nucleus()
+        .peer_table()
+        .iter()
+        .all(|u| u.is_permanent()));
+}
+
+#[test]
+fn purge_happens_for_every_module_in_a_crowd() {
+    let lab = single_net(3, NetKind::Mbx).unwrap();
+    let ns_nucleus = lab.testbed.name_server().unwrap().nucleus().clone();
+    let mut commods = Vec::new();
+    for i in 0..6 {
+        let c = lab
+            .testbed
+            .commod(lab.machines[1 + (i % 2)], &format!("crowd-{i}"))
+            .unwrap();
+        c.register(&format!("crowd-{i}")).unwrap();
+        let _ = c.locate(&format!("crowd-{i}")).unwrap();
+        commods.push(c);
+    }
+    assert!(ns_nucleus.peer_table().iter().all(|u| u.is_permanent()));
+    assert!(ns_nucleus.metrics().snapshot().tadd_purges >= 6);
+}
+
+#[test]
+fn tadd_sources_never_collide_at_the_receiver() {
+    // Two unregistered modules (both using self-assigned TAdds, possibly
+    // with the same numeric value) talk to the same server; the receiver's
+    // local aliases keep them distinct (§3.4: "each Nucleus layer assigns
+    // its own TAdd to each incoming connection from a TAdd source").
+    let lab = single_net(3, NetKind::Mbx).unwrap();
+    let server = lab.testbed.module(lab.machines[0], "mux").unwrap();
+    let c1 = lab.testbed.commod(lab.machines[1], "anon1").unwrap();
+    let c2 = lab.testbed.commod(lab.machines[2], "anon2").unwrap();
+    let dst = server.my_uadd();
+    // Both clients must resolve the server — they are unregistered, which is
+    // fine: resource location does not require registration.
+    let dst1 = c1.locate("mux").unwrap();
+    let dst2 = c2.locate("mux").unwrap();
+    assert_eq!(dst1, dst);
+    assert_eq!(dst2, dst);
+
+    c1.send(dst, &Ask { n: 1, body: "one".into() }).unwrap();
+    c2.send(dst, &Ask { n: 2, body: "two".into() }).unwrap();
+    let m1 = server.receive(T).unwrap();
+    let m2 = server.receive(T).unwrap();
+    assert!(m1.src().is_temporary() && m2.src().is_temporary());
+    assert_ne!(m1.src(), m2.src(), "aliases must be distinct");
+
+    // Replies flow back to the right anonymous client over their circuits.
+    server.reply(&m1, &Answer { n: m1.decode::<Ask>().unwrap().n, body: "r1".into() }).unwrap();
+    server.reply(&m2, &Answer { n: m2.decode::<Ask>().unwrap().n, body: "r2".into() }).unwrap();
+    let r1 = c1.receive(T).unwrap().decode::<Answer>().unwrap();
+    let r2 = c2.receive(T).unwrap().decode::<Answer>().unwrap();
+    assert_eq!(r1.n, 1);
+    assert_eq!(r2.n, 2);
+}
+
+#[test]
+fn prime_gateway_bootstrap_reaches_a_remote_name_server() {
+    // §3.4: "a small number of 'well known' addresses are loaded into the
+    // ComMod address tables … those of the Name Server and of certain
+    // 'prime' gateways." Here the Name Server is two networks away and every
+    // exchange — including registration itself — crosses the prime chain.
+    let lab = primed_internet(3, NetKind::Mbx).unwrap();
+    let far = primed_module(&lab, 2, "far-module").unwrap();
+    assert!(far.my_uadd().is_permanent());
+    let near = primed_module(&lab, 0, "near-module").unwrap();
+    let found = near.locate("far-module").unwrap();
+    assert_eq!(found, far.my_uadd());
+
+    // And application traffic then flows across the same chain.
+    near.send(found, &Ask { n: 9, body: "primed".into() }).unwrap();
+    let got = far.receive(T).unwrap();
+    assert_eq!(got.decode::<Ask>().unwrap().n, 9);
+    assert!(lab.gateways[0].metrics().circuits_spliced >= 1);
+    assert!(lab.gateways[1].metrics().circuits_spliced >= 1);
+}
+
+#[test]
+fn well_known_addresses_are_reserved() {
+    assert!(UAdd::NAME_SERVER.is_well_known());
+    let lab = single_net(2, NetKind::Mbx).unwrap();
+    let c = lab.testbed.module(lab.machines[1], "plain").unwrap();
+    assert!(!c.my_uadd().is_well_known(), "dynamic UAdds stay clear of the reserved block");
+}

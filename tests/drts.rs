@@ -1,0 +1,122 @@
+//! Experiment E14: the DRTS services through the public API — precision
+//! time correction on skewed clocks, and the monitor observing NTCS traffic
+//! recursively (§1.3, §6.1).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ntcs::NetKind;
+use ntcs_drts::{DrtsRuntime, MonitorService, TimeService};
+use ntcs_repro::messages::Ask;
+use ntcs_repro::scenarios::single_net_with_skews;
+
+const T: Option<Duration> = Some(Duration::from_secs(10));
+
+#[test]
+fn time_correction_converges_across_many_machines() {
+    // Machines skewed from -120 ms to +90 ms; after one sync each, every
+    // corrected clock is within a couple of RTTs of the reference.
+    let skews = [0i64, 90_000, -120_000, 40_000, -5_000];
+    let lab = single_net_with_skews(5, NetKind::Mbx, &skews).unwrap();
+    let ts = TimeService::spawn(&lab.testbed, lab.machines[0]).unwrap();
+    for (i, &m) in lab.machines.iter().enumerate().skip(1) {
+        let c = lab.testbed.module(m, &format!("sync-{i}")).unwrap();
+        let clock = lab.testbed.world().clock(m).unwrap();
+        let stats = TimeService::sync(&c, &clock, ts.uadd(), 5).unwrap();
+        assert!(
+            stats.residual_error_us < 20_000,
+            "machine {i}: residual {} µs",
+            stats.residual_error_us
+        );
+    }
+    ts.stop();
+}
+
+#[test]
+fn corrections_hold_as_skew_changes() {
+    let lab = single_net_with_skews(2, NetKind::Mbx, &[0, 50_000]).unwrap();
+    let ts = TimeService::spawn(&lab.testbed, lab.machines[0]).unwrap();
+    let c = lab.testbed.module(lab.machines[1], "drifter").unwrap();
+    let clock = lab.testbed.world().clock(lab.machines[1]).unwrap();
+    TimeService::sync(&c, &clock, ts.uadd(), 3).unwrap();
+    assert!(clock.error_us() < 20_000);
+    // The machine's oscillator jumps (operator swapped a board, say):
+    clock.set_skew(-70_000, 0.0);
+    assert!(clock.error_us() > 40_000);
+    // The next sync re-converges — corrections accumulate incrementally.
+    TimeService::sync(&c, &clock, ts.uadd(), 3).unwrap();
+    assert!(clock.error_us() < 20_000);
+    ts.stop();
+}
+
+#[test]
+fn monitor_sees_cross_module_conversations() {
+    let lab = single_net_with_skews(3, NetKind::Mbx, &[0, 10_000, -10_000]).unwrap();
+    let monitor = MonitorService::spawn(&lab.testbed, lab.machines[0]).unwrap();
+    let server = Arc::new(lab.testbed.module(lab.machines[1], "watched-srv").unwrap());
+    let client = Arc::new(lab.testbed.module(lab.machines[2], "watched-cli").unwrap());
+    let _rt_s = DrtsRuntime::attach(&server, None, Some(monitor.uadd()), Duration::from_secs(60));
+    let _rt_c = DrtsRuntime::attach(&client, None, Some(monitor.uadd()), Duration::from_secs(60));
+
+    let dst = client.locate("watched-srv").unwrap();
+    for i in 0..5 {
+        client.send(dst, &Ask { n: i, body: String::new() }).unwrap();
+        server.receive(T).unwrap();
+    }
+    // Both perspectives arrive at the monitor.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let cli = monitor.stats(client.my_uadd().raw());
+        let srv = monitor.stats(server.my_uadd().raw());
+        if cli.sends >= 5 && srv.receives >= 5 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "monitor missing events: cli={cli:?} srv={srv:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    // Aggregate query across all modules.
+    let all = monitor.stats(0);
+    assert!(all.total >= 10);
+    monitor.stop();
+}
+
+#[test]
+fn monitor_timestamps_use_corrected_clocks() {
+    // With a 100 ms skew and time correction enabled, monitor timestamps
+    // from the skewed machine land near true time, not 100 ms off.
+    let lab = single_net_with_skews(3, NetKind::Mbx, &[0, 100_000, 0]).unwrap();
+    let ts = TimeService::spawn(&lab.testbed, lab.machines[0]).unwrap();
+    let monitor = MonitorService::spawn(&lab.testbed, lab.machines[2]).unwrap();
+    let server = lab.testbed.module(lab.machines[0], "plain-sink").unwrap();
+    let client = Arc::new(lab.testbed.module(lab.machines[1], "skewed-cli").unwrap());
+    let _rt = DrtsRuntime::attach(
+        &client,
+        Some(ts.uadd()),
+        Some(monitor.uadd()),
+        Duration::from_secs(3600),
+    );
+    let dst = client.locate("plain-sink").unwrap();
+    client.send(dst, &Ask { n: 1, body: String::new() }).unwrap();
+    server.receive(T).unwrap();
+
+    let reference = lab.testbed.world().clock(lab.machines[0]).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let stats = monitor.stats(client.my_uadd().raw());
+        if stats.total >= 1 {
+            let err = (stats.last_timestamp_us - reference.true_us()).abs();
+            assert!(
+                err < 60_000,
+                "monitor timestamp off by {err} µs despite correction"
+            );
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline);
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    monitor.stop();
+    ts.stop();
+}

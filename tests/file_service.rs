@@ -1,0 +1,112 @@
+//! The DRTS file service (§1.2): pathname-addressed storage by logical
+//! name, from any machine — surviving relocation of the service itself.
+
+use ntcs::{NetKind, NtcsError};
+use ntcs_drts::files::FILE_SERVICE_NAME;
+use ntcs_drts::{fs_append, fs_delete, fs_list, fs_read, fs_write, FileService};
+use ntcs_repro::scenarios::{line_internet, single_net};
+
+#[test]
+fn write_read_list_delete() {
+    let lab = single_net(2, NetKind::Mbx).unwrap();
+    let fs = FileService::spawn(&lab.testbed, lab.machines[0]).unwrap();
+    let client = lab.testbed.module(lab.machines[1], "fs-user").unwrap();
+    let fs_addr = client.locate(FILE_SERVICE_NAME).unwrap();
+    assert_eq!(fs_addr, fs.uadd());
+
+    fs_write(&client, fs_addr, "/etc/motd", b"welcome to URSA").unwrap();
+    fs_write(&client, fs_addr, "/data/corpus/0001", b"retrieval systems").unwrap();
+    fs_append(&client, fs_addr, "/etc/motd", b", traveller").unwrap();
+
+    assert_eq!(
+        fs_read(&client, fs_addr, "/etc/motd").unwrap(),
+        b"welcome to URSA, traveller"
+    );
+    let listing = fs_list(&client, fs_addr, "/").unwrap();
+    assert_eq!(listing.len(), 2);
+    let under_data = fs_list(&client, fs_addr, "/data/").unwrap();
+    assert_eq!(under_data.len(), 1);
+    assert_eq!(under_data[0].0, "/data/corpus/0001");
+    assert_eq!(under_data[0].1, 17);
+
+    fs_delete(&client, fs_addr, "/etc/motd").unwrap();
+    assert!(matches!(
+        fs_read(&client, fs_addr, "/etc/motd"),
+        Err(NtcsError::NameNotFound(_))
+    ));
+    assert!(matches!(
+        fs_delete(&client, fs_addr, "/etc/motd"),
+        Err(NtcsError::NameNotFound(_))
+    ));
+    assert_eq!(fs.file_count(), 1);
+    fs.stop();
+}
+
+#[test]
+fn empty_pathname_rejected() {
+    let lab = single_net(1, NetKind::Mbx).unwrap();
+    let fs = FileService::spawn(&lab.testbed, lab.machines[0]).unwrap();
+    let client = lab.testbed.module(lab.machines[0], "u").unwrap();
+    let err = fs_write(&client, fs.uadd(), "", b"x").unwrap_err();
+    assert!(matches!(err, NtcsError::InvalidArgument(_)));
+    fs.stop();
+}
+
+#[test]
+fn files_survive_service_relocation() {
+    let lab = single_net(3, NetKind::Mbx).unwrap();
+    let fs = FileService::spawn(&lab.testbed, lab.machines[1]).unwrap();
+    let client = lab.testbed.module(lab.machines[0], "fs-user").unwrap();
+    let fs_addr = client.locate(FILE_SERVICE_NAME).unwrap();
+    fs_write(&client, fs_addr, "/persistent", b"still here").unwrap();
+
+    // Relocate the service; the store moves with its module, and the client
+    // keeps using the OLD address.
+    fs.host().relocate(lab.machines[2]).unwrap();
+    assert_eq!(
+        fs_read(&client, fs_addr, "/persistent").unwrap(),
+        b"still here"
+    );
+    assert!(client.metrics().reconnects >= 1);
+    fs.stop();
+}
+
+#[test]
+fn file_service_across_gateways() {
+    let lab = line_internet(2, NetKind::Mbx).unwrap();
+    let fs = FileService::spawn(&lab.testbed, lab.edge_machines[1]).unwrap();
+    let client = lab.testbed.module(lab.edge_machines[0], "remote-user").unwrap();
+    let fs_addr = client.locate(FILE_SERVICE_NAME).unwrap();
+    fs_write(&client, fs_addr, "/remote/file", b"across networks").unwrap();
+    assert_eq!(
+        fs_read(&client, fs_addr, "/remote/file").unwrap(),
+        b"across networks"
+    );
+    assert!(lab.gateways[0].metrics().circuits_spliced >= 1);
+    fs.stop();
+}
+
+#[test]
+fn concurrent_appenders_lose_nothing() {
+    let lab = single_net(3, NetKind::Mbx).unwrap();
+    let fs = FileService::spawn(&lab.testbed, lab.machines[0]).unwrap();
+    let mut threads = Vec::new();
+    for w in 0..4 {
+        let testbed = &lab.testbed;
+        let machine = lab.machines[1 + w % 2];
+        let client = testbed.module(machine, &format!("writer-{w}")).unwrap();
+        threads.push(std::thread::spawn(move || {
+            let fs_addr = client.locate(FILE_SERVICE_NAME).unwrap();
+            for _ in 0..20 {
+                fs_append(&client, fs_addr, "/shared/log", b"x").unwrap();
+            }
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+    let reader = lab.testbed.module(lab.machines[1], "reader").unwrap();
+    let data = fs_read(&reader, fs.uadd(), "/shared/log").unwrap();
+    assert_eq!(data.len(), 80, "every append landed exactly once");
+    fs.stop();
+}

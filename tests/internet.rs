@@ -1,0 +1,173 @@
+//! Experiment E6 (§4): portable internet support.
+//!
+//! IVCs across disjoint networks, "either as a single LVC on the local
+//! network, or as a chained set of LVCs linked through one or more
+//! Gateways" — topology centralized in the naming service, establishment
+//! decentralized, no inter-gateway protocol.
+
+use std::time::Duration;
+
+use ntcs::{MachineType, NetKind, Testbed};
+use ntcs_repro::messages::{Answer, Ask};
+use ntcs_repro::scenarios::line_internet;
+
+const T: Option<Duration> = Some(Duration::from_secs(15));
+
+#[test]
+fn chains_of_increasing_length() {
+    // k = 2..5 networks ⇒ 1..4 gateway hops end to end.
+    for k in 2..=5 {
+        let lab = line_internet(k, NetKind::Mbx).unwrap();
+        let server = lab
+            .testbed
+            .module(lab.edge_machines[k - 1], "far-end")
+            .unwrap();
+        let client = lab.testbed.module(lab.edge_machines[0], "near-end").unwrap();
+        let dst = client.locate("far-end").unwrap();
+        let t = std::thread::spawn(move || {
+            let m = server.receive(T).unwrap();
+            let a: Ask = m.decode().unwrap();
+            server
+                .reply(&m, &Answer { n: a.n, body: a.body })
+                .unwrap();
+        });
+        let reply = client
+            .send_receive(dst, &Ask { n: k as u32, body: format!("{k} nets") }, T)
+            .unwrap();
+        let ans: Answer = reply.decode().unwrap();
+        assert_eq!(ans.n, k as u32);
+        t.join().unwrap();
+        // Every gateway on the line spliced exactly one circuit.
+        for gw in &lab.gateways {
+            assert_eq!(gw.metrics().circuits_spliced, 1, "k={k}");
+        }
+        // Exactly one route query, answered centrally (§4.2).
+        assert_eq!(client.metrics().route_queries, 1);
+    }
+}
+
+#[test]
+fn no_inter_gateway_communication() {
+    // §4.2: "no inter-gateway communication ever takes place." Gateways
+    // never open circuits *to each other's UAdds* — their nucleus metrics
+    // show zero self-initiated sends beyond registration.
+    let lab = line_internet(3, NetKind::Mbx).unwrap();
+    let server = lab.testbed.module(lab.edge_machines[2], "svc").unwrap();
+    let client = lab.testbed.module(lab.edge_machines[0], "cli").unwrap();
+    let dst = client.locate("svc").unwrap();
+    client.send(dst, &Ask { n: 1, body: "x".into() }).unwrap();
+    server.receive(T).unwrap();
+    for gw in &lab.gateways {
+        let m = gw.nucleus().metrics().snapshot();
+        // The gateway's own nucleus sent only its registration request (and
+        // possible replication casts): no gateway-to-gateway protocol.
+        assert!(
+            m.sends <= 2,
+            "gateway sent {} nucleus messages of its own",
+            m.sends
+        );
+    }
+}
+
+#[test]
+fn internet_over_mixed_ipcs_kinds() {
+    // net0 is mailbox-based, net1 is real TCP: the same portable gateway
+    // code splices across both (the paper's "the same Gateway module … for
+    // all networks and machines").
+    let mut tb = Testbed::builder();
+    let mbx_net = tb.add_network(NetKind::Mbx, "apollo-ring");
+    let tcp_net = tb.add_network(NetKind::Tcp, "ethernet");
+    let ns_host = tb
+        .add_machine(MachineType::Sun, "ns-host", &[mbx_net, tcp_net])
+        .unwrap();
+    let apollo = tb.add_machine(MachineType::Apollo, "apollo", &[mbx_net]).unwrap();
+    let vax = tb.add_machine(MachineType::Vax, "vax", &[tcp_net]).unwrap();
+    let gw_host = tb
+        .add_machine(MachineType::M68k, "gw-host", &[mbx_net, tcp_net])
+        .unwrap();
+    tb.name_server_on(ns_host);
+    let testbed = tb.start().unwrap();
+    let gw = testbed.gateway(gw_host, "mixed-gw").unwrap();
+
+    let server = testbed.module(vax, "tcp-side").unwrap();
+    let client = testbed.module(apollo, "mbx-side").unwrap();
+    let dst = client.locate("tcp-side").unwrap();
+    client.send(dst, &Ask { n: 7, body: "across kinds".into() }).unwrap();
+    let got = server.receive(T).unwrap();
+    assert_eq!(got.decode::<Ask>().unwrap().n, 7);
+    assert_eq!(gw.metrics().circuits_spliced, 1);
+    // Apollo → VAX is a representation change: packed mode, end to end.
+    assert_eq!(got.raw().payload.mode, ntcs::ConvMode::Packed);
+}
+
+#[test]
+fn gateway_death_breaks_routes_until_replaced() {
+    let lab = line_internet(2, NetKind::Mbx).unwrap();
+    let server = lab.testbed.module(lab.edge_machines[1], "svc").unwrap();
+    let client = lab.testbed.module(lab.edge_machines[0], "cli").unwrap();
+    let dst = client.locate("svc").unwrap();
+    client.send(dst, &Ask { n: 1, body: "up".into() }).unwrap();
+    server.receive(T).unwrap();
+
+    // Kill the only gateway's machine.
+    let gw_machine = lab
+        .testbed
+        .world()
+        .machines()
+        .iter()
+        .find(|m| m.name == "gw-host0")
+        .unwrap()
+        .id;
+    lab.testbed.world().crash(gw_machine);
+    std::thread::sleep(Duration::from_millis(700));
+
+    // Existing circuit is dead, and re-establishment cannot find a path —
+    // but the gateway is still *registered* (it crashed without
+    // deregistering), so establishment fails at the ND level rather than
+    // with NoRoute.
+    let err = client
+        .send(dst, &Ask { n: 2, body: "down".into() })
+        .unwrap_err();
+    assert!(
+        err.is_relocation_candidate()
+            || matches!(err, ntcs::NtcsError::NoRoute { .. } | ntcs::NtcsError::NoForwardingAddress(_)),
+        "{err}"
+    );
+
+    // The dead gateway crashed without deregistering; the naming service
+    // still advertises it, so routing may keep picking it (the paper's
+    // centralized topology is only as fresh as its registrations). The
+    // process controller / operator marks it dead…
+    lab.testbed
+        .name_server()
+        .unwrap()
+        .db()
+        .lock()
+        .deregister(lab.gateways[0].uadd());
+
+    // …and a replacement gateway on a fresh machine restores connectivity.
+    let world = lab.testbed.world();
+    let nets = [lab.nets[0], lab.nets[1]];
+    let new_gw_machine = world
+        .add_machine(MachineType::Apollo, "gw-host-replacement", &nets)
+        .unwrap();
+    let _new_gw = lab.testbed.gateway(new_gw_machine, "gw-replacement").unwrap();
+    client.send(dst, &Ask { n: 3, body: "restored".into() }).unwrap();
+    let got = server.receive(T).unwrap();
+    assert_eq!(got.decode::<Ask>().unwrap().n, 3);
+}
+
+#[test]
+fn direct_path_preferred_when_networks_shared() {
+    // When source and destination share a network, no gateway is involved
+    // even if one exists (single LVC, zero route queries).
+    let lab = line_internet(2, NetKind::Mbx).unwrap();
+    let a = lab.testbed.module(lab.edge_machines[0], "same-a").unwrap();
+    let b = lab.testbed.commod(lab.edge_machines[0], "same-b").unwrap();
+    b.register("same-b").unwrap();
+    let dst = a.locate("same-b").unwrap();
+    a.send(dst, &Ask { n: 1, body: "local".into() }).unwrap();
+    b.receive(T).unwrap();
+    assert_eq!(a.metrics().route_queries, 0);
+    assert_eq!(lab.gateways[0].metrics().circuits_spliced, 0);
+}

@@ -1,0 +1,154 @@
+//! Experiment E11 (§3, §7): the naming service is replaceable behind the
+//! NSP layer — attribute-value naming and replicated servers drop in with
+//! no change to anything else.
+
+use std::time::Duration;
+
+use ntcs::{AttrQuery, AttrSet, MachineType, NetKind, Testbed};
+use ntcs_repro::messages::Ask;
+use ntcs_repro::scenarios::single_net;
+
+const T: Option<Duration> = Some(Duration::from_secs(10));
+
+#[test]
+fn attribute_value_naming_end_to_end() {
+    let lab = single_net(3, NetKind::Mbx).unwrap();
+    // Three workers with structured attributes.
+    let mut handles = Vec::new();
+    for (i, role) in ["search", "search", "index"].iter().enumerate() {
+        let c = lab
+            .testbed
+            .commod(lab.machines[i % 3], &format!("w{i}"))
+            .unwrap();
+        let mut attrs = AttrSet::named(&format!("w{i}")).unwrap();
+        attrs.set("role", role).unwrap();
+        attrs.set("tier", if i == 0 { "gold" } else { "bronze" }).unwrap();
+        c.register_attrs(&attrs).unwrap();
+        handles.push(c);
+    }
+    let client = lab.testbed.module(lab.machines[0], "asker").unwrap();
+
+    // Conjunctive equality + existence queries.
+    let searchers = client
+        .list(&AttrQuery::any().and_equals("role", "search").unwrap())
+        .unwrap();
+    assert_eq!(searchers.len(), 2);
+    let gold = client
+        .locate_query(
+            &AttrQuery::any()
+                .and_equals("role", "search")
+                .unwrap()
+                .and_equals("tier", "gold")
+                .unwrap(),
+        )
+        .unwrap();
+    assert_eq!(gold, handles[0].my_uadd());
+    let with_tier = client
+        .list(&AttrQuery::any().and_exists("tier").unwrap())
+        .unwrap();
+    assert_eq!(with_tier.len(), 3);
+    // Plain names are just the `name=` attribute.
+    assert_eq!(client.locate("w2").unwrap(), handles[2].my_uadd());
+}
+
+#[test]
+fn resolution_prefers_newest_generation() {
+    let lab = single_net(3, NetKind::Mbx).unwrap();
+    let old = lab.testbed.module(lab.machines[1], "svc").unwrap();
+    let old_uadd = old.my_uadd();
+    let moved = old.relocate_to(lab.machines[2]).unwrap();
+    let client = lab.testbed.module(lab.machines[0], "cli").unwrap();
+    let found = client.locate("svc").unwrap();
+    assert_eq!(found, moved.my_uadd());
+    assert_ne!(found, old_uadd);
+}
+
+#[test]
+fn replicated_name_service_is_transparent() {
+    let mut tb = Testbed::builder();
+    let net = tb.add_network(NetKind::Mbx, "lan");
+    let m0 = tb.add_machine(MachineType::Sun, "h0", &[net]).unwrap();
+    let m1 = tb.add_machine(MachineType::Vax, "h1", &[net]).unwrap();
+    let m2 = tb.add_machine(MachineType::Apollo, "h2", &[net]).unwrap();
+    tb.name_server_on(m0);
+    tb.replica_on(m2);
+    let mut testbed = tb.start().unwrap();
+
+    let server = testbed.module(m1, "svc").unwrap();
+    let client = testbed.module(m0, "cli").unwrap();
+    // Resolution works via the primary…
+    assert_eq!(client.locate("svc").unwrap(), server.my_uadd());
+    std::thread::sleep(Duration::from_millis(200)); // replication drains
+    // …and survives losing it entirely: the NSP layer fails over (§7).
+    assert!(testbed.remove_name_server());
+    assert_eq!(client.locate("svc").unwrap(), server.my_uadd());
+
+    // Even UAdd→phys resolution by a *fresh* module works off the replica.
+    let newcomer = testbed.commod(m2, "late").unwrap();
+    newcomer.register("late").unwrap();
+    let dst = newcomer.locate("svc").unwrap();
+    newcomer.send(dst, &Ask { n: 1, body: "via replica".into() }).unwrap();
+    let got = server.receive(T).unwrap();
+    assert_eq!(got.decode::<Ask>().unwrap().n, 1);
+}
+
+#[test]
+fn distributed_uadd_spaces_do_not_collide() {
+    // Primary (server id 0) and replica (server id 1) both assign UAdds; the
+    // server-id bits keep the spaces disjoint (§3.2).
+    let mut tb = Testbed::builder();
+    let net = tb.add_network(NetKind::Mbx, "lan");
+    let m0 = tb.add_machine(MachineType::Sun, "h0", &[net]).unwrap();
+    let m1 = tb.add_machine(MachineType::Vax, "h1", &[net]).unwrap();
+    tb.name_server_on(m0);
+    tb.replica_on(m1);
+    let mut testbed = tb.start().unwrap();
+
+    let a = testbed.module(m0, "a").unwrap();
+    assert_eq!(a.my_uadd().server_id().unwrap(), 0);
+    testbed.remove_name_server();
+    // New registrations now come from the replica, with its server id.
+    let b = testbed.commod(m1, "b").unwrap();
+    b.register("b").unwrap();
+    assert_eq!(b.my_uadd().server_id().unwrap(), 1);
+    assert_ne!(a.my_uadd(), b.my_uadd());
+}
+
+#[test]
+fn rebuilt_primary_catches_up_from_replica_snapshot() {
+    // §7 failure resiliency, end to end: primary dies, a replacement primary
+    // pulls a snapshot from the surviving replica — registrations made
+    // before the crash resolve through the NEW primary.
+    let mut tb = Testbed::builder();
+    let net = tb.add_network(NetKind::Mbx, "lan");
+    let m0 = tb.add_machine(MachineType::Sun, "h0", &[net]).unwrap();
+    let m1 = tb.add_machine(MachineType::Vax, "h1", &[net]).unwrap();
+    let m2 = tb.add_machine(MachineType::Apollo, "h2", &[net]).unwrap();
+    tb.name_server_on(m0);
+    tb.replica_on(m2);
+    let mut testbed = tb.start().unwrap();
+
+    let server = testbed.module(m1, "survivor").unwrap();
+    std::thread::sleep(Duration::from_millis(200)); // replication drains
+    assert!(testbed.remove_name_server());
+    testbed.restart_name_server(m0).unwrap();
+
+    // A fresh module (which only preloads the NEW primary's address) can
+    // resolve a registration that predates the crash.
+    let fresh = testbed.module(m0, "fresh").unwrap();
+    let found = fresh.locate("survivor").unwrap();
+    assert_eq!(found, server.my_uadd());
+    // And the new primary can still route messages end to end.
+    fresh.send(found, &Ask { n: 5, body: "post-crash".into() }).unwrap();
+    assert_eq!(server.receive(T).unwrap().decode::<Ask>().unwrap().n, 5);
+}
+
+#[test]
+fn deregistered_names_disappear() {
+    let lab = single_net(2, NetKind::Mbx).unwrap();
+    let svc = lab.testbed.module(lab.machines[1], "ephemeral").unwrap();
+    let client = lab.testbed.module(lab.machines[0], "cli").unwrap();
+    assert!(client.locate("ephemeral").is_ok());
+    svc.deregister().unwrap();
+    assert!(client.locate("ephemeral").is_err());
+}

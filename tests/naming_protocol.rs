@@ -1,0 +1,107 @@
+//! Naming-service protocol corners: snapshots, replica catch-up material,
+//! and direct protocol-level exchanges against a live Name Server.
+
+use std::time::Duration;
+
+use ntcs::{NetKind, UAdd};
+use ntcs_naming::protocol::{
+    NsAck, NsLookup, NsLookupReply, NsRegister, NsRegisterReply, NsSnapshotReply,
+    NsSnapshotRequest,
+};
+use ntcs_repro::scenarios::single_net;
+use ntcs_wire::Message;
+
+const T: Option<Duration> = Some(Duration::from_secs(5));
+
+#[test]
+fn snapshot_returns_the_whole_database() {
+    let lab = single_net(2, NetKind::Mbx).unwrap();
+    let a = lab.testbed.module(lab.machines[1], "snap-a").unwrap();
+    let _b = lab.testbed.module(lab.machines[0], "snap-b").unwrap();
+
+    let reply = a
+        .nucleus()
+        .request(UAdd::NAME_SERVER, &NsSnapshotRequest::default(), T)
+        .unwrap();
+    let snap: NsSnapshotReply = reply.payload.decode(a.machine_type()).unwrap();
+    // name-server self-record + snap-a + snap-b at least.
+    assert!(snap.records.len() >= 3, "{} records", snap.records.len());
+    let names: Vec<String> = snap.records.iter().map(|r| r.attrs_wire.clone()).collect();
+    assert!(names.iter().any(|n| n.contains("snap-a")));
+    assert!(names.iter().any(|n| n.contains("snap-b")));
+    assert!(names.iter().any(|n| n.contains("name-server")));
+}
+
+#[test]
+fn snapshot_preserves_generation_history() {
+    let lab = single_net(3, NetKind::Mbx).unwrap();
+    let m = lab.testbed.module(lab.machines[1], "historied").unwrap();
+    let m = m.relocate_to(lab.machines[2]).unwrap();
+    let reply = m
+        .nucleus()
+        .request(UAdd::NAME_SERVER, &NsSnapshotRequest::default(), T)
+        .unwrap();
+    let snap: NsSnapshotReply = reply.payload.decode(m.machine_type()).unwrap();
+    let historied: Vec<_> = snap
+        .records
+        .iter()
+        .filter(|r| r.attrs_wire.contains("historied"))
+        .collect();
+    assert_eq!(historied.len(), 2, "both generations recorded");
+    let dead = historied.iter().filter(|r| !r.alive).count();
+    let alive = historied.iter().filter(|r| r.alive).count();
+    assert_eq!((dead, alive), (1, 1));
+    let max_gen = historied.iter().map(|r| r.generation).max().unwrap();
+    assert_eq!(max_gen, 1);
+}
+
+#[test]
+fn raw_register_and_lookup_round_trip() {
+    // Drive the wire protocol directly (what a non-Rust implementation of
+    // the NSP layer would do).
+    let lab = single_net(2, NetKind::Mbx).unwrap();
+    let probe = lab.testbed.commod(lab.machines[1], "raw-probe").unwrap();
+    let phys = ntcs_naming::protocol::phys_to_blobs(&probe.nucleus().nd().phys_addrs());
+    let reply = probe
+        .nucleus()
+        .request(
+            UAdd::NAME_SERVER,
+            &NsRegister {
+                attrs_wire: "name=raw-probe&role=test".into(),
+                phys,
+                machine_type: probe.machine_type().wire_code(),
+                is_gateway: false,
+                gateway_networks: vec![],
+                prev_uadd: 0,
+            },
+            T,
+        )
+        .unwrap();
+    let reg: NsRegisterReply = reply.payload.decode(probe.machine_type()).unwrap();
+    assert!(reg.uadd > UAdd::WELL_KNOWN_MAX);
+
+    let reply = probe
+        .nucleus()
+        .request(UAdd::NAME_SERVER, &NsLookup { uadd: reg.uadd }, T)
+        .unwrap();
+    let lk: NsLookupReply = reply.payload.decode(probe.machine_type()).unwrap();
+    assert!(lk.found && lk.alive);
+    assert_eq!(lk.machine_type, probe.machine_type().wire_code());
+}
+
+#[test]
+fn unknown_message_type_gets_negative_ack() {
+    use ntcs::ntcs_message;
+    ntcs_message! {
+        pub struct Mystery: 7777 { pub x: u32 }
+    }
+    let lab = single_net(2, NetKind::Mbx).unwrap();
+    let probe = lab.testbed.module(lab.machines[1], "mystery").unwrap();
+    let reply = probe
+        .nucleus()
+        .request(UAdd::NAME_SERVER, &Mystery { x: 1 }, T)
+        .unwrap();
+    assert_eq!(reply.payload.type_id, NsAck::TYPE_ID);
+    let ack: NsAck = reply.payload.decode(probe.machine_type()).unwrap();
+    assert!(!ack.ok);
+}

@@ -1,0 +1,110 @@
+//! Experiment E2 (§3.3): "once all necessary addresses have been resolved
+//! (e.g., after the system has been heavily used for a while), the Name
+//! Server can be removed with no consequence, unless the system is
+//! reconfigured."
+
+use std::time::Duration;
+
+use ntcs::{NetKind, NtcsError};
+use ntcs_repro::messages::{Answer, Ask};
+use ntcs_repro::scenarios::{line_internet, single_net};
+
+const T: Option<Duration> = Some(Duration::from_secs(10));
+
+#[test]
+fn warm_caches_survive_name_server_removal() {
+    let lab = single_net(3, NetKind::Mbx).unwrap();
+    let mut testbed = lab.testbed;
+    let s1 = testbed.module(lab.machines[1], "svc-1").unwrap();
+    let s2 = testbed.module(lab.machines[2], "svc-2").unwrap();
+    let client = testbed.module(lab.machines[0], "cli").unwrap();
+    let d1 = client.locate("svc-1").unwrap();
+    let d2 = client.locate("svc-2").unwrap();
+    // Warm both paths.
+    client.send(d1, &Ask { n: 0, body: String::new() }).unwrap();
+    client.send(d2, &Ask { n: 0, body: String::new() }).unwrap();
+    s1.receive(T).unwrap();
+    s2.receive(T).unwrap();
+
+    assert!(testbed.remove_name_server());
+
+    // Heavy post-removal traffic: no consequence.
+    for i in 1..=20u32 {
+        client.send(d1, &Ask { n: i, body: String::new() }).unwrap();
+        client.send(d2, &Ask { n: i, body: String::new() }).unwrap();
+        assert_eq!(s1.receive(T).unwrap().decode::<Ask>().unwrap().n, i);
+        assert_eq!(s2.receive(T).unwrap().decode::<Ask>().unwrap().n, i);
+    }
+    // Request/reply works too (reply path needs no naming).
+    let s1_thread = std::thread::spawn(move || {
+        let m = s1.receive(T).unwrap();
+        s1.reply(&m, &Answer { n: 99, body: String::new() }).unwrap();
+    });
+    let r = client.send_receive(d1, &Ask { n: 21, body: String::new() }, T).unwrap();
+    assert_eq!(r.decode::<Answer>().unwrap().n, 99);
+    s1_thread.join().unwrap();
+}
+
+#[test]
+fn removal_breaks_only_reconfiguration() {
+    let lab = single_net(3, NetKind::Mbx).unwrap();
+    let mut testbed = lab.testbed;
+    let svc = testbed.module(lab.machines[1], "svc").unwrap();
+    let client = testbed.module(lab.machines[0], "cli").unwrap();
+    let dst = client.locate("svc").unwrap();
+    client.send(dst, &Ask { n: 0, body: String::new() }).unwrap();
+    svc.receive(T).unwrap();
+
+    assert!(testbed.remove_name_server());
+
+    // "…unless the system is reconfigured": relocation needs the naming
+    // service and must now fail loudly.
+    let err = svc.relocate_to(lab.machines[2]).unwrap_err();
+    let svc = err.commod;
+    let err = err.error;
+    assert!(
+        matches!(
+            err,
+            NtcsError::NameServerUnreachable | NtcsError::Timeout | NtcsError::ConnectRefused(_)
+        ),
+        "{err}"
+    );
+    // New resolution fails as well.
+    assert!(client.locate("svc").is_err());
+    // Existing communication still fine.
+    client.send(dst, &Ask { n: 1, body: String::new() }).unwrap();
+    assert_eq!(svc.receive(T).unwrap().decode::<Ask>().unwrap().n, 1);
+}
+
+#[test]
+fn established_gateway_chains_survive_removal() {
+    let lab = line_internet(2, NetKind::Mbx).unwrap();
+    let mut testbed = lab.testbed;
+    let server = testbed.module(lab.edge_machines[1], "far").unwrap();
+    let client = testbed.module(lab.edge_machines[0], "near").unwrap();
+    let dst = client.locate("far").unwrap();
+    client.send(dst, &Ask { n: 0, body: String::new() }).unwrap();
+    server.receive(T).unwrap();
+
+    assert!(testbed.remove_name_server());
+    // The spliced circuit needs no more routing decisions.
+    for i in 1..=10u32 {
+        client.send(dst, &Ask { n: i, body: String::new() }).unwrap();
+        assert_eq!(server.receive(T).unwrap().decode::<Ask>().unwrap().n, i);
+    }
+}
+
+#[test]
+fn name_server_can_be_restarted() {
+    let lab = single_net(2, NetKind::Mbx).unwrap();
+    let mut testbed = lab.testbed;
+    let _svc = testbed.module(lab.machines[1], "svc").unwrap();
+    assert!(testbed.remove_name_server());
+    assert!(!testbed.remove_name_server(), "idempotent");
+    testbed.restart_name_server(lab.machines[0]).unwrap();
+    // The restarted server has an empty database: modules must re-register
+    // (fresh modules work immediately).
+    let fresh = testbed.module(lab.machines[0], "fresh").unwrap();
+    assert_eq!(fresh.locate("fresh").unwrap(), fresh.my_uadd());
+    assert!(fresh.locate("svc").is_err(), "old registrations are gone");
+}

@@ -1,0 +1,448 @@
+//! Property-based tests over the NTCS core data structures and invariants:
+//! wire codecs (shift/packed/image/header), naming structures, the name
+//! database, and route computation on random topologies.
+
+use proptest::prelude::*;
+
+use ntcs::{AttrQuery, AttrSet, MachineType, NetworkId, PhysAddr, UAdd};
+use ntcs_naming::NameDb;
+use ntcs_wire::pack::{pack_to_vec, unpack_from_slice, Blob};
+use ntcs_wire::{
+    image, ConvMode, Frame, FrameHeader, FrameType, ShiftReader, ShiftWriter,
+};
+
+fn machine_type() -> impl Strategy<Value = MachineType> {
+    prop_oneof![
+        Just(MachineType::Vax),
+        Just(MachineType::Sun),
+        Just(MachineType::Apollo),
+        Just(MachineType::M68k),
+    ]
+}
+
+fn frame_type() -> impl Strategy<Value = FrameType> {
+    prop_oneof![
+        Just(FrameType::LvcOpen),
+        Just(FrameType::LvcOpenAck),
+        Just(FrameType::IvcOpen),
+        Just(FrameType::IvcOpenAck),
+        Just(FrameType::Data),
+        Just(FrameType::Close),
+        Just(FrameType::Datagram),
+        Just(FrameType::Ping),
+        Just(FrameType::Pong),
+        Just(FrameType::IvcAbort),
+    ]
+}
+
+/// Attribute tokens: non-empty, free of the reserved characters.
+fn token() -> impl Strategy<Value = String> {
+    "[a-z0-9_.:-]{1,12}"
+}
+
+proptest! {
+    #[test]
+    fn shift_u32_round_trips(values in proptest::collection::vec(any::<u32>(), 0..64)) {
+        let mut w = ShiftWriter::new();
+        for &v in &values {
+            w.put_u32(v);
+        }
+        let bytes = w.into_bytes();
+        prop_assert_eq!(bytes.len(), values.len() * 4);
+        let mut r = ShiftReader::new(&bytes);
+        for &v in &values {
+            prop_assert_eq!(r.get_u32().unwrap(), v);
+        }
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn shift_u64_round_trips(values in proptest::collection::vec(any::<u64>(), 0..32)) {
+        let mut w = ShiftWriter::new();
+        for &v in &values {
+            w.put_u64(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = ShiftReader::new(&bytes);
+        for &v in &values {
+            prop_assert_eq!(r.get_u64().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn bit_fields_round_trip(a in 0u32..16, b in 0u32..2, c in 0u32..1024, d in 0u32..65536) {
+        let mut w = ShiftWriter::new();
+        w.put_bit_fields(&[(a, 4), (b, 1), (c, 10), (d, 16)]).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = ShiftReader::new(&bytes);
+        let out = r.get_bit_fields(&[4, 1, 10, 16]).unwrap();
+        prop_assert_eq!(out, vec![a, b, c, d]);
+    }
+
+    #[test]
+    fn packed_scalars_round_trip(
+        u in any::<u64>(),
+        i in any::<i64>(),
+        f in any::<f64>(),
+        b in any::<bool>(),
+        s in "\\PC{0,40}",
+        blob in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        prop_assert_eq!(unpack_from_slice::<u64>(&pack_to_vec(&u)).unwrap(), u);
+        prop_assert_eq!(unpack_from_slice::<i64>(&pack_to_vec(&i)).unwrap(), i);
+        let g = unpack_from_slice::<f64>(&pack_to_vec(&f)).unwrap();
+        prop_assert_eq!(g.to_bits(), f.to_bits());
+        prop_assert_eq!(unpack_from_slice::<bool>(&pack_to_vec(&b)).unwrap(), b);
+        prop_assert_eq!(unpack_from_slice::<String>(&pack_to_vec(&s.clone())).unwrap(), s);
+        prop_assert_eq!(
+            unpack_from_slice::<Blob>(&pack_to_vec(&Blob(blob.clone()))).unwrap(),
+            Blob(blob)
+        );
+    }
+
+    #[test]
+    fn packed_vectors_and_options_round_trip(
+        v in proptest::collection::vec(any::<u32>(), 0..32),
+        o in proptest::option::of(any::<i32>()),
+    ) {
+        prop_assert_eq!(unpack_from_slice::<Vec<u32>>(&pack_to_vec(&v)).unwrap(), v);
+        prop_assert_eq!(unpack_from_slice::<Option<i32>>(&pack_to_vec(&o)).unwrap(), o);
+    }
+
+    #[test]
+    fn packed_truncation_never_panics(
+        s in "\\PC{0,20}",
+        cut in 0usize..100,
+    ) {
+        let bytes = pack_to_vec(&s);
+        let cut = cut.min(bytes.len());
+        // Any prefix either fails cleanly or (cut == len) succeeds.
+        let _ = unpack_from_slice::<String>(&bytes[..cut]);
+    }
+
+    #[test]
+    fn image_round_trips_between_compatible_machines(
+        a in machine_type(),
+        b in machine_type(),
+        v in any::<u64>(),
+        s in "\\PC{0,24}",
+        vec in proptest::collection::vec(any::<i32>(), 0..16),
+    ) {
+        prop_assume!(a.image_compatible(b));
+        prop_assert_eq!(
+            image::image_from_slice::<u64>(&image::image_to_vec(&v, a), b).unwrap(), v);
+        prop_assert_eq!(
+            image::image_from_slice::<String>(&image::image_to_vec(&s.clone(), a), b).unwrap(), s);
+        prop_assert_eq!(
+            image::image_from_slice::<Vec<i32>>(&image::image_to_vec(&vec.clone(), a), b).unwrap(),
+            vec);
+    }
+
+    #[test]
+    fn image_across_incompatible_machines_swaps_u32(v in any::<u32>()) {
+        let img = image::image_to_vec(&v, MachineType::Vax);
+        let got = image::image_from_slice::<u32>(&img, MachineType::Sun).unwrap();
+        prop_assert_eq!(got, v.swap_bytes());
+    }
+
+    #[test]
+    fn conversion_mode_matches_compatibility(a in machine_type(), b in machine_type()) {
+        let mode = ConvMode::select(a, b);
+        prop_assert_eq!(mode == ConvMode::Image, a.image_compatible(b));
+        // Symmetry.
+        prop_assert_eq!(mode, ConvMode::select(b, a));
+    }
+
+    #[test]
+    fn frame_header_round_trips(
+        ft in frame_type(),
+        src in any::<u64>(),
+        dst in any::<u64>(),
+        msg_id in any::<u64>(),
+        reply_to in any::<u64>(),
+        mt in machine_type(),
+        error_code in any::<u32>(),
+        aux in any::<u32>(),
+        packed in any::<bool>(),
+        reply_expected in any::<bool>(),
+        connectionless in any::<bool>(),
+    ) {
+        let mut h = FrameHeader::new(ft, UAdd::from_raw(src), UAdd::from_raw(dst), mt);
+        h.msg_id = msg_id;
+        h.reply_to = reply_to;
+        h.error_code = error_code;
+        h.aux = aux;
+        h.flags.set_conv_mode(if packed { ConvMode::Packed } else { ConvMode::Image });
+        h.flags.reply_expected = reply_expected;
+        h.flags.connectionless = connectionless;
+        let bytes = h.to_shift();
+        prop_assert_eq!(bytes.len(), ntcs_wire::HEADER_LEN);
+        prop_assert_eq!(FrameHeader::from_shift(&bytes).unwrap(), h.clone());
+        // The character-format baseline agrees semantically.
+        prop_assert_eq!(FrameHeader::from_packed(&h.to_packed()).unwrap(), h);
+    }
+
+    #[test]
+    fn frame_round_trips(payload in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let h = FrameHeader::new(
+            FrameType::Data,
+            UAdd::from_raw(1),
+            UAdd::from_raw(2),
+            MachineType::Sun,
+        );
+        let f = Frame::new(h, payload.into());
+        prop_assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn frame_decode_never_panics_on_garbage(garbage in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = Frame::decode(&garbage);
+        let _ = FrameHeader::from_shift(&garbage);
+        let _ = FrameHeader::from_packed(&garbage);
+    }
+
+    #[test]
+    fn attrs_wire_round_trips(pairs in proptest::collection::btree_map(token(), token(), 0..6)) {
+        let mut a = AttrSet::new();
+        for (k, v) in &pairs {
+            a.set(k, v).unwrap();
+        }
+        prop_assert_eq!(AttrSet::from_wire(&a.to_wire()).unwrap(), a);
+    }
+
+    #[test]
+    fn attr_query_semantics(
+        pairs in proptest::collection::btree_map(token(), token(), 1..5),
+    ) {
+        let mut a = AttrSet::new();
+        for (k, v) in &pairs {
+            a.set(k, v).unwrap();
+        }
+        // A query built from any subset of the attributes matches.
+        let mut q = AttrQuery::any();
+        for (i, (k, v)) in pairs.iter().enumerate() {
+            if i % 2 == 0 {
+                q = q.and_equals(k, v).unwrap();
+            } else {
+                q = q.and_exists(k).unwrap();
+            }
+        }
+        prop_assert!(q.matches(&a));
+        prop_assert_eq!(AttrQuery::from_wire(&q.to_wire()).unwrap(), q.clone());
+        // Adding a constraint on an absent key breaks the match.
+        let q2 = q.and_exists("definitely.absent.key").unwrap();
+        prop_assert!(!q2.matches(&a));
+    }
+
+    #[test]
+    fn phys_addr_opaque_round_trips(
+        net in 0u32..64,
+        path in "/[a-z0-9/:._-]{1,30}",
+        host_octet in 1u8..255,
+        port in any::<u16>(),
+    ) {
+        let m = PhysAddr::Mbx { network: NetworkId(net), path };
+        prop_assert_eq!(PhysAddr::from_opaque(&m.to_opaque()).unwrap(), m);
+        let t = PhysAddr::Tcp {
+            network: NetworkId(net),
+            host: format!("127.0.0.{host_octet}"),
+            port,
+        };
+        prop_assert_eq!(PhysAddr::from_opaque(&t.to_opaque()).unwrap(), t);
+    }
+
+    #[test]
+    fn name_db_invariants_under_random_ops(
+        ops in proptest::collection::vec((0u8..4, 0usize..4, token()), 1..40),
+    ) {
+        let mut db = NameDb::new(0);
+        let mut registered: Vec<UAdd> = Vec::new();
+        for (op, idx, name) in ops {
+            match op {
+                // Register a fresh module under `name`.
+                0 => {
+                    let attrs = AttrSet::named(&name).unwrap();
+                    let (u, _) = db.register(
+                        attrs,
+                        MachineType::Vax,
+                        vec![PhysAddr::Mbx { network: NetworkId(0), path: format!("/m/{name}") }],
+                        false,
+                        vec![],
+                        None,
+                    );
+                    registered.push(u);
+                }
+                // Relocate a previously registered module.
+                1 if !registered.is_empty() => {
+                    let prev = registered[idx % registered.len()];
+                    let attrs = db.lookup(prev).unwrap().attrs.clone();
+                    let (u, _) = db.register(
+                        attrs,
+                        MachineType::Sun,
+                        vec![PhysAddr::Mbx { network: NetworkId(0), path: format!("/m2/{name}") }],
+                        false,
+                        vec![],
+                        Some(prev),
+                    );
+                    registered.push(u);
+                }
+                // Deregister.
+                2 if !registered.is_empty() => {
+                    let u = registered[idx % registered.len()];
+                    db.deregister(u);
+                }
+                _ => {}
+            }
+            // Invariant 1: resolve always returns a live record matching the query.
+            let q = AttrQuery::by_name(&name).unwrap();
+            if let Some(u) = db.resolve(&q) {
+                let rec = db.lookup(u).unwrap();
+                prop_assert!(rec.alive);
+                prop_assert!(q.matches(&rec.attrs));
+                // Invariant 2: it is the newest live generation of that name.
+                for other in db.records() {
+                    if other.alive && other.name() == rec.name() {
+                        prop_assert!(other.generation <= rec.generation
+                            || (other.generation == rec.generation));
+                    }
+                }
+            }
+            // Invariant 3: forwarding never returns a dead or older module.
+            for &u in &registered {
+                if let Ok(new) = db.forwarding(u) {
+                    let old_gen = db.lookup(u).unwrap().generation;
+                    let rec = db.lookup(new).unwrap();
+                    prop_assert!(rec.alive);
+                    prop_assert!(rec.generation > old_gen);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routes_on_random_topologies_are_valid(
+        n_nets in 2u32..7,
+        gateways in proptest::collection::vec((0u32..7, 0u32..7), 0..8),
+        src_net in 0u32..7,
+        dst_net in 0u32..7,
+    ) {
+        let src_net = NetworkId(src_net % n_nets);
+        let dst_net = NetworkId(dst_net % n_nets);
+        let mut db = NameDb::new(0);
+        for (i, (a, b)) in gateways.iter().enumerate() {
+            let (a, b) = (NetworkId(a % n_nets), NetworkId(b % n_nets));
+            if a == b {
+                continue;
+            }
+            db.register(
+                AttrSet::named(&format!("gw{i}")).unwrap(),
+                MachineType::Apollo,
+                vec![
+                    PhysAddr::Mbx { network: a, path: format!("/gw{i}/a") },
+                    PhysAddr::Mbx { network: b, path: format!("/gw{i}/b") },
+                ],
+                true,
+                vec![a, b],
+                None,
+            );
+        }
+        let (dst, _) = db.register(
+            AttrSet::named("target").unwrap(),
+            MachineType::Vax,
+            vec![PhysAddr::Mbx { network: dst_net, path: "/t".into() }],
+            false,
+            vec![],
+            None,
+        );
+        match db.route(&[src_net], dst) {
+            Ok((hops, dst_phys, _mt)) => {
+                prop_assert_eq!(dst_phys.network(), dst_net);
+                // Walk the chain: each hop's entry must be on the current
+                // network, and the gateway must join it to the next one.
+                let mut cur = src_net;
+                for hop in &hops {
+                    prop_assert_eq!(hop.entry.network(), cur);
+                    let gw = db.lookup(hop.gateway).unwrap();
+                    prop_assert!(gw.is_gateway && gw.alive);
+                    prop_assert!(gw.gateway_networks.contains(&cur));
+                    // Advance to some other network this gateway joins that
+                    // continues the chain (BFS guarantees a simple path; the
+                    // next hop's entry network tells us where we land).
+                    cur = if let Some(next_hop) = hops.iter().skip_while(|h| *h != hop).nth(1) {
+                        next_hop.entry.network()
+                    } else {
+                        dst_net
+                    };
+                    prop_assert!(gw.gateway_networks.contains(&cur));
+                }
+                if hops.is_empty() {
+                    prop_assert_eq!(cur, dst_net);
+                }
+            }
+            Err(_) => {
+                // No route claimed: verify by reachability that none exists.
+                let mut reach = vec![src_net];
+                let mut changed = true;
+                while changed {
+                    changed = false;
+                    for gw in db.gateways() {
+                        if gw.gateway_networks.iter().any(|n| reach.contains(n)) {
+                            for &n in &gw.gateway_networks {
+                                if !reach.contains(&n) {
+                                    reach.push(n);
+                                    changed = true;
+                                }
+                            }
+                        }
+                    }
+                }
+                prop_assert!(!reach.contains(&dst_net), "route missed but reachable");
+            }
+        }
+    }
+
+    #[test]
+    fn boolean_queries_agree_with_brute_force(
+        seed in 0u64..1000,
+        q_and in prop_oneof![Just("AND"), Just(""), Just("OR")],
+        t1 in prop_oneof![Just("retrieval"), Just("network"), Just("system"), Just("zzz")],
+        t2 in prop_oneof![Just("index"), Just("gateway"), Just("query"), Just("module")],
+        neg in any::<bool>(),
+    ) {
+        use ntcs_ursa::{BoolExpr, Corpus, InvertedIndex};
+        let corpus = Corpus::generate(seed, 60, 15);
+        let idx = InvertedIndex::build(corpus.docs());
+        let q = if neg {
+            format!("{t1} {q_and} NOT {t2}")
+        } else {
+            format!("{t1} {q_and} {t2}")
+        };
+        let expr = BoolExpr::parse(&q).unwrap();
+        // Round-trips through the query language.
+        prop_assert_eq!(&BoolExpr::parse(&expr.to_query()).unwrap(), &expr);
+        let fast = idx.search_boolean(&expr);
+        let slow: Vec<u32> = corpus
+            .docs()
+            .iter()
+            .filter(|d| expr.matches_doc(d))
+            .map(|d| d.id)
+            .collect();
+        prop_assert_eq!(fast, slow, "query {}", q);
+    }
+
+    #[test]
+    fn boolean_parser_never_panics(input in "\\PC{0,60}") {
+        let _ = ntcs_ursa::BoolExpr::parse(&input);
+    }
+
+    #[test]
+    fn uadd_structure(server in 0u16..0x8000, raw in any::<u64>()) {
+        let g = ntcs_addr::UAddGenerator::new(server);
+        let u = g.generate();
+        prop_assert!(u.is_permanent());
+        prop_assert_eq!(u.server_id().unwrap(), server);
+        // TAdd flag is the top bit, always.
+        let v = UAdd::from_raw(raw);
+        prop_assert_eq!(v.is_temporary(), raw >> 63 == 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! Concurrency and volume stress: many modules, interleaved conversations,
+//! large payloads through gateway chains, and queued-message fairness.
+
+use std::time::Duration;
+
+use ntcs::NetKind;
+use ntcs_repro::messages::{Answer, Ask, Bulk};
+use ntcs_repro::scenarios::{line_internet, single_net};
+
+const T: Option<Duration> = Some(Duration::from_secs(20));
+
+#[test]
+fn many_clients_one_server() {
+    let lab = single_net(4, NetKind::Mbx).unwrap();
+    let server = lab.testbed.module(lab.machines[0], "hub").unwrap();
+    const CLIENTS: usize = 8;
+    const PER_CLIENT: u32 = 25;
+
+    let server_thread = std::thread::spawn(move || {
+        for _ in 0..(CLIENTS as u32 * PER_CLIENT) {
+            let m = server.receive(T).unwrap();
+            let a: Ask = m.decode().unwrap();
+            server.reply(&m, &Answer { n: a.n, body: a.body }).unwrap();
+        }
+        server
+    });
+
+    let mut clients = Vec::new();
+    for c in 0..CLIENTS {
+        let testbed = &lab.testbed;
+        let machine = lab.machines[1 + (c % 3)];
+        let commod = testbed.module(machine, &format!("client-{c}")).unwrap();
+        clients.push(std::thread::spawn(move || {
+            let dst = commod.locate("hub").unwrap();
+            for i in 0..PER_CLIENT {
+                let tag = format!("{c}:{i}");
+                let reply = commod
+                    .send_receive(dst, &Ask { n: i, body: tag.clone() }, T)
+                    .unwrap();
+                let a: Answer = reply.decode().unwrap();
+                assert_eq!(a.n, i);
+                assert_eq!(a.body, tag, "replies must not cross conversations");
+            }
+        }));
+    }
+    for c in clients {
+        c.join().unwrap();
+    }
+    let server = server_thread.join().unwrap();
+    assert!(server.metrics().circuits_accepted >= CLIENTS as u64);
+}
+
+#[test]
+fn megabyte_payload_through_two_gateways_over_tcp() {
+    let lab = line_internet(3, NetKind::Tcp).unwrap();
+    let server = lab.testbed.module(lab.edge_machines[2], "big-sink").unwrap();
+    let client = lab.testbed.module(lab.edge_machines[0], "big-src").unwrap();
+    let dst = client.locate("big-sink").unwrap();
+    // 256k u32 words = 1 MiB native image.
+    let msg = Bulk::sized(1, 256 * 1024);
+    client.send(dst, &msg).unwrap();
+    let got = server.receive(T).unwrap();
+    let decoded: Bulk = got.decode().unwrap();
+    assert_eq!(decoded.words.len(), msg.words.len());
+    assert_eq!(decoded.words[123_456], msg.words[123_456]);
+}
+
+#[test]
+fn wait_reply_leaves_unrelated_messages_queued() {
+    // A server that interleaves unsolicited pushes with the reply: the
+    // synchronous exchange must pluck only its own reply, preserving the
+    // rest in order.
+    let lab = single_net(2, NetKind::Mbx).unwrap();
+    let server = lab.testbed.module(lab.machines[1], "pusher").unwrap();
+    let client = lab.testbed.module(lab.machines[0], "asker").unwrap();
+    let dst = client.locate("pusher").unwrap();
+    let client_uadd = client.my_uadd();
+
+    let server_thread = std::thread::spawn(move || {
+        let m = server.receive(T).unwrap();
+        // Two unsolicited pushes first…
+        server.send(client_uadd, &Ask { n: 100, body: "push-1".into() }).unwrap();
+        server.send(client_uadd, &Ask { n: 101, body: "push-2".into() }).unwrap();
+        // …then the actual reply.
+        server.reply(&m, &Answer { n: 7, body: "the reply".into() }).unwrap();
+    });
+
+    let reply = client
+        .send_receive(dst, &Ask { n: 7, body: String::new() }, T)
+        .unwrap();
+    assert_eq!(reply.decode::<Answer>().unwrap().body, "the reply");
+    // The pushes are still there, in order.
+    let p1 = client.receive(T).unwrap().decode::<Ask>().unwrap();
+    let p2 = client.receive(T).unwrap().decode::<Ask>().unwrap();
+    assert_eq!((p1.n, p2.n), (100, 101));
+    server_thread.join().unwrap();
+}
+
+#[test]
+fn datagrams_cross_gateway_chains() {
+    // The connectionless protocol rides the same IVCs (§2.2), so casts work
+    // across the internet too.
+    let lab = line_internet(2, NetKind::Mbx).unwrap();
+    let server = lab.testbed.module(lab.edge_machines[1], "dgram-sink").unwrap();
+    let client = lab.testbed.module(lab.edge_machines[0], "dgram-src").unwrap();
+    let dst = client.locate("dgram-sink").unwrap();
+    client.cast(dst, &Ask { n: 42, body: "datagram".into() }).unwrap();
+    let got = server.receive(T).unwrap();
+    assert!(got.connectionless());
+    assert_eq!(got.decode::<Ask>().unwrap().n, 42);
+}
+
+#[test]
+fn interleaved_bidirectional_conversations() {
+    // A and B are simultaneously client and server of each other.
+    let lab = single_net(2, NetKind::Mbx).unwrap();
+    let a = lab.testbed.module(lab.machines[0], "alpha").unwrap();
+    let b = lab.testbed.module(lab.machines[1], "beta").unwrap();
+    let a_addr = a.my_uadd();
+    let b_addr = b.my_uadd();
+
+    let tb = std::thread::spawn(move || {
+        for i in 0..10u32 {
+            // Serve one request…
+            let m = b.receive(T).unwrap();
+            let q: Ask = m.decode().unwrap();
+            b.reply(&m, &Answer { n: q.n, body: String::new() }).unwrap();
+            // …and push one of its own.
+            b.send(a_addr, &Ask { n: 1000 + i, body: String::new() }).unwrap();
+        }
+    });
+
+    let mut pushes = 0;
+    for i in 0..10u32 {
+        let reply = a
+            .send_receive(b_addr, &Ask { n: i, body: String::new() }, T)
+            .unwrap();
+        assert_eq!(reply.decode::<Answer>().unwrap().n, i);
+    }
+    // Drain B's pushes.
+    while let Ok(m) = a.receive(Some(Duration::from_millis(300))) {
+        let q: Ask = m.decode().unwrap();
+        assert!(q.n >= 1000);
+        pushes += 1;
+    }
+    assert_eq!(pushes, 10);
+    tb.join().unwrap();
+}

@@ -1,0 +1,196 @@
+//! Experiment E12 (§1, §1.2): the NTCS carrying its motivating application —
+//! a distributed information-retrieval testbed across mixed machine types,
+//! disjoint networks, gateways, and live reconfiguration.
+
+use std::time::Duration;
+
+use ntcs::{MachineType, NetKind, Testbed};
+use ntcs_ursa::{Corpus, InvertedIndex, UrsaClient, UrsaDeployment, UrsaLayout};
+
+#[test]
+fn retrieval_across_networks_and_machine_types() {
+    // Two disjoint networks: workstations on an Apollo-style mailbox ring,
+    // backends on a TCP ethernet, joined by a gateway — the paper's target
+    // deployment shape.
+    let mut tb = Testbed::builder();
+    let ring = tb.add_network(NetKind::Mbx, "workstation-ring");
+    let ether = tb.add_network(NetKind::Tcp, "backend-ethernet");
+    let ns_host = tb
+        .add_machine(MachineType::Sun, "ns-host", &[ring, ether])
+        .unwrap();
+    let ws = tb.add_machine(MachineType::Apollo, "workstation", &[ring]).unwrap();
+    let be1 = tb.add_machine(MachineType::Vax, "backend-vax", &[ether]).unwrap();
+    let be2 = tb.add_machine(MachineType::Sun, "backend-sun", &[ether]).unwrap();
+    let gw_host = tb
+        .add_machine(MachineType::M68k, "gw-host", &[ring, ether])
+        .unwrap();
+    tb.name_server_on(ns_host);
+    let testbed = tb.start().unwrap();
+    let gw = testbed.gateway(gw_host, "ring-ether-gw").unwrap();
+
+    let corpus = Corpus::generate(21, 200, 40);
+    let deployment = UrsaDeployment::deploy(
+        &testbed,
+        &corpus,
+        &UrsaLayout {
+            index_machine: be1,
+            search_machines: vec![be1, be2],
+            doc_machine: be2,
+        },
+    )
+    .unwrap();
+
+    let client = UrsaClient::new(&testbed, ws, "workstation-1").unwrap();
+    let hits = client.search("retrieval architecture", 10).unwrap();
+    assert!(!hits.is_empty());
+    // Results agree with a local (non-distributed) index on hit membership.
+    let local = InvertedIndex::build(corpus.docs());
+    let local_docs: Vec<u32> = local
+        .search("retrieval architecture", 10)
+        .iter()
+        .map(|h| h.doc)
+        .collect();
+    let overlap = hits.iter().filter(|h| local_docs.contains(&h.doc)).count();
+    assert!(overlap * 2 >= hits.len(), "distributed ranking diverged");
+
+    // Fetch a document across the gateway.
+    let doc = client.fetch(hits[0].doc).unwrap();
+    assert_eq!(doc.id, hits[0].doc);
+    assert!(gw.metrics().circuits_spliced >= 2, "queries crossed the gateway");
+    deployment.stop();
+}
+
+#[test]
+fn three_generations_of_backends() {
+    // §7: "It has been successfully employed in three generations of
+    // distributed information retrieval systems" — here: the same search
+    // backend replaced twice while clients keep querying the same address.
+    let mut tb = Testbed::builder();
+    let net = tb.add_network(NetKind::Mbx, "campus");
+    let machines: Vec<_> = (0..4)
+        .map(|i| {
+            tb.add_machine(
+                [MachineType::Sun, MachineType::Vax, MachineType::Apollo, MachineType::M68k][i],
+                &format!("h{i}"),
+                &[net],
+            )
+            .unwrap()
+        })
+        .collect();
+    tb.name_server_on(machines[0]);
+    let testbed = tb.start().unwrap();
+
+    let corpus = Corpus::generate(31, 90, 30);
+    let deployment = UrsaDeployment::deploy(
+        &testbed,
+        &corpus,
+        &UrsaLayout {
+            index_machine: machines[1],
+            search_machines: vec![machines[1]],
+            doc_machine: machines[1],
+        },
+    )
+    .unwrap();
+    let client = UrsaClient::new(&testbed, machines[0], "ws").unwrap();
+    let gen1 = client.search("network system", 5).unwrap();
+    assert!(!gen1.is_empty());
+
+    // Generation 2: move to the Apollo. Generation 3: move to the M68k.
+    deployment.relocate_search_shard(0, machines[2]).unwrap();
+    let gen2 = client.search("network system", 5).unwrap();
+    deployment.relocate_search_shard(0, machines[3]).unwrap();
+    let gen3 = client.search("network system", 5).unwrap();
+
+    let ids = |v: &[ntcs_ursa::SearchHit]| v.iter().map(|h| h.doc).collect::<Vec<_>>();
+    assert_eq!(ids(&gen1), ids(&gen2));
+    assert_eq!(ids(&gen2), ids(&gen3));
+    assert!(client.commod().metrics().reconnects >= 2);
+    deployment.stop();
+}
+
+#[test]
+fn boolean_retrieval_matches_the_brute_force_oracle() {
+    // The historical URSA's boolean query model, distributed across two
+    // shards: shard union must agree with per-document evaluation of the
+    // whole corpus (shards partition it, so per-shard NOT is global NOT).
+    let mut tb = Testbed::builder();
+    let net = tb.add_network(NetKind::Mbx, "campus");
+    let m0 = tb.add_machine(MachineType::Sun, "h0", &[net]).unwrap();
+    let m1 = tb.add_machine(MachineType::Vax, "h1", &[net]).unwrap();
+    let m2 = tb.add_machine(MachineType::Apollo, "h2", &[net]).unwrap();
+    tb.name_server_on(m0);
+    let testbed = tb.start().unwrap();
+    let corpus = Corpus::generate(55, 150, 30);
+    let deployment = UrsaDeployment::deploy(
+        &testbed,
+        &corpus,
+        &UrsaLayout {
+            index_machine: m1,
+            search_machines: vec![m1, m2],
+            doc_machine: m1,
+        },
+    )
+    .unwrap();
+    let client = UrsaClient::new(&testbed, m0, "bool-ws").unwrap();
+
+    for q in [
+        "retrieval AND network",
+        "system OR (index AND NOT network)",
+        "retrieval network NOT gateway",
+        "(retrieval OR system) AND NOT (index OR query)",
+    ] {
+        let expr = ntcs_ursa::BoolExpr::parse(q).unwrap();
+        let expect: Vec<u32> = corpus
+            .docs()
+            .iter()
+            .filter(|d| expr.matches_doc(d))
+            .map(|d| d.id)
+            .collect();
+        let got = client.search_boolean(q).unwrap();
+        assert_eq!(got, expect, "query {q:?}");
+    }
+    // Malformed queries are rejected cleanly.
+    assert!(client.search_boolean("( broken").is_err());
+    deployment.stop();
+}
+
+#[test]
+fn concurrent_workstations() {
+    let mut tb = Testbed::builder();
+    let net = tb.add_network(NetKind::Mbx, "campus");
+    let m0 = tb.add_machine(MachineType::Sun, "h0", &[net]).unwrap();
+    let m1 = tb.add_machine(MachineType::Vax, "h1", &[net]).unwrap();
+    tb.name_server_on(m0);
+    let testbed = tb.start().unwrap();
+    let corpus = Corpus::generate(41, 100, 25);
+    let deployment = UrsaDeployment::deploy(
+        &testbed,
+        &corpus,
+        &UrsaLayout {
+            index_machine: m1,
+            search_machines: vec![m1],
+            doc_machine: m1,
+        },
+    )
+    .unwrap();
+
+    let mut threads = Vec::new();
+    for w in 0..4 {
+        let testbed_net = &testbed;
+        let client = UrsaClient::new(testbed_net, m0, &format!("ws-{w}")).unwrap();
+        threads.push(std::thread::spawn(move || {
+            for q in ["retrieval", "network message", "system index"] {
+                let hits = client.search(q, 5).unwrap();
+                if let Some(best) = hits.first() {
+                    let doc = client.fetch(best.doc).unwrap();
+                    assert_eq!(doc.id, best.doc);
+                }
+            }
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+    deployment.stop();
+    let _ = Duration::from_secs(0);
+}

@@ -1,0 +1,142 @@
+//! World-level fault-injection semantics: crash/revive lifecycles, repeated
+//! faults, and recovery through the full stack.
+
+use std::time::Duration;
+
+use ntcs::{NetKind, NtcsError};
+use ntcs_repro::messages::Ask;
+use ntcs_repro::scenarios::single_net;
+
+const T: Option<Duration> = Some(Duration::from_secs(5));
+
+#[test]
+fn crash_is_idempotent_and_revive_restores_placement() {
+    let lab = single_net(3, NetKind::Mbx).unwrap();
+    let world = lab.testbed.world();
+    world.crash(lab.machines[2]);
+    world.crash(lab.machines[2]); // idempotent
+    assert!(!world.is_alive(lab.machines[2]));
+    // A module cannot bind on a dead machine…
+    assert!(lab.testbed.commod(lab.machines[2], "ghost").is_err());
+    // …until the machine is revived; then a NEW module starts fresh (old
+    // resources stay dead — the DRTS restarts modules, not the world).
+    world.revive(lab.machines[2]);
+    let reborn = lab.testbed.module(lab.machines[2], "reborn").unwrap();
+    let client = lab.testbed.module(lab.machines[0], "caller").unwrap();
+    let dst = client.locate("reborn").unwrap();
+    client.send(dst, &Ask { n: 1, body: String::new() }).unwrap();
+    assert_eq!(reborn.receive(T).unwrap().decode::<Ask>().unwrap().n, 1);
+}
+
+#[test]
+fn crash_restart_reregister_cycle() {
+    // The full module lifecycle across a machine crash: the service dies
+    // unregistered; a replacement registers with the same name; old-address
+    // senders recover via forwarding (§3.5 applied to crash recovery, the
+    // DRTS process-management story).
+    let lab = single_net(3, NetKind::Mbx).unwrap();
+    let world = lab.testbed.world();
+    let victim = lab.testbed.module(lab.machines[1], "svc").unwrap();
+    let victim_uadd = victim.my_uadd();
+    let client = lab.testbed.module(lab.machines[0], "user").unwrap();
+    let dst = client.locate("svc").unwrap();
+    client.send(dst, &Ask { n: 0, body: String::new() }).unwrap();
+    victim.receive(T).unwrap();
+
+    world.crash(lab.machines[1]);
+    std::thread::sleep(Duration::from_millis(100));
+    // Sends fail while no replacement exists.
+    assert!(client.send(dst, &Ask { n: 1, body: String::new() }).is_err());
+
+    // The process controller restarts the service elsewhere, naming the
+    // dead predecessor so forwarding links the generations.
+    let replacement = lab.testbed.commod(lab.machines[2], "svc").unwrap();
+    replacement
+        .nsp()
+        .register(
+            &ntcs::AttrSet::named("svc").unwrap(),
+            false,
+            &[],
+            Some(victim_uadd),
+        )
+        .unwrap();
+    // The client's next send to the OLD address reaches the replacement.
+    client.send(dst, &Ask { n: 2, body: String::new() }).unwrap();
+    assert_eq!(replacement.receive(T).unwrap().decode::<Ask>().unwrap().n, 2);
+}
+
+#[test]
+fn drop_probability_is_clamped() {
+    let lab = single_net(2, NetKind::Mbx).unwrap();
+    let server = lab.testbed.module(lab.machines[1], "sink").unwrap();
+    let client = lab.testbed.commod(lab.machines[0], "src").unwrap();
+    // 5000 ‰ clamps to 1000 ‰ (total loss) rather than misbehaving.
+    lab.testbed.world().set_drop_millis(lab.net, 5000).unwrap();
+    // Registration itself needs the wire: with total loss the naming
+    // exchange dies one way or another — the open frame vanishes (timeout)
+    // or the server gives up on the silent circuit first (closed).
+    let err = client.register("src").unwrap_err();
+    assert!(
+        matches!(
+            err,
+            NtcsError::Timeout | NtcsError::NameServerUnreachable | NtcsError::ConnectionClosed
+        ),
+        "{err}"
+    );
+    lab.testbed.world().set_drop_millis(lab.net, 0).unwrap();
+    // Transient half-open circuits from the lossy window may need one
+    // retry to clear.
+    let mut registered = false;
+    for _ in 0..3 {
+        if client.register("src").is_ok() {
+            registered = true;
+            break;
+        }
+    }
+    assert!(registered, "registration must succeed once the wire heals");
+    let dst = client.locate("sink").unwrap();
+    client.send(dst, &Ask { n: 1, body: String::new() }).unwrap();
+    server.receive(T).unwrap();
+}
+
+#[test]
+fn unknown_machine_operations_fail_cleanly() {
+    let lab = single_net(1, NetKind::Mbx).unwrap();
+    let world = lab.testbed.world();
+    let ghost = ntcs::MachineId(99);
+    assert!(!world.is_alive(ghost));
+    world.crash(ghost); // no-op, no panic
+    world.revive(ghost); // no-op, no panic
+    assert!(world.machine_info(ghost).is_err());
+    assert!(world.clock(ghost).is_err());
+    assert!(world
+        .set_latency(ntcs::NetworkId(42), Duration::from_millis(1))
+        .is_err());
+}
+
+#[test]
+fn partition_affects_only_the_named_pair() {
+    let lab = single_net(3, NetKind::Mbx).unwrap();
+    let world = lab.testbed.world();
+    let b = lab.testbed.module(lab.machines[1], "b").unwrap();
+    let c = lab.testbed.module(lab.machines[2], "c").unwrap();
+    let a = lab.testbed.module(lab.machines[0], "a").unwrap();
+    let to_b = a.locate("b").unwrap();
+    let to_c = a.locate("c").unwrap();
+    // Warm b→c before the partition: the Name Server lives on machine 0,
+    // so b can neither resolve nor look up addresses while cut off from m0.
+    let to_c_from_b = b.locate("c").unwrap();
+    b.send(to_c_from_b, &Ask { n: 0, body: String::new() }).unwrap();
+    assert_eq!(c.receive(T).unwrap().decode::<Ask>().unwrap().n, 0);
+
+    world.set_partition(lab.machines[0], lab.machines[1], true);
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(a.send(to_b, &Ask { n: 1, body: String::new() }).is_err());
+    // a ↔ c unaffected.
+    a.send(to_c, &Ask { n: 2, body: String::new() }).unwrap();
+    assert_eq!(c.receive(T).unwrap().decode::<Ask>().unwrap().n, 2);
+    // b ↔ c unaffected.
+    b.send(to_c_from_b, &Ask { n: 3, body: String::new() }).unwrap();
+    assert_eq!(c.receive(T).unwrap().decode::<Ask>().unwrap().n, 3);
+    world.set_partition(lab.machines[0], lab.machines[1], false);
+}
