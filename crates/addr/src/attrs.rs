@@ -205,7 +205,8 @@ impl AttrQuery {
     /// Returns [`NtcsError::InvalidArgument`] for an invalid key token.
     pub fn and_exists(mut self, key: &str) -> Result<Self> {
         validate_token("query key", key)?;
-        self.constraints.push(AttrConstraint::Exists(key.to_owned()));
+        self.constraints
+            .push(AttrConstraint::Exists(key.to_owned()));
         Ok(self)
     }
 

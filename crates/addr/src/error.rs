@@ -66,6 +66,14 @@ pub enum NtcsError {
     Unsupported(String),
     /// The module, machine, or testbed object has been shut down.
     ShutDown,
+    /// A send deadline expired before delivery could be confirmed: the
+    /// delivery supervisor exhausted its retry budget within the
+    /// caller-supplied deadline (§3.5 recovery, bounded in time).
+    DeadlineExceeded,
+    /// The per-circuit breaker is open: consecutive failures tripped it and
+    /// the half-open probe window has not yet produced a success. Carries
+    /// the peer UAdd's raw value.
+    CircuitBroken(u64),
 }
 
 impl fmt::Display for NtcsError {
@@ -94,6 +102,10 @@ impl fmt::Display for NtcsError {
             NtcsError::NotRegistered => f.write_str("module is not registered"),
             NtcsError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
             NtcsError::ShutDown => f.write_str("shut down"),
+            NtcsError::DeadlineExceeded => f.write_str("send deadline exceeded"),
+            NtcsError::CircuitBroken(u) => {
+                write!(f, "circuit breaker open for uadd {u:#x}")
+            }
         }
     }
 }
@@ -108,9 +120,7 @@ impl NtcsError {
     pub fn is_relocation_candidate(&self) -> bool {
         matches!(
             self,
-            NtcsError::AddressFault(_)
-                | NtcsError::ConnectionClosed
-                | NtcsError::ConnectRefused(_)
+            NtcsError::AddressFault(_) | NtcsError::ConnectionClosed | NtcsError::ConnectRefused(_)
         )
     }
 
@@ -136,7 +146,27 @@ impl NtcsError {
             NtcsError::NotRegistered => 15,
             NtcsError::Unsupported(_) => 16,
             NtcsError::ShutDown => 17,
+            NtcsError::DeadlineExceeded => 18,
+            NtcsError::CircuitBroken(_) => 19,
         }
+    }
+
+    /// Whether this condition is *transient*: retrying the same operation
+    /// after a backoff may succeed without any re-resolution. The delivery
+    /// supervisor retries these; everything else is surfaced immediately.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            NtcsError::Timeout
+                | NtcsError::WouldBlock
+                | NtcsError::ConnectionClosed
+                | NtcsError::ConnectRefused(_)
+                | NtcsError::AddressFault(_)
+                | NtcsError::NameServerUnreachable
+                | NtcsError::CircuitBroken(_)
+                | NtcsError::Ipcs(_)
+        )
     }
 }
 
@@ -164,6 +194,8 @@ mod tests {
             NtcsError::NotRegistered,
             NtcsError::Unsupported("scatter-gather".into()),
             NtcsError::ShutDown,
+            NtcsError::DeadlineExceeded,
+            NtcsError::CircuitBroken(0x20),
         ];
         for e in samples {
             let s = e.to_string();
@@ -180,6 +212,16 @@ mod tests {
         assert!(NtcsError::ConnectRefused("x".into()).is_relocation_candidate());
         assert!(!NtcsError::Timeout.is_relocation_candidate());
         assert!(!NtcsError::NameNotFound("x".into()).is_relocation_candidate());
+    }
+
+    #[test]
+    fn transient_predicate() {
+        assert!(NtcsError::Timeout.is_transient());
+        assert!(NtcsError::ConnectionClosed.is_transient());
+        assert!(NtcsError::CircuitBroken(1).is_transient());
+        assert!(!NtcsError::DeadlineExceeded.is_transient());
+        assert!(!NtcsError::NameNotFound("x".into()).is_transient());
+        assert!(!NtcsError::InvalidArgument("x".into()).is_transient());
     }
 
     #[test]
@@ -208,6 +250,8 @@ mod tests {
             NtcsError::NotRegistered,
             NtcsError::Unsupported(String::new()),
             NtcsError::ShutDown,
+            NtcsError::DeadlineExceeded,
+            NtcsError::CircuitBroken(0),
         ];
         let mut codes: Vec<u32> = errors.iter().map(NtcsError::wire_code).collect();
         codes.sort_unstable();

@@ -79,12 +79,13 @@ impl PhysAddr {
             .ok_or_else(|| NtcsError::Protocol(format!("malformed physical address {s:?}")))?;
         match scheme {
             "mbx" => {
-                let (net, path) = rest.split_once(':').ok_or_else(|| {
-                    NtcsError::Protocol(format!("malformed mbx address {s:?}"))
-                })?;
-                let network = NetworkId(net.parse().map_err(|_| {
-                    NtcsError::Protocol(format!("bad network id in {s:?}"))
-                })?);
+                let (net, path) = rest
+                    .split_once(':')
+                    .ok_or_else(|| NtcsError::Protocol(format!("malformed mbx address {s:?}")))?;
+                let network = NetworkId(
+                    net.parse()
+                        .map_err(|_| NtcsError::Protocol(format!("bad network id in {s:?}")))?,
+                );
                 if path.is_empty() {
                     return Err(NtcsError::Protocol("empty mailbox path".into()));
                 }
@@ -105,13 +106,14 @@ impl PhysAddr {
                     .next()
                     .ok_or_else(|| NtcsError::Protocol(format!("malformed tcp address {s:?}")))?;
                 Ok(PhysAddr::Tcp {
-                    network: NetworkId(net.parse().map_err(|_| {
-                        NtcsError::Protocol(format!("bad network id in {s:?}"))
-                    })?),
+                    network: NetworkId(
+                        net.parse()
+                            .map_err(|_| NtcsError::Protocol(format!("bad network id in {s:?}")))?,
+                    ),
                     host: host.to_owned(),
-                    port: port.parse().map_err(|_| {
-                        NtcsError::Protocol(format!("bad port in {s:?}"))
-                    })?,
+                    port: port
+                        .parse()
+                        .map_err(|_| NtcsError::Protocol(format!("bad port in {s:?}")))?,
                 })
             }
             other => Err(NtcsError::Protocol(format!(

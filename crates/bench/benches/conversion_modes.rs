@@ -81,19 +81,15 @@ fn end_to_end_benches(c: &mut Criterion) {
         for words in [64usize, 1024] {
             let msg = Bulk::sized(1, words);
             group.throughput(Throughput::Bytes((words * 4) as u64));
-            group.bench_with_input(
-                BenchmarkId::new(label, words),
-                &msg,
-                |bch, msg| {
-                    bch.iter(|| {
-                        let reply = client
-                            .send_receive(dst, msg, ntcs_bench::T)
-                            .expect("bulk round trip");
-                        let got: Bulk = reply.decode().unwrap();
-                        assert_eq!(got.words.len(), msg.words.len());
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, words), &msg, |bch, msg| {
+                bch.iter(|| {
+                    let reply = client
+                        .send_receive(dst, msg, ntcs_bench::T)
+                        .expect("bulk round trip");
+                    let got: Bulk = reply.decode().unwrap();
+                    assert_eq!(got.words.len(), msg.words.len());
+                });
+            });
         }
         echo.stop();
     }

@@ -41,7 +41,10 @@ fn bench(c: &mut Criterion) {
     // Resolution by plain name, over a warm client (one NS circuit).
     let lab = single_net(2, NetKind::Mbx).unwrap();
     let client = lab.testbed.module(lab.machines[1], "resolver").unwrap();
-    let _svc = lab.testbed.module(lab.machines[0], "lookup-target").unwrap();
+    let _svc = lab
+        .testbed
+        .module(lab.machines[0], "lookup-target")
+        .unwrap();
     group.bench_function("locate_by_name", |b| {
         b.iter(|| {
             client.locate("lookup-target").unwrap();
@@ -56,7 +59,9 @@ fn bench(c: &mut Criterion) {
             .commod(lab.machines[0], &format!("pop{i}"))
             .unwrap();
         let mut attrs = AttrSet::named(&format!("pop{i}")).unwrap();
-        attrs.set("role", if i % 2 == 0 { "search" } else { "index" }).unwrap();
+        attrs
+            .set("role", if i % 2 == 0 { "search" } else { "index" })
+            .unwrap();
         attrs.set("tier", &format!("t{}", i % 4)).unwrap();
         attrs.set("zone", &format!("z{}", i % 8)).unwrap();
         cm.register_attrs(&attrs).unwrap();

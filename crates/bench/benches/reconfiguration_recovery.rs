@@ -22,7 +22,13 @@ fn bench(c: &mut Criterion) {
     let lab = single_net(3, NetKind::Mbx).unwrap();
     let handler: Handler = Box::new(|commod, msg| {
         if let Ok(a) = msg.decode::<Ask>() {
-            let _ = commod.reply(&msg, &Answer { n: a.n, body: String::new() });
+            let _ = commod.reply(
+                &msg,
+                &Answer {
+                    n: a.n,
+                    body: String::new(),
+                },
+            );
         }
     });
     let host = ServiceHost::spawn(&lab.testbed, lab.machines[1], "mover", handler).unwrap();
@@ -31,7 +37,14 @@ fn bench(c: &mut Criterion) {
 
     let exchange = |n: u32| {
         let reply = client
-            .send_receive(dst, &Ask { n, body: String::new() }, ntcs_bench::T)
+            .send_receive(
+                dst,
+                &Ask {
+                    n,
+                    body: String::new(),
+                },
+                ntcs_bench::T,
+            )
             .expect("exchange");
         assert_eq!(reply.decode::<Answer>().unwrap().n, n);
     };
@@ -55,7 +68,11 @@ fn bench(c: &mut Criterion) {
             let mut total = std::time::Duration::ZERO;
             for _ in 0..iters {
                 flip = !flip;
-                let target = if flip { lab.machines[2] } else { lab.machines[1] };
+                let target = if flip {
+                    lab.machines[2]
+                } else {
+                    lab.machines[1]
+                };
                 host.relocate(target).expect("relocate");
                 n += 1;
                 let started = std::time::Instant::now();
@@ -76,7 +93,10 @@ fn bench(c: &mut Criterion) {
             client
                 .send_reliable(
                     dst,
-                    &Ask { n, body: String::new() },
+                    &Ask {
+                        n,
+                        body: String::new(),
+                    },
                     std::time::Duration::from_secs(5),
                 )
                 .expect("reliable send");

@@ -46,8 +46,13 @@ impl EchoServer {
                         match commod.receive(Some(Duration::from_millis(50))) {
                             Ok(msg) => {
                                 if let Ok(a) = msg.decode::<Ask>() {
-                                    let _ = commod
-                                        .reply(&msg, &Answer { n: a.n, body: a.body });
+                                    let _ = commod.reply(
+                                        &msg,
+                                        &Answer {
+                                            n: a.n,
+                                            body: a.body,
+                                        },
+                                    );
                                 } else if let Ok(b) = msg.decode::<Bulk>() {
                                     let _ = commod.reply(&msg, &b);
                                 }
@@ -102,7 +107,14 @@ impl Drop for EchoServer {
 /// Panics on any transport failure (benches should be loud).
 pub fn round_trip(client: &ComMod, dst: UAdd, n: u32) {
     let reply = client
-        .send_receive(dst, &Ask { n, body: String::new() }, T)
+        .send_receive(
+            dst,
+            &Ask {
+                n,
+                body: String::new(),
+            },
+            T,
+        )
         .expect("round trip");
     assert_eq!(
         reply.decode::<Answer>().expect("decode").n,

@@ -88,11 +88,7 @@ impl ArchReport {
             LayerInfo {
                 name: "IPCS",
                 long_name: "native interprocess communication system",
-                detail: format!(
-                    "machine {} ({})",
-                    commod.machine(),
-                    commod.machine_type()
-                ),
+                detail: format!("machine {} ({})", commod.machine(), commod.machine_type()),
             },
         ];
         ArchReport {

@@ -17,8 +17,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use ntcs_addr::{
-    AttrQuery, AttrSet, Generation, MachineId, MachineType, NetworkId, NtcsError, PhysAddr,
-    Result, UAdd,
+    AttrQuery, AttrSet, Generation, MachineId, MachineType, NetworkId, NtcsError, PhysAddr, Result,
+    UAdd,
 };
 use ntcs_ipcs::World;
 use ntcs_naming::NspLayer;
@@ -27,7 +27,7 @@ use ntcs_wire::Message;
 use parking_lot::RwLock;
 
 use crate::arch::ArchReport;
-use crate::hooks::{DrtsHooks, MonitorEvent, MonitorEventKind};
+use crate::hooks::{DeadLetterHook, DrtsHooks, MonitorEvent, MonitorEventKind};
 
 /// A message as delivered to the application, with decode sugar.
 #[derive(Debug, Clone)]
@@ -265,10 +265,7 @@ impl ComMod {
     // ------------------------------------------------------------------
 
     fn stamp(&self) -> i64 {
-        self.hooks
-            .read()
-            .as_ref()
-            .map_or(0, |h| h.timestamp_us())
+        self.hooks.read().as_ref().map_or(0, |h| h.timestamp_us())
     }
 
     fn monitor(&self, kind: MonitorEventKind, peer: UAdd, msg_id: u64, ts: i64) {
@@ -380,13 +377,10 @@ impl ComMod {
     ///
     /// # Errors
     ///
-    /// [`NtcsError::Timeout`] if no acknowledgement arrives in time.
-    pub fn send_reliable<M: Message>(
-        &self,
-        dst: UAdd,
-        msg: &M,
-        timeout: Duration,
-    ) -> Result<u64> {
+    /// [`NtcsError::DeadlineExceeded`] if no acknowledgement arrives within
+    /// `timeout` — in which case the message is also handed to the
+    /// dead-letter hook ([`ComMod::set_dead_letter_hook`]).
+    pub fn send_reliable<M: Message>(&self, dst: UAdd, msg: &M, timeout: Duration) -> Result<u64> {
         Self::check_dst(dst)?;
         let ts = self.stamp();
         let id = self.nucleus.send_reliable_message(dst, msg, timeout)?;
@@ -448,7 +442,12 @@ impl ComMod {
             self.ns_servers.clone(),
         ) {
             Ok(n) => n,
-            Err(error) => return Err(RelocateError { error, commod: self }),
+            Err(error) => {
+                return Err(RelocateError {
+                    error,
+                    commod: self,
+                })
+            }
         };
         match new.nsp.register(&attrs, false, &[], Some(old_uadd)) {
             Ok((uadd, generation)) => {
@@ -456,7 +455,10 @@ impl ComMod {
             }
             Err(error) => {
                 new.shutdown();
-                return Err(RelocateError { error, commod: self });
+                return Err(RelocateError {
+                    error,
+                    commod: self,
+                });
             }
         }
         *new.hooks.write() = self.hooks.read().clone();
@@ -519,6 +521,38 @@ impl ComMod {
     /// break the obvious infinite recursion, §6.1).
     pub fn clear_hooks(&self) {
         *self.hooks.write() = None;
+    }
+
+    /// Installs the dead-letter hook: invoked with each reliable message
+    /// whose recovery is exhausted, alongside a
+    /// [`MonitorEventKind::DeadLetter`] report to the DRTS monitor. The
+    /// DRTS hooks are captured at install time — call
+    /// [`ComMod::set_hooks`] first when using both.
+    pub fn set_dead_letter_hook(&self, hook: Arc<dyn DeadLetterHook>) {
+        let hooks = self.hooks.read().clone();
+        let module_name = self.name_hint.clone();
+        let nucleus = self.nucleus.clone();
+        self.nucleus.set_dead_letter_sink(Arc::new(move |letter| {
+            hook.dead_letter(letter);
+            if let Some(h) = hooks.clone() {
+                let ts = h.timestamp_us();
+                h.monitor_event(MonitorEvent {
+                    module: nucleus.my_uadd(),
+                    module_name: module_name.clone(),
+                    kind: MonitorEventKind::DeadLetter,
+                    peer: letter.dst,
+                    msg_id: letter.msg_id,
+                    timestamp_us: ts,
+                });
+            }
+        }));
+    }
+
+    /// Health of the supervised circuit toward `dst`
+    /// (Healthy → Degraded → Broken).
+    #[must_use]
+    pub fn circuit_health(&self, dst: UAdd) -> ntcs_nucleus::CircuitHealth {
+        self.nucleus.circuit_health(dst)
     }
 
     /// Nucleus counters.

@@ -14,6 +14,7 @@
 //! wiring simply leave the hooks unset.
 
 use ntcs_addr::UAdd;
+pub use ntcs_nucleus::DeadLetter;
 
 /// What happened, for the distributed monitor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -28,6 +29,8 @@ pub enum MonitorEventKind {
     AddressFault,
     /// A transparent reconnection succeeded after a fault.
     Reconnect,
+    /// A reliable message exhausted all recovery and was dead-lettered.
+    DeadLetter,
 }
 
 impl std::fmt::Display for MonitorEventKind {
@@ -38,6 +41,7 @@ impl std::fmt::Display for MonitorEventKind {
             MonitorEventKind::CircuitOpen => "circuit-open",
             MonitorEventKind::AddressFault => "address-fault",
             MonitorEventKind::Reconnect => "reconnect",
+            MonitorEventKind::DeadLetter => "dead-letter",
         })
     }
 }
@@ -72,4 +76,18 @@ pub trait DrtsHooks: Send + Sync {
     /// Reports an event to the distributed monitor (may trigger a monitor
     /// send).
     fn monitor_event(&self, event: MonitorEvent);
+}
+
+/// Receiver for reliable messages whose recovery budget — retries,
+/// reconnects, breaker half-opens, the caller's deadline — is exhausted
+/// (the delivery supervisor's terminal escalation).
+///
+/// Installed via `ComMod::set_dead_letter_hook`; implementations typically
+/// log to the distributed error logger, alert, or re-route. Like
+/// [`DrtsHooks`], an implementation may recurse into the NTCS and must
+/// disable its own hooks to avoid infinite recursion (§6.1).
+pub trait DeadLetterHook: Send + Sync {
+    /// Called once per dead-lettered message, on the sending thread, after
+    /// the send has already returned its error to the application.
+    fn dead_letter(&self, letter: &DeadLetter);
 }

@@ -62,7 +62,7 @@ pub mod testbed;
 
 pub use arch::{ArchReport, LayerInfo};
 pub use commod::{ComMod, Incoming, RelocateError};
-pub use hooks::{DrtsHooks, MonitorEvent, MonitorEventKind};
+pub use hooks::{DeadLetterHook, DrtsHooks, MonitorEvent, MonitorEventKind};
 pub use testbed::{Testbed, TestbedBuilder};
 
 // The vocabulary a downstream user needs, re-exported at the root.
@@ -74,6 +74,7 @@ pub use ntcs_gateway::Gateway;
 pub use ntcs_ipcs::{NetKind, SimClock, World};
 pub use ntcs_naming::{NameServer, NspLayer};
 pub use ntcs_nucleus::{
-    Layer, LayerTrace, Nucleus, NucleusConfig, NucleusMetricsSnapshot, TraceEvent,
+    BreakerConfig, CircuitHealth, DeadLetter, Layer, LayerTrace, Nucleus, NucleusConfig,
+    NucleusMetricsSnapshot, RetryPolicy, TraceEvent,
 };
 pub use ntcs_wire::{ntcs_message, ConvMode, InboundPayload, Message, Packable};

@@ -277,10 +277,7 @@ impl Testbed {
                 peers,
                 // A rebuilt primary catches up from the first replica, if
                 // any (the §7 failure-resiliency path).
-                sync_from: self
-                    .replicas
-                    .first()
-                    .map(|r| (r.uadd(), r.phys_addrs())),
+                sync_from: self.replicas.first().map(|r| (r.uadd(), r.phys_addrs())),
             },
         )?;
         // The new instance listens at new physical addresses; refresh the
@@ -326,10 +323,23 @@ mod tests {
         let t = std::thread::spawn(move || {
             let m = server.receive(T).unwrap();
             let n: Note = m.decode().unwrap();
-            server.reply(&m, &Note { text: n.text.to_uppercase() }).unwrap();
+            server
+                .reply(
+                    &m,
+                    &Note {
+                        text: n.text.to_uppercase(),
+                    },
+                )
+                .unwrap();
         });
         let reply = client
-            .send_receive(dst, &Note { text: "quiet".into() }, T)
+            .send_receive(
+                dst,
+                &Note {
+                    text: "quiet".into(),
+                },
+                T,
+            )
             .unwrap();
         let n: Note = reply.decode().unwrap();
         assert_eq!(n.text, "QUIET");
@@ -380,7 +390,14 @@ mod tests {
         let server = testbed.module(m0, "svc").unwrap();
         let client = testbed.module(m1, "cli").unwrap();
         let dst = client.locate("svc").unwrap();
-        client.send(dst, &Note { text: "warm".into() }).unwrap();
+        client
+            .send(
+                dst,
+                &Note {
+                    text: "warm".into(),
+                },
+            )
+            .unwrap();
         server.receive(T).unwrap();
 
         // §3.3: "once all necessary addresses have been resolved … the Name
@@ -389,7 +406,12 @@ mod tests {
         assert!(testbed.remove_name_server());
         for i in 0..5 {
             client
-                .send(dst, &Note { text: format!("post-ns-{i}") })
+                .send(
+                    dst,
+                    &Note {
+                        text: format!("post-ns-{i}"),
+                    },
+                )
                 .unwrap();
             server.receive(T).unwrap();
         }

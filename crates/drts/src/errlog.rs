@@ -35,8 +35,7 @@ impl ErrorLogService {
     ///
     /// Binding/registration failures.
     pub fn spawn(testbed: &Testbed, machine: MachineId) -> Result<ErrorLogService> {
-        let records: Arc<Mutex<VecDeque<ErrorRecord>>> =
-            Arc::new(Mutex::new(VecDeque::new()));
+        let records: Arc<Mutex<VecDeque<ErrorRecord>>> = Arc::new(Mutex::new(VecDeque::new()));
         let rs = Arc::clone(&records);
         let handler: Handler = Box::new(move |commod, msg| {
             if msg.is::<ErrorRecord>() {
@@ -48,11 +47,12 @@ impl ErrorLogService {
                     r.push_back(rec);
                 }
             } else if msg.is::<ErrLogQuery>() {
-                let Ok(q) = msg.decode::<ErrLogQuery>() else { return };
+                let Ok(q) = msg.decode::<ErrLogQuery>() else {
+                    return;
+                };
                 let r = rs.lock();
                 let take = (q.limit as usize).min(r.len());
-                let records: Vec<ErrorRecord> =
-                    r.iter().skip(r.len() - take).cloned().collect();
+                let records: Vec<ErrorRecord> = r.iter().skip(r.len() - take).cloned().collect();
                 drop(r);
                 let _ = commod.reply(&msg, &ErrLogReply { records });
             }
@@ -81,11 +81,8 @@ impl ErrorLogService {
     ///
     /// Transport failures or timeout.
     pub fn query(commod: &ComMod, log: UAdd, limit: u32) -> Result<Vec<ErrorRecord>> {
-        let reply = commod.send_receive(
-            log,
-            &ErrLogQuery { limit },
-            Some(Duration::from_secs(5)),
-        )?;
+        let reply =
+            commod.send_receive(log, &ErrLogQuery { limit }, Some(Duration::from_secs(5)))?;
         let rep: ErrLogReply = reply.decode()?;
         Ok(rep.records)
     }

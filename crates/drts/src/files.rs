@@ -98,7 +98,9 @@ impl FileService {
         let st = Arc::clone(&store);
         let handler: Handler = Box::new(move |commod, msg| {
             if msg.is::<FsWrite>() {
-                let Ok(req) = msg.decode::<FsWrite>() else { return };
+                let Ok(req) = msg.decode::<FsWrite>() else {
+                    return;
+                };
                 let reply = if req.path.is_empty() {
                     FsAck {
                         ok: false,
@@ -107,7 +109,9 @@ impl FileService {
                 } else {
                     let mut s = st.lock();
                     if req.append {
-                        s.entry(req.path).or_default().extend_from_slice(&req.data.0);
+                        s.entry(req.path)
+                            .or_default()
+                            .extend_from_slice(&req.data.0);
                     } else {
                         s.insert(req.path, req.data.0);
                     }
@@ -118,7 +122,9 @@ impl FileService {
                 };
                 let _ = commod.reply(&msg, &reply);
             } else if msg.is::<FsRead>() {
-                let Ok(req) = msg.decode::<FsRead>() else { return };
+                let Ok(req) = msg.decode::<FsRead>() else {
+                    return;
+                };
                 let s = st.lock();
                 let reply = match s.get(&req.path) {
                     Some(data) => FsData {
@@ -133,7 +139,9 @@ impl FileService {
                 drop(s);
                 let _ = commod.reply(&msg, &reply);
             } else if msg.is::<FsList>() {
-                let Ok(req) = msg.decode::<FsList>() else { return };
+                let Ok(req) = msg.decode::<FsList>() else {
+                    return;
+                };
                 let s = st.lock();
                 let mut paths = Vec::new();
                 let mut sizes = Vec::new();
@@ -147,7 +155,9 @@ impl FileService {
                 drop(s);
                 let _ = commod.reply(&msg, &FsListing { paths, sizes });
             } else if msg.is::<FsDelete>() {
-                let Ok(req) = msg.decode::<FsDelete>() else { return };
+                let Ok(req) = msg.decode::<FsDelete>() else {
+                    return;
+                };
                 let existed = st.lock().remove(&req.path).is_some();
                 let _ = commod.reply(
                     &msg,

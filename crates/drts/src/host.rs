@@ -216,7 +216,9 @@ impl ProcessController {
         let reg2 = Arc::clone(&registry);
         let handler: Handler = Box::new(move |commod, msg| {
             if msg.is::<CtlRelocate>() {
-                let Ok(req) = msg.decode::<CtlRelocate>() else { return };
+                let Ok(req) = msg.decode::<CtlRelocate>() else {
+                    return;
+                };
                 let target = MachineId(req.target_machine);
                 let reg = reg2.lock();
                 let reply = match reg.iter().find(|h| h.name() == req.service) {
@@ -238,7 +240,9 @@ impl ProcessController {
                 drop(reg);
                 let _ = commod.reply(&msg, &reply);
             } else if msg.is::<CtlStop>() {
-                let Ok(req) = msg.decode::<CtlStop>() else { return };
+                let Ok(req) = msg.decode::<CtlStop>() else {
+                    return;
+                };
                 let mut reg = reg2.lock();
                 let found = reg.iter().position(|h| h.name() == req.service);
                 let reply = match found {

@@ -90,7 +90,9 @@ impl MonitorService {
                     st.lock().ingest(rec);
                 }
             } else if msg.is::<MonitorQuery>() {
-                let Ok(q) = msg.decode::<MonitorQuery>() else { return };
+                let Ok(q) = msg.decode::<MonitorQuery>() else {
+                    return;
+                };
                 let s = st.lock().stats(q.module);
                 let _ = commod.reply(
                     &msg,
@@ -128,11 +130,7 @@ impl MonitorService {
     /// # Errors
     ///
     /// Transport failures or timeout.
-    pub fn query(
-        commod: &ComMod,
-        monitor: UAdd,
-        module_filter: u64,
-    ) -> Result<MonitorStats> {
+    pub fn query(commod: &ComMod, monitor: UAdd, module_filter: u64) -> Result<MonitorStats> {
         let reply = commod.send_receive(
             monitor,
             &MonitorQuery {

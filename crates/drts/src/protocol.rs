@@ -120,6 +120,7 @@ pub fn kind_code(kind: ntcs::MonitorEventKind) -> u32 {
         ntcs::MonitorEventKind::CircuitOpen => 3,
         ntcs::MonitorEventKind::AddressFault => 4,
         ntcs::MonitorEventKind::Reconnect => 5,
+        ntcs::MonitorEventKind::DeadLetter => 6,
     }
 }
 
@@ -146,7 +147,10 @@ mod tests {
             src_machine: MachineType::Vax,
             bytes,
         };
-        assert_eq!(inbound.decode::<MonitorRecord>(MachineType::Sun).unwrap(), rec);
+        assert_eq!(
+            inbound.decode::<MonitorRecord>(MachineType::Sun).unwrap(),
+            rec
+        );
     }
 
     #[test]
@@ -157,6 +161,7 @@ mod tests {
             kind_code(ntcs::MonitorEventKind::CircuitOpen),
             kind_code(ntcs::MonitorEventKind::AddressFault),
             kind_code(ntcs::MonitorEventKind::Reconnect),
+            kind_code(ntcs::MonitorEventKind::DeadLetter),
         ];
         let mut s = codes.to_vec();
         s.sort_unstable();
@@ -174,9 +179,7 @@ mod tests {
             detail: "circuit closed".into(),
             timestamp_us: 5,
         };
-        let q = ErrLogReply {
-            records: vec![rec],
-        };
+        let q = ErrLogReply { records: vec![rec] };
         let bytes = encode_payload(&q, ConvMode::Image, MachineType::Sun);
         let inbound = InboundPayload {
             type_id: ErrLogReply::TYPE_ID,

@@ -147,7 +147,9 @@ fn process_controller_relocates_service_over_the_ntcs() {
 
     let operator = lab.testbed.module(lab.machines[2], "operator").unwrap();
     let worker_addr = operator.locate("worker").unwrap();
-    let reply = operator.send_receive(worker_addr, &Work { n: 3 }, T).unwrap();
+    let reply = operator
+        .send_receive(worker_addr, &Work { n: 3 }, T)
+        .unwrap();
     assert_eq!(reply.decode::<Done>().unwrap().n, 30);
 
     // Ask the controller — over the NTCS — to move the worker to machine 2.
@@ -165,7 +167,9 @@ fn process_controller_relocates_service_over_the_ntcs() {
     assert!(ctl_reply.ok, "{}", ctl_reply.detail);
 
     // The operator keeps using the OLD address; transparency does the rest.
-    let reply = operator.send_receive(worker_addr, &Work { n: 4 }, T).unwrap();
+    let reply = operator
+        .send_receive(worker_addr, &Work { n: 4 }, T)
+        .unwrap();
     assert_eq!(reply.decode::<Done>().unwrap().n, 40);
     assert!(operator.metrics().reconnects >= 1);
 
@@ -203,7 +207,10 @@ fn error_log_collects_reports() {
         if errlog.tail(10).len() >= 3 {
             break;
         }
-        assert!(std::time::Instant::now() < deadline, "records never arrived");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "records never arrived"
+        );
         std::thread::sleep(Duration::from_millis(30));
     }
     let remote = ErrorLogService::query(&module, log_addr, 2).unwrap();

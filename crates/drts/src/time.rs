@@ -13,7 +13,7 @@ use std::time::Duration;
 use ntcs::{ComMod, MachineId, Result, SimClock, Testbed, UAdd};
 
 use crate::host::{Handler, ServiceHost};
-use crate::protocol::{TimeRequest, TimeReply};
+use crate::protocol::{TimeReply, TimeRequest};
 
 /// The reference time module.
 #[derive(Debug)]
@@ -36,7 +36,9 @@ impl TimeService {
         let clock = testbed.world().clock(machine)?;
         let handler: Handler = Box::new(move |commod, msg| {
             if msg.is::<TimeRequest>() {
-                let Ok(req) = msg.decode::<TimeRequest>() else { return };
+                let Ok(req) = msg.decode::<TimeRequest>() else {
+                    return;
+                };
                 let _ = commod.reply(
                     &msg,
                     &TimeReply {
@@ -68,12 +70,7 @@ impl TimeService {
     /// # Errors
     ///
     /// Transport failures or timeout.
-    pub fn sync(
-        commod: &ComMod,
-        clock: &SimClock,
-        server: UAdd,
-        rounds: u32,
-    ) -> Result<SyncStats> {
+    pub fn sync(commod: &ComMod, clock: &SimClock, server: UAdd, rounds: u32) -> Result<SyncStats> {
         let mut best_rtt = i64::MAX;
         let mut best_delta = 0i64;
         for _ in 0..rounds.max(1) {

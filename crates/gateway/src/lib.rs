@@ -77,8 +77,22 @@ impl GatewayHandler for Splicer {
         };
         // Each ComMod is bound with an ND-Layer designed for one of the
         // networks; the gateway itself never sees network-dependent issues
-        // (§4.1) — it just asks its ND-Layer to dial the next hop.
-        let next = match self.nucleus.nd().open(&next_addr, 1) {
+        // (§4.1) — it just asks its ND-Layer to dial the next hop, under the
+        // same supervised retry policy every other layer uses.
+        let metrics = self.nucleus.metrics();
+        let dial =
+            self.nucleus
+                .nd()
+                .open_with_policy(&next_addr, &self.nucleus.config().retry, |n, e| {
+                    metrics.bump(&metrics.retry_attempts);
+                    self.nucleus.trace().record(
+                        self.nucleus.gauge().depth(),
+                        ntcs_nucleus::Layer::Nd,
+                        "retry",
+                        format!("splice hop {next_addr} retry {n}: {e}"),
+                    );
+                });
+        let next = match dial {
             Ok(l) => l,
             Err(e) => {
                 self.refuse(&lvc, &open, e);
@@ -94,7 +108,9 @@ impl GatewayHandler for Splicer {
             next.close();
             return;
         }
-        self.metrics.circuits_spliced.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .circuits_spliced
+            .fetch_add(1, Ordering::Relaxed);
         // Splice: two relay threads, raw pass-through.
         spawn_relay(lvc.clone(), next.clone(), Arc::clone(&self.metrics));
         spawn_relay(next, lvc, Arc::clone(&self.metrics));
@@ -325,8 +341,8 @@ mod tests {
         nets: &[NetworkId],
     ) -> (Nucleus, Arc<NspLayer>, UAdd) {
         let m = lab.world.add_machine(mt, name, nets).unwrap();
-        let cfg = NucleusConfig::new(m, name)
-            .with_well_known(UAdd::NAME_SERVER, lab.ns_phys.clone());
+        let cfg =
+            NucleusConfig::new(m, name).with_well_known(UAdd::NAME_SERVER, lab.ns_phys.clone());
         let nucleus = Nucleus::bind(&lab.world, cfg).unwrap();
         let nsp = NspLayer::new(nucleus.clone(), vec![UAdd::NAME_SERVER]);
         nucleus.set_resolver(nsp.clone());
@@ -353,8 +369,15 @@ mod tests {
 
         let found = nsp_a.locate(&AttrQuery::by_name("beta").unwrap()).unwrap();
         assert_eq!(found, ub);
-        na.send_message(ub, &Packet { seq: 1, body: "across".into() }, false)
-            .unwrap();
+        na.send_message(
+            ub,
+            &Packet {
+                seq: 1,
+                body: "across".into(),
+            },
+            false,
+        )
+        .unwrap();
         let m = nb.recv(T).unwrap();
         let p: Packet = m.payload.decode(nb.machine_type()).unwrap();
         assert_eq!(p.body, "across");
@@ -388,7 +411,14 @@ mod tests {
             })
         };
         let reply = na
-            .request(ub, &Packet { seq: 10, body: "ping".into() }, T)
+            .request(
+                ub,
+                &Packet {
+                    seq: 10,
+                    body: "ping".into(),
+                },
+                T,
+            )
             .unwrap();
         let p: Packet = reply.payload.decode(na.machine_type()).unwrap();
         assert_eq!(p.seq, 11);
@@ -406,8 +436,15 @@ mod tests {
         let (na, nsp_a, _) = module(&lab, MachineType::Vax, "v1", &[lab.nets[0]]);
         let (nb, _, _) = module(&lab, MachineType::Vax, "v2", &[lab.nets[1]]);
         let ub = nsp_a.locate(&AttrQuery::by_name("v2").unwrap()).unwrap();
-        na.send_message(ub, &Packet { seq: 0x01020304, body: "e2e".into() }, false)
-            .unwrap();
+        na.send_message(
+            ub,
+            &Packet {
+                seq: 0x01020304,
+                body: "e2e".into(),
+            },
+            false,
+        )
+        .unwrap();
         let m = nb.recv(T).unwrap();
         assert_eq!(m.payload.mode, ntcs_wire::ConvMode::Image);
         let p: Packet = m.payload.decode(nb.machine_type()).unwrap();
@@ -420,9 +457,7 @@ mod tests {
         let (na, nsp_a, _) = module(&lab, MachineType::Vax, "lonely", &[lab.nets[0]]);
         let (_nb, _, ub) = module(&lab, MachineType::Sun, "island", &[lab.nets[1]]);
         let _ = nsp_a;
-        let err = na
-            .send_message(ub, &Packet::default(), false)
-            .unwrap_err();
+        let err = na.send_message(ub, &Packet::default(), false).unwrap_err();
         assert!(matches!(err, NtcsError::NoRoute { .. }), "{err}");
     }
 
@@ -433,18 +468,38 @@ mod tests {
         let (na, nsp_a, _) = module(&lab, MachineType::Vax, "src", &[lab.nets[0]]);
         let (nb, _, _) = module(&lab, MachineType::Sun, "dst", &[lab.nets[1]]);
         let ub = nsp_a.locate(&AttrQuery::by_name("dst").unwrap()).unwrap();
-        na.send_message(ub, &Packet { seq: 1, body: "up".into() }, false)
-            .unwrap();
+        na.send_message(
+            ub,
+            &Packet {
+                seq: 1,
+                body: "up".into(),
+            },
+            false,
+        )
+        .unwrap();
         nb.recv(T).unwrap();
         // Kill the destination: "module death is detected by the ND-layer in
         // any connected module … This process continues until the originating
         // module is eventually reached" (§4.3).
-        let dst_machine = lab.world.machines().iter().find(|m| m.name == "dst").unwrap().id;
+        let dst_machine = lab
+            .world
+            .machines()
+            .iter()
+            .find(|m| m.name == "dst")
+            .unwrap()
+            .id;
         lab.world.crash(dst_machine);
         std::thread::sleep(Duration::from_millis(700));
         assert!(gw.metrics().teardowns >= 1);
         let err = na
-            .send_message(ub, &Packet { seq: 2, body: "down".into() }, false)
+            .send_message(
+                ub,
+                &Packet {
+                    seq: 2,
+                    body: "down".into(),
+                },
+                false,
+            )
             .unwrap_err();
         assert!(
             err.is_relocation_candidate() || matches!(err, NtcsError::NoForwardingAddress(_)),
@@ -469,8 +524,15 @@ mod tests {
         let (na, nsp_a, _) = module(&lab, MachineType::Vax, "t-src", &[lab.nets[0]]);
         let (nb, _, _) = module(&lab, MachineType::Sun, "t-dst", &[lab.nets[1]]);
         let ub = nsp_a.locate(&AttrQuery::by_name("t-dst").unwrap()).unwrap();
-        na.send_message(ub, &Packet { seq: 5, body: "tcp hop".into() }, false)
-            .unwrap();
+        na.send_message(
+            ub,
+            &Packet {
+                seq: 5,
+                body: "tcp hop".into(),
+            },
+            false,
+        )
+        .unwrap();
         let m = nb.recv(T).unwrap();
         let p: Packet = m.payload.decode(nb.machine_type()).unwrap();
         assert_eq!(p.body, "tcp hop");

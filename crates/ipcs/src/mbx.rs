@@ -30,8 +30,11 @@ use crate::channel::{IpcsChannel, IpcsListener};
 pub struct LinkConditions {
     /// One-way latency applied to every frame, in microseconds.
     pub latency_us: AtomicU64,
-    /// Probability of silently dropping a frame, in thousandths.
-    pub drop_millis: AtomicU32,
+    /// Probability of silently dropping a frame, in per-mille (0–1000 ‰).
+    pub drop_permille: AtomicU32,
+    /// Deterministic loss injection: this many upcoming frames are dropped
+    /// unconditionally, before the probabilistic check.
+    pub drop_next: AtomicU32,
     rng: Mutex<SmallRng>,
 }
 
@@ -41,13 +44,29 @@ impl LinkConditions {
     pub fn new(seed: u64) -> Self {
         LinkConditions {
             latency_us: AtomicU64::new(0),
-            drop_millis: AtomicU32::new(0),
+            drop_permille: AtomicU32::new(0),
+            drop_next: AtomicU32::new(0),
             rng: Mutex::new(SmallRng::seed_from_u64(seed)),
         }
     }
 
-    fn should_drop(&self) -> bool {
-        let d = self.drop_millis.load(Ordering::Relaxed);
+    /// Whether the frame about to be sent should vanish: consumes one armed
+    /// deterministic drop if any, else rolls against the loss probability.
+    pub(crate) fn should_drop(&self) -> bool {
+        loop {
+            let n = self.drop_next.load(Ordering::Relaxed);
+            if n == 0 {
+                break;
+            }
+            if self
+                .drop_next
+                .compare_exchange(n, n - 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return true;
+            }
+        }
+        let d = self.drop_permille.load(Ordering::Relaxed);
         d != 0 && self.rng.lock().gen_range(0..1000) < d
     }
 
@@ -220,20 +239,14 @@ impl IpcsListener for MbxListener {
                 .accept_rx
                 .try_recv()
                 .map_err(|_| NtcsError::WouldBlock)?,
-            Some(t) => self
-                .accept_rx
-                .recv_timeout(t)
-                .map_err(|_| {
-                    if self.closed.load(Ordering::SeqCst) {
-                        NtcsError::ShutDown
-                    } else {
-                        NtcsError::Timeout
-                    }
-                })?,
-            None => self
-                .accept_rx
-                .recv()
-                .map_err(|_| NtcsError::ShutDown)?,
+            Some(t) => self.accept_rx.recv_timeout(t).map_err(|_| {
+                if self.closed.load(Ordering::SeqCst) {
+                    NtcsError::ShutDown
+                } else {
+                    NtcsError::Timeout
+                }
+            })?,
+            None => self.accept_rx.recv().map_err(|_| NtcsError::ShutDown)?,
         };
         Ok(Box::new(pending.channel))
     }
@@ -443,10 +456,16 @@ mod tests {
     #[test]
     fn duplicate_mailbox_rejected() {
         let ipcs = MbxIpcs::new();
-        let _l = ipcs.create_mailbox(NetworkId(1), "/m", MachineId(0)).unwrap();
-        assert!(ipcs.create_mailbox(NetworkId(1), "/m", MachineId(0)).is_err());
+        let _l = ipcs
+            .create_mailbox(NetworkId(1), "/m", MachineId(0))
+            .unwrap();
+        assert!(ipcs
+            .create_mailbox(NetworkId(1), "/m", MachineId(0))
+            .is_err());
         // Same path on a different network is a different mailbox.
-        assert!(ipcs.create_mailbox(NetworkId(2), "/m", MachineId(0)).is_ok());
+        assert!(ipcs
+            .create_mailbox(NetworkId(2), "/m", MachineId(0))
+            .is_ok());
     }
 
     #[test]
@@ -498,7 +517,9 @@ mod tests {
     #[test]
     fn listener_close_removes_mailbox_and_refuses() {
         let ipcs = MbxIpcs::new();
-        let l = ipcs.create_mailbox(NetworkId(1), "/m", MachineId(0)).unwrap();
+        let l = ipcs
+            .create_mailbox(NetworkId(1), "/m", MachineId(0))
+            .unwrap();
         assert!(ipcs.mailbox_exists(NetworkId(1), "/m"));
         l.close();
         assert!(!ipcs.mailbox_exists(NetworkId(1), "/m"));
@@ -514,7 +535,9 @@ mod tests {
     #[test]
     fn zero_timeout_accept_polls() {
         let ipcs = MbxIpcs::new();
-        let l = ipcs.create_mailbox(NetworkId(1), "/m", MachineId(0)).unwrap();
+        let l = ipcs
+            .create_mailbox(NetworkId(1), "/m", MachineId(0))
+            .unwrap();
         assert!(matches!(
             l.accept(Some(Duration::ZERO)),
             Err(NtcsError::WouldBlock)
@@ -543,7 +566,7 @@ mod tests {
         let ipcs = MbxIpcs::new();
         let net = NetworkId(1);
         let conditions = cond();
-        conditions.drop_millis.store(1000, Ordering::Relaxed);
+        conditions.drop_permille.store(1000, Ordering::Relaxed);
         let listener = ipcs.create_mailbox(net, "/lossy", MachineId(2)).unwrap();
         let client = ipcs
             .connect(net, "/lossy", MachineId(1), Arc::clone(&conditions))
@@ -578,7 +601,7 @@ mod tests {
             s.send(m).unwrap();
         }
         for j in joins {
-            j.join().unwrap().len();
+            let _ = j.join().unwrap().len();
         }
     }
 }

@@ -51,7 +51,12 @@ fn put_u32(buf: &mut Vec<u8>, v: u32) {
 fn read_u32_exact(stream: &mut TcpStream) -> std::io::Result<u32> {
     let mut b = [0u8; 4];
     stream.read_exact(&mut b)?;
-    Ok((u32::from(b[0]) << 24) | (u32::from(b[1]) << 16) | (u32::from(b[2]) << 8) | u32::from(b[3]))
+    Ok(
+        (u32::from(b[0]) << 24)
+            | (u32::from(b[1]) << 16)
+            | (u32::from(b[2]) << 8)
+            | u32::from(b[3]),
+    )
 }
 
 /// Shared state of one TCP channel endpoint, kept so the [`crate::World`]
@@ -146,14 +151,9 @@ impl IpcsChannel for TcpChannel {
                 frame.len()
             )));
         }
-        if self.conditions.drop_millis.load(Ordering::Relaxed) != 0 {
-            // LinkConditions::should_drop is private to mbx; replicate the
-            // semantics here through the public fields.
-            use rand::Rng;
-            let d = self.conditions.drop_millis.load(Ordering::Relaxed);
-            if rand::thread_rng().gen_range(0..1000) < d {
-                return Ok(());
-            }
+        if self.conditions.should_drop() {
+            // Silent loss, as on a flaky wire.
+            return Ok(());
         }
         let mut msg = Vec::with_capacity(4 + frame.len());
         put_u32(&mut msg, frame.len() as u32);
@@ -395,8 +395,8 @@ pub fn tcp_connect(
     let addr: SocketAddr = format!("{host}:{port}")
         .parse()
         .map_err(|_| NtcsError::InvalidArgument(format!("bad tcp address {host}:{port}")))?;
-    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))
-        .map_err(|e| io_err(&e))?;
+    let mut stream =
+        TcpStream::connect_timeout(&addr, Duration::from_secs(2)).map_err(|e| io_err(&e))?;
     let mut hello = Vec::new();
     put_u32(&mut hello, HANDSHAKE_MAGIC);
     put_u32(&mut hello, network.0);
@@ -428,16 +428,21 @@ mod tests {
     }
 
     fn pair() -> (TcpChannel, Box<dyn IpcsChannel>) {
-        let listener =
-            TcpIpcsListener::bind(NetworkId(1), MachineId(0), cond()).unwrap();
+        let listener = TcpIpcsListener::bind(NetworkId(1), MachineId(0), cond()).unwrap();
         let port = listener.port().unwrap();
         let t = std::thread::spawn(move || {
             let c = listener.accept(Some(Duration::from_secs(5))).unwrap();
             (listener, c)
         });
-        let client =
-            tcp_connect("127.0.0.1", port, NetworkId(1), MachineId(1), MachineId(0), cond())
-                .unwrap();
+        let client = tcp_connect(
+            "127.0.0.1",
+            port,
+            NetworkId(1),
+            MachineId(1),
+            MachineId(0),
+            cond(),
+        )
+        .unwrap();
         let (_listener, server) = t.join().unwrap();
         (client, server)
     }
@@ -467,16 +472,21 @@ mod tests {
 
     #[test]
     fn wrong_logical_network_refused() {
-        let listener =
-            TcpIpcsListener::bind(NetworkId(1), MachineId(0), cond()).unwrap();
+        let listener = TcpIpcsListener::bind(NetworkId(1), MachineId(0), cond()).unwrap();
         let port = listener.port().unwrap();
         let t = std::thread::spawn(move || {
             // Listener keeps running after refusing; give it a short window.
             let _ = listener.accept(Some(Duration::from_millis(300)));
         });
-        let err =
-            tcp_connect("127.0.0.1", port, NetworkId(2), MachineId(1), MachineId(0), cond())
-                .unwrap_err();
+        let err = tcp_connect(
+            "127.0.0.1",
+            port,
+            NetworkId(2),
+            MachineId(1),
+            MachineId(0),
+            cond(),
+        )
+        .unwrap_err();
         assert!(matches!(err, NtcsError::ConnectRefused(_)), "{err}");
         t.join().unwrap();
     }
@@ -487,9 +497,15 @@ mod tests {
         let l = TcpListener::bind(("127.0.0.1", 0)).unwrap();
         let port = l.local_addr().unwrap().port();
         drop(l);
-        let err =
-            tcp_connect("127.0.0.1", port, NetworkId(1), MachineId(1), MachineId(0), cond())
-                .unwrap_err();
+        let err = tcp_connect(
+            "127.0.0.1",
+            port,
+            NetworkId(1),
+            MachineId(1),
+            MachineId(0),
+            cond(),
+        )
+        .unwrap_err();
         assert!(
             matches!(err, NtcsError::ConnectRefused(_) | NtcsError::Ipcs(_)),
             "{err}"
@@ -536,7 +552,9 @@ mod tests {
     fn many_frames_in_order() {
         let (client, server) = pair();
         for i in 0..200u32 {
-            client.send(Bytes::from(i.to_string().into_bytes())).unwrap();
+            client
+                .send(Bytes::from(i.to_string().into_bytes()))
+                .unwrap();
         }
         for i in 0..200u32 {
             let f = server.recv(Some(Duration::from_secs(2))).unwrap();

@@ -201,9 +201,7 @@ impl World {
             let nets = self.inner.networks.read();
             for n in networks {
                 if n.0 as usize >= nets.len() {
-                    return Err(NtcsError::InvalidArgument(format!(
-                        "unknown network {n}"
-                    )));
+                    return Err(NtcsError::InvalidArgument(format!("unknown network {n}")));
                 }
             }
         }
@@ -393,10 +391,7 @@ impl World {
         let (info, conditions) = self.network_state(network)?;
         match (info.kind, addr) {
             (NetKind::Mbx, PhysAddr::Mbx { path, .. }) => {
-                let chan = self
-                    .inner
-                    .mbx
-                    .connect(network, path, from, conditions)?;
+                let chan = self.inner.mbx.connect(network, path, from, conditions)?;
                 let (a, b) = chan.machines();
                 if self.is_partitioned(a, b) {
                     chan.close();
@@ -414,12 +409,8 @@ impl World {
                 Ok(Box::new(chan))
             }
             (NetKind::Tcp, PhysAddr::Tcp { host, port, .. }) => {
-                let (owner, owner_net) = *self
-                    .inner
-                    .tcp_ports
-                    .read()
-                    .get(port)
-                    .ok_or_else(|| {
+                let (owner, owner_net) =
+                    *self.inner.tcp_ports.read().get(port).ok_or_else(|| {
                         NtcsError::ConnectRefused(format!("nothing listening on port {port}"))
                     })?;
                 if owner_net != network {
@@ -542,14 +533,42 @@ impl World {
         Ok(())
     }
 
-    /// Sets the frame-drop probability (in thousandths) for a network.
+    /// Sets the frame-drop probability for a network, in per-mille
+    /// (0–1000 ‰; values above 1000 clamp to total loss).
     ///
     /// # Errors
     ///
     /// Returns [`NtcsError::InvalidArgument`] for an unknown network.
-    pub fn set_drop_millis(&self, n: NetworkId, millis: u32) -> Result<()> {
+    pub fn set_drop_permille(&self, n: NetworkId, permille: u32) -> Result<()> {
         let (_, c) = self.network_state(n)?;
-        c.drop_millis.store(millis.min(1000), Ordering::Relaxed);
+        c.drop_permille.store(permille.min(1000), Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Deprecated alias for [`World::set_drop_permille`]. The historical
+    /// name said "millis", but the value was always a per-mille drop
+    /// *probability*, never milliseconds.
+    ///
+    /// # Errors
+    ///
+    /// As for [`World::set_drop_permille`].
+    #[deprecated(note = "the value is a per-mille probability, not milliseconds; \
+                         use `set_drop_permille`")]
+    pub fn set_drop_millis(&self, n: NetworkId, millis: u32) -> Result<()> {
+        self.set_drop_permille(n, millis)
+    }
+
+    /// Arms deterministic loss on a network: the next `count` frames sent on
+    /// it (any link, either direction) vanish silently, bypassing the
+    /// probabilistic roll. Chaos/test hook for dropping one specific frame —
+    /// e.g. exactly the delivery acknowledgement of a reliable send.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NtcsError::InvalidArgument`] for an unknown network.
+    pub fn drop_next_frames(&self, n: NetworkId, count: u32) -> Result<()> {
+        let (_, c) = self.network_state(n)?;
+        c.drop_next.store(count, Ordering::Relaxed);
         Ok(())
     }
 }
@@ -715,5 +734,49 @@ mod tests {
         w.crash(b);
         let err = w.connect(a, &addr).unwrap_err();
         assert!(matches!(err, NtcsError::ConnectRefused(_)));
+    }
+
+    #[test]
+    fn deprecated_drop_millis_alias_delegates() {
+        let (w, a, b, net) = two_machine_world(NetKind::Mbx);
+        #[allow(deprecated)]
+        w.set_drop_millis(net, 1000).unwrap();
+        // Total loss: the frame vanishes, the channel stays healthy.
+        let (addr, listener) = w.create_listener(b, net, "svc").unwrap();
+        let chan = w.connect(a, &addr).unwrap();
+        let server = listener.accept(Some(Duration::from_secs(2))).unwrap();
+        chan.send(Bytes::from_static(b"gone")).unwrap();
+        assert!(matches!(
+            server.recv(Some(Duration::from_millis(50))),
+            Err(NtcsError::Timeout)
+        ));
+        w.set_drop_permille(net, 0).unwrap();
+        chan.send(Bytes::from_static(b"through")).unwrap();
+        assert_eq!(
+            server.recv(Some(Duration::from_secs(2))).unwrap(),
+            Bytes::from_static(b"through")
+        );
+    }
+
+    #[test]
+    fn drop_next_frames_is_deterministic_and_self_disarming() {
+        let (w, a, b, net) = two_machine_world(NetKind::Mbx);
+        let (addr, listener) = w.create_listener(b, net, "svc").unwrap();
+        let chan = w.connect(a, &addr).unwrap();
+        let server = listener.accept(Some(Duration::from_secs(2))).unwrap();
+        w.drop_next_frames(net, 2).unwrap();
+        chan.send(Bytes::from_static(b"one")).unwrap();
+        chan.send(Bytes::from_static(b"two")).unwrap();
+        chan.send(Bytes::from_static(b"three")).unwrap();
+        // Exactly the first two vanished; the hook disarmed itself.
+        assert_eq!(
+            server.recv(Some(Duration::from_secs(2))).unwrap(),
+            Bytes::from_static(b"three")
+        );
+        assert!(matches!(
+            server.recv(Some(Duration::from_millis(50))),
+            Err(NtcsError::Timeout)
+        ));
+        assert!(w.drop_next_frames(NetworkId(77), 1).is_err());
     }
 }

@@ -218,7 +218,11 @@ impl NameDb {
     ///
     /// [`NtcsError::UnknownAddress`] if `dst` is unknown;
     /// [`NtcsError::NoRoute`] if the networks are not connected.
-    pub fn route(&self, from: &[NetworkId], dst: UAdd) -> Result<(Vec<Hop>, PhysAddr, MachineType)> {
+    pub fn route(
+        &self,
+        from: &[NetworkId],
+        dst: UAdd,
+    ) -> Result<(Vec<Hop>, PhysAddr, MachineType)> {
         let rec = self
             .records
             .get(&dst)
@@ -281,10 +285,7 @@ impl NameDb {
                 .iter()
                 .find(|a| a.network() == parent)
                 .ok_or_else(|| {
-                    NtcsError::Protocol(format!(
-                        "gateway {} has no address on {parent}",
-                        gw.uadd
-                    ))
+                    NtcsError::Protocol(format!("gateway {} has no address on {parent}", gw.uadd))
                 })?
                 .clone();
             hops_rev.push(Hop {
@@ -335,10 +336,7 @@ mod tests {
             None,
         );
         assert_eq!(g, Generation(0));
-        assert_eq!(
-            d.resolve(&AttrQuery::by_name("index").unwrap()),
-            Some(u)
-        );
+        assert_eq!(d.resolve(&AttrQuery::by_name("index").unwrap()), Some(u));
         let rec = d.lookup(u).unwrap();
         assert!(rec.alive);
         assert_eq!(rec.machine_type, MachineType::Vax);
@@ -354,8 +352,22 @@ mod tests {
         let mut a2 = named("search-2");
         a2.set("role", "search").unwrap();
         a2.set("shard", "2").unwrap();
-        let (u1, _) = d.register(a1, MachineType::Vax, vec![mbx(0, "/1")], false, vec![], None);
-        let (u2, _) = d.register(a2, MachineType::Sun, vec![mbx(0, "/2")], false, vec![], None);
+        let (u1, _) = d.register(
+            a1,
+            MachineType::Vax,
+            vec![mbx(0, "/1")],
+            false,
+            vec![],
+            None,
+        );
+        let (u2, _) = d.register(
+            a2,
+            MachineType::Sun,
+            vec![mbx(0, "/2")],
+            false,
+            vec![],
+            None,
+        );
         let q = AttrQuery::any().and_equals("role", "search").unwrap();
         let all = d.list(&q);
         assert_eq!(all.len(), 2);

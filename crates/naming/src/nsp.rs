@@ -11,11 +11,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use ntcs_addr::{
-    AttrQuery, AttrSet, Generation, MachineType, NetworkId, NtcsError, Result, UAdd,
-};
-use ntcs_nucleus::{NameResolver, Nucleus, ResolvedModule, RouteInfo};
+use ntcs_addr::{AttrQuery, AttrSet, Generation, MachineType, NetworkId, NtcsError, Result, UAdd};
 use ntcs_nucleus::proto::Hop;
+use ntcs_nucleus::{Layer, NameResolver, Nucleus, ResolvedModule, RouteInfo};
 use ntcs_wire::Message;
 
 use crate::protocol::{
@@ -44,6 +42,7 @@ fn is_transport(e: &NtcsError) -> bool {
             | NtcsError::AddressFault(_)
             | NtcsError::Ipcs(_)
             | NtcsError::NameServerUnreachable
+            | NtcsError::CircuitBroken(_)
     )
 }
 
@@ -55,10 +54,14 @@ impl NspLayer {
     /// table (§3.4).
     #[must_use]
     pub fn new(nucleus: Nucleus, servers: Vec<UAdd>) -> Arc<Self> {
+        // Per-attempt budget, kept well under `ns_retry.deadline` so one
+        // stalled replica cannot eat the whole supervision budget before
+        // the sweep reaches the next one (§7).
+        let timeout = nucleus.config().ns_request_timeout;
         Arc::new(NspLayer {
             nucleus,
             servers,
-            timeout: Duration::from_secs(5),
+            timeout,
             comms: AtomicU64::new(0),
         })
     }
@@ -75,7 +78,30 @@ impl NspLayer {
         &self.nucleus
     }
 
+    /// One exchange with the naming service, supervised: each attempt
+    /// sweeps the replica list in preference order (§7 failover); when a
+    /// whole sweep fails on transport, the `ns_retry` policy backs off and
+    /// re-sweeps until its attempt or deadline budget runs out.
     fn rpc<Req: Message, Rep: Message>(&self, req: &Req) -> Result<Rep> {
+        let policy = self.nucleus.config().ns_retry.clone();
+        let metrics = self.nucleus.metrics();
+        policy.run(
+            |n, e| {
+                metrics.bump(&metrics.retry_attempts);
+                self.nucleus.trace().record(
+                    self.nucleus.gauge().depth(),
+                    Layer::Nsp,
+                    "ns-retry",
+                    format!("replica sweep {n} failed: {e}"),
+                );
+            },
+            |_| self.sweep(req),
+        )
+    }
+
+    /// One pass over the replica list: returns the first replica's answer,
+    /// failing over on transport errors.
+    fn sweep<Req: Message, Rep: Message>(&self, req: &Req) -> Result<Rep> {
         let mut last = NtcsError::NameServerUnreachable;
         for &server in &self.servers {
             match self.nucleus.request(server, req, Some(self.timeout)) {
@@ -263,8 +289,12 @@ mod tests {
     fn lab() -> Lab {
         let world = World::new();
         let net = world.add_network(NetKind::Mbx, "lab");
-        let m0 = world.add_machine(MachineType::Sun, "ns-host", &[net]).unwrap();
-        let _m1 = world.add_machine(MachineType::Vax, "host-a", &[net]).unwrap();
+        let m0 = world
+            .add_machine(MachineType::Sun, "ns-host", &[net])
+            .unwrap();
+        let _m1 = world
+            .add_machine(MachineType::Vax, "host-a", &[net])
+            .unwrap();
         let _m2 = world
             .add_machine(MachineType::Apollo, "host-b", &[net])
             .unwrap();
@@ -314,15 +344,25 @@ mod tests {
         let lab = lab();
         let (na, nsp_a) = module(&lab, 1, "alpha");
         let (nb, nsp_b) = module(&lab, 2, "beta");
-        nsp_a.register(&AttrSet::named("alpha").unwrap(), false, &[], None).unwrap();
-        nsp_b.register(&AttrSet::named("beta").unwrap(), false, &[], None).unwrap();
+        nsp_a
+            .register(&AttrSet::named("alpha").unwrap(), false, &[], None)
+            .unwrap();
+        nsp_b
+            .register(&AttrSet::named("beta").unwrap(), false, &[], None)
+            .unwrap();
 
         // Alpha locates beta by name, then sends — the send recursively uses
         // the NSP layer for the UAdd→phys mapping (§6.1's scenario, minus
         // DRTS).
         let ub = nsp_a.locate(&AttrQuery::by_name("beta").unwrap()).unwrap();
-        na.send_message(ub, &AppMsg { body: "hello".into() }, false)
-            .unwrap();
+        na.send_message(
+            ub,
+            &AppMsg {
+                body: "hello".into(),
+            },
+            false,
+        )
+        .unwrap();
         let m = nb.recv(T).unwrap();
         let got: AppMsg = m.payload.decode(nb.machine_type()).unwrap();
         assert_eq!(got.body, "hello");
@@ -363,9 +403,7 @@ mod tests {
             .register(&AttrSet::named("gone").unwrap(), false, &[], None)
             .unwrap();
         assert!(nsp.deregister(u).unwrap());
-        assert!(nsp
-            .locate(&AttrQuery::by_name("gone").unwrap())
-            .is_err());
+        assert!(nsp.locate(&AttrQuery::by_name("gone").unwrap()).is_err());
         // lookup of a dead module reports an address fault.
         let err = nsp.lookup(u).unwrap_err();
         assert!(matches!(err, NtcsError::AddressFault(_)));
@@ -382,7 +420,10 @@ mod tests {
             .register(&AttrSet::named("lost").unwrap(), false, &[], None)
             .unwrap_err();
         assert!(
-            matches!(err, NtcsError::UnknownAddress(_) | NtcsError::NameServerUnreachable),
+            matches!(
+                err,
+                NtcsError::UnknownAddress(_) | NtcsError::NameServerUnreachable
+            ),
             "{err}"
         );
     }

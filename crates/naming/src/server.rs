@@ -16,8 +16,8 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use ntcs_addr::{
-    AttrQuery, AttrSet, Generation, MachineId, MachineType, NetworkId, NtcsError, PhysAddr,
-    Result, UAdd,
+    AttrQuery, AttrSet, Generation, MachineId, MachineType, NetworkId, NtcsError, PhysAddr, Result,
+    UAdd,
 };
 use ntcs_ipcs::World;
 use ntcs_nucleus::{Nucleus, NucleusConfig, Received};
@@ -26,10 +26,10 @@ use parking_lot::Mutex;
 
 use crate::db::{NameDb, NameRecord};
 use crate::protocol::{
-    phys_from_blobs, phys_to_blobs, record_to_wire, NsAck, NsDeregister, NsForward,
-    NsForwardReply, NsList, NsListReply, NsLookup, NsLookupReply, NsRecordWire, NsRegister,
-    NsRegisterReply, NsReplicate, NsResolve, NsResolveReply, NsRoute, NsRouteReply,
-    NsSnapshotReply, NsSnapshotRequest,
+    phys_from_blobs, phys_to_blobs, record_to_wire, NsAck, NsDeregister, NsForward, NsForwardReply,
+    NsList, NsListReply, NsLookup, NsLookupReply, NsRecordWire, NsRegister, NsRegisterReply,
+    NsReplicate, NsResolve, NsResolveReply, NsRoute, NsRouteReply, NsSnapshotReply,
+    NsSnapshotRequest,
 };
 
 /// Configuration for one Name Server instance.
@@ -81,7 +81,8 @@ impl NameServer {
     ///
     /// Fails if the Nucleus cannot bind.
     pub fn spawn(world: &World, config: NameServerConfig) -> Result<NameServer> {
-        let mut ncfg = NucleusConfig::new(config.machine, format!("name-server-{}", config.server_id));
+        let mut ncfg =
+            NucleusConfig::new(config.machine, format!("name-server-{}", config.server_id));
         for (u, addrs) in &config.peers {
             ncfg.well_known.push((*u, addrs.clone()));
         }
@@ -206,9 +207,12 @@ fn serve(nucleus: &Nucleus, db: &Mutex<NameDb>, stop: &AtomicBool, peers: &[UAdd
 fn replicate(nucleus: &Nucleus, peers: &[UAdd], record: NsRecordWire) {
     for &peer in peers {
         // Best-effort: a down replica catches up via snapshot on restart.
-        let _ = nucleus.cast_message(peer, &NsReplicate {
-            record: record.clone(),
-        });
+        let _ = nucleus.cast_message(
+            peer,
+            &NsReplicate {
+                record: record.clone(),
+            },
+        );
     }
 }
 
@@ -442,8 +446,7 @@ mod tests {
         let m1 = world.add_machine(MachineType::Vax, "cli", &[net]).unwrap();
         let ns = NameServer::spawn(&world, NameServerConfig::primary(m0)).unwrap();
 
-        let cfg = NucleusConfig::new(m1, "cli")
-            .with_well_known(UAdd::NAME_SERVER, ns.phys_addrs());
+        let cfg = NucleusConfig::new(m1, "cli").with_well_known(UAdd::NAME_SERVER, ns.phys_addrs());
         let cli = Nucleus::bind(&world, cfg).unwrap();
         let reply = cli
             .request(
@@ -457,10 +460,7 @@ mod tests {
         let rep: NsLookupReply = reply.payload.decode(cli.machine_type()).unwrap();
         assert!(rep.found);
         assert!(rep.alive);
-        assert_eq!(
-            phys_from_blobs(&rep.phys).unwrap(),
-            ns.phys_addrs()
-        );
+        assert_eq!(phys_from_blobs(&rep.phys).unwrap(), ns.phys_addrs());
     }
 
     #[test]
@@ -470,8 +470,7 @@ mod tests {
         let m0 = world.add_machine(MachineType::Sun, "ns", &[net]).unwrap();
         let m1 = world.add_machine(MachineType::Vax, "cli", &[net]).unwrap();
         let ns = NameServer::spawn(&world, NameServerConfig::primary(m0)).unwrap();
-        let cfg = NucleusConfig::new(m1, "cli")
-            .with_well_known(UAdd::NAME_SERVER, ns.phys_addrs());
+        let cfg = NucleusConfig::new(m1, "cli").with_well_known(UAdd::NAME_SERVER, ns.phys_addrs());
         let cli = Nucleus::bind(&world, cfg).unwrap();
         // NsRegister with a bogus machine-type code.
         let reply = cli

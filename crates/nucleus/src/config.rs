@@ -6,6 +6,8 @@ use std::time::Duration;
 use ntcs_addr::{MachineId, PhysAddr, UAdd};
 
 use crate::proto::Hop;
+use crate::retry::RetryPolicy;
+use crate::supervisor::BreakerConfig;
 
 /// Configuration for one module's Nucleus binding.
 #[derive(Debug, Clone)]
@@ -38,9 +40,30 @@ pub struct NucleusConfig {
     pub open_timeout: Duration,
     /// Default timeout for synchronous request/reply exchanges.
     pub request_timeout: Duration,
+    /// Per-attempt timeout for one Name-Server exchange. Deliberately much
+    /// smaller than `ns_retry.deadline`: a replica that stalls must not
+    /// consume the whole supervision budget before the sweep can fail over
+    /// to the next one (§7).
+    pub ns_request_timeout: Duration,
     /// Maximum number of relocation attempts per send (§3.5: one forwarding
     /// query, then reconnect; bounded so a flapping destination cannot spin).
     pub max_relocations: u32,
+    /// Retry policy for circuit establishment and re-establishment (ND-Layer
+    /// opens, LCM reconnects, gateway hop splicing).
+    pub retry: RetryPolicy,
+    /// Retry policy for naming-service queries, including replica failover
+    /// sweeps. Kept separate from [`NucleusConfig::retry`] because a naming
+    /// outage must fail over quickly rather than camp on one replica.
+    pub ns_retry: RetryPolicy,
+    /// Retry policy pacing reliable-send retransmissions: each scheduled
+    /// delay is the ack-wait window before the next retransmission.
+    pub reliable_retry: RetryPolicy,
+    /// Per-circuit breaker tuning (consecutive-failure trip threshold and
+    /// half-open probe timer).
+    pub breaker: BreakerConfig,
+    /// Bound on reliable sends simultaneously awaiting acknowledgement;
+    /// additional senders block (backpressure) until a slot frees.
+    pub retransmit_queue_cap: usize,
 }
 
 impl NucleusConfig {
@@ -57,7 +80,43 @@ impl NucleusConfig {
             open_retries: 2,
             open_timeout: Duration::from_secs(5),
             request_timeout: Duration::from_secs(5),
+            ns_request_timeout: Duration::from_millis(750),
             max_relocations: 2,
+            retry: RetryPolicy {
+                max_attempts: 4,
+                base_backoff: Duration::from_millis(5),
+                max_backoff: Duration::from_millis(200),
+                jitter: 0.25,
+                deadline: Duration::from_secs(5),
+                seed: 0x4E54_4353, // "NTCS"
+            },
+            ns_retry: RetryPolicy {
+                // Cumulative backoff (10+20+40+80+160 = 310 ms before the
+                // sixth attempt, jitter only adds) deliberately exceeds the
+                // breaker's half-open timer (250 ms), so a healed
+                // Name-Server partition recovers within one supervised
+                // query instead of surfacing a stale `CircuitBroken`.
+                max_attempts: 8,
+                base_backoff: Duration::from_millis(10),
+                max_backoff: Duration::from_millis(200),
+                jitter: 0.25,
+                deadline: Duration::from_secs(3),
+                seed: 0x4E53, // "NS"
+            },
+            reliable_retry: RetryPolicy {
+                // Each delay doubles as the ack-wait window — the loss
+                // detector, not a congestion backoff — so the curve is flat
+                // (cap == base): growing it would let a short run of drops
+                // open multi-second quiet gaps on an otherwise-live circuit.
+                max_attempts: 16,
+                base_backoff: Duration::from_millis(300),
+                max_backoff: Duration::from_millis(300),
+                jitter: 0.1,
+                deadline: Duration::from_secs(5),
+                seed: 0x52_454C, // "REL"
+            },
+            breaker: BreakerConfig::default(),
+            retransmit_queue_cap: 64,
         }
     }
 
@@ -82,6 +141,20 @@ impl NucleusConfig {
         self.ns_fault_patch = false;
         self
     }
+
+    /// Replaces the circuit/reconnect retry policy (builder style).
+    #[must_use]
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Replaces the breaker tuning (builder style).
+    #[must_use]
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = breaker;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -95,6 +168,14 @@ mod tests {
         assert!(c.max_recursion_depth >= 8);
         assert!(c.open_retries >= 1);
         assert!(c.well_known.is_empty());
+        assert!(
+            c.retry.max_attempts >= 2,
+            "circuits must get at least one retry"
+        );
+        assert!(c.ns_retry.max_attempts >= 2);
+        assert!(c.reliable_retry.base_backoff >= Duration::from_millis(50));
+        assert!(c.breaker.trip_after >= 1);
+        assert!(c.retransmit_queue_cap >= 1);
     }
 
     #[test]

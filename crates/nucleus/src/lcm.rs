@@ -39,6 +39,9 @@ use crate::metrics::NucleusMetrics;
 use crate::nd::{Lvc, NdLayer};
 use crate::proto::OpenPayload;
 use crate::resolver::{NameResolver, ResolvedModule, StaticResolver};
+use crate::supervisor::{
+    BreakerRegistry, CircuitHealth, DeadLetter, DeadLetterSink, RetransmissionQueue,
+};
 use crate::trace::{Layer, LayerTrace, RecursionGauge};
 
 /// A message handed to the Nucleus for sending: a type id plus an encoder
@@ -151,6 +154,12 @@ struct Inner {
     trace: LayerTrace,
     gauge: RecursionGauge,
     metrics: NucleusMetrics,
+    /// Per-peer circuit breakers (delivery supervisor).
+    breakers: BreakerRegistry,
+    /// Bounded set of reliable sends awaiting acknowledgement.
+    retx: RetransmissionQueue,
+    /// Sink receiving reliable messages whose recovery is exhausted.
+    dead_letter: RwLock<Option<DeadLetterSink>>,
     shutdown: AtomicBool,
 }
 
@@ -193,6 +202,9 @@ impl Nucleus {
         let salt = (config.machine.0 as u16) ^ 0x1F;
         let inner = Arc::new(Inner {
             gauge: RecursionGauge::new(config.max_recursion_depth),
+            breakers: BreakerRegistry::new(config.breaker.clone()),
+            retx: RetransmissionQueue::new(config.retransmit_queue_cap),
+            dead_letter: RwLock::new(None),
             config,
             nd,
             statics,
@@ -221,10 +233,7 @@ impl Nucleus {
             let network = ep.network;
             let inner = Arc::clone(&self.inner);
             std::thread::Builder::new()
-                .name(format!(
-                    "ntcs-accept-{}-{idx}",
-                    inner.config.module_hint
-                ))
+                .name(format!("ntcs-accept-{}-{idx}", inner.config.module_hint))
                 .spawn(move || loop {
                     if inner.shutdown.load(Ordering::SeqCst) {
                         return;
@@ -274,6 +283,26 @@ impl Nucleus {
         *self.inner.gateway.write() = Some(handler);
     }
 
+    /// Installs the dead-letter sink: invoked with each reliable message
+    /// whose recovery budget (retries, reconnects, deadline) is exhausted,
+    /// so delivery failure is surfaced rather than silently dropped.
+    pub fn set_dead_letter_sink(&self, sink: DeadLetterSink) {
+        *self.inner.dead_letter.write() = Some(sink);
+    }
+
+    /// Health of the supervised circuit toward `peer`
+    /// (Healthy → Degraded → Broken).
+    #[must_use]
+    pub fn circuit_health(&self, peer: UAdd) -> CircuitHealth {
+        self.inner.breakers.health(peer)
+    }
+
+    /// Number of reliable sends currently awaiting acknowledgement.
+    #[must_use]
+    pub fn retransmit_depth(&self) -> usize {
+        self.inner.retx.depth()
+    }
+
     /// This module's machine type.
     #[must_use]
     pub fn machine_type(&self) -> MachineType {
@@ -290,6 +319,13 @@ impl Nucleus {
     #[must_use]
     pub fn metrics(&self) -> &NucleusMetrics {
         &self.inner.metrics
+    }
+
+    /// The configuration this Nucleus was bound with (read-only; the
+    /// NSP-Layer and gateway read their retry policies from here).
+    #[must_use]
+    pub fn config(&self) -> &NucleusConfig {
+        &self.inner.config
     }
 
     /// The layer trace (§6.2 debugging aid).
@@ -411,8 +447,9 @@ impl Nucleus {
     ///
     /// # Errors
     ///
-    /// [`NtcsError::Timeout`] if no acknowledgement arrives in time, or any
-    /// unrecoverable send error.
+    /// [`NtcsError::DeadlineExceeded`] if no acknowledgement arrives within
+    /// `timeout` (the message is then handed to the dead-letter sink), or
+    /// any unrecoverable send error (also dead-lettered).
     pub fn send_reliable_message<M: Message>(
         &self,
         dst: UAdd,
@@ -421,33 +458,56 @@ impl Nucleus {
     ) -> Result<u64> {
         let msg_id = self.next_msg_id();
         let deadline = Instant::now() + timeout;
-        let per_try = Duration::from_millis(300);
-        let mut first = true;
+        // The policy paces retransmissions: each scheduled delay is the
+        // ack-wait window before the next retransmit. Seeding with the
+        // msg_id de-synchronises concurrent senders deterministically.
+        let policy = self
+            .inner
+            .config
+            .reliable_retry
+            .clone()
+            .with_deadline(timeout)
+            .with_seed(self.inner.config.reliable_retry.seed ^ msg_id);
+        let mut schedule = policy.schedule();
+        // Claim a retransmission-queue slot (backpressure bound); freed on
+        // every exit path by the RAII drop.
+        let slot = self.inner.retx.register(msg_id, deadline);
+        let _slot = match slot {
+            Ok(s) => s,
+            Err(e) => {
+                return Err(self.dead_letter(dst, msg_id, M::TYPE_ID, 0, e));
+            }
+        };
+        let mut attempts: u32 = 0;
         loop {
             if Instant::now() >= deadline {
-                return Err(NtcsError::Timeout);
+                let e = NtcsError::DeadlineExceeded;
+                return Err(self.dead_letter(dst, msg_id, M::TYPE_ID, attempts, e));
             }
-            if !first {
-                self.inner
-                    .metrics
-                    .bump(&self.inner.metrics.retransmissions);
+            if attempts > 0 {
+                self.inner.metrics.bump(&self.inner.metrics.retransmissions);
+                self.inner.metrics.bump(&self.inner.metrics.retry_attempts);
             }
-            first = false;
+            attempts += 1;
             let out = Outbound {
                 type_id: M::TYPE_ID,
                 encoder: &|mode, machine| ntcs_wire::encode_payload(msg, mode, machine),
             };
             match self.send_internal_with_id(dst, out, false, 0, false, msg_id, true) {
                 Ok(()) => {}
-                Err(e) if e.is_relocation_candidate() => {
-                    // Transient: back off briefly and retransmit.
-                    std::thread::sleep(Duration::from_millis(20));
-                    continue;
+                Err(e) if e.is_transient() => {
+                    // Circuit down, breaker open, or establishment timed
+                    // out: survive it — wait out this attempt's window
+                    // (pumping, so re-establishment acks arrive) and
+                    // retransmit with the same id.
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    return Err(self.dead_letter(dst, msg_id, M::TYPE_ID, attempts, e));
+                }
             }
-            // Wait for the ack (or retransmit after per_try).
-            let try_deadline = (Instant::now() + per_try).min(deadline);
+            // Wait for the ack, retransmitting after the scheduled window.
+            let window = schedule.next().unwrap_or(policy.base_backoff);
+            let try_deadline = (Instant::now() + window).min(deadline);
             loop {
                 if self.inner.state.lock().acks.remove(&msg_id) {
                     return Ok(msg_id);
@@ -459,6 +519,37 @@ impl Nucleus {
                 self.pump_once(Some((try_deadline - now).min(Duration::from_millis(20))))?;
             }
         }
+    }
+
+    /// Records a reliable message whose recovery is exhausted: bumps the
+    /// counter, traces, invokes the sink, and returns the error to
+    /// propagate.
+    fn dead_letter(
+        &self,
+        dst: UAdd,
+        msg_id: u64,
+        mtype: u32,
+        attempts: u32,
+        error: NtcsError,
+    ) -> NtcsError {
+        self.inner.metrics.bump(&self.inner.metrics.dead_letters);
+        self.inner.trace.record(
+            self.inner.gauge.depth(),
+            Layer::Lcm,
+            "dead-letter",
+            format!("{dst} msg {msg_id} after {attempts} attempts: {error}"),
+        );
+        let letter = DeadLetter {
+            dst,
+            msg_id,
+            mtype,
+            attempts,
+            error: error.clone(),
+        };
+        if let Some(sink) = self.inner.dead_letter.read().clone() {
+            sink(&letter);
+        }
+        error
     }
 
     /// Connectionless send (§2.2): best-effort, no relocation recovery, no
@@ -511,7 +602,9 @@ impl Nucleus {
                     // messages in failed modules.
                     let lvc = {
                         let st = self.inner.state.lock();
-                        st.conns.get(&m.conn_id).map(|e| (e.lvc.clone(), e.wire_peer))
+                        st.conns
+                            .get(&m.conn_id)
+                            .map(|e| (e.lvc.clone(), e.wire_peer))
                     };
                     if let Some((lvc, wire_peer)) = lvc {
                         send_reliable_ack(&self.inner, &lvc, wire_peer, m.msg_id);
@@ -610,10 +703,7 @@ impl Nucleus {
         let (conn_id, _) = self.ensure_conn(dst)?;
         {
             let st = self.inner.state.lock();
-            let e = st
-                .conns
-                .get(&conn_id)
-                .ok_or(NtcsError::ConnectionClosed)?;
+            let e = st.conns.get(&conn_id).ok_or(NtcsError::ConnectionClosed)?;
             let mut h = FrameHeader::new(
                 FrameType::Ping,
                 self.my_uadd(),
@@ -649,7 +739,15 @@ impl Nucleus {
         connectionless: bool,
     ) -> Result<u64> {
         let msg_id = self.next_msg_id();
-        self.send_internal_with_id(dst, out, reply_expected, reply_to, connectionless, msg_id, false)?;
+        self.send_internal_with_id(
+            dst,
+            out,
+            reply_expected,
+            reply_to,
+            connectionless,
+            msg_id,
+            false,
+        )?;
         Ok(msg_id)
     }
 
@@ -677,6 +775,9 @@ impl Nucleus {
         let mut attempts = 0;
         loop {
             let target = self.resolve_forwarded(dst)?;
+            // Supervisor gate: an open breaker fails fast instead of
+            // queueing behind a peer known to be down.
+            self.inner.breakers.check(target)?;
             let result = self.try_send_once(
                 target,
                 &out,
@@ -688,6 +789,17 @@ impl Nucleus {
             );
             match result {
                 Ok(()) => {
+                    if self.inner.breakers.record_success(target) {
+                        self.inner
+                            .metrics
+                            .bump(&self.inner.metrics.breaker_recoveries);
+                        self.inner.trace.record(
+                            self.inner.gauge.depth(),
+                            Layer::Lcm,
+                            "breaker-recover",
+                            format!("{target} healthy again"),
+                        );
+                    }
                     if attempts > 0 {
                         self.inner.metrics.bump(&self.inner.metrics.reconnects);
                     }
@@ -704,12 +816,35 @@ impl Nucleus {
                     );
                     attempts += 1;
                     if attempts > self.inner.config.max_relocations {
+                        // The breaker counts failed *operations*, not the
+                        // internal relocation retries (those are already
+                        // supervised); record once, when the send gives up.
+                        self.record_breaker_failure(target);
                         return Err(e);
                     }
                     self.handle_address_fault(target, &e)?;
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    if e.is_transient() && !matches!(e, NtcsError::CircuitBroken(_)) {
+                        self.record_breaker_failure(target);
+                    }
+                    return Err(e);
+                }
             }
+        }
+    }
+
+    /// Registers a delivery failure with the peer's breaker, bumping the
+    /// trip counter and trace when this one tripped it open.
+    fn record_breaker_failure(&self, target: UAdd) {
+        if self.inner.breakers.record_failure(target) {
+            self.inner.metrics.bump(&self.inner.metrics.breaker_trips);
+            self.inner.trace.record(
+                self.inner.gauge.depth(),
+                Layer::Lcm,
+                "breaker-trip",
+                format!("circuit to {target} broken"),
+            );
         }
     }
 
@@ -789,7 +924,15 @@ impl Nucleus {
                 return Err(NtcsError::ConnectionClosed);
             }
             (
-                self.data_frame(e, out, msg_id, reply_expected, reply_to, connectionless, reliable),
+                self.data_frame(
+                    e,
+                    out,
+                    msg_id,
+                    reply_expected,
+                    reply_to,
+                    connectionless,
+                    reliable,
+                ),
                 e.lvc.clone(),
             )
         };
@@ -813,10 +956,14 @@ impl Nucleus {
     /// resolver even for the Name Server — the §6.3 runaway.
     fn handle_address_fault(&self, target: UAdd, cause: &NtcsError) -> Result<()> {
         // The circuit was already cleared by try_send_once / ensure_conn.
-        if self.inner.config.ns_fault_patch && target == UAdd::NAME_SERVER {
-            // Patched (§6.3): never recurse into the naming service for its
-            // own address; re-arm the well-known table and let the retry
-            // loop re-open directly.
+        if self.inner.config.ns_fault_patch && target.is_well_known() {
+            // Patched (§6.3): never recurse into the naming service about a
+            // well-known system module — the primary Name Server, a §7
+            // replica, or a prime gateway. Their locations are static
+            // configuration the naming service does not track (asking it
+            // yields `UnknownAddress`, or worse, recursion onto the very
+            // circuit that faulted); re-arm the well-known table and let
+            // the retry loop re-open directly.
             for (u, addrs) in &self.inner.config.well_known {
                 if *u == target {
                     self.inner
@@ -954,10 +1101,7 @@ impl Nucleus {
                 .clone()
                 .ok_or(NtcsError::NoRoute {
                     from: my_nets.first().map_or(0, |n| n.0),
-                    to: resolved
-                        .addrs
-                        .first()
-                        .map_or(u32::MAX, |a| a.network().0),
+                    to: resolved.addrs.first().map_or(u32::MAX, |a| a.network().0),
                 })?;
             let _scope = self.inner.gauge.enter()?;
             self.inner.metrics.bump(&self.inner.metrics.route_queries);
@@ -993,10 +1137,21 @@ impl Nucleus {
         self.inner
             .metrics
             .bump(&self.inner.metrics.nd_open_attempts);
-        let lvc = self
-            .inner
-            .nd
-            .open(&first_addr, self.inner.config.open_retries)?;
+        let lvc =
+            self.inner
+                .nd
+                .open_with_policy(&first_addr, &self.inner.config.retry, |n, e| {
+                    self.inner.metrics.bump(&self.inner.metrics.retry_attempts);
+                    self.inner
+                        .metrics
+                        .bump(&self.inner.metrics.nd_open_attempts);
+                    self.inner.trace.record(
+                        self.inner.gauge.depth(),
+                        Layer::Nd,
+                        "retry",
+                        format!("open {first_addr} retry {n}: {e}"),
+                    );
+                })?;
 
         let mut h = FrameHeader::new(
             FrameType::LvcOpen,
@@ -1408,7 +1563,13 @@ mod tests {
         b.set_my_uadd(ub);
         a.statics().preload(ub, b.nd().phys_addrs(), tb);
         b.statics().preload(ua, a.nd().phys_addrs(), ta);
-        Rig { world, a, b, ua, ub }
+        Rig {
+            world,
+            a,
+            b,
+            ua,
+            ub,
+        }
     }
 
     const T: Option<Duration> = Some(Duration::from_secs(5));
@@ -1492,9 +1653,8 @@ mod tests {
             )
             .unwrap();
         });
-        let reply = r
-            .a
-            .request(
+        let reply =
+            r.a.request(
                 r.ub,
                 &Greeting {
                     text: "ask".into(),
@@ -1592,7 +1752,14 @@ mod tests {
 
         // First communication: client still a TAdd.
         client
-            .send_message(us, &Greeting { text: "1".into(), n: 1 }, false)
+            .send_message(
+                us,
+                &Greeting {
+                    text: "1".into(),
+                    n: 1,
+                },
+                false,
+            )
             .unwrap();
         let m1 = server.recv(T).unwrap();
         assert!(m1.src.is_temporary());
@@ -1604,7 +1771,14 @@ mod tests {
 
         // Second communication: the server's tables purge the TAdd.
         client
-            .send_message(us, &Greeting { text: "2".into(), n: 2 }, false)
+            .send_message(
+                us,
+                &Greeting {
+                    text: "2".into(),
+                    n: 2,
+                },
+                false,
+            )
             .unwrap();
         let m2 = server.recv(T).unwrap();
         assert_eq!(m2.src, real);
@@ -1619,10 +1793,9 @@ mod tests {
     fn unknown_destination_fails() {
         let r = rig(NetKind::Mbx, MachineType::Vax, MachineType::Sun);
         let ghost = UAddGenerator::new(7).generate();
-        let err = r
-            .a
-            .send_message(ghost, &Greeting::default(), false)
-            .unwrap_err();
+        let err =
+            r.a.send_message(ghost, &Greeting::default(), false)
+                .unwrap_err();
         assert!(matches!(err, NtcsError::UnknownAddress(_)), "{err}");
     }
 
@@ -1634,10 +1807,9 @@ mod tests {
         // Crash B's machine: the circuit dies and no forwarding exists.
         r.world.crash(MachineId(1));
         std::thread::sleep(Duration::from_millis(50));
-        let err = r
-            .a
-            .send_message(r.ub, &Greeting::default(), false)
-            .unwrap_err();
+        let err =
+            r.a.send_message(r.ub, &Greeting::default(), false)
+                .unwrap_err();
         assert!(err.is_relocation_candidate(), "{err}");
         assert!(r.a.metrics().snapshot().address_faults >= 1);
     }
@@ -1645,8 +1817,14 @@ mod tests {
     #[test]
     fn cast_is_best_effort() {
         let r = rig(NetKind::Mbx, MachineType::Vax, MachineType::Sun);
-        r.a.cast_message(r.ub, &Greeting { text: "dgram".into(), n: 9 })
-            .unwrap();
+        r.a.cast_message(
+            r.ub,
+            &Greeting {
+                text: "dgram".into(),
+                n: 9,
+            },
+        )
+        .unwrap();
         let m = r.b.recv(T).unwrap();
         assert!(m.connectionless);
         // Casting into the void is silently absorbed.
@@ -1699,11 +1877,13 @@ mod tests {
             assert!(m.reliable);
             m
         });
-        let id = r
-            .a
-            .send_reliable_message(
+        let id =
+            r.a.send_reliable_message(
                 r.ub,
-                &Greeting { text: "guaranteed".into(), n: 1 },
+                &Greeting {
+                    text: "guaranteed".into(),
+                    n: 1,
+                },
                 Duration::from_secs(5),
             )
             .unwrap();
@@ -1759,10 +1939,9 @@ mod tests {
         let ghost = UAddGenerator::new(3).generate();
         r.a.statics()
             .preload(ghost, r.b.nd().phys_addrs(), MachineType::Sun);
-        let err = r
-            .a
-            .send_message(ghost, &Greeting::default(), false)
-            .unwrap_err();
+        let err =
+            r.a.send_message(ghost, &Greeting::default(), false)
+                .unwrap_err();
         // B refuses the open (it is not a gateway), so establishment fails.
         assert!(
             matches!(err, NtcsError::ConnectionClosed | NtcsError::Timeout),

@@ -38,6 +38,8 @@ pub mod metrics;
 pub mod nd;
 pub mod proto;
 pub mod resolver;
+pub mod retry;
+pub mod supervisor;
 pub mod trace;
 
 pub use config::NucleusConfig;
@@ -46,4 +48,9 @@ pub use metrics::{NucleusMetrics, NucleusMetricsSnapshot};
 pub use nd::{Lvc, NdLayer};
 pub use proto::{Hop, OpenPayload};
 pub use resolver::{NameResolver, ResolvedModule, RouteInfo, StaticResolver};
+pub use retry::{BackoffSchedule, RetryPolicy};
+pub use supervisor::{
+    BreakerConfig, BreakerRegistry, CircuitBreaker, CircuitHealth, DeadLetter, DeadLetterSink,
+    RetransmissionQueue,
+};
 pub use trace::{Layer, LayerTrace, TraceEvent};

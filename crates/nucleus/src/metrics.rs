@@ -43,6 +43,16 @@ pub struct NucleusMetrics {
     pub retransmissions: AtomicU64,
     /// Reliable-extension duplicates suppressed at the receiver.
     pub duplicates_suppressed: AtomicU64,
+    /// Supervised retry attempts across all layers (ND opens, LCM
+    /// reconnects, NSP query sweeps, gateway hop splices).
+    pub retry_attempts: AtomicU64,
+    /// Circuit breakers tripped open (including failed half-open probes).
+    pub breaker_trips: AtomicU64,
+    /// Tripped breakers that recovered via a successful half-open probe.
+    pub breaker_recoveries: AtomicU64,
+    /// Reliable messages surrendered to the dead-letter sink after all
+    /// recovery was exhausted.
+    pub dead_letters: AtomicU64,
 }
 
 /// A point-in-time copy of [`NucleusMetrics`].
@@ -65,6 +75,10 @@ pub struct NucleusMetricsSnapshot {
     pub dropped_messages: u64,
     pub retransmissions: u64,
     pub duplicates_suppressed: u64,
+    pub retry_attempts: u64,
+    pub breaker_trips: u64,
+    pub breaker_recoveries: u64,
+    pub dead_letters: u64,
 }
 
 impl NucleusMetrics {
@@ -99,6 +113,10 @@ impl NucleusMetrics {
             dropped_messages: self.dropped_messages.load(Ordering::Relaxed),
             retransmissions: self.retransmissions.load(Ordering::Relaxed),
             duplicates_suppressed: self.duplicates_suppressed.load(Ordering::Relaxed),
+            retry_attempts: self.retry_attempts.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            breaker_recoveries: self.breaker_recoveries.load(Ordering::Relaxed),
+            dead_letters: self.dead_letters.load(Ordering::Relaxed),
         }
     }
 }

@@ -206,6 +206,37 @@ impl NdLayer {
         Err(last)
     }
 
+    /// Opens an LVC under a [`RetryPolicy`] — the supervised form of
+    /// [`NdLayer::open`]. Transient connect errors are retried on the
+    /// policy's backoff schedule; `on_retry` fires before each backoff
+    /// sleep with the 0-based retry number and the error (the caller's
+    /// metrics/trace hook).
+    ///
+    /// # Errors
+    ///
+    /// The last connect error when the attempt budget runs out,
+    /// [`NtcsError::DeadlineExceeded`] when the policy deadline expires
+    /// first, or [`NtcsError::Unsupported`] if the address is on a network
+    /// this machine does not attach to.
+    pub fn open_with_policy(
+        &self,
+        addr: &PhysAddr,
+        policy: &crate::retry::RetryPolicy,
+        on_retry: impl FnMut(u32, &NtcsError),
+    ) -> Result<Lvc> {
+        let network = addr.network();
+        if !self.endpoints.iter().any(|e| e.network == network) {
+            return Err(NtcsError::Unsupported(format!(
+                "network {network} is not directly reachable from this machine"
+            )));
+        }
+        policy.run(on_retry, |_| {
+            self.world
+                .connect(self.machine, addr)
+                .map(|chan| Lvc::new(Arc::from(chan), network))
+        })
+    }
+
     /// Total open attempts implied by a call to [`NdLayer::open`] is at most
     /// `1 + retries`; exposed for the metrics layer.
     #[must_use]
@@ -300,9 +331,7 @@ mod tests {
         let w = World::new();
         let n1 = w.add_network(NetKind::Mbx, "n1");
         let n2 = w.add_network(NetKind::Tcp, "n2");
-        let m = w
-            .add_machine(MachineType::Apollo, "gw", &[n1, n2])
-            .unwrap();
+        let m = w.add_machine(MachineType::Apollo, "gw", &[n1, n2]).unwrap();
         let nd = NdLayer::new(&w, m, "gw").unwrap();
         assert_eq!(nd.networks(), vec![n1, n2]);
         assert_eq!(nd.phys_addrs().len(), 2);
@@ -328,7 +357,7 @@ mod tests {
     }
 
     #[test]
-    fn close_all_stops_accepting(){
+    fn close_all_stops_accepting() {
         let (w, a, b, _n) = world_two();
         let nd_a = NdLayer::new(&w, a, "a").unwrap();
         let nd_b = NdLayer::new(&w, b, "b").unwrap();

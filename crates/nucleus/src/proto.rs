@@ -65,9 +65,7 @@ impl OpenPayload {
     pub fn to_packed(&self) -> Vec<u8> {
         let pair = (
             self.route.clone(),
-            self.dst_phys
-                .as_ref()
-                .map(|p| Blob(p.to_opaque())),
+            self.dst_phys.as_ref().map(|p| Blob(p.to_opaque())),
         );
         pack_to_vec(&pair)
     }

@@ -44,9 +44,7 @@ impl ResolvedModule {
     /// The physical address on any of the given networks, if any.
     #[must_use]
     pub fn addr_on_any(&self, networks: &[NetworkId]) -> Option<&PhysAddr> {
-        self.addrs
-            .iter()
-            .find(|a| networks.contains(&a.network()))
+        self.addrs.iter().find(|a| networks.contains(&a.network()))
     }
 }
 
@@ -192,10 +190,7 @@ mod tests {
         assert_eq!(m.addrs.len(), 2);
         assert_eq!(m.addr_on(NetworkId(1)), Some(&phys(1)));
         assert_eq!(m.addr_on(NetworkId(9)), None);
-        assert_eq!(
-            m.addr_on_any(&[NetworkId(9), NetworkId(0)]),
-            Some(&phys(0))
-        );
+        assert_eq!(m.addr_on_any(&[NetworkId(9), NetworkId(0)]), Some(&phys(0)));
     }
 
     #[test]

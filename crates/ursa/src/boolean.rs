@@ -269,19 +269,13 @@ mod tests {
         );
         assert_eq!(
             BoolExpr::parse("a AND b").unwrap(),
-            BoolExpr::And(vec![
-                BoolExpr::Term("a".into()),
-                BoolExpr::Term("b".into())
-            ])
+            BoolExpr::And(vec![BoolExpr::Term("a".into()), BoolExpr::Term("b".into())])
         );
         // Juxtaposition = AND; OR binds looser than AND.
         assert_eq!(
             BoolExpr::parse("a b OR c").unwrap(),
             BoolExpr::Or(vec![
-                BoolExpr::And(vec![
-                    BoolExpr::Term("a".into()),
-                    BoolExpr::Term("b".into())
-                ]),
+                BoolExpr::And(vec![BoolExpr::Term("a".into()), BoolExpr::Term("b".into())]),
                 BoolExpr::Term("c".into())
             ])
         );

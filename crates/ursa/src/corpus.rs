@@ -37,13 +37,56 @@ pub struct Corpus {
 
 /// Base vocabulary; rank order gives the Zipf weighting.
 const VOCAB: &[&str] = &[
-    "retrieval", "system", "index", "document", "query", "network", "message", "server",
-    "backend", "search", "term", "architecture", "distributed", "testbed", "transparent",
-    "portable", "gateway", "circuit", "address", "naming", "module", "machine", "protocol",
-    "utah", "workstation", "host", "process", "dynamic", "reconfiguration", "conversion",
-    "layer", "nucleus", "virtual", "mailbox", "socket", "recursive", "monitor", "time",
-    "clock", "fault", "forwarding", "relocation", "packed", "image", "shift", "mode",
-    "apollo", "vax", "sun", "unix",
+    "retrieval",
+    "system",
+    "index",
+    "document",
+    "query",
+    "network",
+    "message",
+    "server",
+    "backend",
+    "search",
+    "term",
+    "architecture",
+    "distributed",
+    "testbed",
+    "transparent",
+    "portable",
+    "gateway",
+    "circuit",
+    "address",
+    "naming",
+    "module",
+    "machine",
+    "protocol",
+    "utah",
+    "workstation",
+    "host",
+    "process",
+    "dynamic",
+    "reconfiguration",
+    "conversion",
+    "layer",
+    "nucleus",
+    "virtual",
+    "mailbox",
+    "socket",
+    "recursive",
+    "monitor",
+    "time",
+    "clock",
+    "fault",
+    "forwarding",
+    "relocation",
+    "packed",
+    "image",
+    "shift",
+    "mode",
+    "apollo",
+    "vax",
+    "sun",
+    "unix",
 ];
 
 impl Corpus {

@@ -55,9 +55,10 @@ impl UrsaDeployment {
     ///
     /// Unknown shard or relocation failure.
     pub fn relocate_search_shard(&self, i: usize, machine: MachineId) -> Result<()> {
-        let shard = self.search.get(i).ok_or_else(|| {
-            ntcs::NtcsError::InvalidArgument(format!("no search shard {i}"))
-        })?;
+        let shard = self
+            .search
+            .get(i)
+            .ok_or_else(|| ntcs::NtcsError::InvalidArgument(format!("no search shard {i}")))?;
         shard.host().relocate(machine)
     }
 

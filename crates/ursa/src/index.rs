@@ -145,10 +145,7 @@ mod tests {
 
     #[test]
     fn postings_and_tf() {
-        let idx = InvertedIndex::build(&[
-            doc(0, "network network system"),
-            doc(1, "system"),
-        ]);
+        let idx = InvertedIndex::build(&[doc(0, "network network system"), doc(1, "system")]);
         assert_eq!(idx.n_docs(), 2);
         let p = idx.postings("network");
         assert_eq!(p, &[Posting { doc: 0, tf: 2 }]);
@@ -168,11 +165,8 @@ mod tests {
         assert_eq!(hits[0].doc, 0);
         assert!(hits[0].score > hits[1].score);
         // Rare terms outweigh common ones for equal tf.
-        let idx2 = InvertedIndex::build(&[
-            doc(0, "common rare"),
-            doc(1, "common"),
-            doc(2, "common"),
-        ]);
+        let idx2 =
+            InvertedIndex::build(&[doc(0, "common rare"), doc(1, "common"), doc(2, "common")]);
         let hits = idx2.search("common rare", 10);
         assert_eq!(hits[0].doc, 0);
     }

@@ -5,9 +5,9 @@ use ntcs::{AttrSet, MachineId, Result, Testbed, UAdd};
 use ntcs_drts::host::Handler;
 use ntcs_drts::ServiceHost;
 
+use crate::boolean::BoolExpr;
 use crate::corpus::Document;
 use crate::index::InvertedIndex;
-use crate::boolean::BoolExpr;
 use crate::protocol::{
     BoolSearchReply, BoolSearchRequest, DocReply, FetchDoc, IndexLookup, PostingsReply,
     SearchReply, SearchRequest, ShardInfoReply, ShardInfoRequest,
@@ -42,15 +42,13 @@ impl IndexServer {
     /// # Errors
     ///
     /// Binding/registration failures.
-    pub fn spawn(
-        testbed: &Testbed,
-        machine: MachineId,
-        docs: &[Document],
-    ) -> Result<IndexServer> {
+    pub fn spawn(testbed: &Testbed, machine: MachineId, docs: &[Document]) -> Result<IndexServer> {
         let index = InvertedIndex::build(docs);
         let handler: Handler = Box::new(move |commod, msg| {
             if msg.is::<IndexLookup>() {
-                let Ok(req) = msg.decode::<IndexLookup>() else { return };
+                let Ok(req) = msg.decode::<IndexLookup>() else {
+                    return;
+                };
                 let postings = index.postings(&req.term);
                 let _ = commod.reply(
                     &msg,
@@ -110,7 +108,9 @@ impl SearchServer {
         let index = InvertedIndex::build(docs);
         let handler: Handler = Box::new(move |commod, msg| {
             if msg.is::<SearchRequest>() {
-                let Ok(req) = msg.decode::<SearchRequest>() else { return };
+                let Ok(req) = msg.decode::<SearchRequest>() else {
+                    return;
+                };
                 let hits = index.search(&req.query, req.k as usize);
                 let _ = commod.reply(
                     &msg,
@@ -121,7 +121,9 @@ impl SearchServer {
                     },
                 );
             } else if msg.is::<BoolSearchRequest>() {
-                let Ok(req) = msg.decode::<BoolSearchRequest>() else { return };
+                let Ok(req) = msg.decode::<BoolSearchRequest>() else {
+                    return;
+                };
                 let reply = match BoolExpr::parse(&req.query) {
                     Ok(expr) => BoolSearchReply {
                         ok: true,
@@ -191,16 +193,14 @@ impl DocServer {
     /// # Errors
     ///
     /// Binding/registration failures.
-    pub fn spawn(
-        testbed: &Testbed,
-        machine: MachineId,
-        docs: Vec<Document>,
-    ) -> Result<DocServer> {
+    pub fn spawn(testbed: &Testbed, machine: MachineId, docs: Vec<Document>) -> Result<DocServer> {
         let by_id: std::collections::HashMap<u32, Document> =
             docs.into_iter().map(|d| (d.id, d)).collect();
         let handler: Handler = Box::new(move |commod, msg| {
             if msg.is::<FetchDoc>() {
-                let Ok(req) = msg.decode::<FetchDoc>() else { return };
+                let Ok(req) = msg.decode::<FetchDoc>() else {
+                    return;
+                };
                 let reply = match by_id.get(&req.id) {
                     Some(d) => DocReply {
                         found: true,

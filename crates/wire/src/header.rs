@@ -223,9 +223,7 @@ impl FrameHeader {
         let mut r = ShiftReader::new(bytes);
         let magic = r.get_u32()?;
         if magic != MAGIC {
-            return Err(NtcsError::Protocol(format!(
-                "bad frame magic {magic:#x}"
-            )));
+            return Err(NtcsError::Protocol(format!("bad frame magic {magic:#x}")));
         }
         let version = r.get_u32()?;
         if version != VERSION {
@@ -390,7 +388,12 @@ mod tests {
     fn tadd_survives_header_round_trip() {
         let tg = TAddGenerator::new(3);
         let t = tg.generate();
-        let h = FrameHeader::new(FrameType::LvcOpen, t, UAdd::NAME_SERVER, MachineType::Apollo);
+        let h = FrameHeader::new(
+            FrameType::LvcOpen,
+            t,
+            UAdd::NAME_SERVER,
+            MachineType::Apollo,
+        );
         let got = FrameHeader::from_shift(&h.to_shift()).unwrap();
         assert!(got.src.is_temporary());
         assert_eq!(got.src, t);

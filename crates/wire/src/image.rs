@@ -285,10 +285,7 @@ mod tests {
     fn like_machines_round_trip() {
         let v: u32 = 0x0102_0304;
         for m in MachineType::ALL {
-            assert_eq!(
-                image_from_slice::<u32>(&image_to_vec(&v, m), m).unwrap(),
-                v
-            );
+            assert_eq!(image_from_slice::<u32>(&image_to_vec(&v, m), m).unwrap(), v);
         }
     }
 

@@ -69,8 +69,7 @@ impl PackWriter {
     /// Appends a string field (length-prefixed; contents are not escaped).
     pub fn put_str(&mut self, v: &str) -> &mut Self {
         self.buf.push(b's');
-        self.buf
-            .extend_from_slice(v.len().to_string().as_bytes());
+        self.buf.extend_from_slice(v.len().to_string().as_bytes());
         self.buf.push(b':');
         self.buf.extend_from_slice(v.as_bytes());
         self.buf.push(b';');
@@ -80,8 +79,7 @@ impl PackWriter {
     /// Appends a raw byte blob (length-prefixed).
     pub fn put_bytes(&mut self, v: &[u8]) -> &mut Self {
         self.buf.push(b'b');
-        self.buf
-            .extend_from_slice(v.len().to_string().as_bytes());
+        self.buf.extend_from_slice(v.len().to_string().as_bytes());
         self.buf.push(b':');
         self.buf.extend_from_slice(v);
         self.buf.push(b';');

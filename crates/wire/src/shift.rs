@@ -79,7 +79,11 @@ impl ShiftWriter {
                     "bit field width {width} out of range"
                 )));
             }
-            let max = if width == 32 { u32::MAX } else { (1 << width) - 1 };
+            let max = if width == 32 {
+                u32::MAX
+            } else {
+                (1 << width) - 1
+            };
             if value > max {
                 return Err(NtcsError::InvalidArgument(format!(
                     "value {value} does not fit in {width} bits"
@@ -182,7 +186,11 @@ impl<'a> ShiftReader<'a> {
         let mut used = 0;
         for &width in widths {
             used += width;
-            let mask = if width == 32 { u32::MAX } else { (1 << width) - 1 };
+            let mask = if width == 32 {
+                u32::MAX
+            } else {
+                (1 << width) - 1
+            };
             out.push((word >> (32 - used)) & mask);
         }
         Ok(out)
@@ -208,7 +216,10 @@ mod tests {
     #[test]
     fn u32_round_trip() {
         let mut w = ShiftWriter::new();
-        w.put_u32(0).put_u32(1).put_u32(0xDEAD_BEEF).put_u32(u32::MAX);
+        w.put_u32(0)
+            .put_u32(1)
+            .put_u32(0xDEAD_BEEF)
+            .put_u32(u32::MAX);
         let bytes = w.into_bytes();
         assert_eq!(bytes.len(), 16);
         let mut r = ShiftReader::new(&bytes);
@@ -247,7 +258,8 @@ mod tests {
     #[test]
     fn bit_fields_round_trip() {
         let mut w = ShiftWriter::new();
-        w.put_bit_fields(&[(5, 4), (1, 1), (0, 1), (1000, 26)]).unwrap();
+        w.put_bit_fields(&[(5, 4), (1, 1), (0, 1), (1000, 26)])
+            .unwrap();
         let bytes = w.into_bytes();
         assert_eq!(bytes.len(), 4);
         let mut r = ShiftReader::new(&bytes);

@@ -16,7 +16,13 @@ fn main() -> ntcs::Result<()> {
 
     // Generate some live state so the layer details are non-trivial.
     let dst = module.locate("peer")?;
-    module.send(dst, &Ask { n: 1, body: "hi".into() })?;
+    module.send(
+        dst,
+        &Ask {
+            n: 1,
+            body: "hi".into(),
+        },
+    )?;
     peer.receive(Some(Duration::from_secs(5)))?;
 
     println!("Fig. 2-1 / 2-4 — the application's view and the ComMod stack,");

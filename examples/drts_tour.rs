@@ -43,7 +43,13 @@ fn main() -> ntcs::Result<()> {
     let monitor = MonitorService::spawn(&testbed, m0)?;
     let echo: Handler = Box::new(|commod, msg| {
         if let Ok(a) = msg.decode::<Ask>() {
-            let _ = commod.reply(&msg, &Answer { n: a.n, body: String::new() });
+            let _ = commod.reply(
+                &msg,
+                &Answer {
+                    n: a.n,
+                    body: String::new(),
+                },
+            );
         }
     });
     let echo_host = ServiceHost::spawn(&testbed, m2, "echo", echo)?;
@@ -56,7 +62,14 @@ fn main() -> ntcs::Result<()> {
     );
     let dst = client.locate("echo")?;
     for i in 0..5 {
-        client.send_receive(dst, &Ask { n: i, body: String::new() }, Some(Duration::from_secs(5)))?;
+        client.send_receive(
+            dst,
+            &Ask {
+                n: i,
+                body: String::new(),
+            },
+            Some(Duration::from_secs(5)),
+        )?;
     }
     std::thread::sleep(Duration::from_millis(200));
     let stats = MonitorService::query(&client, monitor.uadd(), client.my_uadd().raw())?;
@@ -70,15 +83,32 @@ fn main() -> ntcs::Result<()> {
     ctl.manage(echo_host);
     let reply = client.send_receive(
         ctl.uadd(),
-        &CtlRelocate { service: "echo".into(), target_machine: m1.0 },
+        &CtlRelocate {
+            service: "echo".into(),
+            target_machine: m1.0,
+        },
         Some(Duration::from_secs(10)),
     )?;
     let r: CtlReply = reply.decode()?;
     println!("  controller: {}", r.detail);
-    let reply = client.send_receive(ctl.uadd(), &CtlList::default(), Some(Duration::from_secs(5)))?;
+    let reply = client.send_receive(
+        ctl.uadd(),
+        &CtlList::default(),
+        Some(Duration::from_secs(5)),
+    )?;
     let listing: CtlReply = reply.decode()?;
-    println!("  services:\n    {}", listing.detail.replace('\n', "\n    "));
-    client.send_receive(dst, &Ask { n: 99, body: String::new() }, Some(Duration::from_secs(5)))?;
+    println!(
+        "  services:\n    {}",
+        listing.detail.replace('\n', "\n    ")
+    );
+    client.send_receive(
+        dst,
+        &Ask {
+            n: 99,
+            body: String::new(),
+        },
+        Some(Duration::from_secs(5)),
+    )?;
     println!("  …and the old address still works after the move.");
 
     println!("\n== error log: the running table of errors §6.3 wished for ==");
@@ -94,7 +124,10 @@ fn main() -> ntcs::Result<()> {
     )?;
     std::thread::sleep(Duration::from_millis(100));
     for rec in ErrorLogService::query(&client, log_addr, 5)? {
-        println!("  [{}] {} in {}: {}", rec.module_name, rec.code, rec.layer, rec.detail);
+        println!(
+            "  [{}] {} in {}: {}",
+            rec.module_name, rec.code, rec.layer, rec.detail
+        );
     }
 
     println!("\n== file service: pathname storage by logical name ==");

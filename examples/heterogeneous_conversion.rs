@@ -26,7 +26,13 @@ fn main() -> ntcs::Result<()> {
             let dst = src.locate("sink")?;
             src.send(
                 dst,
-                &Numbers { a: 0x01020304, b: -9, c: 1.5, d: true, s: "φ".into() },
+                &Numbers {
+                    a: 0x01020304,
+                    b: -9,
+                    c: 1.5,
+                    d: true,
+                    s: "φ".into(),
+                },
             )?;
             let got = sink.receive(Some(Duration::from_secs(5)))?;
             let decoded: Numbers = got.decode()?;

@@ -19,7 +19,9 @@ fn main() -> ntcs::Result<()> {
         lab.gateways.len()
     );
 
-    let server = lab.testbed.module(lab.edge_machines[k - 1], "far-service")?;
+    let server = lab
+        .testbed
+        .module(lab.edge_machines[k - 1], "far-service")?;
     let client = lab.testbed.module(lab.edge_machines[0], "near-client")?;
     let dst = client.locate("far-service")?;
 
@@ -27,7 +29,13 @@ fn main() -> ntcs::Result<()> {
         for _ in 0..3 {
             let m = server.receive(Some(Duration::from_secs(10)))?;
             let a: Ask = m.decode()?;
-            server.reply(&m, &Answer { n: a.n * 2, body: String::new() })?;
+            server.reply(
+                &m,
+                &Answer {
+                    n: a.n * 2,
+                    body: String::new(),
+                },
+            )?;
         }
         Ok(())
     });
@@ -36,7 +44,10 @@ fn main() -> ntcs::Result<()> {
         let start = std::time::Instant::now();
         let reply = client.send_receive(
             dst,
-            &Ask { n: i, body: format!("request {i}") },
+            &Ask {
+                n: i,
+                body: format!("request {i}"),
+            },
             Some(Duration::from_secs(10)),
         )?;
         let a: Answer = reply.decode()?;

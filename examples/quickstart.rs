@@ -46,13 +46,21 @@ fn main() -> ntcs::Result<()> {
             msg.raw().payload.mode,
             msg.src()
         );
-        greeter.reply(&msg, &HelloBack { text: format!("and hello to you, {}", msg.src()) })?;
+        greeter.reply(
+            &msg,
+            &HelloBack {
+                text: format!("and hello to you, {}", msg.src()),
+            },
+        )?;
         Ok(())
     });
 
     let reply = caller.send_receive(
         dst,
-        &Hello { text: "hello over the NTCS".into(), n: 1 },
+        &Hello {
+            text: "hello over the NTCS".into(),
+            n: 1,
+        },
         Some(Duration::from_secs(5)),
     )?;
     let back: HelloBack = reply.decode()?;

@@ -17,7 +17,10 @@ fn main() -> ntcs::Result<()> {
         if let Ok(a) = msg.decode::<Ask>() {
             let _ = commod.reply(
                 &msg,
-                &Answer { n: a.n, body: format!("answered from {}", commod.machine()) },
+                &Answer {
+                    n: a.n,
+                    body: format!("answered from {}", commod.machine()),
+                },
             );
         }
     });
@@ -31,7 +34,10 @@ fn main() -> ntcs::Result<()> {
             let n = round * 10 + i;
             match client.send_receive(
                 dst,
-                &Ask { n, body: String::new() },
+                &Ask {
+                    n,
+                    body: String::new(),
+                },
                 Some(Duration::from_secs(2)),
             ) {
                 Ok(reply) => {

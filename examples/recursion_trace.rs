@@ -19,7 +19,13 @@ fn main() -> ntcs::Result<()> {
     let monitor = MonitorService::spawn(&lab.testbed, lab.machines[0])?;
     let echo: Handler = Box::new(|commod, msg| {
         if let Ok(a) = msg.decode::<Ask>() {
-            let _ = commod.reply(&msg, &Answer { n: a.n, body: String::new() });
+            let _ = commod.reply(
+                &msg,
+                &Answer {
+                    n: a.n,
+                    body: String::new(),
+                },
+            );
         }
     });
     let _echo = ServiceHost::spawn(&lab.testbed, lab.machines[2], "echo", echo)?;
@@ -35,7 +41,14 @@ fn main() -> ntcs::Result<()> {
 
     println!("=== §6.1: the first send (time + naming + monitor recursion) ===\n");
     let dst = client.locate("echo")?;
-    client.send_receive(dst, &Ask { n: 1, body: String::new() }, Some(Duration::from_secs(5)))?;
+    client.send_receive(
+        dst,
+        &Ask {
+            n: 1,
+            body: String::new(),
+        },
+        Some(Duration::from_secs(5)),
+    )?;
     println!("{}", client.trace().render());
     println!(
         "max recursion depth observed: {}\n",

@@ -59,7 +59,10 @@ fn main() -> ntcs::Result<()> {
     println!("\nrelocating search shard 1 to the spare machine…");
     deployment.relocate_search_shard(1, spare)?;
     let hits = client.search("retrieval system", 3)?;
-    println!("same query after relocation: {} hits (transparent)", hits.len());
+    println!(
+        "same query after relocation: {} hits (transparent)",
+        hits.len()
+    );
     println!(
         "client reconnects: {}, gateway circuits spliced: {}",
         client.commod().metrics().reconnects,

@@ -63,7 +63,9 @@ pub mod messages {
         pub fn sized(seq: u32, words: usize) -> Bulk {
             Bulk {
                 seq,
-                words: (0..words as u32).map(|i| i.wrapping_mul(2_654_435_761)).collect(),
+                words: (0..words as u32)
+                    .map(|i| i.wrapping_mul(2_654_435_761))
+                    .collect(),
             }
         }
     }
@@ -72,9 +74,7 @@ pub mod messages {
 pub mod scenarios {
     //! Ready-made worlds.
 
-    use ntcs::{
-        Gateway, MachineId, MachineType, NetKind, NetworkId, Result, Testbed, UAdd,
-    };
+    use ntcs::{Gateway, MachineId, MachineType, NetKind, NetworkId, Result, Testbed, UAdd};
     use ntcs_nucleus::proto::Hop;
 
     /// Machine types cycled through multi-machine scenarios (mixed byte
@@ -111,11 +111,7 @@ pub mod scenarios {
     /// # Errors
     ///
     /// Construction failures.
-    pub fn single_net_with_skews(
-        n: usize,
-        kind: NetKind,
-        skews_us: &[i64],
-    ) -> Result<SingleNet> {
+    pub fn single_net_with_skews(n: usize, kind: NetKind, skews_us: &[i64]) -> Result<SingleNet> {
         let mut tb = Testbed::builder();
         let net = tb.add_network(kind, "lan");
         let mut machines = Vec::with_capacity(n);
@@ -291,11 +287,7 @@ pub mod scenarios {
     /// # Errors
     ///
     /// Binding or registration failures.
-    pub fn primed_module(
-        lab: &PrimedInternet,
-        i: usize,
-        name: &str,
-    ) -> Result<ntcs::ComMod> {
+    pub fn primed_module(lab: &PrimedInternet, i: usize, name: &str) -> Result<ntcs::ComMod> {
         let mut config = ntcs::NucleusConfig::new(lab.edge_machines[i], name);
         config.well_known = lab.testbed.ns_well_known();
         config.ns_route = lab.ns_routes[i].clone();

@@ -30,7 +30,15 @@ fn incoming_accessors_are_coherent() {
     let server = lab.testbed.module(lab.machines[1], "accessors").unwrap();
     let client = lab.testbed.module(lab.machines[0], "sender").unwrap();
     let dst = client.locate("accessors").unwrap();
-    let id = client.send(dst, &Ask { n: 3, body: "x".into() }).unwrap();
+    let id = client
+        .send(
+            dst,
+            &Ask {
+                n: 3,
+                body: "x".into(),
+            },
+        )
+        .unwrap();
     let m = server.receive(T).unwrap();
     assert_eq!(m.msg_id(), id);
     assert_eq!(m.reply_to(), 0);
@@ -88,7 +96,14 @@ fn self_send_works() {
     let c = lab.testbed.module(lab.machines[0], "selfie").unwrap();
     let me = c.locate("selfie").unwrap();
     assert_eq!(me, c.my_uadd());
-    c.send(me, &Ask { n: 1, body: "to myself".into() }).unwrap();
+    c.send(
+        me,
+        &Ask {
+            n: 1,
+            body: "to myself".into(),
+        },
+    )
+    .unwrap();
     let m = c.receive(T).unwrap();
     assert_eq!(m.decode::<Ask>().unwrap().body, "to myself");
     // Same-machine loopback is image mode (identical machine type).
@@ -122,7 +137,15 @@ fn metrics_snapshot_is_monotonic() {
     let dst = client.locate("counted").unwrap();
     let before = client.metrics();
     for i in 0..5 {
-        client.send(dst, &Ask { n: i, body: String::new() }).unwrap();
+        client
+            .send(
+                dst,
+                &Ask {
+                    n: i,
+                    body: String::new(),
+                },
+            )
+            .unwrap();
         server.receive(T).unwrap();
     }
     let after = client.metrics();

@@ -50,7 +50,15 @@ fn fig_2_4_full_commod_stack_renders() {
     // Generate some live detail first.
     let peer = lab.testbed.module(lab.machines[0], "peer").unwrap();
     let dst = module.locate("peer").unwrap();
-    module.send(dst, &Ask { n: 1, body: String::new() }).unwrap();
+    module
+        .send(
+            dst,
+            &Ask {
+                n: 1,
+                body: String::new(),
+            },
+        )
+        .unwrap();
     peer.receive(Some(Duration::from_secs(5))).unwrap();
 
     let report = module.architecture();
@@ -68,7 +76,10 @@ fn fig_2_4_full_commod_stack_renders() {
         "render",
         "circuits opened",
     ] {
-        assert!(rendered.contains(needle), "missing {needle:?} in:\n{rendered}");
+        assert!(
+            rendered.contains(needle),
+            "missing {needle:?} in:\n{rendered}"
+        );
     }
     // Live details reflect the traffic that actually happened: one circuit
     // to the Name Server (resolution) plus one to the peer.

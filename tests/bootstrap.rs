@@ -49,11 +49,7 @@ fn tadds_purged_within_two_ns_communications() {
     // And the client's own tables never hold anything temporary except its
     // (already replaced) self-address.
     assert!(c.my_uadd().is_permanent());
-    assert!(c
-        .nucleus()
-        .peer_table()
-        .iter()
-        .all(|u| u.is_permanent()));
+    assert!(c.nucleus().peer_table().iter().all(|u| u.is_permanent()));
 }
 
 #[test]
@@ -92,16 +88,46 @@ fn tadd_sources_never_collide_at_the_receiver() {
     assert_eq!(dst1, dst);
     assert_eq!(dst2, dst);
 
-    c1.send(dst, &Ask { n: 1, body: "one".into() }).unwrap();
-    c2.send(dst, &Ask { n: 2, body: "two".into() }).unwrap();
+    c1.send(
+        dst,
+        &Ask {
+            n: 1,
+            body: "one".into(),
+        },
+    )
+    .unwrap();
+    c2.send(
+        dst,
+        &Ask {
+            n: 2,
+            body: "two".into(),
+        },
+    )
+    .unwrap();
     let m1 = server.receive(T).unwrap();
     let m2 = server.receive(T).unwrap();
     assert!(m1.src().is_temporary() && m2.src().is_temporary());
     assert_ne!(m1.src(), m2.src(), "aliases must be distinct");
 
     // Replies flow back to the right anonymous client over their circuits.
-    server.reply(&m1, &Answer { n: m1.decode::<Ask>().unwrap().n, body: "r1".into() }).unwrap();
-    server.reply(&m2, &Answer { n: m2.decode::<Ask>().unwrap().n, body: "r2".into() }).unwrap();
+    server
+        .reply(
+            &m1,
+            &Answer {
+                n: m1.decode::<Ask>().unwrap().n,
+                body: "r1".into(),
+            },
+        )
+        .unwrap();
+    server
+        .reply(
+            &m2,
+            &Answer {
+                n: m2.decode::<Ask>().unwrap().n,
+                body: "r2".into(),
+            },
+        )
+        .unwrap();
     let r1 = c1.receive(T).unwrap().decode::<Answer>().unwrap();
     let r2 = c2.receive(T).unwrap().decode::<Answer>().unwrap();
     assert_eq!(r1.n, 1);
@@ -122,7 +148,14 @@ fn prime_gateway_bootstrap_reaches_a_remote_name_server() {
     assert_eq!(found, far.my_uadd());
 
     // And application traffic then flows across the same chain.
-    near.send(found, &Ask { n: 9, body: "primed".into() }).unwrap();
+    near.send(
+        found,
+        &Ask {
+            n: 9,
+            body: "primed".into(),
+        },
+    )
+    .unwrap();
     let got = far.receive(T).unwrap();
     assert_eq!(got.decode::<Ask>().unwrap().n, 9);
     assert!(lab.gateways[0].metrics().circuits_spliced >= 1);
@@ -134,5 +167,8 @@ fn well_known_addresses_are_reserved() {
     assert!(UAdd::NAME_SERVER.is_well_known());
     let lab = single_net(2, NetKind::Mbx).unwrap();
     let c = lab.testbed.module(lab.machines[1], "plain").unwrap();
-    assert!(!c.my_uadd().is_well_known(), "dynamic UAdds stay clear of the reserved block");
+    assert!(
+        !c.my_uadd().is_well_known(),
+        "dynamic UAdds stay clear of the reserved block"
+    );
 }

@@ -1,0 +1,466 @@
+//! Chaos suite for the delivery supervisor: seeded randomized fault
+//! schedules — partition/heal cycles, Name-Server replica kills, frame-drop
+//! storms on a gateway hop — asserting the supervisor's contract under each:
+//! every reliable message is either acknowledged and delivered exactly once,
+//! or surfaced as a typed dead letter; never silently lost, never delivered
+//! twice; and tripped circuit breakers recover once the fault heals.
+//!
+//! Every schedule is a pure function of its seed (the `RetryPolicy` jitter
+//! is seeded too), so each test runs the same fault timeline on every
+//! invocation. Three distinct seeds per scenario keep one lucky timeline
+//! from masking a supervision bug.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ntcs::{CircuitHealth, ComMod, MachineType, NetKind, NtcsError, Testbed};
+use ntcs_repro::messages::Ask;
+use ntcs_repro::scenarios::{line_internet, single_net};
+use parking_lot::Mutex;
+
+const SEEDS: [u64; 3] = [0x5EED_0001, 0x0BAD_CAFE, 0x00DD_BA11];
+
+/// Chaos scenarios are wall-clock sensitive (retry deadlines, breaker
+/// half-open timers); running several at once starves their threads and
+/// turns timing assertions into noise. One at a time.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// SplitMix64 — the schedule generator; deterministic per seed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+}
+
+/// Pumps `receiver` until `stop` is set and the wire has gone quiet,
+/// tallying how many times each sequence number reached the application.
+fn spawn_counter(
+    receiver: ComMod,
+    stop: Arc<AtomicBool>,
+    delivered: Arc<Mutex<HashMap<u32, u32>>>,
+) -> std::thread::JoinHandle<ComMod> {
+    std::thread::spawn(move || loop {
+        match receiver.receive(Some(Duration::from_millis(200))) {
+            Ok(m) => {
+                if let Ok(a) = m.decode::<Ask>() {
+                    *delivered.lock().entry(a.n).or_insert(0) += 1;
+                }
+            }
+            Err(NtcsError::Timeout) => {
+                if stop.load(Ordering::SeqCst) {
+                    return receiver;
+                }
+            }
+            Err(_) => return receiver,
+        }
+    })
+}
+
+/// The supervisor's contract, checked after a chaos run: exactly-once for
+/// every acknowledged message, at-most-once for dead-lettered ones, nothing
+/// delivered that was never sent.
+fn assert_exactly_once_or_dead_letter(delivered: &HashMap<u32, u32>, acked: &[u32], dead: &[u32]) {
+    for (n, count) in delivered {
+        assert_eq!(
+            *count, 1,
+            "message {n} reached the application {count} times"
+        );
+        assert!(
+            acked.contains(n) || dead.contains(n),
+            "message {n} delivered but never sent"
+        );
+    }
+    for n in acked {
+        assert_eq!(
+            delivered.get(n),
+            Some(&1),
+            "acknowledged message {n} must have been delivered exactly once"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scenario 1: partition/heal cycles between sender and receiver
+// ---------------------------------------------------------------------
+
+fn partition_heal_chaos(seed: u64) {
+    let _serial = SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let lab = single_net(3, NetKind::Mbx).unwrap();
+    let receiver = lab.testbed.module(lab.machines[2], "chaos-sink").unwrap();
+    let sender = lab.testbed.module(lab.machines[1], "chaos-src").unwrap();
+    let dst = sender.locate("chaos-sink").unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let delivered = Arc::new(Mutex::new(HashMap::new()));
+    let counter = spawn_counter(receiver, Arc::clone(&stop), Arc::clone(&delivered));
+
+    let world = lab.testbed.world().clone();
+    let (m_a, m_b) = (lab.machines[1], lab.machines[2]);
+    let net = lab.net;
+    let chaos = std::thread::spawn(move || {
+        let mut rng = Rng(seed);
+        // One long opening partition guarantees enough consecutive delivery
+        // failures to trip the sender's breaker on every seed.
+        std::thread::sleep(Duration::from_millis(150));
+        world.set_partition(m_a, m_b, true);
+        std::thread::sleep(Duration::from_millis(1800));
+        world.set_partition(m_a, m_b, false);
+        // Then seed-driven flapping: short partitions, drop storms, latency.
+        for _ in 0..rng.range(2, 5) {
+            match rng.next() % 3 {
+                0 => {
+                    world.set_partition(m_a, m_b, true);
+                    std::thread::sleep(Duration::from_millis(rng.range(100, 400)));
+                    world.set_partition(m_a, m_b, false);
+                }
+                1 => {
+                    world
+                        .set_drop_permille(net, rng.range(100, 500) as u32)
+                        .unwrap();
+                    std::thread::sleep(Duration::from_millis(rng.range(150, 400)));
+                    world.set_drop_permille(net, 0).unwrap();
+                }
+                _ => {
+                    world
+                        .set_latency(net, Duration::from_millis(rng.range(2, 15)))
+                        .unwrap();
+                    std::thread::sleep(Duration::from_millis(rng.range(100, 300)));
+                    world.set_latency(net, Duration::ZERO).unwrap();
+                }
+            }
+            std::thread::sleep(Duration::from_millis(rng.range(50, 250)));
+        }
+        // Heal everything.
+        world.set_partition(m_a, m_b, false);
+        world.set_drop_permille(net, 0).unwrap();
+        world.set_latency(net, Duration::ZERO).unwrap();
+    });
+
+    let mut pace = Rng(seed ^ 0x0050_ACE0);
+    let (mut acked, mut dead) = (Vec::new(), Vec::new());
+    for i in 0..12u32 {
+        match sender.send_reliable(
+            dst,
+            &Ask {
+                n: i,
+                body: String::new(),
+            },
+            Duration::from_secs(4),
+        ) {
+            Ok(_) => acked.push(i),
+            Err(e) => {
+                assert!(
+                    matches!(e, NtcsError::DeadlineExceeded),
+                    "exhausted recovery must surface as the typed deadline error, got {e}"
+                );
+                dead.push(i);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(pace.range(0, 60)));
+    }
+    chaos.join().unwrap();
+
+    // Post-heal: delivery works again and the breaker closes.
+    sender
+        .send_reliable(
+            dst,
+            &Ask {
+                n: 100,
+                body: String::new(),
+            },
+            Duration::from_secs(10),
+        )
+        .unwrap();
+    acked.push(100);
+    assert_eq!(sender.circuit_health(dst), CircuitHealth::Healthy);
+
+    // Let stragglers (retransmits of dead-lettered messages) drain, then
+    // stop the counter.
+    std::thread::sleep(Duration::from_millis(600));
+    stop.store(true, Ordering::SeqCst);
+    let receiver = counter.join().unwrap();
+
+    assert_exactly_once_or_dead_letter(&delivered.lock(), &acked, &dead);
+    let m = sender.metrics();
+    assert_eq!(m.dead_letters, dead.len() as u64);
+    assert!(
+        m.breaker_trips >= 1,
+        "the long partition must trip the breaker"
+    );
+    assert!(
+        m.breaker_recoveries >= 1,
+        "healing must close the breaker again"
+    );
+    assert!(m.retry_attempts >= 1, "supervised retries were exercised");
+    assert!(
+        m.retransmissions >= 1,
+        "the partition forced retransmissions"
+    );
+    let dups = receiver.metrics().duplicates_suppressed;
+    println!(
+        "seed {seed:#x}: acked={}, dead={}, retransmissions={}, trips={}, \
+         recoveries={}, duplicates_suppressed={dups}",
+        acked.len(),
+        dead.len(),
+        m.retransmissions,
+        m.breaker_trips,
+        m.breaker_recoveries,
+    );
+}
+
+#[test]
+fn partition_heal_cycles_seed_a() {
+    partition_heal_chaos(SEEDS[0]);
+}
+
+#[test]
+fn partition_heal_cycles_seed_b() {
+    partition_heal_chaos(SEEDS[1]);
+}
+
+#[test]
+fn partition_heal_cycles_seed_c() {
+    partition_heal_chaos(SEEDS[2]);
+}
+
+// ---------------------------------------------------------------------
+// Scenario 2: Name-Server replica kill mid-run (§7 failover under noise)
+// ---------------------------------------------------------------------
+
+fn ns_replica_kill(seed: u64) {
+    let _serial = SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut rng = Rng(seed);
+    let mut tb = Testbed::builder();
+    let net = tb.add_network(NetKind::Mbx, "lan");
+    let m: Vec<_> = (0..4)
+        .map(|i| {
+            tb.add_machine(MachineType::Sun, &format!("host{i}"), &[net])
+                .unwrap()
+        })
+        .collect();
+    tb.name_server_on(m[0]);
+    tb.replica_on(m[1]);
+    let testbed = tb.start().unwrap();
+
+    // Register while both servers live (the primary replicates to m[1]).
+    let svc = testbed.module(m[2], "chaos-svc").unwrap();
+    let client = testbed.module(m[3], "chaos-client").unwrap();
+
+    // Noise phase: seed-derived background loss while both servers live.
+    // A single dropped frame stalls a naming exchange on its 5 s replica
+    // timeout, which legitimately exhausts the 3 s `ns_retry` budget — so
+    // under loss a query must either answer correctly or fail with a
+    // *typed* transient/deadline error, never anything else.
+    testbed
+        .world()
+        .set_drop_permille(net, rng.range(60, 250) as u32)
+        .unwrap();
+    let mut noisy_hits = 0;
+    for _ in 0..rng.range(3, 6) {
+        match client.locate("chaos-svc") {
+            Ok(u) => {
+                assert_eq!(u, svc.my_uadd());
+                noisy_hits += 1;
+            }
+            Err(e) => assert!(
+                matches!(
+                    e,
+                    NtcsError::DeadlineExceeded
+                        | NtcsError::Timeout
+                        | NtcsError::NameServerUnreachable
+                        | NtcsError::CircuitBroken(_)
+                        | NtcsError::ConnectionClosed
+                ),
+                "noisy locate must fail with a typed transient error, got {e}"
+            ),
+        }
+        std::thread::sleep(Duration::from_millis(rng.range(10, 80)));
+    }
+    println!("seed {seed:#x}: {noisy_hits} noisy locates answered");
+
+    // Heal the wire, then kill the primary outright.
+    testbed.world().set_drop_permille(net, 0).unwrap();
+    testbed.world().crash(m[0]);
+    std::thread::sleep(Duration::from_millis(100));
+
+    // The naming query must fail over to the replica and still answer.
+    // Under load one supervised query can exhaust its deadline budget on
+    // the dead primary's open retries, so allow a couple of application
+    // retries — every failure along the way must still be typed.
+    let mut found = None;
+    for _ in 0..3 {
+        match client.locate("chaos-svc") {
+            Ok(u) => {
+                found = Some(u);
+                break;
+            }
+            Err(e) => assert!(
+                matches!(
+                    e,
+                    NtcsError::DeadlineExceeded
+                        | NtcsError::Timeout
+                        | NtcsError::NameServerUnreachable
+                        | NtcsError::CircuitBroken(_)
+                ),
+                "failover locate failed with an untyped error: {e}"
+            ),
+        }
+    }
+    let found = found.expect("locate must fail over to the surviving replica");
+    assert_eq!(found, svc.my_uadd());
+
+    // And the located module is genuinely reachable (m[3] ↔ m[2] traffic
+    // never depended on the dead machine). The receiver pumps concurrently:
+    // delivery acks only flow when the application actually receives.
+    testbed.world().set_drop_permille(net, 0).unwrap();
+    let svc_thread = std::thread::spawn(move || {
+        let got = svc.receive(Some(Duration::from_secs(10))).unwrap();
+        got.decode::<Ask>().unwrap().n
+    });
+    client
+        .send_reliable(
+            found,
+            &Ask {
+                n: 1,
+                body: String::new(),
+            },
+            Duration::from_secs(10),
+        )
+        .unwrap();
+    assert_eq!(svc_thread.join().unwrap(), 1);
+    assert_eq!(client.circuit_health(found), CircuitHealth::Healthy);
+}
+
+#[test]
+fn ns_replica_kill_seed_a() {
+    ns_replica_kill(SEEDS[0]);
+}
+
+#[test]
+fn ns_replica_kill_seed_b() {
+    ns_replica_kill(SEEDS[1]);
+}
+
+#[test]
+fn ns_replica_kill_seed_c() {
+    ns_replica_kill(SEEDS[2]);
+}
+
+// ---------------------------------------------------------------------
+// Scenario 3: drop storms on the middle network of a gateway chain
+// ---------------------------------------------------------------------
+
+fn gateway_drop_chaos(seed: u64) {
+    let _serial = SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let lab = line_internet(3, NetKind::Mbx).unwrap();
+    let server = lab
+        .testbed
+        .module(lab.edge_machines[2], "far-sink")
+        .unwrap();
+    let client = lab.testbed.module(lab.edge_machines[0], "far-src").unwrap();
+    let dst = client.locate("far-sink").unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let delivered = Arc::new(Mutex::new(HashMap::new()));
+    let counter = spawn_counter(server, Arc::clone(&stop), Arc::clone(&delivered));
+
+    let world = lab.testbed.world().clone();
+    let mid = lab.nets[1];
+    let chaos = std::thread::spawn(move || {
+        let mut rng = Rng(seed);
+        std::thread::sleep(Duration::from_millis(100));
+        for _ in 0..rng.range(3, 6) {
+            // A drop storm on the hop both gateways relay across.
+            world
+                .set_drop_permille(mid, rng.range(250, 700) as u32)
+                .unwrap();
+            std::thread::sleep(Duration::from_millis(rng.range(200, 500)));
+            world.set_drop_permille(mid, 0).unwrap();
+            std::thread::sleep(Duration::from_millis(rng.range(100, 300)));
+        }
+        world.set_drop_permille(mid, 0).unwrap();
+    });
+
+    let mut pace = Rng(seed ^ 0x6A7E);
+    let (mut acked, mut dead) = (Vec::new(), Vec::new());
+    for i in 0..10u32 {
+        match client.send_reliable(
+            dst,
+            &Ask {
+                n: i,
+                body: String::new(),
+            },
+            Duration::from_secs(5),
+        ) {
+            Ok(_) => acked.push(i),
+            Err(e) => {
+                assert!(matches!(e, NtcsError::DeadlineExceeded), "{e}");
+                dead.push(i);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(pace.range(0, 40)));
+    }
+    chaos.join().unwrap();
+
+    // Post-storm, the spliced route still works end to end.
+    client
+        .send_reliable(
+            dst,
+            &Ask {
+                n: 100,
+                body: String::new(),
+            },
+            Duration::from_secs(10),
+        )
+        .unwrap();
+    acked.push(100);
+
+    std::thread::sleep(Duration::from_millis(600));
+    stop.store(true, Ordering::SeqCst);
+    let server = counter.join().unwrap();
+
+    assert_exactly_once_or_dead_letter(&delivered.lock(), &acked, &dead);
+    let m = client.metrics();
+    assert_eq!(m.dead_letters, dead.len() as u64);
+    println!(
+        "seed {seed:#x}: acked={}, dead={}, retransmissions={}, duplicates_suppressed={}",
+        acked.len(),
+        dead.len(),
+        m.retransmissions,
+        server.metrics().duplicates_suppressed,
+    );
+}
+
+#[test]
+fn gateway_drop_storms_seed_a() {
+    gateway_drop_chaos(SEEDS[0]);
+}
+
+#[test]
+fn gateway_drop_storms_seed_b() {
+    gateway_drop_chaos(SEEDS[1]);
+}
+
+#[test]
+fn gateway_drop_storms_seed_c() {
+    gateway_drop_chaos(SEEDS[2]);
+}

@@ -82,7 +82,15 @@ fn packed_mode_is_character_representation() {
     let server = testbed.module(mb, "sink").unwrap();
     let client = testbed.module(ma, "src").unwrap();
     let dst = client.locate("sink").unwrap();
-    client.send(dst, &Numbers { a: 1234, ..numbers() }).unwrap();
+    client
+        .send(
+            dst,
+            &Numbers {
+                a: 1234,
+                ..numbers()
+            },
+        )
+        .unwrap();
     let got = server.receive(T).unwrap();
     assert_eq!(got.raw().payload.mode, ConvMode::Packed);
     // The wire format is pure characters for numbers (§5.1 sprintf/sscanf).
@@ -138,7 +146,10 @@ fn mode_adapts_the_other_way_too() {
     let client = testbed.module(sun1, "cli").unwrap();
     let dst = client.locate("svc").unwrap();
     client.send(dst, &Bulk::sized(0, 16)).unwrap();
-    assert_eq!(server.receive(T).unwrap().raw().payload.mode, ConvMode::Image);
+    assert_eq!(
+        server.receive(T).unwrap().raw().payload.mode,
+        ConvMode::Image
+    );
 
     let server = server.relocate_to(vax).unwrap();
     client.send(dst, &Bulk::sized(1, 16)).unwrap();
@@ -158,6 +169,10 @@ fn headers_are_shift_mode_regardless_of_endpoints() {
     let dst = client.locate("sink").unwrap();
     let id = client.send(dst, &numbers()).unwrap();
     let got = server.receive(T).unwrap();
-    assert_eq!(got.msg_id(), id, "header fields survive byte-order difference");
+    assert_eq!(
+        got.msg_id(),
+        id,
+        "header fields survive byte-order difference"
+    );
     assert_eq!(got.src(), client.my_uadd());
 }

@@ -60,7 +60,15 @@ fn monitor_sees_cross_module_conversations() {
 
     let dst = client.locate("watched-srv").unwrap();
     for i in 0..5 {
-        client.send(dst, &Ask { n: i, body: String::new() }).unwrap();
+        client
+            .send(
+                dst,
+                &Ask {
+                    n: i,
+                    body: String::new(),
+                },
+            )
+            .unwrap();
         server.receive(T).unwrap();
     }
     // Both perspectives arrive at the monitor.
@@ -99,7 +107,15 @@ fn monitor_timestamps_use_corrected_clocks() {
         Duration::from_secs(3600),
     );
     let dst = client.locate("plain-sink").unwrap();
-    client.send(dst, &Ask { n: 1, body: String::new() }).unwrap();
+    client
+        .send(
+            dst,
+            &Ask {
+                n: 1,
+                body: String::new(),
+            },
+        )
+        .unwrap();
     server.receive(T).unwrap();
 
     let reference = lab.testbed.world().clock(lab.machines[0]).unwrap();

@@ -9,7 +9,7 @@ use std::time::Duration;
 
 use ntcs::{NetKind, NtcsError};
 use ntcs_repro::messages::Ask;
-use ntcs_repro::scenarios::{single_net, line_internet};
+use ntcs_repro::scenarios::{line_internet, single_net};
 
 const T: Option<Duration> = Some(Duration::from_secs(5));
 
@@ -19,18 +19,46 @@ fn partition_surfaces_as_relocation_candidate() {
     let server = lab.testbed.module(lab.machines[1], "victim").unwrap();
     let client = lab.testbed.module(lab.machines[0], "observer").unwrap();
     let dst = client.locate("victim").unwrap();
-    client.send(dst, &Ask { n: 0, body: String::new() }).unwrap();
+    client
+        .send(
+            dst,
+            &Ask {
+                n: 0,
+                body: String::new(),
+            },
+        )
+        .unwrap();
     server.receive(T).unwrap();
 
-    lab.testbed.world().set_partition(lab.machines[0], lab.machines[1], true);
+    lab.testbed
+        .world()
+        .set_partition(lab.machines[0], lab.machines[1], true);
     std::thread::sleep(Duration::from_millis(100));
-    let err = client.send(dst, &Ask { n: 1, body: String::new() }).unwrap_err();
+    let err = client
+        .send(
+            dst,
+            &Ask {
+                n: 1,
+                body: String::new(),
+            },
+        )
+        .unwrap_err();
     assert!(err.is_relocation_candidate(), "{err}");
 
     // Healing the partition heals communication, with a fresh circuit.
-    lab.testbed.world().set_partition(lab.machines[0], lab.machines[1], false);
+    lab.testbed
+        .world()
+        .set_partition(lab.machines[0], lab.machines[1], false);
     let opened_before = client.metrics().circuits_opened;
-    client.send(dst, &Ask { n: 2, body: String::new() }).unwrap();
+    client
+        .send(
+            dst,
+            &Ask {
+                n: 2,
+                body: String::new(),
+            },
+        )
+        .unwrap();
     let got = server.receive(T).unwrap();
     assert_eq!(got.decode::<Ask>().unwrap().n, 2);
     assert!(client.metrics().circuits_opened > opened_before);
@@ -45,10 +73,20 @@ fn receive_observes_peer_death_as_silence_not_error() {
     let server = lab.testbed.module(lab.machines[1], "quiet").unwrap();
     let client = lab.testbed.module(lab.machines[0], "gone").unwrap();
     let dst = client.locate("quiet").unwrap();
-    client.send(dst, &Ask { n: 0, body: String::new() }).unwrap();
+    client
+        .send(
+            dst,
+            &Ask {
+                n: 0,
+                body: String::new(),
+            },
+        )
+        .unwrap();
     server.receive(T).unwrap();
     lab.testbed.world().crash(lab.machines[0]);
-    let err = server.receive(Some(Duration::from_millis(200))).unwrap_err();
+    let err = server
+        .receive(Some(Duration::from_millis(200)))
+        .unwrap_err();
     assert!(matches!(err, NtcsError::Timeout));
 }
 
@@ -59,17 +97,44 @@ fn lossy_network_drops_datagrams_but_circuits_report() {
     let client = lab.testbed.module(lab.machines[0], "lossy-src").unwrap();
     let dst = client.locate("lossy-sink").unwrap();
     // Establish first, then crank the loss to 100%.
-    client.send(dst, &Ask { n: 0, body: String::new() }).unwrap();
+    client
+        .send(
+            dst,
+            &Ask {
+                n: 0,
+                body: String::new(),
+            },
+        )
+        .unwrap();
     server.receive(T).unwrap();
-    lab.testbed.world().set_drop_millis(lab.net, 1000).unwrap();
+    lab.testbed
+        .world()
+        .set_drop_permille(lab.net, 1000)
+        .unwrap();
     // Connectionless sends vanish silently (best-effort contract).
-    client.cast(dst, &Ask { n: 1, body: String::new() }).unwrap();
+    client
+        .cast(
+            dst,
+            &Ask {
+                n: 1,
+                body: String::new(),
+            },
+        )
+        .unwrap();
     assert!(matches!(
         server.receive(Some(Duration::from_millis(150))),
         Err(NtcsError::Timeout)
     ));
-    lab.testbed.world().set_drop_millis(lab.net, 0).unwrap();
-    client.send(dst, &Ask { n: 2, body: String::new() }).unwrap();
+    lab.testbed.world().set_drop_permille(lab.net, 0).unwrap();
+    client
+        .send(
+            dst,
+            &Ask {
+                n: 2,
+                body: String::new(),
+            },
+        )
+        .unwrap();
     assert_eq!(server.receive(T).unwrap().decode::<Ask>().unwrap().n, 2);
 }
 
@@ -79,11 +144,30 @@ fn latency_injection_slows_but_does_not_break() {
     let server = lab.testbed.module(lab.machines[1], "slow-sink").unwrap();
     let client = lab.testbed.module(lab.machines[0], "slow-src").unwrap();
     let dst = client.locate("slow-sink").unwrap();
-    client.send(dst, &Ask { n: 0, body: String::new() }).unwrap();
+    client
+        .send(
+            dst,
+            &Ask {
+                n: 0,
+                body: String::new(),
+            },
+        )
+        .unwrap();
     server.receive(T).unwrap();
-    lab.testbed.world().set_latency(lab.net, Duration::from_millis(30)).unwrap();
+    lab.testbed
+        .world()
+        .set_latency(lab.net, Duration::from_millis(30))
+        .unwrap();
     let started = std::time::Instant::now();
-    client.send(dst, &Ask { n: 1, body: String::new() }).unwrap();
+    client
+        .send(
+            dst,
+            &Ask {
+                n: 1,
+                body: String::new(),
+            },
+        )
+        .unwrap();
     let got = server.receive(T).unwrap();
     assert_eq!(got.decode::<Ask>().unwrap().n, 1);
     assert!(started.elapsed() >= Duration::from_millis(25));
@@ -97,16 +181,38 @@ fn gateway_teardown_cascade_reaches_the_originator() {
     let server = lab.testbed.module(lab.edge_machines[2], "far").unwrap();
     let client = lab.testbed.module(lab.edge_machines[0], "near").unwrap();
     let dst = client.locate("far").unwrap();
-    client.send(dst, &Ask { n: 0, body: String::new() }).unwrap();
+    client
+        .send(
+            dst,
+            &Ask {
+                n: 0,
+                body: String::new(),
+            },
+        )
+        .unwrap();
     server.receive(T).unwrap();
 
     lab.testbed.world().crash(lab.edge_machines[2]);
     std::thread::sleep(Duration::from_millis(800));
     // Both gateways observed the collapse.
-    assert!(lab.gateways[1].metrics().teardowns >= 1, "gateway next to the death");
-    assert!(lab.gateways[0].metrics().teardowns >= 1, "cascade reached the first hop");
+    assert!(
+        lab.gateways[1].metrics().teardowns >= 1,
+        "gateway next to the death"
+    );
+    assert!(
+        lab.gateways[0].metrics().teardowns >= 1,
+        "cascade reached the first hop"
+    );
     // And the originator's next send faults.
-    let err = client.send(dst, &Ask { n: 1, body: String::new() }).unwrap_err();
+    let err = client
+        .send(
+            dst,
+            &Ask {
+                n: 1,
+                body: String::new(),
+            },
+        )
+        .unwrap_err();
     assert!(
         err.is_relocation_candidate() || matches!(err, NtcsError::NoForwardingAddress(_)),
         "{err}"
@@ -118,7 +224,9 @@ fn null_destination_is_parameter_checked() {
     // ALI-layer parameter checking (§2.4).
     let lab = single_net(1, NetKind::Mbx).unwrap();
     let c = lab.testbed.module(lab.machines[0], "checker").unwrap();
-    let err = c.send(ntcs::UAdd::from_raw(0), &Ask::default()).unwrap_err();
+    let err = c
+        .send(ntcs::UAdd::from_raw(0), &Ask::default())
+        .unwrap_err();
     assert!(matches!(err, NtcsError::InvalidArgument(_)));
     let err = c.ping(ntcs::UAdd::from_raw(0), T).unwrap_err();
     assert!(matches!(err, NtcsError::InvalidArgument(_)));

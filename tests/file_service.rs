@@ -75,7 +75,10 @@ fn files_survive_service_relocation() {
 fn file_service_across_gateways() {
     let lab = line_internet(2, NetKind::Mbx).unwrap();
     let fs = FileService::spawn(&lab.testbed, lab.edge_machines[1]).unwrap();
-    let client = lab.testbed.module(lab.edge_machines[0], "remote-user").unwrap();
+    let client = lab
+        .testbed
+        .module(lab.edge_machines[0], "remote-user")
+        .unwrap();
     let fs_addr = client.locate(FILE_SERVICE_NAME).unwrap();
     fs_write(&client, fs_addr, "/remote/file", b"across networks").unwrap();
     assert_eq!(

@@ -22,17 +22,33 @@ fn chains_of_increasing_length() {
             .testbed
             .module(lab.edge_machines[k - 1], "far-end")
             .unwrap();
-        let client = lab.testbed.module(lab.edge_machines[0], "near-end").unwrap();
+        let client = lab
+            .testbed
+            .module(lab.edge_machines[0], "near-end")
+            .unwrap();
         let dst = client.locate("far-end").unwrap();
         let t = std::thread::spawn(move || {
             let m = server.receive(T).unwrap();
             let a: Ask = m.decode().unwrap();
             server
-                .reply(&m, &Answer { n: a.n, body: a.body })
+                .reply(
+                    &m,
+                    &Answer {
+                        n: a.n,
+                        body: a.body,
+                    },
+                )
                 .unwrap();
         });
         let reply = client
-            .send_receive(dst, &Ask { n: k as u32, body: format!("{k} nets") }, T)
+            .send_receive(
+                dst,
+                &Ask {
+                    n: k as u32,
+                    body: format!("{k} nets"),
+                },
+                T,
+            )
             .unwrap();
         let ans: Answer = reply.decode().unwrap();
         assert_eq!(ans.n, k as u32);
@@ -55,7 +71,15 @@ fn no_inter_gateway_communication() {
     let server = lab.testbed.module(lab.edge_machines[2], "svc").unwrap();
     let client = lab.testbed.module(lab.edge_machines[0], "cli").unwrap();
     let dst = client.locate("svc").unwrap();
-    client.send(dst, &Ask { n: 1, body: "x".into() }).unwrap();
+    client
+        .send(
+            dst,
+            &Ask {
+                n: 1,
+                body: "x".into(),
+            },
+        )
+        .unwrap();
     server.receive(T).unwrap();
     for gw in &lab.gateways {
         let m = gw.nucleus().metrics().snapshot();
@@ -80,7 +104,9 @@ fn internet_over_mixed_ipcs_kinds() {
     let ns_host = tb
         .add_machine(MachineType::Sun, "ns-host", &[mbx_net, tcp_net])
         .unwrap();
-    let apollo = tb.add_machine(MachineType::Apollo, "apollo", &[mbx_net]).unwrap();
+    let apollo = tb
+        .add_machine(MachineType::Apollo, "apollo", &[mbx_net])
+        .unwrap();
     let vax = tb.add_machine(MachineType::Vax, "vax", &[tcp_net]).unwrap();
     let gw_host = tb
         .add_machine(MachineType::M68k, "gw-host", &[mbx_net, tcp_net])
@@ -92,7 +118,15 @@ fn internet_over_mixed_ipcs_kinds() {
     let server = testbed.module(vax, "tcp-side").unwrap();
     let client = testbed.module(apollo, "mbx-side").unwrap();
     let dst = client.locate("tcp-side").unwrap();
-    client.send(dst, &Ask { n: 7, body: "across kinds".into() }).unwrap();
+    client
+        .send(
+            dst,
+            &Ask {
+                n: 7,
+                body: "across kinds".into(),
+            },
+        )
+        .unwrap();
     let got = server.receive(T).unwrap();
     assert_eq!(got.decode::<Ask>().unwrap().n, 7);
     assert_eq!(gw.metrics().circuits_spliced, 1);
@@ -106,7 +140,15 @@ fn gateway_death_breaks_routes_until_replaced() {
     let server = lab.testbed.module(lab.edge_machines[1], "svc").unwrap();
     let client = lab.testbed.module(lab.edge_machines[0], "cli").unwrap();
     let dst = client.locate("svc").unwrap();
-    client.send(dst, &Ask { n: 1, body: "up".into() }).unwrap();
+    client
+        .send(
+            dst,
+            &Ask {
+                n: 1,
+                body: "up".into(),
+            },
+        )
+        .unwrap();
     server.receive(T).unwrap();
 
     // Kill the only gateway's machine.
@@ -126,11 +168,20 @@ fn gateway_death_breaks_routes_until_replaced() {
     // deregistering), so establishment fails at the ND level rather than
     // with NoRoute.
     let err = client
-        .send(dst, &Ask { n: 2, body: "down".into() })
+        .send(
+            dst,
+            &Ask {
+                n: 2,
+                body: "down".into(),
+            },
+        )
         .unwrap_err();
     assert!(
         err.is_relocation_candidate()
-            || matches!(err, ntcs::NtcsError::NoRoute { .. } | ntcs::NtcsError::NoForwardingAddress(_)),
+            || matches!(
+                err,
+                ntcs::NtcsError::NoRoute { .. } | ntcs::NtcsError::NoForwardingAddress(_)
+            ),
         "{err}"
     );
 
@@ -151,8 +202,19 @@ fn gateway_death_breaks_routes_until_replaced() {
     let new_gw_machine = world
         .add_machine(MachineType::Apollo, "gw-host-replacement", &nets)
         .unwrap();
-    let _new_gw = lab.testbed.gateway(new_gw_machine, "gw-replacement").unwrap();
-    client.send(dst, &Ask { n: 3, body: "restored".into() }).unwrap();
+    let _new_gw = lab
+        .testbed
+        .gateway(new_gw_machine, "gw-replacement")
+        .unwrap();
+    client
+        .send(
+            dst,
+            &Ask {
+                n: 3,
+                body: "restored".into(),
+            },
+        )
+        .unwrap();
     let got = server.receive(T).unwrap();
     assert_eq!(got.decode::<Ask>().unwrap().n, 3);
 }
@@ -166,7 +228,14 @@ fn direct_path_preferred_when_networks_shared() {
     let b = lab.testbed.commod(lab.edge_machines[0], "same-b").unwrap();
     b.register("same-b").unwrap();
     let dst = a.locate("same-b").unwrap();
-    a.send(dst, &Ask { n: 1, body: "local".into() }).unwrap();
+    a.send(
+        dst,
+        &Ask {
+            n: 1,
+            body: "local".into(),
+        },
+    )
+    .unwrap();
     b.receive(T).unwrap();
     assert_eq!(a.metrics().route_queries, 0);
     assert_eq!(lab.gateways[0].metrics().circuits_spliced, 0);

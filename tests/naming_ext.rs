@@ -22,7 +22,9 @@ fn attribute_value_naming_end_to_end() {
             .unwrap();
         let mut attrs = AttrSet::named(&format!("w{i}")).unwrap();
         attrs.set("role", role).unwrap();
-        attrs.set("tier", if i == 0 { "gold" } else { "bronze" }).unwrap();
+        attrs
+            .set("tier", if i == 0 { "gold" } else { "bronze" })
+            .unwrap();
         c.register_attrs(&attrs).unwrap();
         handles.push(c);
     }
@@ -79,7 +81,7 @@ fn replicated_name_service_is_transparent() {
     // Resolution works via the primary…
     assert_eq!(client.locate("svc").unwrap(), server.my_uadd());
     std::thread::sleep(Duration::from_millis(200)); // replication drains
-    // …and survives losing it entirely: the NSP layer fails over (§7).
+                                                    // …and survives losing it entirely: the NSP layer fails over (§7).
     assert!(testbed.remove_name_server());
     assert_eq!(client.locate("svc").unwrap(), server.my_uadd());
 
@@ -87,7 +89,15 @@ fn replicated_name_service_is_transparent() {
     let newcomer = testbed.commod(m2, "late").unwrap();
     newcomer.register("late").unwrap();
     let dst = newcomer.locate("svc").unwrap();
-    newcomer.send(dst, &Ask { n: 1, body: "via replica".into() }).unwrap();
+    newcomer
+        .send(
+            dst,
+            &Ask {
+                n: 1,
+                body: "via replica".into(),
+            },
+        )
+        .unwrap();
     let got = server.receive(T).unwrap();
     assert_eq!(got.decode::<Ask>().unwrap().n, 1);
 }
@@ -139,7 +149,15 @@ fn rebuilt_primary_catches_up_from_replica_snapshot() {
     let found = fresh.locate("survivor").unwrap();
     assert_eq!(found, server.my_uadd());
     // And the new primary can still route messages end to end.
-    fresh.send(found, &Ask { n: 5, body: "post-crash".into() }).unwrap();
+    fresh
+        .send(
+            found,
+            &Ask {
+                n: 5,
+                body: "post-crash".into(),
+            },
+        )
+        .unwrap();
     assert_eq!(server.receive(T).unwrap().decode::<Ask>().unwrap().n, 5);
 }
 

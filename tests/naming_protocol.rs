@@ -5,8 +5,7 @@ use std::time::Duration;
 
 use ntcs::{NetKind, UAdd};
 use ntcs_naming::protocol::{
-    NsAck, NsLookup, NsLookupReply, NsRegister, NsRegisterReply, NsSnapshotReply,
-    NsSnapshotRequest,
+    NsAck, NsLookup, NsLookupReply, NsRegister, NsRegisterReply, NsSnapshotReply, NsSnapshotRequest,
 };
 use ntcs_repro::scenarios::single_net;
 use ntcs_wire::Message;

@@ -21,8 +21,24 @@ fn warm_caches_survive_name_server_removal() {
     let d1 = client.locate("svc-1").unwrap();
     let d2 = client.locate("svc-2").unwrap();
     // Warm both paths.
-    client.send(d1, &Ask { n: 0, body: String::new() }).unwrap();
-    client.send(d2, &Ask { n: 0, body: String::new() }).unwrap();
+    client
+        .send(
+            d1,
+            &Ask {
+                n: 0,
+                body: String::new(),
+            },
+        )
+        .unwrap();
+    client
+        .send(
+            d2,
+            &Ask {
+                n: 0,
+                body: String::new(),
+            },
+        )
+        .unwrap();
     s1.receive(T).unwrap();
     s2.receive(T).unwrap();
 
@@ -30,17 +46,49 @@ fn warm_caches_survive_name_server_removal() {
 
     // Heavy post-removal traffic: no consequence.
     for i in 1..=20u32 {
-        client.send(d1, &Ask { n: i, body: String::new() }).unwrap();
-        client.send(d2, &Ask { n: i, body: String::new() }).unwrap();
+        client
+            .send(
+                d1,
+                &Ask {
+                    n: i,
+                    body: String::new(),
+                },
+            )
+            .unwrap();
+        client
+            .send(
+                d2,
+                &Ask {
+                    n: i,
+                    body: String::new(),
+                },
+            )
+            .unwrap();
         assert_eq!(s1.receive(T).unwrap().decode::<Ask>().unwrap().n, i);
         assert_eq!(s2.receive(T).unwrap().decode::<Ask>().unwrap().n, i);
     }
     // Request/reply works too (reply path needs no naming).
     let s1_thread = std::thread::spawn(move || {
         let m = s1.receive(T).unwrap();
-        s1.reply(&m, &Answer { n: 99, body: String::new() }).unwrap();
+        s1.reply(
+            &m,
+            &Answer {
+                n: 99,
+                body: String::new(),
+            },
+        )
+        .unwrap();
     });
-    let r = client.send_receive(d1, &Ask { n: 21, body: String::new() }, T).unwrap();
+    let r = client
+        .send_receive(
+            d1,
+            &Ask {
+                n: 21,
+                body: String::new(),
+            },
+            T,
+        )
+        .unwrap();
     assert_eq!(r.decode::<Answer>().unwrap().n, 99);
     s1_thread.join().unwrap();
 }
@@ -52,7 +100,15 @@ fn removal_breaks_only_reconfiguration() {
     let svc = testbed.module(lab.machines[1], "svc").unwrap();
     let client = testbed.module(lab.machines[0], "cli").unwrap();
     let dst = client.locate("svc").unwrap();
-    client.send(dst, &Ask { n: 0, body: String::new() }).unwrap();
+    client
+        .send(
+            dst,
+            &Ask {
+                n: 0,
+                body: String::new(),
+            },
+        )
+        .unwrap();
     svc.receive(T).unwrap();
 
     assert!(testbed.remove_name_server());
@@ -72,7 +128,15 @@ fn removal_breaks_only_reconfiguration() {
     // New resolution fails as well.
     assert!(client.locate("svc").is_err());
     // Existing communication still fine.
-    client.send(dst, &Ask { n: 1, body: String::new() }).unwrap();
+    client
+        .send(
+            dst,
+            &Ask {
+                n: 1,
+                body: String::new(),
+            },
+        )
+        .unwrap();
     assert_eq!(svc.receive(T).unwrap().decode::<Ask>().unwrap().n, 1);
 }
 
@@ -83,13 +147,29 @@ fn established_gateway_chains_survive_removal() {
     let server = testbed.module(lab.edge_machines[1], "far").unwrap();
     let client = testbed.module(lab.edge_machines[0], "near").unwrap();
     let dst = client.locate("far").unwrap();
-    client.send(dst, &Ask { n: 0, body: String::new() }).unwrap();
+    client
+        .send(
+            dst,
+            &Ask {
+                n: 0,
+                body: String::new(),
+            },
+        )
+        .unwrap();
     server.receive(T).unwrap();
 
     assert!(testbed.remove_name_server());
     // The spliced circuit needs no more routing decisions.
     for i in 1..=10u32 {
-        client.send(dst, &Ask { n: i, body: String::new() }).unwrap();
+        client
+            .send(
+                dst,
+                &Ask {
+                    n: i,
+                    body: String::new(),
+                },
+            )
+            .unwrap();
         assert_eq!(server.receive(T).unwrap().decode::<Ask>().unwrap().n, i);
     }
 }

@@ -7,9 +7,7 @@ use proptest::prelude::*;
 use ntcs::{AttrQuery, AttrSet, MachineType, NetworkId, PhysAddr, UAdd};
 use ntcs_naming::NameDb;
 use ntcs_wire::pack::{pack_to_vec, unpack_from_slice, Blob};
-use ntcs_wire::{
-    image, ConvMode, Frame, FrameHeader, FrameType, ShiftReader, ShiftWriter,
-};
+use ntcs_wire::{image, ConvMode, Frame, FrameHeader, FrameType, ShiftReader, ShiftWriter};
 
 fn machine_type() -> impl Strategy<Value = MachineType> {
     prop_oneof![
@@ -444,5 +442,76 @@ proptest! {
         // TAdd flag is the top bit, always.
         let v = UAdd::from_raw(raw);
         prop_assert_eq!(v.is_temporary(), raw >> 63 == 1);
+    }
+
+    #[test]
+    fn backoff_schedules_are_monotone_and_jitter_bounded(
+        max_attempts in 1u32..24,
+        base_ms in 1u64..200,
+        cap_ms in 1u64..2_000,
+        jitter in 0.0f64..1.0,
+        deadline_ms in 1u64..20_000,
+        seed in any::<u64>(),
+    ) {
+        use std::time::Duration;
+        let p = ntcs::RetryPolicy {
+            max_attempts,
+            base_backoff: Duration::from_millis(base_ms),
+            max_backoff: Duration::from_millis(cap_ms),
+            jitter,
+            deadline: Duration::from_millis(deadline_ms),
+            seed,
+        };
+        let delays: Vec<Duration> = p.schedule().collect();
+        // Never more inter-attempt delays than retries.
+        prop_assert!(delays.len() <= max_attempts.saturating_sub(1) as usize);
+        // Monotone non-decreasing, except that the deadline cap may truncate
+        // the final delay — and only the final one: a capped emit exhausts
+        // the budget, so the iterator ends right after it.
+        for (i, w) in delays.windows(2).enumerate() {
+            let is_last = i + 2 == delays.len();
+            let total: Duration = delays.iter().sum();
+            prop_assert!(
+                w[1] >= w[0] || (is_last && total == p.deadline),
+                "schedule not monotone at {i}: {delays:?}"
+            );
+        }
+        // Each delay lies within the jitter bounds of its nominal value —
+        // jitter only ever *adds* — except where the deadline cap cuts the
+        // tail short (only ever downward, and only once the budget is gone).
+        let mut spent = Duration::ZERO;
+        for (i, d) in delays.iter().enumerate() {
+            let nominal = p.nominal_backoff(i as u32);
+            let ceil = nominal.mul_f64(1.0 + jitter) + Duration::from_nanos(1);
+            prop_assert!(*d <= ceil, "attempt {i}: {d:?} above jitter ceiling {ceil:?}");
+            let capped_by_deadline = spent + *d >= p.deadline;
+            prop_assert!(
+                *d >= nominal || capped_by_deadline,
+                "attempt {i}: {d:?} below nominal {nominal:?} without a deadline cap"
+            );
+            spent += *d;
+        }
+        // Total sleep time never exceeds the deadline budget.
+        let total: Duration = delays.iter().sum();
+        prop_assert!(total <= p.deadline, "{total:?} exceeds deadline {:?}", p.deadline);
+    }
+
+    #[test]
+    fn backoff_schedules_are_deterministic_per_seed(
+        seed in any::<u64>(),
+        max_attempts in 2u32..16,
+    ) {
+        use std::time::Duration;
+        let p = ntcs::RetryPolicy {
+            max_attempts,
+            base_backoff: Duration::from_millis(7),
+            max_backoff: Duration::from_millis(500),
+            jitter: 0.5,
+            deadline: Duration::from_secs(30),
+            seed,
+        };
+        let a: Vec<_> = p.schedule().collect();
+        let b: Vec<_> = p.schedule().collect();
+        prop_assert_eq!(a, b);
     }
 }

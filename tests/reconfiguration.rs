@@ -26,7 +26,13 @@ fn relocation_mid_conversation_recovers_transparently() {
     let handler: Handler = Box::new(move |commod, msg| {
         if let Ok(a) = msg.decode::<Ask>() {
             rc.fetch_add(1, Ordering::Relaxed);
-            let _ = commod.reply(&msg, &Answer { n: a.n, body: String::new() });
+            let _ = commod.reply(
+                &msg,
+                &Answer {
+                    n: a.n,
+                    body: String::new(),
+                },
+            );
         }
     });
     let host = ServiceHost::spawn(&lab.testbed, lab.machines[1], "mover", handler).unwrap();
@@ -45,7 +51,14 @@ fn relocation_mid_conversation_recovers_transparently() {
         // Synchronous exchanges: each either completes or (rarely, if the
         // request raced the teardown) times out — never errors out, because
         // the LCM layer reconnects transparently.
-        match client.send_receive(dst, &Ask { n: i, body: String::new() }, Some(Duration::from_secs(2))) {
+        match client.send_receive(
+            dst,
+            &Ask {
+                n: i,
+                body: String::new(),
+            },
+            Some(Duration::from_secs(2)),
+        ) {
             Ok(reply) => {
                 assert_eq!(reply.decode::<Answer>().unwrap().n, i);
                 answered += 1;
@@ -55,9 +68,16 @@ fn relocation_mid_conversation_recovers_transparently() {
         }
     }
     assert!(answered >= 27, "answered {answered}, dropped {dropped}");
-    assert!(dropped <= 3, "dropped {dropped} exceeds the reconfiguration budget");
+    assert!(
+        dropped <= 3,
+        "dropped {dropped} exceeds the reconfiguration budget"
+    );
     let m = client.metrics();
-    assert!(m.address_faults >= 2, "two relocations ⇒ ≥2 faults, saw {}", m.address_faults);
+    assert!(
+        m.address_faults >= 2,
+        "two relocations ⇒ ≥2 faults, saw {}",
+        m.address_faults
+    );
     assert!(m.forward_queries >= 2);
     assert!(m.reconnects >= 2);
     host.stop();
@@ -72,7 +92,15 @@ fn no_messages_lost_in_static_configuration() {
     let dst = client.locate("sink").unwrap();
     const N: u32 = 500;
     for i in 0..N {
-        client.send(dst, &Ask { n: i, body: String::new() }).unwrap();
+        client
+            .send(
+                dst,
+                &Ask {
+                    n: i,
+                    body: String::new(),
+                },
+            )
+            .unwrap();
     }
     for i in 0..N {
         let m = server.receive(T).unwrap();
@@ -85,7 +113,13 @@ fn chained_relocations_follow_forwarding_chain() {
     let lab = single_net(4, NetKind::Mbx).unwrap();
     let handler: Handler = Box::new(|commod, msg| {
         if msg.decode::<Ask>().is_ok() {
-            let _ = commod.reply(&msg, &Answer { n: 0, body: "here".into() });
+            let _ = commod.reply(
+                &msg,
+                &Answer {
+                    n: 0,
+                    body: "here".into(),
+                },
+            );
         }
     });
     let host = ServiceHost::spawn(&lab.testbed, lab.machines[1], "nomad", handler).unwrap();
@@ -93,14 +127,28 @@ fn chained_relocations_follow_forwarding_chain() {
     let dst = client.locate("nomad").unwrap();
     // First contact, then two silent moves before the next send.
     client
-        .send_receive(dst, &Ask { n: 0, body: String::new() }, T)
+        .send_receive(
+            dst,
+            &Ask {
+                n: 0,
+                body: String::new(),
+            },
+            T,
+        )
         .unwrap();
     host.relocate(lab.machines[2]).unwrap();
     host.relocate(lab.machines[3]).unwrap();
     // The old UAdd is now two generations stale; the forwarding query finds
     // the newest incarnation directly (§3.5's "newer module").
     let reply = client
-        .send_receive(dst, &Ask { n: 1, body: String::new() }, T)
+        .send_receive(
+            dst,
+            &Ask {
+                n: 1,
+                body: String::new(),
+            },
+            T,
+        )
         .unwrap();
     assert_eq!(reply.decode::<Answer>().unwrap().body, "here");
     host.stop();
@@ -113,22 +161,49 @@ fn relocation_across_networks_through_gateways() {
     let lab = line_internet(2, NetKind::Mbx).unwrap();
     let handler: Handler = Box::new(|commod, msg| {
         if let Ok(a) = msg.decode::<Ask>() {
-            let _ = commod.reply(&msg, &Answer { n: a.n + 100, body: String::new() });
+            let _ = commod.reply(
+                &msg,
+                &Answer {
+                    n: a.n + 100,
+                    body: String::new(),
+                },
+            );
         }
     });
     // Server starts on the client's own network…
     let host = ServiceHost::spawn(&lab.testbed, lab.edge_machines[0], "roamer", handler).unwrap();
     let client = lab.testbed.module(lab.edge_machines[0], "caller").unwrap();
     let dst = client.locate("roamer").unwrap();
-    let r = client.send_receive(dst, &Ask { n: 1, body: String::new() }, T).unwrap();
+    let r = client
+        .send_receive(
+            dst,
+            &Ask {
+                n: 1,
+                body: String::new(),
+            },
+            T,
+        )
+        .unwrap();
     assert_eq!(r.decode::<Answer>().unwrap().n, 101);
     assert_eq!(client.metrics().route_queries, 0);
 
     // …then moves to the far network.
     host.relocate(lab.edge_machines[1]).unwrap();
-    let r = client.send_receive(dst, &Ask { n: 2, body: String::new() }, T).unwrap();
+    let r = client
+        .send_receive(
+            dst,
+            &Ask {
+                n: 2,
+                body: String::new(),
+            },
+            T,
+        )
+        .unwrap();
     assert_eq!(r.decode::<Answer>().unwrap().n, 102);
-    assert!(client.metrics().route_queries >= 1, "reconnect crossed a gateway");
+    assert!(
+        client.metrics().route_queries >= 1,
+        "reconnect crossed a gateway"
+    );
     assert!(lab.gateways[0].metrics().circuits_spliced >= 1);
     host.stop();
 }
@@ -143,16 +218,42 @@ fn sender_relocation_keeps_conversations_alive() {
         for _ in 0..2 {
             let m = server.receive(Some(Duration::from_secs(10))).unwrap();
             let a: Ask = m.decode().unwrap();
-            server.reply(&m, &Answer { n: a.n, body: String::new() }).unwrap();
+            server
+                .reply(
+                    &m,
+                    &Answer {
+                        n: a.n,
+                        body: String::new(),
+                    },
+                )
+                .unwrap();
         }
     });
     let client = lab.testbed.module(lab.machines[0], "mobile-cli").unwrap();
     let dst = client.locate("fixed").unwrap();
-    let r = client.send_receive(dst, &Ask { n: 1, body: String::new() }, T).unwrap();
+    let r = client
+        .send_receive(
+            dst,
+            &Ask {
+                n: 1,
+                body: String::new(),
+            },
+            T,
+        )
+        .unwrap();
     assert_eq!(r.decode::<Answer>().unwrap().n, 1);
 
     let client = client.relocate_to(lab.machines[2]).unwrap();
-    let r = client.send_receive(dst, &Ask { n: 2, body: String::new() }, T).unwrap();
+    let r = client
+        .send_receive(
+            dst,
+            &Ask {
+                n: 2,
+                body: String::new(),
+            },
+            T,
+        )
+        .unwrap();
     assert_eq!(r.decode::<Answer>().unwrap().n, 2);
     server_thread.join().unwrap();
 }
@@ -175,11 +276,27 @@ fn crash_without_replacement_returns_error() {
     let server = lab.testbed.module(lab.machines[1], "doomed").unwrap();
     let client = lab.testbed.module(lab.machines[0], "witness").unwrap();
     let dst = client.locate("doomed").unwrap();
-    client.send(dst, &Ask { n: 0, body: String::new() }).unwrap();
+    client
+        .send(
+            dst,
+            &Ask {
+                n: 0,
+                body: String::new(),
+            },
+        )
+        .unwrap();
     server.receive(T).unwrap();
     lab.testbed.world().crash(lab.machines[1]);
     std::thread::sleep(Duration::from_millis(100));
-    let err = client.send(dst, &Ask { n: 1, body: String::new() }).unwrap_err();
+    let err = client
+        .send(
+            dst,
+            &Ask {
+                n: 1,
+                body: String::new(),
+            },
+        )
+        .unwrap_err();
     assert!(
         err.is_relocation_candidate() || matches!(err, NtcsError::NoForwardingAddress(_)),
         "{err}"

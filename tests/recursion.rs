@@ -26,7 +26,15 @@ fn first_send_triggers_recursive_layer_activity() {
     let server_thread = std::thread::spawn(move || {
         let m = server.receive(T).unwrap();
         let a: Ask = m.decode().unwrap();
-        server.reply(&m, &Answer { n: a.n, body: String::new() }).unwrap();
+        server
+            .reply(
+                &m,
+                &Answer {
+                    n: a.n,
+                    body: String::new(),
+                },
+            )
+            .unwrap();
     });
 
     let client = Arc::new(lab.testbed.module(lab.machines[1], "instrumented").unwrap());
@@ -39,7 +47,16 @@ fn first_send_triggers_recursive_layer_activity() {
     client.trace().clear();
 
     let dst = client.locate("echo").unwrap();
-    let reply = client.send_receive(dst, &Ask { n: 5, body: String::new() }, T).unwrap();
+    let reply = client
+        .send_receive(
+            dst,
+            &Ask {
+                n: 5,
+                body: String::new(),
+            },
+            T,
+        )
+        .unwrap();
     assert_eq!(reply.decode::<Answer>().unwrap().n, 5);
     server_thread.join().unwrap();
 
@@ -53,7 +70,10 @@ fn first_send_triggers_recursive_layer_activity() {
         .iter()
         .filter(|e| e.layer == Layer::Nsp && e.action == "lookup")
         .count();
-    assert!(lcm_sends >= 3, "time + payload + monitor sends, saw {lcm_sends}");
+    assert!(
+        lcm_sends >= 3,
+        "time + payload + monitor sends, saw {lcm_sends}"
+    );
     assert!(nsp_lookups >= 1, "resolution recursed through NSP");
     // Depth really exceeded 1: some send happened while another was live.
     let max_depth = events.iter().map(|e| e.depth).max().unwrap_or(0);
@@ -86,7 +106,9 @@ fn unpatched_ns_fault_recurses_to_the_guard() {
     // Break the Name-Server circuit: partition the module from the server's
     // machine. (The paper's trigger was exactly a broken NS virtual
     // circuit.)
-    lab.testbed.world().set_partition(lab.machines[0], lab.machines[1], true);
+    lab.testbed
+        .world()
+        .set_partition(lab.machines[0], lab.machines[1], true);
     std::thread::sleep(Duration::from_millis(100));
 
     let err = module.locate("fragile").unwrap_err();
@@ -108,7 +130,9 @@ fn patched_ns_fault_stays_shallow_and_recovers() {
     module.register("fragile").unwrap();
     module.nucleus().gauge().reset_max();
 
-    lab.testbed.world().set_partition(lab.machines[0], lab.machines[1], true);
+    lab.testbed
+        .world()
+        .set_partition(lab.machines[0], lab.machines[1], true);
     std::thread::sleep(Duration::from_millis(100));
 
     // Bounded failure, no runaway.
@@ -124,7 +148,9 @@ fn patched_ns_fault_stays_shallow_and_recovers() {
     );
 
     // Heal the partition: "until … the connection can be reestablished."
-    lab.testbed.world().set_partition(lab.machines[0], lab.machines[1], false);
+    lab.testbed
+        .world()
+        .set_partition(lab.machines[0], lab.machines[1], false);
     let found = module.locate("fragile").unwrap();
     assert_eq!(found, module.my_uadd());
 }
@@ -157,7 +183,15 @@ fn trace_selectivity_silences_chosen_layers() {
     module.trace().clear();
     let peer = lab.testbed.module(lab.machines[0], "peer").unwrap();
     let dst = module.locate("peer").unwrap();
-    module.send(dst, &Ask { n: 0, body: String::new() }).unwrap();
+    module
+        .send(
+            dst,
+            &Ask {
+                n: 0,
+                body: String::new(),
+            },
+        )
+        .unwrap();
     peer.receive(T).unwrap();
     assert!(module.trace().events().iter().any(|e| e.layer == Layer::Nd));
 }

@@ -35,7 +35,14 @@ fn reliable_send_delivers_exactly_once_in_static_config() {
     });
     for i in 0..20u32 {
         client
-            .send_reliable(dst, &Ask { n: i, body: String::new() }, Duration::from_secs(5))
+            .send_reliable(
+                dst,
+                &Ask {
+                    n: i,
+                    body: String::new(),
+                },
+                Duration::from_secs(5),
+            )
             .unwrap();
     }
     let seen = receiver.join().unwrap();
@@ -52,9 +59,17 @@ fn reliable_send_survives_frame_loss() {
     let client = lab.testbed.module(lab.machines[0], "lossy-src").unwrap();
     let dst = client.locate("lossy-sink").unwrap();
     // Establish first (the open handshake is not retried against loss).
-    client.send(dst, &Ask { n: 999, body: String::new() }).unwrap();
+    client
+        .send(
+            dst,
+            &Ask {
+                n: 999,
+                body: String::new(),
+            },
+        )
+        .unwrap();
     server.receive(T).unwrap();
-    lab.testbed.world().set_drop_millis(lab.net, 400).unwrap();
+    lab.testbed.world().set_drop_permille(lab.net, 400).unwrap();
 
     const N: u32 = 15;
     let receiver = std::thread::spawn(move || {
@@ -72,7 +87,14 @@ fn reliable_send_survives_frame_loss() {
     });
     for i in 0..N {
         client
-            .send_reliable(dst, &Ask { n: i, body: String::new() }, Duration::from_secs(20))
+            .send_reliable(
+                dst,
+                &Ask {
+                    n: i,
+                    body: String::new(),
+                },
+                Duration::from_secs(20),
+            )
             .unwrap();
     }
     let (got, server) = receiver.join().unwrap();
@@ -81,7 +103,10 @@ fn reliable_send_survives_frame_loss() {
     assert!(m.retransmissions > 0, "loss must have forced retransmits");
     // Exactly-once at the application: duplicates were suppressed below.
     let dups = server.metrics().duplicates_suppressed;
-    println!("retransmissions={}, duplicates suppressed={dups}", m.retransmissions);
+    println!(
+        "retransmissions={}, duplicates suppressed={dups}",
+        m.retransmissions
+    );
 }
 
 #[test]
@@ -108,7 +133,14 @@ fn reliable_send_closes_the_relocation_window() {
             host.relocate(lab.machines[1]).unwrap();
         }
         client
-            .send_reliable(dst, &Ask { n: i, body: String::new() }, Duration::from_secs(10))
+            .send_reliable(
+                dst,
+                &Ask {
+                    n: i,
+                    body: String::new(),
+                },
+                Duration::from_secs(10),
+            )
             .unwrap();
     }
     // Give the last handler dispatch a moment.
@@ -137,17 +169,104 @@ fn reliable_send_closes_the_relocation_window() {
 }
 
 #[test]
+fn dropped_ack_forces_retransmit_but_delivers_exactly_once() {
+    // The sharpest duplicate-suppression case, injected deterministically:
+    // the message arrives, the *delivery ack* is dropped, the sender
+    // retransmits, and the receiver must suppress the duplicate and re-ack.
+    let lab = single_net(2, NetKind::Mbx).unwrap();
+    let server = lab.testbed.module(lab.machines[1], "ack-sink").unwrap();
+    let client = lab.testbed.module(lab.machines[0], "ack-src").unwrap();
+    let dst = client.locate("ack-sink").unwrap();
+    // Warm the circuit so the reliable send below involves no opens.
+    client
+        .send(
+            dst,
+            &Ask {
+                n: 0,
+                body: String::new(),
+            },
+        )
+        .unwrap();
+    server.receive(T).unwrap();
+
+    let sender = std::thread::spawn(move || {
+        let r = client.send_reliable(
+            dst,
+            &Ask {
+                n: 7,
+                body: String::new(),
+            },
+            Duration::from_secs(10),
+        );
+        (r, client)
+    });
+    // Let the data frame cross, then arm the trap: the next frame on the
+    // wire is the delivery ack receive() emits below.
+    std::thread::sleep(Duration::from_millis(100));
+    lab.testbed.world().drop_next_frames(lab.net, 1).unwrap();
+    let first = server.receive(T).unwrap();
+    assert_eq!(first.decode::<Ask>().unwrap().n, 7);
+    // Keep pumping: the retransmit arrives as a duplicate, is suppressed,
+    // and triggers the re-ack that lets the sender converge. The app must
+    // never see the message twice.
+    assert!(matches!(
+        server.receive(Some(Duration::from_secs(2))),
+        Err(ntcs::NtcsError::Timeout)
+    ));
+    let (result, client) = sender.join().unwrap();
+    result.unwrap();
+    assert!(
+        client.metrics().retransmissions >= 1,
+        "the lost ack forced a retransmit"
+    );
+    assert!(
+        server.metrics().duplicates_suppressed >= 1,
+        "the retransmit was suppressed, not delivered twice"
+    );
+    assert_eq!(client.metrics().dead_letters, 0);
+}
+
+#[test]
 fn reliable_to_dead_peer_times_out() {
     let lab = single_net(2, NetKind::Mbx).unwrap();
     let server = lab.testbed.module(lab.machines[1], "gone").unwrap();
     let client = lab.testbed.module(lab.machines[0], "src").unwrap();
     let dst = client.locate("gone").unwrap();
-    client.send(dst, &Ask { n: 0, body: String::new() }).unwrap();
+    client
+        .send(
+            dst,
+            &Ask {
+                n: 0,
+                body: String::new(),
+            },
+        )
+        .unwrap();
     server.receive(T).unwrap();
     lab.testbed.world().crash(lab.machines[1]);
     std::thread::sleep(Duration::from_millis(50));
     let err = client
-        .send_reliable(dst, &Ask { n: 1, body: String::new() }, Duration::from_millis(800))
+        .send_reliable(
+            dst,
+            &Ask {
+                n: 1,
+                body: String::new(),
+            },
+            Duration::from_secs(2),
+        )
         .unwrap_err();
-    assert!(matches!(err, ntcs::NtcsError::Timeout), "{err}");
+    // The delivery supervisor surfaces an exhausted recovery budget as a
+    // typed deadline error and dead-letters the message.
+    assert!(matches!(err, ntcs::NtcsError::DeadlineExceeded), "{err}");
+    let m = client.metrics();
+    assert_eq!(m.dead_letters, 1);
+    assert!(m.retransmissions > 0, "it kept trying until the deadline");
+    assert!(m.retry_attempts > 0, "supervised retries were counted");
+    assert!(
+        m.breaker_trips >= 1,
+        "consecutive failures must trip the peer's breaker, trips={}",
+        m.breaker_trips
+    );
+    // Broken while the trip is fresh, Degraded once the half-open timer has
+    // elapsed — either way, not Healthy.
+    assert_ne!(client.circuit_health(dst), ntcs::CircuitHealth::Healthy);
 }

@@ -20,7 +20,15 @@ fn many_clients_one_server() {
         for _ in 0..(CLIENTS as u32 * PER_CLIENT) {
             let m = server.receive(T).unwrap();
             let a: Ask = m.decode().unwrap();
-            server.reply(&m, &Answer { n: a.n, body: a.body }).unwrap();
+            server
+                .reply(
+                    &m,
+                    &Answer {
+                        n: a.n,
+                        body: a.body,
+                    },
+                )
+                .unwrap();
         }
         server
     });
@@ -35,7 +43,14 @@ fn many_clients_one_server() {
             for i in 0..PER_CLIENT {
                 let tag = format!("{c}:{i}");
                 let reply = commod
-                    .send_receive(dst, &Ask { n: i, body: tag.clone() }, T)
+                    .send_receive(
+                        dst,
+                        &Ask {
+                            n: i,
+                            body: tag.clone(),
+                        },
+                        T,
+                    )
                     .unwrap();
                 let a: Answer = reply.decode().unwrap();
                 assert_eq!(a.n, i);
@@ -53,7 +68,10 @@ fn many_clients_one_server() {
 #[test]
 fn megabyte_payload_through_two_gateways_over_tcp() {
     let lab = line_internet(3, NetKind::Tcp).unwrap();
-    let server = lab.testbed.module(lab.edge_machines[2], "big-sink").unwrap();
+    let server = lab
+        .testbed
+        .module(lab.edge_machines[2], "big-sink")
+        .unwrap();
     let client = lab.testbed.module(lab.edge_machines[0], "big-src").unwrap();
     let dst = client.locate("big-sink").unwrap();
     // 256k u32 words = 1 MiB native image.
@@ -79,14 +97,45 @@ fn wait_reply_leaves_unrelated_messages_queued() {
     let server_thread = std::thread::spawn(move || {
         let m = server.receive(T).unwrap();
         // Two unsolicited pushes first…
-        server.send(client_uadd, &Ask { n: 100, body: "push-1".into() }).unwrap();
-        server.send(client_uadd, &Ask { n: 101, body: "push-2".into() }).unwrap();
+        server
+            .send(
+                client_uadd,
+                &Ask {
+                    n: 100,
+                    body: "push-1".into(),
+                },
+            )
+            .unwrap();
+        server
+            .send(
+                client_uadd,
+                &Ask {
+                    n: 101,
+                    body: "push-2".into(),
+                },
+            )
+            .unwrap();
         // …then the actual reply.
-        server.reply(&m, &Answer { n: 7, body: "the reply".into() }).unwrap();
+        server
+            .reply(
+                &m,
+                &Answer {
+                    n: 7,
+                    body: "the reply".into(),
+                },
+            )
+            .unwrap();
     });
 
     let reply = client
-        .send_receive(dst, &Ask { n: 7, body: String::new() }, T)
+        .send_receive(
+            dst,
+            &Ask {
+                n: 7,
+                body: String::new(),
+            },
+            T,
+        )
         .unwrap();
     assert_eq!(reply.decode::<Answer>().unwrap().body, "the reply");
     // The pushes are still there, in order.
@@ -101,10 +150,24 @@ fn datagrams_cross_gateway_chains() {
     // The connectionless protocol rides the same IVCs (§2.2), so casts work
     // across the internet too.
     let lab = line_internet(2, NetKind::Mbx).unwrap();
-    let server = lab.testbed.module(lab.edge_machines[1], "dgram-sink").unwrap();
-    let client = lab.testbed.module(lab.edge_machines[0], "dgram-src").unwrap();
+    let server = lab
+        .testbed
+        .module(lab.edge_machines[1], "dgram-sink")
+        .unwrap();
+    let client = lab
+        .testbed
+        .module(lab.edge_machines[0], "dgram-src")
+        .unwrap();
     let dst = client.locate("dgram-sink").unwrap();
-    client.cast(dst, &Ask { n: 42, body: "datagram".into() }).unwrap();
+    client
+        .cast(
+            dst,
+            &Ask {
+                n: 42,
+                body: "datagram".into(),
+            },
+        )
+        .unwrap();
     let got = server.receive(T).unwrap();
     assert!(got.connectionless());
     assert_eq!(got.decode::<Ask>().unwrap().n, 42);
@@ -124,16 +187,37 @@ fn interleaved_bidirectional_conversations() {
             // Serve one request…
             let m = b.receive(T).unwrap();
             let q: Ask = m.decode().unwrap();
-            b.reply(&m, &Answer { n: q.n, body: String::new() }).unwrap();
+            b.reply(
+                &m,
+                &Answer {
+                    n: q.n,
+                    body: String::new(),
+                },
+            )
+            .unwrap();
             // …and push one of its own.
-            b.send(a_addr, &Ask { n: 1000 + i, body: String::new() }).unwrap();
+            b.send(
+                a_addr,
+                &Ask {
+                    n: 1000 + i,
+                    body: String::new(),
+                },
+            )
+            .unwrap();
         }
     });
 
     let mut pushes = 0;
     for i in 0..10u32 {
         let reply = a
-            .send_receive(b_addr, &Ask { n: i, body: String::new() }, T)
+            .send_receive(
+                b_addr,
+                &Ask {
+                    n: i,
+                    body: String::new(),
+                },
+                T,
+            )
             .unwrap();
         assert_eq!(reply.decode::<Answer>().unwrap().n, i);
     }

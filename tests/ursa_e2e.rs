@@ -18,9 +18,15 @@ fn retrieval_across_networks_and_machine_types() {
     let ns_host = tb
         .add_machine(MachineType::Sun, "ns-host", &[ring, ether])
         .unwrap();
-    let ws = tb.add_machine(MachineType::Apollo, "workstation", &[ring]).unwrap();
-    let be1 = tb.add_machine(MachineType::Vax, "backend-vax", &[ether]).unwrap();
-    let be2 = tb.add_machine(MachineType::Sun, "backend-sun", &[ether]).unwrap();
+    let ws = tb
+        .add_machine(MachineType::Apollo, "workstation", &[ring])
+        .unwrap();
+    let be1 = tb
+        .add_machine(MachineType::Vax, "backend-vax", &[ether])
+        .unwrap();
+    let be2 = tb
+        .add_machine(MachineType::Sun, "backend-sun", &[ether])
+        .unwrap();
     let gw_host = tb
         .add_machine(MachineType::M68k, "gw-host", &[ring, ether])
         .unwrap();
@@ -56,7 +62,10 @@ fn retrieval_across_networks_and_machine_types() {
     // Fetch a document across the gateway.
     let doc = client.fetch(hits[0].doc).unwrap();
     assert_eq!(doc.id, hits[0].doc);
-    assert!(gw.metrics().circuits_spliced >= 2, "queries crossed the gateway");
+    assert!(
+        gw.metrics().circuits_spliced >= 2,
+        "queries crossed the gateway"
+    );
     deployment.stop();
 }
 
@@ -70,7 +79,12 @@ fn three_generations_of_backends() {
     let machines: Vec<_> = (0..4)
         .map(|i| {
             tb.add_machine(
-                [MachineType::Sun, MachineType::Vax, MachineType::Apollo, MachineType::M68k][i],
+                [
+                    MachineType::Sun,
+                    MachineType::Vax,
+                    MachineType::Apollo,
+                    MachineType::M68k,
+                ][i],
                 &format!("h{i}"),
                 &[net],
             )

@@ -24,7 +24,15 @@ fn crash_is_idempotent_and_revive_restores_placement() {
     let reborn = lab.testbed.module(lab.machines[2], "reborn").unwrap();
     let client = lab.testbed.module(lab.machines[0], "caller").unwrap();
     let dst = client.locate("reborn").unwrap();
-    client.send(dst, &Ask { n: 1, body: String::new() }).unwrap();
+    client
+        .send(
+            dst,
+            &Ask {
+                n: 1,
+                body: String::new(),
+            },
+        )
+        .unwrap();
     assert_eq!(reborn.receive(T).unwrap().decode::<Ask>().unwrap().n, 1);
 }
 
@@ -40,13 +48,29 @@ fn crash_restart_reregister_cycle() {
     let victim_uadd = victim.my_uadd();
     let client = lab.testbed.module(lab.machines[0], "user").unwrap();
     let dst = client.locate("svc").unwrap();
-    client.send(dst, &Ask { n: 0, body: String::new() }).unwrap();
+    client
+        .send(
+            dst,
+            &Ask {
+                n: 0,
+                body: String::new(),
+            },
+        )
+        .unwrap();
     victim.receive(T).unwrap();
 
     world.crash(lab.machines[1]);
     std::thread::sleep(Duration::from_millis(100));
     // Sends fail while no replacement exists.
-    assert!(client.send(dst, &Ask { n: 1, body: String::new() }).is_err());
+    assert!(client
+        .send(
+            dst,
+            &Ask {
+                n: 1,
+                body: String::new()
+            }
+        )
+        .is_err());
 
     // The process controller restarts the service elsewhere, naming the
     // dead predecessor so forwarding links the generations.
@@ -61,8 +85,19 @@ fn crash_restart_reregister_cycle() {
         )
         .unwrap();
     // The client's next send to the OLD address reaches the replacement.
-    client.send(dst, &Ask { n: 2, body: String::new() }).unwrap();
-    assert_eq!(replacement.receive(T).unwrap().decode::<Ask>().unwrap().n, 2);
+    client
+        .send(
+            dst,
+            &Ask {
+                n: 2,
+                body: String::new(),
+            },
+        )
+        .unwrap();
+    assert_eq!(
+        replacement.receive(T).unwrap().decode::<Ask>().unwrap().n,
+        2
+    );
 }
 
 #[test]
@@ -71,19 +106,26 @@ fn drop_probability_is_clamped() {
     let server = lab.testbed.module(lab.machines[1], "sink").unwrap();
     let client = lab.testbed.commod(lab.machines[0], "src").unwrap();
     // 5000 ‰ clamps to 1000 ‰ (total loss) rather than misbehaving.
-    lab.testbed.world().set_drop_millis(lab.net, 5000).unwrap();
+    lab.testbed
+        .world()
+        .set_drop_permille(lab.net, 5000)
+        .unwrap();
     // Registration itself needs the wire: with total loss the naming
-    // exchange dies one way or another — the open frame vanishes (timeout)
-    // or the server gives up on the silent circuit first (closed).
+    // exchange dies one way or another — the open frame vanishes (timeout),
+    // the server gives up on the silent circuit first (closed), or the
+    // supervised naming retry exhausts its deadline budget.
     let err = client.register("src").unwrap_err();
     assert!(
         matches!(
             err,
-            NtcsError::Timeout | NtcsError::NameServerUnreachable | NtcsError::ConnectionClosed
+            NtcsError::Timeout
+                | NtcsError::NameServerUnreachable
+                | NtcsError::ConnectionClosed
+                | NtcsError::DeadlineExceeded
         ),
         "{err}"
     );
-    lab.testbed.world().set_drop_millis(lab.net, 0).unwrap();
+    lab.testbed.world().set_drop_permille(lab.net, 0).unwrap();
     // Transient half-open circuits from the lossy window may need one
     // retry to clear.
     let mut registered = false;
@@ -95,7 +137,15 @@ fn drop_probability_is_clamped() {
     }
     assert!(registered, "registration must succeed once the wire heals");
     let dst = client.locate("sink").unwrap();
-    client.send(dst, &Ask { n: 1, body: String::new() }).unwrap();
+    client
+        .send(
+            dst,
+            &Ask {
+                n: 1,
+                body: String::new(),
+            },
+        )
+        .unwrap();
     server.receive(T).unwrap();
 }
 
@@ -126,17 +176,46 @@ fn partition_affects_only_the_named_pair() {
     // Warm b→c before the partition: the Name Server lives on machine 0,
     // so b can neither resolve nor look up addresses while cut off from m0.
     let to_c_from_b = b.locate("c").unwrap();
-    b.send(to_c_from_b, &Ask { n: 0, body: String::new() }).unwrap();
+    b.send(
+        to_c_from_b,
+        &Ask {
+            n: 0,
+            body: String::new(),
+        },
+    )
+    .unwrap();
     assert_eq!(c.receive(T).unwrap().decode::<Ask>().unwrap().n, 0);
 
     world.set_partition(lab.machines[0], lab.machines[1], true);
     std::thread::sleep(Duration::from_millis(50));
-    assert!(a.send(to_b, &Ask { n: 1, body: String::new() }).is_err());
+    assert!(a
+        .send(
+            to_b,
+            &Ask {
+                n: 1,
+                body: String::new()
+            }
+        )
+        .is_err());
     // a ↔ c unaffected.
-    a.send(to_c, &Ask { n: 2, body: String::new() }).unwrap();
+    a.send(
+        to_c,
+        &Ask {
+            n: 2,
+            body: String::new(),
+        },
+    )
+    .unwrap();
     assert_eq!(c.receive(T).unwrap().decode::<Ask>().unwrap().n, 2);
     // b ↔ c unaffected.
-    b.send(to_c_from_b, &Ask { n: 3, body: String::new() }).unwrap();
+    b.send(
+        to_c_from_b,
+        &Ask {
+            n: 3,
+            body: String::new(),
+        },
+    )
+    .unwrap();
     assert_eq!(c.receive(T).unwrap().decode::<Ask>().unwrap().n, 3);
     world.set_partition(lab.machines[0], lab.machines[1], false);
 }

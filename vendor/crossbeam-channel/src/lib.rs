@@ -1,0 +1,450 @@
+//! Offline stand-in for `crossbeam-channel`.
+//!
+//! MPMC channels built on `Mutex` + `Condvar`, covering the subset the
+//! workspace uses: `bounded`/`unbounded`, cloneable senders/receivers,
+//! `send`/`recv`/`try_recv`/`recv_timeout`, and a `select!` macro
+//! limited to two `recv` arms plus an optional `default(timeout)` arm
+//! (the only shapes that appear in this codebase).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    Full(T),
+    Disconnected(T),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    Empty,
+    Disconnected,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    Timeout,
+    Disconnected,
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Timeout => write!(f, "timed out waiting on channel"),
+            Self::Disconnected => write!(f, "channel is empty and disconnected"),
+        }
+    }
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Chan<T> {
+    state: Mutex<State<T>>,
+    // Waiters are split so a send only wakes receivers and vice versa.
+    recv_cv: Condvar,
+    send_cv: Condvar,
+    cap: Option<usize>,
+}
+
+/// The sending half of a channel. Cloneable.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// The receiving half of a channel. Cloneable (MPMC).
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        recv_cv: Condvar::new(),
+        send_cv: Condvar::new(),
+        cap,
+    });
+    (
+        Sender {
+            chan: Arc::clone(&chan),
+        },
+        Receiver { chan },
+    )
+}
+
+/// A channel with unbounded capacity.
+#[must_use]
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+/// A channel that holds at most `cap` queued messages; sends block when full.
+#[must_use]
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    channel(Some(cap.max(1)))
+}
+
+impl<T> Sender<T> {
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.chan.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            match self.chan.cap {
+                Some(cap) if st.queue.len() >= cap => {
+                    st = self
+                        .chan
+                        .send_cv
+                        .wait(st)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+                _ => break,
+            }
+        }
+        st.queue.push_back(value);
+        drop(st);
+        self.chan.recv_cv.notify_one();
+        Ok(())
+    }
+
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut st = self.chan.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if let Some(cap) = self.chan.cap {
+            if st.queue.len() >= cap {
+                return Err(TrySendError::Full(value));
+            }
+        }
+        st.queue.push_back(value);
+        drop(st);
+        self.chan.recv_cv.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Receiver<T> {
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.chan.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.chan.send_cv.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self
+                .chan
+                .recv_cv
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.chan.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(v) = st.queue.pop_front() {
+            drop(st);
+            self.chan.send_cv.notify_one();
+            return Ok(v);
+        }
+        if st.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.chan.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.chan.send_cv.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _timed_out) = self
+                .chan
+                .recv_cv
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.chan
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .queue
+            .is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.chan
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .queue
+            .len()
+    }
+
+    /// Non-blocking poll used by `select!`: `Some(result)` if this arm
+    /// is ready (message or disconnect), `None` otherwise.
+    #[doc(hidden)]
+    pub fn select_poll(&self) -> Option<Result<T, RecvError>> {
+        match self.try_recv() {
+            Ok(v) => Some(Ok(v)),
+            Err(TryRecvError::Disconnected) => Some(Err(RecvError)),
+            Err(TryRecvError::Empty) => None,
+        }
+    }
+
+    /// Bounded wait used by `select!` between polls: parks on this
+    /// receiver's condvar so its own arrivals wake us immediately;
+    /// other arms are observed at the next poll.
+    #[doc(hidden)]
+    pub fn select_wait(&self, max: Duration) {
+        let st = self.chan.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.queue.is_empty() && st.senders > 0 {
+            let _ = self
+                .chan
+                .recv_cv
+                .wait_timeout(st, max)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .senders += 1;
+        Self {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.chan
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .receivers += 1;
+        Self {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.chan.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.senders -= 1;
+        if st.senders == 0 {
+            drop(st);
+            self.chan.recv_cv.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.chan.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.receivers -= 1;
+        if st.receivers == 0 {
+            drop(st);
+            self.chan.send_cv.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+#[doc(hidden)]
+pub const SELECT_POLL_SLICE: Duration = Duration::from_millis(1);
+
+/// Subset of crossbeam's `select!`: exactly two `recv` arms, with an
+/// optional trailing `default(timeout)` arm. The first arm's receiver
+/// is treated as the primary wake-up source; the second is polled at
+/// least every [`SELECT_POLL_SLICE`].
+#[macro_export]
+macro_rules! select {
+    (
+        recv($r1:expr) -> $p1:pat => $a1:expr,
+        recv($r2:expr) -> $p2:pat => $a2:expr,
+        default($d:expr) => $a3:expr $(,)?
+    ) => {{
+        let __r1 = &$r1;
+        let __r2 = &$r2;
+        let __deadline = ::std::time::Instant::now() + $d;
+        let __sel = loop {
+            if let ::std::option::Option::Some(res) = __r1.select_poll() {
+                break $crate::SelectArm::First(res);
+            }
+            if let ::std::option::Option::Some(res) = __r2.select_poll() {
+                break $crate::SelectArm::Second(res);
+            }
+            let __now = ::std::time::Instant::now();
+            if __now >= __deadline {
+                break $crate::SelectArm::Default;
+            }
+            let __slice = ::std::cmp::min(__deadline - __now, $crate::SELECT_POLL_SLICE);
+            __r1.select_wait(__slice);
+        };
+        match __sel {
+            $crate::SelectArm::First($p1) => $a1,
+            $crate::SelectArm::Second($p2) => $a2,
+            $crate::SelectArm::Default => $a3,
+        }
+    }};
+    (
+        recv($r1:expr) -> $p1:pat => $a1:expr,
+        recv($r2:expr) -> $p2:pat => $a2:expr $(,)?
+    ) => {{
+        let __r1 = &$r1;
+        let __r2 = &$r2;
+        let __sel = loop {
+            if let ::std::option::Option::Some(res) = __r1.select_poll() {
+                break $crate::SelectArm::First(res);
+            }
+            if let ::std::option::Option::Some(res) = __r2.select_poll() {
+                break $crate::SelectArm::Second(res);
+            }
+            __r1.select_wait($crate::SELECT_POLL_SLICE);
+        };
+        match __sel {
+            $crate::SelectArm::First($p1) => $a1,
+            $crate::SelectArm::Second($p2) => $a2,
+            #[allow(unreachable_patterns)]
+            $crate::SelectArm::Default => unreachable!(),
+        }
+    }};
+}
+
+#[doc(hidden)]
+pub enum SelectArm<A, B> {
+    First(A),
+    Second(B),
+    Default,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_round_trip_and_disconnect() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            tx.send(9).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(9));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn bounded_blocks_until_space() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || {
+            tx.send(2).unwrap(); // blocks until the first is consumed
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn select_two_arms_and_default() {
+        let (tx1, rx1) = unbounded::<u32>();
+        let (_tx2, rx2) = unbounded::<u32>();
+        tx1.send(5).unwrap();
+        let got = select! {
+            recv(rx1) -> v => v.unwrap(),
+            recv(rx2) -> _ => unreachable!(),
+            default(Duration::from_millis(50)) => 0,
+        };
+        assert_eq!(got, 5);
+        let got = select! {
+            recv(rx1) -> _v => 1u32,
+            recv(rx2) -> _ => 2,
+            default(Duration::from_millis(20)) => 3,
+        };
+        assert_eq!(got, 3);
+    }
+}

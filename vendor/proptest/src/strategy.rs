@@ -1,0 +1,338 @@
+//! Strategies: composable value generators.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use crate::test_runner::TestRng;
+
+/// A generator of values for property tests.
+///
+/// Unlike real proptest there is no shrinking; `generate` produces a
+/// final value directly from the RNG.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy (see [`crate::arbitrary::any`]).
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+pub struct AnyStrategy<T>(pub(crate) PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // Mix in edge values: all-zero / all-one patterns show up
+                // far more often than a uniform draw would give them.
+                match rng.next_u64() % 16 {
+                    0 => 0,
+                    1 => <$t>::MAX,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                match rng.next_u64() % 16 {
+                    0 => 0,
+                    1 => <$t>::MAX,
+                    2 => <$t>::MIN,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                (self.start as u128 + rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_range_strategy_signed {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_signed!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+);
+
+/// Uniform choice among boxed strategies sharing a value type
+/// (the expansion of [`crate::prop_oneof!`]).
+pub struct Union<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    #[must_use]
+    pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.usize_in(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+/// Maps generated values through a function (`Strategy::prop_map` in
+/// real proptest, exposed here as a standalone combinator too).
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+pub trait StrategyExt: Strategy + Sized {
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy> StrategyExt for S {}
+
+// ---------------------------------------------------------------------------
+// Regex-literal string strategies.
+// ---------------------------------------------------------------------------
+
+/// `&str` regex patterns act as `Strategy<Value = String>`, supporting
+/// the subset the workspace uses: literal characters, `[...]` classes
+/// with ranges, `\PC` (any non-control char), and `{m,n}` repetition.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = rng.usize_in(atom.min..atom.max + 1);
+            for _ in 0..n {
+                out.push(atom.kind.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+struct Atom {
+    kind: AtomKind,
+    min: usize,
+    max: usize,
+}
+
+enum AtomKind {
+    Literal(char),
+    Class(Vec<(char, char)>),
+    AnyPrintable,
+}
+
+impl AtomKind {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            Self::Literal(c) => *c,
+            Self::Class(ranges) => {
+                let total: u32 = ranges.iter().map(|(a, b)| *b as u32 - *a as u32 + 1).sum();
+                let mut pick = rng.next_u64() as u32 % total;
+                for (a, b) in ranges {
+                    let span = *b as u32 - *a as u32 + 1;
+                    if pick < span {
+                        return char::from_u32(*a as u32 + pick).unwrap_or(*a);
+                    }
+                    pick -= span;
+                }
+                unreachable!()
+            }
+            Self::AnyPrintable => {
+                // Mostly printable ASCII, sprinkled with a few multibyte
+                // chars so encoders see non-trivial UTF-8.
+                const EXOTIC: &[char] = &['é', 'λ', '中', '→', '☃', 'Ω', 'ß', '字'];
+                if rng.next_u64().is_multiple_of(8) {
+                    EXOTIC[rng.usize_in(0..EXOTIC.len())]
+                } else {
+                    char::from_u32(0x20 + (rng.next_u64() % 0x5F) as u32).unwrap()
+                }
+            }
+        }
+    }
+}
+
+fn parse_pattern(pat: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let kind = match chars[i] {
+            '\\' => {
+                // Only `\PC` (and `\\` escapes) appear in our patterns.
+                if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') {
+                    i += 3;
+                    AtomKind::AnyPrintable
+                } else {
+                    let c = *chars.get(i + 1).unwrap_or(&'\\');
+                    i += 2;
+                    AtomKind::Literal(c)
+                }
+            }
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let a = chars[i];
+                    if chars.get(i + 1) == Some(&'-') && i + 2 < chars.len() && chars[i + 2] != ']'
+                    {
+                        ranges.push((a, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((a, a));
+                        i += 1;
+                    }
+                }
+                i += 1; // consume ']'
+                AtomKind::Class(ranges)
+            }
+            c => {
+                i += 1;
+                AtomKind::Literal(c)
+            }
+        };
+        // Optional {m,n} / {m} repetition suffix.
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .expect("unclosed {} in pattern");
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad repeat lower bound"),
+                    hi.trim().parse().expect("bad repeat upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad repeat count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push(Atom { kind, min, max });
+    }
+    atoms
+}

@@ -1,0 +1,87 @@
+//! The deterministic case runner and its RNG.
+
+use std::ops::Range;
+
+/// SplitMix64-based RNG: deterministic per (test name, case index).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn usize_in(&mut self, range: Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty range");
+        range.start + (self.next_u64() as usize) % (range.end - range.start)
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Runs `f` once per case with a deterministic, per-test RNG. A
+/// returned `Err` fails the test with the case number and seed so the
+/// failure is reproducible (no shrinking).
+pub fn run<F>(name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), String>,
+{
+    let base = fnv1a(name);
+    for case in 0..case_count() {
+        let seed = base ^ case.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        let mut rng = TestRng::seeded(seed);
+        if let Err(msg) = f(&mut rng) {
+            panic!("proptest '{name}' failed at case {case} (seed {seed:#x}): {msg}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::seeded(42);
+        let mut b = TestRng::seeded(42);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let v = a.usize_in(3..9);
+        assert!((3..9).contains(&v));
+    }
+
+    #[test]
+    fn runner_reports_failures() {
+        let result = std::panic::catch_unwind(|| {
+            run("always_fails", |_rng| Err("nope".into()));
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,181 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements the subset this workspace uses: `SmallRng` seeded via
+//! `SeedableRng::seed_from_u64`, `thread_rng()`, and `Rng::gen_range`
+//! over integer/float ranges (plus `gen_bool`). The generator is
+//! xoshiro256++, which is small, fast, and deterministic per seed.
+
+use std::cell::RefCell;
+use std::ops::Range;
+
+/// Low-level entropy source: a stream of `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Deterministic construction from a seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a `Range`.
+pub trait SampleUniform: Sized {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range: empty range");
+                let span = range.end.wrapping_sub(range.start) as u128;
+                let v = ((rng.next_u64() as u128) % span) as $t;
+                range.start.wrapping_add(v)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range: empty range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                let v = (rng.next_u64() as u128 % span) as i128;
+                (range.start as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "gen_range: empty range");
+        // 53 random mantissa bits -> uniform in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        f64::sample_range(rng, range.start as f64..range.end as f64) as f32
+    }
+}
+
+/// High-level sampling helpers, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        f64::sample_range(self, 0.0..1.0) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// xoshiro256++ core shared by [`rngs::SmallRng`] and [`ThreadRng`].
+#[derive(Clone, Debug)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn from_seed_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, as recommended by the xoshiro authors.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl RngCore for Xoshiro256 {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+pub mod rngs {
+    pub use super::Xoshiro256 as SmallRng;
+}
+
+impl SeedableRng for Xoshiro256 {
+    fn seed_from_u64(seed: u64) -> Self {
+        Self::from_seed_u64(seed)
+    }
+}
+
+thread_local! {
+    static THREAD_RNG: RefCell<Xoshiro256> = RefCell::new(Xoshiro256::from_seed_u64({
+        // Per-thread stream: hash the thread id with a process-wide counter.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static CTR: AtomicU64 = AtomicU64::new(0x00C0_FFEE);
+        CTR.fetch_add(0x9E37_79B9, Ordering::Relaxed)
+    }));
+}
+
+/// Handle to a per-thread RNG, mirroring `rand::thread_rng()`.
+#[derive(Clone, Debug)]
+pub struct ThreadRng;
+
+impl RngCore for ThreadRng {
+    fn next_u64(&mut self) -> u64 {
+        THREAD_RNG.with(|r| r.borrow_mut().next_u64())
+    }
+}
+
+#[must_use]
+pub fn thread_rng() -> ThreadRng {
+    ThreadRng
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let x = a.gen_range(0u32..1000);
+            assert_eq!(x, b.gen_range(0u32..1000));
+            assert!(x < 1000);
+            let f = a.gen_range(0.0..3.5);
+            b.gen_range(0.0..3.5);
+            assert!((0.0..3.5).contains(&f));
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(c.gen_range(0u64..u64::MAX), a.gen_range(0u64..u64::MAX));
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace's wire formats are hand-rolled (shift/packed/image);
+//! serde only appears as `#[derive(Serialize, Deserialize)]` on a few
+//! address types. This shim supplies marker traits with blanket impls
+//! so any `T: Serialize` bound is satisfiable, and re-exports the no-op
+//! derive macros behind the `derive` feature.
+
+/// Marker trait; blanket-implemented for every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait; blanket-implemented for every type.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker trait mirroring serde's owned-deserialization helper.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
