@@ -22,6 +22,7 @@ use ntcs_addr::{
 };
 use ntcs_ipcs::World;
 use ntcs_naming::NspLayer;
+use ntcs_nucleus::obs::{hop_kind, HopRecord, ModuleReport, ReportSource, TraceId};
 use ntcs_nucleus::{Nucleus, NucleusConfig, NucleusMetricsSnapshot, Received};
 use ntcs_wire::Message;
 use parking_lot::RwLock;
@@ -65,6 +66,18 @@ impl Incoming {
     #[must_use]
     pub fn connectionless(&self) -> bool {
         self.inner.connectionless
+    }
+
+    /// The causal trace id this message travelled under (0 = untraced).
+    #[must_use]
+    pub fn trace_id(&self) -> u64 {
+        self.inner.trace_id
+    }
+
+    /// The trace span (recovery leg) this message arrived on.
+    #[must_use]
+    pub fn span(&self) -> u32 {
+        self.inner.span
     }
 
     /// The message type id, for dispatching before decoding.
@@ -121,6 +134,7 @@ pub struct ComMod {
     nucleus: Nucleus,
     nsp: Arc<NspLayer>,
     hooks: RwLock<Option<Arc<dyn DrtsHooks>>>,
+    hop_monitor: Arc<RwLock<Option<UAdd>>>,
     registration: RwLock<Option<(AttrSet, UAdd, Generation)>>,
     /// Well-known preload and server list, kept so relocation can rebuild an
     /// identically configured ComMod on another machine.
@@ -185,6 +199,7 @@ impl ComMod {
             nucleus,
             nsp,
             hooks: RwLock::new(None),
+            hop_monitor: Arc::new(RwLock::new(None)),
             registration: RwLock::new(None),
             ns_well_known,
             ns_servers,
@@ -281,6 +296,39 @@ impl ComMod {
         }
     }
 
+    /// Casts a [`HopRecord`] to the configured hop monitor. Hop reports
+    /// themselves travel untraced, so a monitor's own ComMod never recurses.
+    fn hop(&self, kind: u32, trace_id: u64, span: u32, peer: UAdd, msg_id: u64, detail: String) {
+        if trace_id == 0 {
+            return;
+        }
+        if let Some(monitor) = *self.hop_monitor.read() {
+            let rec = HopRecord {
+                trace_id,
+                span,
+                kind,
+                module: self.my_uadd().raw(),
+                module_name: self.name_hint.clone(),
+                peer: peer.raw(),
+                msg_id,
+                timestamp_us: self.nucleus.clock().now_us(),
+                detail,
+            };
+            let _ = self.nucleus.cast_message(monitor, &rec);
+        }
+    }
+
+    fn deliver_hop(&self, received: &Received) {
+        self.hop(
+            hop_kind::DELIVER,
+            received.trace_id,
+            received.span,
+            received.src,
+            received.msg_id,
+            format!("delivered to {}", self.name_hint),
+        );
+    }
+
     fn check_dst(dst: UAdd) -> Result<()> {
         if dst.raw() == 0 {
             return Err(NtcsError::InvalidArgument(
@@ -300,20 +348,68 @@ impl ComMod {
     /// Unrecoverable faults only; relocation of the destination is handled
     /// transparently.
     pub fn send<M: Message>(&self, dst: UAdd, msg: &M) -> Result<u64> {
+        self.send_with_trace(dst, msg, TraceId::NULL)
+            .map(|(id, _)| id)
+    }
+
+    /// [`ComMod::send`] under a fresh causal trace id: every hop of the
+    /// journey (send, gateway splices, address-fault recovery, delivery) is
+    /// reported to the hop monitor ([`ComMod::set_hop_monitor`]) so the DRTS
+    /// monitor can reassemble the full path.
+    ///
+    /// Returns the message id and the trace id it travels under.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ComMod::send`].
+    pub fn send_traced<M: Message>(&self, dst: UAdd, msg: &M) -> Result<(u64, TraceId)> {
+        self.send_with_trace(dst, msg, self.nucleus.next_trace_id())
+    }
+
+    fn send_with_trace<M: Message>(
+        &self,
+        dst: UAdd,
+        msg: &M,
+        trace: TraceId,
+    ) -> Result<(u64, TraceId)> {
         Self::check_dst(dst)?;
         let faults_before = self.nucleus.metrics().snapshot().address_faults;
         // §6.1: "control passes to the LCM-layer, which generates a time
         // stamp for monitor data" — possibly recursing into the time
         // service.
         let ts = self.stamp();
-        let msg_id = self.nucleus.send_message(dst, msg, false)?;
+        self.hop(
+            hop_kind::SEND,
+            trace.raw(),
+            0,
+            dst,
+            0,
+            format!("send from {}", self.name_hint),
+        );
+        let msg_id = self.nucleus.send_message_traced(dst, msg, false, trace)?;
         let after = self.nucleus.metrics().snapshot();
         if after.address_faults > faults_before {
             self.monitor(MonitorEventKind::Reconnect, dst, msg_id, ts);
+            self.hop(
+                hop_kind::FAULT,
+                trace.raw(),
+                0,
+                dst,
+                msg_id,
+                "address fault: destination relocated".into(),
+            );
+            self.hop(
+                hop_kind::RECONNECT,
+                trace.raw(),
+                1,
+                dst,
+                msg_id,
+                "re-established on the forwarded address".into(),
+            );
         }
         // "Upon success, the LCM-layer sends data to the monitor" (§6.1).
         self.monitor(MonitorEventKind::Send, dst, msg_id, ts);
-        Ok(msg_id)
+        Ok((msg_id, trace))
     }
 
     /// Blocking receive with optional timeout.
@@ -325,6 +421,7 @@ impl ComMod {
         let received = self.nucleus.recv(timeout)?;
         let ts = self.stamp();
         self.monitor(MonitorEventKind::Receive, received.src, received.msg_id, ts);
+        self.deliver_hop(&received);
         Ok(Incoming {
             inner: received,
             local_machine: self.machine_type(),
@@ -350,6 +447,7 @@ impl ComMod {
         let received = self.nucleus.wait_reply(msg_id, timeout)?;
         let ts = self.stamp();
         self.monitor(MonitorEventKind::Receive, received.src, received.msg_id, ts);
+        self.deliver_hop(&received);
         Ok(Incoming {
             inner: received,
             local_machine: self.machine_type(),
@@ -386,6 +484,37 @@ impl ComMod {
         let id = self.nucleus.send_reliable_message(dst, msg, timeout)?;
         self.monitor(MonitorEventKind::Send, dst, id, ts);
         Ok(id)
+    }
+
+    /// [`ComMod::send_reliable`] under a fresh causal trace id (see
+    /// [`ComMod::send_traced`]); retransmissions reuse the trace id with a
+    /// bumped span, so the monitor sees every recovery leg.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ComMod::send_reliable`].
+    pub fn send_reliable_traced<M: Message>(
+        &self,
+        dst: UAdd,
+        msg: &M,
+        timeout: Duration,
+    ) -> Result<(u64, TraceId)> {
+        Self::check_dst(dst)?;
+        let trace = self.nucleus.next_trace_id();
+        let ts = self.stamp();
+        self.hop(
+            hop_kind::SEND,
+            trace.raw(),
+            0,
+            dst,
+            0,
+            format!("reliable send from {}", self.name_hint),
+        );
+        let id = self
+            .nucleus
+            .send_reliable_message_traced(dst, msg, timeout, trace)?;
+        self.monitor(MonitorEventKind::Send, dst, id, ts);
+        Ok((id, trace))
     }
 
     /// Connectionless best-effort send (§2.2).
@@ -462,6 +591,7 @@ impl ComMod {
             }
         }
         *new.hooks.write() = self.hooks.read().clone();
+        *new.hop_monitor.write() = *self.hop_monitor.read();
         self.nucleus.shutdown();
         Ok(new)
     }
@@ -517,6 +647,17 @@ impl ComMod {
         *self.hooks.write() = Some(hooks);
     }
 
+    /// Directs per-hop trace reports ([`HopRecord`]) for traced sends and
+    /// deliveries to the DRTS monitor at `monitor`.
+    pub fn set_hop_monitor(&self, monitor: UAdd) {
+        *self.hop_monitor.write() = Some(monitor);
+    }
+
+    /// Stops hop reporting.
+    pub fn clear_hop_monitor(&self) {
+        *self.hop_monitor.write() = None;
+    }
+
     /// Removes the DRTS hooks (used by the DRTS services' own ComMods to
     /// break the obvious infinite recursion, §6.1).
     pub fn clear_hooks(&self) {
@@ -559,6 +700,21 @@ impl ComMod {
     #[must_use]
     pub fn metrics(&self) -> NucleusMetricsSnapshot {
         self.nucleus.metrics().snapshot()
+    }
+
+    /// A full observability report for this module: counters, gauges,
+    /// latency histograms, and circuit-breaker health.
+    #[must_use]
+    pub fn module_report(&self) -> ModuleReport {
+        self.nucleus.module_report()
+    }
+
+    /// A live report source for the
+    /// [`ntcs_nucleus::obs::MetricsRegistry`].
+    #[must_use]
+    pub fn report_source(&self) -> ReportSource {
+        let nucleus = self.nucleus.clone();
+        Box::new(move || nucleus.module_report())
     }
 
     /// The §6.2 selective layer trace.

@@ -74,7 +74,8 @@ pub use ntcs_gateway::Gateway;
 pub use ntcs_ipcs::{NetKind, SimClock, World};
 pub use ntcs_naming::{NameServer, NspLayer};
 pub use ntcs_nucleus::{
-    BreakerConfig, CircuitHealth, DeadLetter, Layer, LayerTrace, Nucleus, NucleusConfig,
-    NucleusMetricsSnapshot, RetryPolicy, TraceEvent,
+    hop_kind, BreakerConfig, CircuitHealth, DeadLetter, Histogram, HistogramSnapshot, HopRecord,
+    Layer, LayerTrace, MetricsRegistry, ModuleReport, Nucleus, NucleusConfig,
+    NucleusMetricsSnapshot, RetryPolicy, TraceEvent, TraceId, TraceQuery, TraceReply,
 };
 pub use ntcs_wire::{ntcs_message, ConvMode, InboundPayload, Message, Packable};

@@ -8,10 +8,13 @@
 //! connected networks, §4.1), then bring modules up and let them register
 //! and locate each other.
 
+use std::sync::Arc;
+
 use ntcs_addr::{MachineId, MachineType, NetworkId, NtcsError, PhysAddr, Result, UAdd};
 use ntcs_gateway::Gateway;
 use ntcs_ipcs::{NetKind, World};
 use ntcs_naming::{NameServer, NameServerConfig};
+use ntcs_nucleus::MetricsRegistry;
 
 use crate::commod::ComMod;
 
@@ -145,6 +148,7 @@ impl TestbedBuilder {
             replicas,
             ns_well_known,
             ns_servers,
+            registry: Arc::new(MetricsRegistry::new()),
         })
     }
 }
@@ -157,6 +161,7 @@ pub struct Testbed {
     replicas: Vec<NameServer>,
     ns_well_known: Vec<(UAdd, Vec<PhysAddr>)>,
     ns_servers: Vec<UAdd>,
+    registry: Arc<MetricsRegistry>,
 }
 
 impl Testbed {
@@ -202,13 +207,15 @@ impl Testbed {
     ///
     /// Binding failures.
     pub fn commod(&self, machine: MachineId, hint: &str) -> Result<ComMod> {
-        ComMod::bind(
+        let commod = ComMod::bind(
             &self.world,
             machine,
             hint,
             self.ns_well_known.clone(),
             self.ns_servers.clone(),
-        )
+        )?;
+        self.registry.register(commod.report_source());
+        Ok(commod)
     }
 
     /// Binds a ComMod and registers it under `name` — the normal way a
@@ -234,7 +241,31 @@ impl Testbed {
             .first()
             .map(|(_, p)| p.clone())
             .unwrap_or_default();
-        Gateway::spawn(&self.world, machine, name, ns_phys)
+        let gw = Gateway::spawn(&self.world, machine, name, ns_phys)?;
+        self.registry.register(gw.report_source());
+        Ok(gw)
+    }
+
+    /// The unified metrics registry every [`Testbed::commod`],
+    /// [`Testbed::module`], and [`Testbed::gateway`] is registered in.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Renders the whole deployment's live observability state in the
+    /// Prometheus text exposition format: per-module counters, gauges,
+    /// latency histograms, and circuit-breaker health.
+    #[must_use]
+    pub fn observability_report(&self) -> String {
+        self.registry.render_prometheus()
+    }
+
+    /// The human-readable counterpart of
+    /// [`Testbed::observability_report`].
+    #[must_use]
+    pub fn observability_table(&self) -> String {
+        self.registry.render_table()
     }
 
     /// Removes the (primary) Name Server — experiment E2's "the Name Server

@@ -12,24 +12,24 @@
 //! these services, recursive operation in addition to that of the naming
 //! service is observed" (§1.3). This crate reproduces that arrangement:
 //!
-//! * [`TimeService`](time::TimeService) — the precision time corrector: a
+//! * [`TimeService`] — the precision time corrector: a
 //!   reference module plus a Cristian-style synchronization exchange that
 //!   corrects each machine's skewed [`ntcs::SimClock`].
-//! * [`MonitorService`](monitor::MonitorService) — the distributed network
+//! * [`MonitorService`] — the distributed network
 //!   monitor: collects send/receive/fault events from every module,
 //!   timestamped with corrected clocks, and answers aggregate queries.
-//! * [`DrtsRuntime`](runtime::DrtsRuntime) — the glue implementing
+//! * [`DrtsRuntime`] — the glue implementing
 //!   [`ntcs::DrtsHooks`]: each ComMod call may recurse into the time service
 //!   and monitor **through the same ComMod**, with hooks self-disabled
 //!   during their own traffic ("time correction and monitoring are disabled
 //!   here, to avoid the obvious infinite recursion", §6.1).
-//! * [`ServiceHost`](host::ServiceHost) + process control — distributed
+//! * [`ServiceHost`] + process control — distributed
 //!   process management: hosted service loops that can be relocated across
 //!   machines on command.
-//! * [`FileService`](files::FileService) — the distributed file service:
+//! * [`FileService`] — the distributed file service:
 //!   a pathname-addressed store reachable by logical name from any machine,
 //!   relocating with its module.
-//! * [`ErrorLogService`](errlog::ErrorLogService) — the distributed error logger
+//! * [`ErrorLogService`] — the distributed error logger
 //!   §6.3 wishes for ("a running table of errors could be maintained and
 //!   monitored").
 

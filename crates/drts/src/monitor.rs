@@ -10,7 +10,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Duration;
 
-use ntcs::{ComMod, MachineId, Result, Testbed, UAdd};
+use ntcs::{ComMod, HopRecord, MachineId, Result, Testbed, TraceQuery, TraceReply, UAdd};
 use parking_lot::Mutex;
 
 use crate::host::{Handler, ServiceHost};
@@ -24,6 +24,10 @@ const RING_CAP: usize = 10_000;
 #[derive(Debug, Default)]
 struct MonState {
     records: VecDeque<MonitorRecord>,
+    /// Per-hop causal-trace reports, tagged with an arrival index so hops
+    /// with equal (skew-corrected) timestamps keep a stable order.
+    hops: VecDeque<(u64, HopRecord)>,
+    next_arrival: u64,
 }
 
 impl MonState {
@@ -32,6 +36,28 @@ impl MonState {
             self.records.pop_front();
         }
         self.records.push_back(rec);
+    }
+
+    fn ingest_hop(&mut self, rec: HopRecord) {
+        if self.hops.len() == RING_CAP {
+            self.hops.pop_front();
+        }
+        let arrival = self.next_arrival;
+        self.next_arrival += 1;
+        self.hops.push_back((arrival, rec));
+    }
+
+    /// All hops of one trace, in journey order: by corrected timestamp,
+    /// ties broken by arrival at the monitor.
+    fn trace_chain(&self, trace_id: u64) -> Vec<HopRecord> {
+        let mut hops: Vec<(u64, HopRecord)> = self
+            .hops
+            .iter()
+            .filter(|(_, h)| h.trace_id == trace_id)
+            .cloned()
+            .collect();
+        hops.sort_by_key(|(arrival, h)| (h.timestamp_us, *arrival));
+        hops.into_iter().map(|(_, h)| h).collect()
     }
 
     fn stats(&self, module: u64) -> MonitorStats {
@@ -89,6 +115,16 @@ impl MonitorService {
                 if let Ok(rec) = msg.decode::<MonitorRecord>() {
                     st.lock().ingest(rec);
                 }
+            } else if msg.is::<HopRecord>() {
+                if let Ok(rec) = msg.decode::<HopRecord>() {
+                    st.lock().ingest_hop(rec);
+                }
+            } else if msg.is::<TraceQuery>() {
+                let Ok(q) = msg.decode::<TraceQuery>() else {
+                    return;
+                };
+                let hops = st.lock().trace_chain(q.trace_id);
+                let _ = commod.reply(&msg, &TraceReply { hops });
             } else if msg.is::<MonitorQuery>() {
                 let Ok(q) = msg.decode::<MonitorQuery>() else {
                     return;
@@ -125,6 +161,20 @@ impl MonitorService {
         self.state.lock().stats(module_filter)
     }
 
+    /// Local (in-process) view of one trace's reassembled journey: every
+    /// [`HopRecord`] cast under `trace_id`, in hop order (corrected
+    /// timestamp, arrival-index tiebreak).
+    #[must_use]
+    pub fn trace_chain(&self, trace_id: u64) -> Vec<HopRecord> {
+        self.state.lock().trace_chain(trace_id)
+    }
+
+    /// Total hop records currently retained.
+    #[must_use]
+    pub fn hop_count(&self) -> usize {
+        self.state.lock().hops.len()
+    }
+
     /// Remote query through the NTCS (what a real operator console does).
     ///
     /// # Errors
@@ -148,6 +198,22 @@ impl MonitorService {
             reconnects: rep.reconnects,
             last_timestamp_us: rep.last_timestamp_us,
         })
+    }
+
+    /// Remote trace query through the NTCS: asks the monitor at `monitor`
+    /// for the reassembled journey of `trace_id`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or timeout.
+    pub fn query_trace(commod: &ComMod, monitor: UAdd, trace_id: u64) -> Result<Vec<HopRecord>> {
+        let reply = commod.send_receive(
+            monitor,
+            &TraceQuery { trace_id },
+            Some(Duration::from_secs(5)),
+        )?;
+        let rep: TraceReply = reply.decode()?;
+        Ok(rep.hops)
     }
 
     /// Stops the monitor.

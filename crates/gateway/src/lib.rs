@@ -27,9 +27,11 @@ use std::time::Duration;
 use ntcs_addr::{AttrSet, MachineId, NetworkId, NtcsError, PhysAddr, Result, UAdd};
 use ntcs_ipcs::World;
 use ntcs_naming::NspLayer;
+use ntcs_nucleus::obs::{hop_kind, HopRecord, ModuleReport, ReportSource};
 use ntcs_nucleus::proto::OpenPayload;
 use ntcs_nucleus::{GatewayHandler, Lvc, Nucleus, NucleusConfig};
 use ntcs_wire::{Frame, FrameHeader, FrameType};
+use parking_lot::RwLock;
 
 /// Counters maintained by one gateway.
 #[derive(Debug, Default)]
@@ -57,6 +59,9 @@ pub struct GatewayMetricsSnapshot {
 struct Splicer {
     nucleus: Nucleus,
     metrics: Arc<GatewayMetrics>,
+    /// When set, every traced splice is reported to this DRTS monitor as a
+    /// [`HopRecord`] — the gateway's contribution to end-to-end tracing.
+    hop_monitor: Arc<RwLock<Option<UAdd>>>,
 }
 
 impl GatewayHandler for Splicer {
@@ -111,6 +116,25 @@ impl GatewayHandler for Splicer {
         self.metrics
             .circuits_spliced
             .fetch_add(1, Ordering::Relaxed);
+        // Only the open frame's header is visible to a gateway (relays are
+        // raw pass-through), so the splice hop reports against the trace id
+        // stamped on the open by the originating LCM.
+        if open.header.trace_id != 0 {
+            if let Some(monitor) = *self.hop_monitor.read() {
+                let rec = HopRecord {
+                    trace_id: open.header.trace_id,
+                    span: open.header.span,
+                    kind: hop_kind::SPLICE,
+                    module: self.nucleus.my_uadd().raw(),
+                    module_name: self.nucleus.config().module_hint.clone(),
+                    peer: open.header.src.raw(),
+                    msg_id: open.header.msg_id,
+                    timestamp_us: self.nucleus.clock().now_us(),
+                    detail: format!("spliced toward {next_addr} for {}", open.header.dst),
+                };
+                let _ = self.nucleus.cast_message(monitor, &rec);
+            }
+        }
         // Splice: two relay threads, raw pass-through.
         spawn_relay(lvc.clone(), next.clone(), Arc::clone(&self.metrics));
         spawn_relay(next, lvc, Arc::clone(&self.metrics));
@@ -169,6 +193,7 @@ pub struct Gateway {
     nsp: Arc<NspLayer>,
     uadd: UAdd,
     metrics: Arc<GatewayMetrics>,
+    hop_monitor: Arc<RwLock<Option<UAdd>>>,
 }
 
 impl Gateway {
@@ -217,9 +242,11 @@ impl Gateway {
         let nsp = NspLayer::new(nucleus.clone(), vec![UAdd::NAME_SERVER]);
         nucleus.set_resolver(nsp.clone());
         let metrics = Arc::new(GatewayMetrics::default());
+        let hop_monitor = Arc::new(RwLock::new(None));
         nucleus.set_gateway_handler(Arc::new(Splicer {
             nucleus: nucleus.clone(),
             metrics: Arc::clone(&metrics),
+            hop_monitor: Arc::clone(&hop_monitor),
         }));
         let attrs = AttrSet::named(name)?;
         let networks = nucleus.nd().networks();
@@ -229,6 +256,7 @@ impl Gateway {
             nsp,
             uadd,
             metrics,
+            hop_monitor,
         })
     }
 
@@ -269,6 +297,42 @@ impl Gateway {
             teardowns: self.metrics.teardowns.load(Ordering::Relaxed),
             refusals: self.metrics.refusals.load(Ordering::Relaxed),
         }
+    }
+
+    /// Starts reporting every traced splice to the DRTS monitor at
+    /// `monitor` as a [`HopRecord`]; pass via [`Gateway::disable_hop_reports`]
+    /// to stop.
+    pub fn enable_hop_reports(&self, monitor: UAdd) {
+        *self.hop_monitor.write() = Some(monitor);
+    }
+
+    /// Stops splice hop reporting.
+    pub fn disable_hop_reports(&self) {
+        *self.hop_monitor.write() = None;
+    }
+
+    /// A report source for the [`ntcs_nucleus::obs::MetricsRegistry`]: the
+    /// gateway Nucleus's full report with the splice counters appended.
+    #[must_use]
+    pub fn report_source(&self) -> ReportSource {
+        let nucleus = self.nucleus.clone();
+        let metrics = Arc::clone(&self.metrics);
+        Box::new(move || {
+            let mut report: ModuleReport = nucleus.module_report();
+            report.counters.extend([
+                (
+                    "gw_circuits_spliced",
+                    metrics.circuits_spliced.load(Ordering::Relaxed),
+                ),
+                (
+                    "gw_frames_relayed",
+                    metrics.frames_relayed.load(Ordering::Relaxed),
+                ),
+                ("gw_teardowns", metrics.teardowns.load(Ordering::Relaxed)),
+                ("gw_refusals", metrics.refusals.load(Ordering::Relaxed)),
+            ]);
+            report
+        })
     }
 
     /// The gateway's NSP layer (deregistration, test hooks).

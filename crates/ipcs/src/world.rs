@@ -545,19 +545,6 @@ impl World {
         Ok(())
     }
 
-    /// Deprecated alias for [`World::set_drop_permille`]. The historical
-    /// name said "millis", but the value was always a per-mille drop
-    /// *probability*, never milliseconds.
-    ///
-    /// # Errors
-    ///
-    /// As for [`World::set_drop_permille`].
-    #[deprecated(note = "the value is a per-mille probability, not milliseconds; \
-                         use `set_drop_permille`")]
-    pub fn set_drop_millis(&self, n: NetworkId, millis: u32) -> Result<()> {
-        self.set_drop_permille(n, millis)
-    }
-
     /// Arms deterministic loss on a network: the next `count` frames sent on
     /// it (any link, either direction) vanish silently, bypassing the
     /// probabilistic roll. Chaos/test hook for dropping one specific frame —
@@ -737,10 +724,9 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_drop_millis_alias_delegates() {
+    fn total_drop_permille_loses_frames_silently() {
         let (w, a, b, net) = two_machine_world(NetKind::Mbx);
-        #[allow(deprecated)]
-        w.set_drop_millis(net, 1000).unwrap();
+        w.set_drop_permille(net, 1000).unwrap();
         // Total loss: the frame vanishes, the channel stays healthy.
         let (addr, listener) = w.create_listener(b, net, "svc").unwrap();
         let chan = w.connect(a, &addr).unwrap();

@@ -10,15 +10,15 @@
 //!
 //! Components:
 //!
-//! * [`NameDb`](db::NameDb) — the name/address database: attribute sets
+//! * [`NameDb`] — the name/address database: attribute sets
 //!   (the §7 attribute-value naming extension; plain string names are the
 //!   `name=` attribute), UAdd generation (§3.2), forwarding resolution
 //!   (§3.5), and gateway-topology routes (§4.2).
-//! * [`NameServer`](server::NameServer) — the Name Server module: an
+//! * [`NameServer`] — the Name Server module: an
 //!   ordinary module with its own Nucleus binding, serving the protocol in
 //!   [`protocol`]. It can run as a primary or as a replica (§7's replicated
 //!   implementation extension).
-//! * [`NspLayer`](nsp::NspLayer) — the Name Service Protocol layer: "the
+//! * [`NspLayer`] — the Name Service Protocol layer: "the
 //!   single naming service access point for all layers within the ComMod",
 //!   isolating the service's implementation. It implements
 //!   [`ntcs_nucleus::NameResolver`], closing the recursion loop, and fails

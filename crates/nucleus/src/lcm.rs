@@ -30,13 +30,14 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use ntcs_addr::{MachineType, NtcsError, Result, TAddGenerator, UAdd};
-use ntcs_ipcs::World;
+use ntcs_ipcs::{SimClock, World};
 use ntcs_wire::{ConvMode, Frame, FrameHeader, FrameType, InboundPayload, Message};
 use parking_lot::{Mutex, RwLock};
 
 use crate::config::NucleusConfig;
 use crate::metrics::NucleusMetrics;
 use crate::nd::{Lvc, NdLayer};
+use crate::obs::{ModuleReport, NucleusHistograms, TraceId, TraceIdGen};
 use crate::proto::OpenPayload;
 use crate::resolver::{NameResolver, ResolvedModule, StaticResolver};
 use crate::supervisor::{
@@ -80,6 +81,10 @@ pub struct Received {
     /// Whether the sender used the reliable extension (the delivery ack is
     /// emitted when the application receives this message).
     pub reliable: bool,
+    /// Causal trace id stamped by the originating sender (0 = untraced).
+    pub trace_id: u64,
+    /// Span counter of the delivering frame (recovery legs bump it).
+    pub span: u32,
     /// The payload plus everything needed to decode it.
     pub payload: InboundPayload,
     /// Internal circuit id (used to route replies back to TAdd peers).
@@ -154,6 +159,13 @@ struct Inner {
     trace: LayerTrace,
     gauge: RecursionGauge,
     metrics: NucleusMetrics,
+    /// The machine's virtual clock, for histogram timings and header
+    /// timestamps (deterministic under the simulated world).
+    clock: SimClock,
+    /// Latency histograms (send→deliver, circuit, NS lookup, recovery).
+    hists: NucleusHistograms,
+    /// Deterministic generator for causal trace ids.
+    trace_ids: TraceIdGen,
     /// Per-peer circuit breakers (delivery supervisor).
     breakers: BreakerRegistry,
     /// Bounded set of reliable sends awaiting acknowledgement.
@@ -200,11 +212,21 @@ impl Nucleus {
         }
         let (events_tx, events_rx) = unbounded();
         let salt = (config.machine.0 as u16) ^ 0x1F;
+        let clock = world.clock(config.machine)?;
+        // Seed trace ids from the machine and module name so concurrent
+        // modules never collide and test runs stay reproducible.
+        let mut trace_seed = u64::from(config.machine.0);
+        for b in config.module_hint.bytes() {
+            trace_seed = trace_seed.wrapping_mul(0x100_0000_01B3) ^ u64::from(b);
+        }
         let inner = Arc::new(Inner {
             gauge: RecursionGauge::new(config.max_recursion_depth),
             breakers: BreakerRegistry::new(config.breaker.clone()),
             retx: RetransmissionQueue::new(config.retransmit_queue_cap),
             dead_letter: RwLock::new(None),
+            clock,
+            hists: NucleusHistograms::new(),
+            trace_ids: TraceIdGen::new(trace_seed),
             config,
             nd,
             statics,
@@ -321,6 +343,59 @@ impl Nucleus {
         &self.inner.metrics
     }
 
+    /// The latency histograms maintained by this Nucleus.
+    #[must_use]
+    pub fn histograms(&self) -> &NucleusHistograms {
+        &self.inner.hists
+    }
+
+    /// This machine's virtual clock (corrected µs).
+    #[must_use]
+    pub fn clock(&self) -> &SimClock {
+        &self.inner.clock
+    }
+
+    /// A fresh causal trace id for an application send (unique per module,
+    /// deterministic per test run).
+    #[must_use]
+    pub fn next_trace_id(&self) -> TraceId {
+        self.inner.trace_ids.next_id()
+    }
+
+    /// Health of every supervised peer circuit, sorted by peer address.
+    #[must_use]
+    pub fn breakers_health(&self) -> Vec<(UAdd, CircuitHealth)> {
+        self.inner.breakers.all_health()
+    }
+
+    /// This module's full observability report: every counter, the
+    /// retransmit/recursion gauges, all four latency histograms, and the
+    /// per-peer breaker states — the unit the [`crate::obs::MetricsRegistry`]
+    /// aggregates.
+    #[must_use]
+    pub fn module_report(&self) -> ModuleReport {
+        ModuleReport {
+            module: self.inner.config.module_hint.clone(),
+            counters: self.inner.metrics.snapshot().counters(),
+            gauges: vec![
+                ("retransmit_depth", self.inner.retx.depth() as u64),
+                ("recursion_depth", u64::from(self.inner.gauge.depth())),
+                (
+                    "forwarding_entries",
+                    self.inner.state.lock().forwarding.len() as u64,
+                ),
+            ],
+            histograms: self.inner.hists.snapshots(),
+            breakers: self
+                .inner
+                .breakers
+                .all_health()
+                .into_iter()
+                .map(|(peer, health)| (format!("{peer}"), health))
+                .collect(),
+        }
+    }
+
     /// The configuration this Nucleus was bound with (read-only; the
     /// NSP-Layer and gateway read their retry policies from here).
     #[must_use]
@@ -425,7 +500,26 @@ impl Nucleus {
         msg: &M,
         reply_expected: bool,
     ) -> Result<u64> {
-        self.send_outbound(
+        self.send_message_traced(dst, msg, reply_expected, TraceId::NULL)
+    }
+
+    /// [`Nucleus::send_message`] stamped with a causal trace id (see
+    /// [`Nucleus::next_trace_id`]): the id travels in the frame header
+    /// through every gateway splice, retransmission, and address-fault
+    /// re-establishment, so the DRTS monitor can reassemble the journey.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Nucleus::send_outbound`].
+    pub fn send_message_traced<M: Message>(
+        &self,
+        dst: UAdd,
+        msg: &M,
+        reply_expected: bool,
+        trace: TraceId,
+    ) -> Result<u64> {
+        let msg_id = self.next_msg_id();
+        self.send_internal_with_id(
             dst,
             Outbound {
                 type_id: M::TYPE_ID,
@@ -433,7 +527,13 @@ impl Nucleus {
             },
             reply_expected,
             0,
-        )
+            false,
+            msg_id,
+            false,
+            trace.raw(),
+            0,
+        )?;
+        Ok(msg_id)
     }
 
     /// Reliable send — the optional extension the paper declined to build
@@ -455,6 +555,23 @@ impl Nucleus {
         dst: UAdd,
         msg: &M,
         timeout: Duration,
+    ) -> Result<u64> {
+        self.send_reliable_message_traced(dst, msg, timeout, TraceId::NULL)
+    }
+
+    /// [`Nucleus::send_reliable_message`] stamped with a causal trace id;
+    /// every retransmission reuses the id with a bumped span, so the
+    /// reassembled journey shows each delivery attempt.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Nucleus::send_reliable_message`].
+    pub fn send_reliable_message_traced<M: Message>(
+        &self,
+        dst: UAdd,
+        msg: &M,
+        timeout: Duration,
+        trace: TraceId,
     ) -> Result<u64> {
         let msg_id = self.next_msg_id();
         let deadline = Instant::now() + timeout;
@@ -487,13 +604,31 @@ impl Nucleus {
             if attempts > 0 {
                 self.inner.metrics.bump(&self.inner.metrics.retransmissions);
                 self.inner.metrics.bump(&self.inner.metrics.retry_attempts);
+                if !trace.is_null() {
+                    self.inner.trace.record(
+                        self.inner.gauge.depth(),
+                        Layer::Lcm,
+                        "retransmit",
+                        format!("{dst} msg {msg_id} attempt {}", attempts + 1),
+                    );
+                }
             }
             attempts += 1;
             let out = Outbound {
                 type_id: M::TYPE_ID,
                 encoder: &|mode, machine| ntcs_wire::encode_payload(msg, mode, machine),
             };
-            match self.send_internal_with_id(dst, out, false, 0, false, msg_id, true) {
+            match self.send_internal_with_id(
+                dst,
+                out,
+                false,
+                0,
+                false,
+                msg_id,
+                true,
+                trace.raw(),
+                attempts - 1,
+            ) {
                 Ok(()) => {}
                 Err(e) if e.is_transient() => {
                     // Circuit down, breaker open, or establishment timed
@@ -559,6 +694,20 @@ impl Nucleus {
     ///
     /// Only argument/shutdown errors; transport losses are absorbed.
     pub fn cast_message<M: Message>(&self, dst: UAdd, msg: &M) -> Result<()> {
+        self.cast_message_traced(dst, msg, TraceId::NULL)
+    }
+
+    /// [`Nucleus::cast_message`] stamped with a causal trace id.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Nucleus::cast_message`].
+    pub fn cast_message_traced<M: Message>(
+        &self,
+        dst: UAdd,
+        msg: &M,
+        trace: TraceId,
+    ) -> Result<()> {
         if self.is_shut_down() {
             return Err(NtcsError::ShutDown);
         }
@@ -567,7 +716,8 @@ impl Nucleus {
             type_id: M::TYPE_ID,
             encoder: &|mode, machine| ntcs_wire::encode_payload(msg, mode, machine),
         };
-        match self.send_internal(dst, out, false, 0, true) {
+        let msg_id = self.next_msg_id();
+        match self.send_internal_with_id(dst, out, false, 0, true, msg_id, false, trace.raw(), 0) {
             Ok(_) => Ok(()),
             Err(NtcsError::InvalidArgument(e)) => Err(NtcsError::InvalidArgument(e)),
             Err(NtcsError::ShutDown) => Err(NtcsError::ShutDown),
@@ -669,12 +819,16 @@ impl Nucleus {
             encoder: &|mode, machine| ntcs_wire::encode_payload(msg, mode, machine),
         };
         let msg_id = self.next_msg_id();
+        // The reply joins the request's trace, so a traced round trip
+        // reads as one journey in the monitor.
+        let trace_id = to.trace_id;
         // Try the arrival circuit first.
         {
             let st = self.inner.state.lock();
             if let Some(e) = st.conns.get(&to.conn_id) {
                 if !e.closed && e.established {
-                    let frame = self.data_frame(e, &out, msg_id, false, to.msg_id, false, false);
+                    let frame = self
+                        .data_frame(e, &out, msg_id, false, to.msg_id, false, false, trace_id, 0);
                     match e.lvc.send_frame(&frame) {
                         Ok(()) => {
                             self.inner.metrics.bump(&self.inner.metrics.sends);
@@ -688,7 +842,9 @@ impl Nucleus {
         if to.src.is_temporary() {
             return Err(NtcsError::UnknownAddress(to.src.raw()));
         }
-        self.send_internal_with_id(to.src, out, false, to.msg_id, false, msg_id, false)?;
+        self.send_internal_with_id(
+            to.src, out, false, to.msg_id, false, msg_id, false, trace_id, 0,
+        )?;
         Ok(msg_id)
     }
 
@@ -747,6 +903,8 @@ impl Nucleus {
             connectionless,
             msg_id,
             false,
+            0,
+            0,
         )?;
         Ok(msg_id)
     }
@@ -761,11 +919,18 @@ impl Nucleus {
         connectionless: bool,
         msg_id: u64,
         reliable: bool,
+        trace_id: u64,
+        span_base: u32,
     ) -> Result<()> {
         if self.is_shut_down() {
             return Err(NtcsError::ShutDown);
         }
         let _scope = self.inner.gauge.enter()?;
+        if trace_id != 0 {
+            // Stamp the local ring: every layer event until the send
+            // completes belongs to this journey.
+            self.inner.trace.set_current_trace(trace_id);
+        }
         self.inner.trace.record(
             self.inner.gauge.depth(),
             Layer::Lcm,
@@ -773,6 +938,7 @@ impl Nucleus {
             format!("→ {dst} (msg {msg_id})"),
         );
         let mut attempts = 0;
+        let mut fault_started_us: Option<i64> = None;
         loop {
             let target = self.resolve_forwarded(dst)?;
             // Supervisor gate: an open breaker fails fast instead of
@@ -786,6 +952,8 @@ impl Nucleus {
                 reply_to,
                 connectionless,
                 reliable,
+                trace_id,
+                span_base + attempts,
             );
             match result {
                 Ok(()) => {
@@ -802,12 +970,27 @@ impl Nucleus {
                     }
                     if attempts > 0 {
                         self.inner.metrics.bump(&self.inner.metrics.reconnects);
+                        if let Some(started) = fault_started_us {
+                            // §3.5 recovery complete: fault detected →
+                            // data flowing on the re-established circuit.
+                            self.inner
+                                .hists
+                                .fault_recovery_us
+                                .record_us(self.inner.clock.now_us() - started);
+                        }
+                        self.inner.trace.record(
+                            self.inner.gauge.depth(),
+                            Layer::Lcm,
+                            "reconnect",
+                            format!("{target} reachable again after {attempts} fault(s)"),
+                        );
                     }
                     self.inner.metrics.bump(&self.inner.metrics.sends);
                     return Ok(());
                 }
                 Err(e) if e.is_relocation_candidate() && !connectionless => {
                     self.inner.metrics.bump(&self.inner.metrics.address_faults);
+                    fault_started_us.get_or_insert_with(|| self.inner.clock.now_us());
                     self.inner.trace.record(
                         self.inner.gauge.depth(),
                         Layer::Lcm,
@@ -883,6 +1066,8 @@ impl Nucleus {
         reply_to: u64,
         connectionless: bool,
         reliable: bool,
+        trace_id: u64,
+        span: u32,
     ) -> Frame {
         let payload = (out.encoder)(e.mode, self.machine_type());
         let mut h = FrameHeader::new(
@@ -902,6 +1087,9 @@ impl Nucleus {
         h.msg_id = msg_id;
         h.reply_to = reply_to;
         h.aux = out.type_id;
+        h.trace_id = trace_id;
+        h.span = span;
+        h.sent_at_us = self.inner.clock.now_us();
         Frame::new(h, payload)
     }
 
@@ -915,6 +1103,8 @@ impl Nucleus {
         reply_to: u64,
         connectionless: bool,
         reliable: bool,
+        trace_id: u64,
+        span: u32,
     ) -> Result<()> {
         let (conn_id, _) = self.ensure_conn(target)?;
         let (frame, lvc) = {
@@ -932,6 +1122,8 @@ impl Nucleus {
                     reply_to,
                     connectionless,
                     reliable,
+                    trace_id,
+                    span,
                 ),
                 e.lvc.clone(),
             )
@@ -1065,7 +1257,12 @@ impl Nucleus {
             "lookup",
             format!("ND needs phys of {target}"),
         );
+        let lookup_started_us = self.inner.clock.now_us();
         let m = resolver.lookup(target)?;
+        self.inner
+            .hists
+            .ns_lookup_us
+            .record_us(self.inner.clock.now_us() - lookup_started_us);
         self.inner.statics.cache(m.clone());
         Ok(m)
     }
@@ -1074,6 +1271,7 @@ impl Nucleus {
     /// network, otherwise a chained circuit through the gateway route
     /// obtained from the naming service (§4.2).
     fn open_circuit(&self, resolved: &ResolvedModule) -> Result<u64> {
+        let establish_started_us = self.inner.clock.now_us();
         let my_nets = self.inner.nd.networks();
         let (first_addr, payload) = if let Some(direct) = resolved.addr_on_any(&my_nets) {
             (direct.clone(), OpenPayload::direct())
@@ -1160,6 +1358,11 @@ impl Nucleus {
             self.machine_type(),
         );
         h.msg_id = self.next_msg_id();
+        // The open frame is the only thing a transit gateway parses, so it
+        // carries the in-flight journey's trace id: the gateway reports its
+        // splice hop against it.
+        h.trace_id = self.inner.trace.current_trace();
+        h.sent_at_us = establish_started_us;
         let open = Frame::new(h, Bytes::from(payload.to_packed()));
         lvc.send_frame(&open)?;
 
@@ -1203,6 +1406,10 @@ impl Nucleus {
             self.pump_once(Some(Duration::from_millis(10)))?;
         }
         self.inner.metrics.bump(&self.inner.metrics.circuits_opened);
+        self.inner
+            .hists
+            .circuit_establish_us
+            .record_us(self.inner.clock.now_us() - establish_started_us);
         Ok(conn_id)
     }
 
@@ -1312,6 +1519,24 @@ impl Nucleus {
                     }
                 }
                 if deliver {
+                    if h.sent_at_us != 0 {
+                        // Send→deliver latency on the receiver's corrected
+                        // clock; skew can make it negative, which the
+                        // histogram clamps to 0.
+                        self.inner
+                            .hists
+                            .send_to_deliver_us
+                            .record_us(self.inner.clock.now_us() - h.sent_at_us);
+                    }
+                    if h.trace_id != 0 {
+                        self.inner.trace.set_current_trace(h.trace_id);
+                        self.inner.trace.record(
+                            0,
+                            Layer::Lcm,
+                            "deliver",
+                            format!("from {peer} (msg {}, span {})", h.msg_id, h.span),
+                        );
+                    }
                     let received = Received {
                         src: peer,
                         msg_id: h.msg_id,
@@ -1319,6 +1544,8 @@ impl Nucleus {
                         reply_expected: h.flags.reply_expected,
                         connectionless: h.frame_type == FrameType::Datagram,
                         reliable: h.flags.reliable,
+                        trace_id: h.trace_id,
+                        span: h.span,
                         payload: InboundPayload {
                             type_id: h.aux,
                             mode: h.flags.conv_mode(),

@@ -36,6 +36,7 @@ pub mod config;
 pub mod lcm;
 pub mod metrics;
 pub mod nd;
+pub mod obs;
 pub mod proto;
 pub mod resolver;
 pub mod retry;
@@ -46,6 +47,10 @@ pub use config::NucleusConfig;
 pub use lcm::{GatewayHandler, Nucleus, Outbound, Received};
 pub use metrics::{NucleusMetrics, NucleusMetricsSnapshot};
 pub use nd::{Lvc, NdLayer};
+pub use obs::{
+    hop_kind, Histogram, HistogramSnapshot, HopRecord, MetricsRegistry, ModuleReport,
+    NucleusHistograms, ReportSource, TraceId, TraceIdGen, TraceQuery, TraceReply,
+};
 pub use proto::{Hop, OpenPayload};
 pub use resolver::{NameResolver, ResolvedModule, RouteInfo, StaticResolver};
 pub use retry::{BackoffSchedule, RetryPolicy};

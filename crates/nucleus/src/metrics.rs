@@ -121,6 +121,37 @@ impl NucleusMetrics {
     }
 }
 
+impl NucleusMetricsSnapshot {
+    /// All counters as `(name, value)` pairs, in declaration order — the
+    /// single source of truth for metric export so a counter added here
+    /// automatically appears in every observability report.
+    #[must_use]
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("sends", self.sends),
+            ("recvs", self.recvs),
+            ("casts", self.casts),
+            ("circuits_opened", self.circuits_opened),
+            ("circuits_accepted", self.circuits_accepted),
+            ("nd_open_attempts", self.nd_open_attempts),
+            ("address_faults", self.address_faults),
+            ("forward_queries", self.forward_queries),
+            ("reconnects", self.reconnects),
+            ("tadd_purges", self.tadd_purges),
+            ("ns_lookups", self.ns_lookups),
+            ("route_queries", self.route_queries),
+            ("relayed_frames", self.relayed_frames),
+            ("dropped_messages", self.dropped_messages),
+            ("retransmissions", self.retransmissions),
+            ("duplicates_suppressed", self.duplicates_suppressed),
+            ("retry_attempts", self.retry_attempts),
+            ("breaker_trips", self.breaker_trips),
+            ("breaker_recoveries", self.breaker_recoveries),
+            ("dead_letters", self.dead_letters),
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -206,7 +206,7 @@ impl NdLayer {
         Err(last)
     }
 
-    /// Opens an LVC under a [`RetryPolicy`] — the supervised form of
+    /// Opens an LVC under a [`RetryPolicy`](crate::RetryPolicy) — the supervised form of
     /// [`NdLayer::open`]. Transient connect errors are retried on the
     /// policy's backoff schedule; `on_retry` fires before each backoff
     /// sleep with the 0-based retry number and the error (the caller's

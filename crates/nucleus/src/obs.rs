@@ -1,0 +1,702 @@
+//! End-to-end observability: causal trace ids, latency histograms, and
+//! the unified metrics registry/export pipeline.
+//!
+//! The paper's own debugging story (§6.2) concludes that plain tracebacks
+//! are inadequate for the recursive NTCS — you must know *why* and *who*,
+//! with selectivity — and §6.3 warns that the better the recovery, the
+//! less you know about how the system actually runs. This module is the
+//! answer for the reproduction:
+//!
+//! * [`TraceId`] — stamped on every application send, carried in the wire
+//!   frame header, and forwarded unchanged through gateway splices,
+//!   reliable retransmissions, and address-fault re-establishment. Each
+//!   hop casts a [`HopRecord`] to the DRTS monitor, which reassembles the
+//!   message's full journey — recovery detours included.
+//! * [`Histogram`] — fixed 64-bucket log₂ latency histogram with an
+//!   allocation-free hot path, driven by the virtual [`ntcs_ipcs`] clock
+//!   so results are deterministic in tests.
+//! * [`MetricsRegistry`] — aggregates every module's counters, histograms,
+//!   and breaker states into one [`ModuleReport`] stream, rendered either
+//!   as Prometheus text-exposition format or a human table.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use ntcs_wire::ntcs_message;
+
+use crate::supervisor::CircuitHealth;
+
+/// A causal trace identifier: one per *application-level journey* of a
+/// message, preserved across every recovery detour. Zero is the null id
+/// (untraced traffic, e.g. protocol-internal frames).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TraceId(u64);
+
+impl TraceId {
+    /// The null trace id: the frame is not part of any traced journey.
+    pub const NULL: TraceId = TraceId(0);
+
+    /// Wraps a raw wire value.
+    #[must_use]
+    pub fn from_raw(raw: u64) -> Self {
+        TraceId(raw)
+    }
+
+    /// The raw wire value.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Whether this is the null (untraced) id.
+    #[must_use]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Deterministic per-nucleus trace-id generator: ids mix the module's
+/// address with a local counter (splitmix64 finalizer), so concurrently
+/// tracing modules never collide and test runs are reproducible.
+#[derive(Debug)]
+pub struct TraceIdGen {
+    base: u64,
+    counter: AtomicU64,
+}
+
+impl TraceIdGen {
+    /// A generator seeded from the owning module's identity.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        TraceIdGen {
+            base: seed,
+            counter: AtomicU64::new(0),
+        }
+    }
+
+    /// The next trace id (never [`TraceId::NULL`]).
+    pub fn next_id(&self) -> TraceId {
+        loop {
+            let n = self.counter.fetch_add(1, Ordering::Relaxed);
+            let mixed = splitmix64(
+                self.base
+                    .wrapping_add(n.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            );
+            if mixed != 0 {
+                return TraceId(mixed);
+            }
+        }
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Number of buckets in a [`Histogram`]: bucket `i` counts values whose
+/// bit length is `i` (upper bound `2^i − 1` µs); the last bucket is
+/// unbounded (`+Inf`).
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A fixed-size log₂-bucketed latency histogram (HDR-style), safe to
+/// record into from the hot path: one atomic increment per bucket plus
+/// sum/count/min/max updates, no allocation, no locks.
+///
+/// Values are microseconds on the testbed's *virtual* clock; negative
+/// values (possible under skewed clocks before DRTS sync) clamp to 0.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Bucket index for a value: its bit length, i.e. `⌈log₂(v+1)⌉`.
+    #[must_use]
+    pub fn bucket_index(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper bound of bucket `i` (`None` for the final `+Inf`
+    /// bucket).
+    #[must_use]
+    pub fn bucket_upper_bound(i: usize) -> Option<u64> {
+        if i + 1 >= HISTOGRAM_BUCKETS {
+            None
+        } else {
+            Some((1u64 << i) - 1)
+        }
+    }
+
+    /// Records one latency observation in microseconds; negative values
+    /// clamp to 0.
+    pub fn record_us(&self, value_us: i64) {
+        let v = u64::try_from(value_us).unwrap_or(0);
+        let idx = Self::bucket_index(v).min(HISTOGRAM_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of all buckets and aggregates.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, Copy)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`Histogram::bucket_index`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values, µs.
+    pub sum: u64,
+    /// Smallest observed value, µs (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest observed value, µs.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed latency in microseconds (0 when empty).
+    #[must_use]
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound (µs) of the bucket containing quantile `q` in `[0,1]`
+    /// — an upper estimate with log₂ resolution; `None` when empty or
+    /// when the quantile lands in the unbounded bucket.
+    #[must_use]
+    pub fn quantile_upper_us(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Histogram::bucket_upper_bound(i);
+            }
+        }
+        None
+    }
+}
+
+/// The per-nucleus latency histograms. All four are recorded by the LCM
+/// layer against the machine's virtual [`ntcs_ipcs`] clock.
+#[derive(Debug, Default)]
+pub struct NucleusHistograms {
+    /// Application send → receiver-side delivery (cross-machine; uses the
+    /// sender's header timestamp against the receiver's corrected clock).
+    pub send_to_deliver_us: Histogram,
+    /// LVC/IVC circuit establishment time (open → ack).
+    pub circuit_establish_us: Histogram,
+    /// Naming-service lookup time (UAdd → phys).
+    pub ns_lookup_us: Histogram,
+    /// §3.5 address-fault recovery duration (fault detected → data
+    /// flowing on the re-established circuit).
+    pub fault_recovery_us: Histogram,
+}
+
+impl NucleusHistograms {
+    /// Fresh (empty) histograms.
+    #[must_use]
+    pub fn new() -> Self {
+        NucleusHistograms::default()
+    }
+
+    /// All histograms as `(name, snapshot)` pairs, in declaration order.
+    #[must_use]
+    pub fn snapshots(&self) -> Vec<(&'static str, HistogramSnapshot)> {
+        vec![
+            ("send_to_deliver_us", self.send_to_deliver_us.snapshot()),
+            ("circuit_establish_us", self.circuit_establish_us.snapshot()),
+            ("ns_lookup_us", self.ns_lookup_us.snapshot()),
+            ("fault_recovery_us", self.fault_recovery_us.snapshot()),
+        ]
+    }
+}
+
+/// Hop kinds carried in [`HopRecord::kind`].
+pub mod hop_kind {
+    /// The originating application send.
+    pub const SEND: u32 = 1;
+    /// A gateway spliced the circuit toward the next network.
+    pub const SPLICE: u32 = 2;
+    /// The sender's LCM detected an address fault (§3.5).
+    pub const FAULT: u32 = 3;
+    /// The sender transparently re-established toward the relocated peer.
+    pub const RECONNECT: u32 = 4;
+    /// The receiving module delivered the message to the application.
+    pub const DELIVER: u32 = 5;
+    /// A reliable-extension retransmission of the same message.
+    pub const RETRANSMIT: u32 = 6;
+    /// Recovery exhausted; the message went to the dead-letter sink.
+    pub const DEAD_LETTER: u32 = 7;
+
+    /// Human name of a hop kind code.
+    #[must_use]
+    pub fn name(kind: u32) -> &'static str {
+        match kind {
+            SEND => "send",
+            SPLICE => "splice",
+            FAULT => "fault",
+            RECONNECT => "reconnect",
+            DELIVER => "deliver",
+            RETRANSMIT => "retransmit",
+            DEAD_LETTER => "dead-letter",
+            _ => "unknown",
+        }
+    }
+}
+
+ntcs_message! {
+    /// One leg of a traced message's journey, cast to the DRTS monitor by
+    /// the module that performed it (type-id block 130-139).
+    pub struct HopRecord: 130 {
+        /// The journey this hop belongs to.
+        pub trace_id: u64,
+        /// Span counter at this hop (bumped per recovery leg).
+        pub span: u32,
+        /// Hop kind code (see [`hop_kind`]).
+        pub kind: u32,
+        /// Reporting module's UAdd (raw).
+        pub module: u64,
+        /// Reporting module's name hint.
+        pub module_name: String,
+        /// Peer UAdd involved in this hop (raw; 0 = none).
+        pub peer: u64,
+        /// Message id of the traced send (0 = unknown at this hop).
+        pub msg_id: u64,
+        /// Corrected virtual timestamp of the hop, µs.
+        pub timestamp_us: i64,
+        /// Free-form detail (e.g. the fault error, the splice's networks).
+        pub detail: String,
+    }
+
+    /// Ask the monitor for one trace's reassembled hop chain.
+    pub struct TraceQuery: 131 {
+        /// The trace to reassemble.
+        pub trace_id: u64,
+    }
+
+    /// The monitor's reply: hops in causal (timestamp, arrival) order.
+    pub struct TraceReply: 132 {
+        /// The reassembled chain.
+        pub hops: Vec<HopRecord>,
+    }
+}
+
+impl fmt::Display for HopRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] span {} {:10} {} (peer {:#x}, msg {}) at {}µs {}",
+            TraceId::from_raw(self.trace_id),
+            self.span,
+            hop_kind::name(self.kind),
+            self.module_name,
+            self.peer,
+            self.msg_id,
+            self.timestamp_us,
+            self.detail,
+        )
+    }
+}
+
+/// One module's contribution to an observability report.
+#[derive(Debug, Clone)]
+pub struct ModuleReport {
+    /// The module's display name (unique per testbed).
+    pub module: String,
+    /// Monotonic counters as `(name, value)`.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Instantaneous gauges as `(name, value)`.
+    pub gauges: Vec<(&'static str, u64)>,
+    /// Latency histograms as `(name, snapshot)`.
+    pub histograms: Vec<(&'static str, HistogramSnapshot)>,
+    /// Per-peer circuit-breaker health as `(peer label, health)`.
+    pub breakers: Vec<(String, CircuitHealth)>,
+}
+
+/// A callback producing a module's current [`ModuleReport`]; registered
+/// once per module with the [`MetricsRegistry`].
+pub type ReportSource = Box<dyn Fn() -> ModuleReport + Send + Sync>;
+
+/// The testbed-wide registry aggregating every module's report into one
+/// export, in Prometheus text-exposition format or a human table.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    sources: Mutex<Vec<ReportSource>>,
+}
+
+impl fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.sources.lock().map(|s| s.len()).unwrap_or(0);
+        f.debug_struct("MetricsRegistry")
+            .field("sources", &n)
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Registers a module's report source.
+    pub fn register(&self, source: ReportSource) {
+        self.sources
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(source);
+    }
+
+    /// Collects a fresh report from every registered source.
+    #[must_use]
+    pub fn reports(&self) -> Vec<ModuleReport> {
+        let sources = self.sources.lock().unwrap_or_else(|e| e.into_inner());
+        sources.iter().map(|s| s()).collect()
+    }
+
+    /// Renders all reports in Prometheus text-exposition format: counters
+    /// as `ntcs_<name>_total`, gauges as `ntcs_<name>`, histograms as the
+    /// standard cumulative `_bucket{le=…}`/`_sum`/`_count` triple, and
+    /// breaker health as `ntcs_breaker_state` (0 healthy, 1 degraded,
+    /// 2 broken), all labelled by `module`.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let reports = self.reports();
+        let mut out = String::new();
+
+        // Counters, grouped by metric name so each # TYPE appears once.
+        let mut counter_names: Vec<&'static str> = Vec::new();
+        for r in &reports {
+            for (name, _) in &r.counters {
+                if !counter_names.contains(name) {
+                    counter_names.push(name);
+                }
+            }
+        }
+        for name in counter_names {
+            out.push_str(&format!("# TYPE ntcs_{name}_total counter\n"));
+            for r in &reports {
+                if let Some((_, v)) = r.counters.iter().find(|(n, _)| *n == name) {
+                    out.push_str(&format!(
+                        "ntcs_{name}_total{{module=\"{}\"}} {v}\n",
+                        r.module
+                    ));
+                }
+            }
+        }
+
+        let mut gauge_names: Vec<&'static str> = Vec::new();
+        for r in &reports {
+            for (name, _) in &r.gauges {
+                if !gauge_names.contains(name) {
+                    gauge_names.push(name);
+                }
+            }
+        }
+        for name in gauge_names {
+            out.push_str(&format!("# TYPE ntcs_{name} gauge\n"));
+            for r in &reports {
+                if let Some((_, v)) = r.gauges.iter().find(|(n, _)| *n == name) {
+                    out.push_str(&format!("ntcs_{name}{{module=\"{}\"}} {v}\n", r.module));
+                }
+            }
+        }
+
+        let mut hist_names: Vec<&'static str> = Vec::new();
+        for r in &reports {
+            for (name, _) in &r.histograms {
+                if !hist_names.contains(name) {
+                    hist_names.push(name);
+                }
+            }
+        }
+        for name in hist_names {
+            out.push_str(&format!("# TYPE ntcs_{name} histogram\n"));
+            for r in &reports {
+                let Some((_, h)) = r.histograms.iter().find(|(n, _)| *n == name) else {
+                    continue;
+                };
+                let mut cumulative = 0u64;
+                for (i, &c) in h.buckets.iter().enumerate() {
+                    // Empty interior buckets are elided to keep the
+                    // exposition small; +Inf is always emitted.
+                    cumulative += c;
+                    match Histogram::bucket_upper_bound(i) {
+                        Some(le) if c > 0 => out.push_str(&format!(
+                            "ntcs_{name}_bucket{{module=\"{}\",le=\"{le}\"}} {cumulative}\n",
+                            r.module
+                        )),
+                        Some(_) => {}
+                        None => out.push_str(&format!(
+                            "ntcs_{name}_bucket{{module=\"{}\",le=\"+Inf\"}} {cumulative}\n",
+                            r.module
+                        )),
+                    }
+                }
+                out.push_str(&format!(
+                    "ntcs_{name}_sum{{module=\"{}\"}} {}\n",
+                    r.module, h.sum
+                ));
+                out.push_str(&format!(
+                    "ntcs_{name}_count{{module=\"{}\"}} {}\n",
+                    r.module, h.count
+                ));
+            }
+        }
+
+        let any_breakers = reports.iter().any(|r| !r.breakers.is_empty());
+        if any_breakers {
+            out.push_str("# TYPE ntcs_breaker_state gauge\n");
+            for r in &reports {
+                for (peer, health) in &r.breakers {
+                    let code = match health {
+                        CircuitHealth::Healthy => 0,
+                        CircuitHealth::Degraded => 1,
+                        CircuitHealth::Broken => 2,
+                    };
+                    out.push_str(&format!(
+                        "ntcs_breaker_state{{module=\"{}\",peer=\"{peer}\"}} {code}\n",
+                        r.module
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders all reports as a human-readable table: one section per
+    /// module, nonzero counters/gauges first, then histogram summaries
+    /// and breaker states.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        for r in self.reports() {
+            out.push_str(&format!("=== {} ===\n", r.module));
+            for (name, v) in r.counters.iter().chain(r.gauges.iter()) {
+                if *v != 0 {
+                    out.push_str(&format!("  {name:<24} {v}\n"));
+                }
+            }
+            for (name, h) in &r.histograms {
+                if h.count == 0 {
+                    continue;
+                }
+                let p99 = h
+                    .quantile_upper_us(0.99)
+                    .map_or_else(|| "inf".to_string(), |v| v.to_string());
+                out.push_str(&format!(
+                    "  {name:<24} n={} mean={:.1}µs min={}µs max={}µs p99≤{}µs\n",
+                    h.count,
+                    h.mean_us(),
+                    h.min,
+                    h.max,
+                    p99
+                ));
+            }
+            for (peer, health) in &r.breakers {
+                out.push_str(&format!("  breaker {peer:<16} {health}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_are_unique_and_nonzero() {
+        let g = TraceIdGen::new(0xABCD);
+        let a = g.next_id();
+        let b = g.next_id();
+        assert!(!a.is_null());
+        assert!(!b.is_null());
+        assert_ne!(a, b);
+        // Deterministic: a fresh generator with the same seed repeats.
+        let g2 = TraceIdGen::new(0xABCD);
+        assert_eq!(g2.next_id(), a);
+        // Different seeds diverge.
+        let g3 = TraceIdGen::new(0xABCE);
+        assert_ne!(g3.next_id(), a);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64 - 1 + 1);
+        assert_eq!(Histogram::bucket_upper_bound(0), Some(0));
+        assert_eq!(Histogram::bucket_upper_bound(10), Some(1023));
+        assert_eq!(Histogram::bucket_upper_bound(HISTOGRAM_BUCKETS - 1), None);
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        let h = Histogram::new();
+        h.record_us(0);
+        h.record_us(100);
+        h.record_us(1000);
+        h.record_us(-50); // clamps to 0
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 1100);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.buckets[0], 2); // the two zeros
+        assert_eq!(s.buckets[Histogram::bucket_index(100)], 1);
+        assert_eq!(s.buckets[Histogram::bucket_index(1000)], 1);
+        assert!(s.mean_us() > 0.0);
+        // p50 of {0,0,100,1000} lands in bucket 0.
+        assert_eq!(s.quantile_upper_us(0.5), Some(0));
+        assert_eq!(s.quantile_upper_us(1.0), Some(1023));
+    }
+
+    #[test]
+    fn huge_values_land_in_inf_bucket() {
+        let h = Histogram::new();
+        h.record_us(i64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1], 1);
+        assert_eq!(s.quantile_upper_us(1.0), None, "+Inf bucket");
+    }
+
+    #[test]
+    fn hop_record_round_trips_on_the_wire() {
+        use ntcs_addr::MachineType;
+        use ntcs_wire::{encode_payload, ConvMode, InboundPayload, Message};
+        let rec = HopRecord {
+            trace_id: 0xFEED,
+            span: 2,
+            kind: hop_kind::SPLICE,
+            module: 42,
+            module_name: "gw-0-1".into(),
+            peer: 7,
+            msg_id: 99,
+            timestamp_us: -12,
+            detail: "net0->net1".into(),
+        };
+        let inbound = InboundPayload {
+            type_id: HopRecord::TYPE_ID,
+            mode: ConvMode::Packed,
+            src_machine: MachineType::Vax,
+            bytes: encode_payload(&rec, ConvMode::Packed, MachineType::Vax),
+        };
+        let got: HopRecord = inbound.decode(MachineType::Sun).unwrap();
+        assert_eq!(got, rec);
+        assert_eq!(HopRecord::TYPE_ID, 130);
+        assert!(format!("{got}").contains("splice"));
+    }
+
+    fn sample_report(module: &str, sends: u64) -> ModuleReport {
+        let h = Histogram::new();
+        h.record_us(5);
+        h.record_us(500);
+        ModuleReport {
+            module: module.to_string(),
+            counters: vec![("sends", sends), ("recvs", 1)],
+            gauges: vec![("retx_depth", 0)],
+            histograms: vec![("send_to_deliver_us", h.snapshot())],
+            breakers: vec![("0x200".to_string(), CircuitHealth::Degraded)],
+        }
+    }
+
+    #[test]
+    fn registry_renders_prometheus_exposition() {
+        let reg = MetricsRegistry::new();
+        reg.register(Box::new(|| sample_report("alpha", 3)));
+        reg.register(Box::new(|| sample_report("beta", 8)));
+        let text = reg.render_prometheus();
+
+        assert!(text.contains("# TYPE ntcs_sends_total counter"));
+        assert_eq!(
+            text.matches("# TYPE ntcs_sends_total counter").count(),
+            1,
+            "one TYPE line per metric"
+        );
+        assert!(text.contains("ntcs_sends_total{module=\"alpha\"} 3"));
+        assert!(text.contains("ntcs_sends_total{module=\"beta\"} 8"));
+        assert!(text.contains("# TYPE ntcs_retx_depth gauge"));
+        assert!(text.contains("# TYPE ntcs_send_to_deliver_us histogram"));
+        assert!(text.contains("ntcs_send_to_deliver_us_bucket{module=\"alpha\",le=\"+Inf\"} 2"));
+        assert!(text.contains("ntcs_send_to_deliver_us_sum{module=\"alpha\"} 505"));
+        assert!(text.contains("ntcs_send_to_deliver_us_count{module=\"alpha\"} 2"));
+        assert!(text.contains("ntcs_breaker_state{module=\"beta\",peer=\"0x200\"} 1"));
+
+        // Cumulative buckets must be monotone non-decreasing per module.
+        let mut last = 0u64;
+        for line in text
+            .lines()
+            .filter(|l| l.starts_with("ntcs_send_to_deliver_us_bucket{module=\"alpha\""))
+        {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "cumulative buckets must not decrease");
+            last = v;
+        }
+
+        let table = reg.render_table();
+        assert!(table.contains("=== alpha ==="));
+        assert!(table.contains("sends"));
+        assert!(table.contains("breaker 0x200"));
+    }
+}

@@ -223,6 +223,20 @@ impl BreakerRegistry {
         map.get(&peer.raw())
             .map_or(CircuitHealth::Healthy, |b| b.health(Instant::now()))
     }
+
+    /// Health of every peer circuit that has ever carried traffic, sorted
+    /// by peer address for stable rendering in observability reports.
+    #[must_use]
+    pub fn all_health(&self) -> Vec<(UAdd, CircuitHealth)> {
+        let map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        let now = Instant::now();
+        let mut all: Vec<(UAdd, CircuitHealth)> = map
+            .iter()
+            .map(|(&raw, b)| (UAdd::from_raw(raw), b.health(now)))
+            .collect();
+        all.sort_by_key(|(peer, _)| peer.raw());
+        all
+    }
 }
 
 /// A reliable message whose recovery budget is exhausted.

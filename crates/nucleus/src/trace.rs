@@ -14,7 +14,7 @@
 
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ntcs_addr::{NtcsError, Result};
@@ -87,6 +87,9 @@ pub struct TraceEvent {
     pub action: &'static str,
     /// Who is calling and why — the context the paper found missing.
     pub why: String,
+    /// The causal trace id active when the event was recorded (0 = none),
+    /// joining this local ring to the testbed-wide hop chains.
+    pub trace_id: u64,
 }
 
 impl fmt::Display for TraceEvent {
@@ -100,16 +103,23 @@ impl fmt::Display for TraceEvent {
             self.action,
             self.why,
             indent = (self.depth as usize) * 2
-        )
+        )?;
+        if self.trace_id != 0 {
+            write!(f, " [trace {:016x}]", self.trace_id)?;
+        }
+        Ok(())
     }
 }
 
 struct TraceInner {
     ring: Mutex<VecDeque<TraceEvent>>,
-    seq: AtomicU32,
+    seq: AtomicU64,
     enabled: AtomicBool,
     /// Per-layer selectivity filters.
     layer_enabled: [AtomicBool; 6],
+    /// The trace id of the journey currently in flight on this module
+    /// (0 = none); stamped onto every recorded event.
+    current_trace: AtomicU64,
     capacity: usize,
 }
 
@@ -136,18 +146,34 @@ impl Default for LayerTrace {
 }
 
 impl LayerTrace {
-    /// Creates a trace buffer holding up to `capacity` events.
+    /// Creates a trace buffer holding up to `capacity` events (clamped to
+    /// at least 1 — a zero-capacity ring would otherwise grow unbounded
+    /// after its single eviction check).
     #[must_use]
     pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
         LayerTrace {
             inner: Arc::new(TraceInner {
                 ring: Mutex::new(VecDeque::with_capacity(capacity.min(4096))),
-                seq: AtomicU32::new(0),
+                seq: AtomicU64::new(0),
                 enabled: AtomicBool::new(true),
                 layer_enabled: Default::default(),
+                current_trace: AtomicU64::new(0),
                 capacity,
             }),
         }
+    }
+
+    /// Sets the causal trace id stamped onto subsequently recorded events
+    /// (0 clears it).
+    pub fn set_current_trace(&self, trace_id: u64) {
+        self.inner.current_trace.store(trace_id, Ordering::Relaxed);
+    }
+
+    /// The trace id currently being stamped onto events (0 = none).
+    #[must_use]
+    pub fn current_trace(&self) -> u64 {
+        self.inner.current_trace.load(Ordering::Relaxed)
     }
 
     /// Globally enables or disables tracing.
@@ -171,9 +197,10 @@ impl LayerTrace {
         if !self.inner.enabled.load(Ordering::Relaxed) || !self.layer_on(layer) {
             return;
         }
-        let seq = u64::from(self.inner.seq.fetch_add(1, Ordering::Relaxed));
+        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        let trace_id = self.inner.current_trace.load(Ordering::Relaxed);
         let mut ring = self.inner.ring.lock();
-        if ring.len() == self.inner.capacity {
+        if ring.len() >= self.inner.capacity {
             ring.pop_front();
         }
         ring.push_back(TraceEvent {
@@ -182,6 +209,7 @@ impl LayerTrace {
             layer,
             action,
             why: why.to_string(),
+            trace_id,
         });
     }
 
@@ -301,6 +329,35 @@ mod tests {
         let evs = t.events();
         assert_eq!(evs.len(), 4);
         assert_eq!(evs[0].why, "n6");
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_and_stays_bounded() {
+        // Regression: capacity 0 used to make the `len == capacity`
+        // eviction check true only once, after which the ring grew
+        // without bound.
+        let t = LayerTrace::new(0);
+        for i in 0..100 {
+            t.record(0, Layer::Lcm, "send", format!("n{i}"));
+        }
+        let evs = t.events();
+        assert_eq!(evs.len(), 1, "clamped to capacity 1");
+        assert_eq!(evs[0].why, "n99");
+    }
+
+    #[test]
+    fn events_carry_the_current_trace_id() {
+        let t = LayerTrace::new(8);
+        t.record(0, Layer::Ali, "send", "untraced");
+        t.set_current_trace(0xABCD);
+        t.record(0, Layer::Lcm, "send", "traced");
+        t.set_current_trace(0);
+        t.record(0, Layer::Nd, "open", "untraced again");
+        let evs = t.events();
+        assert_eq!(evs[0].trace_id, 0);
+        assert_eq!(evs[1].trace_id, 0xABCD);
+        assert_eq!(evs[2].trace_id, 0);
+        assert!(evs[1].to_string().contains("000000000000abcd"));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! message headers are built with structures of four byte integers, which can
 //! be bit field divided as required."
 //!
-//! [`FrameHeader`] is that structure: sixteen 32-bit integers (64 bytes),
+//! [`FrameHeader`] is that structure: twenty-one 32-bit integers (84 bytes),
 //! fixed length on every machine, encoded with [`crate::ShiftWriter`]. The
 //! header precedes every frame the Nucleus sends; the payload that follows is
 //! in packed or image mode (application data) or packed mode (NTCS control
@@ -24,13 +24,14 @@ use crate::pack::{PackReader, PackWriter};
 use crate::shift::{ShiftReader, ShiftWriter};
 
 /// Length in bytes of the fixed shift-mode header.
-pub const HEADER_LEN: usize = 16 * 4;
+pub const HEADER_LEN: usize = 21 * 4;
 
 /// Magic number opening every NTCS frame (`"NTCS"` in ASCII).
 pub const MAGIC: u32 = 0x4E54_4353;
 
-/// Protocol version carried in every header.
-pub const VERSION: u32 = 1;
+/// Protocol version carried in every header. Version 2 appended the causal
+/// tracing words (`trace_id`, `span`, `sent_at_us`).
+pub const VERSION: u32 = 2;
 
 /// The kind of frame, interpreted by the Nucleus layers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -173,6 +174,17 @@ pub struct FrameHeader {
     pub aux: u32,
     /// Payload length in bytes.
     pub payload_len: u32,
+    /// Causal trace id stamped on the originating application send (0 =
+    /// untraced). Forwarded unchanged through gateways, retransmissions,
+    /// and address-fault re-establishment so every hop can report against
+    /// the same journey.
+    pub trace_id: u64,
+    /// Span counter within a trace: bumped per recovery leg (relocation
+    /// retry, retransmission) so detours are distinguishable in hop chains.
+    pub span: u32,
+    /// Originating send timestamp in corrected virtual microseconds (0 =
+    /// unknown); lets the receiving LCM compute send→deliver latency.
+    pub sent_at_us: i64,
 }
 
 impl FrameHeader {
@@ -191,13 +203,16 @@ impl FrameHeader {
             error_code: 0,
             aux: 0,
             payload_len: 0,
+            trace_id: 0,
+            span: 0,
+            sent_at_us: 0,
         }
     }
 
     /// Encodes the header in shift mode (fixed [`HEADER_LEN`] bytes).
     #[must_use]
     pub fn to_shift(&self) -> Vec<u8> {
-        let mut w = ShiftWriter::with_capacity_words(16);
+        let mut w = ShiftWriter::with_capacity_words(21);
         w.put_u32(MAGIC)
             .put_u32(VERSION)
             .put_u32(self.frame_type.wire_code())
@@ -209,7 +224,10 @@ impl FrameHeader {
             .put_u32(self.src_machine.wire_code())
             .put_u32(self.error_code)
             .put_u32(self.aux)
-            .put_u32(self.payload_len);
+            .put_u32(self.payload_len)
+            .put_u64(self.trace_id)
+            .put_u32(self.span)
+            .put_u64(self.sent_at_us as u64);
         w.into_bytes()
     }
 
@@ -241,6 +259,9 @@ impl FrameHeader {
         let error_code = r.get_u32()?;
         let aux = r.get_u32()?;
         let payload_len = r.get_u32()?;
+        let trace_id = r.get_u64()?;
+        let span = r.get_u32()?;
+        let sent_at_us = r.get_u64()? as i64;
         Ok(FrameHeader {
             frame_type,
             flags,
@@ -252,6 +273,9 @@ impl FrameHeader {
             error_code,
             aux,
             payload_len,
+            trace_id,
+            span,
+            sent_at_us,
         })
     }
 
@@ -271,7 +295,10 @@ impl FrameHeader {
             .put_unsigned(u64::from(self.src_machine.wire_code()))
             .put_unsigned(u64::from(self.error_code))
             .put_unsigned(u64::from(self.aux))
-            .put_unsigned(u64::from(self.payload_len));
+            .put_unsigned(u64::from(self.payload_len))
+            .put_unsigned(self.trace_id)
+            .put_unsigned(u64::from(self.span))
+            .put_unsigned(self.sent_at_us as u64);
         w.into_bytes()
     }
 
@@ -302,6 +329,9 @@ impl FrameHeader {
         let error_code = r.get_unsigned()? as u32;
         let aux = r.get_unsigned()? as u32;
         let payload_len = r.get_unsigned()? as u32;
+        let trace_id = r.get_unsigned()?;
+        let span = r.get_unsigned()? as u32;
+        let sent_at_us = r.get_unsigned()? as i64;
         Ok(FrameHeader {
             frame_type,
             flags,
@@ -313,6 +343,9 @@ impl FrameHeader {
             error_code,
             aux,
             payload_len,
+            trace_id,
+            span,
+            sent_at_us,
         })
     }
 }
@@ -336,6 +369,9 @@ mod tests {
         h.error_code = 0;
         h.aux = 9;
         h.payload_len = 1234;
+        h.trace_id = 0xDEAD_BEEF_CAFE_F00D;
+        h.span = 3;
+        h.sent_at_us = -250; // negative exercises the u64 cast round trip
         h
     }
 
@@ -415,6 +451,25 @@ mod tests {
         assert!(FrameHeader::from_shift(&bytes).is_err());
 
         assert!(FrameHeader::from_shift(&bytes[..10]).is_err());
+    }
+
+    #[test]
+    fn trace_words_default_zero_and_round_trip() {
+        let h = FrameHeader::new(
+            FrameType::Data,
+            UAdd::from_raw(1),
+            UAdd::from_raw(2),
+            MachineType::Sun,
+        );
+        assert_eq!((h.trace_id, h.span, h.sent_at_us), (0, 0, 0));
+        let mut traced = h.clone();
+        traced.trace_id = u64::MAX;
+        traced.span = u32::MAX;
+        traced.sent_at_us = i64::MIN;
+        let got = FrameHeader::from_shift(&traced.to_shift()).unwrap();
+        assert_eq!(got, traced);
+        let got = FrameHeader::from_packed(&traced.to_packed()).unwrap();
+        assert_eq!(got, traced);
     }
 
     #[test]

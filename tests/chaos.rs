@@ -15,7 +15,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use ntcs::{CircuitHealth, ComMod, MachineType, NetKind, NtcsError, Testbed};
+use ntcs::{
+    hop_kind, CircuitHealth, ComMod, MachineType, NetKind, NtcsError, NucleusMetricsSnapshot,
+    Testbed,
+};
+use ntcs_drts::MonitorService;
 use ntcs_repro::messages::Ask;
 use ntcs_repro::scenarios::{line_internet, single_net};
 use parking_lot::Mutex;
@@ -92,6 +96,48 @@ fn assert_exactly_once_or_dead_letter(delivered: &HashMap<u32, u32>, acked: &[u3
     }
 }
 
+/// Counter invariants checked after each chaos run, on every seed: the
+/// metrics must account for every reliable send. `base` is the receiver's
+/// snapshot before the run (registration traffic also bumps `recvs`).
+fn assert_counter_invariants(
+    s: &NucleusMetricsSnapshot,
+    r: &NucleusMetricsSnapshot,
+    base: &NucleusMetricsSnapshot,
+    acked: &[u32],
+    dead: &[u32],
+) {
+    let delivered = r.recvs - base.recvs;
+    let total = (acked.len() + dead.len()) as u64;
+    assert!(
+        delivered >= acked.len() as u64,
+        "every acknowledged send must reach the application: {delivered} recvs < {} acks",
+        acked.len()
+    );
+    assert!(
+        delivered <= total,
+        "recvs plus never-delivered dead letters must account for every \
+         reliable send exactly once: {delivered} recvs > {total} sends"
+    );
+    assert_eq!(
+        s.dead_letters,
+        dead.len() as u64,
+        "every exhausted send must surface as exactly one dead letter"
+    );
+    assert!(
+        r.duplicates_suppressed - base.duplicates_suppressed <= s.retransmissions,
+        "a suppressed duplicate can only stem from a retransmission \
+         ({} suppressed, {} retransmitted)",
+        r.duplicates_suppressed - base.duplicates_suppressed,
+        s.retransmissions
+    );
+    assert!(
+        s.breaker_recoveries <= s.breaker_trips,
+        "a breaker can only recover after tripping ({} recoveries, {} trips)",
+        s.breaker_recoveries,
+        s.breaker_trips
+    );
+}
+
 // ---------------------------------------------------------------------
 // Scenario 1: partition/heal cycles between sender and receiver
 // ---------------------------------------------------------------------
@@ -107,6 +153,7 @@ fn partition_heal_chaos(seed: u64) {
 
     let stop = Arc::new(AtomicBool::new(false));
     let delivered = Arc::new(Mutex::new(HashMap::new()));
+    let receiver_base = receiver.metrics();
     let counter = spawn_counter(receiver, Arc::clone(&stop), Arc::clone(&delivered));
 
     let world = lab.testbed.world().clone();
@@ -197,6 +244,7 @@ fn partition_heal_chaos(seed: u64) {
 
     assert_exactly_once_or_dead_letter(&delivered.lock(), &acked, &dead);
     let m = sender.metrics();
+    assert_counter_invariants(&m, &receiver.metrics(), &receiver_base, &acked, &dead);
     assert_eq!(m.dead_letters, dead.len() as u64);
     assert!(
         m.breaker_trips >= 1,
@@ -381,6 +429,7 @@ fn gateway_drop_chaos(seed: u64) {
 
     let stop = Arc::new(AtomicBool::new(false));
     let delivered = Arc::new(Mutex::new(HashMap::new()));
+    let server_base = server.metrics();
     let counter = spawn_counter(server, Arc::clone(&stop), Arc::clone(&delivered));
 
     let world = lab.testbed.world().clone();
@@ -440,6 +489,7 @@ fn gateway_drop_chaos(seed: u64) {
 
     assert_exactly_once_or_dead_letter(&delivered.lock(), &acked, &dead);
     let m = client.metrics();
+    assert_counter_invariants(&m, &server.metrics(), &server_base, &acked, &dead);
     assert_eq!(m.dead_letters, dead.len() as u64);
     println!(
         "seed {seed:#x}: acked={}, dead={}, retransmissions={}, duplicates_suppressed={}",
@@ -463,4 +513,182 @@ fn gateway_drop_storms_seed_b() {
 #[test]
 fn gateway_drop_storms_seed_c() {
     gateway_drop_chaos(SEEDS[2]);
+}
+
+// ---------------------------------------------------------------------
+// Scenario 4: causal-trace reconstruction. One traced message whose
+// journey crosses a gateway splice AND an address-fault reconnection must
+// be reassembled, hop by hop, from monitor records alone — and the
+// testbed-wide observability report must expose the run in valid
+// Prometheus text format.
+// ---------------------------------------------------------------------
+
+/// Checks that `text` is well-formed Prometheus exposition: every line is
+/// a comment or `name{labels} value` with a parseable value, and each
+/// histogram's `_bucket` series is cumulative.
+fn assert_valid_prometheus(text: &str) {
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("sample line has no value: {line:?}"));
+        assert!(
+            value.parse::<f64>().is_ok() || value == "+Inf",
+            "unparseable sample value in {line:?}"
+        );
+        let name = series.split('{').next().unwrap();
+        assert!(
+            !name.is_empty()
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "invalid metric name in {line:?}"
+        );
+    }
+}
+
+#[test]
+fn traced_journey_reconstructed_from_monitor_records() {
+    let _serial = SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let lab = line_internet(2, NetKind::Mbx).unwrap();
+    // The monitor lives on net1's edge machine; the client's hop reports
+    // cross the gateway, the relocated server's stay machine-local.
+    let monitor = MonitorService::spawn(&lab.testbed, lab.edge_machines[1]).unwrap();
+    let server = lab
+        .testbed
+        .module(lab.edge_machines[0], "trace-sink")
+        .unwrap();
+    let client = lab
+        .testbed
+        .module(lab.edge_machines[0], "trace-src")
+        .unwrap();
+    client.set_hop_monitor(monitor.uadd());
+    server.set_hop_monitor(monitor.uadd());
+    lab.gateways[0].enable_hop_reports(monitor.uadd());
+
+    // Warm up an untraced circuit on the server's ORIGINAL machine, so the
+    // traced send below must take the §3.5 fault/forward/reconnect detour.
+    let dst = client.locate("trace-sink").unwrap();
+    client
+        .send(
+            dst,
+            &Ask {
+                n: 0,
+                body: String::new(),
+            },
+        )
+        .unwrap();
+    let warm = server.receive(Some(Duration::from_secs(5))).unwrap();
+    assert_eq!(warm.trace_id(), 0, "untraced sends must stay untraced");
+
+    // Relocate the server across the gateway, then send ONE traced message
+    // to the stale UAdd: its journey is send → fault → reconnect → splice
+    // → deliver, all under one trace id.
+    let server = server.relocate_to(lab.edge_machines[1]).unwrap();
+    let (msg_id, trace) = client
+        .send_traced(
+            dst,
+            &Ask {
+                n: 7,
+                body: String::new(),
+            },
+        )
+        .unwrap();
+    assert_ne!(trace.raw(), 0);
+    let got = server.receive(Some(Duration::from_secs(5))).unwrap();
+    assert_eq!(got.decode::<Ask>().unwrap().n, 7);
+    assert_eq!(
+        got.trace_id(),
+        trace.raw(),
+        "trace id must survive the wire"
+    );
+    assert!(
+        got.span() >= 1,
+        "the reconnection leg must bump the span, got {}",
+        got.span()
+    );
+
+    // The monitor reassembles the journey from cast records alone. Hop
+    // casts are asynchronous: poll until the DELIVER record lands.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let chain = loop {
+        let chain = monitor.trace_chain(trace.raw());
+        if chain.iter().any(|h| h.kind == hop_kind::DELIVER) || std::time::Instant::now() > deadline
+        {
+            break chain;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    let kinds: Vec<u32> = chain.iter().map(|h| h.kind).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            hop_kind::SEND,
+            hop_kind::SPLICE,
+            hop_kind::FAULT,
+            hop_kind::RECONNECT,
+            hop_kind::DELIVER,
+        ],
+        "full journey: {chain:#?}"
+    );
+    assert!(chain.iter().all(|h| h.trace_id == trace.raw()));
+    let deliver = chain.last().unwrap();
+    assert_eq!(deliver.msg_id, msg_id);
+    assert!(
+        chain
+            .windows(2)
+            .all(|w| w[0].timestamp_us <= w[1].timestamp_us),
+        "hop timestamps must be monotone in journey order"
+    );
+    // The splice was reported by the gateway itself, not an endpoint.
+    let splice = &chain[1];
+    assert!(
+        splice.module_name.starts_with("gw-"),
+        "splice hop must come from the gateway, got {:?}",
+        splice.module_name
+    );
+    // No leakage into other trace ids.
+    assert!(monitor.trace_chain(trace.raw() ^ 1).is_empty());
+
+    // The same reconstruction works remotely, over the NTCS itself.
+    let remote = MonitorService::query_trace(&client, monitor.uadd(), trace.raw()).unwrap();
+    assert_eq!(remote.len(), chain.len());
+    assert_eq!(
+        remote.iter().map(|h| h.kind).collect::<Vec<_>>(),
+        kinds,
+        "remote query must reconstruct the same journey"
+    );
+
+    // Testbed-wide export: valid Prometheus text, counters plus at least
+    // four populated histograms.
+    let prom = lab.testbed.observability_report();
+    assert_valid_prometheus(&prom);
+    assert!(prom.contains("# TYPE ntcs_sends_total counter"));
+    for hist in [
+        "ntcs_send_to_deliver_us",
+        "ntcs_circuit_establish_us",
+        "ntcs_ns_lookup_us",
+        "ntcs_fault_recovery_us",
+    ] {
+        assert!(
+            prom.contains(&format!("# TYPE {hist} histogram")),
+            "missing histogram {hist}"
+        );
+        let populated = prom.lines().any(|l| {
+            l.starts_with(&format!("{hist}_count"))
+                && l.rsplit_once(' ').is_some_and(|(_, v)| v != "0")
+        });
+        assert!(populated, "histogram {hist} recorded no samples:\n{prom}");
+    }
+    // The human-readable rendering covers the same modules.
+    let table = lab.testbed.observability_table();
+    assert!(table.contains("trace-src"));
+
+    monitor.stop();
+    server.shutdown();
+    client.shutdown();
 }
