@@ -1,0 +1,357 @@
+//! Experiment E9: hot-path message throughput, batched vs unbatched.
+//!
+//! Streams datagram casts (the connectionless §2.2 protocol — the only
+//! traffic class the ND-Layer coalesces) over TCP transports and measures
+//! delivered-message throughput at three payload sizes, on a direct LVC
+//! and across a two-gateway chain. Each stream ends with a synchronous
+//! request/reply fence on the same circuit, so FIFO wire order guarantees
+//! every cast was delivered before the clock stops.
+//!
+//! This is a manual harness (`harness = false`, no criterion): it emits
+//! the machine-readable baseline `BENCH_PR3.json` at the repository root,
+//! which CI's bench-smoke job regenerates in `--quick` mode to catch
+//! batching regressions.
+//!
+//! Run: `cargo bench --bench message_throughput [-- --quick]`
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ntcs::{ComMod, Gateway, MachineId, MachineType, NetKind, NtcsError, Testbed};
+use ntcs_bench::round_trip;
+use ntcs_repro::messages::{Answer, Ask, Bulk};
+
+/// Frames per batch when batching is on (the `NucleusConfig` default).
+const BATCH_FRAMES: usize = 8;
+/// Flush deadline when batching is on.
+const BATCH_DELAY: Duration = Duration::from_micros(500);
+
+#[derive(Clone, Copy, PartialEq)]
+enum Topology {
+    /// Two machines on one network: a single direct LVC.
+    Lvc,
+    /// Three networks in a line: every frame crosses two gateway splices.
+    GatewayChain,
+}
+
+impl Topology {
+    fn label(self) -> &'static str {
+        match self {
+            Topology::Lvc => "lvc",
+            Topology::GatewayChain => "gateway_chain",
+        }
+    }
+}
+
+struct CaseResult {
+    topology: &'static str,
+    payload_bytes: usize,
+    batched: bool,
+    messages: u64,
+    delivered: u64,
+    elapsed_us: u64,
+    msgs_per_sec: f64,
+    mbytes_per_sec: f64,
+}
+
+/// A sink module: counts `Bulk` casts, answers `Ask` fences.
+struct Sink {
+    commod: Arc<ComMod>,
+    received: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Sink {
+    fn spawn(testbed: &Testbed, machine: ntcs::MachineId) -> Sink {
+        let commod = Arc::new(testbed.module(machine, "tput-sink").expect("bind sink"));
+        let received = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let commod = Arc::clone(&commod);
+            let received = Arc::clone(&received);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("tput-sink".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::SeqCst) {
+                        match commod.receive(Some(Duration::from_millis(50))) {
+                            Ok(msg) => {
+                                if msg.decode::<Bulk>().is_ok() {
+                                    received.fetch_add(1, Ordering::Relaxed);
+                                } else if let Ok(a) = msg.decode::<Ask>() {
+                                    let _ = commod.reply(
+                                        &msg,
+                                        &Answer {
+                                            n: a.n,
+                                            body: String::new(),
+                                        },
+                                    );
+                                }
+                            }
+                            Err(NtcsError::Timeout) => {}
+                            Err(_) => return,
+                        }
+                    }
+                })
+                .expect("spawn sink")
+        };
+        Sink {
+            commod,
+            received,
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    fn count(&self) -> u64 {
+        self.received.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Sink {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        self.commod.shutdown();
+    }
+}
+
+struct Lab {
+    testbed: Testbed,
+    src: MachineId,
+    dst: MachineId,
+    _gateways: Vec<Gateway>,
+}
+
+/// Builds the deployment over TCP transports with image-compatible
+/// endpoint machines (Sun ↔ Sun), so data conversion is a byte copy and
+/// the measurement isolates the wire path the batching work targets —
+/// not the packed-mode text conversion E3 already measures.
+fn build_lab(topology: Topology) -> Lab {
+    match topology {
+        Topology::Lvc => {
+            let mut tb = Testbed::builder();
+            let net = tb.add_network(NetKind::Tcp, "lan");
+            let src = tb
+                .add_machine(MachineType::Sun, "host0", &[net])
+                .expect("machine");
+            let dst = tb
+                .add_machine(MachineType::Sun, "host1", &[net])
+                .expect("machine");
+            tb.name_server_on(src);
+            Lab {
+                testbed: tb.start().expect("start"),
+                src,
+                dst,
+                _gateways: Vec::new(),
+            }
+        }
+        Topology::GatewayChain => {
+            let mut tb = Testbed::builder();
+            let nets: Vec<_> = (0..3)
+                .map(|i| tb.add_network(NetKind::Tcp, &format!("net{i}")))
+                .collect();
+            let ns = tb
+                .add_machine(MachineType::Sun, "ns-host", &nets)
+                .expect("machine");
+            let src = tb
+                .add_machine(MachineType::Sun, "edge0", &[nets[0]])
+                .expect("machine");
+            let dst = tb
+                .add_machine(MachineType::Sun, "edge2", &[nets[2]])
+                .expect("machine");
+            let g0 = tb
+                .add_machine(MachineType::Apollo, "gw-host0", &[nets[0], nets[1]])
+                .expect("machine");
+            let g1 = tb
+                .add_machine(MachineType::Apollo, "gw-host1", &[nets[1], nets[2]])
+                .expect("machine");
+            tb.name_server_on(ns);
+            let testbed = tb.start().expect("start");
+            let gateways = vec![
+                testbed.gateway(g0, "gw-0-1").expect("gateway"),
+                testbed.gateway(g1, "gw-1-2").expect("gateway"),
+            ];
+            Lab {
+                testbed,
+                src,
+                dst,
+                _gateways: gateways,
+            }
+        }
+    }
+}
+
+fn run_case(topology: Topology, payload_bytes: usize, batched: bool, messages: u64) -> CaseResult {
+    // Build the deployment fresh per case so batching config and circuit
+    // state never leak between cases.
+    let lab = build_lab(topology);
+    let testbed = &lab.testbed;
+    if batched {
+        testbed.enable_batching(BATCH_FRAMES, BATCH_DELAY);
+    }
+
+    let sink = Sink::spawn(testbed, lab.dst);
+    let client = testbed.module(lab.src, "tput-src").expect("bind src");
+    let dst = client.locate("tput-sink").expect("locate sink");
+
+    // Establish the circuit and warm both ends outside the timed window.
+    round_trip(&client, dst, 0);
+
+    let words = vec![0xABCD_1234u32; payload_bytes / 4];
+    let start = Instant::now();
+    for seq in 0..messages {
+        client
+            .cast(
+                dst,
+                &Bulk {
+                    seq: seq as u32,
+                    words: words.clone(),
+                },
+            )
+            .expect("cast");
+    }
+    // Fence: a synchronous round trip on the same circuit. The sync send
+    // drains any buffered frames first and the wire is FIFO, so the reply
+    // proves every cast above has been delivered and counted.
+    round_trip(&client, dst, 1);
+    let elapsed = start.elapsed();
+
+    let delivered = sink.count();
+    let elapsed_us = elapsed.as_micros() as u64;
+    let secs = elapsed.as_secs_f64();
+    CaseResult {
+        topology: topology.label(),
+        payload_bytes,
+        batched,
+        messages,
+        delivered,
+        elapsed_us,
+        msgs_per_sec: delivered as f64 / secs,
+        mbytes_per_sec: (delivered as f64 * payload_bytes as f64) / secs / (1024.0 * 1024.0),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("NTCS_BENCH_QUICK").is_ok_and(|v| v != "0");
+
+    // (payload bytes, messages per case)
+    let sizes: Vec<(usize, u64)> = if quick {
+        vec![(1024, 2_000)]
+    } else {
+        vec![(64, 20_000), (1024, 20_000), (65_536, 1_500)]
+    };
+    let topologies: Vec<Topology> = if quick {
+        vec![Topology::Lvc]
+    } else {
+        vec![Topology::Lvc, Topology::GatewayChain]
+    };
+
+    let mut results: Vec<CaseResult> = Vec::new();
+    for &topology in &topologies {
+        for &(payload, messages) in &sizes {
+            for batched in [false, true] {
+                let r = run_case(topology, payload, batched, messages);
+                eprintln!(
+                    "{:>13} {:>6} B {:>9}: {:>10.0} msgs/s  {:>8.2} MiB/s  ({} of {} delivered in {} ms)",
+                    r.topology,
+                    r.payload_bytes,
+                    if r.batched { "batched" } else { "unbatched" },
+                    r.msgs_per_sec,
+                    r.mbytes_per_sec,
+                    r.delivered,
+                    r.messages,
+                    r.elapsed_us / 1000,
+                );
+                assert_eq!(
+                    r.delivered, r.messages,
+                    "clean wire must deliver every cast"
+                );
+                results.push(r);
+            }
+        }
+    }
+
+    // Batched-over-unbatched speedup per (topology, size) pair.
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+    for &topology in &topologies {
+        for &(payload, _) in &sizes {
+            let find = |batched: bool| {
+                results
+                    .iter()
+                    .find(|r| {
+                        r.topology == topology.label()
+                            && r.payload_bytes == payload
+                            && r.batched == batched
+                    })
+                    .expect("case ran")
+                    .msgs_per_sec
+            };
+            let speedup = find(true) / find(false);
+            eprintln!(
+                "{:>13} {:>6} B: batched/unbatched = {speedup:.2}x",
+                topology.label(),
+                payload
+            );
+            speedups.push((format!("{}/{}", topology.label(), payload), speedup));
+        }
+    }
+
+    // Hand-rolled JSON (no serde_json in the vendor set).
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"message_throughput\",");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if quick { "quick" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"transport\": \"tcp\",");
+    let _ = writeln!(json, "  \"batch_frames\": {BATCH_FRAMES},");
+    let _ = writeln!(json, "  \"batch_delay_us\": {},", BATCH_DELAY.as_micros());
+    json.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"topology\": \"{}\", \"payload_bytes\": {}, \"batched\": {}, \
+             \"messages\": {}, \"delivered\": {}, \"elapsed_us\": {}, \
+             \"msgs_per_sec\": {:.1}, \"mbytes_per_sec\": {:.3}}}",
+            r.topology,
+            r.payload_bytes,
+            r.batched,
+            r.messages,
+            r.delivered,
+            r.elapsed_us,
+            r.msgs_per_sec,
+            r.mbytes_per_sec,
+        );
+        json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"speedup_batched_over_unbatched\": {\n");
+    for (i, (key, v)) in speedups.iter().enumerate() {
+        let _ = write!(json, "    \"{key}\": {v:.3}");
+        json.push_str(if i + 1 < speedups.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  }\n}\n");
+
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_PR3.json");
+    std::fs::write(&out, &json).expect("write BENCH_PR3.json");
+    eprintln!("wrote {}", out.display());
+
+    // The gate CI's bench-smoke job relies on: batching must win at 1 KiB.
+    if let Some((key, v)) = speedups.iter().find(|(k, _)| k.ends_with("/1024")) {
+        assert!(
+            *v > 1.0,
+            "batched throughput must beat unbatched at 1 KiB ({key} = {v:.3}x)"
+        );
+    }
+}

@@ -9,12 +9,14 @@
 //! and locate each other.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use ntcs_addr::{MachineId, MachineType, NetworkId, NtcsError, PhysAddr, Result, UAdd};
 use ntcs_gateway::Gateway;
 use ntcs_ipcs::{NetKind, World};
 use ntcs_naming::{NameServer, NameServerConfig};
-use ntcs_nucleus::MetricsRegistry;
+use ntcs_nucleus::{MetricsRegistry, NucleusConfig};
+use parking_lot::RwLock;
 
 use crate::commod::ComMod;
 
@@ -149,6 +151,7 @@ impl TestbedBuilder {
             ns_well_known,
             ns_servers,
             registry: Arc::new(MetricsRegistry::new()),
+            batching: RwLock::new(None),
         })
     }
 }
@@ -162,6 +165,9 @@ pub struct Testbed {
     ns_well_known: Vec<(UAdd, Vec<PhysAddr>)>,
     ns_servers: Vec<UAdd>,
     registry: Arc<MetricsRegistry>,
+    /// ND-Layer batching applied to modules bound after
+    /// [`Testbed::enable_batching`] (`None` = batching off, the default).
+    batching: RwLock<Option<(usize, Duration)>>,
 }
 
 impl Testbed {
@@ -207,15 +213,23 @@ impl Testbed {
     ///
     /// Binding failures.
     pub fn commod(&self, machine: MachineId, hint: &str) -> Result<ComMod> {
-        let commod = ComMod::bind(
-            &self.world,
-            machine,
-            hint,
-            self.ns_well_known.clone(),
-            self.ns_servers.clone(),
-        )?;
+        let mut config = NucleusConfig::new(machine, hint);
+        config.well_known = self.ns_well_known.clone();
+        if let Some((frames, delay)) = *self.batching.read() {
+            config = config.with_batching(frames, delay);
+        }
+        let commod = ComMod::bind_with_config(&self.world, config, self.ns_servers.clone())?;
         self.registry.register(commod.report_source());
         Ok(commod)
+    }
+
+    /// Turns on ND-Layer frame batching for every module bound *after* this
+    /// call: up to `max_frames` frames per LVC coalesce into one wire
+    /// write, each waiting at most `max_delay` for companions. Modules
+    /// bound earlier are untouched (receive-side unbatching is always on,
+    /// so mixed deployments interoperate).
+    pub fn enable_batching(&self, max_frames: usize, max_delay: Duration) {
+        *self.batching.write() = Some((max_frames, max_delay));
     }
 
     /// Binds a ComMod and registers it under `name` — the normal way a

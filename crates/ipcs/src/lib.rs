@@ -32,9 +32,11 @@
 pub mod channel;
 pub mod clock;
 pub mod mbx;
+pub mod pool;
 pub mod tcp;
 pub mod world;
 
 pub use channel::{IpcsChannel, IpcsListener};
 pub use clock::SimClock;
+pub use pool::{BufferPool, PoolStats};
 pub use world::{MachineInfo, NetKind, NetworkInfo, World};

@@ -23,6 +23,7 @@ use parking_lot::Mutex;
 
 use crate::channel::{IpcsChannel, IpcsListener};
 use crate::mbx::LinkConditions;
+use crate::pool::BufferPool;
 
 const HANDSHAKE_MAGIC: u32 = 0x4E54_4350; // "NTCP"
 const MAX_FRAME: usize = 64 * 1024 * 1024;
@@ -94,6 +95,7 @@ pub struct TcpChannel {
     read: Mutex<(TcpStream, ReadState)>,
     write: Mutex<TcpStream>,
     conditions: Arc<LinkConditions>,
+    pool: BufferPool,
     label: String,
 }
 
@@ -111,6 +113,7 @@ impl TcpChannel {
         stream: TcpStream,
         machines: (MachineId, MachineId),
         conditions: Arc<LinkConditions>,
+        pool: BufferPool,
         label: String,
     ) -> Result<Self> {
         stream
@@ -131,6 +134,7 @@ impl TcpChannel {
             read: Mutex::new((read_stream, ReadState::default())),
             write: Mutex::new(write_stream),
             conditions,
+            pool,
             label,
         })
     }
@@ -153,16 +157,24 @@ impl IpcsChannel for TcpChannel {
         }
         if self.conditions.should_drop() {
             // Silent loss, as on a flaky wire.
+            self.pool.reclaim(frame);
             return Ok(());
         }
-        let mut msg = Vec::with_capacity(4 + frame.len());
+        let mut msg = self.pool.take(4 + frame.len());
         put_u32(&mut msg, frame.len() as u32);
         msg.extend_from_slice(&frame);
-        let mut w = self.write.lock();
-        w.write_all(&msg).map_err(|e| {
+        let result = {
+            let mut w = self.write.lock();
+            w.write_all(&msg)
+        };
+        self.pool.give(msg);
+        result.map_err(|e| {
             self.shared.force_close();
             io_err(&e)
         })?;
+        // The bytes are on the wire; if we held the only reference to the
+        // frame's allocation, recycle it for the next encode.
+        self.pool.reclaim(frame);
         Ok(())
     }
 
@@ -219,7 +231,10 @@ impl IpcsChannel for TcpChannel {
                             "tcp frame length {len} exceeds maximum"
                         )));
                     }
-                    state.buf.clear();
+                    // Lease the body buffer from the pool: the filled Vec is
+                    // handed upward as the frame block, so without the pool
+                    // every frame would allocate fresh here.
+                    state.buf = self.pool.take(len.max(4));
                     state.body_len = Some(len);
                 }
                 Some(len) => {
@@ -256,6 +271,7 @@ pub struct TcpIpcsListener {
     owner: MachineId,
     closed: AtomicBool,
     conditions: Arc<LinkConditions>,
+    pool: BufferPool,
     pub(crate) accepted: Mutex<Vec<Arc<TcpShared>>>,
 }
 
@@ -278,6 +294,7 @@ impl TcpIpcsListener {
         network: NetworkId,
         owner: MachineId,
         conditions: Arc<LinkConditions>,
+        pool: BufferPool,
     ) -> Result<Self> {
         let listener = TcpListener::bind(("127.0.0.1", 0))
             .map_err(|e| NtcsError::Ipcs(format!("bind: {e}")))?;
@@ -290,6 +307,7 @@ impl TcpIpcsListener {
             owner,
             closed: AtomicBool::new(false),
             conditions,
+            pool,
             accepted: Mutex::new(Vec::new()),
         })
     }
@@ -333,6 +351,7 @@ impl TcpIpcsListener {
             stream,
             (self.owner, MachineId(client_machine)),
             Arc::clone(&self.conditions),
+            self.pool.clone(),
             format!("tcp:{}:client@m{}", self.network, client_machine),
         )
     }
@@ -391,6 +410,7 @@ pub fn tcp_connect(
     from: MachineId,
     to: MachineId,
     conditions: Arc<LinkConditions>,
+    pool: BufferPool,
 ) -> Result<TcpChannel> {
     let addr: SocketAddr = format!("{host}:{port}")
         .parse()
@@ -415,6 +435,7 @@ pub fn tcp_connect(
         stream,
         (from, to),
         conditions,
+        pool,
         format!("tcp:{network}:{host}:{port}"),
     )
 }
@@ -428,7 +449,8 @@ mod tests {
     }
 
     fn pair() -> (TcpChannel, Box<dyn IpcsChannel>) {
-        let listener = TcpIpcsListener::bind(NetworkId(1), MachineId(0), cond()).unwrap();
+        let listener =
+            TcpIpcsListener::bind(NetworkId(1), MachineId(0), cond(), BufferPool::new()).unwrap();
         let port = listener.port().unwrap();
         let t = std::thread::spawn(move || {
             let c = listener.accept(Some(Duration::from_secs(5))).unwrap();
@@ -441,6 +463,7 @@ mod tests {
             MachineId(1),
             MachineId(0),
             cond(),
+            BufferPool::new(),
         )
         .unwrap();
         let (_listener, server) = t.join().unwrap();
@@ -472,7 +495,8 @@ mod tests {
 
     #[test]
     fn wrong_logical_network_refused() {
-        let listener = TcpIpcsListener::bind(NetworkId(1), MachineId(0), cond()).unwrap();
+        let listener =
+            TcpIpcsListener::bind(NetworkId(1), MachineId(0), cond(), BufferPool::new()).unwrap();
         let port = listener.port().unwrap();
         let t = std::thread::spawn(move || {
             // Listener keeps running after refusing; give it a short window.
@@ -485,6 +509,7 @@ mod tests {
             MachineId(1),
             MachineId(0),
             cond(),
+            BufferPool::new(),
         )
         .unwrap_err();
         assert!(matches!(err, NtcsError::ConnectRefused(_)), "{err}");
@@ -504,6 +529,7 @@ mod tests {
             MachineId(1),
             MachineId(0),
             cond(),
+            BufferPool::new(),
         )
         .unwrap_err();
         assert!(

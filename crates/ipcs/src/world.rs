@@ -18,6 +18,7 @@ use parking_lot::{Mutex, RwLock};
 use crate::channel::{IpcsChannel, IpcsListener};
 use crate::clock::SimClock;
 use crate::mbx::{self, LinkCloseHandle, LinkConditions, MbxIpcs};
+use crate::pool::BufferPool;
 use crate::tcp::{tcp_connect, TcpIpcsListener, TcpShared};
 
 /// The native IPCS kind backing a network.
@@ -89,6 +90,7 @@ struct WorldInner {
     tcp_ports: RwLock<HashMap<u16, (MachineId, NetworkId)>>,
     mbx_counter: AtomicU64,
     seed: AtomicU64,
+    pool: BufferPool,
 }
 
 /// The simulated distributed environment.
@@ -136,6 +138,7 @@ impl World {
                 tcp_ports: RwLock::new(HashMap::new()),
                 mbx_counter: AtomicU64::new(0),
                 seed: AtomicU64::new(0x5EED),
+                pool: BufferPool::new(),
             }),
         }
     }
@@ -313,6 +316,13 @@ impl World {
         &self.inner.mbx
     }
 
+    /// The world-wide frame buffer pool. All channels and the Nucleus data
+    /// plane lease encode/scratch buffers from here.
+    #[must_use]
+    pub fn buffer_pool(&self) -> BufferPool {
+        self.inner.pool.clone()
+    }
+
     fn check_attached(&self, state: &MachineState, n: NetworkId) -> Result<()> {
         if state.info.networks.contains(&n) {
             Ok(())
@@ -355,7 +365,12 @@ impl World {
                 Ok((PhysAddr::Mbx { network, path }, listener))
             }
             NetKind::Tcp => {
-                let listener = Arc::new(TcpIpcsListener::bind(network, machine, conditions)?);
+                let listener = Arc::new(TcpIpcsListener::bind(
+                    network,
+                    machine,
+                    conditions,
+                    self.inner.pool.clone(),
+                )?);
                 let port = listener.port()?;
                 self.inner
                     .tcp_ports
@@ -426,7 +441,15 @@ impl World {
                 if !self.is_alive(owner) {
                     return Err(NtcsError::ConnectRefused(format!("{owner} is down")));
                 }
-                let chan = tcp_connect(host, *port, network, from, owner, conditions)?;
+                let chan = tcp_connect(
+                    host,
+                    *port,
+                    network,
+                    from,
+                    owner,
+                    conditions,
+                    self.inner.pool.clone(),
+                )?;
                 state.tcp_links.lock().push(chan.shared_handle());
                 Ok(Box::new(chan))
             }

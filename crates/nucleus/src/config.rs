@@ -64,6 +64,19 @@ pub struct NucleusConfig {
     /// Bound on reliable sends simultaneously awaiting acknowledgement;
     /// additional senders block (backpressure) until a slot frees.
     pub retransmit_queue_cap: usize,
+    /// Receiver-side duplicate-suppression window for reliable sends: how
+    /// many recently delivered `(source, msg_id)` keys are remembered. A
+    /// duplicate arriving after its key was evicted is re-delivered, so the
+    /// window bounds memory at the cost of exactly-once strength.
+    pub dedupe_window: usize,
+    /// Most frames the ND-Layer coalesces into one batched wire write per
+    /// LVC. Batching is active only when this is above 1 **and**
+    /// [`NucleusConfig::max_batch_delay`] is non-zero.
+    pub max_batch_frames: usize,
+    /// Longest a buffered frame may wait for companions before the batch is
+    /// flushed anyway. `Duration::ZERO` (the default) disables batching
+    /// entirely: every frame is its own wire write.
+    pub max_batch_delay: Duration,
 }
 
 impl NucleusConfig {
@@ -117,6 +130,9 @@ impl NucleusConfig {
             },
             breaker: BreakerConfig::default(),
             retransmit_queue_cap: 64,
+            dedupe_window: 4096,
+            max_batch_frames: 8,
+            max_batch_delay: Duration::ZERO,
         }
     }
 
@@ -155,6 +171,40 @@ impl NucleusConfig {
         self.breaker = breaker;
         self
     }
+
+    /// Enables ND-Layer frame batching: up to `frames` frames per LVC are
+    /// coalesced into one wire write, each waiting at most `delay` for
+    /// companions (builder style).
+    #[must_use]
+    pub fn with_batching(mut self, frames: usize, delay: Duration) -> Self {
+        self.max_batch_frames = frames.max(1);
+        self.max_batch_delay = delay;
+        self
+    }
+
+    /// Disables ND-Layer frame batching (builder style; the default).
+    #[must_use]
+    pub fn without_batching(mut self) -> Self {
+        self.max_batch_delay = Duration::ZERO;
+        self
+    }
+
+    /// Replaces the reliable-delivery dedupe window (builder style;
+    /// test/experiment hook).
+    #[must_use]
+    pub fn with_dedupe_window(mut self, window: usize) -> Self {
+        self.dedupe_window = window.max(1);
+        self
+    }
+
+    /// The ND-Layer batching policy implied by this configuration.
+    #[must_use]
+    pub fn batch_policy(&self) -> crate::nd::BatchPolicy {
+        crate::nd::BatchPolicy {
+            max_frames: self.max_batch_frames,
+            max_delay: self.max_batch_delay,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -176,6 +226,22 @@ mod tests {
         assert!(c.reliable_retry.base_backoff >= Duration::from_millis(50));
         assert!(c.breaker.trip_after >= 1);
         assert!(c.retransmit_queue_cap >= 1);
+        assert!(c.dedupe_window >= 64, "dedupe window must be useful");
+        assert!(
+            !c.batch_policy().active(),
+            "batching must be opt-in: a zero delay keeps every frame its own write"
+        );
+    }
+
+    #[test]
+    fn batching_builder_activates_policy() {
+        let c = NucleusConfig::new(MachineId(0), "m")
+            .with_batching(16, Duration::from_micros(200))
+            .with_dedupe_window(8);
+        assert!(c.batch_policy().active());
+        assert_eq!(c.batch_policy().max_frames, 16);
+        assert_eq!(c.dedupe_window, 8);
+        assert!(!c.without_batching().batch_policy().active());
     }
 
     #[test]

@@ -141,8 +141,6 @@ struct LcmState {
 /// extension); never delivered to the application.
 pub const RELIABLE_ACK_TYPE: u32 = u32::MAX;
 
-const SEEN_RELIABLE_CAP: usize = 4096;
-
 struct Inner {
     config: NucleusConfig,
     nd: NdLayer,
@@ -203,7 +201,12 @@ impl Nucleus {
     ///
     /// Fails if the ND-Layer cannot create its listening endpoints.
     pub fn bind(world: &World, config: NucleusConfig) -> Result<Self> {
-        let nd = NdLayer::new(world, config.machine, &config.module_hint)?;
+        let nd = NdLayer::new_with_policy(
+            world,
+            config.machine,
+            &config.module_hint,
+            config.batch_policy(),
+        )?;
         let statics = StaticResolver::new();
         for (uadd, addrs) in &config.well_known {
             // Machine type of a well-known module is unknown until its ack;
@@ -262,7 +265,7 @@ impl Nucleus {
                     }
                     match listener.accept(Some(Duration::from_millis(200))) {
                         Ok(chan) => {
-                            let lvc = Lvc::new(Arc::from(chan), network);
+                            let lvc = inner.nd.wrap(Arc::from(chan), network);
                             let inner2 = Arc::clone(&inner);
                             std::thread::Builder::new()
                                 .name("ntcs-greeter".into())
@@ -1128,7 +1131,15 @@ impl Nucleus {
                 e.lvc.clone(),
             )
         };
-        match lvc.send_frame(&frame) {
+        // Connectionless casts are best-effort by contract (§4.1), so they
+        // may ride the ND-Layer's batching buffer; everything else flushes
+        // synchronously so send errors surface on this call.
+        let sent = if connectionless && !reliable {
+            lvc.send_frame_buffered(&frame)
+        } else {
+            lvc.send_frame(&frame)
+        };
+        match sent {
             Ok(()) => Ok(()),
             Err(e) => {
                 self.mark_conn_closed(conn_id);
@@ -1511,7 +1522,7 @@ impl Nucleus {
                         send_reliable_ack(&self.inner, &arrival_lvc, h.src, h.msg_id);
                     } else {
                         st.seen_reliable_order.push_back(key);
-                        if st.seen_reliable_order.len() > SEEN_RELIABLE_CAP {
+                        if st.seen_reliable_order.len() > self.inner.config.dedupe_window {
                             if let Some(old) = st.seen_reliable_order.pop_front() {
                                 st.seen_reliable.remove(&old);
                             }
@@ -1579,6 +1590,10 @@ impl Nucleus {
             FrameType::LvcOpen | FrameType::IvcOpen | FrameType::IvcOpenAck => {
                 // Opens are handled by the greeter; seeing one here is a
                 // protocol violation we simply drop.
+            }
+            FrameType::Batch => {
+                // The ND-Layer splits batch blocks in `Lvc::recv_frame`; a
+                // container reaching the LCM is a protocol violation we drop.
             }
         }
     }

@@ -50,6 +50,7 @@ pub use nd::{Lvc, NdLayer};
 pub use obs::{
     hop_kind, Histogram, HistogramSnapshot, HopRecord, MetricsRegistry, ModuleReport,
     NucleusHistograms, ReportSource, TraceId, TraceIdGen, TraceQuery, TraceReply,
+    HISTOGRAM_BUCKETS,
 };
 pub use proto::{Hop, OpenPayload};
 pub use resolver::{NameResolver, ResolvedModule, RouteInfo, StaticResolver};

@@ -13,25 +13,198 @@
 //! [`ntcs_wire::Frame`] (shift-mode header + payload byte stream). Nothing
 //! above it ever sees an [`ntcs_ipcs::IpcsChannel`].
 
-use std::sync::Arc;
-use std::time::Duration;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
+use bytes::Bytes;
 use ntcs_addr::{MachineId, MachineType, NetworkId, NtcsError, PhysAddr, Result};
-use ntcs_ipcs::{IpcsChannel, IpcsListener, World};
-use ntcs_wire::Frame;
+use ntcs_ipcs::{BufferPool, IpcsChannel, IpcsListener, World};
+use ntcs_wire::{decode_batch_frames, encode_batch_into, Frame, FrameType, HEADER_LEN};
+
+/// How the ND-Layer coalesces frames queued for one LVC into batched wire
+/// writes. The default policy is inactive: every frame is its own write,
+/// byte-for-byte the pre-batching behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Most frames per batch block.
+    pub max_frames: usize,
+    /// Longest a buffered frame waits for companions before flushing.
+    pub max_delay: Duration,
+}
+
+impl BatchPolicy {
+    /// Whether this policy actually batches anything.
+    #[must_use]
+    pub fn active(&self) -> bool {
+        self.max_frames > 1 && self.max_delay > Duration::ZERO
+    }
+
+    /// The policy that never batches.
+    #[must_use]
+    pub fn inactive() -> Self {
+        BatchPolicy {
+            max_frames: 1,
+            max_delay: Duration::ZERO,
+        }
+    }
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy::inactive()
+    }
+}
+
+#[derive(Debug, Default)]
+struct BatchState {
+    /// Encoded frames awaiting a flush, in send order.
+    pending: Vec<Bytes>,
+    /// When the oldest pending frame must go out.
+    deadline: Option<Instant>,
+    /// A failed asynchronous flush poisons the circuit: affected frames are
+    /// gone, so every later send must see the failure rather than silently
+    /// proceeding (errors drive the LCM's relocation machinery).
+    error: Option<NtcsError>,
+}
+
+#[derive(Debug)]
+struct Batcher {
+    chan: Arc<dyn IpcsChannel>,
+    pool: BufferPool,
+    machine_type: MachineType,
+    policy: BatchPolicy,
+    state: Mutex<BatchState>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Batcher {
+    /// Puts everything pending on the wire as one block. Must be called with
+    /// `st` locked — the lock is held through the substrate send so batches
+    /// from concurrent senders cannot interleave out of FIFO order.
+    fn flush_locked(&self, st: &mut BatchState) -> Result<()> {
+        st.deadline = None;
+        if st.pending.is_empty() {
+            return Ok(());
+        }
+        let result = if st.pending.len() == 1 {
+            self.chan
+                .send(st.pending.pop().expect("pending is nonempty"))
+        } else {
+            let body: usize = st.pending.iter().map(|b| 4 + b.len()).sum();
+            let mut buf = self.pool.take(HEADER_LEN + body);
+            match encode_batch_into(&st.pending, self.machine_type, &mut buf) {
+                Ok(()) => {
+                    for b in st.pending.drain(..) {
+                        self.pool.reclaim(b);
+                    }
+                    self.chan.send(Bytes::from(buf))
+                }
+                Err(e) => {
+                    st.pending.clear();
+                    self.pool.give(buf);
+                    Err(e)
+                }
+            }
+        };
+        if let Err(e) = &result {
+            st.error = Some(e.clone());
+        }
+        result
+    }
+}
+
+/// The deadline flusher: wakes when the oldest buffered frame's delay
+/// expires and puts the batch on the wire. Holds only a weak handle so a
+/// dropped LVC lets the thread exit on its next wake-up.
+fn spawn_flusher(batcher: &Arc<Batcher>) {
+    let weak = Arc::downgrade(batcher);
+    std::thread::Builder::new()
+        .name("nd-batch-flush".into())
+        .spawn(move || loop {
+            let Some(b) = weak.upgrade() else { return };
+            if b.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let st = b.state.lock().unwrap();
+            let now = Instant::now();
+            match st.deadline {
+                Some(d) if now >= d => {
+                    let mut st = st;
+                    let _ = b.flush_locked(&mut st);
+                }
+                Some(d) => {
+                    let _ = b.cv.wait_timeout(st, d - now).unwrap();
+                }
+                None => {
+                    // Idle: sleep until a buffered send arms a deadline and
+                    // notifies us (bounded so a lost notify cannot hang us).
+                    let _ = b.cv.wait_timeout(st, Duration::from_millis(50)).unwrap();
+                }
+            }
+        })
+        .expect("spawn nd-batch-flush thread");
+}
 
 /// A local virtual circuit: one framed, duplex channel on a single network.
 #[derive(Debug, Clone)]
 pub struct Lvc {
     chan: Arc<dyn IpcsChannel>,
     network: NetworkId,
+    pool: BufferPool,
+    batcher: Option<Arc<Batcher>>,
+    /// Members of an already-received batch block not yet handed upward.
+    /// Shared across clones so readers drain one queue.
+    rx_pending: Arc<Mutex<VecDeque<Frame>>>,
 }
 
 impl Lvc {
-    /// Wraps an accepted or dialed IPCS channel.
+    /// Wraps an accepted or dialed IPCS channel with batching disabled.
     #[must_use]
     pub fn new(chan: Arc<dyn IpcsChannel>, network: NetworkId) -> Self {
-        Lvc { chan, network }
+        Lvc {
+            chan,
+            network,
+            pool: BufferPool::new(),
+            batcher: None,
+            rx_pending: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Wraps a channel under an explicit [`BatchPolicy`], leasing encode
+    /// buffers from `pool`. `machine_type` fills the batch container header.
+    #[must_use]
+    pub fn with_policy(
+        chan: Arc<dyn IpcsChannel>,
+        network: NetworkId,
+        machine_type: MachineType,
+        pool: BufferPool,
+        policy: BatchPolicy,
+    ) -> Self {
+        let batcher = if policy.active() {
+            let b = Arc::new(Batcher {
+                chan: Arc::clone(&chan),
+                pool: pool.clone(),
+                machine_type,
+                policy,
+                state: Mutex::new(BatchState::default()),
+                cv: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+            });
+            spawn_flusher(&b);
+            Some(b)
+        } else {
+            None
+        };
+        Lvc {
+            chan,
+            network,
+            pool,
+            batcher,
+            rx_pending: Arc::new(Mutex::new(VecDeque::new())),
+        }
     }
 
     /// The network this circuit crosses.
@@ -40,24 +213,105 @@ impl Lvc {
         self.network
     }
 
-    /// Sends one frame as a contiguous block.
+    /// Sends one frame synchronously. Under an active batch policy any
+    /// buffered frames are drained ahead of this one and the whole block
+    /// goes out as a single wire write — a synchronous send never waits for
+    /// companions, it *is* the flush.
     ///
     /// # Errors
     ///
-    /// Passes substrate failures upward unchanged (§2.2).
+    /// Passes substrate failures upward unchanged (§2.2). Once a buffered
+    /// flush has failed, every later send reports that failure.
     pub fn send_frame(&self, frame: &Frame) -> Result<()> {
-        self.chan.send(frame.encode())
+        let mut buf = self.pool.take(frame.encoded_len());
+        frame.encode_into(&mut buf);
+        let block = Bytes::from(buf);
+        match &self.batcher {
+            Some(b) => {
+                let mut st = b.state.lock().unwrap();
+                if let Some(e) = st.error.clone() {
+                    return Err(e);
+                }
+                st.pending.push(block);
+                b.flush_locked(&mut st)
+            }
+            None => self.chan.send(block),
+        }
     }
 
-    /// Receives and decodes one frame.
+    /// Queues one frame for a batched send: it goes out with the next flush
+    /// — when [`BatchPolicy::max_frames`] are pending, when its
+    /// [`BatchPolicy::max_delay`] expires, or when a synchronous send drains
+    /// the queue. With batching inactive this is exactly [`Lvc::send_frame`].
+    ///
+    /// Intended for best-effort traffic (datagram casts): delivery of a
+    /// buffered frame cannot be confirmed by this call's `Ok`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Lvc::send_frame`]; a previously failed flush is reported
+    /// here (sticky).
+    pub fn send_frame_buffered(&self, frame: &Frame) -> Result<()> {
+        let Some(b) = &self.batcher else {
+            return self.send_frame(frame);
+        };
+        let mut buf = self.pool.take(frame.encoded_len());
+        frame.encode_into(&mut buf);
+        let mut st = b.state.lock().unwrap();
+        if let Some(e) = st.error.clone() {
+            return Err(e);
+        }
+        st.pending.push(Bytes::from(buf));
+        if st.pending.len() >= b.policy.max_frames {
+            b.flush_locked(&mut st)
+        } else {
+            if st.deadline.is_none() {
+                st.deadline = Some(Instant::now() + b.policy.max_delay);
+            }
+            b.cv.notify_one();
+            Ok(())
+        }
+    }
+
+    /// Flushes any buffered frames immediately (no-op when batching is
+    /// inactive or nothing is pending).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Lvc::send_frame`].
+    pub fn flush(&self) -> Result<()> {
+        match &self.batcher {
+            Some(b) => {
+                let mut st = b.state.lock().unwrap();
+                b.flush_locked(&mut st)
+            }
+            None => Ok(()),
+        }
+    }
+
+    /// Receives and decodes one frame. Batch blocks are split transparently:
+    /// the first member is returned and the rest are queued for subsequent
+    /// calls, so callers never observe the container.
     ///
     /// # Errors
     ///
     /// [`NtcsError::Timeout`] on timeout, [`NtcsError::ConnectionClosed`]
     /// once the circuit dies, [`NtcsError::Protocol`] on a garbled frame.
     pub fn recv_frame(&self, timeout: Option<Duration>) -> Result<Frame> {
+        if let Some(f) = self.rx_pending.lock().unwrap().pop_front() {
+            return Ok(f);
+        }
         let block = self.chan.recv(timeout)?;
-        Frame::decode(&block)
+        let frame = Frame::decode_shared(&block)?;
+        if frame.header.frame_type != FrameType::Batch {
+            return Ok(frame);
+        }
+        let mut members = decode_batch_frames(&frame)?.into_iter();
+        let first = members
+            .next()
+            .ok_or_else(|| NtcsError::Protocol("batch frame with no members".into()))?;
+        self.rx_pending.lock().unwrap().extend(members);
+        Ok(first)
     }
 
     /// Sends a pre-encoded block unchanged (gateway relay fast path — the
@@ -79,8 +333,16 @@ impl Lvc {
         self.chan.recv(timeout)
     }
 
-    /// Closes the circuit (idempotent).
+    /// Closes the circuit (idempotent). Buffered frames are flushed
+    /// best-effort first.
     pub fn close(&self) {
+        if let Some(b) = &self.batcher {
+            b.shutdown.store(true, Ordering::SeqCst);
+            if let Ok(mut st) = b.state.lock() {
+                let _ = b.flush_locked(&mut st);
+            }
+            b.cv.notify_all();
+        }
         self.chan.close();
     }
 
@@ -115,16 +377,34 @@ pub struct NdLayer {
     machine: MachineId,
     machine_type: MachineType,
     endpoints: Vec<NdEndpoint>,
+    pool: BufferPool,
+    policy: BatchPolicy,
 }
 
 impl NdLayer {
     /// Creates the ND-Layer for a module on `machine`, opening one listening
-    /// communication resource per attached network (§3.2).
+    /// communication resource per attached network (§3.2). Batching is
+    /// disabled; see [`NdLayer::new_with_policy`].
     ///
     /// # Errors
     ///
     /// Fails if the machine is unknown/dead or a listener cannot be created.
     pub fn new(world: &World, machine: MachineId, hint: &str) -> Result<Self> {
+        Self::new_with_policy(world, machine, hint, BatchPolicy::inactive())
+    }
+
+    /// As [`NdLayer::new`], with an explicit [`BatchPolicy`] applied to
+    /// every LVC this layer opens or wraps.
+    ///
+    /// # Errors
+    ///
+    /// As for [`NdLayer::new`].
+    pub fn new_with_policy(
+        world: &World,
+        machine: MachineId,
+        hint: &str,
+        policy: BatchPolicy,
+    ) -> Result<Self> {
         let info = world.machine_info(machine)?;
         let mut endpoints = Vec::with_capacity(info.networks.len());
         for &net in &info.networks {
@@ -140,7 +420,34 @@ impl NdLayer {
             machine,
             machine_type: info.machine_type,
             endpoints,
+            pool: world.buffer_pool(),
+            policy,
         })
+    }
+
+    /// The batch policy applied to this layer's LVCs.
+    #[must_use]
+    pub fn batch_policy(&self) -> BatchPolicy {
+        self.policy
+    }
+
+    /// The frame buffer pool this layer's LVCs lease from.
+    #[must_use]
+    pub fn buffer_pool(&self) -> BufferPool {
+        self.pool.clone()
+    }
+
+    /// Wraps an accepted substrate channel as an LVC under this layer's
+    /// policy and pool (the acceptor-side sibling of [`NdLayer::open`]).
+    #[must_use]
+    pub fn wrap(&self, chan: Arc<dyn IpcsChannel>, network: NetworkId) -> Lvc {
+        Lvc::with_policy(
+            chan,
+            network,
+            self.machine_type,
+            self.pool.clone(),
+            self.policy,
+        )
     }
 
     /// The machine this layer is bound to.
@@ -194,7 +501,7 @@ impl NdLayer {
         let mut last = NtcsError::ConnectRefused("no attempt made".into());
         for attempt in 0..=retries {
             match self.world.connect(self.machine, addr) {
-                Ok(chan) => return Ok(Lvc::new(Arc::from(chan), network)),
+                Ok(chan) => return Ok(self.wrap(Arc::from(chan), network)),
                 Err(e) => {
                     last = e;
                     if attempt < retries {
@@ -233,7 +540,7 @@ impl NdLayer {
         policy.run(on_retry, |_| {
             self.world
                 .connect(self.machine, addr)
-                .map(|chan| Lvc::new(Arc::from(chan), network))
+                .map(|chan| self.wrap(Arc::from(chan), network))
         })
     }
 
@@ -354,6 +661,90 @@ mod tests {
         let server = Lvc::new(Arc::from(accepted), lvc.network());
         let got = server.recv_frame(Some(Duration::from_secs(2)));
         assert!(matches!(got, Err(NtcsError::Protocol(_))));
+    }
+
+    #[test]
+    fn buffered_sends_coalesce_and_unbatch_in_order() {
+        let (w, a, b, _n) = world_two();
+        let policy = BatchPolicy {
+            max_frames: 4,
+            max_delay: Duration::from_millis(200),
+        };
+        let nd_a = NdLayer::new_with_policy(&w, a, "a", policy).unwrap();
+        let nd_b = NdLayer::new_with_policy(&w, b, "b", policy).unwrap();
+        assert!(nd_a.batch_policy().active());
+
+        let lvc = nd_a.open(&nd_b.phys_addrs()[0], 0).unwrap();
+        let accepted = nd_b.endpoints()[0]
+            .listener
+            .accept(Some(Duration::from_secs(2)))
+            .unwrap();
+        let server = nd_b.wrap(Arc::from(accepted), lvc.network());
+
+        let mk = |n: u64| {
+            let mut h = FrameHeader::new(
+                FrameType::Datagram,
+                UAdd::from_raw(1),
+                UAdd::from_raw(2),
+                MachineType::Vax,
+            );
+            h.msg_id = n;
+            Frame::new(h, bytes::Bytes::from(vec![n as u8; 32]))
+        };
+        // Four buffered frames = one full batch, flushed without waiting
+        // for the delay; a fifth rides out on the deadline flusher.
+        for n in 0..5 {
+            lvc.send_frame_buffered(&mk(n)).unwrap();
+        }
+        for n in 0..5 {
+            let got = server.recv_frame(Some(Duration::from_secs(2))).unwrap();
+            assert_eq!(got, mk(n), "frame {n} out of order or damaged");
+        }
+    }
+
+    #[test]
+    fn sync_send_drains_buffered_frames_first() {
+        let (w, a, b, _n) = world_two();
+        let policy = BatchPolicy {
+            max_frames: 64,
+            max_delay: Duration::from_secs(30), // deadline will not fire
+        };
+        let nd_a = NdLayer::new_with_policy(&w, a, "a", policy).unwrap();
+        let nd_b = NdLayer::new(&w, b, "b").unwrap();
+        let lvc = nd_a.open(&nd_b.phys_addrs()[0], 0).unwrap();
+        let accepted = nd_b.endpoints()[0]
+            .listener
+            .accept(Some(Duration::from_secs(2)))
+            .unwrap();
+        // Plain (unbatched) receiver still understands batch blocks.
+        let server = Lvc::new(Arc::from(accepted), lvc.network());
+
+        lvc.send_frame_buffered(&frame()).unwrap();
+        lvc.send_frame_buffered(&frame()).unwrap();
+        lvc.send_frame(&frame()).unwrap(); // sync: flushes all three
+        for _ in 0..3 {
+            let got = server.recv_frame(Some(Duration::from_secs(2))).unwrap();
+            assert_eq!(got, frame());
+        }
+    }
+
+    #[test]
+    fn inactive_policy_sends_plain_frames() {
+        let (w, a, b, _n) = world_two();
+        let nd_a = NdLayer::new(&w, a, "a").unwrap();
+        let nd_b = NdLayer::new(&w, b, "b").unwrap();
+        assert!(!nd_a.batch_policy().active());
+        let lvc = nd_a.open(&nd_b.phys_addrs()[0], 0).unwrap();
+        let accepted = nd_b.endpoints()[0]
+            .listener
+            .accept(Some(Duration::from_secs(2)))
+            .unwrap();
+        lvc.send_frame_buffered(&frame()).unwrap();
+        // The raw block on the wire is the frame itself, not a container.
+        let block = accepted.recv(Some(Duration::from_secs(2))).unwrap();
+        let got = Frame::decode(&block).unwrap();
+        assert_eq!(got.header.frame_type, FrameType::Data);
+        assert_eq!(got, frame());
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! Frame coalescing: many frames, one contiguous wire block.
+//!
+//! The paper's layers exchange one frame per IPCS transfer (§5.1). When a
+//! sender has several frames queued for the same circuit — retransmission
+//! bursts, URSA fan-out, concurrent application threads — paying one
+//! substrate write (and one receiver wake-up) per frame is pure overhead.
+//! A batch block is an ordinary [`Frame`] of type [`FrameType::Batch`]
+//! whose payload is a sequence of length-prefixed, already-encoded frames:
+//!
+//! ```text
+//! [ batch header | u32 len₀ | frame₀ | u32 len₁ | frame₁ | … ]
+//! ```
+//!
+//! Because the container is a normal frame, gateways relay it opaquely
+//! (they parse nothing past the `LvcOpen` handshake), and a receiver that
+//! decodes it recovers the member frames as zero-copy slices of the one
+//! arriving allocation. Batches never nest.
+
+use bytes::Bytes;
+use ntcs_addr::{NtcsError, Result, UAdd};
+
+use crate::frame::Frame;
+use crate::header::{FrameHeader, FrameType, HEADER_LEN};
+use crate::shift::ShiftWriter;
+
+/// Length prefix size for each member frame.
+const LEN_PREFIX: usize = 4;
+
+/// Assembles pre-encoded frame blocks into one batch block, appending into
+/// `buf` (typically leased from a pool). `src_machine` fills the container
+/// header; member frames keep their own headers untouched.
+///
+/// # Errors
+///
+/// Returns [`NtcsError::InvalidArgument`] if `blocks` is empty or any
+/// member block is itself shorter than a frame header (nothing valid could
+/// be recovered on the far side).
+pub fn encode_batch_into(
+    blocks: &[Bytes],
+    src_machine: ntcs_addr::MachineType,
+    buf: &mut Vec<u8>,
+) -> Result<()> {
+    if blocks.is_empty() {
+        return Err(NtcsError::InvalidArgument(
+            "cannot encode an empty batch".into(),
+        ));
+    }
+    let body_len: usize = blocks.iter().map(|b| LEN_PREFIX + b.len()).sum();
+    for b in blocks {
+        if b.len() < HEADER_LEN {
+            return Err(NtcsError::InvalidArgument(format!(
+                "batch member of {} bytes is shorter than a frame header",
+                b.len()
+            )));
+        }
+    }
+    let mut header = FrameHeader::new(
+        FrameType::Batch,
+        UAdd::from_raw(0),
+        UAdd::from_raw(0),
+        src_machine,
+    );
+    header.aux = blocks.len() as u32;
+    header.payload_len = body_len as u32;
+    buf.reserve(HEADER_LEN + body_len);
+    let mut w = ShiftWriter::wrap(std::mem::take(buf));
+    header.write_shift(&mut w);
+    *buf = w.into_bytes();
+    for b in blocks {
+        let len = b.len() as u32;
+        buf.extend_from_slice(&[
+            (len >> 24) as u8,
+            (len >> 16) as u8,
+            (len >> 8) as u8,
+            len as u8,
+        ]);
+        buf.extend_from_slice(b);
+    }
+    Ok(())
+}
+
+/// Splits a decoded [`FrameType::Batch`] frame back into its member blocks
+/// as zero-copy slices of the batch payload.
+///
+/// # Errors
+///
+/// Returns [`NtcsError::Protocol`] if the frame is not a batch, the member
+/// count disagrees with the header's `aux` word, a length prefix overruns
+/// the payload, or trailing bytes remain.
+pub fn decode_batch(batch: &Frame) -> Result<Vec<Bytes>> {
+    if batch.header.frame_type != FrameType::Batch {
+        return Err(NtcsError::Protocol(format!(
+            "decode_batch on a {:?} frame",
+            batch.header.frame_type
+        )));
+    }
+    let payload = &batch.payload;
+    let mut blocks = Vec::with_capacity(batch.header.aux as usize);
+    let mut pos = 0usize;
+    while pos < payload.len() {
+        if payload.len() - pos < LEN_PREFIX {
+            return Err(NtcsError::Protocol(
+                "batch truncated mid length prefix".into(),
+            ));
+        }
+        let len = ((payload[pos] as usize) << 24)
+            | ((payload[pos + 1] as usize) << 16)
+            | ((payload[pos + 2] as usize) << 8)
+            | payload[pos + 3] as usize;
+        pos += LEN_PREFIX;
+        if len < HEADER_LEN || payload.len() - pos < len {
+            return Err(NtcsError::Protocol(format!(
+                "batch member length {len} overruns block of {} bytes",
+                payload.len()
+            )));
+        }
+        blocks.push(payload.slice(pos..pos + len));
+        pos += len;
+    }
+    if blocks.len() != batch.header.aux as usize {
+        return Err(NtcsError::Protocol(format!(
+            "batch header promises {} frames, block carries {}",
+            batch.header.aux,
+            blocks.len()
+        )));
+    }
+    Ok(blocks)
+}
+
+/// Decodes every member of a batch block into [`Frame`]s, rejecting nested
+/// batches (the container never recurses).
+///
+/// # Errors
+///
+/// As for [`decode_batch`], plus any member-frame decode error.
+pub fn decode_batch_frames(batch: &Frame) -> Result<Vec<Frame>> {
+    let blocks = decode_batch(batch)?;
+    let mut frames = Vec::with_capacity(blocks.len());
+    for b in &blocks {
+        let f = Frame::decode_shared(b)?;
+        if f.header.frame_type == FrameType::Batch {
+            return Err(NtcsError::Protocol("nested batch frame".into()));
+        }
+        frames.push(f);
+    }
+    Ok(frames)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntcs_addr::MachineType;
+
+    fn data_frame(n: u8, len: usize) -> Frame {
+        let mut h = FrameHeader::new(
+            FrameType::Data,
+            UAdd::from_raw(u64::from(n)),
+            UAdd::from_raw(99),
+            MachineType::Vax,
+        );
+        h.msg_id = u64::from(n) * 7;
+        Frame::new(h, Bytes::from(vec![n; len]))
+    }
+
+    fn batch_of(frames: &[Frame]) -> Frame {
+        let blocks: Vec<Bytes> = frames.iter().map(Frame::encode).collect();
+        let mut buf = Vec::new();
+        encode_batch_into(&blocks, MachineType::Vax, &mut buf).unwrap();
+        Frame::decode(&buf).unwrap()
+    }
+
+    #[test]
+    fn batch_round_trips() {
+        let frames = vec![data_frame(1, 0), data_frame(2, 64), data_frame(3, 1024)];
+        let batch = batch_of(&frames);
+        assert_eq!(batch.header.frame_type, FrameType::Batch);
+        assert_eq!(batch.header.aux, 3);
+        assert_eq!(decode_batch_frames(&batch).unwrap(), frames);
+    }
+
+    #[test]
+    fn members_are_zero_copy_slices() {
+        let frames = vec![data_frame(5, 128), data_frame(6, 128)];
+        let batch = batch_of(&frames);
+        let blocks = decode_batch(&batch).unwrap();
+        assert!(std::ptr::eq(&batch.payload[4], &blocks[0][0]));
+    }
+
+    #[test]
+    fn empty_batch_rejected() {
+        let mut buf = Vec::new();
+        assert!(encode_batch_into(&[], MachineType::Sun, &mut buf).is_err());
+    }
+
+    #[test]
+    fn nested_batch_rejected() {
+        let inner = batch_of(&[data_frame(1, 8)]);
+        let blocks = vec![inner.encode()];
+        let mut buf = Vec::new();
+        encode_batch_into(&blocks, MachineType::Sun, &mut buf).unwrap();
+        let outer = Frame::decode(&buf).unwrap();
+        assert!(decode_batch_frames(&outer).is_err());
+    }
+
+    #[test]
+    fn corrupt_count_and_truncation_rejected() {
+        let batch = batch_of(&[data_frame(1, 16), data_frame(2, 16)]);
+
+        let mut wrong_count = batch.clone();
+        wrong_count.header.aux = 3;
+        assert!(decode_batch(&wrong_count).is_err());
+
+        let mut truncated = batch.clone();
+        truncated.payload = batch.payload.slice(0..batch.payload.len() - 5);
+        truncated.header.payload_len = truncated.payload.len() as u32;
+        assert!(decode_batch(&truncated).is_err());
+
+        let mut tiny_member = batch.clone();
+        let mut bytes = batch.payload.to_vec();
+        bytes[3] = 1; // first member length prefix → 1 byte, below HEADER_LEN
+        tiny_member.payload = Bytes::from(bytes);
+        assert!(decode_batch(&tiny_member).is_err());
+    }
+
+    #[test]
+    fn non_batch_frame_rejected() {
+        assert!(decode_batch(&data_frame(1, 4)).is_err());
+    }
+}

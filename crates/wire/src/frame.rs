@@ -9,6 +9,7 @@ use bytes::Bytes;
 use ntcs_addr::{NtcsError, Result};
 
 use crate::header::{FrameHeader, HEADER_LEN};
+use crate::shift::ShiftWriter;
 
 /// A header plus payload, the unit the Nucleus sends and receives.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,13 +35,24 @@ impl Frame {
         Frame::new(header, Bytes::new())
     }
 
-    /// Encodes the frame into one contiguous block.
+    /// Encodes the frame into one contiguous block: header and payload are
+    /// written once into a single pre-sized buffer (no intermediate header
+    /// allocation, no re-copy into the final block).
     #[must_use]
     pub fn encode(&self) -> Bytes {
-        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len());
-        out.extend_from_slice(&self.header.to_shift());
-        out.extend_from_slice(&self.payload);
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
         Bytes::from(out)
+    }
+
+    /// Appends the frame's wire encoding to `out` (e.g. a pooled buffer or
+    /// a batch block under assembly).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.reserve(self.encoded_len());
+        let mut w = ShiftWriter::wrap(std::mem::take(out));
+        self.header.write_shift(&mut w);
+        *out = w.into_bytes();
+        out.extend_from_slice(&self.payload);
     }
 
     /// Decodes a frame from one contiguous block.
@@ -50,6 +62,29 @@ impl Frame {
     /// Returns [`NtcsError::Protocol`] on truncation, bad header, or a
     /// payload length disagreeing with the block size.
     pub fn decode(block: &[u8]) -> Result<Frame> {
+        let header = Self::decode_header(block)?;
+        Ok(Frame {
+            header,
+            payload: Bytes::copy_from_slice(&block[HEADER_LEN..]),
+        })
+    }
+
+    /// Decodes a frame from a shared block, slicing the payload out of the
+    /// block's allocation instead of copying it — the receive-side half of
+    /// the zero-copy data plane.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Frame::decode`].
+    pub fn decode_shared(block: &Bytes) -> Result<Frame> {
+        let header = Self::decode_header(block)?;
+        Ok(Frame {
+            header,
+            payload: block.slice(HEADER_LEN..block.len()),
+        })
+    }
+
+    fn decode_header(block: &[u8]) -> Result<FrameHeader> {
         if block.len() < HEADER_LEN {
             return Err(NtcsError::Protocol(format!(
                 "frame shorter than header: {} bytes",
@@ -57,18 +92,14 @@ impl Frame {
             )));
         }
         let header = FrameHeader::from_shift(&block[..HEADER_LEN])?;
-        let payload = &block[HEADER_LEN..];
-        if payload.len() != header.payload_len as usize {
+        let payload_len = block.len() - HEADER_LEN;
+        if payload_len != header.payload_len as usize {
             return Err(NtcsError::Protocol(format!(
                 "payload length mismatch: header says {}, frame carries {}",
-                header.payload_len,
-                payload.len()
+                header.payload_len, payload_len
             )));
         }
-        Ok(Frame {
-            header,
-            payload: Bytes::copy_from_slice(payload),
-        })
+        Ok(header)
     }
 
     /// Total encoded size in bytes.
@@ -121,6 +152,42 @@ mod tests {
     #[test]
     fn short_block_rejected() {
         assert!(Frame::decode(&[0u8; 10]).is_err());
+    }
+
+    #[test]
+    fn single_pass_encode_matches_header_plus_payload_concat() {
+        // The pre-optimization encoding was literally to_shift() followed by
+        // the payload; the single-pass encode must be byte-identical.
+        for payload in [&b""[..], b"x", b"payload bytes", &[0xA5; 4096]] {
+            let mut h = header();
+            h.msg_id = 42;
+            h.trace_id = 0x1234_5678_9ABC_DEF0;
+            h.sent_at_us = -77;
+            let f = Frame::new(h, Bytes::copy_from_slice(payload));
+            let mut reference = f.header.to_shift();
+            reference.extend_from_slice(&f.payload);
+            assert_eq!(&f.encode()[..], &reference[..]);
+        }
+    }
+
+    #[test]
+    fn decode_shared_is_zero_copy_and_equivalent() {
+        let f = Frame::new(header(), Bytes::from(vec![7u8; 256]));
+        let block = f.encode();
+        let copied = Frame::decode(&block).unwrap();
+        let shared = Frame::decode_shared(&block).unwrap();
+        assert_eq!(copied, shared);
+        // The shared payload aliases the block's allocation.
+        assert!(std::ptr::eq(&block[HEADER_LEN], &shared.payload[0]));
+    }
+
+    #[test]
+    fn encode_into_appends_after_existing_content() {
+        let f = Frame::new(header(), Bytes::from_static(b"tail"));
+        let mut buf = vec![0xEE, 0xFF];
+        f.encode_into(&mut buf);
+        assert_eq!(&buf[..2], &[0xEE, 0xFF]);
+        assert_eq!(Frame::decode(&buf[2..]).unwrap(), f);
     }
 
     #[test]

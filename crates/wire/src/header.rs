@@ -59,6 +59,11 @@ pub enum FrameType {
     /// IP/gateway: abort an IVC after a downstream failure (§4.3 teardown
     /// cascade).
     IvcAbort,
+    /// ND: a coalesced block of whole frames flushed as one wire write.
+    /// The payload is a sequence of length-prefixed encoded frames
+    /// (`aux` carries the count); gateways relay it opaquely like any
+    /// other non-open frame.
+    Batch,
 }
 
 impl FrameType {
@@ -76,6 +81,7 @@ impl FrameType {
             FrameType::Ping => 8,
             FrameType::Pong => 9,
             FrameType::IvcAbort => 10,
+            FrameType::Batch => 11,
         }
     }
 
@@ -96,6 +102,7 @@ impl FrameType {
             8 => FrameType::Ping,
             9 => FrameType::Pong,
             10 => FrameType::IvcAbort,
+            11 => FrameType::Batch,
             other => {
                 return Err(NtcsError::Protocol(format!(
                     "unknown frame type code {other}"
@@ -213,6 +220,14 @@ impl FrameHeader {
     #[must_use]
     pub fn to_shift(&self) -> Vec<u8> {
         let mut w = ShiftWriter::with_capacity_words(21);
+        self.write_shift(&mut w);
+        w.into_bytes()
+    }
+
+    /// Appends the shift-mode encoding to an existing writer, so a frame
+    /// can be serialized into one pre-sized buffer with no intermediate
+    /// header allocation.
+    pub fn write_shift(&self, w: &mut ShiftWriter) {
         w.put_u32(MAGIC)
             .put_u32(VERSION)
             .put_u32(self.frame_type.wire_code())
@@ -228,7 +243,6 @@ impl FrameHeader {
             .put_u64(self.trace_id)
             .put_u32(self.span)
             .put_u64(self.sent_at_us as u64);
-        w.into_bytes()
     }
 
     /// Decodes a shift-mode header.
@@ -485,6 +499,7 @@ mod tests {
             FrameType::Ping,
             FrameType::Pong,
             FrameType::IvcAbort,
+            FrameType::Batch,
         ] {
             assert_eq!(FrameType::from_wire_code(ft.wire_code()).unwrap(), ft);
         }

@@ -38,6 +38,13 @@ impl ShiftWriter {
         }
     }
 
+    /// Wraps an existing buffer (e.g. one leased from a pool), appending to
+    /// whatever it already holds; [`ShiftWriter::into_bytes`] hands it back.
+    #[must_use]
+    pub fn wrap(buf: Vec<u8>) -> Self {
+        ShiftWriter { buf }
+    }
+
     /// Appends one 32-bit integer, most significant byte first, via explicit
     /// shifts.
     pub fn put_u32(&mut self, v: u32) -> &mut Self {

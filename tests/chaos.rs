@@ -26,6 +26,11 @@ use parking_lot::Mutex;
 
 const SEEDS: [u64; 3] = [0x5EED_0001, 0x0BAD_CAFE, 0x00DD_BA11];
 
+/// Every chaos scenario runs with ND-Layer frame batching enabled: the
+/// exactly-once/dead-letter contract must hold whether frames travel alone
+/// or coalesced, and a dropped batch block now loses several frames at once.
+const BATCH_DELAY: Duration = Duration::from_micros(500);
+
 /// Chaos scenarios are wall-clock sensitive (retry deadlines, breaker
 /// half-open timers); running several at once starves their threads and
 /// turns timing assertions into noise. One at a time.
@@ -147,6 +152,7 @@ fn partition_heal_chaos(seed: u64) {
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
     let lab = single_net(3, NetKind::Mbx).unwrap();
+    lab.testbed.enable_batching(8, BATCH_DELAY);
     let receiver = lab.testbed.module(lab.machines[2], "chaos-sink").unwrap();
     let sender = lab.testbed.module(lab.machines[1], "chaos-src").unwrap();
     let dst = sender.locate("chaos-sink").unwrap();
@@ -306,6 +312,7 @@ fn ns_replica_kill(seed: u64) {
     tb.name_server_on(m[0]);
     tb.replica_on(m[1]);
     let testbed = tb.start().unwrap();
+    testbed.enable_batching(8, BATCH_DELAY);
 
     // Register while both servers live (the primary replicates to m[1]).
     let svc = testbed.module(m[2], "chaos-svc").unwrap();
@@ -420,6 +427,7 @@ fn gateway_drop_chaos(seed: u64) {
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
     let lab = line_internet(3, NetKind::Mbx).unwrap();
+    lab.testbed.enable_batching(8, BATCH_DELAY);
     let server = lab
         .testbed
         .module(lab.edge_machines[2], "far-sink")
@@ -555,6 +563,7 @@ fn traced_journey_reconstructed_from_monitor_records() {
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
     let lab = line_internet(2, NetKind::Mbx).unwrap();
+    lab.testbed.enable_batching(8, BATCH_DELAY);
     // The monitor lives on net1's edge machine; the client's hop reports
     // cross the gateway, the relocated server's stay machine-local.
     let monitor = MonitorService::spawn(&lab.testbed, lab.edge_machines[1]).unwrap();
@@ -613,12 +622,14 @@ fn traced_journey_reconstructed_from_monitor_records() {
     );
 
     // The monitor reassembles the journey from cast records alone. Hop
-    // casts are asynchronous: poll until the DELIVER record lands.
+    // casts are asynchronous — and with batching enabled the cross-gateway
+    // casts may trail the machine-local DELIVER by a flush interval — so
+    // poll until the whole five-hop journey has landed, not just its tail.
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
     let chain = loop {
         let chain = monitor.trace_chain(trace.raw());
-        if chain.iter().any(|h| h.kind == hop_kind::DELIVER) || std::time::Instant::now() > deadline
-        {
+        let complete = chain.len() >= 5 && chain.iter().any(|h| h.kind == hop_kind::DELIVER);
+        if complete || std::time::Instant::now() > deadline {
             break chain;
         }
         std::thread::sleep(Duration::from_millis(25));

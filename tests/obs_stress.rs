@@ -1,0 +1,200 @@
+//! Concurrency stress tests for the observability primitives: the
+//! lock-free [`Histogram`] and the [`MetricsRegistry`] aggregator.
+//!
+//! The histogram is recorded into from the LCM hot path by every
+//! in-flight send, so its invariants must hold under real contention:
+//! no lost updates (count == N×M), no miscounted buckets (bucket sum ==
+//! count), and aggregates that match the recorded values exactly.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use ntcs::{Histogram, MetricsRegistry, ModuleReport};
+
+const THREADS: usize = 8;
+const RECORDS_PER_THREAD: usize = 20_000;
+
+/// The deterministic value thread `t` records on iteration `i` — spans
+/// several log₂ buckets so the bucket-sum invariant is non-trivial.
+fn value_for(t: usize, i: usize) -> i64 {
+    ((t * 7 + i * 13) % 100_000) as i64
+}
+
+#[test]
+fn histogram_loses_no_updates_under_contention() {
+    let hist = Arc::new(Histogram::new());
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let hist = Arc::clone(&hist);
+        handles.push(thread::spawn(move || {
+            for i in 0..RECORDS_PER_THREAD {
+                hist.record_us(value_for(t, i));
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let snap = hist.snapshot();
+    let total = (THREADS * RECORDS_PER_THREAD) as u64;
+    assert_eq!(snap.count, total, "every record must land exactly once");
+    let bucket_sum: u64 = snap.buckets.iter().sum();
+    assert_eq!(
+        bucket_sum, total,
+        "bucket counts must account for every observation"
+    );
+
+    // Aggregates match an exact serial replay of the same values.
+    let mut expected_sum = 0u64;
+    let mut expected_min = u64::MAX;
+    let mut expected_max = 0u64;
+    for t in 0..THREADS {
+        for i in 0..RECORDS_PER_THREAD {
+            let v = value_for(t, i) as u64;
+            expected_sum += v;
+            expected_min = expected_min.min(v);
+            expected_max = expected_max.max(v);
+        }
+    }
+    assert_eq!(snap.sum, expected_sum);
+    assert_eq!(snap.min, expected_min);
+    assert_eq!(snap.max, expected_max);
+
+    // Each bucket holds exactly the values whose bit length selects it.
+    let mut expected_buckets = [0u64; ntcs_nucleus::HISTOGRAM_BUCKETS];
+    for t in 0..THREADS {
+        for i in 0..RECORDS_PER_THREAD {
+            expected_buckets[Histogram::bucket_index(value_for(t, i) as u64)] += 1;
+        }
+    }
+    assert_eq!(snap.buckets, expected_buckets);
+}
+
+#[test]
+fn histogram_snapshots_are_monotone_while_writers_run() {
+    let hist = Arc::new(Histogram::new());
+    let done = Arc::new(AtomicBool::new(false));
+
+    // A reader thread snapshots continuously: per-atomic modification
+    // order guarantees the count and every bucket never appear to move
+    // backwards, even mid-record.
+    let reader = {
+        let hist = Arc::clone(&hist);
+        let done = Arc::clone(&done);
+        thread::spawn(move || {
+            let mut last_count = 0u64;
+            let mut last_buckets = [0u64; ntcs_nucleus::HISTOGRAM_BUCKETS];
+            let mut observed = 0usize;
+            while !done.load(Ordering::Acquire) {
+                let snap = hist.snapshot();
+                assert!(snap.count >= last_count, "count went backwards");
+                for (i, (&now, &before)) in snap.buckets.iter().zip(&last_buckets).enumerate() {
+                    assert!(now >= before, "bucket {i} went backwards");
+                }
+                last_count = snap.count;
+                last_buckets = snap.buckets;
+                observed += 1;
+            }
+            observed
+        })
+    };
+
+    let mut writers = Vec::new();
+    for t in 0..THREADS {
+        let hist = Arc::clone(&hist);
+        writers.push(thread::spawn(move || {
+            for i in 0..RECORDS_PER_THREAD {
+                hist.record_us(value_for(t, i));
+            }
+        }));
+    }
+    for w in writers {
+        w.join().unwrap();
+    }
+    done.store(true, Ordering::Release);
+    let observed = reader.join().unwrap();
+    assert!(observed > 0, "reader must have raced at least one snapshot");
+    assert_eq!(hist.snapshot().count, (THREADS * RECORDS_PER_THREAD) as u64);
+}
+
+#[test]
+fn registry_survives_concurrent_register_and_render() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let hist = Arc::new(Histogram::new());
+    let done = Arc::new(AtomicBool::new(false));
+    const MODULES_PER_THREAD: usize = 16;
+
+    // Render continuously while registration and recording race on.
+    let renderer = {
+        let registry = Arc::clone(&registry);
+        let done = Arc::clone(&done);
+        thread::spawn(move || {
+            let mut last_reports = 0usize;
+            while !done.load(Ordering::Acquire) {
+                let text = registry.render_prometheus();
+                // Renders are well-formed at every instant: each exposed
+                // metric line belongs to a declared # TYPE family.
+                for line in text.lines().filter(|l| l.starts_with("ntcs_")) {
+                    assert!(
+                        text.lines().any(|t| {
+                            t.starts_with("# TYPE ")
+                                && line.starts_with(t.split_whitespace().nth(2).unwrap())
+                        }),
+                        "undeclared metric line: {line}"
+                    );
+                }
+                let n = registry.reports().len();
+                assert!(n >= last_reports, "registered sources disappeared");
+                last_reports = n;
+            }
+        })
+    };
+
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let registry = Arc::clone(&registry);
+        let hist = Arc::clone(&hist);
+        handles.push(thread::spawn(move || {
+            for m in 0..MODULES_PER_THREAD {
+                let source_hist = Arc::clone(&hist);
+                let name = format!("stress-{t}-{m}");
+                registry.register(Box::new(move || ModuleReport {
+                    module: name.clone(),
+                    counters: vec![("stress_ops", 1)],
+                    gauges: vec![],
+                    histograms: vec![("stress_us", source_hist.snapshot())],
+                    breakers: vec![],
+                }));
+                for i in 0..200 {
+                    hist.record_us(value_for(t, i));
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    done.store(true, Ordering::Release);
+    renderer.join().unwrap();
+
+    let reports = registry.reports();
+    assert_eq!(reports.len(), THREADS * MODULES_PER_THREAD);
+    let text = registry.render_prometheus();
+    assert!(text.contains("# TYPE ntcs_stress_ops_total counter"));
+    assert!(text.contains("# TYPE ntcs_stress_us histogram"));
+    // Every registered module appears in the final export.
+    for t in 0..THREADS {
+        for m in 0..MODULES_PER_THREAD {
+            assert!(
+                text.contains(&format!("module=\"stress-{t}-{m}\"")),
+                "module stress-{t}-{m} missing from export"
+            );
+        }
+    }
+    // The shared histogram aggregated every record from every module.
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, (THREADS * MODULES_PER_THREAD * 200) as u64);
+    assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+}

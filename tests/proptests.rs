@@ -6,8 +6,12 @@ use proptest::prelude::*;
 
 use ntcs::{AttrQuery, AttrSet, MachineType, NetworkId, PhysAddr, UAdd};
 use ntcs_naming::NameDb;
+use ntcs_wire::bytes::Bytes;
 use ntcs_wire::pack::{pack_to_vec, unpack_from_slice, Blob};
-use ntcs_wire::{image, ConvMode, Frame, FrameHeader, FrameType, ShiftReader, ShiftWriter};
+use ntcs_wire::{
+    decode_batch, decode_batch_frames, encode_batch_into, image, ConvMode, Frame, FrameHeader,
+    FrameType, PackReader, PackWriter, ShiftReader, ShiftWriter,
+};
 
 fn machine_type() -> impl Strategy<Value = MachineType> {
     prop_oneof![
@@ -36,6 +40,24 @@ fn frame_type() -> impl Strategy<Value = FrameType> {
 /// Attribute tokens: non-empty, free of the reserved characters.
 fn token() -> impl Strategy<Value = String> {
     "[a-z0-9_.:-]{1,12}"
+}
+
+/// A complete random frame of any non-container type — the kind of frame
+/// that may travel inside a batch block.
+fn member_frame() -> impl Strategy<Value = Frame> {
+    (
+        frame_type(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        machine_type(),
+        proptest::collection::vec(any::<u8>(), 0..256),
+    )
+        .prop_map(|(ft, src, dst, msg_id, mt, payload)| {
+            let mut h = FrameHeader::new(ft, UAdd::from_raw(src), UAdd::from_raw(dst), mt);
+            h.msg_id = msg_id;
+            Frame::new(h, Bytes::from(payload))
+        })
 }
 
 proptest! {
@@ -494,6 +516,142 @@ proptest! {
         // Total sleep time never exceeds the deadline budget.
         let total: Duration = delays.iter().sum();
         prop_assert!(total <= p.deadline, "{total:?} exceeds deadline {:?}", p.deadline);
+    }
+
+    #[test]
+    fn header_v2_trace_words_round_trip(
+        ft in frame_type(),
+        trace_id in any::<u64>(),
+        span in any::<u32>(),
+        sent_at_us in any::<i64>(),
+        reliable in any::<bool>(),
+        aux in any::<u32>(),
+    ) {
+        let mut h = FrameHeader::new(ft, UAdd::from_raw(3), UAdd::from_raw(4), MachineType::Vax);
+        h.trace_id = trace_id;
+        h.span = span;
+        h.sent_at_us = sent_at_us;
+        h.flags.reliable = reliable;
+        h.aux = aux;
+        let bytes = h.to_shift();
+        prop_assert_eq!(bytes.len(), ntcs_wire::HEADER_LEN);
+        prop_assert_eq!(FrameHeader::from_shift(&bytes).unwrap(), h);
+    }
+
+    #[test]
+    fn batch_codec_round_trips(
+        frames in proptest::collection::vec(member_frame(), 1..10),
+        mt in machine_type(),
+    ) {
+        let blocks: Vec<Bytes> = frames.iter().map(Frame::encode).collect();
+        let mut buf = Vec::new();
+        encode_batch_into(&blocks, mt, &mut buf).unwrap();
+        let container = Frame::decode(&buf).unwrap();
+        prop_assert_eq!(container.header.frame_type, FrameType::Batch);
+        prop_assert_eq!(container.header.aux as usize, frames.len());
+        // Raw member blocks survive byte-for-byte...
+        let members = decode_batch(&container).unwrap();
+        prop_assert_eq!(members.len(), blocks.len());
+        for (m, b) in members.iter().zip(&blocks) {
+            prop_assert_eq!(&m[..], &b[..]);
+        }
+        // ...and decode back to the original frames, in order.
+        prop_assert_eq!(decode_batch_frames(&container).unwrap(), frames);
+    }
+
+    #[test]
+    fn truncated_frames_always_err(f in member_frame(), cut in any::<usize>()) {
+        let bytes = f.encode();
+        let cut = cut % bytes.len();
+        prop_assert!(Frame::decode(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn truncated_batches_always_err(
+        frames in proptest::collection::vec(member_frame(), 1..6),
+        cut in any::<usize>(),
+    ) {
+        let blocks: Vec<Bytes> = frames.iter().map(Frame::encode).collect();
+        let mut buf = Vec::new();
+        encode_batch_into(&blocks, MachineType::Sun, &mut buf).unwrap();
+        let cut = cut % buf.len();
+        prop_assert!(Frame::decode(&buf[..cut]).is_err());
+    }
+
+    #[test]
+    fn corrupted_batch_blocks_never_panic(
+        frames in proptest::collection::vec(member_frame(), 1..6),
+        idx in any::<usize>(),
+        bit in 0u8..8,
+        duplicate in any::<bool>(),
+    ) {
+        let blocks: Vec<Bytes> = frames.iter().map(Frame::encode).collect();
+        let mut buf = Vec::new();
+        encode_batch_into(&blocks, MachineType::Apollo, &mut buf).unwrap();
+        let i = idx % buf.len();
+        if duplicate {
+            // Duplicating a byte shifts everything after it — a classic
+            // framing slip.
+            let b = buf[i];
+            buf.insert(i, b);
+        } else {
+            buf[i] ^= 1 << bit;
+        }
+        // Structural damage must surface as a clean Err; a flip that only
+        // grazes a payload byte may still decode, but the result must stay
+        // internally consistent. Nothing may panic.
+        if let Ok(container) = Frame::decode(&buf) {
+            if container.header.frame_type == FrameType::Batch {
+                if let Ok(members) = decode_batch(&container) {
+                    prop_assert_eq!(members.len(), container.header.aux as usize);
+                }
+                let _ = decode_batch_frames(&container);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_pack_streams_never_panic(
+        u in any::<u64>(),
+        s in "\\PC{0,24}",
+        blob in proptest::collection::vec(any::<u8>(), 0..32),
+        idx in any::<usize>(),
+        bit in 0u8..8,
+        mode in 0u8..3,
+    ) {
+        let mut w = PackWriter::new();
+        w.put_unsigned(u).put_str(&s).put_bytes(&blob);
+        let mut bytes = w.into_bytes();
+        let i = idx % bytes.len();
+        match mode {
+            0 => bytes.truncate(i),
+            1 => bytes[i] ^= 1 << bit,
+            _ => {
+                let b = bytes[i];
+                bytes.insert(i, b);
+            }
+        }
+        // Reads either reproduce a value or fail cleanly; the strict tag
+        // discipline never panics on garbage.
+        let mut r = PackReader::new(&bytes);
+        let _ = r
+            .get_unsigned()
+            .and_then(|_| r.get_str())
+            .and_then(|_| r.get_bytes());
+    }
+
+    #[test]
+    fn pack_duplicated_tag_always_errs(s in "\\PC{0,16}") {
+        let mut w = PackWriter::new();
+        w.put_str(&s);
+        let bytes = w.into_bytes();
+        // Reading with the wrong tag expectation fails cleanly.
+        prop_assert!(PackReader::new(&bytes).get_unsigned().is_err());
+        // A duplicated tag byte leaves the spare tag where the length
+        // digits should start — rejected, not misparsed.
+        let mut dup = bytes.clone();
+        dup.insert(0, dup[0]);
+        prop_assert!(PackReader::new(&dup).get_str().is_err());
     }
 
     #[test]

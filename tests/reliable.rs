@@ -270,3 +270,125 @@ fn reliable_to_dead_peer_times_out() {
     // elapsed — either way, not Healthy.
     assert_ne!(client.circuit_health(dst), ntcs::CircuitHealth::Healthy);
 }
+
+#[test]
+fn dedupe_eviction_never_resurrects_duplicates_or_strands_dead_letters() {
+    // Regression for the bounded duplicate-suppression window: with a
+    // window far smaller than the message count, keys are evicted
+    // constantly — yet eviction of *old* keys must never let a *current*
+    // retransmit through twice, and the eviction churn must never push a
+    // healthy send into the dead-letter path.
+    const WINDOW: usize = 4;
+    const ROUNDS: u32 = 4;
+    const FILLERS: u32 = WINDOW as u32 + 2; // overflow the window each round
+
+    let lab = single_net(2, NetKind::Mbx).unwrap();
+    // The receiver gets the tiny window; everything else is stock.
+    let mut config =
+        ntcs::NucleusConfig::new(lab.machines[1], "tiny-window").with_dedupe_window(WINDOW);
+    config.well_known = lab.testbed.ns_well_known();
+    let server = Arc::new(
+        ntcs::ComMod::bind_with_config(lab.testbed.world(), config, lab.testbed.ns_servers())
+            .unwrap(),
+    );
+    server.register("tiny-window").unwrap();
+    let client = Arc::new(lab.testbed.module(lab.machines[0], "churn-src").unwrap());
+    let dst = client.locate("tiny-window").unwrap();
+
+    // Warm the circuit so reliable sends involve no opens.
+    client
+        .send(
+            dst,
+            &Ask {
+                n: 0,
+                body: String::new(),
+            },
+        )
+        .unwrap();
+    server.receive(T).unwrap();
+
+    let mut delivered: Vec<u32> = Vec::new();
+    let mut next_filler = 1000u32;
+    for round in 0..ROUNDS {
+        // One send whose delivery ack we drop: the data arrives, the
+        // retransmit follows, and the receiver must suppress it even
+        // though the window has been fully churned since last round.
+        let traced_n = 100 + round;
+        let sender = {
+            let client = Arc::clone(&client);
+            std::thread::spawn(move || {
+                client.send_reliable(
+                    dst,
+                    &Ask {
+                        n: traced_n,
+                        body: String::new(),
+                    },
+                    Duration::from_secs(10),
+                )
+            })
+        };
+        // Let the data frame cross, then drop the next frame on the wire —
+        // the delivery ack the receive() below emits.
+        std::thread::sleep(Duration::from_millis(100));
+        lab.testbed.world().drop_next_frames(lab.net, 1).unwrap();
+        let got = server.receive(T).unwrap();
+        assert_eq!(got.decode::<Ask>().unwrap().n, traced_n);
+        delivered.push(traced_n);
+        // Pump: the retransmit must be suppressed, not re-delivered.
+        assert!(
+            matches!(
+                server.receive(Some(Duration::from_secs(2))),
+                Err(ntcs::NtcsError::Timeout)
+            ),
+            "round {round}: retransmit leaked through to the application"
+        );
+        sender.join().unwrap().unwrap();
+
+        // Churn the window past its capacity so `traced_n`'s key is
+        // evicted before the next round.
+        for _ in 0..FILLERS {
+            let n = next_filler;
+            next_filler += 1;
+            let receiver = {
+                let server = Arc::clone(&server);
+                std::thread::spawn(move || server.receive(T))
+            };
+            client
+                .send_reliable(
+                    dst,
+                    &Ask {
+                        n,
+                        body: String::new(),
+                    },
+                    Duration::from_secs(10),
+                )
+                .unwrap();
+            let got = receiver.join().unwrap().unwrap();
+            delivered.push(got.decode::<Ask>().unwrap().n);
+        }
+    }
+
+    // Exactly-once at the application across the whole churn.
+    let mut unique: HashSet<u32> = HashSet::new();
+    for &n in &delivered {
+        assert!(unique.insert(n), "message {n} delivered more than once");
+    }
+    assert_eq!(
+        delivered.len() as u32,
+        ROUNDS * (1 + FILLERS),
+        "every send delivered"
+    );
+
+    let m = client.metrics();
+    assert_eq!(m.dead_letters, 0, "eviction churn must not strand messages");
+    assert!(
+        m.retransmissions >= u64::from(ROUNDS),
+        "each dropped ack forced a retransmit, got {}",
+        m.retransmissions
+    );
+    assert!(
+        server.metrics().duplicates_suppressed >= u64::from(ROUNDS),
+        "each retransmit was suppressed despite the evicted window, got {}",
+        server.metrics().duplicates_suppressed
+    );
+}

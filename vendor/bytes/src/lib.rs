@@ -1,8 +1,11 @@
 //! Offline stand-in for the `bytes` crate.
 //!
 //! Provides the subset this workspace uses: an immutable, cheaply
-//! cloneable byte buffer (`Bytes`) that derefs to `[u8]`. Cloning
-//! shares the underlying allocation via `Arc` instead of copying.
+//! cloneable byte buffer (`Bytes`) that derefs to `[u8]`. Cloning and
+//! slicing share the underlying allocation via `Arc` instead of
+//! copying, matching the real crate's zero-copy semantics:
+//! `Bytes::from(Vec<u8>)` takes ownership without copying, and
+//! [`Bytes::slice`] returns an offset view into the same allocation.
 
 use std::borrow::Borrow;
 use std::fmt;
@@ -11,9 +14,21 @@ use std::ops::Deref;
 use std::sync::Arc;
 
 /// An immutable, reference-counted byte buffer.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
+    start: usize,
+    len: usize,
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self {
+            data: Arc::new(Vec::new()),
+            start: 0,
+            len: 0,
+        }
+    }
 }
 
 impl Bytes {
@@ -24,58 +39,94 @@ impl Bytes {
 
     #[must_use]
     pub fn from_static(data: &'static [u8]) -> Self {
-        Self {
-            data: Arc::from(data),
-        }
+        Self::copy_from_slice(data)
     }
 
     #[must_use]
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Self {
-            data: Arc::from(data),
-        }
+        Self::from(data.to_vec())
     }
 
     #[must_use]
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
-    /// A shared sub-range of this buffer (copies the range; callers only
-    /// rely on value semantics, not zero-copy slicing).
+    /// A shared sub-range of this buffer — an offset view into the same
+    /// allocation, no copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
     #[must_use]
     pub fn slice(&self, range: std::ops::Range<usize>) -> Self {
-        Self::copy_from_slice(&self.data[range])
+        assert!(
+            range.start <= range.end && range.end <= self.len,
+            "slice {}..{} out of bounds of {}",
+            range.start,
+            range.end,
+            self.len
+        );
+        Self {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            len: range.end - range.start,
+        }
+    }
+
+    /// Recovers the backing `Vec` without copying when this handle is the
+    /// sole owner and spans the whole allocation; otherwise returns `self`
+    /// unchanged. Lets buffer pools reclaim allocations once a frame has
+    /// left the process (e.g. after a TCP write).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(self)` when the buffer is shared or is a sub-slice.
+    pub fn try_into_vec(self) -> std::result::Result<Vec<u8>, Bytes> {
+        if self.start != 0 || self.len != self.data.len() {
+            return Err(self);
+        }
+        let Bytes { data, start, len } = self;
+        Arc::try_unwrap(data).map_err(|data| Bytes { data, start, len })
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.start + self.len]
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Self { data: Arc::from(v) }
+        let len = v.len();
+        Self {
+            data: Arc::new(v),
+            start: 0,
+            len,
+        }
     }
 }
 
@@ -105,7 +156,7 @@ impl From<&str> for Bytes {
 
 impl PartialEq for Bytes {
     fn eq(&self, other: &Self) -> bool {
-        self.data[..] == other.data[..]
+        self.as_slice() == other.as_slice()
     }
 }
 
@@ -113,19 +164,19 @@ impl Eq for Bytes {}
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        &self.data[..] == other
+        self.as_slice() == other
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        self.data[..] == other[..]
+        self.as_slice() == &other[..]
     }
 }
 
 impl<const N: usize> PartialEq<&[u8; N]> for Bytes {
     fn eq(&self, other: &&[u8; N]) -> bool {
-        self.data[..] == other[..]
+        self.as_slice() == &other[..]
     }
 }
 
@@ -137,20 +188,20 @@ impl PartialOrd for Bytes {
 
 impl Ord for Bytes {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.data.cmp(&other.data)
+        self.as_slice().cmp(other.as_slice())
     }
 }
 
 impl Hash for Bytes {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.data.hash(state);
+        self.as_slice().hash(state);
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter() {
+        for &b in self.as_slice() {
             for esc in std::ascii::escape_default(b) {
                 write!(f, "{}", esc as char)?;
             }
@@ -177,5 +228,42 @@ mod tests {
         assert_eq!(&b[..], &[1, 2, 3]);
         assert_eq!(Bytes::from_static(b"hi").len(), 2);
         assert_eq!(b.slice(1..3), Bytes::from(vec![2u8, 3]));
+    }
+
+    #[test]
+    fn slice_is_zero_copy_view() {
+        let b = Bytes::from(vec![0u8, 1, 2, 3, 4, 5]);
+        let s = b.slice(2..5);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        // The view aliases the parent's allocation.
+        assert!(std::ptr::eq(&b[2], &s[0]));
+        let nested = s.slice(1..3);
+        assert_eq!(&nested[..], &[3, 4]);
+        let empty = b.slice(6..6);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let _ = Bytes::from(vec![1u8, 2]).slice(1..3);
+    }
+
+    #[test]
+    fn try_into_vec_reclaims_sole_owner() {
+        let b = Bytes::from(vec![9u8; 16]);
+        let v = b.try_into_vec().expect("sole owner reclaims");
+        assert_eq!(v.len(), 16);
+
+        let b = Bytes::from(vec![9u8; 16]);
+        let keep = b.clone();
+        assert!(b.try_into_vec().is_err(), "shared buffer must not reclaim");
+        drop(keep);
+
+        let b = Bytes::from(vec![9u8; 16]);
+        assert!(
+            b.slice(0..4).try_into_vec().is_err(),
+            "sub-slice must not reclaim"
+        );
     }
 }

@@ -110,7 +110,7 @@ pub mod option {
 
 pub mod prelude {
     pub use crate::arbitrary::any;
-    pub use crate::strategy::{Just, Strategy};
+    pub use crate::strategy::{Just, Strategy, StrategyExt};
     pub use crate::{
         prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
     };
