@@ -74,6 +74,13 @@ pub enum NtcsError {
     /// the half-open probe window has not yet produced a success. Carries
     /// the peer UAdd's raw value.
     CircuitBroken(u64),
+    /// The circuit's credit window stayed exhausted past the flow-control
+    /// policy's tolerance: the receiver is not draining. Deliberately
+    /// *not* transient — retrying against a stalled window without new
+    /// credit cannot succeed, and the condition must not trip circuit
+    /// breakers (the peer is alive, just slow). Carries the peer UAdd's
+    /// raw value.
+    FlowStalled(u64),
 }
 
 impl fmt::Display for NtcsError {
@@ -105,6 +112,9 @@ impl fmt::Display for NtcsError {
             NtcsError::DeadlineExceeded => f.write_str("send deadline exceeded"),
             NtcsError::CircuitBroken(u) => {
                 write!(f, "circuit breaker open for uadd {u:#x}")
+            }
+            NtcsError::FlowStalled(u) => {
+                write!(f, "credit window exhausted toward uadd {u:#x}")
             }
         }
     }
@@ -148,6 +158,7 @@ impl NtcsError {
             NtcsError::ShutDown => 17,
             NtcsError::DeadlineExceeded => 18,
             NtcsError::CircuitBroken(_) => 19,
+            NtcsError::FlowStalled(_) => 20,
         }
     }
 
@@ -196,6 +207,7 @@ mod tests {
             NtcsError::ShutDown,
             NtcsError::DeadlineExceeded,
             NtcsError::CircuitBroken(0x20),
+            NtcsError::FlowStalled(0x30),
         ];
         for e in samples {
             let s = e.to_string();
@@ -222,6 +234,10 @@ mod tests {
         assert!(!NtcsError::DeadlineExceeded.is_transient());
         assert!(!NtcsError::NameNotFound("x".into()).is_transient());
         assert!(!NtcsError::InvalidArgument("x".into()).is_transient());
+        assert!(
+            !NtcsError::FlowStalled(1).is_transient(),
+            "a stalled window will not clear without new credit"
+        );
     }
 
     #[test]
@@ -252,6 +268,7 @@ mod tests {
             NtcsError::ShutDown,
             NtcsError::DeadlineExceeded,
             NtcsError::CircuitBroken(0),
+            NtcsError::FlowStalled(0),
         ];
         let mut codes: Vec<u32> = errors.iter().map(NtcsError::wire_code).collect();
         codes.sort_unstable();

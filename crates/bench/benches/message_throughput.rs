@@ -8,9 +8,10 @@
 //! every cast was delivered before the clock stops.
 //!
 //! This is a manual harness (`harness = false`, no criterion): it emits
-//! the machine-readable baseline `BENCH_PR3.json` at the repository root,
-//! which CI's bench-smoke job regenerates in `--quick` mode to catch
-//! batching regressions.
+//! the machine-readable baselines `BENCH_PR3.json` (batched vs unbatched)
+//! and `BENCH_PR5.json` (credit accounting on vs off with a wide-open flow
+//! window) at the repository root, which CI's bench-smoke job regenerates
+//! in `--quick` mode to catch batching and flow-control regressions.
 //!
 //! Run: `cargo bench --bench message_throughput [-- --quick]`
 
@@ -19,7 +20,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ntcs::{ComMod, Gateway, MachineId, MachineType, NetKind, NtcsError, Testbed};
+use ntcs::{ComMod, FlowSettings, Gateway, MachineId, MachineType, NetKind, NtcsError, Testbed};
 use ntcs_bench::round_trip;
 use ntcs_repro::messages::{Answer, Ask, Bulk};
 
@@ -27,6 +28,19 @@ use ntcs_repro::messages::{Answer, Ask, Bulk};
 const BATCH_FRAMES: usize = 8;
 /// Flush deadline when batching is on.
 const BATCH_DELAY: Duration = Duration::from_micros(500);
+/// Credit window for the flow-control sweep: much deeper than the transport
+/// pipeline (socket buffers + inbox), so a consumer draining at wire speed
+/// never idles the sender and the sweep measures the *accounting* overhead —
+/// debit, drain ledger, grant frames — not artificial starvation.
+const FLOW_WINDOW_BYTES: u64 = 64 * 1024 * 1024;
+const FLOW_WINDOW_FRAMES: u32 = 1 << 20;
+/// Grant cadence for the sweep: kept small relative to the window so the
+/// receiver's grant-emission path stays on the measured hot path.
+const FLOW_LOW_WATERMARK: u64 = 64 * 1024;
+/// Repetitions per flow-sweep case; the best run is kept. Scheduling noise
+/// on a shared host dwarfs the effect being measured (single runs of the
+/// same case vary 10x), and best-of-N isolates the code path's capability.
+const FLOW_REPS: usize = 3;
 
 #[derive(Clone, Copy, PartialEq)]
 enum Topology {
@@ -49,6 +63,7 @@ struct CaseResult {
     topology: &'static str,
     payload_bytes: usize,
     batched: bool,
+    flow: bool,
     messages: u64,
     delivered: u64,
     elapsed_us: u64,
@@ -187,13 +202,22 @@ fn build_lab(topology: Topology) -> Lab {
     }
 }
 
-fn run_case(topology: Topology, payload_bytes: usize, batched: bool, messages: u64) -> CaseResult {
-    // Build the deployment fresh per case so batching config and circuit
-    // state never leak between cases.
+fn run_case(
+    topology: Topology,
+    payload_bytes: usize,
+    batched: bool,
+    flow: Option<FlowSettings>,
+    messages: u64,
+) -> CaseResult {
+    // Build the deployment fresh per case so batching/flow config and
+    // circuit state never leak between cases.
     let lab = build_lab(topology);
     let testbed = &lab.testbed;
     if batched {
         testbed.enable_batching(BATCH_FRAMES, BATCH_DELAY);
+    }
+    if let Some(settings) = flow {
+        testbed.enable_flow_control(settings);
     }
 
     let sink = Sink::spawn(testbed, lab.dst);
@@ -229,6 +253,7 @@ fn run_case(topology: Topology, payload_bytes: usize, batched: bool, messages: u
         topology: topology.label(),
         payload_bytes,
         batched,
+        flow: flow.is_some(),
         messages,
         delivered,
         elapsed_us,
@@ -257,7 +282,7 @@ fn main() {
     for &topology in &topologies {
         for &(payload, messages) in &sizes {
             for batched in [false, true] {
-                let r = run_case(topology, payload, batched, messages);
+                let r = run_case(topology, payload, batched, None, messages);
                 eprintln!(
                     "{:>13} {:>6} B {:>9}: {:>10.0} msgs/s  {:>8.2} MiB/s  ({} of {} delivered in {} ms)",
                     r.topology,
@@ -352,6 +377,140 @@ fn main() {
         assert!(
             *v > 1.0,
             "batched throughput must beat unbatched at 1 KiB ({key} = {v:.3}x)"
+        );
+    }
+
+    // -- phase 2: credit-accounting overhead sweep (PR 5 baseline) --
+    //
+    // Same hot path, direct LVC, unbatched, with the flow-control window
+    // wide open: the consumer drains at wire speed and keeps the window
+    // replenished, so any slowdown is the per-frame debit/grant accounting
+    // itself, not starvation.
+    let flow_sizes: Vec<(usize, u64)> = if quick {
+        vec![(1024, 10_000)]
+    } else {
+        vec![(1024, 20_000), (65_536, 1_500)]
+    };
+    let mut flow_results: Vec<CaseResult> = Vec::new();
+    for &(payload, messages) in &flow_sizes {
+        // Interleave the repetitions of both configurations so slow drift
+        // in host load biases neither side.
+        let mut best: [Option<CaseResult>; 2] = [None, None];
+        for _ in 0..FLOW_REPS {
+            for flow_on in [false, true] {
+                let settings = flow_on.then(|| {
+                    FlowSettings::enabled(FLOW_WINDOW_BYTES, FLOW_WINDOW_FRAMES)
+                        .with_low_watermark(FLOW_LOW_WATERMARK)
+                });
+                let r = run_case(Topology::Lvc, payload, false, settings, messages);
+                assert_eq!(
+                    r.delivered, r.messages,
+                    "credit accounting must not lose casts"
+                );
+                let slot = &mut best[usize::from(flow_on)];
+                if slot
+                    .as_ref()
+                    .is_none_or(|b| r.msgs_per_sec > b.msgs_per_sec)
+                {
+                    *slot = Some(r);
+                }
+            }
+        }
+        for r in best.into_iter().map(|b| b.expect("at least one rep")) {
+            eprintln!(
+                "{:>13} {:>6} B {:>11}: {:>10.0} msgs/s  {:>8.2} MiB/s  ({} of {} delivered in {} ms)",
+                r.topology,
+                r.payload_bytes,
+                if r.flow { "credits on" } else { "credits off" },
+                r.msgs_per_sec,
+                r.mbytes_per_sec,
+                r.delivered,
+                r.messages,
+                r.elapsed_us / 1000,
+            );
+            flow_results.push(r);
+        }
+    }
+
+    // Flow-on over flow-off throughput ratio per payload size.
+    let mut ratios: Vec<(usize, f64)> = Vec::new();
+    for &(payload, _) in &flow_sizes {
+        let find = |flow: bool| {
+            flow_results
+                .iter()
+                .find(|r| r.payload_bytes == payload && r.flow == flow)
+                .expect("case ran")
+                .msgs_per_sec
+        };
+        let ratio = find(true) / find(false);
+        eprintln!(
+            "{:>13} {payload:>6} B: credits-on/credits-off = {ratio:.3}x",
+            "lvc"
+        );
+        ratios.push((payload, ratio));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(
+        json,
+        "  \"bench\": \"message_throughput/flow_credit_sweep\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if quick { "quick" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"transport\": \"tcp\",");
+    let _ = writeln!(json, "  \"flow_window_bytes\": {FLOW_WINDOW_BYTES},");
+    let _ = writeln!(json, "  \"flow_window_frames\": {FLOW_WINDOW_FRAMES},");
+    let _ = writeln!(
+        json,
+        "  \"flow_low_watermark_bytes\": {FLOW_LOW_WATERMARK},"
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, r) in flow_results.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"topology\": \"{}\", \"payload_bytes\": {}, \"flow\": {}, \
+             \"messages\": {}, \"delivered\": {}, \"elapsed_us\": {}, \
+             \"msgs_per_sec\": {:.1}, \"mbytes_per_sec\": {:.3}}}",
+            r.topology,
+            r.payload_bytes,
+            r.flow,
+            r.messages,
+            r.delivered,
+            r.elapsed_us,
+            r.msgs_per_sec,
+            r.mbytes_per_sec,
+        );
+        json.push_str(if i + 1 < flow_results.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"throughput_ratio_flow_on_over_off\": {\n");
+    for (i, (payload, v)) in ratios.iter().enumerate() {
+        let _ = write!(json, "    \"lvc/{payload}\": {v:.3}");
+        json.push_str(if i + 1 < ratios.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  }\n}\n");
+
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_PR5.json");
+    std::fs::write(&out, &json).expect("write BENCH_PR5.json");
+    eprintln!("wrote {}", out.display());
+
+    // PR-5 gate: with a wide-open window, credit accounting must cost no
+    // more than 5% of 1 KiB throughput.
+    if let Some((_, v)) = ratios.iter().find(|(p, _)| *p == 1024) {
+        assert!(
+            *v >= 0.95,
+            "credit accounting must stay within the 5% overhead budget at 1 KiB \
+             (credits-on/credits-off = {v:.3}x)"
         );
     }
 }

@@ -136,9 +136,9 @@ pub struct ComMod {
     hooks: RwLock<Option<Arc<dyn DrtsHooks>>>,
     hop_monitor: Arc<RwLock<Option<UAdd>>>,
     registration: RwLock<Option<(AttrSet, UAdd, Generation)>>,
-    /// Well-known preload and server list, kept so relocation can rebuild an
-    /// identically configured ComMod on another machine.
-    ns_well_known: Vec<(UAdd, Vec<PhysAddr>)>,
+    /// Name-Server failover list, kept so relocation can rebuild an
+    /// identically configured ComMod on another machine (the well-known
+    /// preload travels inside the Nucleus config).
     ns_servers: Vec<UAdd>,
 }
 
@@ -188,7 +188,6 @@ impl ComMod {
     ) -> Result<ComMod> {
         let machine = config.machine;
         let name_hint = config.module_hint.clone();
-        let ns_well_known = config.well_known.clone();
         let nucleus = Nucleus::bind(world, config)?;
         let nsp = NspLayer::new(nucleus.clone(), ns_servers.clone());
         nucleus.set_resolver(nsp.clone());
@@ -201,7 +200,6 @@ impl ComMod {
             hooks: RwLock::new(None),
             hop_monitor: Arc::new(RwLock::new(None)),
             registration: RwLock::new(None),
-            ns_well_known,
             ns_servers,
         })
     }
@@ -373,7 +371,8 @@ impl ComMod {
         trace: TraceId,
     ) -> Result<(u64, TraceId)> {
         Self::check_dst(dst)?;
-        let faults_before = self.nucleus.metrics().snapshot().address_faults;
+        let before = self.nucleus.metrics().snapshot();
+        let faults_before = before.address_faults;
         // §6.1: "control passes to the LCM-layer, which generates a time
         // stamp for monitor data" — possibly recursing into the time
         // service.
@@ -386,8 +385,13 @@ impl ComMod {
             0,
             format!("send from {}", self.name_hint),
         );
-        let msg_id = self.nucleus.send_message_traced(dst, msg, false, trace)?;
+        let sent = self.nucleus.send_message_traced(dst, msg, false, trace);
         let after = self.nucleus.metrics().snapshot();
+        // A STALL hop per credit-window stall this send incurred, emitted
+        // even when the send ultimately failed — the reassembled journey
+        // must show where it waited.
+        self.stall_hops(&before, &after, trace.raw(), dst);
+        let msg_id = sent?;
         if after.address_faults > faults_before {
             self.monitor(MonitorEventKind::Reconnect, dst, msg_id, ts);
             self.hop(
@@ -510,11 +514,37 @@ impl ComMod {
             0,
             format!("reliable send from {}", self.name_hint),
         );
-        let id = self
+        let before = self.nucleus.metrics().snapshot();
+        let sent = self
             .nucleus
-            .send_reliable_message_traced(dst, msg, timeout, trace)?;
+            .send_reliable_message_traced(dst, msg, timeout, trace);
+        let after = self.nucleus.metrics().snapshot();
+        self.stall_hops(&before, &after, trace.raw(), dst);
+        let id = sent?;
         self.monitor(MonitorEventKind::Send, dst, id, ts);
         Ok((id, trace))
+    }
+
+    /// Emits one [`hop_kind::STALL`] record per credit-window stall that
+    /// occurred between two metric snapshots, so a reassembled trace shows
+    /// where the journey waited for flow-control credit.
+    fn stall_hops(
+        &self,
+        before: &NucleusMetricsSnapshot,
+        after: &NucleusMetricsSnapshot,
+        trace_id: u64,
+        dst: UAdd,
+    ) {
+        for _ in 0..after.flow_stalls.saturating_sub(before.flow_stalls) {
+            self.hop(
+                hop_kind::STALL,
+                trace_id,
+                0,
+                dst,
+                0,
+                "waited for credit: receiver window exhausted".into(),
+            );
+        }
     }
 
     /// Connectionless best-effort send (§2.2).
@@ -563,13 +593,14 @@ impl ComMod {
                 commod: self,
             });
         };
-        let new = match ComMod::bind(
-            &self.world,
-            machine,
-            &self.name_hint,
-            self.ns_well_known.clone(),
-            self.ns_servers.clone(),
-        ) {
+        // The new binding keeps the old Nucleus configuration — batching,
+        // flow control, retry policy — so relocation never silently changes
+        // a module's communication behaviour (a flow-enabled peer would
+        // otherwise starve against a relocated module that stopped
+        // granting credit).
+        let mut config = self.nucleus.config().clone();
+        config.machine = machine;
+        let new = match ComMod::bind_with_config(&self.world, config, self.ns_servers.clone()) {
             Ok(n) => n,
             Err(error) => {
                 return Err(RelocateError {
@@ -694,6 +725,13 @@ impl ComMod {
     #[must_use]
     pub fn circuit_health(&self, dst: UAdd) -> ntcs_nucleus::CircuitHealth {
         self.nucleus.circuit_health(dst)
+    }
+
+    /// The Nucleus configuration this binding runs with — batching, flow
+    /// control, retry policy. Relocation carries it to the new machine.
+    #[must_use]
+    pub fn nucleus_config(&self) -> &NucleusConfig {
+        self.nucleus.config()
     }
 
     /// Nucleus counters.

@@ -74,8 +74,9 @@ pub use ntcs_gateway::Gateway;
 pub use ntcs_ipcs::{NetKind, SimClock, World};
 pub use ntcs_naming::{NameServer, NspLayer};
 pub use ntcs_nucleus::{
-    hop_kind, BreakerConfig, CircuitHealth, DeadLetter, Histogram, HistogramSnapshot, HopRecord,
-    Layer, LayerTrace, MetricsRegistry, ModuleReport, Nucleus, NucleusConfig,
-    NucleusMetricsSnapshot, RetryPolicy, TraceEvent, TraceId, TraceQuery, TraceReply,
+    hop_kind, BreakerConfig, CircuitHealth, DeadLetter, FlowPolicy, FlowSettings, Histogram,
+    HistogramSnapshot, HopRecord, Lane, Layer, LayerTrace, MetricsRegistry, ModuleReport, Nucleus,
+    NucleusConfig, NucleusMetricsSnapshot, RetryPolicy, TraceEvent, TraceId, TraceQuery,
+    TraceReply, CONTROL_TYPE_MAX,
 };
 pub use ntcs_wire::{ntcs_message, ConvMode, InboundPayload, Message, Packable};

@@ -15,7 +15,7 @@ use ntcs_addr::{MachineId, MachineType, NetworkId, NtcsError, PhysAddr, Result, 
 use ntcs_gateway::Gateway;
 use ntcs_ipcs::{NetKind, World};
 use ntcs_naming::{NameServer, NameServerConfig};
-use ntcs_nucleus::{MetricsRegistry, NucleusConfig};
+use ntcs_nucleus::{FlowSettings, MetricsRegistry, NucleusConfig};
 use parking_lot::RwLock;
 
 use crate::commod::ComMod;
@@ -152,6 +152,7 @@ impl TestbedBuilder {
             ns_servers,
             registry: Arc::new(MetricsRegistry::new()),
             batching: RwLock::new(None),
+            flow: RwLock::new(None),
         })
     }
 }
@@ -168,6 +169,9 @@ pub struct Testbed {
     /// ND-Layer batching applied to modules bound after
     /// [`Testbed::enable_batching`] (`None` = batching off, the default).
     batching: RwLock<Option<(usize, Duration)>>,
+    /// Credit-based flow control applied to modules bound after
+    /// [`Testbed::enable_flow_control`] (`None` = off, the default).
+    flow: RwLock<Option<FlowSettings>>,
 }
 
 impl Testbed {
@@ -218,6 +222,9 @@ impl Testbed {
         if let Some((frames, delay)) = *self.batching.read() {
             config = config.with_batching(frames, delay);
         }
+        if let Some(settings) = *self.flow.read() {
+            config = config.with_flow_control(settings);
+        }
         let commod = ComMod::bind_with_config(&self.world, config, self.ns_servers.clone())?;
         self.registry.register(commod.report_source());
         Ok(commod)
@@ -230,6 +237,18 @@ impl Testbed {
     /// so mixed deployments interoperate).
     pub fn enable_batching(&self, max_frames: usize, max_delay: Duration) {
         *self.batching.write() = Some((max_frames, max_delay));
+    }
+
+    /// Turns on credit-based flow control for every module bound *after*
+    /// this call: each circuit endpoint grants its peer a byte+frame
+    /// window, replenished as the application drains its inbox, and bulk
+    /// sends block (or shed, per [`FlowSettings::with_policy`]) against
+    /// it. Modules bound earlier are untouched — and grant nothing, so a
+    /// flow-enabled module sending bulk data to a legacy one stalls once
+    /// its initial window is spent. Enable flow control before binding
+    /// any module that will exchange bulk traffic.
+    pub fn enable_flow_control(&self, settings: FlowSettings) {
+        *self.flow.write() = Some(settings);
     }
 
     /// Binds a ComMod and registers it under `name` — the normal way a

@@ -16,6 +16,22 @@
 //! directions without ever parsing payloads. **No inter-gateway protocol
 //! exists** (§4.2). On a downstream failure the splice collapses hop by hop
 //! back toward the originator (§4.3).
+//!
+//! # Backpressure across splices
+//!
+//! Flow control needs no gateway cooperation, in keeping with §4.2's "no
+//! inter-gateway protocol":
+//!
+//! * **End-to-end credit** — `FrameType::Credit` grants emitted by the
+//!   terminal receiver's LCM are ordinary blocks to a relay; they travel
+//!   the reverse splice untouched and land in the *originating* sender's
+//!   credit window. The sender therefore never has more un-drained bytes
+//!   in flight than one window, at any hop of the chain.
+//! * **Hop-by-hop blocking** — each relay copies blocks with a blocking
+//!   `send_raw`. When a transit link's bounded queue fills, the relay
+//!   thread stalls, stops reading *its* upstream, and the stall propagates
+//!   link by link back to the origin. A slow terminal consumer thus
+//!   throttles the sender instead of ballooning transit queues.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -163,6 +179,10 @@ fn spawn_relay(from: Lvc, to: Lvc, metrics: Arc<GatewayMetrics>) {
             loop {
                 match from.recv_raw(Some(Duration::from_millis(500))) {
                     Ok(block) => {
+                        // send_raw blocks while the downstream link is at
+                        // capacity — the hop-by-hop backpressure path: a
+                        // stalled relay stops reading upstream, which fills
+                        // *that* link, and so on back to the origin.
                         if to.send_raw(block).is_err() {
                             break;
                         }
@@ -513,6 +533,59 @@ mod tests {
         assert_eq!(m.payload.mode, ntcs_wire::ConvMode::Image);
         let p: Packet = m.payload.decode(nb.machine_type()).unwrap();
         assert_eq!(p.seq, 0x01020304);
+    }
+
+    #[test]
+    fn credit_grants_cross_a_splice_end_to_end() {
+        // Flow control is end-to-end: Credit frames from the terminal
+        // receiver relay through the gateway as opaque blocks and land in
+        // the originating sender's window. With a 4-frame window, 30
+        // messages can only complete if grants make it back across the
+        // splice.
+        let lab = internet(2, NetKind::Mbx);
+        let _gw = gateway(&lab, "gw-flow", &[lab.nets[0], lab.nets[1]]);
+        let flow = ntcs_nucleus::FlowSettings::enabled(64 * 1024, 4)
+            .with_stall_timeout(Duration::from_secs(5));
+        let mk = |name: &str, net| {
+            let m = lab
+                .world
+                .add_machine(MachineType::Vax, name, &[net])
+                .unwrap();
+            let cfg = NucleusConfig::new(m, name)
+                .with_well_known(UAdd::NAME_SERVER, lab.ns_phys.clone())
+                .with_flow_control(flow);
+            let nucleus = Nucleus::bind(&lab.world, cfg).unwrap();
+            let nsp = NspLayer::new(nucleus.clone(), vec![UAdd::NAME_SERVER]);
+            nucleus.set_resolver(nsp.clone());
+            nsp.register(&AttrSet::named(name).unwrap(), false, &[], None)
+                .unwrap();
+            (nucleus, nsp)
+        };
+        let (na, nsp_a) = mk("flow-src", lab.nets[0]);
+        let (nb, _nsp_b) = mk("flow-dst", lab.nets[1]);
+        let ub = nsp_a
+            .locate(&AttrQuery::by_name("flow-dst").unwrap())
+            .unwrap();
+        let consumer = {
+            let nb = nb.clone();
+            std::thread::spawn(move || {
+                for _ in 0..30 {
+                    nb.recv(T).unwrap();
+                }
+            })
+        };
+        for seq in 0..30 {
+            na.send_message(
+                ub,
+                &Packet {
+                    seq,
+                    body: "windowed".into(),
+                },
+                false,
+            )
+            .unwrap();
+        }
+        consumer.join().unwrap();
     }
 
     #[test]

@@ -17,7 +17,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam_channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use ntcs_addr::{MachineId, NetworkId, NtcsError, Result};
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
@@ -81,6 +81,16 @@ struct TimedFrame {
     data: Bytes,
 }
 
+/// Frames one direction of a link may hold before senders block — the
+/// hop-by-hop backpressure bound. A full queue stops the writer (a relay's
+/// pump thread included), which stops it reading *its* upstream, and so on
+/// back to the origin; transit machines can no longer buffer unboundedly.
+const MBX_LINK_CAP: usize = 4096;
+
+/// How long a blocked sender sleeps between capacity polls. Polling (rather
+/// than parking in `send`) lets the sender observe a link close promptly.
+const MBX_FULL_POLL: Duration = Duration::from_micros(200);
+
 /// State shared by both endpoints of one mailbox link. Opaque outside this
 /// crate; the [`crate::World`] holds it to sever links on faults.
 #[derive(Debug)]
@@ -92,6 +102,11 @@ pub(crate) struct LinkShared {
     /// The two machines this link joins (for partition injection).
     machines: (MachineId, MachineId),
     network: NetworkId,
+    /// Payload bytes currently queued on the link (both directions).
+    queued_bytes: AtomicU64,
+    /// High-water mark of `queued_bytes` over the link's lifetime — the
+    /// flow-control experiments assert this stays under the credit window.
+    peak_bytes: AtomicU64,
 }
 
 impl LinkShared {
@@ -149,12 +164,35 @@ impl IpcsChannel for MbxChannel {
             return Ok(());
         }
         let deliver_at = Instant::now() + self.shared.conditions.latency();
-        self.tx
-            .send(TimedFrame {
-                deliver_at,
-                data: frame,
-            })
-            .map_err(|_| NtcsError::ConnectionClosed)
+        let n = frame.len() as u64;
+        let mut pending = TimedFrame {
+            deliver_at,
+            data: frame,
+        };
+        // Account before enqueueing: the receiver may pop the frame (and
+        // decrement) the instant it lands, so incrementing afterwards would
+        // race the counter below zero. A frame a blocked sender holds is
+        // still resident at this hop, so counting it early is also the
+        // honest reading.
+        let queued = self.shared.queued_bytes.fetch_add(n, Ordering::Relaxed) + n;
+        self.shared.peak_bytes.fetch_max(queued, Ordering::Relaxed);
+        // Bounded queue: block while full, but keep observing the close
+        // flag so a severed link frees the writer instead of stranding it.
+        loop {
+            match self.tx.try_send(pending) {
+                Ok(()) => return Ok(()),
+                Err(TrySendError::Full(f)) => {
+                    if self.shared.closed.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    pending = f;
+                    std::thread::sleep(MBX_FULL_POLL);
+                }
+                Err(TrySendError::Disconnected(_)) => break,
+            }
+        }
+        self.shared.queued_bytes.fetch_sub(n, Ordering::Relaxed);
+        Err(NtcsError::ConnectionClosed)
     }
 
     fn recv(&self, timeout: Option<Duration>) -> Result<Bytes> {
@@ -181,6 +219,9 @@ impl IpcsChannel for MbxChannel {
                     recv(self.shared.close_sig_rx) -> _ => continue,
                 }
             };
+            self.shared
+                .queued_bytes
+                .fetch_sub(frame.data.len() as u64, Ordering::Relaxed);
             let now = Instant::now();
             if frame.deliver_at > now {
                 std::thread::sleep(frame.deliver_at - now);
@@ -364,8 +405,8 @@ impl MbxIpcs {
                 "mailbox {path:?} is closed"
             )));
         }
-        let (a_tx, a_rx) = unbounded();
-        let (b_tx, b_rx) = unbounded();
+        let (a_tx, a_rx) = bounded(MBX_LINK_CAP);
+        let (b_tx, b_rx) = bounded(MBX_LINK_CAP);
         let (close_sig_tx, close_sig_rx) = bounded(2);
         let shared = Arc::new(LinkShared {
             closed: AtomicBool::new(false),
@@ -374,6 +415,8 @@ impl MbxIpcs {
             conditions,
             machines: (from, entry.owner),
             network,
+            queued_bytes: AtomicU64::new(0),
+            peak_bytes: AtomicU64::new(0),
         });
         let client = MbxChannel {
             tx: a_tx,
@@ -419,6 +462,14 @@ pub(crate) fn close_link(h: &LinkCloseHandle) {
 
 pub(crate) fn link_is_closed(h: &LinkCloseHandle) -> bool {
     h.closed.load(Ordering::SeqCst)
+}
+
+pub(crate) fn link_queued_bytes(h: &LinkCloseHandle) -> u64 {
+    h.queued_bytes.load(Ordering::Relaxed)
+}
+
+pub(crate) fn link_peak_bytes(h: &LinkCloseHandle) -> u64 {
+    h.peak_bytes.load(Ordering::Relaxed)
 }
 
 #[cfg(test)]
@@ -576,6 +627,42 @@ mod tests {
         assert!(matches!(
             server.recv(Some(Duration::from_millis(50))),
             Err(NtcsError::Timeout)
+        ));
+    }
+
+    #[test]
+    fn link_tracks_queued_and_peak_bytes() {
+        let ipcs = MbxIpcs::new();
+        let (client, server) = pair(&ipcs);
+        for _ in 0..4 {
+            client.send(Bytes::from_static(b"12345678")).unwrap();
+        }
+        let h = client.shared_close_handle();
+        assert_eq!(link_queued_bytes(&h), 32);
+        assert_eq!(link_peak_bytes(&h), 32);
+        for _ in 0..4 {
+            server.recv(Some(Duration::from_secs(1))).unwrap();
+        }
+        assert_eq!(link_queued_bytes(&h), 0);
+        assert_eq!(link_peak_bytes(&h), 32, "peak is a high-water mark");
+    }
+
+    #[test]
+    fn full_link_blocks_sender_until_close() {
+        let ipcs = MbxIpcs::new();
+        let (client, server) = pair(&ipcs);
+        for _ in 0..MBX_LINK_CAP {
+            client.send(Bytes::from_static(b"x")).unwrap();
+        }
+        // The queue is full: the next send blocks (backpressure), and a
+        // close must release it rather than strand it forever.
+        let t = std::thread::spawn(move || client.send(Bytes::from_static(b"overflow")));
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!t.is_finished(), "sender must block on a full link");
+        server.close();
+        assert!(matches!(
+            t.join().unwrap(),
+            Err(NtcsError::ConnectionClosed)
         ));
     }
 

@@ -460,6 +460,31 @@ impl World {
         }
     }
 
+    /// Per-link queue depths for every live MBX link, as
+    /// `((machine_a, machine_b), queued_bytes, peak_bytes)` — the
+    /// flow-control experiments assert the peak stays under the credit
+    /// window at every hop. Links are deduplicated (each is registered on
+    /// both endpoint machines).
+    #[must_use]
+    pub fn mbx_link_backlogs(&self) -> Vec<((MachineId, MachineId), u64, u64)> {
+        let mut seen: Vec<LinkCloseHandle> = Vec::new();
+        let mut out = Vec::new();
+        for state in self.inner.machines.read().iter() {
+            for l in state.mbx_links.lock().iter() {
+                if seen.iter().any(|s| Arc::ptr_eq(s, l)) {
+                    continue;
+                }
+                seen.push(Arc::clone(l));
+                out.push((
+                    mbx::link_machines(l),
+                    mbx::link_queued_bytes(l),
+                    mbx::link_peak_bytes(l),
+                ));
+            }
+        }
+        out
+    }
+
     fn register_mbx_link(&self, m: MachineId, h: LinkCloseHandle) {
         if let Ok(state) = self.machine(m) {
             let mut links = state.mbx_links.lock();

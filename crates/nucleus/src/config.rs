@@ -4,6 +4,7 @@
 use std::time::Duration;
 
 use ntcs_addr::{MachineId, PhysAddr, UAdd};
+use ntcs_flow::FlowSettings;
 
 use crate::proto::Hop;
 use crate::retry::RetryPolicy;
@@ -77,6 +78,18 @@ pub struct NucleusConfig {
     /// flushed anyway. `Duration::ZERO` (the default) disables batching
     /// entirely: every frame is its own wire write.
     pub max_batch_delay: Duration,
+    /// Payloads larger than this bypass batching even when it is active:
+    /// a big frame is flushed synchronously instead of being copied into
+    /// a coalescing buffer (the PR-3 64 KiB regression fix).
+    pub batch_max_payload: usize,
+    /// Per-circuit credit flow-control settings (window sizes, replenish
+    /// watermark, exhaustion policy). Disabled by default.
+    pub flow: FlowSettings,
+    /// Capacity of the LCM inbox (received-but-undrained messages). The
+    /// inbox is bounded even when flow control is disabled: overflow
+    /// sheds the oldest entry and counts `flow_sheds` rather than
+    /// growing without limit.
+    pub inbox_cap: usize,
 }
 
 impl NucleusConfig {
@@ -133,6 +146,9 @@ impl NucleusConfig {
             dedupe_window: 4096,
             max_batch_frames: 8,
             max_batch_delay: Duration::ZERO,
+            batch_max_payload: 4096,
+            flow: FlowSettings::disabled(),
+            inbox_cap: 8192,
         }
     }
 
@@ -197,12 +213,45 @@ impl NucleusConfig {
         self
     }
 
+    /// Sets the largest payload eligible for batching (builder style);
+    /// bigger frames are flushed synchronously.
+    #[must_use]
+    pub fn with_batch_max_payload(mut self, bytes: usize) -> Self {
+        self.batch_max_payload = bytes;
+        self
+    }
+
+    /// Enables credit flow control with the given settings (builder
+    /// style). `settings.enabled` is forced on.
+    #[must_use]
+    pub fn with_flow_control(mut self, mut settings: FlowSettings) -> Self {
+        settings.enabled = true;
+        self.flow = settings;
+        self
+    }
+
+    /// Disables credit flow control (builder style; the default). Queues
+    /// stay bounded regardless.
+    #[must_use]
+    pub fn without_flow_control(mut self) -> Self {
+        self.flow.enabled = false;
+        self
+    }
+
+    /// Replaces the LCM inbox capacity (builder style).
+    #[must_use]
+    pub fn with_inbox_cap(mut self, cap: usize) -> Self {
+        self.inbox_cap = cap.max(1);
+        self
+    }
+
     /// The ND-Layer batching policy implied by this configuration.
     #[must_use]
     pub fn batch_policy(&self) -> crate::nd::BatchPolicy {
         crate::nd::BatchPolicy {
             max_frames: self.max_batch_frames,
             max_delay: self.max_batch_delay,
+            max_payload: self.batch_max_payload,
         }
     }
 }
@@ -231,6 +280,22 @@ mod tests {
             !c.batch_policy().active(),
             "batching must be opt-in: a zero delay keeps every frame its own write"
         );
+        assert!(!c.flow.enabled, "flow control must be opt-in");
+        assert!(c.inbox_cap >= 64, "inbox must hold a useful backlog");
+        assert_eq!(c.batch_max_payload, 4096);
+    }
+
+    #[test]
+    fn flow_builders_compose() {
+        let c = NucleusConfig::new(MachineId(0), "m")
+            .with_flow_control(FlowSettings::enabled(8192, 32))
+            .with_inbox_cap(16)
+            .with_batch_max_payload(1024);
+        assert!(c.flow.enabled);
+        assert_eq!(c.flow.window_bytes, 8192);
+        assert_eq!(c.inbox_cap, 16);
+        assert_eq!(c.batch_policy().max_payload, 1024);
+        assert!(!c.without_flow_control().flow.enabled);
     }
 
     #[test]

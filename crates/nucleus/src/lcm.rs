@@ -30,6 +30,7 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use ntcs_addr::{MachineType, NtcsError, Result, TAddGenerator, UAdd};
+use ntcs_flow::{BoundedDeque, CreditLedger, CreditWindow, Lane};
 use ntcs_ipcs::{SimClock, World};
 use ntcs_wire::{ConvMode, Frame, FrameHeader, FrameType, InboundPayload, Message};
 use parking_lot::{Mutex, RwLock};
@@ -98,6 +99,30 @@ pub trait GatewayHandler: Send + Sync {
     fn transit(&self, lvc: Lvc, open: Frame);
 }
 
+/// Per-circuit credit flow-control state: the sender-side window our bulk
+/// sends debit, and the receiver-side ledger that accumulates drained
+/// bytes until a replenishing grant is due. Credit is end-to-end: the
+/// `Credit` frames the ledger triggers relay opaquely through gateway
+/// splices back to the origin sender, so the window bounds the bytes in
+/// flight at every hop of a chained IVC.
+#[derive(Debug)]
+struct CircuitFlow {
+    window: CreditWindow,
+    ledger: CreditLedger,
+}
+
+/// Fresh credit state for a new circuit when flow control is enabled
+/// (reconnects and relocations start over with a full window).
+fn new_circuit_flow(config: &NucleusConfig) -> Option<Arc<CircuitFlow>> {
+    let s = &config.flow;
+    s.enabled.then(|| {
+        Arc::new(CircuitFlow {
+            window: CreditWindow::new(s.window_bytes, s.window_frames),
+            ledger: CreditLedger::new(s.low_watermark_bytes, s.window_frames),
+        })
+    })
+}
+
 #[derive(Debug)]
 struct ConnEntry {
     id: u64,
@@ -111,6 +136,8 @@ struct ConnEntry {
     mode: ConvMode,
     established: bool,
     closed: bool,
+    /// Credit state when flow control is enabled (`None` otherwise).
+    flow: Option<Arc<CircuitFlow>>,
 }
 
 #[derive(Debug)]
@@ -119,13 +146,16 @@ enum Event {
     Closed { conn_id: u64 },
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct LcmState {
     conns: HashMap<u64, ConnEntry>,
     by_peer: HashMap<UAdd, u64>,
     /// §3.5 forwarding-address table: old UAdd → replacement UAdd.
     forwarding: HashMap<UAdd, UAdd>,
-    inbox: VecDeque<Received>,
+    /// Received-but-undrained messages. Bounded: overflow sheds the
+    /// oldest entry (counted as a `flow_shed`) instead of growing — a
+    /// runaway sender degrades to message loss, never memory exhaustion.
+    inbox: BoundedDeque<Received>,
     /// Pong arrivals by the ping's msg_id.
     pongs: HashMap<u64, ()>,
     /// LCM-level acknowledgements received, by the acked msg_id (reliable
@@ -135,6 +165,21 @@ struct LcmState {
     /// suppression; bounded FIFO.
     seen_reliable: std::collections::HashSet<(u64, u64)>,
     seen_reliable_order: VecDeque<(u64, u64)>,
+}
+
+impl LcmState {
+    fn new(inbox_cap: usize) -> Self {
+        LcmState {
+            conns: HashMap::new(),
+            by_peer: HashMap::new(),
+            forwarding: HashMap::new(),
+            inbox: BoundedDeque::new(inbox_cap),
+            pongs: HashMap::new(),
+            acks: std::collections::HashSet::new(),
+            seen_reliable: std::collections::HashSet::new(),
+            seen_reliable_order: VecDeque::new(),
+        }
+    }
 }
 
 /// Message type id reserved for LCM-level acknowledgements (reliable
@@ -213,7 +258,12 @@ impl Nucleus {
             // assume ours (the handshake corrects the mode either way).
             statics.preload(*uadd, addrs.clone(), nd.machine_type());
         }
+        // The events channel stays unbounded deliberately: frame dispatch
+        // can emit re-acks while holding the state lock, so a bounded
+        // channel here could deadlock against bounded substrate queues.
+        // Inbound volume is bounded upstream (inbox, rx_pending, MBX).
         let (events_tx, events_rx) = unbounded();
+        let inbox_cap = config.inbox_cap;
         let salt = (config.machine.0 as u16) ^ 0x1F;
         let clock = world.clock(config.machine)?;
         // Seed trace ids from the machine and module name so concurrent
@@ -239,7 +289,7 @@ impl Nucleus {
             tadds: TAddGenerator::new(salt),
             msg_seq: AtomicU64::new(1),
             conn_seq: AtomicU64::new(1),
-            state: Mutex::new(LcmState::default()),
+            state: Mutex::new(LcmState::new(inbox_cap)),
             events_tx,
             events_rx,
             trace: LayerTrace::default(),
@@ -377,16 +427,25 @@ impl Nucleus {
     /// aggregates.
     #[must_use]
     pub fn module_report(&self) -> ModuleReport {
+        let mut counters = self.inner.metrics.snapshot().counters();
+        counters.push(("nd_rx_sheds", self.inner.nd.rx_shed_count()));
+        let (forwarding_entries, credits_available) = {
+            let st = self.inner.state.lock();
+            let credits: u64 = st
+                .conns
+                .values()
+                .filter_map(|e| e.flow.as_ref().map(|f| f.window.available_bytes()))
+                .sum();
+            (st.forwarding.len() as u64, credits)
+        };
         ModuleReport {
             module: self.inner.config.module_hint.clone(),
-            counters: self.inner.metrics.snapshot().counters(),
+            counters,
             gauges: vec![
                 ("retransmit_depth", self.inner.retx.depth() as u64),
                 ("recursion_depth", u64::from(self.inner.gauge.depth())),
-                (
-                    "forwarding_entries",
-                    self.inner.state.lock().forwarding.len() as u64,
-                ),
+                ("forwarding_entries", forwarding_entries),
+                ("flow_credits_available", credits_available),
             ],
             histograms: self.inner.hists.snapshots(),
             breakers: self
@@ -763,9 +822,30 @@ impl Nucleus {
                         send_reliable_ack(&self.inner, &lvc, wire_peer, m.msg_id);
                     }
                 }
+                self.note_drain(&m);
                 return Ok(m);
             }
             self.pump_once(remaining(deadline)?)?;
+        }
+    }
+
+    /// Credits the application's consumption of a bulk-lane message back
+    /// to its circuit's ledger, emitting a `Credit` grant to the peer
+    /// once the low watermark is crossed.
+    fn note_drain(&self, m: &Received) {
+        if Lane::classify(m.payload.type_id) != Lane::Bulk {
+            return;
+        }
+        let found = {
+            let st = self.inner.state.lock();
+            st.conns
+                .get(&m.conn_id)
+                .and_then(|e| e.flow.clone().map(|f| (f, e.lvc.clone(), e.wire_peer)))
+        };
+        if let Some((flow, lvc, wire_peer)) = found {
+            if let Some((bytes, frames)) = flow.ledger.on_drain(m.payload.bytes.len()) {
+                send_credit(&self.inner, &lvc, wire_peer, bytes, frames);
+            }
         }
     }
 
@@ -796,13 +876,17 @@ impl Nucleus {
             if self.is_shut_down() {
                 return Err(NtcsError::ShutDown);
             }
-            {
+            let hit = {
                 let mut st = self.inner.state.lock();
-                if let Some(pos) = st.inbox.iter().position(|m| m.reply_to == msg_id) {
-                    let m = st.inbox.remove(pos).expect("position valid");
-                    self.inner.metrics.bump(&self.inner.metrics.recvs);
-                    return Ok(m);
-                }
+                st.inbox
+                    .iter()
+                    .position(|m| m.reply_to == msg_id)
+                    .map(|pos| st.inbox.remove(pos).expect("position valid"))
+            };
+            if let Some(m) = hit {
+                self.inner.metrics.bump(&self.inner.metrics.recvs);
+                self.note_drain(&m);
+                return Ok(m);
             }
             self.pump_once(remaining(deadline)?)?;
         }
@@ -825,7 +909,11 @@ impl Nucleus {
         // The reply joins the request's trace, so a traced round trip
         // reads as one journey in the monitor.
         let trace_id = to.trace_id;
-        // Try the arrival circuit first.
+        // Try the arrival circuit first. Arrival-circuit replies are
+        // exempt from the credit gate: they are solicited (flow-limited
+        // by the requests themselves) and this path must not block while
+        // holding the state lock. The receiver's over-grant on drain is
+        // harmless — replenish clamps at window capacity.
         {
             let st = self.inner.state.lock();
             if let Some(e) = st.conns.get(&to.conn_id) {
@@ -1110,7 +1198,7 @@ impl Nucleus {
         span: u32,
     ) -> Result<()> {
         let (conn_id, _) = self.ensure_conn(target)?;
-        let (frame, lvc) = {
+        let (frame, lvc, flow) = {
             let st = self.inner.state.lock();
             let e = st.conns.get(&conn_id).ok_or(NtcsError::ConnectionClosed)?;
             if e.closed {
@@ -1129,8 +1217,27 @@ impl Nucleus {
                     span,
                 ),
                 e.lvc.clone(),
+                e.flow.clone(),
             )
         };
+        // Credit gate: bulk-lane frames debit the circuit's window (the
+        // control lane bypasses it, so naming/ack/observability traffic
+        // can never be starved by bulk data). Runs with the state lock
+        // dropped — a blocking acquisition must pump protocol events or
+        // the very Credit frame it waits for would never be dispatched.
+        if let Some(flow) = &flow {
+            if Lane::classify(out.type_id) == Lane::Bulk {
+                self.acquire_credit(
+                    flow,
+                    frame.payload.len(),
+                    target,
+                    out.type_id,
+                    msg_id,
+                    reliable,
+                    trace_id,
+                )?;
+            }
+        }
         // Connectionless casts are best-effort by contract (§4.1), so they
         // may ride the ND-Layer's batching buffer; everything else flushes
         // synchronously so send errors surface on this call.
@@ -1144,6 +1251,68 @@ impl Nucleus {
             Err(e) => {
                 self.mark_conn_closed(conn_id);
                 Err(e)
+            }
+        }
+    }
+
+    /// Debits `need` bytes and one frame from the circuit's credit
+    /// window, applying the configured [`ntcs_flow::FlowPolicy`] when the
+    /// window is exhausted: `Block` pumps events until the peer's grant
+    /// arrives (or the stall timeout passes), `ShedNewest` fails the send
+    /// immediately and counts a shed, `DeadLetter` hands it straight to
+    /// the dead-letter sink. Reliable sends always surface the error so
+    /// the caller's recovery loop dead-letters them — never a silent loss.
+    #[allow(clippy::too_many_arguments)]
+    fn acquire_credit(
+        &self,
+        flow: &Arc<CircuitFlow>,
+        need: usize,
+        target: UAdd,
+        type_id: u32,
+        msg_id: u64,
+        reliable: bool,
+        trace_id: u64,
+    ) -> Result<()> {
+        if flow.window.try_acquire(need) {
+            return Ok(());
+        }
+        self.inner.metrics.bump(&self.inner.metrics.flow_stalls);
+        if trace_id != 0 {
+            self.inner.trace.record(
+                self.inner.gauge.depth(),
+                Layer::Lcm,
+                "flow-stall",
+                format!("→ {target} msg {msg_id} awaiting credit ({need} B)"),
+            );
+        }
+        match self.inner.config.flow.policy {
+            ntcs_flow::FlowPolicy::Block => {
+                let deadline = Instant::now() + self.inner.config.flow.stall_timeout;
+                loop {
+                    self.pump_once(Some(Duration::from_millis(5)))?;
+                    if flow.window.try_acquire(need) {
+                        return Ok(());
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(NtcsError::FlowStalled(target.raw()));
+                    }
+                }
+            }
+            ntcs_flow::FlowPolicy::ShedNewest => {
+                if !reliable {
+                    self.inner.metrics.bump(&self.inner.metrics.flow_sheds);
+                }
+                Err(NtcsError::FlowStalled(target.raw()))
+            }
+            ntcs_flow::FlowPolicy::DeadLetter => {
+                let e = NtcsError::FlowStalled(target.raw());
+                if reliable {
+                    // The reliable path dead-letters non-transient errors
+                    // itself; erroring here avoids a double letter.
+                    Err(e)
+                } else {
+                    Err(self.dead_letter(target, msg_id, type_id, 0, e))
+                }
             }
         }
     }
@@ -1391,6 +1560,7 @@ impl Nucleus {
                     mode: ConvMode::Packed, // provisional until the ack
                     established: false,
                     closed: false,
+                    flow: new_circuit_flow(&self.inner.config),
                 },
             );
             st.by_peer.insert(resolved.uadd, conn_id);
@@ -1508,6 +1678,7 @@ impl Nucleus {
                 let e = st.conns.get(&conn_id).expect("just updated");
                 let peer = e.peer;
                 let arrival_lvc = e.lvc.clone();
+                let arrival_flow = e.flow.clone();
                 let mut deliver = true;
                 if h.flags.reliable {
                     // Reliable extension: suppress retransmitted duplicates.
@@ -1520,6 +1691,18 @@ impl Nucleus {
                             .metrics
                             .bump(&self.inner.metrics.duplicates_suppressed);
                         send_reliable_ack(&self.inner, &arrival_lvc, h.src, h.msg_id);
+                        // The retransmission debited the sender's window
+                        // but will never be drained from the inbox —
+                        // credit it back so the window doesn't leak.
+                        if let Some(flow) = &arrival_flow {
+                            if Lane::classify(h.aux) == Lane::Bulk {
+                                if let Some((bytes, frames)) =
+                                    flow.ledger.on_drain(frame.payload.len())
+                                {
+                                    send_credit(&self.inner, &arrival_lvc, h.src, bytes, frames);
+                                }
+                            }
+                        }
                     } else {
                         st.seen_reliable_order.push_back(key);
                         if st.seen_reliable_order.len() > self.inner.config.dedupe_window {
@@ -1565,7 +1748,25 @@ impl Nucleus {
                         },
                         conn_id,
                     };
-                    st.inbox.push_back(received);
+                    if let Some(evicted) = st.inbox.push_back(received) {
+                        // Inbox overflow: shed the oldest message rather
+                        // than grow without bound, and credit its bytes
+                        // back to the peer that sent it (it will never be
+                        // drained by the application).
+                        self.inner.metrics.bump(&self.inner.metrics.flow_sheds);
+                        if Lane::classify(evicted.payload.type_id) == Lane::Bulk {
+                            if let Some(src) = st.conns.get(&evicted.conn_id) {
+                                if let Some(flow) = &src.flow {
+                                    if let Some((bytes, frames)) =
+                                        flow.ledger.on_drain(evicted.payload.bytes.len())
+                                    {
+                                        let (lvc, to) = (src.lvc.clone(), src.wire_peer);
+                                        send_credit(&self.inner, &lvc, to, bytes, frames);
+                                    }
+                                }
+                            }
+                        }
+                    }
                 }
             }
             FrameType::Close | FrameType::IvcAbort => {
@@ -1586,6 +1787,17 @@ impl Nucleus {
             }
             FrameType::Pong => {
                 self.inner.state.lock().pongs.insert(h.reply_to, ());
+            }
+            FrameType::Credit => {
+                // The peer's delta grant: bytes in `msg_id`, frames in
+                // `aux`. Replenish clamps at the window's capacity, so a
+                // duplicate or over-generous grant is harmless.
+                let st = self.inner.state.lock();
+                if let Some(e) = st.conns.get(&conn_id) {
+                    if let Some(flow) = &e.flow {
+                        flow.window.replenish(h.msg_id, h.aux);
+                    }
+                }
             }
             FrameType::LvcOpen | FrameType::IvcOpen | FrameType::IvcOpenAck => {
                 // Opens are handled by the greeter; seeing one here is a
@@ -1611,6 +1823,23 @@ fn remaining(deadline: Option<Instant>) -> Result<Option<Duration>> {
             }
         }
     }
+}
+
+/// Emits a flow-control credit grant on a circuit: `bytes`/`frames` of
+/// window the application has drained since the last grant. Header-only —
+/// the granted bytes travel in `msg_id` and the granted frames in `aux`.
+/// Best-effort like the reliable ack: a lost grant leaks window until the
+/// sender's stall timeout surfaces it.
+fn send_credit(inner: &Arc<Inner>, lvc: &Lvc, to: UAdd, bytes: u64, frames: u32) {
+    let mut h = FrameHeader::new(
+        FrameType::Credit,
+        *inner.my_uadd.read(),
+        to,
+        inner.nd.machine_type(),
+    );
+    h.msg_id = bytes;
+    h.aux = frames;
+    let _ = lvc.send_frame(&Frame::control(h));
 }
 
 /// Emits a reliable-extension delivery acknowledgement on a circuit.
@@ -1715,6 +1944,7 @@ fn greet_inbound(inner: &Arc<Inner>, lvc: Lvc) {
                 mode,
                 established: true,
                 closed: false,
+                flow: new_circuit_flow(&inner.config),
             },
         );
         st.by_peer.insert(peer_key, conn_id);
@@ -2172,6 +2402,169 @@ mod tests {
             r.a.resolve_forwarded(chain[0]),
             Err(NtcsError::Protocol(_))
         ));
+    }
+
+    /// Like [`rig`], but with credit-based flow control enabled on both
+    /// endpoints (same machine types so conversion stays out of the way).
+    fn flow_rig(settings: ntcs_flow::FlowSettings) -> Rig {
+        let world = World::new();
+        let net = world.add_network(NetKind::Mbx, "lab");
+        let ma = world.add_machine(MachineType::Vax, "ma", &[net]).unwrap();
+        let mb = world.add_machine(MachineType::Vax, "mb", &[net]).unwrap();
+        let gen = UAddGenerator::new(0);
+        let ua = gen.generate();
+        let ub = gen.generate();
+        let a = Nucleus::bind(
+            &world,
+            NucleusConfig::new(ma, "a").with_flow_control(settings),
+        )
+        .unwrap();
+        let b = Nucleus::bind(
+            &world,
+            NucleusConfig::new(mb, "b").with_flow_control(settings),
+        )
+        .unwrap();
+        a.set_my_uadd(ua);
+        b.set_my_uadd(ub);
+        a.statics()
+            .preload(ub, b.nd().phys_addrs(), MachineType::Vax);
+        b.statics()
+            .preload(ua, a.nd().phys_addrs(), MachineType::Vax);
+        Rig {
+            world,
+            a,
+            b,
+            ua,
+            ub,
+        }
+    }
+
+    #[test]
+    fn flow_credits_replenish_under_sustained_load() {
+        // A 4-frame window forces the sender to wait for credit grants
+        // roughly every 4 messages; with a live consumer every send must
+        // still complete well inside the stall timeout.
+        let settings = ntcs_flow::FlowSettings::enabled(64 * 1024, 4)
+            .with_stall_timeout(Duration::from_secs(5));
+        let r = flow_rig(settings);
+        let b = r.b.clone();
+        let consumer = std::thread::spawn(move || {
+            for _ in 0..40 {
+                b.recv(T).unwrap();
+            }
+        });
+        for i in 0..40 {
+            r.a.send_message(
+                r.ub,
+                &Greeting {
+                    text: "credit paced".into(),
+                    n: i,
+                },
+                false,
+            )
+            .unwrap();
+        }
+        consumer.join().unwrap();
+        let _ = r.ua;
+        assert!(r.a.metrics().snapshot().sends >= 40);
+    }
+
+    #[test]
+    fn shed_newest_drops_casts_when_window_exhausted() {
+        // Nobody drains B, so after the 2-frame window fills every further
+        // cast is shed (best-effort, absorbed as a dropped message).
+        let settings = ntcs_flow::FlowSettings::enabled(64 * 1024, 2)
+            .with_policy(ntcs_flow::FlowPolicy::ShedNewest);
+        let r = flow_rig(settings);
+        for i in 0..10 {
+            r.a.cast_message(
+                r.ub,
+                &Greeting {
+                    text: "burst".into(),
+                    n: i,
+                },
+            )
+            .unwrap();
+        }
+        let s = r.a.metrics().snapshot();
+        assert!(s.flow_stalls >= 1, "flow_stalls = {}", s.flow_stalls);
+        assert!(s.flow_sheds >= 1, "flow_sheds = {}", s.flow_sheds);
+        assert!(s.dropped_messages >= 1);
+        // The messages admitted before exhaustion are still deliverable.
+        let m = r.b.recv(T).unwrap();
+        let got: Greeting = m.payload.decode(r.b.machine_type()).unwrap();
+        assert_eq!(got.n, 0);
+    }
+
+    #[test]
+    fn blocked_sender_stalls_out_without_consumer() {
+        let settings = ntcs_flow::FlowSettings::enabled(64 * 1024, 1)
+            .with_stall_timeout(Duration::from_millis(150));
+        let r = flow_rig(settings);
+        // First message takes the only frame credit.
+        r.a.send_message(
+            r.ub,
+            &Greeting {
+                text: "one".into(),
+                n: 1,
+            },
+            false,
+        )
+        .unwrap();
+        // Second blocks until the stall timeout, then reports the stall.
+        let err =
+            r.a.send_message(
+                r.ub,
+                &Greeting {
+                    text: "two".into(),
+                    n: 2,
+                },
+                false,
+            )
+            .unwrap_err();
+        assert!(matches!(err, NtcsError::FlowStalled(_)), "{err}");
+        assert!(r.a.metrics().snapshot().flow_stalls >= 1);
+        // Stalls must not poison the breaker: once B drains, sends recover.
+        r.b.recv(T).unwrap();
+        r.a.send_message(
+            r.ub,
+            &Greeting {
+                text: "three".into(),
+                n: 3,
+            },
+            false,
+        )
+        .unwrap();
+        r.b.recv(T).unwrap();
+    }
+
+    #[test]
+    fn flow_stall_dead_letters_reliable_sends() {
+        let settings = ntcs_flow::FlowSettings::enabled(64 * 1024, 1)
+            .with_policy(ntcs_flow::FlowPolicy::DeadLetter);
+        let r = flow_rig(settings);
+        let letters = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&letters);
+        r.a.set_dead_letter_sink(Arc::new(move |l: &DeadLetter| {
+            sink.lock().push(l.clone());
+        }));
+        r.a.send_message(
+            r.ub,
+            &Greeting {
+                text: "fills window".into(),
+                n: 0,
+            },
+            false,
+        )
+        .unwrap();
+        let err =
+            r.a.send_reliable_message(r.ub, &Greeting::default(), Duration::from_secs(2))
+                .unwrap_err();
+        assert!(matches!(err, NtcsError::FlowStalled(_)), "{err}");
+        let s = r.a.metrics().snapshot();
+        assert_eq!(s.dead_letters, 1, "exactly one letter per stalled send");
+        assert_eq!(letters.lock().len(), 1);
+        assert_eq!(letters.lock()[0].error, err);
     }
 
     #[test]

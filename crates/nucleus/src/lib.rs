@@ -47,6 +47,7 @@ pub use config::NucleusConfig;
 pub use lcm::{GatewayHandler, Nucleus, Outbound, Received};
 pub use metrics::{NucleusMetrics, NucleusMetricsSnapshot};
 pub use nd::{Lvc, NdLayer};
+pub use ntcs_flow::{FlowPolicy, FlowSettings, Lane, CONTROL_TYPE_MAX};
 pub use obs::{
     hop_kind, Histogram, HistogramSnapshot, HopRecord, MetricsRegistry, ModuleReport,
     NucleusHistograms, ReportSource, TraceId, TraceIdGen, TraceQuery, TraceReply,

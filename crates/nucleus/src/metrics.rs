@@ -53,6 +53,12 @@ pub struct NucleusMetrics {
     /// Reliable messages surrendered to the dead-letter sink after all
     /// recovery was exhausted.
     pub dead_letters: AtomicU64,
+    /// Sends that found the circuit's credit window empty and waited
+    /// (or failed) for replenishment.
+    pub flow_stalls: AtomicU64,
+    /// Messages shed by flow control: dropped on an exhausted window
+    /// under `ShedNewest`, or evicted from a full bounded inbox.
+    pub flow_sheds: AtomicU64,
 }
 
 /// A point-in-time copy of [`NucleusMetrics`].
@@ -79,6 +85,8 @@ pub struct NucleusMetricsSnapshot {
     pub breaker_trips: u64,
     pub breaker_recoveries: u64,
     pub dead_letters: u64,
+    pub flow_stalls: u64,
+    pub flow_sheds: u64,
 }
 
 impl NucleusMetrics {
@@ -117,6 +125,8 @@ impl NucleusMetrics {
             breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
             breaker_recoveries: self.breaker_recoveries.load(Ordering::Relaxed),
             dead_letters: self.dead_letters.load(Ordering::Relaxed),
+            flow_stalls: self.flow_stalls.load(Ordering::Relaxed),
+            flow_sheds: self.flow_sheds.load(Ordering::Relaxed),
         }
     }
 }
@@ -148,6 +158,8 @@ impl NucleusMetricsSnapshot {
             ("breaker_trips", self.breaker_trips),
             ("breaker_recoveries", self.breaker_recoveries),
             ("dead_letters", self.dead_letters),
+            ("flow_stalls", self.flow_stalls),
+            ("flow_sheds", self.flow_sheds),
         ]
     }
 }

@@ -13,15 +13,20 @@
 //! [`ntcs_wire::Frame`] (shift-mode header + payload byte stream). Nothing
 //! above it ever sees an [`ntcs_ipcs::IpcsChannel`].
 
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use ntcs_addr::{MachineId, MachineType, NetworkId, NtcsError, PhysAddr, Result};
+use ntcs_flow::BoundedDeque;
 use ntcs_ipcs::{BufferPool, IpcsChannel, IpcsListener, World};
 use ntcs_wire::{decode_batch_frames, encode_batch_into, Frame, FrameType, HEADER_LEN};
+
+/// Capacity of each LVC's received-batch-member queue. Bounded so a
+/// storm of batch blocks degrades to shedding the oldest undrained
+/// frames (counted on the layer) instead of exhausting memory.
+const RX_PENDING_CAP: usize = 4096;
 
 /// How the ND-Layer coalesces frames queued for one LVC into batched wire
 /// writes. The default policy is inactive: every frame is its own write,
@@ -32,6 +37,10 @@ pub struct BatchPolicy {
     pub max_frames: usize,
     /// Longest a buffered frame waits for companions before flushing.
     pub max_delay: Duration,
+    /// Payloads larger than this skip the coalescing buffer entirely and
+    /// go out as their own synchronous write: copying a large payload
+    /// into a batch costs more than the per-write overhead it saves.
+    pub max_payload: usize,
 }
 
 impl BatchPolicy {
@@ -47,6 +56,7 @@ impl BatchPolicy {
         BatchPolicy {
             max_frames: 1,
             max_delay: Duration::ZERO,
+            max_payload: 4096,
         }
     }
 }
@@ -156,8 +166,12 @@ pub struct Lvc {
     pool: BufferPool,
     batcher: Option<Arc<Batcher>>,
     /// Members of an already-received batch block not yet handed upward.
-    /// Shared across clones so readers drain one queue.
-    rx_pending: Arc<Mutex<VecDeque<Frame>>>,
+    /// Shared across clones so readers drain one queue. Bounded: overflow
+    /// sheds the oldest member and counts it on `rx_sheds`.
+    rx_pending: Arc<Mutex<BoundedDeque<Frame>>>,
+    /// Shed counter shared with the owning [`NdLayer`] (a standalone
+    /// [`Lvc::new`] circuit gets a private one).
+    rx_sheds: Arc<AtomicU64>,
 }
 
 impl Lvc {
@@ -169,7 +183,8 @@ impl Lvc {
             network,
             pool: BufferPool::new(),
             batcher: None,
-            rx_pending: Arc::new(Mutex::new(VecDeque::new())),
+            rx_pending: Arc::new(Mutex::new(BoundedDeque::new(RX_PENDING_CAP))),
+            rx_sheds: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -203,8 +218,17 @@ impl Lvc {
             network,
             pool,
             batcher,
-            rx_pending: Arc::new(Mutex::new(VecDeque::new())),
+            rx_pending: Arc::new(Mutex::new(BoundedDeque::new(RX_PENDING_CAP))),
+            rx_sheds: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Shares the owning layer's shed counter with this circuit (builder
+    /// style).
+    #[must_use]
+    pub fn with_shed_counter(mut self, counter: Arc<AtomicU64>) -> Self {
+        self.rx_sheds = counter;
+        self
     }
 
     /// The network this circuit crosses.
@@ -255,6 +279,24 @@ impl Lvc {
         let Some(b) = &self.batcher else {
             return self.send_frame(frame);
         };
+        if frame.payload.len() > b.policy.max_payload {
+            // Large payloads bypass the coalescing buffer: flush whatever
+            // is pending, then put this frame on the wire as its own
+            // write (under the same lock, so FIFO order holds).
+            let mut buf = self.pool.take(frame.encoded_len());
+            frame.encode_into(&mut buf);
+            let block = Bytes::from(buf);
+            let mut st = b.state.lock().unwrap();
+            if let Some(e) = st.error.clone() {
+                return Err(e);
+            }
+            b.flush_locked(&mut st)?;
+            let result = self.chan.send(block);
+            if let Err(e) = &result {
+                st.error = Some(e.clone());
+            }
+            return result;
+        }
         let mut buf = self.pool.take(frame.encoded_len());
         frame.encode_into(&mut buf);
         let mut st = b.state.lock().unwrap();
@@ -310,7 +352,12 @@ impl Lvc {
         let first = members
             .next()
             .ok_or_else(|| NtcsError::Protocol("batch frame with no members".into()))?;
-        self.rx_pending.lock().unwrap().extend(members);
+        let mut pending = self.rx_pending.lock().unwrap();
+        for m in members {
+            if pending.push_back(m).is_some() {
+                self.rx_sheds.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         Ok(first)
     }
 
@@ -379,6 +426,7 @@ pub struct NdLayer {
     endpoints: Vec<NdEndpoint>,
     pool: BufferPool,
     policy: BatchPolicy,
+    rx_sheds: Arc<AtomicU64>,
 }
 
 impl NdLayer {
@@ -422,7 +470,14 @@ impl NdLayer {
             endpoints,
             pool: world.buffer_pool(),
             policy,
+            rx_sheds: Arc::new(AtomicU64::new(0)),
         })
+    }
+
+    /// Frames shed from bounded receive queues across this layer's LVCs.
+    #[must_use]
+    pub fn rx_shed_count(&self) -> u64 {
+        self.rx_sheds.load(Ordering::Relaxed)
     }
 
     /// The batch policy applied to this layer's LVCs.
@@ -448,6 +503,7 @@ impl NdLayer {
             self.pool.clone(),
             self.policy,
         )
+        .with_shed_counter(Arc::clone(&self.rx_sheds))
     }
 
     /// The machine this layer is bound to.
@@ -669,6 +725,7 @@ mod tests {
         let policy = BatchPolicy {
             max_frames: 4,
             max_delay: Duration::from_millis(200),
+            max_payload: 4096,
         };
         let nd_a = NdLayer::new_with_policy(&w, a, "a", policy).unwrap();
         let nd_b = NdLayer::new_with_policy(&w, b, "b", policy).unwrap();
@@ -708,6 +765,7 @@ mod tests {
         let policy = BatchPolicy {
             max_frames: 64,
             max_delay: Duration::from_secs(30), // deadline will not fire
+            max_payload: 4096,
         };
         let nd_a = NdLayer::new_with_policy(&w, a, "a", policy).unwrap();
         let nd_b = NdLayer::new(&w, b, "b").unwrap();
@@ -726,6 +784,44 @@ mod tests {
             let got = server.recv_frame(Some(Duration::from_secs(2))).unwrap();
             assert_eq!(got, frame());
         }
+    }
+
+    #[test]
+    fn oversized_payload_bypasses_batching() {
+        let (w, a, b, _n) = world_two();
+        let policy = BatchPolicy {
+            max_frames: 64,
+            max_delay: Duration::from_secs(30), // deadline will not fire
+            max_payload: 64,
+        };
+        let nd_a = NdLayer::new_with_policy(&w, a, "a", policy).unwrap();
+        let nd_b = NdLayer::new(&w, b, "b").unwrap();
+        let lvc = nd_a.open(&nd_b.phys_addrs()[0], 0).unwrap();
+        let accepted = nd_b.endpoints()[0]
+            .listener
+            .accept(Some(Duration::from_secs(2)))
+            .unwrap();
+
+        // Two small frames queue; the oversized one must flush them (as
+        // one batch container) and then go out as its own plain write.
+        lvc.send_frame_buffered(&frame()).unwrap();
+        lvc.send_frame_buffered(&frame()).unwrap();
+        let big = Frame::new(
+            FrameHeader::new(
+                FrameType::Datagram,
+                UAdd::from_raw(1),
+                UAdd::from_raw(2),
+                MachineType::Vax,
+            ),
+            bytes::Bytes::from(vec![7u8; 1024]),
+        );
+        lvc.send_frame_buffered(&big).unwrap();
+        let first = accepted.recv(Some(Duration::from_secs(2))).unwrap();
+        let got = Frame::decode(&first).unwrap();
+        assert_eq!(got.header.frame_type, FrameType::Batch);
+        let second = accepted.recv(Some(Duration::from_secs(2))).unwrap();
+        let got = Frame::decode(&second).unwrap();
+        assert_eq!(got, big, "oversized frame sent as its own plain write");
     }
 
     #[test]

@@ -281,6 +281,9 @@ pub mod hop_kind {
     pub const RETRANSMIT: u32 = 6;
     /// Recovery exhausted; the message went to the dead-letter sink.
     pub const DEAD_LETTER: u32 = 7;
+    /// The send waited on an exhausted credit window before proceeding
+    /// (flow-control backpressure).
+    pub const STALL: u32 = 8;
 
     /// Human name of a hop kind code.
     #[must_use]
@@ -293,6 +296,7 @@ pub mod hop_kind {
             DELIVER => "deliver",
             RETRANSMIT => "retransmit",
             DEAD_LETTER => "dead-letter",
+            STALL => "stall",
             _ => "unknown",
         }
     }

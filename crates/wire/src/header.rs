@@ -64,6 +64,11 @@ pub enum FrameType {
     /// (`aux` carries the count); gateways relay it opaquely like any
     /// other non-open frame.
     Batch,
+    /// Flow control: a receiver's delta grant of inbox capacity back to
+    /// the sender. Header-only: `msg_id` carries the granted bytes and
+    /// `aux` the granted frames. Gateways relay it opaquely, so a grant
+    /// crosses a spliced IVC chain end-to-end unchanged.
+    Credit,
 }
 
 impl FrameType {
@@ -82,6 +87,7 @@ impl FrameType {
             FrameType::Pong => 9,
             FrameType::IvcAbort => 10,
             FrameType::Batch => 11,
+            FrameType::Credit => 12,
         }
     }
 
@@ -103,6 +109,7 @@ impl FrameType {
             9 => FrameType::Pong,
             10 => FrameType::IvcAbort,
             11 => FrameType::Batch,
+            12 => FrameType::Credit,
             other => {
                 return Err(NtcsError::Protocol(format!(
                     "unknown frame type code {other}"
@@ -500,6 +507,7 @@ mod tests {
             FrameType::Pong,
             FrameType::IvcAbort,
             FrameType::Batch,
+            FrameType::Credit,
         ] {
             assert_eq!(FrameType::from_wire_code(ft.wire_code()).unwrap(), ft);
         }

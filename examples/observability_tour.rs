@@ -11,7 +11,7 @@
 
 use std::time::Duration;
 
-use ntcs::{hop_kind, NetKind};
+use ntcs::{hop_kind, FlowSettings, NetKind};
 use ntcs_drts::MonitorService;
 use ntcs_repro::messages::Ask;
 use ntcs_repro::scenarios::line_internet;
@@ -20,6 +20,10 @@ fn main() -> ntcs::Result<()> {
     // Two disjoint networks joined by one gateway; the Name Server's
     // machine is multi-homed for bootstrap.
     let lab = line_internet(2, NetKind::Mbx)?;
+    // A deliberately tiny credit window (1 KiB / 2 frames per circuit), so
+    // the tour can show the STALL hop a credit-starved send records.
+    lab.testbed
+        .enable_flow_control(FlowSettings::enabled(1024, 2));
     let monitor = MonitorService::spawn(&lab.testbed, lab.edge_machines[1])?;
 
     let server = lab.testbed.module(lab.edge_machines[0], "sink")?;
@@ -81,12 +85,52 @@ fn main() -> ntcs::Result<()> {
     let remote = MonitorService::query_trace(&client, monitor.uadd(), trace.raw())?;
     println!("\nremote TraceQuery returned {} hops\n", remote.len());
 
-    println!("-- Prometheus text exposition (excerpt) --");
+    // -- flow control: a dawdling receiver shuts the credit window --
+    // The server drains nothing for 300 ms; the client's third bulk send
+    // finds the 2-frame window empty, blocks for credit, and records a
+    // STALL hop on its trace before delivery finally goes through.
+    println!("-- a credit-starved send, reassembled --");
+    let drainer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(300));
+        let mut got = 0u32;
+        while server.receive(Some(Duration::from_millis(500))).is_ok() {
+            got += 1;
+        }
+        got
+    });
+    let body = "bulk".repeat(64);
+    let mut stall_trace = trace;
+    for i in 0..4u32 {
+        let (_, t) = client.send_traced(
+            dst,
+            &Ask {
+                n: 100 + i,
+                body: body.clone(),
+            },
+        )?;
+        stall_trace = t;
+    }
+    let drained = drainer.join().expect("drainer thread");
+    println!("receiver woke up and drained {drained} messages");
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let chain = loop {
+        let chain = monitor.trace_chain(stall_trace.raw());
+        let complete = chain.iter().any(|h| h.kind == hop_kind::STALL)
+            && chain.iter().any(|h| h.kind == hop_kind::DELIVER);
+        if complete || std::time::Instant::now() > deadline {
+            break chain;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    for hop in &chain {
+        println!("  {hop}");
+    }
+
+    println!("\n-- Prometheus text exposition (excerpt) --");
     let prom = lab.testbed.observability_report();
-    for line in prom
-        .lines()
-        .filter(|l| l.contains("fault_recovery") || l.contains("ntcs_reconnects"))
-    {
+    for line in prom.lines().filter(|l| {
+        l.contains("fault_recovery") || l.contains("ntcs_reconnects") || l.contains("ntcs_flow")
+    }) {
         println!("  {line}");
     }
 

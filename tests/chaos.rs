@@ -16,8 +16,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use ntcs::{
-    hop_kind, CircuitHealth, ComMod, MachineType, NetKind, NtcsError, NucleusMetricsSnapshot,
-    Testbed,
+    hop_kind, CircuitHealth, ComMod, FlowSettings, MachineType, NetKind, NtcsError,
+    NucleusMetricsSnapshot, Testbed,
 };
 use ntcs_drts::MonitorService;
 use ntcs_repro::messages::Ask;
@@ -702,4 +702,230 @@ fn traced_journey_reconstructed_from_monitor_records() {
     monitor.stop();
     server.shutdown();
     client.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Scenario 5: slow consumer behind a two-gateway chain. Credit-based flow
+// control must bound every transit queue to roughly one credit window
+// even though the receiver drains at a tenth of the sender's pace;
+// reliable sends must still be delivered-or-dead-lettered; and the
+// monitor's STALL hop records must agree with the flow_stalls counter.
+// ---------------------------------------------------------------------
+
+/// The credit window for scenario 5: small enough that a slow consumer
+/// exhausts it within the first few dozen messages.
+const FLOW_WINDOW_BYTES: u64 = 8192;
+const FLOW_WINDOW_FRAMES: u32 = 32;
+
+/// Headroom over the window allowed in any one transit queue: frame and
+/// batch-container headers, plus the control-lane traffic (acks, credit
+/// grants, naming) that rides outside the credit window by design.
+const FLOW_PEAK_SLACK: u64 = 4096;
+
+/// Like [`spawn_counter`], but dawdles after every delivery — the paper's
+/// "slow consumer" that forces the window shut.
+fn spawn_slow_counter(
+    receiver: ComMod,
+    stop: Arc<AtomicBool>,
+    delivered: Arc<Mutex<HashMap<u32, u32>>>,
+    drain_pause: Duration,
+) -> std::thread::JoinHandle<ComMod> {
+    std::thread::spawn(move || loop {
+        match receiver.receive(Some(Duration::from_millis(200))) {
+            Ok(m) => {
+                if let Ok(a) = m.decode::<Ask>() {
+                    *delivered.lock().entry(a.n).or_insert(0) += 1;
+                }
+                std::thread::sleep(drain_pause);
+            }
+            Err(NtcsError::Timeout) => {
+                if stop.load(Ordering::SeqCst) {
+                    return receiver;
+                }
+            }
+            Err(_) => return receiver,
+        }
+    })
+}
+
+fn slow_consumer_backpressure(seed: u64) {
+    let _serial = SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut rng = Rng(seed);
+    let lab = line_internet(3, NetKind::Mbx).unwrap();
+    lab.testbed.enable_batching(8, BATCH_DELAY);
+    lab.testbed
+        .enable_flow_control(FlowSettings::enabled(FLOW_WINDOW_BYTES, FLOW_WINDOW_FRAMES));
+    // The monitor shares the sender's machine so STALL hop casts stay local.
+    let monitor = MonitorService::spawn(&lab.testbed, lab.edge_machines[0]).unwrap();
+    let sink = lab
+        .testbed
+        .module(lab.edge_machines[2], "flow-sink")
+        .unwrap();
+    let src = lab
+        .testbed
+        .module(lab.edge_machines[0], "flow-src")
+        .unwrap();
+    src.set_hop_monitor(monitor.uadd());
+    let dst = src.locate("flow-sink").unwrap();
+
+    // Seeded pacing: the sender runs flat out (a send costs tens of µs)
+    // while the receiver dawdles for milliseconds per delivery — well under
+    // a tenth of the sender's pace — so without flow control the transit
+    // queues would accumulate nearly everything sent.
+    let drain_pause = Duration::from_micros(rng.range(800, 1600));
+    let stop = Arc::new(AtomicBool::new(false));
+    let delivered = Arc::new(Mutex::new(HashMap::new()));
+    let base = src.metrics();
+    let counter = spawn_slow_counter(sink, Arc::clone(&stop), Arc::clone(&delivered), drain_pause);
+
+    let body = "m".repeat(200);
+    let n_msgs: u32 = 400;
+    let mut traces = Vec::new();
+    let (mut acked, mut dead, mut shed) = (Vec::new(), Vec::new(), Vec::new());
+    for i in 0..n_msgs {
+        let msg = Ask {
+            n: i,
+            body: body.clone(),
+        };
+        // A reliable send is a rendezvous — it blocks on the ack, which the
+        // slow consumer only produces once it catches up — so spacing them
+        // wider than the 32-frame window keeps credit, not the ack wait,
+        // as what paces the unreliable bursts in between.
+        let reliable = i % 50 == 49;
+        let sent = if reliable {
+            src.send_reliable_traced(dst, &msg, Duration::from_secs(5))
+        } else {
+            src.send_traced(dst, &msg)
+        };
+        match sent {
+            Ok((_, trace)) => {
+                traces.push(trace);
+                acked.push(i);
+            }
+            Err(e) => {
+                assert!(
+                    matches!(e, NtcsError::FlowStalled(_) | NtcsError::DeadlineExceeded),
+                    "a flow-limited send may only fail with a typed stall or \
+                     deadline error, got {e}"
+                );
+                if reliable {
+                    dead.push(i);
+                } else {
+                    shed.push(i);
+                }
+            }
+        }
+    }
+    let stalls = src.metrics().flow_stalls - base.flow_stalls;
+
+    // Let the slow consumer finish draining everything that was accepted.
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    while delivered.lock().len() < acked.len() && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    stop.store(true, Ordering::SeqCst);
+    let _sink = counter.join().unwrap();
+
+    // (1) Backpressure bound: no transit queue on any mailbox link — the
+    // sender's uplink, either inter-gateway hop, or the sink's downlink —
+    // ever held more than one credit window of resident bytes.
+    for ((a, b), queued, peak) in lab.testbed.world().mbx_link_backlogs() {
+        assert!(
+            peak <= FLOW_WINDOW_BYTES + FLOW_PEAK_SLACK,
+            "link {a:?}<->{b:?}: peak {peak} B resident exceeds the credit \
+             window ({} B + {} B slack); {queued} B still queued",
+            FLOW_WINDOW_BYTES,
+            FLOW_PEAK_SLACK
+        );
+    }
+
+    // (2) The supervisor's contract under credit starvation: everything
+    // accepted was delivered exactly once, every failed reliable send is
+    // exactly one dead letter, and a stalled-out best-effort send was
+    // never transmitted at all.
+    assert_exactly_once_or_dead_letter(&delivered.lock(), &acked, &dead);
+    let m = src.metrics();
+    assert_eq!(
+        m.dead_letters,
+        dead.len() as u64,
+        "every exhausted reliable send must surface as exactly one dead letter"
+    );
+
+    // (3) The slow consumer genuinely exhausted the window.
+    assert!(
+        stalls >= 1,
+        "a receiver at 1/10 pace must stall the sender at least once"
+    );
+
+    // (4) The reassembled traces agree with the counter: one STALL hop per
+    // flow_stalls bump. Hop casts are asynchronous; poll until they land.
+    let stall_hops = |traces: &[ntcs::TraceId]| -> u64 {
+        traces
+            .iter()
+            .map(|t| {
+                monitor
+                    .trace_chain(t.raw())
+                    .iter()
+                    .filter(|h| h.kind == hop_kind::STALL)
+                    .count() as u64
+            })
+            .sum()
+    };
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let mut seen = stall_hops(&traces);
+    while seen != stalls && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(25));
+        seen = stall_hops(&traces);
+    }
+    if dead.is_empty() && shed.is_empty() {
+        assert_eq!(
+            seen, stalls,
+            "the monitor must hold exactly one STALL hop per flow_stalls bump"
+        );
+    } else {
+        // A failed send's trace id was never returned to us, so its STALL
+        // hops are invisible here — the known traces can only undercount.
+        assert!(
+            seen <= stalls,
+            "STALL hops over known traces ({seen}) exceed flow_stalls ({stalls})"
+        );
+    }
+
+    // (5) The flow counters and gauges reach the testbed-wide export.
+    let prom = lab.testbed.observability_report();
+    assert_valid_prometheus(&prom);
+    assert!(prom.contains("# TYPE ntcs_flow_stalls_total counter"));
+    assert!(prom.contains("ntcs_flow_credits_available"));
+
+    println!(
+        "seed {seed:#x}: sent={}, dead={}, shed={}, stalls={stalls}, peak_link_bytes={}",
+        acked.len(),
+        dead.len(),
+        shed.len(),
+        lab.testbed
+            .world()
+            .mbx_link_backlogs()
+            .iter()
+            .map(|(_, _, p)| *p)
+            .max()
+            .unwrap_or(0),
+    );
+    monitor.stop();
+}
+
+#[test]
+fn slow_consumer_backpressure_seed_a() {
+    slow_consumer_backpressure(SEEDS[0]);
+}
+
+#[test]
+fn slow_consumer_backpressure_seed_b() {
+    slow_consumer_backpressure(SEEDS[1]);
+}
+
+#[test]
+fn slow_consumer_backpressure_seed_c() {
+    slow_consumer_backpressure(SEEDS[2]);
 }

@@ -302,3 +302,61 @@ fn crash_without_replacement_returns_error() {
         "{err}"
     );
 }
+
+/// A relocated module must keep its Nucleus configuration — in particular
+/// credit-based flow control. Before the fix, `relocate_to` rebound with a
+/// default config: the relocated receiver granted no credit, so a
+/// flow-enabled sender starved against it once the initial window spent.
+#[test]
+fn relocation_preserves_flow_control() {
+    use ntcs::FlowSettings;
+
+    let lab = single_net(3, NetKind::Mbx).unwrap();
+    lab.testbed
+        .enable_flow_control(FlowSettings::enabled(1024, 2));
+    let server = lab.testbed.module(lab.machines[1], "flow-reloc").unwrap();
+    let client = lab.testbed.module(lab.machines[2], "flow-src").unwrap();
+    let dst = client.locate("flow-reloc").unwrap();
+
+    client
+        .send(
+            dst,
+            &Ask {
+                n: 0,
+                body: String::new(),
+            },
+        )
+        .unwrap();
+    server.receive(T).unwrap();
+    let server = server
+        .relocate_to(lab.machines[0])
+        .map_err(|e| e.error)
+        .unwrap();
+    assert!(
+        server.nucleus_config().flow.enabled,
+        "relocation must carry flow control to the new binding"
+    );
+
+    // Far more traffic than the 2-frame window: progress now depends on
+    // the relocated receiver granting credit as it drains.
+    let drainer = std::thread::spawn(move || {
+        let mut got = 0u32;
+        while server.receive(Some(Duration::from_millis(500))).is_ok() {
+            got += 1;
+        }
+        got
+    });
+    let body = "x".repeat(200);
+    for i in 1..=20u32 {
+        client
+            .send(
+                dst,
+                &Ask {
+                    n: i,
+                    body: body.clone(),
+                },
+            )
+            .unwrap();
+    }
+    assert_eq!(drainer.join().unwrap(), 20);
+}
