@@ -727,6 +727,14 @@ impl ComMod {
         self.nucleus.circuit_health(dst)
     }
 
+    /// Fault-matrix hook: corrupts the live LCM circuit toward `dst` (the
+    /// LVC is severed underneath a connection entry that still looks
+    /// established), forcing the next send to run the §3.5 recovery.
+    /// Returns `false` when no live circuit toward `dst` exists.
+    pub fn chaos_corrupt_circuit(&self, dst: UAdd) -> bool {
+        self.nucleus.chaos_corrupt_circuit(dst)
+    }
+
     /// The Nucleus configuration this binding runs with — batching, flow
     /// control, retry policy. Relocation carries it to the new machine.
     #[must_use]

@@ -8,6 +8,7 @@
 //! connected networks, §4.1), then bring modules up and let them register
 //! and locate each other.
 
+use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -40,6 +41,19 @@ impl TestbedBuilder {
     pub fn new() -> Self {
         TestbedBuilder {
             world: World::new(),
+            ns_machine: None,
+            replica_machines: Vec::new(),
+        }
+    }
+
+    /// Creates an empty builder over a *virtual-time* world: machine
+    /// clocks read a shared [`ntcs_ipcs::VirtualTime`] that only the
+    /// simulation driver advances. The deterministic-simulation entry
+    /// point (`ntcs-sim`).
+    #[must_use]
+    pub fn new_virtual() -> Self {
+        TestbedBuilder {
+            world: World::new_virtual(),
             ns_machine: None,
             replica_machines: Vec::new(),
         }
@@ -153,6 +167,25 @@ impl TestbedBuilder {
             registry: Arc::new(MetricsRegistry::new()),
             batching: RwLock::new(None),
             flow: RwLock::new(None),
+            config_hook: ConfigHookCell(RwLock::new(None)),
+        })
+    }
+}
+
+/// Per-module [`NucleusConfig`] transform applied by [`Testbed::commod`]
+/// just before binding — how a simulation harness installs short retry
+/// budgets, tight breaker timers, or small flow windows on *every* module
+/// without threading knobs through each call site.
+pub type ConfigHook = Arc<dyn Fn(NucleusConfig) -> NucleusConfig + Send + Sync>;
+
+struct ConfigHookCell(RwLock<Option<ConfigHook>>);
+
+impl fmt::Debug for ConfigHookCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.0.read().is_some() {
+            "ConfigHookCell(set)"
+        } else {
+            "ConfigHookCell(unset)"
         })
     }
 }
@@ -172,6 +205,9 @@ pub struct Testbed {
     /// Credit-based flow control applied to modules bound after
     /// [`Testbed::enable_flow_control`] (`None` = off, the default).
     flow: RwLock<Option<FlowSettings>>,
+    /// Final config transform applied to modules bound after
+    /// [`Testbed::set_config_hook`] (`None` = identity, the default).
+    config_hook: ConfigHookCell,
 }
 
 impl Testbed {
@@ -225,6 +261,9 @@ impl Testbed {
         if let Some(settings) = *self.flow.read() {
             config = config.with_flow_control(settings);
         }
+        if let Some(hook) = self.config_hook.0.read().as_ref() {
+            config = hook(config);
+        }
         let commod = ComMod::bind_with_config(&self.world, config, self.ns_servers.clone())?;
         self.registry.register(commod.report_source());
         Ok(commod)
@@ -249,6 +288,14 @@ impl Testbed {
     /// any module that will exchange bulk traffic.
     pub fn enable_flow_control(&self, settings: FlowSettings) {
         *self.flow.write() = Some(settings);
+    }
+
+    /// Installs (or clears) the [`ConfigHook`] applied as the *last*
+    /// transform to every module bound after this call — after the
+    /// batching and flow-control overrides, so a simulation harness has
+    /// the final word on retry budgets, breaker timers, and windows.
+    pub fn set_config_hook(&self, hook: Option<ConfigHook>) {
+        *self.config_hook.0.write() = hook;
     }
 
     /// Binds a ComMod and registers it under `name` — the normal way a

@@ -16,7 +16,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use ntcs::{ComMod, DrtsHooks, MonitorEvent, SimClock, UAdd};
 use parking_lot::Mutex;
@@ -31,7 +31,10 @@ pub struct DrtsRuntime {
     time_server: Option<UAdd>,
     monitor: Option<UAdd>,
     sync_interval: Duration,
-    last_sync: Mutex<Option<Instant>>,
+    /// Reference microseconds (from the machine clock's timebase) of the
+    /// last successful time-service exchange — *not* wall time, so a
+    /// virtual-time run decides staleness purely from simulated time.
+    last_sync: Mutex<Option<i64>>,
     /// Re-entrancy guard: true while the hooks themselves are talking.
     busy: AtomicBool,
     /// Time-service exchanges performed (experiment E8 metric).
@@ -95,15 +98,16 @@ impl DrtsHooks for DrtsRuntime {
         if let Some(server) = self.time_server {
             // Only sync when stale, and never while the hooks themselves are
             // talking (the §6.1 recursion cut-off).
+            let interval_us = i64::try_from(self.sync_interval.as_micros()).unwrap_or(i64::MAX);
             let stale = self
                 .last_sync
                 .lock()
-                .is_none_or(|t| t.elapsed() >= self.sync_interval);
+                .is_none_or(|t| self.clock.true_us().saturating_sub(t) >= interval_us);
             if stale && !self.busy.swap(true, Ordering::SeqCst) {
                 if let Some(commod) = self.commod.upgrade() {
                     if TimeService::sync(&commod, &self.clock, server, 1).is_ok() {
                         self.time_exchanges.fetch_add(1, Ordering::Relaxed);
-                        *self.last_sync.lock() = Some(Instant::now());
+                        *self.last_sync.lock() = Some(self.clock.true_us());
                     }
                 }
                 self.busy.store(false, Ordering::SeqCst);

@@ -8,10 +8,60 @@
 //! way the paper's service did, and the corrected timestamps feed the
 //! monitor — which is what makes the §6.1 recursion scenario real.
 
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::RwLock;
+
+/// A shared, manually advanced timebase: the deterministic-simulation
+/// replacement for `Instant`. All machines of a virtual [`crate::World`]
+/// read the same microsecond counter, and only the simulation driver
+/// advances it — so every timestamp a run records (hop records, breaker
+/// transitions, histogram samples) is a pure function of the driver's
+/// schedule, not of the host's wall clock.
+///
+/// Threads still *block* on real time (a parked thread cannot advance a
+/// clock nobody is reading); virtual time governs what the system
+/// *records and decides*, which is what replays compare.
+#[derive(Debug, Default)]
+pub struct VirtualTime {
+    us: AtomicI64,
+}
+
+impl VirtualTime {
+    /// A timebase at microsecond 0.
+    #[must_use]
+    pub fn new() -> Self {
+        VirtualTime::default()
+    }
+
+    /// The current virtual microsecond.
+    #[must_use]
+    pub fn now_us(&self) -> i64 {
+        self.us.load(Ordering::SeqCst)
+    }
+
+    /// Advances the timebase by `delta_us` (clamped at zero — virtual time
+    /// never runs backwards).
+    pub fn advance_us(&self, delta_us: i64) {
+        self.us.fetch_add(delta_us.max(0), Ordering::SeqCst);
+    }
+
+    /// Jumps the timebase to an absolute microsecond, if later than now.
+    pub fn advance_to_us(&self, us: i64) {
+        self.us.fetch_max(us, Ordering::SeqCst);
+    }
+}
+
+/// What a [`SimClock`] measures elapsed time against.
+#[derive(Debug, Clone)]
+enum Timebase {
+    /// Real monotonic time from a shared epoch (the classic testbed).
+    Real(Instant),
+    /// A shared [`VirtualTime`] advanced by a simulation driver.
+    Virtual(Arc<VirtualTime>),
+}
 
 #[derive(Debug)]
 struct ClockState {
@@ -28,7 +78,7 @@ struct ClockState {
 /// Cloning yields a handle to the same clock.
 #[derive(Debug, Clone)]
 pub struct SimClock {
-    epoch: Instant,
+    timebase: Timebase,
     state: Arc<RwLock<ClockState>>,
 }
 
@@ -36,8 +86,19 @@ impl SimClock {
     /// Creates a clock over the testbed epoch with the given skew.
     #[must_use]
     pub fn new(epoch: Instant, offset_us: i64, drift_ppm: f64) -> Self {
+        Self::with_timebase(Timebase::Real(epoch), offset_us, drift_ppm)
+    }
+
+    /// Creates a clock over a shared virtual timebase with the given skew
+    /// (the deterministic-simulation constructor).
+    #[must_use]
+    pub fn new_virtual(time: Arc<VirtualTime>, offset_us: i64, drift_ppm: f64) -> Self {
+        Self::with_timebase(Timebase::Virtual(time), offset_us, drift_ppm)
+    }
+
+    fn with_timebase(timebase: Timebase, offset_us: i64, drift_ppm: f64) -> Self {
         SimClock {
-            epoch,
+            timebase,
             state: Arc::new(RwLock::new(ClockState {
                 offset_us,
                 drift_ppm,
@@ -51,7 +112,10 @@ impl SimClock {
     /// time-service *server*, which is the reference by definition.
     #[must_use]
     pub fn true_us(&self) -> i64 {
-        i64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(i64::MAX)
+        match &self.timebase {
+            Timebase::Real(epoch) => i64::try_from(epoch.elapsed().as_micros()).unwrap_or(i64::MAX),
+            Timebase::Virtual(t) => t.now_us(),
+        }
     }
 
     /// The machine's *uncorrected* local reading in microseconds: true time
@@ -137,6 +201,39 @@ mod tests {
         let c = SimClock::new(Instant::now() - Duration::from_secs(10), 0, 1000.0);
         // 1000 ppm over ≥10 s ⇒ ≥ 10 ms of drift.
         assert!(c.raw_us() - c.true_us() >= 9_000);
+    }
+
+    #[test]
+    fn virtual_clock_only_moves_when_advanced() {
+        let vt = Arc::new(VirtualTime::new());
+        let c = SimClock::new_virtual(Arc::clone(&vt), 0, 0.0);
+        assert_eq!(c.true_us(), 0);
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(
+            c.true_us(),
+            0,
+            "wall time must not leak into a virtual clock"
+        );
+        vt.advance_us(250_000);
+        assert_eq!(c.true_us(), 250_000);
+        assert_eq!(c.now_us(), 250_000);
+        vt.advance_us(-5); // clamped: never backwards
+        assert_eq!(c.true_us(), 250_000);
+        vt.advance_to_us(100); // earlier absolute jump is a no-op
+        assert_eq!(c.true_us(), 250_000);
+        vt.advance_to_us(300_000);
+        assert_eq!(c.true_us(), 300_000);
+    }
+
+    #[test]
+    fn virtual_clock_applies_skew_and_correction() {
+        let vt = Arc::new(VirtualTime::new());
+        let c = SimClock::new_virtual(Arc::clone(&vt), 1_000, 0.0);
+        vt.advance_us(10_000);
+        assert_eq!(c.raw_us(), 11_000);
+        c.set_correction_us(-1_000);
+        assert_eq!(c.now_us(), 10_000);
+        assert_eq!(c.error_us(), 0);
     }
 
     #[test]

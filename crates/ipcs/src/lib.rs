@@ -37,6 +37,6 @@ pub mod tcp;
 pub mod world;
 
 pub use channel::{IpcsChannel, IpcsListener};
-pub use clock::SimClock;
+pub use clock::{SimClock, VirtualTime};
 pub use pool::{BufferPool, PoolStats};
 pub use world::{MachineInfo, NetKind, NetworkInfo, World};

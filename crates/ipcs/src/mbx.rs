@@ -35,7 +35,29 @@ pub struct LinkConditions {
     /// Deterministic loss injection: this many upcoming frames are dropped
     /// unconditionally, before the probabilistic check.
     pub drop_next: AtomicU32,
+    /// Deterministic duplication: this many upcoming frames are delivered
+    /// twice, back to back.
+    pub dup_next: AtomicU32,
+    /// Deterministic reordering: this many times, a frame is held back and
+    /// delivered after its successor on the same link direction.
+    pub reorder_next: AtomicU32,
     rng: Mutex<SmallRng>,
+}
+
+/// Atomically consumes one unit of an armed counter; `false` once spent.
+fn take_armed(counter: &AtomicU32) -> bool {
+    loop {
+        let n = counter.load(Ordering::Relaxed);
+        if n == 0 {
+            return false;
+        }
+        if counter
+            .compare_exchange(n, n - 1, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            return true;
+        }
+    }
 }
 
 impl LinkConditions {
@@ -46,6 +68,8 @@ impl LinkConditions {
             latency_us: AtomicU64::new(0),
             drop_permille: AtomicU32::new(0),
             drop_next: AtomicU32::new(0),
+            dup_next: AtomicU32::new(0),
+            reorder_next: AtomicU32::new(0),
             rng: Mutex::new(SmallRng::seed_from_u64(seed)),
         }
     }
@@ -53,21 +77,21 @@ impl LinkConditions {
     /// Whether the frame about to be sent should vanish: consumes one armed
     /// deterministic drop if any, else rolls against the loss probability.
     pub(crate) fn should_drop(&self) -> bool {
-        loop {
-            let n = self.drop_next.load(Ordering::Relaxed);
-            if n == 0 {
-                break;
-            }
-            if self
-                .drop_next
-                .compare_exchange(n, n - 1, Ordering::Relaxed, Ordering::Relaxed)
-                .is_ok()
-            {
-                return true;
-            }
+        if take_armed(&self.drop_next) {
+            return true;
         }
         let d = self.drop_permille.load(Ordering::Relaxed);
         d != 0 && self.rng.lock().gen_range(0..1000) < d
+    }
+
+    /// Consumes one armed duplication, if any.
+    pub(crate) fn should_dup(&self) -> bool {
+        take_armed(&self.dup_next)
+    }
+
+    /// Consumes one armed hold-back (reordering), if any.
+    pub(crate) fn should_hold(&self) -> bool {
+        take_armed(&self.reorder_next)
     }
 
     fn latency(&self) -> Duration {
@@ -125,6 +149,11 @@ pub struct MbxChannel {
     rx: Receiver<TimedFrame>,
     shared: Arc<LinkShared>,
     label: String,
+    /// Reorder-injection hold-back slot: an armed `reorder_next` stashes a
+    /// frame here so its successor overtakes it (adjacent-pair swap). A held
+    /// frame with no successor is lost when the link closes, like any frame
+    /// in flight at close.
+    held: Mutex<Option<TimedFrame>>,
 }
 
 impl std::fmt::Debug for MbxChannel {
@@ -152,23 +181,12 @@ impl MbxChannel {
     pub(crate) fn shared_close_handle(&self) -> Arc<LinkShared> {
         Arc::clone(&self.shared)
     }
-}
 
-impl IpcsChannel for MbxChannel {
-    fn send(&self, frame: Bytes) -> Result<()> {
-        if self.shared.closed.load(Ordering::SeqCst) {
-            return Err(NtcsError::ConnectionClosed);
-        }
-        if self.shared.conditions.should_drop() {
-            // Silent loss, as on a flaky wire.
-            return Ok(());
-        }
-        let deliver_at = Instant::now() + self.shared.conditions.latency();
-        let n = frame.len() as u64;
-        let mut pending = TimedFrame {
-            deliver_at,
-            data: frame,
-        };
+    /// Queues one frame on this direction's bounded lane, blocking while
+    /// full but observing the close flag so a severed link frees the writer
+    /// instead of stranding it.
+    fn enqueue(&self, mut pending: TimedFrame) -> Result<()> {
+        let n = pending.data.len() as u64;
         // Account before enqueueing: the receiver may pop the frame (and
         // decrement) the instant it lands, so incrementing afterwards would
         // race the counter below zero. A frame a blocked sender holds is
@@ -176,8 +194,6 @@ impl IpcsChannel for MbxChannel {
         // honest reading.
         let queued = self.shared.queued_bytes.fetch_add(n, Ordering::Relaxed) + n;
         self.shared.peak_bytes.fetch_max(queued, Ordering::Relaxed);
-        // Bounded queue: block while full, but keep observing the close
-        // flag so a severed link frees the writer instead of stranding it.
         loop {
             match self.tx.try_send(pending) {
                 Ok(()) => return Ok(()),
@@ -193,6 +209,47 @@ impl IpcsChannel for MbxChannel {
         }
         self.shared.queued_bytes.fetch_sub(n, Ordering::Relaxed);
         Err(NtcsError::ConnectionClosed)
+    }
+}
+
+impl IpcsChannel for MbxChannel {
+    fn send(&self, frame: Bytes) -> Result<()> {
+        if self.shared.closed.load(Ordering::SeqCst) {
+            return Err(NtcsError::ConnectionClosed);
+        }
+        if self.shared.conditions.should_drop() {
+            // Silent loss, as on a flaky wire.
+            return Ok(());
+        }
+        let pending = TimedFrame {
+            deliver_at: Instant::now() + self.shared.conditions.latency(),
+            data: frame,
+        };
+        // Reorder injection: hold this frame back so the *next* frame on
+        // this direction overtakes it (adjacent-pair swap, the classic
+        // datagram reordering). Only armed when the hold slot is free.
+        let dup = self.shared.conditions.should_dup();
+        if !dup && self.shared.conditions.should_hold() {
+            let mut held = self.held.lock();
+            if held.is_none() {
+                *held = Some(pending);
+                return Ok(());
+            }
+        }
+        // Duplication injection: the wire delivers the frame twice.
+        let copy = dup.then(|| TimedFrame {
+            deliver_at: pending.deliver_at,
+            data: pending.data.clone(),
+        });
+        self.enqueue(pending)?;
+        if let Some(copy) = copy {
+            self.enqueue(copy)?;
+        }
+        // Release a previously held frame *after* its successor: the swap.
+        if let Some(held) = self.held.lock().take() {
+            self.enqueue(held)?;
+        }
+        Ok(())
     }
 
     fn recv(&self, timeout: Option<Duration>) -> Result<Bytes> {
@@ -423,12 +480,14 @@ impl MbxIpcs {
             rx: b_rx,
             shared: Arc::clone(&shared),
             label: format!("mbx:{network}:{path}"),
+            held: Mutex::new(None),
         };
         let server = MbxChannel {
             tx: b_tx,
             rx: a_rx,
             shared,
             label: format!("mbx:{network}:client@{from}"),
+            held: Mutex::new(None),
         };
         entry
             .accept_tx

@@ -16,7 +16,7 @@ use ntcs_addr::{MachineId, MachineType, NetworkId, NtcsError, PhysAddr, Result};
 use parking_lot::{Mutex, RwLock};
 
 use crate::channel::{IpcsChannel, IpcsListener};
-use crate::clock::SimClock;
+use crate::clock::{SimClock, VirtualTime};
 use crate::mbx::{self, LinkCloseHandle, LinkConditions, MbxIpcs};
 use crate::pool::BufferPool;
 use crate::tcp::{tcp_connect, TcpIpcsListener, TcpShared};
@@ -80,6 +80,9 @@ struct MachineState {
 
 struct WorldInner {
     epoch: Instant,
+    /// When set, every machine clock reads this shared timebase instead of
+    /// wall time — the deterministic-simulation mode.
+    virtual_time: Option<Arc<VirtualTime>>,
     networks: RwLock<Vec<NetworkState>>,
     machines: RwLock<Vec<Arc<MachineState>>>,
     mbx: MbxIpcs,
@@ -128,9 +131,25 @@ impl World {
     /// Creates an empty world.
     #[must_use]
     pub fn new() -> Self {
+        Self::build(None)
+    }
+
+    /// Creates an empty world on a shared [`VirtualTime`] timebase: every
+    /// machine clock added to it reads simulated microseconds that advance
+    /// only when the simulation driver says so. Timestamps recorded under
+    /// this world (hop records, breaker transitions, histograms) are a
+    /// pure function of the driver's schedule — the substrate for
+    /// same-seed replays.
+    #[must_use]
+    pub fn new_virtual() -> Self {
+        Self::build(Some(Arc::new(VirtualTime::new())))
+    }
+
+    fn build(virtual_time: Option<Arc<VirtualTime>>) -> Self {
         World {
             inner: Arc::new(WorldInner {
                 epoch: Instant::now(),
+                virtual_time,
                 networks: RwLock::new(Vec::new()),
                 machines: RwLock::new(Vec::new()),
                 mbx: MbxIpcs::new(),
@@ -147,6 +166,13 @@ impl World {
     #[must_use]
     pub fn epoch(&self) -> Instant {
         self.inner.epoch
+    }
+
+    /// The shared virtual timebase, when this is a [`World::new_virtual`]
+    /// world (`None` for wall-clock worlds).
+    #[must_use]
+    pub fn virtual_time(&self) -> Option<Arc<VirtualTime>> {
+        self.inner.virtual_time.clone()
     }
 
     /// Adds a network backed by the given IPCS kind.
@@ -218,7 +244,10 @@ impl World {
                 networks: networks.to_vec(),
             },
             alive: AtomicBool::new(true),
-            clock: SimClock::new(self.inner.epoch, offset_us, drift_ppm),
+            clock: match &self.inner.virtual_time {
+                Some(t) => SimClock::new_virtual(Arc::clone(t), offset_us, drift_ppm),
+                None => SimClock::new(self.inner.epoch, offset_us, drift_ppm),
+            },
             mbx_links: Mutex::new(Vec::new()),
             tcp_links: Mutex::new(Vec::new()),
             listeners: Mutex::new(Vec::new()),
@@ -532,6 +561,48 @@ impl World {
         }
     }
 
+    /// Installs a *group* partition — the split-brain generalisation of
+    /// [`World::set_partition`]. Machines in different groups are
+    /// pairwise partitioned (existing links severed, new connections
+    /// refused); machines in the same group still talk. Machines in no
+    /// group are untouched. Installing a group partition replaces nothing:
+    /// it composes with any pairwise partitions already in force.
+    ///
+    /// `set_partition_groups(&[&[a, b], &[c, d]])` yields {A,B} vs {C,D}:
+    /// a↮c, a↮d, b↮c, b↮d, while a↔b and c↔d keep flowing.
+    pub fn set_partition_groups(&self, groups: &[&[MachineId]]) {
+        for (i, ga) in groups.iter().enumerate() {
+            for gb in &groups[i + 1..] {
+                for &a in ga.iter() {
+                    for &b in gb.iter() {
+                        self.set_partition(a, b, true);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Heals *every* partition currently in force — pairwise or
+    /// group-installed.
+    pub fn heal_all_partitions(&self) {
+        let pairs: Vec<(u32, u32)> = self.inner.partitions.read().iter().copied().collect();
+        for (a, b) in pairs {
+            self.set_partition(MachineId(a), MachineId(b), false);
+        }
+    }
+
+    /// The partitioned machine pairs currently in force (normalized, in
+    /// no particular order) — a chaos-harness observability hook.
+    #[must_use]
+    pub fn partitioned_pairs(&self) -> Vec<(MachineId, MachineId)> {
+        self.inner
+            .partitions
+            .read()
+            .iter()
+            .map(|&(a, b)| (MachineId(a), MachineId(b)))
+            .collect()
+    }
+
     /// Crashes a machine: all its listeners and links fail, and new
     /// connections to or from it are refused. This is the paper's "module
     /// death … detected by the ND-layer in any connected module" (§4.3),
@@ -604,6 +675,35 @@ impl World {
     pub fn drop_next_frames(&self, n: NetworkId, count: u32) -> Result<()> {
         let (_, c) = self.network_state(n)?;
         c.drop_next.store(count, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Arms deterministic *duplication* on an MBX network: each of the next
+    /// `count` frames sent on it is delivered twice, back to back — the
+    /// fault-matrix probe for duplicated control frames (credit grants,
+    /// delivery acks) whose handlers must be idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NtcsError::InvalidArgument`] for an unknown network.
+    pub fn dup_next_frames(&self, n: NetworkId, count: u32) -> Result<()> {
+        let (_, c) = self.network_state(n)?;
+        c.dup_next.store(count, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Arms deterministic *reordering* on an MBX network: `count` times, a
+    /// frame is held back and delivered after its successor on the same
+    /// link — adjacent-pair swaps, the fault-matrix probe for control
+    /// frames arriving out of order. A held frame with no successor is
+    /// lost when its link closes, like any frame in flight at close.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NtcsError::InvalidArgument`] for an unknown network.
+    pub fn reorder_next_frames(&self, n: NetworkId, count: u32) -> Result<()> {
+        let (_, c) = self.network_state(n)?;
+        c.reorder_next.store(count, Ordering::Relaxed);
         Ok(())
     }
 }
@@ -812,5 +912,86 @@ mod tests {
             Err(NtcsError::Timeout)
         ));
         assert!(w.drop_next_frames(NetworkId(77), 1).is_err());
+    }
+
+    #[test]
+    fn dup_next_frames_delivers_twice_then_disarms() {
+        let (w, a, b, net) = two_machine_world(NetKind::Mbx);
+        let (addr, listener) = w.create_listener(b, net, "svc").unwrap();
+        let chan = w.connect(a, &addr).unwrap();
+        let server = listener.accept(Some(Duration::from_secs(2))).unwrap();
+        w.dup_next_frames(net, 1).unwrap();
+        chan.send(Bytes::from_static(b"dup")).unwrap();
+        chan.send(Bytes::from_static(b"tail")).unwrap();
+        let t = Some(Duration::from_secs(2));
+        assert_eq!(server.recv(t).unwrap(), Bytes::from_static(b"dup"));
+        assert_eq!(server.recv(t).unwrap(), Bytes::from_static(b"dup"));
+        assert_eq!(server.recv(t).unwrap(), Bytes::from_static(b"tail"));
+        assert!(matches!(
+            server.recv(Some(Duration::from_millis(50))),
+            Err(NtcsError::Timeout)
+        ));
+    }
+
+    #[test]
+    fn reorder_next_frames_swaps_adjacent_pair() {
+        let (w, a, b, net) = two_machine_world(NetKind::Mbx);
+        let (addr, listener) = w.create_listener(b, net, "svc").unwrap();
+        let chan = w.connect(a, &addr).unwrap();
+        let server = listener.accept(Some(Duration::from_secs(2))).unwrap();
+        w.reorder_next_frames(net, 1).unwrap();
+        chan.send(Bytes::from_static(b"first")).unwrap();
+        chan.send(Bytes::from_static(b"second")).unwrap();
+        chan.send(Bytes::from_static(b"third")).unwrap();
+        let t = Some(Duration::from_secs(2));
+        // The armed swap holds "first" until "second" passes it.
+        assert_eq!(server.recv(t).unwrap(), Bytes::from_static(b"second"));
+        assert_eq!(server.recv(t).unwrap(), Bytes::from_static(b"first"));
+        assert_eq!(server.recv(t).unwrap(), Bytes::from_static(b"third"));
+    }
+
+    #[test]
+    fn partition_groups_split_brain_and_heal_all() {
+        let w = World::new();
+        let net = w.add_network(NetKind::Mbx, "lab");
+        let a = w.add_machine(MachineType::Vax, "a", &[net]).unwrap();
+        let b = w.add_machine(MachineType::Sun, "b", &[net]).unwrap();
+        let c = w.add_machine(MachineType::Apollo, "c", &[net]).unwrap();
+        let d = w.add_machine(MachineType::Vax, "d", &[net]).unwrap();
+        w.set_partition_groups(&[&[a, b], &[c, d]]);
+        // Cross-group pairs are severed...
+        for (x, y) in [(a, c), (a, d), (b, c), (b, d)] {
+            assert!(w.is_partitioned(x, y), "{x} vs {y} should be cut");
+        }
+        // ...intra-group pairs still flow.
+        assert!(!w.is_partitioned(a, b));
+        assert!(!w.is_partitioned(c, d));
+        ping(&w, a, b, net).unwrap();
+        ping(&w, c, d, net).unwrap();
+        let (addr, _l) = w.create_listener(c, net, "far").unwrap();
+        assert!(w.connect(a, &addr).is_err());
+        assert_eq!(w.partitioned_pairs().len(), 4);
+        w.heal_all_partitions();
+        assert!(w.partitioned_pairs().is_empty());
+        ping(&w, a, c, net).unwrap();
+    }
+
+    #[test]
+    fn virtual_world_clocks_share_the_timebase() {
+        let w = World::new_virtual();
+        let net = w.add_network(NetKind::Mbx, "lab");
+        let a = w.add_machine(MachineType::Vax, "a", &[net]).unwrap();
+        let b = w
+            .add_machine_with_skew(MachineType::Sun, "b", &[net], 7_000, 0.0)
+            .unwrap();
+        let vt = w
+            .virtual_time()
+            .expect("virtual world exposes its timebase");
+        assert_eq!(w.clock(a).unwrap().true_us(), 0);
+        vt.advance_us(1_000_000);
+        assert_eq!(w.clock(a).unwrap().true_us(), 1_000_000);
+        assert_eq!(w.clock(b).unwrap().raw_us(), 1_007_000);
+        // A real-time world exposes no virtual timebase.
+        assert!(World::new().virtual_time().is_none());
     }
 }

@@ -274,7 +274,7 @@ impl Nucleus {
         }
         let inner = Arc::new(Inner {
             gauge: RecursionGauge::new(config.max_recursion_depth),
-            breakers: BreakerRegistry::new(config.breaker.clone()),
+            breakers: BreakerRegistry::new(config.breaker.clone(), clock.clone()),
             retx: RetransmissionQueue::new(config.retransmit_queue_cap),
             dead_letter: RwLock::new(None),
             clock,
@@ -376,6 +376,24 @@ impl Nucleus {
     #[must_use]
     pub fn retransmit_depth(&self) -> usize {
         self.inner.retx.depth()
+    }
+
+    /// Fault-matrix hook: *corrupts* the live circuit toward `peer` by
+    /// severing its LVC underneath an LCM connection entry that still
+    /// looks established. The next send down that circuit observes the
+    /// corrupt state and must run the §3.5 recovery (reconnect via cached
+    /// addresses, then re-resolve) — the "corrupted LCM circuit state"
+    /// cell of the fault matrix. Returns `false` when no live circuit
+    /// toward `peer` exists (nothing to corrupt).
+    pub fn chaos_corrupt_circuit(&self, peer: UAdd) -> bool {
+        let st = self.inner.state.lock();
+        if let Some(&conn_id) = st.by_peer.get(&peer) {
+            if let Some(e) = st.conns.get(&conn_id) {
+                e.lvc.close();
+                return true;
+            }
+        }
+        false
     }
 
     /// This module's machine type.
@@ -650,7 +668,7 @@ impl Nucleus {
         let mut schedule = policy.schedule();
         // Claim a retransmission-queue slot (backpressure bound); freed on
         // every exit path by the RAII drop.
-        let slot = self.inner.retx.register(msg_id, deadline);
+        let slot = self.inner.retx.register(msg_id, timeout);
         let _slot = match slot {
             Ok(s) => s,
             Err(e) => {

@@ -33,6 +33,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use ntcs_addr::{NtcsError, Result, UAdd};
+use ntcs_ipcs::SimClock;
 
 /// Externally visible health of a peer circuit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,7 +81,7 @@ impl Default for BreakerConfig {
 #[derive(Debug, Clone, Copy)]
 enum BreakerState {
     Closed { failures: u32 },
-    Open { since: Instant },
+    Open { since_us: i64 },
     HalfOpen,
 }
 
@@ -101,14 +102,20 @@ impl CircuitBreaker {
         }
     }
 
+    fn half_open_after_us(&self) -> i64 {
+        i64::try_from(self.config.half_open_after.as_micros()).unwrap_or(i64::MAX)
+    }
+
     /// Whether a send may proceed now. An open breaker whose half-open
     /// timer has elapsed transitions to `HalfOpen` and admits the call
-    /// as a probe.
-    pub fn allow(&mut self, now: Instant) -> bool {
+    /// as a probe. `now_us` is the machine clock's reading — virtual in
+    /// a deterministic simulation, wall-derived on the real testbed —
+    /// so breaker timelines replay identically under the same seed.
+    pub fn allow(&mut self, now_us: i64) -> bool {
         match self.state {
             BreakerState::Closed { .. } | BreakerState::HalfOpen => true,
-            BreakerState::Open { since } => {
-                if now.duration_since(since) >= self.config.half_open_after {
+            BreakerState::Open { since_us } => {
+                if now_us.saturating_sub(since_us) >= self.half_open_after_us() {
                     self.state = BreakerState::HalfOpen;
                     true
                 } else {
@@ -131,12 +138,12 @@ impl CircuitBreaker {
 
     /// Records a delivery failure. Returns `true` when this call
     /// tripped the breaker open (including a failed half-open probe).
-    pub fn record_failure(&mut self, now: Instant) -> bool {
+    pub fn record_failure(&mut self, now_us: i64) -> bool {
         match self.state {
             BreakerState::Closed { failures } => {
                 let failures = failures + 1;
                 if failures >= self.config.trip_after.max(1) {
-                    self.state = BreakerState::Open { since: now };
+                    self.state = BreakerState::Open { since_us: now_us };
                     true
                 } else {
                     self.state = BreakerState::Closed { failures };
@@ -144,7 +151,7 @@ impl CircuitBreaker {
                 }
             }
             BreakerState::HalfOpen => {
-                self.state = BreakerState::Open { since: now };
+                self.state = BreakerState::Open { since_us: now_us };
                 true
             }
             BreakerState::Open { .. } => false,
@@ -153,15 +160,15 @@ impl CircuitBreaker {
 
     /// The health projection of the current state.
     #[must_use]
-    pub fn health(&self, now: Instant) -> CircuitHealth {
+    pub fn health(&self, now_us: i64) -> CircuitHealth {
         match self.state {
             BreakerState::Closed { failures: 0 } => CircuitHealth::Healthy,
             BreakerState::Closed { .. } | BreakerState::HalfOpen => CircuitHealth::Degraded,
-            BreakerState::Open { since } => {
+            BreakerState::Open { since_us } => {
                 // An open breaker whose probe window has elapsed is
                 // eligible to recover: report Degraded so observers see
                 // the distinction without mutating state.
-                if now.duration_since(since) >= self.config.half_open_after {
+                if now_us.saturating_sub(since_us) >= self.half_open_after_us() {
                     CircuitHealth::Degraded
                 } else {
                     CircuitHealth::Broken
@@ -172,19 +179,34 @@ impl CircuitBreaker {
 }
 
 /// All breakers for one nucleus, keyed by peer UAdd.
+///
+/// Time comes from the machine's [`SimClock`], not from `Instant::now()`:
+/// under a virtual-time world the whole breaker timeline (trip, half-open
+/// eligibility, recovery) is then a pure function of the driver's
+/// schedule, which is what makes same-seed replays bit-identical.
 pub struct BreakerRegistry {
     config: BreakerConfig,
+    clock: SimClock,
     map: Mutex<HashMap<u64, CircuitBreaker>>,
 }
 
 impl BreakerRegistry {
-    /// An empty registry; breakers materialise per peer on first use.
+    /// An empty registry reading `clock`; breakers materialise per peer
+    /// on first use.
     #[must_use]
-    pub fn new(config: BreakerConfig) -> Self {
+    pub fn new(config: BreakerConfig, clock: SimClock) -> Self {
         BreakerRegistry {
             config,
+            clock,
             map: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The registry's time source: reference microseconds, immune to the
+    /// DRTS correction jumping the *local* reading around — breaker
+    /// intervals must never run backwards.
+    fn now_us(&self) -> i64 {
+        self.clock.true_us()
     }
 
     fn with<R>(&self, peer: UAdd, f: impl FnOnce(&mut CircuitBreaker) -> R) -> R {
@@ -198,7 +220,8 @@ impl BreakerRegistry {
     /// Gate a send: `Err(CircuitBroken)` while the breaker is open and
     /// the half-open timer has not elapsed.
     pub fn check(&self, peer: UAdd) -> Result<()> {
-        if self.with(peer, |b| b.allow(Instant::now())) {
+        let now_us = self.now_us();
+        if self.with(peer, |b| b.allow(now_us)) {
             Ok(())
         } else {
             Err(NtcsError::CircuitBroken(peer.raw()))
@@ -212,27 +235,29 @@ impl BreakerRegistry {
 
     /// Records a failure; returns `true` when this tripped the breaker.
     pub fn record_failure(&self, peer: UAdd) -> bool {
-        self.with(peer, |b| b.record_failure(Instant::now()))
+        let now_us = self.now_us();
+        self.with(peer, |b| b.record_failure(now_us))
     }
 
     /// Health of the circuit toward `peer` (Healthy when no traffic has
     /// ever been recorded).
     #[must_use]
     pub fn health(&self, peer: UAdd) -> CircuitHealth {
+        let now_us = self.now_us();
         let map = self.map.lock().unwrap_or_else(|e| e.into_inner());
         map.get(&peer.raw())
-            .map_or(CircuitHealth::Healthy, |b| b.health(Instant::now()))
+            .map_or(CircuitHealth::Healthy, |b| b.health(now_us))
     }
 
     /// Health of every peer circuit that has ever carried traffic, sorted
     /// by peer address for stable rendering in observability reports.
     #[must_use]
     pub fn all_health(&self) -> Vec<(UAdd, CircuitHealth)> {
+        let now_us = self.now_us();
         let map = self.map.lock().unwrap_or_else(|e| e.into_inner());
-        let now = Instant::now();
         let mut all: Vec<(UAdd, CircuitHealth)> = map
             .iter()
-            .map(|(&raw, b)| (UAdd::from_raw(raw), b.health(now)))
+            .map(|(&raw, b)| (UAdd::from_raw(raw), b.health(now_us)))
             .collect();
         all.sort_by_key(|(peer, _)| peer.raw());
         all
@@ -298,13 +323,20 @@ impl RetransmissionQueue {
             .len()
     }
 
-    /// Claims a slot for `msg_id`, blocking while the queue is full.
+    /// Claims a slot for `msg_id`, blocking up to `timeout` while the
+    /// queue is full.
+    ///
+    /// The wait is measured in *wall* time even under a virtual-time
+    /// world: blocking is a liveness concern (a parked thread cannot
+    /// advance a clock nobody reads), and nothing the system records
+    /// derives from how long the wait actually took.
     ///
     /// # Errors
     ///
-    /// [`NtcsError::DeadlineExceeded`] when `deadline` passes before a
+    /// [`NtcsError::DeadlineExceeded`] when `timeout` passes before a
     /// slot frees up.
-    pub fn register(&self, msg_id: u64, deadline: Instant) -> Result<RetxSlot> {
+    pub fn register(&self, msg_id: u64, timeout: Duration) -> Result<RetxSlot> {
+        let deadline = Instant::now() + timeout;
         let mut in_flight = self
             .inner
             .in_flight
@@ -355,6 +387,7 @@ impl Drop for RetxSlot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ntcs_ipcs::VirtualTime;
 
     fn cfg() -> BreakerConfig {
         BreakerConfig {
@@ -366,37 +399,34 @@ mod tests {
     #[test]
     fn breaker_trips_after_consecutive_failures() {
         let mut b = CircuitBreaker::new(cfg());
-        let now = Instant::now();
-        assert_eq!(b.health(now), CircuitHealth::Healthy);
-        assert!(!b.record_failure(now));
-        assert_eq!(b.health(now), CircuitHealth::Degraded);
-        assert!(!b.record_failure(now));
-        assert!(b.record_failure(now), "third consecutive failure must trip");
-        assert_eq!(b.health(now), CircuitHealth::Broken);
-        assert!(!b.allow(now));
+        assert_eq!(b.health(0), CircuitHealth::Healthy);
+        assert!(!b.record_failure(0));
+        assert_eq!(b.health(0), CircuitHealth::Degraded);
+        assert!(!b.record_failure(0));
+        assert!(b.record_failure(0), "third consecutive failure must trip");
+        assert_eq!(b.health(0), CircuitHealth::Broken);
+        assert!(!b.allow(0));
     }
 
     #[test]
     fn success_resets_failure_count() {
         let mut b = CircuitBreaker::new(cfg());
-        let now = Instant::now();
-        b.record_failure(now);
-        b.record_failure(now);
+        b.record_failure(0);
+        b.record_failure(0);
         assert!(!b.record_success());
-        b.record_failure(now);
-        b.record_failure(now);
-        assert_eq!(b.health(now), CircuitHealth::Degraded, "count restarted");
+        b.record_failure(0);
+        b.record_failure(0);
+        assert_eq!(b.health(0), CircuitHealth::Degraded, "count restarted");
     }
 
     #[test]
     fn half_open_probe_decides_recovery() {
         let mut b = CircuitBreaker::new(cfg());
-        let t0 = Instant::now();
         for _ in 0..3 {
-            b.record_failure(t0);
+            b.record_failure(0);
         }
-        assert!(!b.allow(t0), "freshly open: reject");
-        let later = t0 + Duration::from_millis(25);
+        assert!(!b.allow(0), "freshly open: reject");
+        let later = 25_000; // 25 ms in µs, past the 20 ms half-open window
         assert!(b.allow(later), "half-open window admits a probe");
         assert_eq!(b.health(later), CircuitHealth::Degraded);
         assert!(b.record_success(), "successful probe is a recovery");
@@ -406,16 +436,19 @@ mod tests {
         for _ in 0..3 {
             b.record_failure(later);
         }
-        let probe_at = later + Duration::from_millis(25);
+        let probe_at = later + 25_000;
         assert!(b.allow(probe_at));
         assert!(b.record_failure(probe_at), "failed probe re-trips");
         assert!(!b.allow(probe_at));
     }
 
     #[test]
-    fn registry_checks_and_recovers() {
+    fn registry_checks_and_recovers_on_virtual_time() {
         let mk = |n: u64| UAdd::from_raw(n);
-        let reg = BreakerRegistry::new(cfg());
+        // A virtual clock: the half-open window elapses only when *we*
+        // advance time, no sleeping.
+        let vt = Arc::new(VirtualTime::new());
+        let reg = BreakerRegistry::new(cfg(), SimClock::new_virtual(Arc::clone(&vt), 0, 0.0));
         let peer = mk(7);
         assert!(reg.check(peer).is_ok());
         assert!(!reg.record_failure(peer));
@@ -425,7 +458,7 @@ mod tests {
         assert_eq!(reg.health(peer), CircuitHealth::Broken);
         // An unrelated peer is unaffected.
         assert!(reg.check(mk(8)).is_ok());
-        std::thread::sleep(Duration::from_millis(25));
+        vt.advance_us(25_000);
         assert!(reg.check(peer).is_ok(), "half-open probe admitted");
         assert!(reg.record_success(peer), "probe success recovers");
         assert_eq!(reg.health(peer), CircuitHealth::Healthy);
@@ -434,12 +467,11 @@ mod tests {
     #[test]
     fn retransmission_queue_bounds_in_flight() {
         let q = RetransmissionQueue::new(2);
-        let deadline = Instant::now() + Duration::from_millis(30);
-        let a = q.register(1, deadline).unwrap();
-        let _b = q.register(2, deadline).unwrap();
+        let a = q.register(1, Duration::from_millis(30)).unwrap();
+        let _b = q.register(2, Duration::from_millis(30)).unwrap();
         assert_eq!(q.depth(), 2);
         assert_eq!(
-            q.register(3, Instant::now() + Duration::from_millis(20))
+            q.register(3, Duration::from_millis(20))
                 .map(|_| ())
                 .unwrap_err(),
             NtcsError::DeadlineExceeded,
@@ -448,7 +480,7 @@ mod tests {
         drop(a);
         assert_eq!(q.depth(), 1);
         let _c = q
-            .register(3, Instant::now() + Duration::from_millis(20))
+            .register(3, Duration::from_millis(20))
             .expect("freed slot admits a new send");
         assert_eq!(q.depth(), 2);
     }
@@ -456,15 +488,12 @@ mod tests {
     #[test]
     fn retransmission_queue_wakes_blocked_sender() {
         let q = Arc::new(RetransmissionQueue::new(1));
-        let slot = q
-            .register(1, Instant::now() + Duration::from_secs(1))
-            .unwrap();
+        let slot = q.register(1, Duration::from_secs(1)).unwrap();
         let q2 = Arc::clone(&q);
         let waiter = std::thread::spawn(move || {
-            q2.register(2, Instant::now() + Duration::from_secs(5))
-                .map(|s| {
-                    drop(s);
-                })
+            q2.register(2, Duration::from_secs(5)).map(|s| {
+                drop(s);
+            })
         });
         std::thread::sleep(Duration::from_millis(20));
         drop(slot);

@@ -1,0 +1,38 @@
+//! Deterministic simulation runtime for the NTCS testbed.
+//!
+//! The paper's testbed (§6) was driven by hand: boot the room, pull a
+//! cable, watch the recovery. This crate turns that into a machine-checked
+//! discipline, borrowing two ideas from later systems practice:
+//!
+//! * **FoundationDB-style seeded simulation** — one root seed derives every
+//!   random decision ([`SimRng`]), the deployment is a kill hierarchy of
+//!   DataCenter → Machine → Process → Module ([`Topology`],
+//!   [`ProcessRegistry`]) where any level can die mid-run, and a failing
+//!   seed *is* the repro recipe: replay it and the run's [`EventLog`] is
+//!   byte-identical.
+//! * **Theseus/MINIX-style fault matrices** — a grid of injected fault ×
+//!   layer cells ([`matrix`]), each asserting a typed verdict: the system
+//!   **recovered**, the message was **dead-lettered**, or the call
+//!   **cleanly errored**. A cell that hangs is a failure by definition;
+//!   every cell runs under a wall-clock watchdog.
+//!
+//! The [`mod@sweep`] module runs chaos scenarios across hundreds of seeds and
+//! prints the failing ones, so CI explores schedule space instead of
+//! re-running three hand-picked seeds forever.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod matrix;
+pub mod rng;
+pub mod runner;
+pub mod sweep;
+pub mod topology;
+
+pub use event::EventLog;
+pub use matrix::{cells, expected, run_cell, CellOutcome, Fault, MatrixLayer, Verdict};
+pub use rng::SimRng;
+pub use runner::{FaultInjector, SimConfig, SimHarness, Simulation, Workload};
+pub use sweep::{seed_list, seed_list_from, sweep, SeedFailure, SweepReport, CLASSIC_SEEDS};
+pub use topology::{DcId, ProcessHandle, ProcessRegistry, Topology};

@@ -1,0 +1,244 @@
+//! The deterministic step driver.
+//!
+//! A [`Simulation`] composes one [`Workload`] with one [`FaultInjector`]
+//! over a virtual-time [`Testbed`] and runs a fixed number of steps. Each
+//! step is: *inject faults → run workload quantum → settle → advance
+//! virtual time*. Everything either party records lands in the
+//! [`EventLog`]; with all randomness drawn from forks of the run seed and
+//! all fault primitives deterministic (armed counters, partitions, kills —
+//! never probabilistic rolls), two runs of the same seed produce
+//! byte-identical logs.
+//!
+//! ## The determinism model
+//!
+//! Virtual time governs what the system *records and decides*: hop-record
+//! timestamps, breaker trip/half-open timelines, DRTS staleness. It only
+//! advances here, between steps, so every timestamp is a pure function of
+//! the schedule. Real time still governs thread *blocking* — a parked
+//! thread cannot advance a clock nobody reads — which is why each step
+//! ends with a short wall-clock settle: in-flight frames of the finished
+//! step drain before the clock moves, so their timestamps land in the
+//! step that caused them. Event logs must therefore record only
+//! deterministic facts (verdicts, tallies, virtual times), never wall
+//! durations or retry counts; [`EventLog`] documents the contract.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ntcs::{Testbed, TestbedBuilder};
+use ntcs_addr::Result;
+use ntcs_ipcs::VirtualTime;
+
+use crate::event::EventLog;
+use crate::topology::{ProcessRegistry, Topology};
+
+/// The context both the workload and the fault injector act through.
+pub struct SimHarness {
+    testbed: Testbed,
+    topo: Topology,
+    procs: ProcessRegistry,
+    vt: Arc<VirtualTime>,
+    log: EventLog,
+    step: u64,
+}
+
+impl SimHarness {
+    /// Wraps a started virtual-time testbed. Panics if the testbed's world
+    /// is not virtual — a wall-clock world cannot replay.
+    #[must_use]
+    pub fn new(testbed: Testbed, topo: Topology) -> Self {
+        let vt = testbed
+            .world()
+            .virtual_time()
+            .expect("SimHarness requires a virtual-time world (TestbedBuilder::new_virtual)");
+        SimHarness {
+            testbed,
+            topo,
+            procs: ProcessRegistry::new(),
+            vt,
+            log: EventLog::new(),
+            step: 0,
+        }
+    }
+
+    /// The running testbed.
+    #[must_use]
+    pub fn testbed(&self) -> &Testbed {
+        &self.testbed
+    }
+
+    /// The world (fault-injection knobs).
+    #[must_use]
+    pub fn world(&self) -> &ntcs::World {
+        self.testbed.world()
+    }
+
+    /// The DataCenter/Machine hierarchy.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The Process/Module registry.
+    pub fn processes(&mut self) -> &mut ProcessRegistry {
+        &mut self.procs
+    }
+
+    /// Current virtual time, µs.
+    #[must_use]
+    pub fn now_us(&self) -> i64 {
+        self.vt.now_us()
+    }
+
+    /// Records a deterministic event at the current (step, virtual time).
+    pub fn record(&mut self, kind: &str, detail: &str) {
+        let (step, t) = (self.step, self.now_us());
+        self.log.record(step, t, kind, detail);
+    }
+
+    /// The log so far.
+    #[must_use]
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+}
+
+/// A fault schedule, decoupled from what the application is doing. Its
+/// randomness must come only from the [`crate::SimRng`] it was built with.
+pub trait FaultInjector {
+    /// Injector name (for logs and sweep reports).
+    fn name(&self) -> &str;
+    /// Called at the top of each step, before the workload runs. Faults
+    /// installed here are visible to the whole quantum.
+    fn inject(&mut self, h: &mut SimHarness, step: u64);
+    /// Called once after the last step: heal every standing fault so the
+    /// workload's final verification can assert recovery.
+    fn heal(&mut self, h: &mut SimHarness);
+}
+
+/// An application driving traffic through the testbed. Its randomness must
+/// come only from the [`crate::SimRng`] it was built with, and anything it
+/// records in the log must be deterministic (see module docs).
+pub trait Workload {
+    /// Workload name (for logs and sweep reports).
+    fn name(&self) -> &str;
+    /// Brings up modules/processes; register restartables in
+    /// [`SimHarness::processes`].
+    ///
+    /// # Errors
+    ///
+    /// Any setup failure aborts the run.
+    fn setup(&mut self, h: &mut SimHarness) -> Result<()>;
+    /// One quantum of application work. Blocking calls are fine; the step
+    /// ends when this returns.
+    ///
+    /// # Errors
+    ///
+    /// A workload error aborts the run (assertion failures should panic).
+    fn step(&mut self, h: &mut SimHarness, step: u64) -> Result<()>;
+    /// Final verification after faults heal; record verdicts in the log.
+    ///
+    /// # Errors
+    ///
+    /// A verification failure fails the run.
+    fn verify(&mut self, h: &mut SimHarness) -> Result<()>;
+}
+
+/// Run parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The root seed: the complete repro recipe.
+    pub seed: u64,
+    /// Number of workload steps.
+    pub steps: u64,
+    /// Virtual time advanced after each step, µs.
+    pub quantum_us: i64,
+    /// Wall-clock settle after each step, letting the finished step's
+    /// in-flight frames drain before virtual time moves.
+    pub settle: Duration,
+    /// Extra settle quanta after healing, before final verification.
+    pub heal_steps: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            steps: 16,
+            quantum_us: 200_000,
+            settle: Duration::from_millis(5),
+            heal_steps: 2,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A default config at `seed`.
+    #[must_use]
+    pub fn with_seed(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        }
+    }
+}
+
+/// One composed deterministic run.
+pub struct Simulation {
+    config: SimConfig,
+}
+
+impl Simulation {
+    /// A simulation with the given parameters.
+    #[must_use]
+    pub fn new(config: SimConfig) -> Self {
+        Simulation { config }
+    }
+
+    /// A virtual-time testbed builder — the starting point for workload
+    /// deployments (re-exported for convenience).
+    #[must_use]
+    pub fn builder() -> TestbedBuilder {
+        TestbedBuilder::new_virtual()
+    }
+
+    /// Drives `workload` under `faults` and returns the event log.
+    ///
+    /// # Errors
+    ///
+    /// Whatever setup, a step, or verification fails with.
+    pub fn run(
+        &self,
+        harness: &mut SimHarness,
+        workload: &mut dyn Workload,
+        faults: &mut dyn FaultInjector,
+    ) -> Result<EventLog> {
+        harness.record(
+            "run",
+            &format!(
+                "seed={:#x} workload={} faults={} steps={}",
+                self.config.seed,
+                workload.name(),
+                faults.name(),
+                self.config.steps
+            ),
+        );
+        workload.setup(harness)?;
+        std::thread::sleep(self.config.settle);
+        for step in 0..self.config.steps {
+            harness.step = step;
+            faults.inject(harness, step);
+            workload.step(harness, step)?;
+            std::thread::sleep(self.config.settle);
+            harness.vt.advance_us(self.config.quantum_us);
+        }
+        harness.step = self.config.steps;
+        faults.heal(harness);
+        for _ in 0..self.config.heal_steps {
+            std::thread::sleep(self.config.settle);
+            harness.vt.advance_us(self.config.quantum_us);
+        }
+        workload.verify(harness)?;
+        Ok(harness.log().clone())
+    }
+}

@@ -1,0 +1,243 @@
+//! The seed sweep: run chaos scenarios across *many* seeds, not three.
+//!
+//! A scenario is a `fn(seed)` that panics on failure. The sweep runs every
+//! (scenario, seed) pair under `catch_unwind`, collects the failures, and
+//! prints each failing seed with its repro recipe — because every scenario
+//! derives all randomness from its seed, re-running the seed replays the
+//! failure.
+//!
+//! Seed selection is environment-driven so CI can scale it without a code
+//! change:
+//!
+//! * `NTCS_SWEEP_SEEDS` — how many seeds (default 3).
+//! * `NTCS_SWEEP_BASE` — when set (hex `0x…` or decimal), the first seed is
+//!   the base itself and the rest are derived from it; when unset, the
+//!   first seeds are the repo's three classic chaos seeds and the rest are
+//!   derived. So `NTCS_SWEEP_SEEDS=1 NTCS_SWEEP_BASE=0x<failing-seed>`
+//!   replays exactly one failing seed.
+//! * `NTCS_SWEEP_ARTIFACT` — when set, [`SweepReport::write_artifact`]
+//!   writes the failing-seed list to this path (CI uploads it).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+
+use crate::rng::SimRng;
+
+/// The three hand-picked seeds the original chaos suite ran forever.
+pub const CLASSIC_SEEDS: [u64; 3] = [0x5EED_0001, 0x0BAD_CAFE, 0x00DD_BA11];
+
+fn parse_u64(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// The seed list for `count` seeds from an optional explicit base — the
+/// pure core of [`seed_list`].
+#[must_use]
+pub fn seed_list_from(count: usize, base: Option<u64>) -> Vec<u64> {
+    let mut seeds: Vec<u64> = match base {
+        Some(b) => vec![b],
+        None => CLASSIC_SEEDS.to_vec(),
+    };
+    seeds.truncate(count);
+    let mut rng = SimRng::new(base.unwrap_or(0x5EED_0000)).fork("sweep-extension");
+    while seeds.len() < count {
+        let s = rng.next_u64();
+        if !seeds.contains(&s) {
+            seeds.push(s);
+        }
+    }
+    seeds
+}
+
+/// The environment-driven seed list (see module docs for the variables).
+#[must_use]
+pub fn seed_list() -> Vec<u64> {
+    let count = std::env::var("NTCS_SWEEP_SEEDS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(CLASSIC_SEEDS.len());
+    let base = std::env::var("NTCS_SWEEP_BASE")
+        .ok()
+        .and_then(|s| parse_u64(&s));
+    seed_list_from(count, base)
+}
+
+/// One failing (scenario, seed) pair.
+#[derive(Debug, Clone)]
+pub struct SeedFailure {
+    /// The scenario that failed.
+    pub scenario: String,
+    /// The seed it failed at.
+    pub seed: u64,
+    /// The panic message.
+    pub message: String,
+}
+
+/// The result of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Scenario names, in run order.
+    pub scenarios: Vec<String>,
+    /// The seeds swept.
+    pub seeds: Vec<u64>,
+    /// Every failing pair.
+    pub failures: Vec<SeedFailure>,
+}
+
+impl SweepReport {
+    /// Whether every (scenario, seed) pair passed.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Human-readable summary with one repro recipe per failing seed.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "seed sweep: {} scenario(s) x {} seed(s), {} failure(s)\n",
+            self.scenarios.len(),
+            self.seeds.len(),
+            self.failures.len()
+        );
+        for f in &self.failures {
+            out.push_str(&format!(
+                "FAIL scenario={} seed={:#018x}\n  {}\n  repro: NTCS_SWEEP_SEEDS=1 NTCS_SWEEP_BASE={:#x} cargo test --release --test seed_sweep\n",
+                f.scenario,
+                f.seed,
+                f.message.lines().next().unwrap_or(""),
+                f.seed
+            ));
+        }
+        out
+    }
+
+    /// Writes the failing-seed list to `path` (one `scenario seed message`
+    /// line per failure), creating parent directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors.
+    pub fn write_artifact_to(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut body = String::new();
+        for f in &self.failures {
+            body.push_str(&format!(
+                "scenario={} seed={:#018x} msg={}\n",
+                f.scenario,
+                f.seed,
+                f.message.lines().next().unwrap_or("")
+            ));
+        }
+        std::fs::write(path, body)
+    }
+
+    /// Writes the artifact to `$NTCS_SWEEP_ARTIFACT` when set and there are
+    /// failures; returns the path written, if any.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors.
+    pub fn write_artifact(&self) -> std::io::Result<Option<String>> {
+        let Ok(path) = std::env::var("NTCS_SWEEP_ARTIFACT") else {
+            return Ok(None);
+        };
+        if self.failures.is_empty() {
+            return Ok(None);
+        }
+        self.write_artifact_to(Path::new(&path))?;
+        Ok(Some(path))
+    }
+}
+
+/// Runs every scenario at every seed, catching panics. Scenarios run
+/// serially — chaos scenarios are wall-clock sensitive and internally
+/// serialized anyway.
+#[must_use]
+pub fn sweep(scenarios: &[(&str, &(dyn Fn(u64) + Sync))], seeds: &[u64]) -> SweepReport {
+    let mut failures = Vec::new();
+    for &(name, f) in scenarios {
+        for &seed in seeds {
+            if let Err(panic) = catch_unwind(AssertUnwindSafe(|| f(seed))) {
+                let message = panic
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| panic.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                    .unwrap_or_else(|| "non-string panic".into());
+                failures.push(SeedFailure {
+                    scenario: name.to_string(),
+                    seed,
+                    message,
+                });
+            }
+        }
+    }
+    SweepReport {
+        scenarios: scenarios.iter().map(|(n, _)| (*n).to_string()).collect(),
+        seeds: seeds.to_vec(),
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_lists_are_deterministic_and_deduped() {
+        assert_eq!(seed_list_from(3, None), CLASSIC_SEEDS.to_vec());
+        assert_eq!(seed_list_from(1, None), vec![CLASSIC_SEEDS[0]]);
+        let a = seed_list_from(100, None);
+        let b = seed_list_from(100, None);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        let mut dedup = a.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 100, "extended seeds must be unique");
+        // An explicit base leads the list — the repro path.
+        let r = seed_list_from(2, Some(0xDEAD_BEEF));
+        assert_eq!(r[0], 0xDEAD_BEEF);
+        assert_ne!(r[1], 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn parse_accepts_hex_and_decimal() {
+        assert_eq!(parse_u64("0x10"), Some(16));
+        assert_eq!(parse_u64("0X10"), Some(16));
+        assert_eq!(parse_u64(" 42 "), Some(42));
+        assert_eq!(parse_u64("nope"), None);
+    }
+
+    #[test]
+    fn sweep_catches_panics_and_reports_repro() {
+        let flaky = |seed: u64| {
+            assert!(seed != 7, "boom at seed 7");
+        };
+        let solid = |_seed: u64| {};
+        let report = sweep(&[("flaky", &flaky), ("solid", &solid)], &[1, 7, 9]);
+        assert!(!report.is_clean());
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].scenario, "flaky");
+        assert_eq!(report.failures[0].seed, 7);
+        assert!(report.failures[0].message.contains("boom"));
+        let s = report.summary();
+        assert!(s.contains("NTCS_SWEEP_BASE=0x7"), "{s}");
+        // Artifact round-trip.
+        let path = std::env::temp_dir().join("ntcs-sweep-test/failing-seeds.txt");
+        report.write_artifact_to(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("scenario=flaky"));
+        assert!(body.contains("seed=0x0000000000000007"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,269 @@
+//! The kill hierarchy: DataCenter → Machine → Process → Module.
+//!
+//! FoundationDB's simulator arranges its world so that *any* level can be
+//! killed and restarted mid-run — a machine, everything in a datacenter, or
+//! one process — and fault schedules pick their victims from that tree. We
+//! overlay the same hierarchy on the NTCS testbed:
+//!
+//! * **DataCenter** — a named group of machines. Killing it crashes every
+//!   machine in the group; partitioning two datacenters is a split-brain
+//!   (group partition) in the [`World`].
+//! * **Machine** — a [`World`] machine; kill/restart map to
+//!   [`World::crash`]/[`World::revive`].
+//! * **Process / Module** — a registered [`ProcessHandle`]: the workload
+//!   tells the registry how to kill (shutdown) and restart (re-bind,
+//!   re-register) each of its modules, so a fault schedule can bounce any
+//!   of them by name without knowing what they are.
+
+use ntcs::{MachineId, World};
+use ntcs_addr::{NtcsError, Result};
+
+/// Index of a datacenter within a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DcId(pub usize);
+
+#[derive(Debug)]
+struct DcEntry {
+    name: String,
+    machines: Vec<MachineId>,
+}
+
+/// The DataCenter → Machine levels of the kill hierarchy.
+#[derive(Debug, Default)]
+pub struct Topology {
+    dcs: Vec<DcEntry>,
+}
+
+impl Topology {
+    /// An empty topology.
+    #[must_use]
+    pub fn new() -> Self {
+        Topology::default()
+    }
+
+    /// Adds a named datacenter.
+    pub fn add_datacenter(&mut self, name: &str) -> DcId {
+        self.dcs.push(DcEntry {
+            name: name.to_string(),
+            machines: Vec::new(),
+        });
+        DcId(self.dcs.len() - 1)
+    }
+
+    /// Places a machine in a datacenter.
+    pub fn place(&mut self, dc: DcId, machine: MachineId) {
+        self.dcs[dc.0].machines.push(machine);
+    }
+
+    /// The datacenters, in creation order.
+    #[must_use]
+    pub fn datacenters(&self) -> Vec<DcId> {
+        (0..self.dcs.len()).map(DcId).collect()
+    }
+
+    /// A datacenter's name.
+    #[must_use]
+    pub fn name(&self, dc: DcId) -> &str {
+        &self.dcs[dc.0].name
+    }
+
+    /// The machines in a datacenter.
+    #[must_use]
+    pub fn machines_in(&self, dc: DcId) -> &[MachineId] {
+        &self.dcs[dc.0].machines
+    }
+
+    /// Kills a whole datacenter: every machine in it crashes.
+    pub fn kill_datacenter(&self, world: &World, dc: DcId) {
+        for &m in &self.dcs[dc.0].machines {
+            world.crash(m);
+        }
+    }
+
+    /// Restarts a datacenter's machines (processes on them must be
+    /// restarted separately — a revived machine comes back empty, exactly
+    /// like the paper's testbed after a reboot).
+    pub fn restart_datacenter(&self, world: &World, dc: DcId) {
+        for &m in &self.dcs[dc.0].machines {
+            world.revive(m);
+        }
+    }
+
+    /// Split-brain between two datacenters: every cross-pair partitioned,
+    /// intra-datacenter traffic untouched.
+    pub fn partition_datacenters(&self, world: &World, a: DcId, b: DcId) {
+        world.set_partition_groups(&[&self.dcs[a.0].machines, &self.dcs[b.0].machines]);
+    }
+}
+
+/// One restartable process (a bound module, gateway, or service) in the
+/// Process/Module levels of the kill hierarchy.
+pub struct ProcessHandle {
+    /// Unique name a fault schedule selects victims by.
+    pub name: String,
+    /// The machine the process runs on.
+    pub machine: MachineId,
+    alive: bool,
+    kill: Box<dyn FnMut() + Send>,
+    restart: Box<dyn FnMut() -> Result<()> + Send>,
+}
+
+impl std::fmt::Debug for ProcessHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcessHandle")
+            .field("name", &self.name)
+            .field("machine", &self.machine)
+            .field("alive", &self.alive)
+            .finish()
+    }
+}
+
+/// Registry of the processes a workload has brought up, so a fault
+/// injector can kill and restart them by name.
+#[derive(Debug, Default)]
+pub struct ProcessRegistry {
+    procs: Vec<ProcessHandle>,
+}
+
+impl ProcessRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        ProcessRegistry::default()
+    }
+
+    /// Registers a process with its kill and restart actions.
+    pub fn register(
+        &mut self,
+        name: &str,
+        machine: MachineId,
+        kill: impl FnMut() + Send + 'static,
+        restart: impl FnMut() -> Result<()> + Send + 'static,
+    ) {
+        self.procs.push(ProcessHandle {
+            name: name.to_string(),
+            machine,
+            alive: true,
+            kill: Box::new(kill),
+            restart: Box::new(restart),
+        });
+    }
+
+    /// Names of all registered processes, in registration order.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        self.procs.iter().map(|p| p.name.clone()).collect()
+    }
+
+    /// Whether the named process is currently alive.
+    #[must_use]
+    pub fn is_alive(&self, name: &str) -> bool {
+        self.procs.iter().any(|p| p.name == name && p.alive)
+    }
+
+    fn find(&mut self, name: &str) -> Result<&mut ProcessHandle> {
+        self.procs
+            .iter_mut()
+            .find(|p| p.name == name)
+            .ok_or_else(|| NtcsError::InvalidArgument(format!("unknown process {name}")))
+    }
+
+    /// Kills the named process (idempotent).
+    ///
+    /// # Errors
+    ///
+    /// [`NtcsError::InvalidArgument`] for an unknown name.
+    pub fn kill(&mut self, name: &str) -> Result<()> {
+        let p = self.find(name)?;
+        if p.alive {
+            (p.kill)();
+            p.alive = false;
+        }
+        Ok(())
+    }
+
+    /// Restarts the named process (no-op when alive).
+    ///
+    /// # Errors
+    ///
+    /// [`NtcsError::InvalidArgument`] for an unknown name, or whatever the
+    /// restart action fails with.
+    pub fn restart(&mut self, name: &str) -> Result<()> {
+        let p = self.find(name)?;
+        if !p.alive {
+            (p.restart)()?;
+            p.alive = true;
+        }
+        Ok(())
+    }
+
+    /// Marks every process on `machine` dead without running kill actions
+    /// — the bookkeeping for a machine-level crash, which already severed
+    /// everything underneath them.
+    pub fn machine_crashed(&mut self, machine: MachineId) {
+        for p in &mut self.procs {
+            if p.machine == machine {
+                p.alive = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn registry_kill_restart_roundtrip() {
+        let kills = Arc::new(AtomicU32::new(0));
+        let restarts = Arc::new(AtomicU32::new(0));
+        let mut reg = ProcessRegistry::new();
+        let (k, r) = (Arc::clone(&kills), Arc::clone(&restarts));
+        reg.register(
+            "svc",
+            MachineId(1),
+            move || {
+                k.fetch_add(1, Ordering::SeqCst);
+            },
+            move || {
+                r.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            },
+        );
+        assert!(reg.is_alive("svc"));
+        reg.kill("svc").unwrap();
+        reg.kill("svc").unwrap(); // idempotent
+        assert!(!reg.is_alive("svc"));
+        assert_eq!(kills.load(Ordering::SeqCst), 1);
+        reg.restart("svc").unwrap();
+        assert!(reg.is_alive("svc"));
+        assert_eq!(restarts.load(Ordering::SeqCst), 1);
+        assert!(reg.kill("ghost").is_err());
+    }
+
+    #[test]
+    fn machine_crash_marks_processes_dead() {
+        let mut reg = ProcessRegistry::new();
+        reg.register("a", MachineId(1), || {}, || Ok(()));
+        reg.register("b", MachineId(2), || {}, || Ok(()));
+        reg.machine_crashed(MachineId(1));
+        assert!(!reg.is_alive("a"));
+        assert!(reg.is_alive("b"));
+    }
+
+    #[test]
+    fn topology_groups_machines() {
+        let mut t = Topology::new();
+        let east = t.add_datacenter("east");
+        let west = t.add_datacenter("west");
+        t.place(east, MachineId(0));
+        t.place(east, MachineId(1));
+        t.place(west, MachineId(2));
+        assert_eq!(t.datacenters().len(), 2);
+        assert_eq!(t.name(east), "east");
+        assert_eq!(t.machines_in(east), &[MachineId(0), MachineId(1)]);
+        assert_eq!(t.machines_in(west), &[MachineId(2)]);
+    }
+}

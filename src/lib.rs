@@ -11,6 +11,8 @@
 
 pub use ntcs;
 
+pub mod chaos;
+
 pub mod messages {
     //! Messages used across tests, examples, and benches.
 

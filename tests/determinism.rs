@@ -1,0 +1,370 @@
+//! Same seed ⇒ same run, byte for byte.
+//!
+//! The tentpole acceptance check for the deterministic simulation runtime:
+//! two runs of the same seed over a *virtual-time* world produce
+//! byte-identical event logs — including the hop-record sequences the
+//! monitor reassembles, whose timestamps come from the virtual clock. Any
+//! wall-clock leakage into recorded state (hop timestamps, breaker
+//! decisions, DRTS staleness) shows up here as a diff between two runs
+//! that should be indistinguishable.
+//!
+//! The run itself is not gentle: a seed-placed armed frame drop, a forced
+//! circuit corruption, and a seed-placed split-brain window all land
+//! mid-traffic, and the log records every verdict.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ntcs::{ComMod, MachineType, NetworkId, TraceId, UAdd};
+use ntcs_drts::MonitorService;
+use ntcs_repro::messages::Ask;
+use ntcs_sim::{
+    DcId, EventLog, FaultInjector, SimConfig, SimHarness, SimRng, Simulation, Topology, Workload,
+};
+use parking_lot::Mutex;
+
+/// Seed-planned fault schedule: every decision drawn up front from a fork
+/// of the run seed, so the schedule is identical no matter what the
+/// workload does.
+struct PlannedFaults {
+    net: NetworkId,
+    east: DcId,
+    west: DcId,
+    drop_step: u64,
+    partition_step: u64,
+}
+
+impl PlannedFaults {
+    fn plan(rng: &SimRng, net: NetworkId, east: DcId, west: DcId) -> Self {
+        let mut r = rng.fork("faults");
+        PlannedFaults {
+            net,
+            east,
+            west,
+            drop_step: r.range(1, 3),
+            partition_step: r.range(5, 7),
+        }
+    }
+}
+
+impl FaultInjector for PlannedFaults {
+    fn name(&self) -> &str {
+        "planned-drop-corrupt-split"
+    }
+
+    fn inject(&mut self, h: &mut SimHarness, step: u64) {
+        if step == self.drop_step {
+            h.world().drop_next_frames(self.net, 1).unwrap();
+            h.record("fault", "armed drop_next=1");
+        }
+        if step == self.partition_step {
+            let (world, east, west) = (h.world().clone(), self.east, self.west);
+            h.topology().partition_datacenters(&world, east, west);
+            h.record("fault", "split-brain east|west");
+        }
+        if step == self.partition_step + 1 {
+            h.world().heal_all_partitions();
+            h.record("fault", "healed split-brain");
+        }
+    }
+
+    fn heal(&mut self, h: &mut SimHarness) {
+        h.world().heal_all_partitions();
+        h.record("fault", "heal: all partitions lifted");
+    }
+}
+
+/// Traffic whose every recorded fact is a pure function of the seed: which
+/// steps send traced, which step forces a circuit corruption, and the
+/// per-message verdicts.
+struct SeededTraffic {
+    rng: SimRng,
+    machines: Vec<ntcs::MachineId>,
+    partition_step: u64,
+    corrupt_step: u64,
+    client: Option<ComMod>,
+    monitor: Option<MonitorService>,
+    dst: UAdd,
+    stop: Arc<AtomicBool>,
+    tally: Arc<Mutex<HashMap<u32, u32>>>,
+    pump: Option<std::thread::JoinHandle<ComMod>>,
+    traced: Vec<(u32, TraceId)>,
+    acked: Vec<u32>,
+}
+
+impl SeededTraffic {
+    fn new(rng: &SimRng, machines: Vec<ntcs::MachineId>, partition_step: u64) -> Self {
+        let mut r = rng.fork("workload");
+        SeededTraffic {
+            rng: r.clone(),
+            machines,
+            partition_step,
+            corrupt_step: r.range(3, 5),
+            client: None,
+            monitor: None,
+            dst: UAdd::NAME_SERVER,
+            stop: Arc::new(AtomicBool::new(false)),
+            tally: Arc::new(Mutex::new(HashMap::new())),
+            pump: None,
+            traced: Vec::new(),
+            acked: Vec::new(),
+        }
+    }
+
+    fn client(&self) -> &ComMod {
+        self.client.as_ref().unwrap()
+    }
+}
+
+impl Workload for SeededTraffic {
+    fn name(&self) -> &str {
+        "seeded-traffic"
+    }
+
+    fn setup(&mut self, h: &mut SimHarness) -> ntcs::Result<()> {
+        let tb = h.testbed();
+        // Monitor on the NS machine; the sink reports DELIVER hops, the
+        // client reports SEND (and any reconnect legs) — all timestamped
+        // on the virtual clock.
+        let monitor = MonitorService::spawn(tb, self.machines[0])?;
+        let sink = tb.module(self.machines[1], "det-sink")?;
+        let client = tb.module(self.machines[2], "det-src")?;
+        sink.set_hop_monitor(monitor.uadd());
+        client.set_hop_monitor(monitor.uadd());
+        self.dst = client.locate("det-sink")?;
+        let stop = Arc::clone(&self.stop);
+        let tally = Arc::clone(&self.tally);
+        self.pump = Some(std::thread::spawn(move || loop {
+            match sink.receive(Some(Duration::from_millis(25))) {
+                Ok(m) => {
+                    if let Ok(a) = m.decode::<Ask>() {
+                        *tally.lock().entry(a.n).or_insert(0) += 1;
+                    }
+                }
+                Err(ntcs::NtcsError::Timeout) => {
+                    if stop.load(Ordering::SeqCst) {
+                        return sink;
+                    }
+                }
+                Err(_) => return sink,
+            }
+        }));
+        // Warm the circuit so step 0 starts from a known state.
+        client.send_reliable(
+            self.dst,
+            &Ask {
+                n: 900,
+                body: String::new(),
+            },
+            Duration::from_secs(5),
+        )?;
+        self.client = Some(client);
+        self.monitor = Some(monitor);
+        h.record(
+            "setup",
+            &format!("corrupt_step={} warm circuit up", self.corrupt_step),
+        );
+        Ok(())
+    }
+
+    fn step(&mut self, h: &mut SimHarness, step: u64) -> ntcs::Result<()> {
+        let n = u32::try_from(step).unwrap();
+        if step == self.corrupt_step {
+            let hit = self.client().chaos_corrupt_circuit(self.dst);
+            h.record("fault", &format!("corrupt circuit hit={hit}"));
+        }
+        let partitioned = step == self.partition_step;
+        if partitioned {
+            // The split is standing: a short-deadline untraced send must
+            // dead-letter (the verdict, not the wall duration, is logged).
+            let res = self.client().send_reliable(
+                self.dst,
+                &Ask {
+                    n,
+                    body: String::new(),
+                },
+                Duration::from_millis(600),
+            );
+            let verdict = if res.is_ok() { "acked" } else { "dead" };
+            h.record("verdict", &format!("n={n} {verdict} (split)"));
+            if res.is_ok() {
+                self.acked.push(n);
+            }
+        } else if step == self.partition_step + 1 {
+            // First healed step: an untraced re-warm send normalizes the
+            // circuit before traced traffic resumes.
+            let res = self.client().send_reliable(
+                self.dst,
+                &Ask {
+                    n,
+                    body: String::new(),
+                },
+                Duration::from_secs(8),
+            );
+            let verdict = if res.is_ok() { "acked" } else { "dead" };
+            h.record("verdict", &format!("n={n} {verdict} (rewarm)"));
+            if res.is_ok() {
+                self.acked.push(n);
+            }
+        } else {
+            let (_, trace) = self.client().send_reliable_traced(
+                self.dst,
+                &Ask {
+                    n,
+                    body: String::new(),
+                },
+                Duration::from_secs(8),
+            )?;
+            self.traced.push((n, trace));
+            self.acked.push(n);
+            h.record("verdict", &format!("n={n} acked (traced)"));
+        }
+        Ok(())
+    }
+
+    fn verify(&mut self, h: &mut SimHarness) -> ntcs::Result<()> {
+        // Hop casts are asynchronous: poll until the total hop count across
+        // our traces is quiet for a while, then record the chains.
+        let monitor = self.monitor.as_ref().unwrap();
+        let total = |traces: &[(u32, TraceId)]| -> usize {
+            traces
+                .iter()
+                .map(|(_, t)| monitor.trace_chain(t.raw()).len())
+                .sum()
+        };
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut last = total(&self.traced);
+        let mut quiet = 0;
+        while quiet < 6 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(50));
+            let now = total(&self.traced);
+            quiet = if now == last { quiet + 1 } else { 0 };
+            last = now;
+        }
+        for (n, trace) in &self.traced {
+            let mut chain = monitor.trace_chain(trace.raw());
+            // Two hops can carry the SAME virtual timestamp (the clock only
+            // moves between steps), and their casts race to the monitor —
+            // arrival order at equal timestamps is a wall-clock fact, not a
+            // seed fact. Canonicalize ties by kind so the log records only
+            // the deterministic part.
+            chain.sort_by_key(|hop| (hop.timestamp_us, hop.kind, hop.module_name.clone()));
+            let hops: Vec<String> = chain
+                .iter()
+                .map(|hop| format!("{}@{}us/{}", hop.kind, hop.timestamp_us, hop.module_name))
+                .collect();
+            h.record("hops", &format!("n={n} [{}]", hops.join(" ")));
+        }
+        // Exactly-once for every acknowledged message.
+        let tally = self.tally.lock().clone();
+        for n in &self.acked {
+            assert_eq!(
+                tally.get(n),
+                Some(&1),
+                "acked n={n} not delivered exactly once"
+            );
+        }
+        let mut acked = self.acked.clone();
+        acked.sort_unstable();
+        h.record("tally", &format!("acked={acked:?}"));
+        // Consume one draw so the log also proves the workload stream
+        // itself replays (the value is seed-derived, wall-independent).
+        let stamp = self.rng.next_u64();
+        h.record("tally", &format!("rng_stamp={stamp:#x}"));
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(p) = self.pump.take() {
+            let _ = p.join();
+        }
+        Ok(())
+    }
+}
+
+/// One full seeded run; returns the event log and the hop-record lines.
+fn run_once(seed: u64) -> (EventLog, Vec<String>) {
+    let config = SimConfig {
+        steps: 9,
+        ..SimConfig::with_seed(seed)
+    };
+    let rng = SimRng::new(seed);
+
+    let mut tb = Simulation::builder();
+    let net = tb.add_network(ntcs::NetKind::Mbx, "det-lan");
+    let machines: Vec<_> = (0..3)
+        .map(|i| {
+            tb.add_machine(
+                [MachineType::Sun, MachineType::Vax, MachineType::M68k][i],
+                &format!("det{i}"),
+                &[net],
+            )
+            .unwrap()
+        })
+        .collect();
+    tb.name_server_on(machines[0]);
+    let testbed = tb.start().unwrap();
+
+    let mut topo = Topology::new();
+    let east = topo.add_datacenter("east");
+    let west = topo.add_datacenter("west");
+    topo.place(east, machines[0]);
+    topo.place(east, machines[1]);
+    topo.place(west, machines[2]);
+
+    let mut harness = SimHarness::new(testbed, topo);
+    let mut faults = PlannedFaults::plan(&rng, net, east, west);
+    let mut workload = SeededTraffic::new(&rng, machines, faults.partition_step);
+    let log = Simulation::new(config)
+        .run(&mut harness, &mut workload, &mut faults)
+        .unwrap();
+    let hops = log
+        .lines()
+        .iter()
+        .filter(|l| l.contains(" hops: "))
+        .cloned()
+        .collect();
+    (log, hops)
+}
+
+#[test]
+fn same_seed_replays_byte_identically() {
+    let seed = 0x5EED_0001;
+    let (a, hops_a) = run_once(seed);
+    let (b, hops_b) = run_once(seed);
+    assert!(
+        !hops_a.is_empty(),
+        "the run must produce hop records to compare"
+    );
+    assert_eq!(
+        hops_a, hops_b,
+        "same seed must reassemble identical hop-record sequences"
+    );
+    assert_eq!(
+        a.render(),
+        b.render(),
+        "same seed must produce a byte-identical event log"
+    );
+    assert_eq!(a.digest(), b.digest());
+}
+
+#[test]
+fn virtual_timestamps_are_schedule_times() {
+    // Every recorded timestamp must sit exactly on a step boundary of the
+    // virtual clock — the driver is the only thing that advances time.
+    let (log, _) = run_once(0x0BAD_CAFE);
+    let quantum = SimConfig::default().quantum_us;
+    for line in log.lines() {
+        let t: i64 = line
+            .split("t_us=")
+            .nth(1)
+            .and_then(|r| r.split(' ').next())
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(
+            t % quantum,
+            0,
+            "timestamp {t} is not a multiple of the step quantum: {line}"
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! The channel-layer fault matrix: every fault × layer cell must end in an
+//! *expected* verdict — recovered, dead-lettered, or cleanly-errored — and
+//! never hang. Each cell runs under a watchdog with a bounded budget; a
+//! cell that exceeds its budget is reported as `Hung`, which no expected
+//! set ever contains.
+//!
+//! The two ISSUE-mandated edge cells get a wider sweep: the stuck credit
+//! window (must surface `FlowStalled`, never a hang) and the half-completed
+//! send racing a relocation (exactly-once-or-dead-letter) each run over
+//! ≥ 32 derived seeds.
+
+use std::time::Duration;
+
+use ntcs_sim::{cells, expected, run_cell, seed_list_from, Fault, MatrixLayer, Verdict};
+
+/// Matrix cells build real multi-machine testbeds; run them one at a time
+/// so wall-clock deadlines inside the cells stay honest under `cargo test`
+/// parallelism.
+static MATRIX_SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+const CELL_BUDGET: Duration = Duration::from_secs(30);
+
+fn run_expecting(fault: Fault, layer: MatrixLayer, seed: u64) {
+    let out = run_cell(fault, layer, seed, CELL_BUDGET);
+    let allowed = expected(fault, layer);
+    assert!(
+        out.acceptable(),
+        "cell ({fault}, {layer}) seed={seed:#x}: verdict {} not in {allowed:?}: {}",
+        out.verdict,
+        out.detail
+    );
+    assert_ne!(out.verdict, Verdict::Hung, "cell ({fault}, {layer}) hung");
+}
+
+#[test]
+fn every_cell_reaches_an_expected_verdict() {
+    let _serial = MATRIX_SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    for (fault, layer) in cells() {
+        for seed in [0x5EED_0001_u64, 0x0BAD_CAFE] {
+            run_expecting(fault, layer, seed);
+        }
+    }
+}
+
+#[test]
+fn stuck_credit_window_stalls_cleanly_across_seeds() {
+    let _serial = MATRIX_SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    // ≥ 32 seeds: the stall must ALWAYS surface as FlowStalled — a typed,
+    // clean error — regardless of where the seed lands the window arming.
+    for seed in seed_list_from(32, None) {
+        let out = run_cell(
+            Fault::StuckCreditWindow,
+            MatrixLayer::Flow,
+            seed,
+            CELL_BUDGET,
+        );
+        assert_eq!(
+            out.verdict,
+            Verdict::CleanlyErrored,
+            "seed {seed:#x}: {}",
+            out.detail
+        );
+    }
+}
+
+#[test]
+fn half_completed_send_during_relocation_across_seeds() {
+    let _serial = MATRIX_SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    // ≥ 32 seeds: dropping a frame mid-send while the destination relocates
+    // must end exactly-once (Recovered) or exactly-zero-with-typed-error
+    // (DeadLettered) — never a duplicate, never a hang.
+    for seed in seed_list_from(32, None) {
+        let out = run_cell(
+            Fault::HalfCompletedSend,
+            MatrixLayer::Relocation,
+            seed,
+            CELL_BUDGET,
+        );
+        assert!(
+            matches!(out.verdict, Verdict::Recovered | Verdict::DeadLettered),
+            "seed {seed:#x}: verdict {}: {}",
+            out.verdict,
+            out.detail
+        );
+    }
+}

@@ -1,11 +1,17 @@
 //! World-level fault-injection semantics: crash/revive lifecycles, repeated
-//! faults, and recovery through the full stack.
+//! faults, group partitions (split-brain), and recovery through the full
+//! stack — including prime-gateway bootstrap routes after a brain heals.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
-use ntcs::{NetKind, NtcsError};
+use ntcs::{MachineId, NetKind, NtcsError, World};
+use ntcs_repro::chaos::{spawn_counter, SERIAL};
 use ntcs_repro::messages::Ask;
-use ntcs_repro::scenarios::single_net;
+use ntcs_repro::scenarios::{primed_internet, primed_module, single_net};
+use parking_lot::Mutex;
 
 const T: Option<Duration> = Some(Duration::from_secs(5));
 
@@ -218,4 +224,143 @@ fn partition_affects_only_the_named_pair() {
     .unwrap();
     assert_eq!(c.receive(T).unwrap().decode::<Ask>().unwrap().n, 3);
     world.set_partition(lab.machines[0], lab.machines[1], false);
+}
+
+// ---------------------------------------------------------------------
+// Split-brain (group partition) + prime-gateway route recovery (§3.4
+// meets §6): a two-network primed internet whose ONLY path to the Name
+// Server from net1 is a preconfigured prime gateway — and the split puts
+// that gateway on the minority side, away from the Name Server. While
+// split, minority naming must fail with typed errors (never hang); after
+// `heal_all_partitions` the same prime route must work again without
+// respawning anything.
+// ---------------------------------------------------------------------
+
+fn machine_by_name(world: &World, name: &str) -> MachineId {
+    world
+        .machines()
+        .into_iter()
+        .find(|m| m.name == name)
+        .unwrap_or_else(|| panic!("no machine named {name}"))
+        .id
+}
+
+#[test]
+fn split_brain_cuts_minority_and_heal_restores_prime_routes() {
+    let _serial = SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let lab = primed_internet(2, NetKind::Mbx).unwrap();
+    let world = lab.testbed.world().clone();
+    let ns_host = machine_by_name(&world, "ns-host");
+    let gw_host = machine_by_name(&world, "gw-host0");
+    let (edge0, edge1) = (lab.edge_machines[0], lab.edge_machines[1]);
+
+    // Bootstrap both sides while the world is whole: the minority module
+    // registers through the prime gateway (its only path to the NS).
+    let min_svc = primed_module(&lab, 1, "min-svc").unwrap();
+    let maj_client = primed_module(&lab, 0, "maj-client").unwrap();
+    let min_uadd = min_svc.my_uadd();
+
+    // Warm a cross-splice circuit and prove delivery.
+    let stop = Arc::new(AtomicBool::new(false));
+    let delivered = Arc::new(Mutex::new(HashMap::new()));
+    let counter = spawn_counter(min_svc, Arc::clone(&stop), Arc::clone(&delivered));
+    let dst = maj_client.locate("min-svc").unwrap();
+    assert_eq!(dst, min_uadd);
+    maj_client
+        .send_reliable(
+            dst,
+            &Ask {
+                n: 1,
+                body: String::new(),
+            },
+            Duration::from_secs(5),
+        )
+        .unwrap();
+
+    // Split-brain: majority {ns-host, edge0} vs minority {gw-host0, edge1}.
+    // The prime gateway is marooned on the side WITHOUT the Name Server.
+    world.set_partition_groups(&[&[ns_host, edge0], &[gw_host, edge1]]);
+    assert_eq!(
+        world.partitioned_pairs().len(),
+        4,
+        "2x2 split-brain must partition every cross pair"
+    );
+
+    // Minority side: naming through the prime gateway must fail TYPED —
+    // the gateway is alive but its far side is dark.
+    match primed_module(&lab, 1, "min-probe").map(|_| ()) {
+        Ok(()) => panic!("minority registration must not succeed while split"),
+        Err(
+            NtcsError::DeadlineExceeded
+            | NtcsError::Timeout
+            | NtcsError::NameServerUnreachable
+            | NtcsError::CircuitBroken(_)
+            | NtcsError::ConnectionClosed
+            | NtcsError::ConnectRefused(_),
+        ) => {}
+        Err(e) => panic!("split-brain naming failed with an untyped error: {e}"),
+    }
+
+    // Majority side: the Name Server is local — naming still answers.
+    assert_eq!(
+        maj_client.locate("min-svc").unwrap(),
+        min_uadd,
+        "majority-side naming must keep answering during the split"
+    );
+
+    // Cross-brain delivery fails typed (the splice is severed).
+    match maj_client.send_reliable(
+        dst,
+        &Ask {
+            n: 2,
+            body: String::new(),
+        },
+        Duration::from_secs(2),
+    ) {
+        Ok(_) => panic!("cross-brain send must not be acknowledged"),
+        Err(NtcsError::DeadlineExceeded | NtcsError::CircuitBroken(_)) => {}
+        Err(e) => panic!("cross-brain send failed with an untyped error: {e}"),
+    }
+
+    // Heal. The prime gateway's route to the Name Server must recover
+    // without respawning anything: a NEW minority module bootstraps
+    // through the same prime route...
+    world.heal_all_partitions();
+    assert!(world.partitioned_pairs().is_empty());
+    let min_svc2 = primed_module(&lab, 1, "min-svc2").unwrap();
+
+    // ...the majority can locate it...
+    let dst2 = maj_client.locate("min-svc2").unwrap();
+    assert_eq!(dst2, min_svc2.my_uadd());
+
+    // ...and the healed splice carries traffic again, exactly once.
+    let got = std::thread::spawn(move || {
+        min_svc2
+            .receive(Some(Duration::from_secs(10)))
+            .unwrap()
+            .decode::<Ask>()
+            .unwrap()
+            .n
+    });
+    maj_client
+        .send_reliable(
+            dst2,
+            &Ask {
+                n: 3,
+                body: String::new(),
+            },
+            Duration::from_secs(10),
+        )
+        .unwrap();
+    assert_eq!(got.join().unwrap(), 3);
+
+    stop.store(true, Ordering::SeqCst);
+    let _ = counter.join().unwrap();
+    // The warm-up message reached the old minority module exactly once;
+    // message 2 (dead-lettered mid-split) at most once.
+    let tally = delivered.lock();
+    assert_eq!(tally.get(&1), Some(&1));
+    assert!(tally.get(&2).copied().unwrap_or(0) <= 1);
 }
