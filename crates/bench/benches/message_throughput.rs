@@ -8,10 +8,11 @@
 //! every cast was delivered before the clock stops.
 //!
 //! This is a manual harness (`harness = false`, no criterion): it emits
-//! the machine-readable baselines `BENCH_PR3.json` (batched vs unbatched)
-//! and `BENCH_PR5.json` (credit accounting on vs off with a wide-open flow
-//! window) at the repository root, which CI's bench-smoke job regenerates
-//! in `--quick` mode to catch batching and flow-control regressions.
+//! the machine-readable baselines `BENCH_PR3.json` (batched vs unbatched),
+//! `BENCH_PR5.json` (credit accounting on vs off with a wide-open flow
+//! window), and `BENCH_PR7.json` (flight recorder on vs off) at the
+//! repository root, which CI's bench-smoke job regenerates in `--quick`
+//! mode to catch batching, flow-control, and observability regressions.
 //!
 //! Run: `cargo bench --bench message_throughput [-- --quick]`
 
@@ -64,6 +65,7 @@ struct CaseResult {
     payload_bytes: usize,
     batched: bool,
     flow: bool,
+    recorder: bool,
     messages: u64,
     delivered: u64,
     elapsed_us: u64,
@@ -207,10 +209,11 @@ fn run_case(
     payload_bytes: usize,
     batched: bool,
     flow: Option<FlowSettings>,
+    recorder: bool,
     messages: u64,
 ) -> CaseResult {
-    // Build the deployment fresh per case so batching/flow config and
-    // circuit state never leak between cases.
+    // Build the deployment fresh per case so batching/flow/recorder config
+    // and circuit state never leak between cases.
     let lab = build_lab(topology);
     let testbed = &lab.testbed;
     if batched {
@@ -218,6 +221,11 @@ fn run_case(
     }
     if let Some(settings) = flow {
         testbed.enable_flow_control(settings);
+    }
+    if !recorder {
+        // The recorder is on by default; the PR-7 sweep measures its cost
+        // by stripping it from every module bound below.
+        testbed.set_config_hook(Some(Arc::new(|c| c.without_recorder())));
     }
 
     let sink = Sink::spawn(testbed, lab.dst);
@@ -254,6 +262,7 @@ fn run_case(
         payload_bytes,
         batched,
         flow: flow.is_some(),
+        recorder,
         messages,
         delivered,
         elapsed_us,
@@ -282,7 +291,7 @@ fn main() {
     for &topology in &topologies {
         for &(payload, messages) in &sizes {
             for batched in [false, true] {
-                let r = run_case(topology, payload, batched, None, messages);
+                let r = run_case(topology, payload, batched, None, true, messages);
                 eprintln!(
                     "{:>13} {:>6} B {:>9}: {:>10.0} msgs/s  {:>8.2} MiB/s  ({} of {} delivered in {} ms)",
                     r.topology,
@@ -402,7 +411,7 @@ fn main() {
                     FlowSettings::enabled(FLOW_WINDOW_BYTES, FLOW_WINDOW_FRAMES)
                         .with_low_watermark(FLOW_LOW_WATERMARK)
                 });
-                let r = run_case(Topology::Lvc, payload, false, settings, messages);
+                let r = run_case(Topology::Lvc, payload, false, settings, true, messages);
                 assert_eq!(
                     r.delivered, r.messages,
                     "credit accounting must not lose casts"
@@ -511,6 +520,133 @@ fn main() {
             *v >= 0.95,
             "credit accounting must stay within the 5% overhead budget at 1 KiB \
              (credits-on/credits-off = {v:.3}x)"
+        );
+    }
+
+    // -- phase 3: flight-recorder overhead sweep (PR 7 baseline) --
+    //
+    // Same hot path, direct LVC, unbatched, no flow: the only variable is
+    // the always-on flight recorder (ticket fetch-add + seqlocked slot
+    // write, 1-in-4 sampling on SEND/DELIVER). Repetitions interleave the
+    // two configurations so host-load drift biases neither side.
+    let rec_sizes: Vec<(usize, u64)> = if quick {
+        vec![(1024, 10_000)]
+    } else {
+        vec![(64, 20_000), (1024, 20_000), (65_536, 1_500)]
+    };
+    let mut rec_results: Vec<CaseResult> = Vec::new();
+    for &(payload, messages) in &rec_sizes {
+        let mut best: [Option<CaseResult>; 2] = [None, None];
+        for _ in 0..FLOW_REPS {
+            for recorder_on in [false, true] {
+                let r = run_case(Topology::Lvc, payload, false, None, recorder_on, messages);
+                assert_eq!(
+                    r.delivered, r.messages,
+                    "the flight recorder must not lose casts"
+                );
+                let slot = &mut best[usize::from(recorder_on)];
+                if slot
+                    .as_ref()
+                    .is_none_or(|b| r.msgs_per_sec > b.msgs_per_sec)
+                {
+                    *slot = Some(r);
+                }
+            }
+        }
+        for r in best.into_iter().map(|b| b.expect("at least one rep")) {
+            eprintln!(
+                "{:>13} {:>6} B {:>12}: {:>10.0} msgs/s  {:>8.2} MiB/s  ({} of {} delivered in {} ms)",
+                r.topology,
+                r.payload_bytes,
+                if r.recorder {
+                    "recorder on"
+                } else {
+                    "recorder off"
+                },
+                r.msgs_per_sec,
+                r.mbytes_per_sec,
+                r.delivered,
+                r.messages,
+                r.elapsed_us / 1000,
+            );
+            rec_results.push(r);
+        }
+    }
+
+    // Recorder-on over recorder-off throughput ratio per payload size.
+    let mut rec_ratios: Vec<(usize, f64)> = Vec::new();
+    for &(payload, _) in &rec_sizes {
+        let find = |recorder: bool| {
+            rec_results
+                .iter()
+                .find(|r| r.payload_bytes == payload && r.recorder == recorder)
+                .expect("case ran")
+                .msgs_per_sec
+        };
+        let ratio = find(true) / find(false);
+        eprintln!(
+            "{:>13} {payload:>6} B: recorder-on/recorder-off = {ratio:.3}x",
+            "lvc"
+        );
+        rec_ratios.push((payload, ratio));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"message_throughput/recorder_sweep\",");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if quick { "quick" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"transport\": \"tcp\",");
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rec_results.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"topology\": \"{}\", \"payload_bytes\": {}, \"recorder\": {}, \
+             \"messages\": {}, \"delivered\": {}, \"elapsed_us\": {}, \
+             \"msgs_per_sec\": {:.1}, \"mbytes_per_sec\": {:.3}}}",
+            r.topology,
+            r.payload_bytes,
+            r.recorder,
+            r.messages,
+            r.delivered,
+            r.elapsed_us,
+            r.msgs_per_sec,
+            r.mbytes_per_sec,
+        );
+        json.push_str(if i + 1 < rec_results.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"throughput_ratio_recorder_on_over_off\": {\n");
+    for (i, (payload, v)) in rec_ratios.iter().enumerate() {
+        let _ = write!(json, "    \"lvc/{payload}\": {v:.3}");
+        json.push_str(if i + 1 < rec_ratios.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  }\n}\n");
+
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_PR7.json");
+    std::fs::write(&out, &json).expect("write BENCH_PR7.json");
+    eprintln!("wrote {}", out.display());
+
+    // PR-7 gate: the always-on recorder must cost no more than 3% of
+    // 1 KiB throughput.
+    if let Some((_, v)) = rec_ratios.iter().find(|(p, _)| *p == 1024) {
+        assert!(
+            *v >= 0.97,
+            "flight recorder must stay within the 3% overhead budget at 1 KiB \
+             (recorder-on/recorder-off = {v:.3}x)"
         );
     }
 }

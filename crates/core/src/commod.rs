@@ -22,7 +22,10 @@ use ntcs_addr::{
 };
 use ntcs_ipcs::World;
 use ntcs_naming::NspLayer;
-use ntcs_nucleus::obs::{hop_kind, HopRecord, ModuleReport, ReportSource, TraceId};
+use ntcs_nucleus::obs::{
+    event_kind, hop_kind, render_module_snapshot_json, render_module_table, HopRecord,
+    ModuleReport, ObsQuery, ObsReply, ReportSource, TraceId,
+};
 use ntcs_nucleus::{Nucleus, NucleusConfig, NucleusMetricsSnapshot, Received};
 use ntcs_wire::Message;
 use parking_lot::RwLock;
@@ -136,6 +139,11 @@ pub struct ComMod {
     hooks: RwLock<Option<Arc<dyn DrtsHooks>>>,
     hop_monitor: Arc<RwLock<Option<UAdd>>>,
     registration: RwLock<Option<(AttrSet, UAdd, Generation)>>,
+    /// The Nucleus that registry report sources read. Relocation swaps the
+    /// new incarnation's Nucleus into this shared slot, so a
+    /// [`ComMod::report_source`] handed out before the move keeps
+    /// reporting live gauges instead of the abandoned circuits'.
+    report_slot: Arc<RwLock<Nucleus>>,
     /// Name-Server failover list, kept so relocation can rebuild an
     /// identically configured ComMod on another machine (the well-known
     /// preload travels inside the Nucleus config).
@@ -195,6 +203,7 @@ impl ComMod {
             world: world.clone(),
             machine,
             name_hint,
+            report_slot: Arc::new(RwLock::new(nucleus.clone())),
             nucleus,
             nsp,
             hooks: RwLock::new(None),
@@ -422,14 +431,64 @@ impl ComMod {
     ///
     /// [`NtcsError::Timeout`] if nothing arrives.
     pub fn receive(&self, timeout: Option<Duration>) -> Result<Incoming> {
-        let received = self.nucleus.recv(timeout)?;
-        let ts = self.stamp();
-        self.monitor(MonitorEventKind::Receive, received.src, received.msg_id, ts);
-        self.deliver_hop(&received);
-        Ok(Incoming {
-            inner: received,
-            local_machine: self.machine_type(),
-        })
+        let deadline = timeout.map(|t| std::time::Instant::now() + t);
+        loop {
+            let remaining =
+                deadline.map(|d| d.saturating_duration_since(std::time::Instant::now()));
+            let received = self.nucleus.recv(remaining)?;
+            // Introspection queries are answered by the ALI itself, never
+            // surfaced to the application: any ComMod can be asked for its
+            // flight-recorder snapshot without cooperating code.
+            if received.payload.type_id == ObsQuery::TYPE_ID && received.reply_expected {
+                self.answer_obs_query(&received);
+                continue;
+            }
+            let ts = self.stamp();
+            self.monitor(MonitorEventKind::Receive, received.src, received.msg_id, ts);
+            self.deliver_hop(&received);
+            return Ok(Incoming {
+                inner: received,
+                local_machine: self.machine_type(),
+            });
+        }
+    }
+
+    /// Answers a wire [`ObsQuery`] with this module's point-in-time
+    /// snapshot (JSON + human table), trimming the event tail as asked.
+    fn answer_obs_query(&self, received: &Received) {
+        let max_events = received
+            .payload
+            .decode::<ObsQuery>(self.machine_type())
+            .map_or(usize::MAX, |q| q.max_events as usize);
+        let mut report = self.nucleus.module_report();
+        if report.events.len() > max_events {
+            let skip = report.events.len() - max_events;
+            report.events.drain(..skip);
+        }
+        let reply = ObsReply {
+            module: report.module.clone(),
+            json: render_module_snapshot_json(&report),
+            table: render_module_table(&report),
+        };
+        let _ = self.nucleus.reply_message(received, &reply);
+    }
+
+    /// Queries a remote module's (or gateway's) flight-recorder snapshot
+    /// over the wire — the live-introspection half of the observability
+    /// plane, riding the same circuits it reports on.
+    ///
+    /// # Errors
+    ///
+    /// Send/establishment errors, [`NtcsError::Timeout`] if the peer never
+    /// answers, or [`NtcsError::Protocol`] on a malformed reply.
+    pub fn query_snapshot(
+        &self,
+        dst: UAdd,
+        max_events: u32,
+        timeout: Option<Duration>,
+    ) -> Result<ObsReply> {
+        let query = ObsQuery { max_events };
+        self.send_receive(dst, &query, timeout)?.decode()
     }
 
     /// Synchronous send/receive/reply exchange (§1.3): sends and waits for
@@ -623,6 +682,22 @@ impl ComMod {
         }
         *new.hooks.write() = self.hooks.read().clone();
         *new.hop_monitor.write() = *self.hop_monitor.read();
+        // Swap the new incarnation into the shared report slot — and hand
+        // the slot itself across — so report sources installed against the
+        // old binding read the live circuits' gauges, not the abandoned
+        // ones' (their dead credit windows would otherwise be reported
+        // until the registry was rebuilt).
+        new.nucleus.recorder().record(
+            event_kind::RELOCATION,
+            old_uadd.raw(),
+            0,
+            u64::from(machine.0),
+        );
+        *self.report_slot.write() = new.nucleus.clone();
+        let new = ComMod {
+            report_slot: Arc::clone(&self.report_slot),
+            ..new
+        };
         self.nucleus.shutdown();
         Ok(new)
     }
@@ -759,8 +834,8 @@ impl ComMod {
     /// [`ntcs_nucleus::obs::MetricsRegistry`].
     #[must_use]
     pub fn report_source(&self) -> ReportSource {
-        let nucleus = self.nucleus.clone();
-        Box::new(move || nucleus.module_report())
+        let slot = Arc::clone(&self.report_slot);
+        Box::new(move || slot.read().module_report())
     }
 
     /// The §6.2 selective layer trace.

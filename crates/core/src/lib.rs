@@ -63,7 +63,7 @@ pub mod testbed;
 pub use arch::{ArchReport, LayerInfo};
 pub use commod::{ComMod, Incoming, RelocateError};
 pub use hooks::{DeadLetterHook, DrtsHooks, MonitorEvent, MonitorEventKind};
-pub use testbed::{Testbed, TestbedBuilder};
+pub use testbed::{ConfigHook, Testbed, TestbedBuilder};
 
 // The vocabulary a downstream user needs, re-exported at the root.
 pub use ntcs_addr::{
@@ -74,9 +74,12 @@ pub use ntcs_gateway::Gateway;
 pub use ntcs_ipcs::{NetKind, SimClock, World};
 pub use ntcs_naming::{NameServer, NspLayer};
 pub use ntcs_nucleus::{
-    hop_kind, BreakerConfig, CircuitHealth, DeadLetter, FlowPolicy, FlowSettings, Histogram,
+    cluster_snapshot_json, dump_snapshot, event_kind, hop_kind, json_escape,
+    render_module_snapshot_json, render_module_table, BreakerConfig, CircuitHealth, DeadLetter,
+    FlightRecorder, FlowPolicy, FlowSettings, GaugeSampler, GaugeSource, Histogram,
     HistogramSnapshot, HopRecord, Lane, Layer, LayerTrace, MetricsRegistry, ModuleReport, Nucleus,
-    NucleusConfig, NucleusMetricsSnapshot, RetryPolicy, TraceEvent, TraceId, TraceQuery,
-    TraceReply, CONTROL_TYPE_MAX,
+    NucleusConfig, NucleusMetricsSnapshot, ObsCollect, ObsCollectReply, ObsQuery, ObsReply,
+    RecordedEvent, RecorderSettings, RetryPolicy, TraceEvent, TraceId, TraceQuery, TraceReply,
+    CONTROL_TYPE_MAX,
 };
 pub use ntcs_wire::{ntcs_message, ConvMode, InboundPayload, Message, Packable};

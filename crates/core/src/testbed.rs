@@ -16,7 +16,7 @@ use ntcs_addr::{MachineId, MachineType, NetworkId, NtcsError, PhysAddr, Result, 
 use ntcs_gateway::Gateway;
 use ntcs_ipcs::{NetKind, World};
 use ntcs_naming::{NameServer, NameServerConfig};
-use ntcs_nucleus::{FlowSettings, MetricsRegistry, NucleusConfig};
+use ntcs_nucleus::{FlowSettings, GaugeSampler, GaugeSource, MetricsRegistry, NucleusConfig};
 use parking_lot::RwLock;
 
 use crate::commod::ComMod;
@@ -158,18 +158,52 @@ impl TestbedBuilder {
         ns_well_known.extend(peer_info);
         let mut ns_servers = vec![UAdd::NAME_SERVER];
         ns_servers.extend(replicas.iter().map(NameServer::uadd));
+        let registry = Arc::new(MetricsRegistry::new());
+        registry.register(world_report_source(&self.world));
         Ok(Testbed {
             world: self.world,
             primary: Some(primary),
             replicas,
             ns_well_known,
             ns_servers,
-            registry: Arc::new(MetricsRegistry::new()),
+            registry,
             batching: RwLock::new(None),
             flow: RwLock::new(None),
             config_hook: ConfigHookCell(RwLock::new(None)),
         })
     }
+}
+
+/// A registry report source for world-level (substrate) state: shared
+/// BufferPool occupancy and per-link MBX backlogs — the gauges below every
+/// module that the per-module reports cannot see.
+fn world_report_source(world: &World) -> ntcs_nucleus::obs::ReportSource {
+    let world = world.clone();
+    Box::new(move || {
+        let pool = world.buffer_pool();
+        let stats = pool.stats();
+        let links = world.mbx_link_backlogs();
+        let queued: u64 = links.iter().map(|(_, q, _)| q).sum();
+        let peak = links.iter().map(|(_, _, p)| *p).max().unwrap_or(0);
+        ntcs_nucleus::obs::ModuleReport {
+            module: "world".into(),
+            counters: vec![
+                ("pool_hits", stats.hits),
+                ("pool_misses", stats.misses),
+                ("pool_returns", stats.returns),
+                ("pool_discards", stats.discards),
+            ],
+            gauges: vec![
+                ("pool_free_buffers", pool.free_buffers() as u64),
+                ("mbx_backlog_bytes", queued),
+                ("mbx_backlog_peak_bytes", peak),
+                ("mbx_links", links.len() as u64),
+            ],
+            histograms: Vec::new(),
+            breakers: Vec::new(),
+            events: Vec::new(),
+        }
+    })
 }
 
 /// Per-module [`NucleusConfig`] transform applied by [`Testbed::commod`]
@@ -331,6 +365,50 @@ impl Testbed {
     #[must_use]
     pub fn registry(&self) -> &Arc<MetricsRegistry> {
         &self.registry
+    }
+
+    /// Spawns a periodic [`GaugeSampler`] over the world-level gauges
+    /// (BufferPool occupancy, MBX link backlog) and registers its report
+    /// source, so the registry exposes *sampled* substrate trajectories
+    /// alongside the modules' live reports. The caller owns the sampler;
+    /// dropping it stops the thread (the registry entry then reports the
+    /// final sample).
+    #[must_use]
+    pub fn spawn_world_gauge_sampler(&self, interval: Duration) -> GaugeSampler {
+        let pool_world = self.world.clone();
+        let backlog_world = self.world.clone();
+        let peak_world = self.world.clone();
+        let sources: Vec<(&'static str, GaugeSource)> = vec![
+            (
+                "sampled_pool_free_buffers",
+                Box::new(move || pool_world.buffer_pool().free_buffers() as u64),
+            ),
+            (
+                "sampled_mbx_backlog_bytes",
+                Box::new(move || {
+                    backlog_world
+                        .mbx_link_backlogs()
+                        .iter()
+                        .map(|(_, q, _)| q)
+                        .sum()
+                }),
+            ),
+            (
+                "sampled_mbx_backlog_peak_bytes",
+                Box::new(move || {
+                    peak_world
+                        .mbx_link_backlogs()
+                        .iter()
+                        .map(|(_, _, p)| *p)
+                        .max()
+                        .unwrap_or(0)
+                }),
+            ),
+        ];
+        let sampler = GaugeSampler::spawn(interval, sources);
+        self.registry
+            .register(sampler.report_source("world-sampled"));
+        sampler
     }
 
     /// Renders the whole deployment's live observability state in the

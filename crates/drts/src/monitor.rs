@@ -10,7 +10,10 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Duration;
 
-use ntcs::{ComMod, HopRecord, MachineId, Result, Testbed, TraceQuery, TraceReply, UAdd};
+use ntcs::{
+    cluster_snapshot_json, json_escape, ComMod, HopRecord, MachineId, ObsCollect, ObsCollectReply,
+    Result, Testbed, TraceQuery, TraceReply, UAdd,
+};
 use parking_lot::Mutex;
 
 use crate::host::{Handler, ServiceHost};
@@ -125,6 +128,32 @@ impl MonitorService {
                 };
                 let hops = st.lock().trace_chain(q.trace_id);
                 let _ = commod.reply(&msg, &TraceReply { hops });
+            } else if msg.is::<ObsCollect>() {
+                let Ok(q) = msg.decode::<ObsCollect>() else {
+                    return;
+                };
+                // Cluster-wide snapshot fan-out: the monitor asks every
+                // target for its point-in-time report over the same NTCS
+                // circuits it observes. An unreachable target becomes an
+                // error entry rather than sinking the whole collection.
+                let mut docs = Vec::with_capacity(q.targets.len());
+                for &raw in &q.targets {
+                    let target = UAdd::from_raw(raw);
+                    match commod.query_snapshot(target, q.max_events, Some(Duration::from_secs(2)))
+                    {
+                        Ok(reply) => docs.push(reply.json),
+                        Err(e) => docs.push(format!(
+                            "{{\"module\":\"{target}\",\"error\":\"{}\"}}",
+                            json_escape(&e.to_string())
+                        )),
+                    }
+                }
+                let _ = commod.reply(
+                    &msg,
+                    &ObsCollectReply {
+                        json: cluster_snapshot_json(docs),
+                    },
+                );
             } else if msg.is::<MonitorQuery>() {
                 let Ok(q) = msg.decode::<MonitorQuery>() else {
                     return;
@@ -214,6 +243,35 @@ impl MonitorService {
         )?;
         let rep: TraceReply = reply.decode()?;
         Ok(rep.hops)
+    }
+
+    /// Remote cluster-snapshot query: asks the monitor at `monitor` to
+    /// collect a point-in-time flight-recorder snapshot from every module
+    /// in `targets` (each queried over the wire with [`ntcs::ObsQuery`])
+    /// and aggregate them into one JSON document. Unreachable targets
+    /// appear as error entries in the document instead of failing the
+    /// collection.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or timeout of the collection round itself.
+    pub fn query_obs(
+        commod: &ComMod,
+        monitor: UAdd,
+        targets: &[UAdd],
+        max_events: u32,
+    ) -> Result<String> {
+        let reply = commod.send_receive(
+            monitor,
+            &ObsCollect {
+                targets: targets.iter().map(|u| u.raw()).collect(),
+                max_events,
+            },
+            // The monitor spends up to 2 s per unreachable target.
+            Some(Duration::from_secs(3 + 2 * targets.len() as u64)),
+        )?;
+        let rep: ObsCollectReply = reply.decode()?;
+        Ok(rep.json)
     }
 
     /// Stops the monitor.

@@ -43,10 +43,13 @@ use std::time::Duration;
 use ntcs_addr::{AttrSet, MachineId, NetworkId, NtcsError, PhysAddr, Result, UAdd};
 use ntcs_ipcs::World;
 use ntcs_naming::NspLayer;
-use ntcs_nucleus::obs::{hop_kind, HopRecord, ModuleReport, ReportSource};
+use ntcs_nucleus::obs::{
+    event_kind, hop_kind, render_module_snapshot_json, render_module_table, HopRecord,
+    ModuleReport, ObsQuery, ObsReply, ReportSource,
+};
 use ntcs_nucleus::proto::OpenPayload;
 use ntcs_nucleus::{GatewayHandler, Lvc, Nucleus, NucleusConfig};
-use ntcs_wire::{Frame, FrameHeader, FrameType};
+use ntcs_wire::{Frame, FrameHeader, FrameType, Message};
 use parking_lot::RwLock;
 
 /// Counters maintained by one gateway.
@@ -132,6 +135,14 @@ impl GatewayHandler for Splicer {
         self.metrics
             .circuits_spliced
             .fetch_add(1, Ordering::Relaxed);
+        // aux carries the splice's final destination, so a snapshot names
+        // both ends of the transit circuit.
+        self.nucleus.recorder().record(
+            event_kind::CIRCUIT_OPEN,
+            open.header.src.raw(),
+            open.header.msg_id,
+            open.header.dst.raw(),
+        );
         // Only the open frame's header is visible to a gateway (relays are
         // raw pass-through), so the splice hop reports against the trace id
         // stamped on the open by the originating LCM.
@@ -152,14 +163,25 @@ impl GatewayHandler for Splicer {
             }
         }
         // Splice: two relay threads, raw pass-through.
-        spawn_relay(lvc.clone(), next.clone(), Arc::clone(&self.metrics));
-        spawn_relay(next, lvc, Arc::clone(&self.metrics));
+        spawn_relay(
+            lvc.clone(),
+            next.clone(),
+            Arc::clone(&self.metrics),
+            self.nucleus.clone(),
+        );
+        spawn_relay(next, lvc, Arc::clone(&self.metrics), self.nucleus.clone());
     }
 }
 
 impl Splicer {
     fn refuse(&self, lvc: &Lvc, open: &Frame, cause: NtcsError) {
         self.metrics.refusals.fetch_add(1, Ordering::Relaxed);
+        self.nucleus.recorder().record(
+            event_kind::SHED,
+            open.header.src.raw(),
+            open.header.msg_id,
+            u64::from(cause.wire_code()),
+        );
         let mut h = FrameHeader::new(
             FrameType::IvcAbort,
             self.nucleus.my_uadd(),
@@ -172,7 +194,7 @@ impl Splicer {
     }
 }
 
-fn spawn_relay(from: Lvc, to: Lvc, metrics: Arc<GatewayMetrics>) {
+fn spawn_relay(from: Lvc, to: Lvc, metrics: Arc<GatewayMetrics>, nucleus: Nucleus) {
     std::thread::Builder::new()
         .name("ntcs-gateway-relay".into())
         .spawn(move || {
@@ -202,8 +224,67 @@ fn spawn_relay(from: Lvc, to: Lvc, metrics: Arc<GatewayMetrics>) {
             from.close();
             to.close();
             metrics.teardowns.fetch_add(1, Ordering::Relaxed);
+            nucleus
+                .recorder()
+                .record(event_kind::CIRCUIT_CLOSE, 0, 0, 0);
         })
         .expect("spawn relay");
+}
+
+/// The gateway Nucleus's full report with the splice counters appended.
+fn gateway_report(nucleus: &Nucleus, metrics: &GatewayMetrics) -> ModuleReport {
+    let mut report = nucleus.module_report();
+    report.counters.extend([
+        (
+            "gw_circuits_spliced",
+            metrics.circuits_spliced.load(Ordering::Relaxed),
+        ),
+        (
+            "gw_frames_relayed",
+            metrics.frames_relayed.load(Ordering::Relaxed),
+        ),
+        ("gw_teardowns", metrics.teardowns.load(Ordering::Relaxed)),
+        ("gw_refusals", metrics.refusals.load(Ordering::Relaxed)),
+    ]);
+    report
+}
+
+/// Answers [`ObsQuery`] probes aimed at the gateway with a point-in-time
+/// snapshot. The responder pulls ONLY `ObsQuery` messages out of the
+/// shared inbox (`recv_of_type`): the gateway's own NSP layer parks RPC
+/// replies there for `wait_reply` to claim, and a FIFO drain would steal
+/// them mid-splice. Everything else keeps the pre-responder behaviour
+/// (a bounded inbox that sheds when full). Exits when the Nucleus shuts
+/// down.
+fn spawn_obs_responder(nucleus: Nucleus, metrics: Arc<GatewayMetrics>) {
+    std::thread::Builder::new()
+        .name("ntcs-gateway-obs".into())
+        .spawn(move || loop {
+            match nucleus.recv_of_type(ObsQuery::TYPE_ID, Some(Duration::from_millis(200))) {
+                Ok(m) if m.reply_expected => {
+                    let max = m
+                        .payload
+                        .decode::<ObsQuery>(nucleus.machine_type())
+                        .map_or(usize::MAX, |q| q.max_events as usize);
+                    let mut report = gateway_report(&nucleus, &metrics);
+                    if report.events.len() > max {
+                        let skip = report.events.len() - max;
+                        report.events.drain(..skip);
+                    }
+                    let reply = ObsReply {
+                        module: report.module.clone(),
+                        json: render_module_snapshot_json(&report),
+                        table: render_module_table(&report),
+                    };
+                    let _ = nucleus.reply_message(&m, &reply);
+                }
+                // A cast ObsQuery (no reply expected) has nowhere to send
+                // the snapshot; drop it.
+                Ok(_) | Err(NtcsError::Timeout) => {}
+                Err(_) => break,
+            }
+        })
+        .expect("spawn gateway obs responder");
 }
 
 /// A running Gateway module.
@@ -271,6 +352,7 @@ impl Gateway {
         let attrs = AttrSet::named(name)?;
         let networks = nucleus.nd().networks();
         let (uadd, _gen) = nsp.register(&attrs, true, &networks, None)?;
+        spawn_obs_responder(nucleus.clone(), Arc::clone(&metrics));
         Ok(Gateway {
             nucleus,
             nsp,
@@ -337,22 +419,14 @@ impl Gateway {
     pub fn report_source(&self) -> ReportSource {
         let nucleus = self.nucleus.clone();
         let metrics = Arc::clone(&self.metrics);
-        Box::new(move || {
-            let mut report: ModuleReport = nucleus.module_report();
-            report.counters.extend([
-                (
-                    "gw_circuits_spliced",
-                    metrics.circuits_spliced.load(Ordering::Relaxed),
-                ),
-                (
-                    "gw_frames_relayed",
-                    metrics.frames_relayed.load(Ordering::Relaxed),
-                ),
-                ("gw_teardowns", metrics.teardowns.load(Ordering::Relaxed)),
-                ("gw_refusals", metrics.refusals.load(Ordering::Relaxed)),
-            ]);
-            report
-        })
+        Box::new(move || gateway_report(&nucleus, &metrics))
+    }
+
+    /// The gateway's point-in-time observability report (Nucleus report
+    /// plus splice counters) — what remote [`ObsQuery`] askers receive.
+    #[must_use]
+    pub fn module_report(&self) -> ModuleReport {
+        gateway_report(&self.nucleus, &self.metrics)
     }
 
     /// The gateway's NSP layer (deregistration, test hooks).

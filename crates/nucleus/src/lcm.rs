@@ -38,7 +38,9 @@ use parking_lot::{Mutex, RwLock};
 use crate::config::NucleusConfig;
 use crate::metrics::NucleusMetrics;
 use crate::nd::{Lvc, NdLayer};
-use crate::obs::{ModuleReport, NucleusHistograms, TraceId, TraceIdGen};
+use crate::obs::{
+    event_kind, FlightRecorder, ModuleReport, NucleusHistograms, TraceId, TraceIdGen,
+};
 use crate::proto::OpenPayload;
 use crate::resolver::{NameResolver, ResolvedModule, StaticResolver};
 use crate::supervisor::{
@@ -215,6 +217,9 @@ struct Inner {
     retx: RetransmissionQueue,
     /// Sink receiving reliable messages whose recovery is exhausted.
     dead_letter: RwLock<Option<DeadLetterSink>>,
+    /// The always-on flight recorder (ring of structured events; reads the
+    /// injected clock so same-seed runs record identical streams).
+    recorder: Arc<FlightRecorder>,
     shutdown: AtomicBool,
 }
 
@@ -272,11 +277,29 @@ impl Nucleus {
         for b in config.module_hint.bytes() {
             trace_seed = trace_seed.wrapping_mul(0x100_0000_01B3) ^ u64::from(b);
         }
+        let recorder = Arc::new(FlightRecorder::new(
+            clock.clone(),
+            if config.recorder.enabled {
+                config.recorder.capacity
+            } else {
+                0
+            },
+            config.recorder.hot_sample_shift,
+        ));
+        {
+            // Batch flushes happen on ND threads; the observer routes them
+            // into this module's ring.
+            let rec = Arc::clone(&recorder);
+            nd.batch_stats().set_flush_observer(Arc::new(move |frames| {
+                rec.record(event_kind::BATCH_FLUSH, 0, 0, frames);
+            }));
+        }
         let inner = Arc::new(Inner {
             gauge: RecursionGauge::new(config.max_recursion_depth),
             breakers: BreakerRegistry::new(config.breaker.clone(), clock.clone()),
             retx: RetransmissionQueue::new(config.retransmit_queue_cap),
             dead_letter: RwLock::new(None),
+            recorder,
             clock,
             hists: NucleusHistograms::new(),
             trace_ids: TraceIdGen::new(trace_seed),
@@ -439,6 +462,24 @@ impl Nucleus {
         self.inner.breakers.all_health()
     }
 
+    /// This module's flight recorder (structured event ring).
+    #[must_use]
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.inner.recorder
+    }
+
+    /// Failure-path crash dump: when `NTCS_OBS_DUMP` is set, writes this
+    /// module's snapshot JSON to `target/obs/<reason>-<module>.json`.
+    /// Best-effort and cheap when the variable is unset (one env probe).
+    pub fn maybe_dump_snapshot(&self, reason: &str) -> Option<std::path::PathBuf> {
+        std::env::var_os("NTCS_OBS_DUMP")?;
+        let r = self.module_report();
+        crate::obs::dump_snapshot(
+            &format!("{reason}-{}", r.module),
+            &crate::obs::render_module_snapshot_json(&r),
+        )
+    }
+
     /// This module's full observability report: every counter, the
     /// retransmit/recursion gauges, all four latency histograms, and the
     /// per-peer breaker states — the unit the [`crate::obs::MetricsRegistry`]
@@ -447,14 +488,19 @@ impl Nucleus {
     pub fn module_report(&self) -> ModuleReport {
         let mut counters = self.inner.metrics.snapshot().counters();
         counters.push(("nd_rx_sheds", self.inner.nd.rx_shed_count()));
-        let (forwarding_entries, credits_available) = {
+        counters.push(("batch_flushes", self.inner.nd.batch_stats().flushes()));
+        counters.push(("recorder_lost", self.inner.recorder.lost()));
+        let (forwarding_entries, credits_available, inbox_depth) = {
             let st = self.inner.state.lock();
+            // Closed entries linger in `conns` until the reader notices;
+            // their dead windows must not inflate the credit gauge.
             let credits: u64 = st
                 .conns
                 .values()
+                .filter(|e| !e.closed)
                 .filter_map(|e| e.flow.as_ref().map(|f| f.window.available_bytes()))
                 .sum();
-            (st.forwarding.len() as u64, credits)
+            (st.forwarding.len() as u64, credits, st.inbox.len() as u64)
         };
         ModuleReport {
             module: self.inner.config.module_hint.clone(),
@@ -464,6 +510,11 @@ impl Nucleus {
                 ("recursion_depth", u64::from(self.inner.gauge.depth())),
                 ("forwarding_entries", forwarding_entries),
                 ("flow_credits_available", credits_available),
+                ("inbox_depth", inbox_depth),
+                (
+                    "batch_pending_frames",
+                    self.inner.nd.batch_stats().pending_frames(),
+                ),
             ],
             histograms: self.inner.hists.snapshots(),
             breakers: self
@@ -473,6 +524,7 @@ impl Nucleus {
                 .into_iter()
                 .map(|(peer, health)| (format!("{peer}"), health))
                 .collect(),
+            events: self.inner.recorder.events(),
         }
     }
 
@@ -748,12 +800,19 @@ impl Nucleus {
         error: NtcsError,
     ) -> NtcsError {
         self.inner.metrics.bump(&self.inner.metrics.dead_letters);
+        self.inner.recorder.record(
+            event_kind::DEAD_LETTER,
+            dst.raw(),
+            msg_id,
+            u64::from(attempts),
+        );
         self.inner.trace.record(
             self.inner.gauge.depth(),
             Layer::Lcm,
             "dead-letter",
             format!("{dst} msg {msg_id} after {attempts} attempts: {error}"),
         );
+        self.maybe_dump_snapshot("dead-letter");
         let letter = DeadLetter {
             dst,
             msg_id,
@@ -840,6 +899,39 @@ impl Nucleus {
                         send_reliable_ack(&self.inner, &lvc, wire_peer, m.msg_id);
                     }
                 }
+                self.note_drain(&m);
+                return Ok(m);
+            }
+            self.pump_once(remaining(deadline)?)?;
+        }
+    }
+
+    /// Receives the next message of exactly `type_id`, leaving every other
+    /// inbox entry untouched. Dedicated responder threads (the gateway's
+    /// [`crate::obs::ObsQuery`] answerer) must use this rather than
+    /// [`Nucleus::recv`]: the shared inbox also carries RPC replies that a
+    /// concurrent [`Nucleus::wait_reply`] on another thread will claim by
+    /// `reply_to`, and a FIFO pop would steal them.
+    ///
+    /// # Errors
+    ///
+    /// [`NtcsError::Timeout`] if nothing of that type arrives in time,
+    /// [`NtcsError::ShutDown`] after shutdown.
+    pub fn recv_of_type(&self, type_id: u32, timeout: Option<Duration>) -> Result<Received> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        loop {
+            if self.is_shut_down() {
+                return Err(NtcsError::ShutDown);
+            }
+            let hit = {
+                let mut st = self.inner.state.lock();
+                st.inbox
+                    .iter()
+                    .position(|m| m.payload.type_id == type_id)
+                    .map(|pos| st.inbox.remove(pos).expect("position valid"))
+            };
+            if let Some(m) = hit {
+                self.inner.metrics.bump(&self.inner.metrics.recvs);
                 self.note_drain(&m);
                 return Ok(m);
             }
@@ -941,6 +1033,9 @@ impl Nucleus {
                     match e.lvc.send_frame(&frame) {
                         Ok(()) => {
                             self.inner.metrics.bump(&self.inner.metrics.sends);
+                            self.inner
+                                .recorder
+                                .record(event_kind::SEND, e.peer.raw(), msg_id, 0);
                             return Ok(msg_id);
                         }
                         Err(_) => { /* fall through to address-based send */ }
@@ -1070,6 +1165,9 @@ impl Nucleus {
                         self.inner
                             .metrics
                             .bump(&self.inner.metrics.breaker_recoveries);
+                        self.inner
+                            .recorder
+                            .record(event_kind::BREAKER, target.raw(), 0, 0);
                         self.inner.trace.record(
                             self.inner.gauge.depth(),
                             Layer::Lcm,
@@ -1095,6 +1193,9 @@ impl Nucleus {
                         );
                     }
                     self.inner.metrics.bump(&self.inner.metrics.sends);
+                    self.inner
+                        .recorder
+                        .record(event_kind::SEND, target.raw(), msg_id, 0);
                     return Ok(());
                 }
                 Err(e) if e.is_relocation_candidate() && !connectionless => {
@@ -1131,6 +1232,9 @@ impl Nucleus {
     fn record_breaker_failure(&self, target: UAdd) {
         if self.inner.breakers.record_failure(target) {
             self.inner.metrics.bump(&self.inner.metrics.breaker_trips);
+            self.inner
+                .recorder
+                .record(event_kind::BREAKER, target.raw(), 0, 2);
             self.inner.trace.record(
                 self.inner.gauge.depth(),
                 Layer::Lcm,
@@ -1295,6 +1399,9 @@ impl Nucleus {
             return Ok(());
         }
         self.inner.metrics.bump(&self.inner.metrics.flow_stalls);
+        self.inner
+            .recorder
+            .record(event_kind::CREDIT_STALL, target.raw(), msg_id, need as u64);
         if trace_id != 0 {
             self.inner.trace.record(
                 self.inner.gauge.depth(),
@@ -1312,6 +1419,7 @@ impl Nucleus {
                         return Ok(());
                     }
                     if Instant::now() >= deadline {
+                        self.maybe_dump_snapshot("flow-stalled");
                         return Err(NtcsError::FlowStalled(target.raw()));
                     }
                 }
@@ -1402,6 +1510,9 @@ impl Nucleus {
             e.closed = true;
             e.lvc.close();
             let peer = e.peer;
+            self.inner
+                .recorder
+                .record(event_kind::CIRCUIT_CLOSE, peer.raw(), 0, 0);
             if st.by_peer.get(&peer) == Some(&conn_id) {
                 st.by_peer.remove(&peer);
             }
@@ -1538,6 +1649,12 @@ impl Nucleus {
                 .nd
                 .open_with_policy(&first_addr, &self.inner.config.retry, |n, e| {
                     self.inner.metrics.bump(&self.inner.metrics.retry_attempts);
+                    self.inner.recorder.record(
+                        event_kind::RETRY,
+                        resolved.uadd.raw(),
+                        0,
+                        u64::from(n),
+                    );
                     self.inner
                         .metrics
                         .bump(&self.inner.metrics.nd_open_attempts);
@@ -1605,6 +1722,9 @@ impl Nucleus {
             self.pump_once(Some(Duration::from_millis(10)))?;
         }
         self.inner.metrics.bump(&self.inner.metrics.circuits_opened);
+        self.inner
+            .recorder
+            .record(event_kind::CIRCUIT_OPEN, resolved.uadd.raw(), 0, 1);
         self.inner
             .hists
             .circuit_establish_us
@@ -1731,6 +1851,9 @@ impl Nucleus {
                     }
                 }
                 if deliver {
+                    self.inner
+                        .recorder
+                        .record(event_kind::DELIVER, peer.raw(), h.msg_id, 0);
                     if h.sent_at_us != 0 {
                         // Send→deliver latency on the receiver's corrected
                         // clock; skew can make it negative, which the
@@ -1772,6 +1895,12 @@ impl Nucleus {
                         // back to the peer that sent it (it will never be
                         // drained by the application).
                         self.inner.metrics.bump(&self.inner.metrics.flow_sheds);
+                        self.inner.recorder.record(
+                            event_kind::SHED,
+                            evicted.src.raw(),
+                            evicted.msg_id,
+                            st.inbox.len() as u64,
+                        );
                         if Lane::classify(evicted.payload.type_id) == Lane::Bulk {
                             if let Some(src) = st.conns.get(&evicted.conn_id) {
                                 if let Some(flow) = &src.flow {
@@ -1814,6 +1943,12 @@ impl Nucleus {
                 if let Some(e) = st.conns.get(&conn_id) {
                     if let Some(flow) = &e.flow {
                         flow.window.replenish(h.msg_id, h.aux);
+                        self.inner.recorder.record(
+                            event_kind::CREDIT_GRANT,
+                            e.peer.raw(),
+                            0,
+                            h.msg_id,
+                        );
                     }
                 }
             }
@@ -1968,6 +2103,9 @@ fn greet_inbound(inner: &Arc<Inner>, lvc: Lvc) {
         st.by_peer.insert(peer_key, conn_id);
     }
     inner.metrics.bump(&inner.metrics.circuits_accepted);
+    inner
+        .recorder
+        .record(event_kind::CIRCUIT_OPEN, peer_on_wire.raw(), 0, 0);
     inner.trace.record(
         0,
         Layer::Nd,

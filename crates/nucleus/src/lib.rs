@@ -43,15 +43,17 @@ pub mod retry;
 pub mod supervisor;
 pub mod trace;
 
-pub use config::NucleusConfig;
+pub use config::{NucleusConfig, RecorderSettings};
 pub use lcm::{GatewayHandler, Nucleus, Outbound, Received};
 pub use metrics::{NucleusMetrics, NucleusMetricsSnapshot};
-pub use nd::{Lvc, NdLayer};
+pub use nd::{BatchStats, Lvc, NdLayer};
 pub use ntcs_flow::{FlowPolicy, FlowSettings, Lane, CONTROL_TYPE_MAX};
 pub use obs::{
-    hop_kind, Histogram, HistogramSnapshot, HopRecord, MetricsRegistry, ModuleReport,
-    NucleusHistograms, ReportSource, TraceId, TraceIdGen, TraceQuery, TraceReply,
-    HISTOGRAM_BUCKETS,
+    cluster_snapshot_json, dump_snapshot, event_kind, hop_kind, json_escape,
+    render_module_snapshot_json, render_module_table, FlightRecorder, GaugeSampler, GaugeSource,
+    Histogram, HistogramSnapshot, HopRecord, MetricsRegistry, ModuleReport, NucleusHistograms,
+    ObsCollect, ObsCollectReply, ObsQuery, ObsReply, RecordedEvent, ReportSource, TraceId,
+    TraceIdGen, TraceQuery, TraceReply, HISTOGRAM_BUCKETS,
 };
 pub use proto::{Hop, OpenPayload};
 pub use resolver::{NameResolver, ResolvedModule, RouteInfo, StaticResolver};

@@ -13,7 +13,7 @@
 //! [`ntcs_wire::Frame`] (shift-mode header + payload byte stream). Nothing
 //! above it ever sees an [`ntcs_ipcs::IpcsChannel`].
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -79,6 +79,70 @@ struct BatchState {
     error: Option<NtcsError>,
 }
 
+/// Cross-LVC batching statistics, shared between an [`NdLayer`] and every
+/// circuit it opens or wraps: completed flushes, frames they carried, and
+/// the instantaneous batch fill. An optional observer fires on each
+/// completed flush (the LCM routes it into the module's flight recorder).
+#[derive(Default)]
+pub struct BatchStats {
+    flushes: AtomicU64,
+    flushed_frames: AtomicU64,
+    pending: AtomicI64,
+    observer: std::sync::OnceLock<Arc<dyn Fn(u64) + Send + Sync>>,
+}
+
+impl std::fmt::Debug for BatchStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchStats")
+            .field("flushes", &self.flushes())
+            .field("flushed_frames", &self.flushed_frames())
+            .field("pending_frames", &self.pending_frames())
+            .finish()
+    }
+}
+
+impl BatchStats {
+    /// Completed batch flushes (at least one frame on the wire).
+    #[must_use]
+    pub fn flushes(&self) -> u64 {
+        self.flushes.load(Ordering::Relaxed)
+    }
+
+    /// Frames put on the wire by completed flushes.
+    #[must_use]
+    pub fn flushed_frames(&self) -> u64 {
+        self.flushed_frames.load(Ordering::Relaxed)
+    }
+
+    /// Frames currently buffered awaiting a flush, across every circuit
+    /// sharing these stats (the "batch fill" gauge).
+    #[must_use]
+    pub fn pending_frames(&self) -> u64 {
+        u64::try_from(self.pending.load(Ordering::Relaxed)).unwrap_or(0)
+    }
+
+    /// Installs the flush observer, invoked with the frame count of each
+    /// completed flush. First caller wins; later calls are ignored.
+    pub fn set_flush_observer(&self, observer: Arc<dyn Fn(u64) + Send + Sync>) {
+        let _ = self.observer.set(observer);
+    }
+
+    fn note_push(&self) {
+        self.pending.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_flush(&self, frames: u64, ok: bool) {
+        self.pending.fetch_sub(frames as i64, Ordering::Relaxed);
+        if ok && frames > 0 {
+            self.flushes.fetch_add(1, Ordering::Relaxed);
+            self.flushed_frames.fetch_add(frames, Ordering::Relaxed);
+            if let Some(obs) = self.observer.get() {
+                obs(frames);
+            }
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Batcher {
     chan: Arc<dyn IpcsChannel>,
@@ -88,6 +152,7 @@ struct Batcher {
     state: Mutex<BatchState>,
     cv: Condvar,
     shutdown: AtomicBool,
+    stats: Arc<BatchStats>,
 }
 
 impl Batcher {
@@ -99,6 +164,7 @@ impl Batcher {
         if st.pending.is_empty() {
             return Ok(());
         }
+        let n = st.pending.len() as u64;
         let result = if st.pending.len() == 1 {
             self.chan
                 .send(st.pending.pop().expect("pending is nonempty"))
@@ -122,6 +188,7 @@ impl Batcher {
         if let Err(e) = &result {
             st.error = Some(e.clone());
         }
+        self.stats.note_flush(n, result.is_ok());
         result
     }
 }
@@ -198,6 +265,28 @@ impl Lvc {
         pool: BufferPool,
         policy: BatchPolicy,
     ) -> Self {
+        Self::with_policy_stats(
+            chan,
+            network,
+            machine_type,
+            pool,
+            policy,
+            Arc::new(BatchStats::default()),
+        )
+    }
+
+    /// As [`Lvc::with_policy`], accounting batch activity on shared
+    /// [`BatchStats`] (an [`NdLayer`] passes its layer-wide stats so every
+    /// circuit feeds one set of flush counters and the fill gauge).
+    #[must_use]
+    pub fn with_policy_stats(
+        chan: Arc<dyn IpcsChannel>,
+        network: NetworkId,
+        machine_type: MachineType,
+        pool: BufferPool,
+        policy: BatchPolicy,
+        stats: Arc<BatchStats>,
+    ) -> Self {
         let batcher = if policy.active() {
             let b = Arc::new(Batcher {
                 chan: Arc::clone(&chan),
@@ -207,6 +296,7 @@ impl Lvc {
                 state: Mutex::new(BatchState::default()),
                 cv: Condvar::new(),
                 shutdown: AtomicBool::new(false),
+                stats,
             });
             spawn_flusher(&b);
             Some(b)
@@ -257,6 +347,7 @@ impl Lvc {
                     return Err(e);
                 }
                 st.pending.push(block);
+                b.stats.note_push();
                 b.flush_locked(&mut st)
             }
             None => self.chan.send(block),
@@ -304,6 +395,7 @@ impl Lvc {
             return Err(e);
         }
         st.pending.push(Bytes::from(buf));
+        b.stats.note_push();
         if st.pending.len() >= b.policy.max_frames {
             b.flush_locked(&mut st)
         } else {
@@ -427,6 +519,7 @@ pub struct NdLayer {
     pool: BufferPool,
     policy: BatchPolicy,
     rx_sheds: Arc<AtomicU64>,
+    batch_stats: Arc<BatchStats>,
 }
 
 impl NdLayer {
@@ -471,6 +564,7 @@ impl NdLayer {
             pool: world.buffer_pool(),
             policy,
             rx_sheds: Arc::new(AtomicU64::new(0)),
+            batch_stats: Arc::new(BatchStats::default()),
         })
     }
 
@@ -478,6 +572,13 @@ impl NdLayer {
     #[must_use]
     pub fn rx_shed_count(&self) -> u64 {
         self.rx_sheds.load(Ordering::Relaxed)
+    }
+
+    /// Layer-wide batching statistics (flush counters and fill gauge),
+    /// shared with every LVC this layer opens or wraps.
+    #[must_use]
+    pub fn batch_stats(&self) -> &Arc<BatchStats> {
+        &self.batch_stats
     }
 
     /// The batch policy applied to this layer's LVCs.
@@ -496,12 +597,13 @@ impl NdLayer {
     /// policy and pool (the acceptor-side sibling of [`NdLayer::open`]).
     #[must_use]
     pub fn wrap(&self, chan: Arc<dyn IpcsChannel>, network: NetworkId) -> Lvc {
-        Lvc::with_policy(
+        Lvc::with_policy_stats(
             chan,
             network,
             self.machine_type,
             self.pool.clone(),
             self.policy,
+            Arc::clone(&self.batch_stats),
         )
         .with_shed_counter(Arc::clone(&self.rx_sheds))
     }

@@ -20,9 +20,12 @@
 //!   as Prometheus text-exposition format or a human table.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use std::time::Duration;
 
+use ntcs_ipcs::SimClock;
 use ntcs_wire::ntcs_message;
 
 use crate::supervisor::CircuitHealth;
@@ -302,6 +305,367 @@ pub mod hop_kind {
     }
 }
 
+/// Event kinds carried in [`RecordedEvent::kind`] — the flight recorder's
+/// taxonomy. Hot-path kinds (see [`event_kind::is_hot`]) are sampled; every
+/// failure-path kind is always recorded.
+pub mod event_kind {
+    /// An application-level message send left the LCM.
+    pub const SEND: u32 = 1;
+    /// A message was delivered into the application inbox.
+    pub const DELIVER: u32 = 2;
+    /// A supervised operation retried (aux = attempt number).
+    pub const RETRY: u32 = 3;
+    /// A circuit breaker changed state (aux = 0 healthy, 1 degraded,
+    /// 2 broken).
+    pub const BREAKER: u32 = 4;
+    /// A send stalled on an exhausted credit window (aux = bytes wanted).
+    pub const CREDIT_STALL: u32 = 5;
+    /// A credit grant replenished a window (aux = bytes granted).
+    pub const CREDIT_GRANT: u32 = 6;
+    /// The module relocated to another machine (aux = new machine id).
+    pub const RELOCATION: u32 = 7;
+    /// The ND layer flushed a coalesced batch (aux = frames in the batch).
+    pub const BATCH_FLUSH: u32 = 8;
+    /// Recovery exhausted; a message went to the dead-letter sink.
+    pub const DEAD_LETTER: u32 = 9;
+    /// A bounded queue shed a frame (aux = inbox depth at the shed).
+    pub const SHED: u32 = 10;
+    /// A virtual circuit was established (aux = 1 outbound, 0 inbound).
+    pub const CIRCUIT_OPEN: u32 = 11;
+    /// A virtual circuit closed or was torn down.
+    pub const CIRCUIT_CLOSE: u32 = 12;
+
+    /// Number of distinct event kinds (for per-kind sampling counters).
+    pub(crate) const COUNT: usize = 13;
+
+    /// Whether a kind is hot-path (per-message) and therefore subject to
+    /// 1-in-2^shift sampling. Failure-path kinds always record.
+    #[must_use]
+    pub fn is_hot(kind: u32) -> bool {
+        matches!(kind, SEND | DELIVER | CREDIT_GRANT | BATCH_FLUSH)
+    }
+
+    /// Human name of an event kind code.
+    #[must_use]
+    pub fn name(kind: u32) -> &'static str {
+        match kind {
+            SEND => "send",
+            DELIVER => "deliver",
+            RETRY => "retry",
+            BREAKER => "breaker",
+            CREDIT_STALL => "credit-stall",
+            CREDIT_GRANT => "credit-grant",
+            RELOCATION => "relocation",
+            BATCH_FLUSH => "batch-flush",
+            DEAD_LETTER => "dead-letter",
+            SHED => "shed",
+            CIRCUIT_OPEN => "circuit-open",
+            CIRCUIT_CLOSE => "circuit-close",
+            _ => "unknown",
+        }
+    }
+}
+
+/// One structured event read back from a [`FlightRecorder`] ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordedEvent {
+    /// Global sequence number (monotone per recorder; gaps mean sampling
+    /// or ring wrap, never loss of ordering).
+    pub seq: u64,
+    /// Event kind code (see [`event_kind`]).
+    pub kind: u32,
+    /// Corrected virtual timestamp of the event, µs.
+    pub timestamp_us: i64,
+    /// Peer UAdd involved (raw; 0 = none).
+    pub peer: u64,
+    /// Message id involved (0 = none).
+    pub msg_id: u64,
+    /// Kind-specific detail word (see the [`event_kind`] docs).
+    pub aux: u64,
+}
+
+/// One ring slot, seqlock-versioned: `version = 2·ticket + 1` while a
+/// writer owns it, `2·ticket + 2` once the payload is complete, 0 while
+/// never written. Readers accept a slot only when they observe the same
+/// even version before and after reading the payload.
+#[derive(Debug)]
+struct Slot {
+    version: AtomicU64,
+    kind: AtomicU64,
+    timestamp_us: AtomicI64,
+    peer: AtomicU64,
+    msg_id: AtomicU64,
+    aux: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            version: AtomicU64::new(0),
+            kind: AtomicU64::new(0),
+            timestamp_us: AtomicI64::new(0),
+            peer: AtomicU64::new(0),
+            msg_id: AtomicU64::new(0),
+            aux: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The always-on flight recorder: a fixed-size, lock-free ring of
+/// structured events, one per Nucleus/gateway. Writers claim a global
+/// ticket and publish into `ticket % capacity` under a per-slot seqlock;
+/// a writer that has been lapped a full ring by the time it claims its
+/// slot drops its event instead of corrupting a newer one ([`Self::lost`]
+/// counts those). Hot-path kinds are sampled 1-in-2^shift so steady-state
+/// cost stays a handful of atomic stores; failure-path kinds always
+/// record.
+///
+/// Timestamps come from the injected [`SimClock`], so same-seed simulation
+/// runs produce byte-identical event streams.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    slots: Box<[Slot]>,
+    ticket: AtomicU64,
+    lost: AtomicU64,
+    seen: [AtomicU64; event_kind::COUNT],
+    hot_shift: u32,
+    clock: SimClock,
+}
+
+impl FlightRecorder {
+    /// A recorder over `capacity` slots reading `clock`. `capacity == 0`
+    /// disables recording entirely (every [`Self::record`] is a no-op).
+    /// Hot-path kinds record 1 in `2^hot_sample_shift` events.
+    #[must_use]
+    pub fn new(clock: SimClock, capacity: usize, hot_sample_shift: u32) -> Self {
+        FlightRecorder {
+            slots: (0..capacity).map(|_| Slot::new()).collect(),
+            ticket: AtomicU64::new(0),
+            lost: AtomicU64::new(0),
+            seen: std::array::from_fn(|_| AtomicU64::new(0)),
+            hot_shift: hot_sample_shift.min(32),
+            clock,
+        }
+    }
+
+    /// Whether this recorder is active (nonzero capacity).
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        !self.slots.is_empty()
+    }
+
+    /// The ring capacity in events.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Events dropped because their writer was lapped mid-write (distinct
+    /// from sampling and from ordinary ring wrap, both of which are
+    /// by-design).
+    #[must_use]
+    pub fn lost(&self) -> u64 {
+        self.lost.load(Ordering::Relaxed)
+    }
+
+    /// Total events offered for `kind`, before sampling.
+    #[must_use]
+    pub fn seen(&self, kind: u32) -> u64 {
+        self.seen
+            .get(kind as usize)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Records one event. Lock-free: one sampling check, one ticket
+    /// fetch-add, one CAS and five stores on the recording path.
+    pub fn record(&self, kind: u32, peer: u64, msg_id: u64, aux: u64) {
+        if self.slots.is_empty() {
+            return;
+        }
+        if let Some(c) = self.seen.get(kind as usize) {
+            let n = c.fetch_add(1, Ordering::Relaxed);
+            if event_kind::is_hot(kind)
+                && self.hot_shift > 0
+                && n & ((1u64 << self.hot_shift) - 1) != 0
+            {
+                return;
+            }
+        }
+        let now = self.clock.now_us();
+        let cap = self.slots.len() as u64;
+        let ticket = self.ticket.fetch_add(1, Ordering::SeqCst);
+        let slot = &self.slots[(ticket % cap) as usize];
+        // The slot last completed ticket − cap (or was never written). A
+        // failed claim means another writer already owns a *newer* lap of
+        // this slot; losing our event is the corruption-free choice.
+        let expected = if ticket >= cap {
+            2 * (ticket - cap) + 2
+        } else {
+            0
+        };
+        if slot
+            .version
+            .compare_exchange(expected, 2 * ticket + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            self.lost.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        slot.kind.store(u64::from(kind), Ordering::SeqCst);
+        slot.timestamp_us.store(now, Ordering::SeqCst);
+        slot.peer.store(peer, Ordering::SeqCst);
+        slot.msg_id.store(msg_id, Ordering::SeqCst);
+        slot.aux.store(aux, Ordering::SeqCst);
+        slot.version.store(2 * ticket + 2, Ordering::SeqCst);
+    }
+
+    /// The most recent `max` events in sequence order, skipping slots a
+    /// concurrent writer holds torn. `max == usize::MAX` returns the whole
+    /// readable ring.
+    #[must_use]
+    pub fn tail(&self, max: usize) -> Vec<RecordedEvent> {
+        let mut events = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            let v1 = slot.version.load(Ordering::SeqCst);
+            if v1 == 0 || v1 % 2 == 1 {
+                continue; // never written, or mid-write
+            }
+            let ev = RecordedEvent {
+                seq: v1 / 2 - 1,
+                kind: u32::try_from(slot.kind.load(Ordering::SeqCst)).unwrap_or(0),
+                timestamp_us: slot.timestamp_us.load(Ordering::SeqCst),
+                peer: slot.peer.load(Ordering::SeqCst),
+                msg_id: slot.msg_id.load(Ordering::SeqCst),
+                aux: slot.aux.load(Ordering::SeqCst),
+            };
+            let v2 = slot.version.load(Ordering::SeqCst);
+            if v1 == v2 {
+                events.push(ev);
+            }
+        }
+        events.sort_by_key(|e| e.seq);
+        if events.len() > max {
+            events.drain(..events.len() - max);
+        }
+        events
+    }
+
+    /// Every readable event currently in the ring, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<RecordedEvent> {
+        self.tail(usize::MAX)
+    }
+}
+
+/// A callback producing one gauge sample, registered with a
+/// [`GaugeSampler`].
+pub type GaugeSource = Box<dyn Fn() -> u64 + Send + Sync>;
+
+struct SamplerInner {
+    stop: AtomicBool,
+    sources: Vec<(&'static str, GaugeSource)>,
+    latest: Mutex<Vec<(&'static str, u64)>>,
+}
+
+impl SamplerInner {
+    fn sample(&self) {
+        let fresh: Vec<(&'static str, u64)> = self.sources.iter().map(|(n, f)| (*n, f())).collect();
+        *self.latest.lock().unwrap_or_else(|e| e.into_inner()) = fresh;
+    }
+}
+
+/// A periodic gauge sampler: polls registered closures on a fixed interval
+/// from a background thread and exposes the latest values as an ordinary
+/// [`ReportSource`], so slow-to-compute gauges (pool occupancy, MBX link
+/// backlog) feed the [`MetricsRegistry`] without blocking report readers.
+///
+/// Dropping the sampler stops the thread on its next tick.
+pub struct GaugeSampler {
+    inner: Arc<SamplerInner>,
+}
+
+impl fmt::Debug for GaugeSampler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GaugeSampler")
+            .field("sources", &self.inner.sources.len())
+            .finish()
+    }
+}
+
+impl GaugeSampler {
+    /// Starts sampling `sources` every `interval`. The first sample is
+    /// taken synchronously so reports are populated immediately.
+    #[must_use]
+    pub fn spawn(interval: Duration, sources: Vec<(&'static str, GaugeSource)>) -> Self {
+        let inner = Arc::new(SamplerInner {
+            stop: AtomicBool::new(false),
+            sources,
+            latest: Mutex::new(Vec::new()),
+        });
+        inner.sample();
+        let weak: Weak<SamplerInner> = Arc::downgrade(&inner);
+        std::thread::Builder::new()
+            .name("obs-gauge-sampler".into())
+            .spawn(move || loop {
+                std::thread::park_timeout(interval);
+                let Some(inner) = weak.upgrade() else { return };
+                if inner.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                inner.sample();
+            })
+            .expect("spawn obs-gauge-sampler thread");
+        GaugeSampler { inner }
+    }
+
+    /// The most recent sample of every source.
+    #[must_use]
+    pub fn latest(&self) -> Vec<(&'static str, u64)> {
+        self.inner
+            .latest
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Re-samples every source immediately (test hook / pre-snapshot
+    /// freshness).
+    pub fn sample_now(&self) {
+        self.inner.sample();
+    }
+
+    /// A [`ReportSource`] exposing the latest samples as gauges under
+    /// `module`.
+    #[must_use]
+    pub fn report_source(&self, module: &str) -> ReportSource {
+        let inner = Arc::clone(&self.inner);
+        let module = module.to_string();
+        Box::new(move || ModuleReport {
+            module: module.clone(),
+            counters: Vec::new(),
+            gauges: inner
+                .latest
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone(),
+            histograms: Vec::new(),
+            breakers: Vec::new(),
+            events: Vec::new(),
+        })
+    }
+
+    /// Stops the sampling thread at its next tick.
+    pub fn stop(&self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Drop for GaugeSampler {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
 ntcs_message! {
     /// One leg of a traced message's journey, cast to the DRTS monitor by
     /// the module that performed it (type-id block 130-139).
@@ -337,6 +701,43 @@ ntcs_message! {
         /// The reassembled chain.
         pub hops: Vec<HopRecord>,
     }
+
+    /// Ask any module or gateway for a point-in-time snapshot of its
+    /// flight-recorder tail, gauges, histograms, and breaker/flow state.
+    /// Rides the control lane (type id ≤ `CONTROL_TYPE_MAX`), so a module
+    /// wedged on credit still answers.
+    pub struct ObsQuery: 140 {
+        /// Maximum flight-recorder events to include (0 = all readable).
+        pub max_events: u32,
+    }
+
+    /// A module's introspection snapshot, rendered at the source so the
+    /// querier needs no schema knowledge: the machine-readable JSON
+    /// document plus the human table.
+    pub struct ObsReply: 141 {
+        /// The answering module's display name.
+        pub module: String,
+        /// The snapshot as a JSON document (see DESIGN.md §7 schema).
+        pub json: String,
+        /// The snapshot as a human-readable table.
+        pub table: String,
+    }
+
+    /// Ask the DRTS monitor to fan an [`ObsQuery`] out to `targets` and
+    /// aggregate the answers into one cluster-wide snapshot document.
+    pub struct ObsCollect: 142 {
+        /// Raw UAdds to query.
+        pub targets: Vec<u64>,
+        /// Maximum flight-recorder events per target (0 = all readable).
+        pub max_events: u32,
+    }
+
+    /// The monitor's aggregated cluster snapshot.
+    pub struct ObsCollectReply: 143 {
+        /// One JSON document embedding every target's snapshot (targets
+        /// that failed to answer appear as `{"module":…,"error":…}`).
+        pub json: String,
+    }
 }
 
 impl fmt::Display for HopRecord {
@@ -369,11 +770,246 @@ pub struct ModuleReport {
     pub histograms: Vec<(&'static str, HistogramSnapshot)>,
     /// Per-peer circuit-breaker health as `(peer label, health)`.
     pub breakers: Vec<(String, CircuitHealth)>,
+    /// Flight-recorder tail (oldest first; empty when the module has no
+    /// recorder or it is disabled).
+    pub events: Vec<RecordedEvent>,
+}
+
+/// Escapes a string for embedding inside a JSON string literal.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn push_opt_us(out: &mut String, v: Option<u64>) {
+    match v {
+        Some(v) => out.push_str(&v.to_string()),
+        None => out.push_str("null"),
+    }
+}
+
+/// Renders one module's snapshot as a deterministic JSON document: keys in
+/// declaration order, events in sequence order, no wall-clock fields — so
+/// same-seed virtual-clock runs produce byte-identical documents. This is
+/// the payload of [`ObsReply::json`] and of crash dumps under
+/// `target/obs/`.
+#[must_use]
+pub fn render_module_snapshot_json(r: &ModuleReport) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\"module\":\"");
+    out.push_str(&json_escape(&r.module));
+    out.push_str("\",\"counters\":{");
+    for (i, (name, v)) in r.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{name}\":{v}"));
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, v)) in r.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{name}\":{v}"));
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, h)) in r.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let min = if h.count == 0 { 0 } else { h.min };
+        out.push_str(&format!(
+            "\"{name}\":{{\"count\":{},\"sum_us\":{},\"min_us\":{min},\"max_us\":{},\"mean_us\":{:.1},",
+            h.count, h.sum, h.max, h.mean_us()
+        ));
+        out.push_str("\"p50_le_us\":");
+        push_opt_us(&mut out, h.quantile_upper_us(0.5));
+        out.push_str(",\"p90_le_us\":");
+        push_opt_us(&mut out, h.quantile_upper_us(0.9));
+        out.push_str(",\"p99_le_us\":");
+        push_opt_us(&mut out, h.quantile_upper_us(0.99));
+        out.push('}');
+    }
+    out.push_str("},\"breakers\":{");
+    for (i, (peer, health)) in r.breakers.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":\"{health}\"", json_escape(peer)));
+    }
+    out.push_str("},\"events\":[");
+    for (i, e) in r.events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"seq\":{},\"kind\":\"{}\",\"t_us\":{},\"peer\":{},\"msg_id\":{},\"aux\":{}}}",
+            e.seq,
+            event_kind::name(e.kind),
+            e.timestamp_us,
+            e.peer,
+            e.msg_id,
+            e.aux
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Wraps per-module snapshot documents (already-rendered JSON) into one
+/// cluster-wide snapshot document. Used by [`MetricsRegistry`] locally and
+/// by the DRTS monitor when aggregating remote [`ObsReply`] answers.
+#[must_use]
+pub fn cluster_snapshot_json<I>(docs: I) -> String
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut out = String::from("{\"snapshot\":\"ntcs-cluster\",\"modules\":[");
+    for (i, doc) in docs.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&doc);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders one module's snapshot as a human-readable table section:
+/// nonzero counters/gauges, histogram summaries, breaker states, and the
+/// flight-recorder tail (newest 10 events).
+#[must_use]
+pub fn render_module_table(r: &ModuleReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("=== {} ===\n", r.module));
+    for (name, v) in r.counters.iter().chain(r.gauges.iter()) {
+        if *v != 0 {
+            out.push_str(&format!("  {name:<24} {v}\n"));
+        }
+    }
+    for (name, h) in &r.histograms {
+        if h.count == 0 {
+            continue;
+        }
+        let p99 = h
+            .quantile_upper_us(0.99)
+            .map_or_else(|| "inf".to_string(), |v| v.to_string());
+        out.push_str(&format!(
+            "  {name:<24} n={} mean={:.1}µs min={}µs max={}µs p99≤{}µs\n",
+            h.count,
+            h.mean_us(),
+            h.min,
+            h.max,
+            p99
+        ));
+    }
+    for (peer, health) in &r.breakers {
+        out.push_str(&format!("  breaker {peer:<16} {health}\n"));
+    }
+    let skip = r.events.len().saturating_sub(10);
+    for e in &r.events[skip..] {
+        out.push_str(&format!(
+            "  event #{:<6} {:14} peer={:#x} msg={} aux={} at {}µs\n",
+            e.seq,
+            event_kind::name(e.kind),
+            e.peer,
+            e.msg_id,
+            e.aux,
+            e.timestamp_us
+        ));
+    }
+    out
+}
+
+/// Writes a snapshot JSON document to `target/obs/<name>.json` (or under
+/// `$NTCS_OBS_DIR` when set), creating directories as needed. Returns the
+/// written path, or `None` if the filesystem refused — dumps are
+/// best-effort and never fail the caller.
+pub fn dump_snapshot(name: &str, json: &str) -> Option<PathBuf> {
+    let dir =
+        std::env::var("NTCS_OBS_DIR").map_or_else(|_| PathBuf::from("target/obs"), PathBuf::from);
+    std::fs::create_dir_all(&dir).ok()?;
+    let safe: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    let path = dir.join(format!("{safe}.json"));
+    std::fs::write(&path, json).ok()?;
+    Some(path)
 }
 
 /// A callback producing a module's current [`ModuleReport`]; registered
 /// once per module with the [`MetricsRegistry`].
 pub type ReportSource = Box<dyn Fn() -> ModuleReport + Send + Sync>;
+
+/// One-line help text for a metric family, emitted as the Prometheus
+/// `# HELP` line. Unknown names get a generic description rather than no
+/// HELP at all — the exposition format requires the metadata pair for
+/// every family.
+#[must_use]
+pub fn help_for(name: &str) -> &'static str {
+    match name {
+        "sends" => "Application-level message sends.",
+        "recvs" => "Messages received by the application.",
+        "delivers" => "Messages delivered into the application inbox.",
+        "retry_attempts" => "Supervised-operation retry attempts.",
+        "dead_letters" => "Messages abandoned to the dead-letter sink.",
+        "breaker_trips" => "Circuit-breaker trips to Broken.",
+        "breaker_recoveries" => "Circuit-breaker recoveries to Healthy.",
+        "dedupe_drops" => "Duplicate reliable sends dropped by the receiver.",
+        "circuits_opened" => "Outbound virtual circuits established.",
+        "circuits_accepted" => "Inbound virtual circuits accepted.",
+        "address_faults" => "Address faults detected (peer relocated).",
+        "reconnects" => "Transparent circuit re-establishments.",
+        "inbox_sheds" => "Messages shed from the bounded inbox.",
+        "nd_rx_sheds" => "Frames shed from bounded ND receive queues.",
+        "flow_stalls" => "Sends that stalled on an exhausted credit window.",
+        "flow_sheds" => "Frames shed or dead-lettered by flow-control policy.",
+        "batch_flushes" => "ND-layer batch flushes put on the wire.",
+        "recorder_lost" => "Flight-recorder events lost to writer lapping.",
+        "gw_circuits_spliced" => "Circuits spliced through this gateway.",
+        "gw_frames_relayed" => "Frames relayed through gateway splices.",
+        "gw_teardowns" => "Gateway splice teardown cascades.",
+        "gw_refusals" => "Transit opens refused by this gateway.",
+        "retransmit_depth" => "Reliable sends awaiting acknowledgement.",
+        "recursion_depth" => "Current nucleus-on-nucleus recursion depth.",
+        "forwarding_entries" => "Forwarding entries left behind by relocations.",
+        "flow_credits_available" => "Credit bytes available across open circuits.",
+        "inbox_depth" => "Messages queued in the application inbox.",
+        "batch_pending_frames" => "Frames buffered awaiting a batch flush.",
+        "pool_free_buffers" => "Free buffers in the shared BufferPool.",
+        "pool_hits" => "BufferPool leases served from the freelist.",
+        "pool_misses" => "BufferPool leases that had to allocate.",
+        "pool_returns" => "Buffers returned to the BufferPool.",
+        "pool_discards" => "Returned buffers the BufferPool discarded.",
+        "mbx_backlog_bytes" => "Bytes queued across MBX links right now.",
+        "mbx_backlog_peak_bytes" => "Peak bytes queued on any MBX link.",
+        "send_to_deliver_us" => "Application send to receiver-side delivery latency.",
+        "circuit_establish_us" => "Virtual-circuit establishment latency.",
+        "ns_lookup_us" => "Naming-service lookup latency.",
+        "fault_recovery_us" => "Address-fault recovery duration.",
+        "breaker_state" => "Circuit-breaker health (0 healthy, 1 degraded, 2 broken).",
+        _ => "NTCS metric (see DESIGN.md, Observability).",
+    }
+}
 
 /// The testbed-wide registry aggregating every module's report into one
 /// export, in Prometheus text-exposition format or a human table.
@@ -433,6 +1069,7 @@ impl MetricsRegistry {
             }
         }
         for name in counter_names {
+            out.push_str(&format!("# HELP ntcs_{name}_total {}\n", help_for(name)));
             out.push_str(&format!("# TYPE ntcs_{name}_total counter\n"));
             for r in &reports {
                 if let Some((_, v)) = r.counters.iter().find(|(n, _)| *n == name) {
@@ -453,6 +1090,7 @@ impl MetricsRegistry {
             }
         }
         for name in gauge_names {
+            out.push_str(&format!("# HELP ntcs_{name} {}\n", help_for(name)));
             out.push_str(&format!("# TYPE ntcs_{name} gauge\n"));
             for r in &reports {
                 if let Some((_, v)) = r.gauges.iter().find(|(n, _)| *n == name) {
@@ -470,6 +1108,7 @@ impl MetricsRegistry {
             }
         }
         for name in hist_names {
+            out.push_str(&format!("# HELP ntcs_{name} {}\n", help_for(name)));
             out.push_str(&format!("# TYPE ntcs_{name} histogram\n"));
             for r in &reports {
                 let Some((_, h)) = r.histograms.iter().find(|(n, _)| *n == name) else {
@@ -505,6 +1144,10 @@ impl MetricsRegistry {
 
         let any_breakers = reports.iter().any(|r| !r.breakers.is_empty());
         if any_breakers {
+            out.push_str(&format!(
+                "# HELP ntcs_breaker_state {}\n",
+                help_for("breaker_state")
+            ));
             out.push_str("# TYPE ntcs_breaker_state gauge\n");
             for r in &reports {
                 for (peer, health) in &r.breakers {
@@ -530,33 +1173,19 @@ impl MetricsRegistry {
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         for r in self.reports() {
-            out.push_str(&format!("=== {} ===\n", r.module));
-            for (name, v) in r.counters.iter().chain(r.gauges.iter()) {
-                if *v != 0 {
-                    out.push_str(&format!("  {name:<24} {v}\n"));
-                }
-            }
-            for (name, h) in &r.histograms {
-                if h.count == 0 {
-                    continue;
-                }
-                let p99 = h
-                    .quantile_upper_us(0.99)
-                    .map_or_else(|| "inf".to_string(), |v| v.to_string());
-                out.push_str(&format!(
-                    "  {name:<24} n={} mean={:.1}µs min={}µs max={}µs p99≤{}µs\n",
-                    h.count,
-                    h.mean_us(),
-                    h.min,
-                    h.max,
-                    p99
-                ));
-            }
-            for (peer, health) in &r.breakers {
-                out.push_str(&format!("  breaker {peer:<16} {health}\n"));
-            }
+            out.push_str(&render_module_table(&r));
         }
         out
+    }
+
+    /// Renders every registered module's snapshot as one cluster-wide
+    /// JSON document (the local counterpart of what the DRTS monitor
+    /// assembles from remote [`ObsReply`] answers). Deterministic for
+    /// same-seed virtual-clock runs: no wall-clock fields, stable
+    /// registration order.
+    #[must_use]
+    pub fn render_snapshot_json(&self) -> String {
+        cluster_snapshot_json(self.reports().iter().map(render_module_snapshot_json))
     }
 }
 
@@ -662,6 +1291,14 @@ mod tests {
             gauges: vec![("retx_depth", 0)],
             histograms: vec![("send_to_deliver_us", h.snapshot())],
             breakers: vec![("0x200".to_string(), CircuitHealth::Degraded)],
+            events: vec![RecordedEvent {
+                seq: 0,
+                kind: event_kind::SEND,
+                timestamp_us: 7,
+                peer: 0x200,
+                msg_id: 1,
+                aux: 0,
+            }],
         }
     }
 
@@ -702,5 +1339,181 @@ mod tests {
         assert!(table.contains("=== alpha ==="));
         assert!(table.contains("sends"));
         assert!(table.contains("breaker 0x200"));
+        assert!(table.contains("event #0"), "table shows recorder tail");
+    }
+
+    /// Satellite: every exposed metric family must carry `# HELP` and
+    /// `# TYPE` metadata, and the exposition must round-trip through a
+    /// minimal text-format parser.
+    #[test]
+    fn prometheus_exposition_round_trips_with_help() {
+        let reg = MetricsRegistry::new();
+        reg.register(Box::new(|| sample_report("alpha", 3)));
+        reg.register(Box::new(|| sample_report("beta", 8)));
+        let text = reg.render_prometheus();
+
+        // Parse: family -> (help seen, type seen, sample count), enforcing
+        // that metadata precedes the samples of its family.
+        use std::collections::HashMap;
+        let mut meta: HashMap<String, (bool, bool)> = HashMap::new();
+        let mut samples: HashMap<String, u64> = HashMap::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let (fam, help) = rest.split_once(' ').expect("HELP has text");
+                assert!(!help.is_empty(), "empty HELP for {fam}");
+                meta.entry(fam.to_string()).or_insert((false, false)).0 = true;
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let (fam, ty) = rest.split_once(' ').expect("TYPE has a type");
+                assert!(
+                    matches!(ty, "counter" | "gauge" | "histogram"),
+                    "unknown type {ty}"
+                );
+                let e = meta.entry(fam.to_string()).or_insert((false, false));
+                assert!(e.0, "HELP must precede TYPE for {fam}");
+                e.1 = true;
+            } else if !line.is_empty() {
+                let name_end = line.find(['{', ' ']).expect("sample has a value");
+                let name = &line[..name_end];
+                let fam = name
+                    .strip_suffix("_bucket")
+                    .or_else(|| name.strip_suffix("_sum"))
+                    .or_else(|| name.strip_suffix("_count"))
+                    .unwrap_or(name);
+                let (help, ty) = meta
+                    .get(fam)
+                    .unwrap_or_else(|| panic!("sample {name} before metadata"));
+                assert!(*help && *ty, "family {fam} missing HELP or TYPE");
+                let value = line.rsplit(' ').next().unwrap();
+                value.parse::<f64>().expect("sample value parses");
+                *samples.entry(fam.to_string()).or_insert(0) += 1;
+            }
+        }
+        // Every family that declared metadata actually exposed samples.
+        for fam in meta.keys() {
+            assert!(
+                samples.get(fam).copied().unwrap_or(0) > 0,
+                "{fam} has no samples"
+            );
+        }
+        // Two modules ⇒ two sends samples.
+        assert_eq!(samples["ntcs_sends_total"], 2);
+    }
+
+    #[test]
+    fn recorder_records_samples_and_wraps() {
+        use ntcs_ipcs::VirtualTime;
+        let vt = Arc::new(VirtualTime::new());
+        let clock = SimClock::new_virtual(Arc::clone(&vt), 0, 0.0);
+        let rec = FlightRecorder::new(clock, 8, 0);
+        assert!(rec.is_enabled());
+        vt.advance_us(5);
+        for i in 0..20u64 {
+            rec.record(event_kind::SEND, 0x100, i, 0);
+        }
+        let evs = rec.events();
+        assert_eq!(evs.len(), 8, "ring holds exactly capacity");
+        // Newest 8 of 20, in sequence order, all timestamped virtually.
+        assert_eq!(evs[0].seq, 12);
+        assert_eq!(evs[7].seq, 19);
+        assert!(evs.iter().all(|e| e.timestamp_us == 5));
+        assert!(evs.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(rec.seen(event_kind::SEND), 20);
+        assert_eq!(rec.lost(), 0);
+    }
+
+    #[test]
+    fn recorder_samples_hot_kinds_but_not_failures() {
+        let clock = SimClock::new_virtual(Arc::new(ntcs_ipcs::VirtualTime::new()), 0, 0.0);
+        let rec = FlightRecorder::new(clock, 64, 2); // hot kinds 1-in-4
+        for i in 0..16u64 {
+            rec.record(event_kind::SEND, 0, i, 0);
+            rec.record(event_kind::CREDIT_STALL, 0, i, 0);
+        }
+        let evs = rec.events();
+        let sends = evs.iter().filter(|e| e.kind == event_kind::SEND).count();
+        let stalls = evs
+            .iter()
+            .filter(|e| e.kind == event_kind::CREDIT_STALL)
+            .count();
+        assert_eq!(sends, 4, "1-in-4 sampling on the hot path");
+        assert_eq!(stalls, 16, "failure kinds always record");
+    }
+
+    #[test]
+    fn disabled_recorder_is_a_no_op() {
+        let clock = SimClock::new_virtual(Arc::new(ntcs_ipcs::VirtualTime::new()), 0, 0.0);
+        let rec = FlightRecorder::new(clock, 0, 0);
+        assert!(!rec.is_enabled());
+        rec.record(event_kind::DEAD_LETTER, 1, 2, 3);
+        assert!(rec.events().is_empty());
+    }
+
+    #[test]
+    fn snapshot_json_is_well_formed_and_deterministic() {
+        let r = sample_report("alpha", 3);
+        let a = render_module_snapshot_json(&r);
+        let b = render_module_snapshot_json(&r);
+        assert_eq!(a, b, "same report renders byte-identically");
+        assert!(a.starts_with("{\"module\":\"alpha\""));
+        assert!(a.contains("\"counters\":{\"sends\":3,\"recvs\":1}"));
+        assert!(a.contains("\"kind\":\"send\""));
+        assert!(a.contains("\"p99_le_us\":"));
+        assert!(a.ends_with("]}"));
+
+        let reg = MetricsRegistry::new();
+        reg.register(Box::new(|| sample_report("alpha", 3)));
+        let doc = reg.render_snapshot_json();
+        assert!(doc.starts_with("{\"snapshot\":\"ntcs-cluster\",\"modules\":["));
+        assert!(doc.contains("\"module\":\"alpha\""));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn gauge_sampler_reports_latest_values() {
+        let n = Arc::new(AtomicU64::new(41));
+        let n2 = Arc::clone(&n);
+        let sampler = GaugeSampler::spawn(
+            Duration::from_millis(5),
+            vec![(
+                "answer",
+                Box::new(move || n2.load(Ordering::SeqCst)) as GaugeSource,
+            )],
+        );
+        assert_eq!(sampler.latest(), vec![("answer", 41)]);
+        n.store(42, Ordering::SeqCst);
+        sampler.sample_now();
+        assert_eq!(sampler.latest(), vec![("answer", 42)]);
+        let source = sampler.report_source("sampler");
+        let report = source();
+        assert_eq!(report.module, "sampler");
+        assert_eq!(report.gauges, vec![("answer", 42)]);
+        sampler.stop();
+    }
+
+    #[test]
+    fn obs_messages_round_trip_on_the_wire() {
+        use ntcs_addr::MachineType;
+        use ntcs_wire::{encode_payload, ConvMode, InboundPayload, Message};
+        let q = ObsCollect {
+            targets: vec![0x200, 0x300],
+            max_events: 32,
+        };
+        let inbound = InboundPayload {
+            type_id: ObsCollect::TYPE_ID,
+            mode: ConvMode::Packed,
+            src_machine: MachineType::Vax,
+            bytes: encode_payload(&q, ConvMode::Packed, MachineType::Vax),
+        };
+        let got: ObsCollect = inbound.decode(MachineType::Sun).unwrap();
+        assert_eq!(got, q);
+        assert_eq!(ObsQuery::TYPE_ID, 133);
+        assert_eq!(ObsReply::TYPE_ID, 134);
+        assert_eq!(ObsCollect::TYPE_ID, 135);
+        assert_eq!(ObsCollectReply::TYPE_ID, 136);
     }
 }

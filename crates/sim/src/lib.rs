@@ -31,7 +31,9 @@ pub mod sweep;
 pub mod topology;
 
 pub use event::EventLog;
-pub use matrix::{cells, expected, run_cell, CellOutcome, Fault, MatrixLayer, Verdict};
+pub use matrix::{
+    cells, expected, run_cell, run_cell_with_options, CellOutcome, Fault, MatrixLayer, Verdict,
+};
 pub use rng::SimRng;
 pub use runner::{FaultInjector, SimConfig, SimHarness, Simulation, Workload};
 pub use sweep::{seed_list, seed_list_from, sweep, SeedFailure, SweepReport, CLASSIC_SEEDS};

@@ -20,8 +20,8 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use ntcs::{
-    ntcs_message, ComMod, FlowSettings, MachineId, MachineType, NetKind, NetworkId, NtcsError,
-    Result, Testbed, UAdd,
+    dump_snapshot, ntcs_message, ComMod, FlowSettings, MachineId, MachineType, MetricsRegistry,
+    NetKind, NetworkId, NtcsError, Result, Testbed, UAdd,
 };
 use parking_lot::Mutex;
 
@@ -143,6 +143,10 @@ pub struct CellOutcome {
     pub verdict: Verdict,
     /// Human-readable detail (error types seen, tallies).
     pub detail: String,
+    /// Path of the flight-recorder snapshot dumped for this run, if one
+    /// was written (unacceptable verdicts dump automatically; see
+    /// [`run_cell_with_options`]).
+    pub dump: Option<std::path::PathBuf>,
 }
 
 impl CellOutcome {
@@ -200,12 +204,55 @@ pub fn expected(fault: Fault, layer: MatrixLayer) -> &'static [Verdict] {
     }
 }
 
+/// The registry of the most recently deployed cell testbed. Cells are run
+/// serially (they are wall-clock sensitive and the matrix tests hold a
+/// serialization lock), so one slot suffices; it lets the watchdog dump a
+/// flight-recorder snapshot of a cell that hung or failed — the leaked
+/// cell thread keeps the testbed, and thus every report source, alive.
+static LAST_CELL_REGISTRY: std::sync::Mutex<Option<Arc<MetricsRegistry>>> =
+    std::sync::Mutex::new(None);
+
+fn note_cell_registry(testbed: &Testbed) {
+    *LAST_CELL_REGISTRY.lock().unwrap() = Some(Arc::clone(testbed.registry()));
+}
+
+/// Renders the last deployed cell's cluster snapshot on a helper thread —
+/// a hung cell may be wedged inside the very locks a report source needs,
+/// so the render itself runs under a watchdog.
+fn render_last_cell_snapshot(budget: Duration) -> Option<String> {
+    let registry = LAST_CELL_REGISTRY.lock().unwrap().clone()?;
+    let (tx, rx) = mpsc::channel();
+    thread::Builder::new()
+        .name("cell-snapshot-dump".into())
+        .spawn(move || {
+            let _ = tx.send(registry.render_snapshot_json());
+        })
+        .ok()?;
+    rx.recv_timeout(budget).ok()
+}
+
 /// Runs one cell at `seed` under a wall-clock `budget`. The cell body runs
 /// on its own thread; if it has not produced a verdict within the budget
 /// the outcome is [`Verdict::Hung`] (the thread is leaked — a hung cell is
-/// already a failed run).
+/// already a failed run). A run whose verdict is not in the cell's
+/// acceptable set dumps the deployment's flight-recorder snapshot to
+/// `target/obs/` (override with `NTCS_OBS_DIR`).
 #[must_use]
 pub fn run_cell(fault: Fault, layer: MatrixLayer, seed: u64, budget: Duration) -> CellOutcome {
+    run_cell_with_options(fault, layer, seed, budget, false)
+}
+
+/// [`run_cell`] with an explicit dump policy: `force_dump` writes the
+/// snapshot even for acceptable verdicts (how the acceptance tests inspect
+/// what a wedged cell's dump names).
+#[must_use]
+pub fn run_cell_with_options(
+    fault: Fault,
+    layer: MatrixLayer,
+    seed: u64,
+    budget: Duration,
+    force_dump: bool,
+) -> CellOutcome {
     let (tx, rx) = mpsc::channel();
     let spawned = thread::Builder::new()
         .name(format!("cell-{fault}-{layer}"))
@@ -220,6 +267,7 @@ pub fn run_cell(fault: Fault, layer: MatrixLayer, seed: u64, budget: Duration) -
             seed,
             verdict: Verdict::Failed,
             detail: "could not spawn cell thread".into(),
+            dump: None,
         };
     }
     let (verdict, detail) = match rx.recv_timeout(budget) {
@@ -237,13 +285,20 @@ pub fn run_cell(fault: Fault, layer: MatrixLayer, seed: u64, budget: Duration) -
             format!("no verdict within {budget:?} (watchdog fired)"),
         ),
     };
-    CellOutcome {
+    let mut outcome = CellOutcome {
         fault,
         layer,
         seed,
         verdict,
         detail,
+        dump: None,
+    };
+    if force_dump || !outcome.acceptable() {
+        if let Some(json) = render_last_cell_snapshot(Duration::from_secs(2)) {
+            outcome.dump = dump_snapshot(&format!("cell-{fault}-{layer}-{seed:#018x}"), &json);
+        }
     }
+    outcome
 }
 
 // ---------------------------------------------------------------------------
@@ -269,7 +324,9 @@ fn single_net(n: usize) -> Result<(Testbed, NetworkId, Vec<MachineId>)> {
         )?);
     }
     tb.name_server_on(machines[0]);
-    Ok((tb.start()?, net, machines))
+    let testbed = tb.start()?;
+    note_cell_registry(&testbed);
+    Ok((testbed, net, machines))
 }
 
 struct GatewayChain {
@@ -289,6 +346,7 @@ fn gateway_chain() -> Result<GatewayChain> {
     let gw_machine = tb.add_machine(MachineType::Apollo, "gw-host", &[n0, n1])?;
     tb.name_server_on(ns_machine);
     let testbed = tb.start()?;
+    note_cell_registry(&testbed);
     let _gw = testbed.gateway(gw_machine, "cell-gw")?;
     Ok(GatewayChain {
         testbed,

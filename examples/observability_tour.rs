@@ -126,6 +126,28 @@ fn main() -> ntcs::Result<()> {
         println!("  {hop}");
     }
 
+    // -- live introspection: ask a REMOTE gateway for its flight recorder --
+    // ObsQuery rides the same wire as application traffic (control lane,
+    // credit-exempt): any ComMod or Gateway answers with a point-in-time
+    // snapshot — JSON for machines, a table for humans — so an operator can
+    // inspect a box they have no shell on.
+    println!("-- remote gateway snapshot (ObsQuery over the NTCS) --");
+    let snap = client.query_snapshot(
+        lab.gateways[0].uadd(),
+        16, // newest 16 flight-recorder events are plenty for a tour
+        Some(Duration::from_secs(5)),
+    )?;
+    println!("{}", snap.table);
+
+    // The monitor aggregates the same per-module answers cluster-wide: one
+    // ObsCollect fans out ObsQuery to every target and returns one document.
+    let cluster =
+        MonitorService::query_obs(&client, monitor.uadd(), &[lab.gateways[0].uadd()], 16)?;
+    println!(
+        "cluster snapshot: {} bytes of aggregated JSON\n",
+        cluster.len()
+    );
+
     println!("\n-- Prometheus text exposition (excerpt) --");
     let prom = lab.testbed.observability_report();
     for line in prom.lines().filter(|l| {

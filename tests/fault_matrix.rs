@@ -11,7 +11,9 @@
 
 use std::time::Duration;
 
-use ntcs_sim::{cells, expected, run_cell, seed_list_from, Fault, MatrixLayer, Verdict};
+use ntcs_sim::{
+    cells, expected, run_cell, run_cell_with_options, seed_list_from, Fault, MatrixLayer, Verdict,
+};
 
 /// Matrix cells build real multi-machine testbeds; run them one at a time
 /// so wall-clock deadlines inside the cells stay honest under `cargo test`
@@ -65,6 +67,46 @@ fn stuck_credit_window_stalls_cleanly_across_seeds() {
             out.detail
         );
     }
+}
+
+#[test]
+fn stuck_credit_window_dump_names_the_wedged_circuit() {
+    let _serial = MATRIX_SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    // Force the crash-dump path for a cell whose credit window is wedged:
+    // the snapshot written to target/obs/ must let an operator identify
+    // the stalled sender, the circuit it stalled on, and the exhausted
+    // window — without re-running anything.
+    let out = run_cell_with_options(
+        Fault::StuckCreditWindow,
+        MatrixLayer::Flow,
+        0x5EED_0001,
+        CELL_BUDGET,
+        true,
+    );
+    assert_eq!(out.verdict, Verdict::CleanlyErrored, "{}", out.detail);
+    let path = out
+        .dump
+        .as_ref()
+        .expect("forced dump must produce a snapshot artifact");
+    let json = std::fs::read_to_string(path).unwrap();
+    assert!(
+        json.contains("\"module\":\"cell-src\""),
+        "dump must name the stalled sender: {json}"
+    );
+    assert!(
+        json.contains("\"kind\":\"credit-stall\""),
+        "dump must carry the credit-stall flight-recorder event: {json}"
+    );
+    assert!(
+        json.contains("flow_credits_available"),
+        "dump must expose the wedged credit window gauge: {json}"
+    );
+    assert!(
+        json.contains("\"module\":\"cell-sink\""),
+        "dump must include the unresponsive receiver's report: {json}"
+    );
 }
 
 #[test]

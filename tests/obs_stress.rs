@@ -1,16 +1,22 @@
 //! Concurrency stress tests for the observability primitives: the
-//! lock-free [`Histogram`] and the [`MetricsRegistry`] aggregator.
+//! lock-free [`Histogram`], the [`MetricsRegistry`] aggregator, and the
+//! [`FlightRecorder`] ring buffer.
 //!
-//! The histogram is recorded into from the LCM hot path by every
-//! in-flight send, so its invariants must hold under real contention:
+//! The histogram and recorder are written from the LCM hot path by every
+//! in-flight send, so their invariants must hold under real contention:
 //! no lost updates (count == N×M), no miscounted buckets (bucket sum ==
-//! count), and aggregates that match the recorded values exactly.
+//! count), no torn events, monotone sequence numbers, and bounded memory.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
 
-use ntcs::{Histogram, MetricsRegistry, ModuleReport};
+use ntcs::{
+    event_kind, ntcs_message, render_module_snapshot_json, FlightRecorder, Histogram, MachineType,
+    MetricsRegistry, ModuleReport, NetKind, SimClock, TestbedBuilder,
+};
+use ntcs_ipcs::VirtualTime;
 
 const THREADS: usize = 8;
 const RECORDS_PER_THREAD: usize = 20_000;
@@ -166,6 +172,7 @@ fn registry_survives_concurrent_register_and_render() {
                     gauges: vec![],
                     histograms: vec![("stress_us", source_hist.snapshot())],
                     breakers: vec![],
+                    events: vec![],
                 }));
                 for i in 0..200 {
                     hist.record_us(value_for(t, i));
@@ -197,4 +204,140 @@ fn registry_survives_concurrent_register_and_render() {
     let snap = hist.snapshot();
     assert_eq!(snap.count, (THREADS * MODULES_PER_THREAD * 200) as u64);
     assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+}
+
+/// The aux word thread `t` stamps on iteration `i` — a checksum of the
+/// other two payload words, so any torn read (fields from two different
+/// writers) fails the invariant.
+fn aux_for(peer: u64, msg_id: u64) -> u64 {
+    peer * 1_000_003 + msg_id
+}
+
+#[test]
+fn recorder_never_tears_events_under_contention() {
+    // A ring far smaller than the write volume: every slot is lapped
+    // hundreds of times, which is exactly where a torn read would show.
+    const CAP: usize = 256;
+    let clock = SimClock::new_virtual(Arc::new(VirtualTime::new()), 0, 0.0);
+    let recorder = Arc::new(FlightRecorder::new(clock, CAP, 0));
+    let done = Arc::new(AtomicBool::new(false));
+
+    // A reader races the writers the whole time: every event it ever sees
+    // must be internally consistent, and each tail() must come back in
+    // strictly increasing sequence order.
+    let reader = {
+        let recorder = Arc::clone(&recorder);
+        let done = Arc::clone(&done);
+        thread::spawn(move || {
+            let mut reads = 0usize;
+            while !done.load(Ordering::Acquire) {
+                let events = recorder.tail(64);
+                for w in events.windows(2) {
+                    assert!(w[0].seq < w[1].seq, "tail out of order or duplicated seq");
+                }
+                for ev in &events {
+                    assert_eq!(ev.kind, event_kind::RETRY, "torn event: foreign kind");
+                    assert_eq!(
+                        ev.aux,
+                        aux_for(ev.peer, ev.msg_id),
+                        "torn event: fields from two writers"
+                    );
+                }
+                reads += 1;
+            }
+            reads
+        })
+    };
+
+    let mut writers = Vec::new();
+    for t in 0..THREADS {
+        let recorder = Arc::clone(&recorder);
+        writers.push(thread::spawn(move || {
+            for i in 0..RECORDS_PER_THREAD {
+                let (peer, msg_id) = (t as u64, i as u64);
+                // RETRY is a failure kind: never sampled out, so the
+                // ticket count below is exact.
+                recorder.record(event_kind::RETRY, peer, msg_id, aux_for(peer, msg_id));
+            }
+        }));
+    }
+    for w in writers {
+        w.join().unwrap();
+    }
+    done.store(true, Ordering::Release);
+    let reads = reader.join().unwrap();
+    assert!(reads > 0, "reader must have raced at least one tail");
+
+    let total = (THREADS * RECORDS_PER_THREAD) as u64;
+    let events = recorder.events();
+    // Bounded memory: the ring never holds more than its capacity,
+    // no matter how much was written through it.
+    assert_eq!(recorder.capacity(), CAP);
+    assert!(events.len() <= CAP, "ring exceeded its capacity");
+    assert!(!events.is_empty(), "quiescent ring must be readable");
+    for w in events.windows(2) {
+        assert!(
+            w[0].seq < w[1].seq,
+            "sequence numbers must be unique and monotone"
+        );
+    }
+    for ev in &events {
+        assert!(ev.seq < total, "sequence beyond the tickets ever issued");
+        assert_eq!(ev.aux, aux_for(ev.peer, ev.msg_id), "torn event at rest");
+    }
+    // Accounting closes: every offered event was counted, and lapped
+    // writers only ever drop their own event (never corrupt another's).
+    assert_eq!(recorder.seen(event_kind::RETRY), total);
+    assert!(recorder.lost() <= total);
+}
+
+ntcs_message! {
+    /// Sequential probe for the determinism run below.
+    pub struct ObsPing: 7300 { pub n: u64 }
+}
+
+/// One strictly sequential virtual-time run; returns the client and
+/// server snapshot documents. Everything the snapshot contains —
+/// counters, gauges, recorder events, timestamps — must be a pure
+/// function of the workload when the clock is virtual.
+fn deterministic_run() -> (String, String) {
+    let mut tb = TestbedBuilder::new_virtual();
+    let net = tb.add_network(NetKind::Mbx, "det");
+    let m0 = tb.add_machine(MachineType::Sun, "det-a", &[net]).unwrap();
+    let m1 = tb.add_machine(MachineType::Vax, "det-b", &[net]).unwrap();
+    tb.name_server_on(m0);
+    let testbed = tb.start().unwrap();
+
+    let server = testbed.module(m0, "det-sink").unwrap();
+    let client = testbed.module(m1, "det-src").unwrap();
+    let dst = client.locate("det-sink").unwrap();
+    for n in 0..32u64 {
+        client.send(dst, &ObsPing { n }).unwrap();
+        let msg = server.receive(Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(msg.decode::<ObsPing>().unwrap().n, n);
+    }
+    let src = render_module_snapshot_json(&client.module_report());
+    let sink = render_module_snapshot_json(&server.module_report());
+    (src, sink)
+}
+
+#[test]
+fn same_seed_virtual_runs_snapshot_identically() {
+    let (first_src, first_sink) = deterministic_run();
+    let (second_src, second_sink) = deterministic_run();
+    assert_eq!(
+        first_src, second_src,
+        "client snapshots diverged across identical virtual-time runs"
+    );
+    assert_eq!(
+        first_sink, second_sink,
+        "server snapshots diverged across identical virtual-time runs"
+    );
+
+    // The crash-dump artifact path is deterministic too: dumping either
+    // run produces the same bytes on disk.
+    let path = ntcs::dump_snapshot("obs-stress-determinism", &first_src)
+        .expect("dump_snapshot must succeed with a writable target/");
+    let written = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(written, second_src);
 }

@@ -303,6 +303,74 @@ fn crash_without_replacement_returns_error() {
     );
 }
 
+/// Regression: the metrics registry's report source must follow a module
+/// across relocation. Before the fix, the source registered at bind time
+/// captured the original Nucleus; after `relocate_to` the exported
+/// `flow_credits_available` gauge froze at the dead incarnation's reading
+/// (zero once its circuits closed) while the live module's window was
+/// invisible to operators.
+#[test]
+fn registry_gauges_follow_module_across_relocation() {
+    use ntcs::FlowSettings;
+
+    let lab = single_net(3, NetKind::Mbx).unwrap();
+    lab.testbed
+        .enable_flow_control(FlowSettings::enabled(1024, 2));
+    let server = lab.testbed.module(lab.machines[1], "gauge-fixed").unwrap();
+    let client = lab.testbed.module(lab.machines[0], "gauge-src").unwrap();
+    let dst = client.locate("gauge-fixed").unwrap();
+
+    let credits_for = |name: &str| -> u64 {
+        lab.testbed
+            .registry()
+            .reports()
+            .into_iter()
+            .find(|r| r.module == name)
+            .and_then(|r| {
+                r.gauges
+                    .iter()
+                    .find(|(g, _)| *g == "flow_credits_available")
+                    .map(|&(_, v)| v)
+            })
+            .expect("gauge-src must stay in the registry with its flow gauge")
+    };
+
+    client
+        .send(
+            dst,
+            &Ask {
+                n: 0,
+                body: String::new(),
+            },
+        )
+        .unwrap();
+    server.receive(T).unwrap();
+    assert!(
+        credits_for("gauge-src") > 0,
+        "a live flow-enabled circuit must expose its window"
+    );
+
+    let client = client
+        .relocate_to(lab.machines[2])
+        .map_err(|e| e.error)
+        .unwrap();
+    client
+        .send(
+            dst,
+            &Ask {
+                n: 1,
+                body: String::new(),
+            },
+        )
+        .unwrap();
+    server.receive(T).unwrap();
+
+    assert!(
+        credits_for("gauge-src") > 0,
+        "gauge went stale: the report source still reads the pre-relocation incarnation"
+    );
+}
+
 /// A relocated module must keep its Nucleus configuration — in particular
 /// credit-based flow control. Before the fix, `relocate_to` rebound with a
 /// default config: the relocated receiver granted no credit, so a

@@ -14,6 +14,11 @@
 //!   (much cheaper) rotating fault-matrix cells.
 //! - `NTCS_SWEEP_ARTIFACT=path` — on failure, write the failing-seed list
 //!   there (one `scenario= seed= msg=` line per failure) for CI upload.
+//!
+//! A failing fault-matrix cell additionally dumps the cell's cluster
+//! flight-recorder snapshot to `target/obs/cell-<fault>-<layer>-<seed>.json`
+//! (CI uploads those next to the failing-seed list), so a red sweep ships
+//! the wedged queue/circuit evidence along with the repro recipe.
 
 use std::time::Duration;
 
@@ -85,9 +90,14 @@ fn fault_matrix_cells_sweep() {
         let all = cells();
         let (fault, layer) = all[usize::try_from(seed % all.len() as u64).unwrap()];
         let out = run_cell(fault, layer, seed, Duration::from_secs(30));
+        let dump = out
+            .dump
+            .as_ref()
+            .map(|p| format!(" (snapshot: {})", p.display()))
+            .unwrap_or_default();
         assert!(
             out.acceptable(),
-            "cell ({fault}, {layer}): verdict {} not in {:?}: {}",
+            "cell ({fault}, {layer}): verdict {} not in {:?}: {}{dump}",
             out.verdict,
             expected(fault, layer),
             out.detail
