@@ -210,6 +210,17 @@ impl AttrQuery {
         Ok(self)
     }
 
+    /// The value an equality constraint pins `key` to, if any (shard
+    /// routing uses this to find the authoritative group for a
+    /// `name=`-constrained query without evaluating it).
+    #[must_use]
+    pub fn equals_value(&self, key: &str) -> Option<&str> {
+        self.constraints.iter().find_map(|c| match c {
+            AttrConstraint::Equals(k, v) if k == key => Some(v.as_str()),
+            AttrConstraint::Exists(_) | AttrConstraint::Equals(..) => None,
+        })
+    }
+
     /// Number of constraints.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -10,9 +10,11 @@
 //! This is a manual harness (`harness = false`, no criterion): it emits
 //! the machine-readable baselines `BENCH_PR3.json` (batched vs unbatched),
 //! `BENCH_PR5.json` (credit accounting on vs off with a wide-open flow
-//! window), and `BENCH_PR7.json` (flight recorder on vs off) at the
-//! repository root, which CI's bench-smoke job regenerates in `--quick`
-//! mode to catch batching, flow-control, and observability regressions.
+//! window), `BENCH_PR7.json` (flight recorder on vs off), and
+//! `BENCH_PR8.json` (leased name-cache resolution vs cold NSP round
+//! trips, plus a relocation storm) at the repository root, which CI's
+//! bench-smoke job regenerates in `--quick` mode to catch batching,
+//! flow-control, observability, and naming regressions.
 //!
 //! Run: `cargo bench --bench message_throughput [-- --quick]`
 
@@ -271,6 +273,21 @@ fn run_case(
     }
 }
 
+/// A regression gate: panics on violation unless `NTCS_BENCH_NO_GATES` is
+/// set, in which case the violation is reported and the run continues —
+/// for noisy development hosts where quick-mode ratios jitter past the
+/// budgets. CI leaves the gates enforced.
+fn gate(ok: bool, msg: impl FnOnce() -> String) {
+    if ok {
+        return;
+    }
+    if std::env::var("NTCS_BENCH_NO_GATES").is_ok_and(|v| v != "0") {
+        eprintln!("WARN (gate skipped): {}", msg());
+    } else {
+        panic!("{}", msg());
+    }
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick")
         || std::env::var("NTCS_BENCH_QUICK").is_ok_and(|v| v != "0");
@@ -383,10 +400,9 @@ fn main() {
 
     // The gate CI's bench-smoke job relies on: batching must win at 1 KiB.
     if let Some((key, v)) = speedups.iter().find(|(k, _)| k.ends_with("/1024")) {
-        assert!(
-            *v > 1.0,
-            "batched throughput must beat unbatched at 1 KiB ({key} = {v:.3}x)"
-        );
+        gate(*v > 1.0, || {
+            format!("batched throughput must beat unbatched at 1 KiB ({key} = {v:.3}x)")
+        });
     }
 
     // -- phase 2: credit-accounting overhead sweep (PR 5 baseline) --
@@ -516,11 +532,12 @@ fn main() {
     // PR-5 gate: with a wide-open window, credit accounting must cost no
     // more than 5% of 1 KiB throughput.
     if let Some((_, v)) = ratios.iter().find(|(p, _)| *p == 1024) {
-        assert!(
-            *v >= 0.95,
-            "credit accounting must stay within the 5% overhead budget at 1 KiB \
-             (credits-on/credits-off = {v:.3}x)"
-        );
+        gate(*v >= 0.95, || {
+            format!(
+                "credit accounting must stay within the 5% overhead budget at 1 KiB \
+                 (credits-on/credits-off = {v:.3}x)"
+            )
+        });
     }
 
     // -- phase 3: flight-recorder overhead sweep (PR 7 baseline) --
@@ -643,10 +660,228 @@ fn main() {
     // PR-7 gate: the always-on recorder must cost no more than 3% of
     // 1 KiB throughput.
     if let Some((_, v)) = rec_ratios.iter().find(|(p, _)| *p == 1024) {
+        gate(*v >= 0.97, || {
+            format!(
+                "flight recorder must stay within the 3% overhead budget at 1 KiB \
+                 (recorder-on/recorder-off = {v:.3}x)"
+            )
+        });
+    }
+
+    // -- phase 4: leased name-cache sweep (PR 8 baseline) --
+    //
+    // Resolution latency through `Nucleus::resolve` — the exact path every
+    // send takes — with a warm lease vs with the lease invalidated before
+    // every call (each uncached op is a full NSP round trip to the shard
+    // over TCP), plus a relocation storm where every op is a relocation
+    // followed by a send to the STALE address: the client must walk the
+    // forwarding path, invalidate its lease, and still deliver.
+    struct NamingCase {
+        case: &'static str,
+        ops: u64,
+        elapsed_us: u64,
+        ops_per_sec: f64,
+        avg_latency_us: f64,
+    }
+    let naming_case = |case: &'static str, ops: u64, elapsed: Duration| {
+        let secs = elapsed.as_secs_f64();
+        NamingCase {
+            case,
+            ops,
+            elapsed_us: elapsed.as_micros() as u64,
+            ops_per_sec: ops as f64 / secs,
+            avg_latency_us: elapsed.as_micros() as f64 / ops as f64,
+        }
+    };
+    let (cached_ops, uncached_ops, storm_services, storm_rounds) = if quick {
+        (5_000u64, 500u64, 4usize, 2usize)
+    } else {
+        (50_000, 3_000, 8, 5)
+    };
+    let mut naming_results: Vec<NamingCase> = Vec::new();
+    {
+        let lab = build_lab(Topology::Lvc);
+        let target = lab
+            .testbed
+            .module(lab.src, "cache-target")
+            .expect("bind target");
+        // The client lives on the non-NS machine so every cold resolution
+        // crosses the wire, like any remote module's would.
+        let client = lab.testbed.module(lab.dst, "cache-cli").expect("bind cli");
+        let dst = client.locate("cache-target").expect("locate target");
+        let nucleus = client.nucleus();
+        nucleus.resolve(dst).expect("cold resolve");
+
+        let start = Instant::now();
+        for _ in 0..cached_ops {
+            nucleus.resolve(dst).expect("cached resolve");
+        }
+        naming_results.push(naming_case("lookup_cached", cached_ops, start.elapsed()));
+
+        let start = Instant::now();
+        for _ in 0..uncached_ops {
+            // Drop both cache layers — the nucleus lease AND the NSP-side
+            // name cache — so every resolution is a genuine wire round
+            // trip to the shard.
+            nucleus.statics().invalidate(dst);
+            client.nsp().cache().invalidate(dst);
+            nucleus.resolve(dst).expect("uncached resolve");
+        }
+        naming_results.push(naming_case("lookup_uncached", uncached_ops, start.elapsed()));
+
+        let m = client.metrics();
         assert!(
-            *v >= 0.97,
-            "flight recorder must stay within the 3% overhead budget at 1 KiB \
-             (recorder-on/recorder-off = {v:.3}x)"
+            m.ns_cache_hits + m.ns_cache_stale >= cached_ops,
+            "cached loop must be served by the lease: {m:?}"
+        );
+        assert!(
+            m.ns_cache_misses >= uncached_ops,
+            "uncached loop must go cold every iteration: {m:?}"
+        );
+        target.shutdown();
+    }
+    {
+        let lab = build_lab(Topology::Lvc);
+        let mut services: Vec<ComMod> = (0..storm_services)
+            .map(|i| {
+                lab.testbed
+                    .module(lab.src, &format!("storm-{i}"))
+                    .expect("bind storm service")
+            })
+            .collect();
+        let client = lab.testbed.module(lab.dst, "storm-cli").expect("bind cli");
+        // Warm: one delivered message per service, so the client holds a
+        // lease and an open circuit for every address about to go stale.
+        // Plain sends with a confirming receive — a reliable send would
+        // deadlock here, since its ack is only generated at app receive.
+        for (i, s) in services.iter().enumerate() {
+            client
+                .send(
+                    s.my_uadd(),
+                    &Ask {
+                        n: i as u32,
+                        body: String::new(),
+                    },
+                )
+                .expect("warm storm circuit");
+            s.receive(Some(Duration::from_secs(5))).expect("drain warm");
+        }
+        let mut storm_ops = 0u64;
+        let start = Instant::now();
+        for round in 0..storm_rounds {
+            let to = if round % 2 == 0 { lab.dst } else { lab.src };
+            services = services
+                .into_iter()
+                .enumerate()
+                .map(|(i, svc)| {
+                    let tag = (round * 1_000 + i) as u32;
+                    let old = svc.my_uadd();
+                    let moved = svc.relocate_to(to).map_err(|e| e.error).expect("relocate");
+                    // The first send to the stale address walks the
+                    // forwarding path (address fault → shard lookup →
+                    // lease invalidation); the triggering datagram itself
+                    // is best-effort, so resend until the relocated
+                    // incarnation confirms delivery.
+                    let msg = Ask {
+                        n: tag,
+                        body: String::new(),
+                    };
+                    let _ = client.send(old, &msg);
+                    let deadline = Instant::now() + Duration::from_secs(10);
+                    let mut delivered = false;
+                    while Instant::now() < deadline {
+                        match moved.receive(Some(Duration::from_millis(50))) {
+                            Ok(m) => {
+                                if m.decode::<Ask>().is_ok_and(|a| a.n == tag) {
+                                    delivered = true;
+                                    break;
+                                }
+                            }
+                            Err(_) => {
+                                let _ = client.send(old, &msg);
+                            }
+                        }
+                    }
+                    assert!(delivered, "relocated service must receive post-relocation traffic");
+                    storm_ops += 1;
+                    moved
+                })
+                .collect();
+        }
+        naming_results.push(naming_case("relocation_storm", storm_ops, start.elapsed()));
+        assert!(
+            client.metrics().ns_invalidations >= storm_ops,
+            "every stale-address recovery must invalidate a lease: {:?}",
+            client.metrics()
+        );
+        for s in services {
+            s.shutdown();
+        }
+    }
+
+    for r in &naming_results {
+        eprintln!(
+            "{:>13} {:>16}: {:>10.0} ops/s  {:>9.2} us/op  ({} ops in {} ms)",
+            "naming",
+            r.case,
+            r.ops_per_sec,
+            r.avg_latency_us,
+            r.ops,
+            r.elapsed_us / 1000,
         );
     }
+    let latency_of = |case: &str| {
+        naming_results
+            .iter()
+            .find(|r| r.case == case)
+            .expect("case ran")
+            .avg_latency_us
+    };
+    let cache_speedup = latency_of("lookup_uncached") / latency_of("lookup_cached");
+    eprintln!("{:>13} cached/uncached lookup speedup = {cache_speedup:.1}x", "naming");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"message_throughput/name_cache_sweep\",");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if quick { "quick" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"transport\": \"tcp\",");
+    json.push_str("  \"results\": [\n");
+    for (i, r) in naming_results.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"case\": \"{}\", \"ops\": {}, \"elapsed_us\": {}, \
+             \"ops_per_sec\": {:.1}, \"avg_latency_us\": {:.3}}}",
+            r.case, r.ops, r.elapsed_us, r.ops_per_sec, r.avg_latency_us,
+        );
+        json.push_str(if i + 1 < naming_results.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"cached_over_uncached_lookup_speedup\": {cache_speedup:.3}"
+    );
+    json.push_str("}\n");
+
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_PR8.json");
+    std::fs::write(&out, &json).expect("write BENCH_PR8.json");
+    eprintln!("wrote {}", out.display());
+
+    // PR-8 gate: a leased cache hit must beat a cold NSP round trip by at
+    // least 5x — otherwise the cache is not paying for its staleness risk.
+    gate(cache_speedup >= 5.0, || {
+        format!(
+            "cached lookups must be >= 5x faster than uncached NSP round trips \
+             (got {cache_speedup:.3}x)"
+        )
+    });
 }

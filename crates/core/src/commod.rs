@@ -21,7 +21,7 @@ use ntcs_addr::{
     UAdd,
 };
 use ntcs_ipcs::World;
-use ntcs_naming::NspLayer;
+use ntcs_naming::{NspLayer, ShardMap};
 use ntcs_nucleus::obs::{
     event_kind, hop_kind, render_module_snapshot_json, render_module_table, HopRecord,
     ModuleReport, ObsQuery, ObsReply, ReportSource, TraceId,
@@ -144,10 +144,11 @@ pub struct ComMod {
     /// [`ComMod::report_source`] handed out before the move keeps
     /// reporting live gauges instead of the abandoned circuits'.
     report_slot: Arc<RwLock<Nucleus>>,
-    /// Name-Server failover list, kept so relocation can rebuild an
-    /// identically configured ComMod on another machine (the well-known
-    /// preload travels inside the Nucleus config).
-    ns_servers: Vec<UAdd>,
+    /// The Name-Service shard map (one group in the classic deployment),
+    /// kept so relocation can rebuild an identically configured ComMod on
+    /// another machine (the well-known preload travels inside the Nucleus
+    /// config).
+    shards: ShardMap,
 }
 
 impl std::fmt::Debug for ComMod {
@@ -194,10 +195,22 @@ impl ComMod {
         config: NucleusConfig,
         ns_servers: Vec<UAdd>,
     ) -> Result<ComMod> {
+        Self::bind_sharded(world, config, ShardMap::single(ns_servers))
+    }
+
+    /// Binds a ComMod against a sharded Name Service: `shards` lists one
+    /// replica group per shard; names and UAdds route to their
+    /// authoritative group ([`ShardMap`]). The single-group map reproduces
+    /// [`ComMod::bind_with_config`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the Nucleus cannot bind its endpoints.
+    pub fn bind_sharded(world: &World, config: NucleusConfig, shards: ShardMap) -> Result<ComMod> {
         let machine = config.machine;
         let name_hint = config.module_hint.clone();
         let nucleus = Nucleus::bind(world, config)?;
-        let nsp = NspLayer::new(nucleus.clone(), ns_servers.clone());
+        let nsp = NspLayer::new_sharded(nucleus.clone(), shards.clone());
         nucleus.set_resolver(nsp.clone());
         Ok(ComMod {
             world: world.clone(),
@@ -209,7 +222,7 @@ impl ComMod {
             hooks: RwLock::new(None),
             hop_monitor: Arc::new(RwLock::new(None)),
             registration: RwLock::new(None),
-            ns_servers,
+            shards,
         })
     }
 
@@ -659,7 +672,7 @@ impl ComMod {
         // granting credit).
         let mut config = self.nucleus.config().clone();
         config.machine = machine;
-        let new = match ComMod::bind_with_config(&self.world, config, self.ns_servers.clone()) {
+        let new = match ComMod::bind_sharded(&self.world, config, self.shards.clone()) {
             Ok(n) => n,
             Err(error) => {
                 return Err(RelocateError {

@@ -15,7 +15,7 @@ use std::time::Duration;
 use ntcs_addr::{MachineId, MachineType, NetworkId, NtcsError, PhysAddr, Result, UAdd};
 use ntcs_gateway::Gateway;
 use ntcs_ipcs::{NetKind, World};
-use ntcs_naming::{NameServer, NameServerConfig};
+use ntcs_naming::{NameServer, NameServerConfig, ShardMap};
 use ntcs_nucleus::{FlowSettings, GaugeSampler, GaugeSource, MetricsRegistry, NucleusConfig};
 use parking_lot::RwLock;
 
@@ -27,6 +27,10 @@ pub struct TestbedBuilder {
     world: World,
     ns_machine: Option<MachineId>,
     replica_machines: Vec<MachineId>,
+    /// Additional Name-Service shards: primary machine plus replica
+    /// machines, in shard order starting at shard 1 (shard 0 is the
+    /// classic primary + `replica_machines`).
+    extra_shards: Vec<(MachineId, Vec<MachineId>)>,
 }
 
 impl Default for TestbedBuilder {
@@ -43,6 +47,7 @@ impl TestbedBuilder {
             world: World::new(),
             ns_machine: None,
             replica_machines: Vec::new(),
+            extra_shards: Vec::new(),
         }
     }
 
@@ -56,6 +61,7 @@ impl TestbedBuilder {
             world: World::new_virtual(),
             ns_machine: None,
             replica_machines: Vec::new(),
+            extra_shards: Vec::new(),
         }
     }
 
@@ -108,6 +114,30 @@ impl TestbedBuilder {
         self
     }
 
+    /// Adds another Name-Service shard with its primary on `machine` and
+    /// returns the new shard's index (shard 0 is the classic primary from
+    /// [`TestbedBuilder::name_server_on`]). Names and UAdds route to their
+    /// authoritative shard; modules bound by this testbed get the matching
+    /// [`ShardMap`].
+    pub fn ns_shard_on(&mut self, machine: MachineId) -> usize {
+        self.extra_shards.push((machine, Vec::new()));
+        self.extra_shards.len()
+    }
+
+    /// Adds a replica to shard `shard` (0 = the classic primary's group).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` has not been declared yet.
+    pub fn shard_replica_on(&mut self, shard: usize, machine: MachineId) -> &mut Self {
+        if shard == 0 {
+            self.replica_machines.push(machine);
+        } else {
+            self.extra_shards[shard - 1].1.push(machine);
+        }
+        self
+    }
+
     /// The world under construction (for advanced wiring).
     #[must_use]
     pub fn world(&self) -> &World {
@@ -127,18 +157,10 @@ impl TestbedBuilder {
         // Replicas first (the primary replicates to them).
         let mut replicas = Vec::new();
         for (i, &m) in self.replica_machines.iter().enumerate() {
-            let uadd = UAdd::from_raw(2 + i as u64);
-            let server = NameServer::spawn(
+            replicas.push(NameServer::spawn(
                 &self.world,
-                NameServerConfig {
-                    machine: m,
-                    uadd,
-                    server_id: 1 + i as u16,
-                    peers: Vec::new(),
-                    sync_from: None,
-                },
-            )?;
-            replicas.push(server);
+                NameServerConfig::shard_replica(m, 0, i),
+            )?);
         }
         let peer_info: Vec<(UAdd, Vec<PhysAddr>)> = replicas
             .iter()
@@ -147,23 +169,71 @@ impl TestbedBuilder {
         let primary = NameServer::spawn(
             &self.world,
             NameServerConfig {
-                machine: ns_machine,
-                uadd: UAdd::NAME_SERVER,
-                server_id: 0,
                 peers: peer_info.clone(),
-                sync_from: None,
+                ..NameServerConfig::primary(ns_machine)
             },
         )?;
+        // Additional shards, each a replica group of its own.
+        let mut extra_shards: Vec<(Option<NameServer>, Vec<NameServer>)> = Vec::new();
+        for (idx, (pm, rms)) in self.extra_shards.iter().enumerate() {
+            let shard = idx + 1;
+            let mut reps = Vec::new();
+            for (i, &m) in rms.iter().enumerate() {
+                reps.push(NameServer::spawn(
+                    &self.world,
+                    NameServerConfig::shard_replica(m, shard, i),
+                )?);
+            }
+            let peers: Vec<(UAdd, Vec<PhysAddr>)> =
+                reps.iter().map(|r| (r.uadd(), r.phys_addrs())).collect();
+            let p = NameServer::spawn(
+                &self.world,
+                NameServerConfig {
+                    peers,
+                    ..NameServerConfig::shard_primary(*pm, shard)
+                },
+            )?;
+            extra_shards.push((Some(p), reps));
+        }
+        // Cross-shard wiring: every primary learns every other primary, so
+        // gateway records replicate service-wide (§4 routes need them on
+        // every shard).
+        {
+            let mut prims: Vec<&NameServer> = vec![&primary];
+            prims.extend(extra_shards.iter().filter_map(|(p, _)| p.as_ref()));
+            for a in &prims {
+                for b in &prims {
+                    if a.uadd() != b.uadd() {
+                        a.add_cross_shard_peer(
+                            b.uadd(),
+                            b.nucleus().machine_type(),
+                            b.phys_addrs(),
+                        );
+                    }
+                }
+            }
+        }
         let mut ns_well_known = vec![(UAdd::NAME_SERVER, primary.phys_addrs())];
         ns_well_known.extend(peer_info);
         let mut ns_servers = vec![UAdd::NAME_SERVER];
         ns_servers.extend(replicas.iter().map(NameServer::uadd));
+        let mut shard_groups = vec![ns_servers.clone()];
+        for (p, reps) in &extra_shards {
+            let p = p.as_ref().expect("just spawned");
+            ns_well_known.push((p.uadd(), p.phys_addrs()));
+            ns_well_known.extend(reps.iter().map(|r| (r.uadd(), r.phys_addrs())));
+            let mut group = vec![p.uadd()];
+            group.extend(reps.iter().map(NameServer::uadd));
+            shard_groups.push(group);
+        }
         let registry = Arc::new(MetricsRegistry::new());
         registry.register(world_report_source(&self.world));
         Ok(Testbed {
             world: self.world,
             primary: Some(primary),
             replicas,
+            extra_shards,
+            shard_groups,
             ns_well_known,
             ns_servers,
             registry,
@@ -230,6 +300,11 @@ pub struct Testbed {
     world: World,
     primary: Option<NameServer>,
     replicas: Vec<NameServer>,
+    /// Shards 1..: primary (removable, like shard 0's) plus replicas.
+    extra_shards: Vec<(Option<NameServer>, Vec<NameServer>)>,
+    /// Per-shard server preference lists, shard order — the modules'
+    /// [`ShardMap`].
+    shard_groups: Vec<Vec<UAdd>>,
     ns_well_known: Vec<(UAdd, Vec<PhysAddr>)>,
     ns_servers: Vec<UAdd>,
     registry: Arc<MetricsRegistry>,
@@ -275,10 +350,79 @@ impl Testbed {
         self.primary.as_ref()
     }
 
-    /// The replica Name Servers.
+    /// The replica Name Servers (shard 0).
     #[must_use]
     pub fn replicas(&self) -> &[NameServer] {
         &self.replicas
+    }
+
+    /// Number of Name-Service shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shard_groups.len()
+    }
+
+    /// The shard map handed to every module this testbed binds.
+    #[must_use]
+    pub fn shard_map(&self) -> ShardMap {
+        ShardMap::new(self.shard_groups.clone())
+    }
+
+    /// Shard `shard`'s primary, if still running.
+    #[must_use]
+    pub fn shard_primary(&self, shard: usize) -> Option<&NameServer> {
+        if shard == 0 {
+            self.primary.as_ref()
+        } else {
+            self.extra_shards.get(shard - 1).and_then(|(p, _)| p.as_ref())
+        }
+    }
+
+    /// Shard `shard`'s replicas.
+    #[must_use]
+    pub fn shard_replicas(&self, shard: usize) -> &[NameServer] {
+        if shard == 0 {
+            &self.replicas
+        } else {
+            self.extra_shards
+                .get(shard - 1)
+                .map_or(&[], |(_, reps)| reps.as_slice())
+        }
+    }
+
+    /// Removes shard `shard`'s primary (generalizing
+    /// [`Testbed::remove_name_server`]); the shard's replicas keep
+    /// answering. Returns whether one was running.
+    pub fn remove_shard_primary(&mut self, shard: usize) -> bool {
+        let slot = if shard == 0 {
+            &mut self.primary
+        } else {
+            match self.extra_shards.get_mut(shard - 1) {
+                Some((p, _)) => p,
+                None => return false,
+            }
+        };
+        match slot.take() {
+            Some(mut ns) => {
+                ns.shutdown();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Live records per shard (primary's database, falling back to the
+    /// first replica when the primary is gone) — the balance invariant the
+    /// scale suite asserts.
+    #[must_use]
+    pub fn shard_record_counts(&self) -> Vec<usize> {
+        (0..self.shard_count())
+            .map(|s| {
+                self.shard_primary(s)
+                    .or_else(|| self.shard_replicas(s).first())
+                    .map_or(0, |ns| ns.db().lock().len())
+            })
+            .collect()
     }
 
     /// Binds a ComMod on `machine` *without* registering it.
@@ -298,7 +442,7 @@ impl Testbed {
         if let Some(hook) = self.config_hook.0.read().as_ref() {
             config = hook(config);
         }
-        let commod = ComMod::bind_with_config(&self.world, config, self.ns_servers.clone())?;
+        let commod = ComMod::bind_sharded(&self.world, config, self.shard_map())?;
         self.registry.register(commod.report_source());
         Ok(commod)
     }
@@ -460,13 +604,11 @@ impl Testbed {
         let ns = NameServer::spawn(
             &self.world,
             NameServerConfig {
-                machine,
-                uadd: UAdd::NAME_SERVER,
-                server_id: 0,
                 peers,
                 // A rebuilt primary catches up from the first replica, if
                 // any (the §7 failure-resiliency path).
                 sync_from: self.replicas.first().map(|r| (r.uadd(), r.phys_addrs())),
+                ..NameServerConfig::primary(machine)
             },
         )?;
         // The new instance listens at new physical addresses; refresh the

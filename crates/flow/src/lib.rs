@@ -39,7 +39,8 @@ use std::time::Duration;
 /// Highest `type_id` reserved for NTCS-internal control messages.
 ///
 /// The repo's message-id blocks are: naming protocol 1–18, DRTS and
-/// observability 100–136, URSA and applications 200+. Everything at or
+/// observability 100–136, observability control 140–143, naming
+/// invalidation push 144, URSA and applications 200+. Everything at or
 /// below this boundary rides the [`Lane::Control`] lane and bypasses
 /// credit accounting; everything above is [`Lane::Bulk`] and debits the
 /// circuit's window. Both endpoints classify by the same constant, so
@@ -362,6 +363,7 @@ mod tests {
     fn lanes_split_control_from_bulk() {
         assert_eq!(Lane::classify(1), Lane::Control); // naming
         assert_eq!(Lane::classify(130), Lane::Control); // obs HopRecord
+        assert_eq!(Lane::classify(144), Lane::Control); // NsInvalidate push
         assert_eq!(Lane::classify(CONTROL_TYPE_MAX), Lane::Control);
         assert_eq!(Lane::classify(u32::MAX), Lane::Control); // reliable ack
         assert_eq!(Lane::classify(200), Lane::Bulk); // ursa

@@ -1,0 +1,344 @@
+//! Client-side name caching and shard placement.
+//!
+//! Two pieces, both pure data structures (no clock of their own — every
+//! query passes `now_us`, so the deterministic simulation runtime and the
+//! proptests can drive time explicitly):
+//!
+//! * [`NameCache`] — the NSP-Layer's leased location cache. Positive
+//!   entries hold a [`ntcs_nucleus::ResolvedModule`] under a TTL lease;
+//!   negative entries remember an `UnknownAddress` miss under a (shorter)
+//!   negative TTL so repeated lookups of a dead name do not hammer the
+//!   shard. A [`crate::protocol::NsInvalidate`] push kills an entry before
+//!   its lease expires; absent the push, **lease expiry bounds staleness**:
+//!   no entry is ever served past `inserted_at + ttl`.
+//! * [`ShardMap`] — the client's static view of the sharded Name Service:
+//!   which replica group is authoritative for a name (FNV-1a hash of the
+//!   name, mod shard count) or for a UAdd (the shard that generated it,
+//!   recovered from the UAdd's embedded server id). Placement is **total**
+//!   (every name maps to exactly one shard) and **stable** (changing
+//!   anything but the shard count never moves a name).
+
+use std::collections::HashMap;
+
+use ntcs_addr::{NtcsError, Result, UAdd};
+use ntcs_nucleus::ResolvedModule;
+use parking_lot::RwLock;
+
+/// Server-id stride between shards: shard `s` owns server ids
+/// `s * SHARD_STRIDE ..= s * SHARD_STRIDE + (SHARD_STRIDE - 1)` (primary at
+/// the base, replicas above it). Shard 0 keeps the classic single-shard
+/// layout (primary server id 0, replicas 1..).
+pub const SHARD_STRIDE: u16 = 16;
+
+/// Well-known UAdd of shard `s`'s primary. Shard 0 is
+/// [`UAdd::NAME_SERVER`]; higher shards continue the well-known block in
+/// strides of 0x20 raw values, staying ≤ `WELL_KNOWN_MAX`.
+#[must_use]
+pub fn shard_primary_uadd(shard: usize) -> UAdd {
+    if shard == 0 {
+        UAdd::NAME_SERVER
+    } else {
+        UAdd::from_raw(0x20 * shard as u64)
+    }
+}
+
+/// Well-known UAdd of replica `i` (0-based) of shard `s`.
+#[must_use]
+pub fn shard_replica_uadd(shard: usize, replica: usize) -> UAdd {
+    UAdd::from_raw(shard_primary_uadd(shard).raw() + 1 + replica as u64)
+}
+
+/// Server id of shard `s`'s primary.
+#[must_use]
+pub fn shard_primary_server_id(shard: usize) -> u16 {
+    shard as u16 * SHARD_STRIDE
+}
+
+/// Server id of replica `i` (0-based) of shard `s`.
+#[must_use]
+pub fn shard_replica_server_id(shard: usize, replica: usize) -> u16 {
+    shard_primary_server_id(shard) + 1 + replica as u16
+}
+
+/// FNV-1a hash of a name — the shard placement function. Stable by
+/// construction (pure function of the bytes); never reseeded.
+#[must_use]
+pub fn name_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The client's static shard map: per-shard server preference lists.
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    /// `groups[s]` lists shard `s`'s servers in preference order
+    /// (primary first).
+    groups: Vec<Vec<UAdd>>,
+}
+
+impl ShardMap {
+    /// A map over explicit replica groups. Panics on an empty group list —
+    /// a Name Service with zero shards cannot resolve anything.
+    #[must_use]
+    pub fn new(groups: Vec<Vec<UAdd>>) -> Self {
+        assert!(!groups.is_empty(), "shard map needs at least one group");
+        ShardMap { groups }
+    }
+
+    /// The classic unsharded layout: one group, servers in preference order.
+    #[must_use]
+    pub fn single(servers: Vec<UAdd>) -> Self {
+        ShardMap::new(vec![servers])
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The shard authoritative for `name` (total: every name maps to
+    /// exactly one shard).
+    #[must_use]
+    pub fn shard_for_name(&self, name: &str) -> usize {
+        (name_hash(name) % self.groups.len() as u64) as usize
+    }
+
+    /// The shard that generated `uadd`, recovered from its embedded server
+    /// id (`server_id / SHARD_STRIDE`). Temporary addresses carry no server
+    /// id and fall back to shard 0; ids past the configured groups clamp to
+    /// the last shard so a stale map still routes somewhere answerable.
+    #[must_use]
+    pub fn shard_for_uadd(&self, uadd: UAdd) -> usize {
+        match uadd.server_id() {
+            Ok(sid) => ((sid / SHARD_STRIDE) as usize).min(self.groups.len() - 1),
+            Err(_) => 0,
+        }
+    }
+
+    /// Shard `s`'s servers in preference order.
+    #[must_use]
+    pub fn group(&self, shard: usize) -> &[UAdd] {
+        &self.groups[shard]
+    }
+
+    /// All groups, shard order.
+    #[must_use]
+    pub fn groups(&self) -> &[Vec<UAdd>] {
+        &self.groups
+    }
+}
+
+/// What a cache probe concluded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheProbe {
+    /// A live positive entry within its lease: serve it.
+    Hit(ResolvedModule),
+    /// A live negative entry within its negative TTL: fail fast with
+    /// `UnknownAddress` without a round trip.
+    NegativeHit,
+    /// An entry exists but its lease expired (value kept for
+    /// stale-if-error fallback): revalidate.
+    Stale(ResolvedModule),
+    /// Nothing cached: go to the shard.
+    Miss,
+}
+
+#[derive(Debug, Clone)]
+enum Entry {
+    Positive { module: ResolvedModule, expires_us: u64 },
+    Negative { expires_us: u64 },
+}
+
+/// The NSP-Layer's leased location cache (L2; the LCM's static resolver is
+/// the L1 fast path). All methods take `now_us` so time is caller-driven.
+#[derive(Debug, Default)]
+pub struct NameCache {
+    entries: RwLock<HashMap<UAdd, Entry>>,
+}
+
+impl NameCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        NameCache::default()
+    }
+
+    /// Probes the cache at `now_us`. Never returns a positive or negative
+    /// entry past its TTL — expiry demotes a positive entry to
+    /// [`CacheProbe::Stale`] and erases a negative one.
+    #[must_use]
+    pub fn probe(&self, uadd: UAdd, now_us: u64) -> CacheProbe {
+        let entries = self.entries.read();
+        match entries.get(&uadd) {
+            Some(Entry::Positive { module, expires_us }) if now_us < *expires_us => {
+                CacheProbe::Hit(module.clone())
+            }
+            Some(Entry::Positive { module, .. }) => CacheProbe::Stale(module.clone()),
+            Some(Entry::Negative { expires_us }) if now_us < *expires_us => {
+                CacheProbe::NegativeHit
+            }
+            Some(Entry::Negative { .. }) | None => CacheProbe::Miss,
+        }
+    }
+
+    /// Installs a positive entry under a lease expiring at
+    /// `now_us + ttl_us`.
+    pub fn insert(&self, module: ResolvedModule, now_us: u64, ttl_us: u64) {
+        self.entries.write().insert(
+            module.uadd,
+            Entry::Positive {
+                module,
+                expires_us: now_us.saturating_add(ttl_us),
+            },
+        );
+    }
+
+    /// Installs a negative entry (the shard answered `UnknownAddress`)
+    /// expiring at `now_us + negative_ttl_us`.
+    pub fn insert_negative(&self, uadd: UAdd, now_us: u64, negative_ttl_us: u64) {
+        self.entries.write().insert(
+            uadd,
+            Entry::Negative {
+                expires_us: now_us.saturating_add(negative_ttl_us),
+            },
+        );
+    }
+
+    /// Kills any entry for `uadd` (an [`crate::protocol::NsInvalidate`]
+    /// landed, or the caller observed a forwarding address). Returns
+    /// whether an entry existed.
+    pub fn invalidate(&self, uadd: UAdd) -> bool {
+        self.entries.write().remove(&uadd).is_some()
+    }
+
+    /// Drops every entry.
+    pub fn clear(&self) {
+        self.entries.write().clear();
+    }
+
+    /// Number of entries (live or expired-but-unreaped).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+
+    /// Resolves a probe into the lookup result contract: `Hit` serves,
+    /// `NegativeHit` fails fast, `Stale`/`Miss` return `None` (caller
+    /// revalidates).
+    ///
+    /// # Errors
+    ///
+    /// [`NtcsError::UnknownAddress`] on a live negative entry.
+    pub fn serve(&self, uadd: UAdd, now_us: u64) -> Result<Option<ResolvedModule>> {
+        match self.probe(uadd, now_us) {
+            CacheProbe::Hit(m) => Ok(Some(m)),
+            CacheProbe::NegativeHit => Err(NtcsError::UnknownAddress(uadd.raw())),
+            CacheProbe::Stale(_) | CacheProbe::Miss => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntcs_addr::{MachineType, NetworkId, PhysAddr};
+
+    fn module(raw: u64) -> ResolvedModule {
+        ResolvedModule {
+            uadd: UAdd::from_raw(raw),
+            machine_type: MachineType::Sun,
+            addrs: vec![PhysAddr::Mbx {
+                network: NetworkId(0),
+                path: "/m".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn lease_expiry_bounds_staleness() {
+        let cache = NameCache::new();
+        let m = module(0x300);
+        cache.insert(m.clone(), 1_000, 500);
+        assert_eq!(cache.probe(m.uadd, 1_499), CacheProbe::Hit(m.clone()));
+        // At exactly the expiry instant the entry is already stale.
+        assert_eq!(cache.probe(m.uadd, 1_500), CacheProbe::Stale(m.clone()));
+        assert_eq!(cache.probe(m.uadd, u64::MAX), CacheProbe::Stale(m));
+    }
+
+    #[test]
+    fn negative_entries_fail_fast_then_expire() {
+        let cache = NameCache::new();
+        let u = UAdd::from_raw(0x301);
+        cache.insert_negative(u, 0, 100);
+        assert_eq!(cache.probe(u, 99), CacheProbe::NegativeHit);
+        assert!(matches!(
+            cache.serve(u, 99),
+            Err(NtcsError::UnknownAddress(_))
+        ));
+        // Expired negative entries vanish — they never go stale.
+        assert_eq!(cache.probe(u, 100), CacheProbe::Miss);
+        assert_eq!(cache.serve(u, 100).unwrap(), None);
+    }
+
+    #[test]
+    fn invalidation_kills_a_live_lease() {
+        let cache = NameCache::new();
+        let m = module(0x302);
+        cache.insert(m.clone(), 0, 1_000_000);
+        assert!(cache.invalidate(m.uadd));
+        assert_eq!(cache.probe(m.uadd, 1), CacheProbe::Miss);
+        assert!(!cache.invalidate(m.uadd));
+    }
+
+    #[test]
+    fn shard_placement_is_total_and_stable() {
+        let map = ShardMap::new(vec![
+            vec![shard_primary_uadd(0)],
+            vec![shard_primary_uadd(1)],
+            vec![shard_primary_uadd(2)],
+        ]);
+        for i in 0..1000 {
+            let name = format!("module-{i}");
+            let s = map.shard_for_name(&name);
+            assert!(s < 3);
+            // Stable: same name, same shard, every time.
+            assert_eq!(map.shard_for_name(&name), s);
+        }
+    }
+
+    #[test]
+    fn uadd_shard_recovers_generating_shard() {
+        let map = ShardMap::new(vec![
+            vec![shard_primary_uadd(0)],
+            vec![shard_primary_uadd(1)],
+        ]);
+        let from_s0 = ntcs_addr::UAddGenerator::new(shard_primary_server_id(0)).generate();
+        let from_s1 = ntcs_addr::UAddGenerator::new(shard_replica_server_id(1, 0)).generate();
+        assert_eq!(map.shard_for_uadd(from_s0), 0);
+        assert_eq!(map.shard_for_uadd(from_s1), 1);
+        // Temporary addresses fall back to shard 0.
+        let tadd = ntcs_addr::TAddGenerator::new(7).generate();
+        assert_eq!(map.shard_for_uadd(tadd), 0);
+    }
+
+    #[test]
+    fn well_known_shard_addresses_stay_well_known() {
+        for s in 0..6 {
+            assert!(shard_primary_uadd(s).is_well_known(), "shard {s}");
+            for r in 0..3 {
+                assert!(shard_replica_uadd(s, r).is_well_known(), "shard {s}/{r}");
+            }
+        }
+    }
+}

@@ -51,6 +51,11 @@ impl NameRecord {
 pub struct NameDb {
     generator: UAddGenerator,
     records: HashMap<UAdd, NameRecord>,
+    /// Name → every record ever registered under it (live and dead) — the
+    /// index that keeps registration, `name=` resolution, and §3.5
+    /// forwarding scans proportional to one name's history instead of the
+    /// whole database (a shard holds ~10⁶ records in the scale suite).
+    by_name: HashMap<String, Vec<UAdd>>,
 }
 
 impl NameDb {
@@ -62,7 +67,33 @@ impl NameDb {
         NameDb {
             generator: UAddGenerator::new(server_id),
             records: HashMap::new(),
+            by_name: HashMap::new(),
         }
+    }
+
+    fn index_insert(&mut self, name: &str, uadd: UAdd) {
+        let entry = self.by_name.entry(name.to_owned()).or_default();
+        if !entry.contains(&uadd) {
+            entry.push(uadd);
+        }
+    }
+
+    fn index_remove(&mut self, name: &str, uadd: UAdd) {
+        if let Some(entry) = self.by_name.get_mut(name) {
+            entry.retain(|&u| u != uadd);
+            if entry.is_empty() {
+                self.by_name.remove(name);
+            }
+        }
+    }
+
+    /// Records registered under `name`, in registration order.
+    fn named_records(&self, name: &str) -> impl Iterator<Item = &NameRecord> {
+        self.by_name
+            .get(name)
+            .into_iter()
+            .flatten()
+            .filter_map(|u| self.records.get(u))
     }
 
     /// Number of records (live and dead).
@@ -99,17 +130,15 @@ impl NameDb {
             }
         }
         if let Some(name) = attrs.name() {
-            let newest = self
-                .records
-                .values()
-                .filter(|r| r.name() == Some(name))
-                .map(|r| r.generation)
-                .max();
+            let newest = self.named_records(name).map(|r| r.generation).max();
             if let Some(g) = newest {
                 generation = generation.max(g.next());
             }
         }
         let uadd = self.generator.generate();
+        if let Some(name) = attrs.name().map(str::to_owned) {
+            self.index_insert(&name, uadd);
+        }
         self.records.insert(
             uadd,
             NameRecord {
@@ -129,6 +158,18 @@ impl NameDb {
     /// Inserts a record verbatim (well-known modules, replication apply).
     pub fn insert_record(&mut self, record: NameRecord) {
         self.generator.advance_past(record.uadd.counter());
+        if let Some(old_name) = self
+            .records
+            .get(&record.uadd)
+            .and_then(|old| old.name().map(str::to_owned))
+        {
+            if record.name() != Some(old_name.as_str()) {
+                self.index_remove(&old_name, record.uadd);
+            }
+        }
+        if let Some(name) = record.name().map(str::to_owned) {
+            self.index_insert(&name, record.uadd);
+        }
         self.records.insert(record.uadd, record);
     }
 
@@ -138,9 +179,17 @@ impl NameDb {
         self.records.get(&uadd)
     }
 
-    /// Resolves a query to the newest live matching module.
+    /// Resolves a query to the newest live matching module. A
+    /// `name=`-pinned query walks only that name's history via the index.
     #[must_use]
     pub fn resolve(&self, query: &AttrQuery) -> Option<UAdd> {
+        if let Some(name) = query.equals_value(ntcs_addr::attrs::NAME_ATTR) {
+            return self
+                .named_records(name)
+                .filter(|r| r.alive && query.matches(&r.attrs))
+                .max_by_key(|r| (r.generation, r.uadd))
+                .map(|r| r.uadd);
+        }
         self.records
             .values()
             .filter(|r| r.alive && query.matches(&r.attrs))
@@ -151,11 +200,17 @@ impl NameDb {
     /// Lists every live matching module, newest generation first.
     #[must_use]
     pub fn list(&self, query: &AttrQuery) -> Vec<UAdd> {
-        let mut v: Vec<&NameRecord> = self
-            .records
-            .values()
-            .filter(|r| r.alive && query.matches(&r.attrs))
-            .collect();
+        let mut v: Vec<&NameRecord> =
+            if let Some(name) = query.equals_value(ntcs_addr::attrs::NAME_ATTR) {
+                self.named_records(name)
+                    .filter(|r| r.alive && query.matches(&r.attrs))
+                    .collect()
+            } else {
+                self.records
+                    .values()
+                    .filter(|r| r.alive && query.matches(&r.attrs))
+                    .collect()
+            };
         v.sort_by_key(|r| std::cmp::Reverse((r.generation, r.uadd)));
         v.into_iter().map(|r| r.uadd).collect()
     }
@@ -176,9 +231,8 @@ impl NameDb {
             .name()
             .ok_or(NtcsError::NoForwardingAddress(old.raw()))?;
         let newer = self
-            .records
-            .values()
-            .filter(|r| r.alive && r.name() == Some(name) && r.generation > rec.generation)
+            .named_records(name)
+            .filter(|r| r.alive && r.generation > rec.generation)
             .max_by_key(|r| (r.generation, r.uadd));
         match newer {
             Some(r) => Ok(r.uadd),

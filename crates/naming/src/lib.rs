@@ -23,15 +23,20 @@
 //!   isolating the service's implementation. It implements
 //!   [`ntcs_nucleus::NameResolver`], closing the recursion loop, and fails
 //!   over between replicas.
+//! * [`NameCache`] / [`ShardMap`] — the shard extension: client-side
+//!   leased caching with negative entries and push invalidation, and the
+//!   name/UAdd → replica-group placement function.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod db;
 pub mod nsp;
 pub mod protocol;
 pub mod server;
 
+pub use cache::{CacheProbe, NameCache, ShardMap};
 pub use db::{NameDb, NameRecord};
 pub use nsp::NspLayer;
 pub use server::{NameServer, NameServerConfig};

@@ -8,26 +8,33 @@
 //! below noticing.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::Duration;
 
-use ntcs_addr::{AttrQuery, AttrSet, Generation, MachineType, NetworkId, NtcsError, Result, UAdd};
+use ntcs_addr::{
+    attrs::NAME_ATTR, AttrQuery, AttrSet, Generation, MachineType, NetworkId, NtcsError, Result,
+    UAdd,
+};
 use ntcs_nucleus::proto::Hop;
-use ntcs_nucleus::{Layer, NameResolver, Nucleus, ResolvedModule, RouteInfo};
+use ntcs_nucleus::{event_kind, Layer, NameResolver, Nucleus, ResolvedModule, RouteInfo};
 use ntcs_wire::Message;
 
+use crate::cache::{NameCache, ShardMap};
 use crate::protocol::{
-    phys_from_blobs, phys_to_blobs, NsAck, NsDeregister, NsForward, NsForwardReply, NsList,
-    NsListReply, NsLookup, NsLookupReply, NsRegister, NsRegisterReply, NsResolve, NsResolveReply,
-    NsRoute, NsRouteReply,
+    phys_from_blobs, phys_to_blobs, NsAck, NsDeregister, NsForward, NsForwardReply, NsInvalidate,
+    NsList, NsListReply, NsLookup, NsLookupReply, NsRegister, NsRegisterReply, NsResolve,
+    NsResolveReply, NsRoute, NsRouteReply,
 };
 
 /// The NSP-Layer bound to one module's ComMod.
 #[derive(Debug)]
 pub struct NspLayer {
     nucleus: Nucleus,
-    /// Servers in preference order (primary first).
-    servers: Vec<UAdd>,
+    /// Replica groups by shard; the classic deployment is one group.
+    shards: ShardMap,
+    /// The leased location cache (L2; the LCM's static table is the L1
+    /// fast path). Shared so relocation can hand it to a successor.
+    cache: Arc<NameCache>,
     timeout: Duration,
     /// Completed Name-Server exchanges (experiment E1 counts these).
     comms: AtomicU64,
@@ -51,19 +58,69 @@ impl NspLayer {
     ///
     /// `servers` lists the well-known Name-Server UAdds in preference order;
     /// their physical addresses must already be in the Nucleus's well-known
-    /// table (§3.4).
+    /// table (§3.4). Single-shard: for a sharded service use
+    /// [`NspLayer::new_sharded`].
     #[must_use]
     pub fn new(nucleus: Nucleus, servers: Vec<UAdd>) -> Arc<Self> {
+        NspLayer::new_sharded(nucleus, ShardMap::single(servers))
+    }
+
+    /// Creates the NSP-Layer over a sharded Name Service: one replica
+    /// group per shard, placement by [`ShardMap`]. Registers the
+    /// lease-invalidation intercept on the Nucleus.
+    #[must_use]
+    pub fn new_sharded(nucleus: Nucleus, shards: ShardMap) -> Arc<Self> {
         // Per-attempt budget, kept well under `ns_retry.deadline` so one
         // stalled replica cannot eat the whole supervision budget before
         // the sweep reaches the next one (§7).
         let timeout = nucleus.config().ns_request_timeout;
-        Arc::new(NspLayer {
+        let layer = Arc::new(NspLayer {
             nucleus,
-            servers,
+            shards,
+            cache: Arc::new(NameCache::new()),
             timeout,
             comms: AtomicU64::new(0),
-        })
+        });
+        layer.arm_invalidation_intercept();
+        layer
+    }
+
+    /// Wires the [`NsInvalidate`] control push into the Nucleus: the frame
+    /// is consumed on the pump thread, kills the lease in both cache
+    /// layers, and (when the push names a replacement) installs the §3.5
+    /// forwarding entry without waiting for an address fault.
+    fn arm_invalidation_intercept(self: &Arc<Self>) {
+        let weak: Weak<NspLayer> = Arc::downgrade(self);
+        let nucleus = self.nucleus.clone();
+        nucleus.clone().set_control_intercept(
+            NsInvalidate::TYPE_ID,
+            Arc::new(move |received| {
+                let Some(layer) = weak.upgrade() else { return };
+                let Ok(inv) = received
+                    .payload
+                    .decode::<NsInvalidate>(nucleus.machine_type())
+                else {
+                    return;
+                };
+                let uadd = UAdd::from_raw(inv.uadd);
+                if uadd.is_well_known() {
+                    // Well-known locations are static configuration; no
+                    // push (buggy or malicious) may evict them.
+                    return;
+                }
+                layer.cache.invalidate(uadd);
+                if inv.replacement != 0 {
+                    nucleus.note_forwarding(uadd, UAdd::from_raw(inv.replacement));
+                } else {
+                    nucleus.statics().invalidate(uadd);
+                }
+                let metrics = nucleus.metrics();
+                metrics.bump(&metrics.ns_invalidations);
+                nucleus
+                    .recorder()
+                    .record(event_kind::CACHE_INVALIDATE, uadd.raw(), 0, 1);
+            }),
+        );
     }
 
     /// Completed Name-Server exchanges so far (E1 metric).
@@ -78,11 +135,23 @@ impl NspLayer {
         &self.nucleus
     }
 
-    /// One exchange with the naming service, supervised: each attempt
-    /// sweeps the replica list in preference order (§7 failover); when a
+    /// The shard map this layer routes by.
+    #[must_use]
+    pub fn shards(&self) -> &ShardMap {
+        &self.shards
+    }
+
+    /// The leased location cache (test/bench hook).
+    #[must_use]
+    pub fn cache(&self) -> &NameCache {
+        &self.cache
+    }
+
+    /// One exchange with shard `shard`'s replica group, supervised: each
+    /// attempt sweeps the group in preference order (§7 failover); when a
     /// whole sweep fails on transport, the `ns_retry` policy backs off and
     /// re-sweeps until its attempt or deadline budget runs out.
-    fn rpc<Req: Message, Rep: Message>(&self, req: &Req) -> Result<Rep> {
+    fn rpc<Req: Message, Rep: Message>(&self, shard: usize, req: &Req) -> Result<Rep> {
         let policy = self.nucleus.config().ns_retry.clone();
         let metrics = self.nucleus.metrics();
         policy.run(
@@ -92,18 +161,18 @@ impl NspLayer {
                     self.nucleus.gauge().depth(),
                     Layer::Nsp,
                     "ns-retry",
-                    format!("replica sweep {n} failed: {e}"),
+                    format!("shard {shard} replica sweep {n} failed: {e}"),
                 );
             },
-            |_| self.sweep(req),
+            |_| self.sweep(self.shards.group(shard), req),
         )
     }
 
-    /// One pass over the replica list: returns the first replica's answer,
+    /// One pass over a replica group: returns the first replica's answer,
     /// failing over on transport errors.
-    fn sweep<Req: Message, Rep: Message>(&self, req: &Req) -> Result<Rep> {
+    fn sweep<Req: Message, Rep: Message>(&self, servers: &[UAdd], req: &Req) -> Result<Rep> {
         let mut last = NtcsError::NameServerUnreachable;
-        for &server in &self.servers {
+        for &server in servers {
             match self.nucleus.request(server, req, Some(self.timeout)) {
                 Ok(received) => {
                     let rep = received.payload.decode::<Rep>(self.nucleus.machine_type());
@@ -135,12 +204,28 @@ impl NspLayer {
     }
 
     // ------------------------------------------------------------------
+    // Shard placement
+    // ------------------------------------------------------------------
+
+    /// The shard authoritative for a query: a `name=`-pinned query hashes
+    /// to exactly one group; an unpinned one has no single authority
+    /// (callers fan out).
+    fn shard_for_query(&self, query: &AttrQuery) -> Option<usize> {
+        query
+            .equals_value(NAME_ATTR)
+            .map(|name| self.shards.shard_for_name(name))
+    }
+
+    // ------------------------------------------------------------------
     // Application-facing resource location primitives (via the ALI layer)
     // ------------------------------------------------------------------
 
     /// Registers this module (§3.2): sends its attributes, physical
     /// addresses and machine type; installs the assigned UAdd into the
     /// Nucleus so subsequent frames purge our TAdd from peers (§3.4).
+    /// Routed to the shard owning the `name` attribute, so a relocation's
+    /// re-registration (and thus the forwarding chain) stays on the shard
+    /// that issued the predecessor's UAdd.
     ///
     /// # Errors
     ///
@@ -152,6 +237,9 @@ impl NspLayer {
         gateway_networks: &[NetworkId],
         prev_uadd: Option<UAdd>,
     ) -> Result<(UAdd, Generation)> {
+        let shard = attrs
+            .name()
+            .map_or(0, |name| self.shards.shard_for_name(name));
         let req = NsRegister {
             attrs_wire: attrs.to_wire(),
             phys: phys_to_blobs(&self.nucleus.nd().phys_addrs()),
@@ -160,73 +248,122 @@ impl NspLayer {
             gateway_networks: gateway_networks.iter().map(|n| n.0).collect(),
             prev_uadd: prev_uadd.map_or(0, UAdd::raw),
         };
-        let rep: NsRegisterReply = self.rpc(&req)?;
+        let rep: NsRegisterReply = self.rpc(shard, &req)?;
         let uadd = UAdd::from_raw(rep.uadd);
         self.nucleus.set_my_uadd(uadd);
         Ok((uadd, Generation(rep.generation)))
     }
 
     /// Resolves a query to the newest live matching module (§3.3 first
-    /// mapping).
+    /// mapping). A `name=`-pinned query asks its one authoritative shard;
+    /// an unpinned query sweeps the shards in order and returns the first
+    /// match.
     ///
     /// # Errors
     ///
     /// [`NtcsError::NameNotFound`] when nothing matches.
     pub fn locate(&self, query: &AttrQuery) -> Result<UAdd> {
-        let rep: NsResolveReply = self.rpc(&NsResolve {
+        let req = NsResolve {
             query_wire: query.to_wire(),
-        })?;
-        if rep.found {
-            Ok(UAdd::from_raw(rep.uadd))
-        } else {
-            Err(NtcsError::NameNotFound(query.to_wire()))
+        };
+        let shards: Vec<usize> = match self.shard_for_query(query) {
+            Some(s) => vec![s],
+            None => (0..self.shards.shard_count()).collect(),
+        };
+        for shard in shards {
+            let rep: NsResolveReply = self.rpc(shard, &req)?;
+            if rep.found {
+                return Ok(UAdd::from_raw(rep.uadd));
+            }
         }
+        Err(NtcsError::NameNotFound(query.to_wire()))
     }
 
-    /// Lists all live matching modules.
+    /// Lists all live matching modules — a fan-out across every shard,
+    /// merged in shard order.
     ///
     /// # Errors
     ///
     /// Naming-service transport failures.
     pub fn list(&self, query: &AttrQuery) -> Result<Vec<UAdd>> {
-        let rep: NsListReply = self.rpc(&NsList {
+        let req = NsList {
             query_wire: query.to_wire(),
-        })?;
-        Ok(rep.uadds.into_iter().map(UAdd::from_raw).collect())
+        };
+        let mut all = Vec::new();
+        for shard in 0..self.shards.shard_count() {
+            let rep: NsListReply = self.rpc(shard, &req)?;
+            all.extend(rep.uadds.into_iter().map(UAdd::from_raw));
+        }
+        all.dedup();
+        Ok(all)
     }
 
-    /// Deregisters a module (clean shutdown or relocation epilogue).
+    /// Deregisters a module (clean shutdown or relocation epilogue),
+    /// routed to the shard that issued the UAdd.
     ///
     /// # Errors
     ///
     /// Naming-service transport failures.
     pub fn deregister(&self, uadd: UAdd) -> Result<bool> {
-        let rep: NsAck = self.rpc(&NsDeregister { uadd: uadd.raw() })?;
+        let shard = self.shards.shard_for_uadd(uadd);
+        let rep: NsAck = self.rpc(shard, &NsDeregister { uadd: uadd.raw() })?;
+        self.cache.invalidate(uadd);
         Ok(rep.ok)
     }
 }
 
 impl NameResolver for NspLayer {
     fn lookup(&self, uadd: UAdd) -> Result<ResolvedModule> {
-        let rep: NsLookupReply = self.rpc(&NsLookup { uadd: uadd.raw() })?;
+        let cache_cfg = &self.nucleus.config().name_cache;
+        if cache_cfg.enabled {
+            // L2 lease check: a fresh positive entry answers without a wire
+            // exchange; an unexpired negative entry fails fast.
+            if let Some(module) = self.cache.serve(uadd, self.nucleus.now_us())? {
+                return Ok(module);
+            }
+        }
+        let shard = self.shards.shard_for_uadd(uadd);
+        let rep: NsLookupReply = self.rpc(shard, &NsLookup { uadd: uadd.raw() })?;
+        let now_us = self.nucleus.now_us();
         if !rep.found {
+            if cache_cfg.enabled {
+                self.cache.insert_negative(
+                    uadd,
+                    now_us,
+                    u64::try_from(cache_cfg.negative_ttl.as_micros()).unwrap_or(u64::MAX),
+                );
+            }
             return Err(NtcsError::UnknownAddress(uadd.raw()));
         }
         if !rep.alive {
             // A dead module's location is useless; the caller will take the
-            // forwarding path.
+            // forwarding path. Not cached: the forwarding resolution will
+            // install the successor's lease instead.
+            self.cache.invalidate(uadd);
             return Err(NtcsError::AddressFault(uadd.raw()));
         }
-        Ok(ResolvedModule {
+        let module = ResolvedModule {
             uadd,
             machine_type: MachineType::from_wire_code(rep.machine_type)?,
             addrs: phys_from_blobs(&rep.phys)?,
-        })
+        };
+        if cache_cfg.enabled {
+            self.cache.insert(
+                module.clone(),
+                now_us,
+                u64::try_from(cache_cfg.ttl.as_micros()).unwrap_or(u64::MAX),
+            );
+        }
+        Ok(module)
     }
 
     fn forwarding(&self, old: UAdd) -> Result<UAdd> {
-        let rep: NsForwardReply = self.rpc(&NsForward { old: old.raw() })?;
+        let shard = self.shards.shard_for_uadd(old);
+        let rep: NsForwardReply = self.rpc(shard, &NsForward { old: old.raw() })?;
         if rep.found {
+            // The old incarnation is definitively gone; drop any lease so a
+            // concurrent lookup cannot resurrect it.
+            self.cache.invalidate(old);
             Ok(UAdd::from_raw(rep.new_uadd))
         } else if rep.known {
             Err(NtcsError::NoForwardingAddress(old.raw()))
@@ -236,10 +373,14 @@ impl NameResolver for NspLayer {
     }
 
     fn route(&self, from_networks: &[NetworkId], dst: UAdd) -> Result<RouteInfo> {
-        let rep: NsRouteReply = self.rpc(&NsRoute {
-            from_networks: from_networks.iter().map(|n| n.0).collect(),
-            dst: dst.raw(),
-        })?;
+        let shard = self.shards.shard_for_uadd(dst);
+        let rep: NsRouteReply = self.rpc(
+            shard,
+            &NsRoute {
+                from_networks: from_networks.iter().map(|n| n.0).collect(),
+                dst: dst.raw(),
+            },
+        )?;
         if !rep.found {
             return Err(NtcsError::NoRoute {
                 from: from_networks.first().map_or(0, |n| n.0),

@@ -10,6 +10,7 @@
 //! mutation to replica servers (also at well-known addresses), and the
 //! NSP-Layer fails over between them.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -20,16 +21,19 @@ use ntcs_addr::{
     UAdd,
 };
 use ntcs_ipcs::World;
-use ntcs_nucleus::{Nucleus, NucleusConfig, Received};
+use ntcs_nucleus::{NameCacheSettings, Nucleus, NucleusConfig, Received};
 use ntcs_wire::Message;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
+use crate::cache::{
+    shard_primary_server_id, shard_primary_uadd, shard_replica_server_id, shard_replica_uadd,
+};
 use crate::db::{NameDb, NameRecord};
 use crate::protocol::{
     phys_from_blobs, phys_to_blobs, record_to_wire, NsAck, NsDeregister, NsForward, NsForwardReply,
-    NsList, NsListReply, NsLookup, NsLookupReply, NsRecordWire, NsRegister, NsRegisterReply,
-    NsReplicate, NsResolve, NsResolveReply, NsRoute, NsRouteReply, NsSnapshotReply,
-    NsSnapshotRequest,
+    NsInvalidate, NsList, NsListReply, NsLookup, NsLookupReply, NsRecordWire, NsRegister,
+    NsRegisterReply, NsReplicate, NsResolve, NsResolveReply, NsRoute, NsRouteReply,
+    NsSnapshotReply, NsSnapshotRequest,
 };
 
 /// Configuration for one Name Server instance.
@@ -43,11 +47,20 @@ pub struct NameServerConfig {
     /// Server id appended to generated UAdds (§3.2).
     pub server_id: u16,
     /// Peer servers to replicate mutations to: their well-known UAdds and
-    /// physical addresses.
+    /// physical addresses. In a sharded deployment these are the shard's
+    /// own replicas.
     pub peers: Vec<(UAdd, Vec<PhysAddr>)>,
+    /// Primaries of *other* shards. Gateway records are replicated to them
+    /// as well, so any shard can compute §4 routes from its own database.
+    pub cross_shard: Vec<(UAdd, Vec<PhysAddr>)>,
     /// A server to pull a full snapshot from at startup (a replica joining
     /// late, or a primary rebuilt after a crash). `None` = start empty.
     pub sync_from: Option<(UAdd, Vec<PhysAddr>)>,
+    /// How long a lookup reply's client lease lasts. Invalidation pushes go
+    /// only to clients whose lease is still running; must be ≥ the clients'
+    /// [`NameCacheSettings::ttl`] or a relocation push can miss a client
+    /// still serving from cache.
+    pub lease_ttl: Duration,
 }
 
 impl NameServerConfig {
@@ -59,7 +72,30 @@ impl NameServerConfig {
             uadd: UAdd::NAME_SERVER,
             server_id: 0,
             peers: Vec::new(),
+            cross_shard: Vec::new(),
             sync_from: None,
+            lease_ttl: NameCacheSettings::default().ttl,
+        }
+    }
+
+    /// Shard `shard`'s primary on `machine` (shard 0 is the classic
+    /// primary).
+    #[must_use]
+    pub fn shard_primary(machine: MachineId, shard: usize) -> Self {
+        NameServerConfig {
+            uadd: shard_primary_uadd(shard),
+            server_id: shard_primary_server_id(shard),
+            ..NameServerConfig::primary(machine)
+        }
+    }
+
+    /// Replica `replica` (0-based) of shard `shard` on `machine`.
+    #[must_use]
+    pub fn shard_replica(machine: MachineId, shard: usize, replica: usize) -> Self {
+        NameServerConfig {
+            uadd: shard_replica_uadd(shard, replica),
+            server_id: shard_replica_server_id(shard, replica),
+            ..NameServerConfig::primary(machine)
         }
     }
 }
@@ -70,6 +106,7 @@ pub struct NameServer {
     nucleus: Nucleus,
     db: Arc<Mutex<NameDb>>,
     uadd: UAdd,
+    ctx: Arc<ServeCtx>,
     stop: Arc<AtomicBool>,
     thread: Option<JoinHandle<()>>,
 }
@@ -83,7 +120,7 @@ impl NameServer {
     pub fn spawn(world: &World, config: NameServerConfig) -> Result<NameServer> {
         let mut ncfg =
             NucleusConfig::new(config.machine, format!("name-server-{}", config.server_id));
-        for (u, addrs) in &config.peers {
+        for (u, addrs) in config.peers.iter().chain(&config.cross_shard) {
             ncfg.well_known.push((*u, addrs.clone()));
         }
         if let Some((u, addrs)) = &config.sync_from {
@@ -131,23 +168,41 @@ impl NameServer {
         let db = Arc::new(Mutex::new(db));
 
         let stop = Arc::new(AtomicBool::new(false));
+        let ctx = Arc::new(ServeCtx {
+            peers: config.peers.iter().map(|(u, _)| *u).collect(),
+            cross_shard: RwLock::new(config.cross_shard.iter().map(|(u, _)| *u).collect()),
+            lease_ttl_us: u64::try_from(config.lease_ttl.as_micros()).unwrap_or(u64::MAX),
+            leases: Mutex::new(HashMap::new()),
+        });
         let thread = {
             let nucleus = nucleus.clone();
             let db = Arc::clone(&db);
             let stop = Arc::clone(&stop);
-            let peers: Vec<UAdd> = config.peers.iter().map(|(u, _)| *u).collect();
+            let ctx = Arc::clone(&ctx);
             std::thread::Builder::new()
                 .name(format!("name-server-{}", config.server_id))
-                .spawn(move || serve(&nucleus, &db, &stop, &peers))
+                .spawn(move || serve(&nucleus, &db, &stop, &ctx))
                 .expect("spawn name server")
         };
         Ok(NameServer {
             nucleus,
             db,
             uadd: config.uadd,
+            ctx,
             stop,
             thread: Some(thread),
         })
+    }
+
+    /// Adds another shard's primary as a cross-shard replication target
+    /// after spawn — how a deployment wires primaries together when their
+    /// physical addresses only exist once every shard is up.
+    pub fn add_cross_shard_peer(&self, uadd: UAdd, machine_type: MachineType, addrs: Vec<PhysAddr>) {
+        self.nucleus.statics().preload(uadd, addrs, machine_type);
+        let mut cross = self.ctx.cross_shard.write();
+        if !cross.contains(&uadd) {
+            cross.push(uadd);
+        }
     }
 
     /// The server's well-known UAdd.
@@ -193,14 +248,60 @@ impl Drop for NameServer {
     }
 }
 
-fn serve(nucleus: &Nucleus, db: &Mutex<NameDb>, stop: &AtomicBool, peers: &[UAdd]) {
+/// Per-serve-loop state: replication targets plus the client-lease registry
+/// backing [`NsInvalidate`] pushes.
+#[derive(Debug)]
+struct ServeCtx {
+    peers: Vec<UAdd>,
+    /// Other shards' primaries (gateway records mirror there). Behind a
+    /// lock because shard primaries spawn one at a time — each learns the
+    /// later ones via [`NameServer::add_cross_shard_peer`].
+    cross_shard: RwLock<Vec<UAdd>>,
+    lease_ttl_us: u64,
+    /// Target UAdd → clients granted a lookup lease on it, with lease
+    /// expiry. Pushes go only to unexpired holders; the registry is the
+    /// server-side mirror of the clients' [`NameCacheSettings`] leases.
+    leases: Mutex<HashMap<UAdd, Vec<(UAdd, u64)>>>,
+}
+
+impl ServeCtx {
+    /// Records that `client` was served `target`'s location at `now_us`.
+    fn grant(&self, target: UAdd, client: UAdd, now_us: u64) {
+        if client.is_temporary() {
+            // A TAdd client has no registered return path once it renames
+            // itself (§3.4); it relies on lease expiry alone.
+            return;
+        }
+        let mut leases = self.leases.lock();
+        let holders = leases.entry(target).or_default();
+        let expires = now_us.saturating_add(self.lease_ttl_us);
+        if let Some(h) = holders.iter_mut().find(|(c, _)| *c == client) {
+            h.1 = expires;
+        } else {
+            holders.push((client, expires));
+        }
+    }
+
+    /// Takes the unexpired lease holders for `target`, dropping the
+    /// registry entry (a push is one-shot: the next lookup re-grants).
+    fn take_holders(&self, target: UAdd, now_us: u64) -> Vec<UAdd> {
+        self.leases.lock().remove(&target).map_or(Vec::new(), |hs| {
+            hs.into_iter()
+                .filter(|&(_, exp)| now_us < exp)
+                .map(|(c, _)| c)
+                .collect()
+        })
+    }
+}
+
+fn serve(nucleus: &Nucleus, db: &Mutex<NameDb>, stop: &AtomicBool, ctx: &ServeCtx) {
     while !stop.load(Ordering::SeqCst) {
         let msg = match nucleus.recv(Some(Duration::from_millis(100))) {
             Ok(m) => m,
             Err(NtcsError::Timeout) => continue,
             Err(_) => return,
         };
-        handle(nucleus, db, peers, &msg);
+        handle(nucleus, db, ctx, &msg);
     }
 }
 
@@ -213,6 +314,26 @@ fn replicate(nucleus: &Nucleus, peers: &[UAdd], record: NsRecordWire) {
                 record: record.clone(),
             },
         );
+    }
+}
+
+/// Pushes [`NsInvalidate`] to every unexpired lease holder of `target`.
+/// Best-effort casts on the credit-exempt control lane: a dropped push is
+/// bounded by the client's lease TTL.
+fn push_invalidation(
+    nucleus: &Nucleus,
+    ctx: &ServeCtx,
+    target: UAdd,
+    replacement: Option<UAdd>,
+    generation: Generation,
+) {
+    let inv = NsInvalidate {
+        uadd: target.raw(),
+        replacement: replacement.map_or(0, UAdd::raw),
+        generation: generation.0,
+    };
+    for client in ctx.take_holders(target, nucleus.now_us()) {
+        let _ = nucleus.cast_message(client, &inv);
     }
 }
 
@@ -244,7 +365,8 @@ fn record_from_wire(w: &NsRecordWire) -> Result<NameRecord> {
 }
 
 #[allow(clippy::too_many_lines)]
-fn handle(nucleus: &Nucleus, db: &Mutex<NameDb>, peers: &[UAdd], msg: &Received) {
+fn handle(nucleus: &Nucleus, db: &Mutex<NameDb>, ctx: &ServeCtx, msg: &Received) {
+    let peers: &[UAdd] = &ctx.peers;
     let mt = nucleus.machine_type();
     let p = &msg.payload;
     // Every arm decodes, consults the database, and replies; decode failures
@@ -306,6 +428,12 @@ fn handle(nucleus: &Nucleus, db: &Mutex<NameDb>, peers: &[UAdd], msg: &Received)
             );
             let rec = db.lock().lookup(uadd).map(wire_of);
             if let Some(rec) = rec {
+                if req.is_gateway {
+                    // Gateways are route infrastructure: every shard needs
+                    // them, so mirror the record to the other primaries.
+                    let cross = ctx.cross_shard.read().clone();
+                    replicate(nucleus, &cross, rec.clone());
+                }
                 replicate(nucleus, peers, rec);
             }
             if let Some(prev) = prev {
@@ -313,6 +441,10 @@ fn handle(nucleus: &Nucleus, db: &Mutex<NameDb>, peers: &[UAdd], msg: &Received)
                 if let Some(old) = old {
                     replicate(nucleus, peers, old);
                 }
+                // Relocation: clients still holding a lease on the old
+                // incarnation learn the successor eagerly instead of riding
+                // an address fault (§3.5).
+                push_invalidation(nucleus, ctx, prev, Some(uadd), generation);
             }
         }
         NsResolve::TYPE_ID => {
@@ -334,9 +466,10 @@ fn handle(nucleus: &Nucleus, db: &Mutex<NameDb>, peers: &[UAdd], msg: &Received)
         }
         NsLookup::TYPE_ID => {
             let req = decode_or_nack!(NsLookup);
+            let target = UAdd::from_raw(req.uadd);
             let reply = {
                 let dbl = db.lock();
-                match dbl.lookup(UAdd::from_raw(req.uadd)) {
+                match dbl.lookup(target) {
                     Some(r) => NsLookupReply {
                         found: true,
                         alive: r.alive,
@@ -351,6 +484,12 @@ fn handle(nucleus: &Nucleus, db: &Mutex<NameDb>, peers: &[UAdd], msg: &Received)
                     },
                 }
             };
+            if reply.found && reply.alive {
+                // The requester will cache this answer; remember its lease
+                // so a relocation or deregistration can push an
+                // invalidation before the lease runs out.
+                ctx.grant(target, msg.src, nucleus.now_us());
+            }
             let _ = nucleus.reply_message(msg, &reply);
         }
         NsForward::TYPE_ID => {
@@ -405,7 +544,13 @@ fn handle(nucleus: &Nucleus, db: &Mutex<NameDb>, peers: &[UAdd], msg: &Received)
             let _ = nucleus.reply_message(msg, &NsAck { ok });
             let rec = db.lock().lookup(uadd).map(wire_of);
             if let Some(rec) = rec {
+                let generation = Generation(rec.generation);
                 replicate(nucleus, peers, rec);
+                if ok {
+                    // No successor: lease holders drop straight to negative
+                    // caching instead of retrying a dead address.
+                    push_invalidation(nucleus, ctx, uadd, None, generation);
+                }
             }
         }
         NsList::TYPE_ID => {

@@ -94,6 +94,36 @@ pub struct NucleusConfig {
     /// sampling). On by default: the recorder is the always-available
     /// post-mortem, and its hot-path cost is bounded by sampling.
     pub recorder: RecorderSettings,
+    /// Resolver-side name-cache tuning: TTL leases on UAdd → location
+    /// entries, consulted before any NSP round trip. On by default — lease
+    /// expiry (not cache absence) is what bounds staleness.
+    pub name_cache: NameCacheSettings,
+}
+
+/// Resolver-side name-cache tuning (the shard extension's leased cache).
+#[derive(Debug, Clone, Copy)]
+pub struct NameCacheSettings {
+    /// Whether lookups consult the lease cache at all. Disabling it makes
+    /// every lookup an NSP round trip (the pre-shard behaviour).
+    pub enabled: bool,
+    /// Positive-entry lease: a cached location is served without
+    /// revalidation for this long. Bounds worst-case staleness when an
+    /// invalidation push is lost.
+    pub ttl: Duration,
+    /// Negative-entry lease: an `UnknownAddress` answer is remembered
+    /// (and served) for this long. Kept shorter than `ttl` — a name being
+    /// registered right now should become visible quickly.
+    pub negative_ttl: Duration,
+}
+
+impl Default for NameCacheSettings {
+    fn default() -> Self {
+        NameCacheSettings {
+            enabled: true,
+            ttl: Duration::from_secs(2),
+            negative_ttl: Duration::from_millis(500),
+        }
+    }
 }
 
 /// Flight-recorder tuning: the per-module event ring buffer that backs
@@ -180,6 +210,7 @@ impl NucleusConfig {
             flow: FlowSettings::disabled(),
             inbox_cap: 8192,
             recorder: RecorderSettings::default(),
+            name_cache: NameCacheSettings::default(),
         }
     }
 
@@ -300,6 +331,25 @@ impl NucleusConfig {
         self
     }
 
+    /// Sets the name-cache lease TTLs (builder style). Enables the cache.
+    #[must_use]
+    pub fn with_name_cache(mut self, ttl: Duration, negative_ttl: Duration) -> Self {
+        self.name_cache = NameCacheSettings {
+            enabled: true,
+            ttl,
+            negative_ttl,
+        };
+        self
+    }
+
+    /// Disables the resolver-side name cache (builder style): every lookup
+    /// becomes an NSP round trip.
+    #[must_use]
+    pub fn without_name_cache(mut self) -> Self {
+        self.name_cache.enabled = false;
+        self
+    }
+
     /// The ND-Layer batching policy implied by this configuration.
     #[must_use]
     pub fn batch_policy(&self) -> crate::nd::BatchPolicy {
@@ -340,6 +390,21 @@ mod tests {
         assert_eq!(c.batch_max_payload, 4096);
         assert!(c.recorder.enabled, "flight recorder must be on by default");
         assert!(c.recorder.capacity >= 64, "ring must hold a useful tail");
+        assert!(c.name_cache.enabled, "name cache must be on by default");
+        assert!(
+            c.name_cache.negative_ttl < c.name_cache.ttl,
+            "negative entries must expire faster than positive leases"
+        );
+    }
+
+    #[test]
+    fn name_cache_builders_compose() {
+        let c = NucleusConfig::new(MachineId(0), "m")
+            .with_name_cache(Duration::from_secs(1), Duration::from_millis(100));
+        assert!(c.name_cache.enabled);
+        assert_eq!(c.name_cache.ttl, Duration::from_secs(1));
+        assert_eq!(c.name_cache.negative_ttl, Duration::from_millis(100));
+        assert!(!c.without_name_cache().name_cache.enabled);
     }
 
     #[test]

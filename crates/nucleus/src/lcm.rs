@@ -42,7 +42,7 @@ use crate::obs::{
     event_kind, FlightRecorder, ModuleReport, NucleusHistograms, TraceId, TraceIdGen,
 };
 use crate::proto::OpenPayload;
-use crate::resolver::{NameResolver, ResolvedModule, StaticResolver};
+use crate::resolver::{LeaseProbe, NameResolver, ResolvedModule, StaticResolver};
 use crate::supervisor::{
     BreakerRegistry, CircuitHealth, DeadLetter, DeadLetterSink, RetransmissionQueue,
 };
@@ -188,11 +188,37 @@ impl LcmState {
 /// extension); never delivered to the application.
 pub const RELIABLE_ACK_TYPE: u32 = u32::MAX;
 
+/// Whether a lookup error means the naming service *could not be asked*
+/// (transport), as opposed to an authoritative negative answer
+/// (`UnknownAddress`, `AddressFault` on the target itself). Only the
+/// former may be bridged by an expired lease.
+fn resolver_unreachable(e: &NtcsError) -> bool {
+    matches!(
+        e,
+        NtcsError::Timeout
+            | NtcsError::DeadlineExceeded
+            | NtcsError::ConnectionClosed
+            | NtcsError::ConnectRefused(_)
+            | NtcsError::Ipcs(_)
+            | NtcsError::NameServerUnreachable
+            | NtcsError::CircuitBroken(_)
+    )
+}
+
+/// A control-plane message interceptor: consumes matching inbound frames
+/// before they reach the application inbox (see
+/// [`Nucleus::set_control_intercept`]).
+pub type ControlIntercept = Arc<dyn Fn(&Received) + Send + Sync>;
+
 struct Inner {
     config: NucleusConfig,
     nd: NdLayer,
     statics: StaticResolver,
     resolver: RwLock<Option<Arc<dyn NameResolver>>>,
+    /// Control-plane intercepts by message type id: matching inbound
+    /// frames are consumed by the hook instead of entering the inbox
+    /// (the NSP-Layer registers its lease-invalidation handler here).
+    intercepts: RwLock<HashMap<u32, ControlIntercept>>,
     gateway: RwLock<Option<Arc<dyn GatewayHandler>>>,
     my_uadd: RwLock<UAdd>,
     tadds: TAddGenerator,
@@ -307,6 +333,7 @@ impl Nucleus {
             nd,
             statics,
             resolver: RwLock::new(None),
+            intercepts: RwLock::new(HashMap::new()),
             gateway: RwLock::new(None),
             my_uadd: RwLock::new(UAdd::from_raw(0)),
             tadds: TAddGenerator::new(salt),
@@ -379,6 +406,28 @@ impl Nucleus {
     /// modules are handed to it instead of being refused (§4).
     pub fn set_gateway_handler(&self, handler: Arc<dyn GatewayHandler>) {
         *self.inner.gateway.write() = Some(handler);
+    }
+
+    /// Installs a control-plane intercept for message `type_id`: matching
+    /// inbound frames are consumed by `hook` (invoked on the pump thread,
+    /// outside the LCM state lock) instead of entering the application
+    /// inbox. Intended for connectionless control casts on the credit-
+    /// exempt lane — the NSP-Layer's lease-invalidation push. Intercepting
+    /// a reliable type would starve its delivery ack; don't.
+    pub fn set_control_intercept(&self, type_id: u32, hook: ControlIntercept) {
+        self.inner.intercepts.write().insert(type_id, hook);
+    }
+
+    /// Removes a control-plane intercept.
+    pub fn clear_control_intercept(&self, type_id: u32) {
+        self.inner.intercepts.write().remove(&type_id);
+    }
+
+    /// This machine's corrected virtual time, µs, clamped non-negative
+    /// (the timebase every lease expiry is measured on).
+    #[must_use]
+    pub fn now_us(&self) -> u64 {
+        self.inner.clock.now_us().max(0) as u64
     }
 
     /// Installs the dead-letter sink: invoked with each reliable message
@@ -553,11 +602,33 @@ impl Nucleus {
         &self.inner.statics
     }
 
+    /// Resolves `target` to its routing record through the leased cache —
+    /// the exact path every send takes, counting cache hits and misses
+    /// the same way. Exposed so benches and introspection tooling can
+    /// measure resolution cost without paying for a message.
+    ///
+    /// # Errors
+    ///
+    /// Naming-service transport failures, or an authoritative
+    /// unknown-address answer.
+    pub fn resolve(&self, target: UAdd) -> Result<ResolvedModule> {
+        self.resolve_module(target)
+    }
+
     /// Addresses currently present in the peer table (test hook for the
     /// §3.4 purge invariant).
     #[must_use]
     pub fn peer_table(&self) -> Vec<UAdd> {
         self.inner.state.lock().by_peer.keys().copied().collect()
+    }
+
+    /// Records an externally learned forwarding address (§3.5): drops the
+    /// old UAdd's cached location and routes future sends to `new`. The
+    /// NSP-Layer calls this when a shard's invalidation push already names
+    /// the replacement, saving the address-fault round trip.
+    pub fn note_forwarding(&self, old: UAdd, new: UAdd) {
+        self.inner.statics.invalidate(old);
+        self.inner.state.lock().forwarding.insert(old, new);
     }
 
     /// Installs a forwarding entry directly (test hook).
@@ -584,6 +655,9 @@ impl Nucleus {
             return;
         }
         self.inner.nd.close_all();
+        // Intercept hooks routinely capture a clone of this Nucleus;
+        // dropping them here breaks the reference cycle.
+        self.inner.intercepts.write().clear();
         let mut st = self.inner.state.lock();
         for (_, e) in st.conns.iter() {
             e.lvc.close();
@@ -1490,6 +1564,10 @@ impl Nucleus {
                 // The old address is dead for good; drop its cached location
                 // and route future sends to the replacement.
                 self.inner.statics.invalidate(target);
+                self.inner.metrics.bump(&self.inner.metrics.ns_invalidations);
+                self.inner
+                    .recorder
+                    .record(event_kind::CACHE_INVALIDATE, target.raw(), 0, 0);
                 let mut st = self.inner.state.lock();
                 st.forwarding.insert(target, new_uadd);
                 Ok(())
@@ -1548,16 +1626,57 @@ impl Nucleus {
 
     /// UAdd → location info: local cache / well-known table first, then the
     /// naming service (recursively).
+    ///
+    /// With the name cache enabled, the local table is lease-aware: a
+    /// fresh lease is served without a round trip (`ns_cache_hits`), an
+    /// expired one is revalidated (`ns_cache_stale`), and nothing cached
+    /// goes to the shard cold (`ns_cache_misses`). A revalidation that
+    /// fails on *transport* serves the expired entry (stale-if-error) —
+    /// a dead naming service must not take warm conversations with it —
+    /// but an authoritative "dead"/"unknown" answer is never overridden.
     fn resolve_module(&self, target: UAdd) -> Result<ResolvedModule> {
-        if let Some(m) = self.inner.statics.get(target) {
-            return Ok(m);
+        if !self.inner.config.name_cache.enabled {
+            if let Some(m) = self.inner.statics.get(target) {
+                return Ok(m);
+            }
+            return self.resolve_via_ns(target, None);
         }
-        let resolver = self
-            .inner
-            .resolver
-            .read()
-            .clone()
-            .ok_or(NtcsError::UnknownAddress(target.raw()))?;
+        match self.inner.statics.probe(target, self.now_us()) {
+            LeaseProbe::Fresh(m) => {
+                self.inner.metrics.bump(&self.inner.metrics.ns_cache_hits);
+                self.inner
+                    .recorder
+                    .record(event_kind::CACHE_HIT, target.raw(), 0, 0);
+                Ok(m)
+            }
+            LeaseProbe::Stale(stale) => {
+                self.inner.metrics.bump(&self.inner.metrics.ns_cache_stale);
+                self.inner
+                    .recorder
+                    .record(event_kind::CACHE_MISS, target.raw(), 0, 1);
+                self.resolve_via_ns(target, Some(stale))
+            }
+            LeaseProbe::Miss => {
+                self.inner.metrics.bump(&self.inner.metrics.ns_cache_misses);
+                self.inner
+                    .recorder
+                    .record(event_kind::CACHE_MISS, target.raw(), 0, 0);
+                self.resolve_via_ns(target, None)
+            }
+        }
+    }
+
+    /// The naming-service leg of [`Nucleus::resolve_module`]: one recursive
+    /// lookup, leased into the local table on success. `stale` carries an
+    /// expired lease to fall back on when the service is unreachable.
+    fn resolve_via_ns(
+        &self,
+        target: UAdd,
+        stale: Option<ResolvedModule>,
+    ) -> Result<ResolvedModule> {
+        let Some(resolver) = self.inner.resolver.read().clone() else {
+            return stale.ok_or(NtcsError::UnknownAddress(target.raw()));
+        };
         let _scope = self.inner.gauge.enter()?;
         self.inner.metrics.bump(&self.inner.metrics.ns_lookups);
         self.inner.trace.record(
@@ -1567,13 +1686,28 @@ impl Nucleus {
             format!("ND needs phys of {target}"),
         );
         let lookup_started_us = self.inner.clock.now_us();
-        let m = resolver.lookup(target)?;
-        self.inner
-            .hists
-            .ns_lookup_us
-            .record_us(self.inner.clock.now_us() - lookup_started_us);
-        self.inner.statics.cache(m.clone());
-        Ok(m)
+        match resolver.lookup(target) {
+            Ok(m) => {
+                self.inner
+                    .hists
+                    .ns_lookup_us
+                    .record_us(self.inner.clock.now_us() - lookup_started_us);
+                let cache = self.inner.config.name_cache;
+                if cache.enabled {
+                    let expires = self.now_us().saturating_add(cache.ttl.as_micros() as u64);
+                    self.inner.statics.cache_leased(m.clone(), expires);
+                } else {
+                    self.inner.statics.cache(m.clone());
+                }
+                Ok(m)
+            }
+            Err(e) if stale.is_some() && resolver_unreachable(&e) => {
+                // Stale-if-error: the service could not be asked at all, so
+                // the expired lease is the best information available.
+                Ok(stale.expect("checked above"))
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Establishes the IVC: a direct LVC when the destination shares a
@@ -1889,6 +2023,26 @@ impl Nucleus {
                         },
                         conn_id,
                     };
+                    // Control-plane intercept: a registered hook consumes
+                    // the message instead of the inbox. Credit the frame
+                    // back first if it debited a window (it will never be
+                    // drained), then run the hook outside the state lock —
+                    // it may re-enter the LCM (e.g. to invalidate caches).
+                    let hook = self.inner.intercepts.read().get(&h.aux).cloned();
+                    if let Some(hook) = hook {
+                        if Lane::classify(h.aux) == Lane::Bulk {
+                            if let Some(flow) = &arrival_flow {
+                                if let Some((bytes, frames)) =
+                                    flow.ledger.on_drain(frame.payload.len())
+                                {
+                                    send_credit(&self.inner, &arrival_lvc, h.src, bytes, frames);
+                                }
+                            }
+                        }
+                        drop(st);
+                        hook(&received);
+                        return;
+                    }
                     if let Some(evicted) = st.inbox.push_back(received) {
                         // Inbox overflow: shed the oldest message rather
                         // than grow without bound, and credit its bytes

@@ -43,8 +43,8 @@ pub mod retry;
 pub mod supervisor;
 pub mod trace;
 
-pub use config::{NucleusConfig, RecorderSettings};
-pub use lcm::{GatewayHandler, Nucleus, Outbound, Received};
+pub use config::{NameCacheSettings, NucleusConfig, RecorderSettings};
+pub use lcm::{ControlIntercept, GatewayHandler, Nucleus, Outbound, Received};
 pub use metrics::{NucleusMetrics, NucleusMetricsSnapshot};
 pub use nd::{BatchStats, Lvc, NdLayer};
 pub use ntcs_flow::{FlowPolicy, FlowSettings, Lane, CONTROL_TYPE_MAX};
@@ -56,7 +56,7 @@ pub use obs::{
     TraceIdGen, TraceQuery, TraceReply, HISTOGRAM_BUCKETS,
 };
 pub use proto::{Hop, OpenPayload};
-pub use resolver::{NameResolver, ResolvedModule, RouteInfo, StaticResolver};
+pub use resolver::{LeaseProbe, NameResolver, ResolvedModule, RouteInfo, StaticResolver};
 pub use retry::{BackoffSchedule, RetryPolicy};
 pub use supervisor::{
     BreakerConfig, BreakerRegistry, CircuitBreaker, CircuitHealth, DeadLetter, DeadLetterSink,

@@ -59,6 +59,15 @@ pub struct NucleusMetrics {
     /// Messages shed by flow control: dropped on an exhausted window
     /// under `ShedNewest`, or evicted from a full bounded inbox.
     pub flow_sheds: AtomicU64,
+    /// Name-cache probes answered from a live lease (no NSP round trip).
+    pub ns_cache_hits: AtomicU64,
+    /// Name-cache probes that found nothing and went to the shard.
+    pub ns_cache_misses: AtomicU64,
+    /// Name-cache probes that found an expired lease and revalidated.
+    pub ns_cache_stale: AtomicU64,
+    /// Lease invalidations applied (pushed by a shard, or local on a
+    /// forwarding address).
+    pub ns_invalidations: AtomicU64,
 }
 
 /// A point-in-time copy of [`NucleusMetrics`].
@@ -87,6 +96,10 @@ pub struct NucleusMetricsSnapshot {
     pub dead_letters: u64,
     pub flow_stalls: u64,
     pub flow_sheds: u64,
+    pub ns_cache_hits: u64,
+    pub ns_cache_misses: u64,
+    pub ns_cache_stale: u64,
+    pub ns_invalidations: u64,
 }
 
 impl NucleusMetrics {
@@ -127,6 +140,10 @@ impl NucleusMetrics {
             dead_letters: self.dead_letters.load(Ordering::Relaxed),
             flow_stalls: self.flow_stalls.load(Ordering::Relaxed),
             flow_sheds: self.flow_sheds.load(Ordering::Relaxed),
+            ns_cache_hits: self.ns_cache_hits.load(Ordering::Relaxed),
+            ns_cache_misses: self.ns_cache_misses.load(Ordering::Relaxed),
+            ns_cache_stale: self.ns_cache_stale.load(Ordering::Relaxed),
+            ns_invalidations: self.ns_invalidations.load(Ordering::Relaxed),
         }
     }
 }
@@ -160,6 +177,10 @@ impl NucleusMetricsSnapshot {
             ("dead_letters", self.dead_letters),
             ("flow_stalls", self.flow_stalls),
             ("flow_sheds", self.flow_sheds),
+            ("ns_cache_hits", self.ns_cache_hits),
+            ("ns_cache_misses", self.ns_cache_misses),
+            ("ns_cache_stale", self.ns_cache_stale),
+            ("ns_invalidations", self.ns_invalidations),
         ]
     }
 }

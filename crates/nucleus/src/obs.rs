@@ -334,9 +334,17 @@ pub mod event_kind {
     pub const CIRCUIT_OPEN: u32 = 11;
     /// A virtual circuit closed or was torn down.
     pub const CIRCUIT_CLOSE: u32 = 12;
+    /// A name-cache probe was served from a live lease (aux = 0).
+    pub const CACHE_HIT: u32 = 13;
+    /// A name-cache probe went to the naming service (aux = 0 cold miss,
+    /// 1 expired lease revalidated).
+    pub const CACHE_MISS: u32 = 14;
+    /// A cached lease was invalidated (aux = 1 pushed by the shard,
+    /// 0 local, e.g. on a forwarding address).
+    pub const CACHE_INVALIDATE: u32 = 15;
 
     /// Number of distinct event kinds (for per-kind sampling counters).
-    pub(crate) const COUNT: usize = 13;
+    pub(crate) const COUNT: usize = 16;
 
     /// Whether a kind is hot-path (per-message) and therefore subject to
     /// 1-in-2^shift sampling. Failure-path kinds always record.
@@ -361,6 +369,9 @@ pub mod event_kind {
             SHED => "shed",
             CIRCUIT_OPEN => "circuit-open",
             CIRCUIT_CLOSE => "circuit-close",
+            CACHE_HIT => "cache-hit",
+            CACHE_MISS => "cache-miss",
+            CACHE_INVALIDATE => "cache-invalidate",
             _ => "unknown",
         }
     }
@@ -1511,9 +1522,9 @@ mod tests {
         };
         let got: ObsCollect = inbound.decode(MachineType::Sun).unwrap();
         assert_eq!(got, q);
-        assert_eq!(ObsQuery::TYPE_ID, 133);
-        assert_eq!(ObsReply::TYPE_ID, 134);
-        assert_eq!(ObsCollect::TYPE_ID, 135);
-        assert_eq!(ObsCollectReply::TYPE_ID, 136);
+        assert_eq!(ObsQuery::TYPE_ID, 140);
+        assert_eq!(ObsReply::TYPE_ID, 141);
+        assert_eq!(ObsCollect::TYPE_ID, 142);
+        assert_eq!(ObsCollectReply::TYPE_ID, 143);
     }
 }

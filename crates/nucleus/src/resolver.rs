@@ -87,12 +87,37 @@ pub trait NameResolver: Send + Sync {
     fn route(&self, from_networks: &[NetworkId], dst: UAdd) -> Result<RouteInfo>;
 }
 
+/// What a leased probe of the [`StaticResolver`] found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeaseProbe {
+    /// A preloaded or still-leased entry: serve it.
+    Fresh(ResolvedModule),
+    /// A cached entry whose lease expired — the value is retained for
+    /// stale-if-error fallback, but the caller must revalidate first.
+    Stale(ResolvedModule),
+    /// No entry at all.
+    Miss,
+}
+
+#[derive(Debug, Clone)]
+struct LeasedEntry {
+    module: ResolvedModule,
+    /// Lease expiry in Nucleus virtual µs; `None` = never expires
+    /// (preloaded well-known entries).
+    expires_us: Option<u64>,
+}
+
 /// The preloaded well-known address table (§3.4) plus a local cache,
 /// consulted before the real resolver. It never answers forwarding or
 /// routing queries beyond the preconfigured Name-Server route.
+///
+/// Cached (non-preloaded) entries carry a TTL lease (the shard
+/// extension): [`StaticResolver::probe`] refuses to report an entry as
+/// fresh past its lease, which is what bounds staleness when an
+/// invalidation push is lost.
 #[derive(Debug, Default)]
 pub struct StaticResolver {
-    entries: RwLock<HashMap<UAdd, ResolvedModule>>,
+    entries: RwLock<HashMap<UAdd, LeasedEntry>>,
 }
 
 impl StaticResolver {
@@ -104,28 +129,79 @@ impl StaticResolver {
 
     /// Preloads a well-known module whose machine type is not yet known
     /// (it is learned from the open handshake; until then assume the local
-    /// type — the mode will be corrected by the ack).
+    /// type — the mode will be corrected by the ack). Preloaded entries
+    /// never expire.
     pub fn preload(&self, uadd: UAdd, addrs: Vec<PhysAddr>, machine_type: MachineType) {
         self.entries.write().insert(
             uadd,
-            ResolvedModule {
-                uadd,
-                machine_type,
-                addrs,
+            LeasedEntry {
+                module: ResolvedModule {
+                    uadd,
+                    machine_type,
+                    addrs,
+                },
+                expires_us: None,
             },
         );
     }
 
-    /// Looks up a preloaded/cached entry.
+    /// Looks up a preloaded/cached entry, ignoring lease expiry (the
+    /// pre-shard behaviour; reconnect paths use this as the address of
+    /// last resort).
     #[must_use]
     pub fn get(&self, uadd: UAdd) -> Option<ResolvedModule> {
-        self.entries.read().get(&uadd).cloned()
+        self.entries.read().get(&uadd).map(|e| e.module.clone())
     }
 
-    /// Caches a resolved entry (the §3.3 local cache: "this information is
-    /// then locally cached for future reference").
+    /// Lease-aware probe at `now_us`: a cached entry past its expiry is
+    /// reported [`LeaseProbe::Stale`], never fresh.
+    #[must_use]
+    pub fn probe(&self, uadd: UAdd, now_us: u64) -> LeaseProbe {
+        match self.entries.read().get(&uadd) {
+            Some(e) => match e.expires_us {
+                Some(exp) if now_us >= exp => LeaseProbe::Stale(e.module.clone()),
+                _ => LeaseProbe::Fresh(e.module.clone()),
+            },
+            None => LeaseProbe::Miss,
+        }
+    }
+
+    /// Caches a resolved entry without a lease (the §3.3 local cache:
+    /// "this information is then locally cached for future reference").
     pub fn cache(&self, module: ResolvedModule) {
-        self.entries.write().insert(module.uadd, module);
+        self.entries.write().insert(
+            module.uadd,
+            LeasedEntry {
+                module,
+                expires_us: None,
+            },
+        );
+    }
+
+    /// Caches a resolved entry under a lease expiring at `expires_us`.
+    /// Never demotes a preloaded (non-expiring) entry to a leased one —
+    /// well-known addresses stay permanent.
+    pub fn cache_leased(&self, module: ResolvedModule, expires_us: u64) {
+        let mut entries = self.entries.write();
+        if let Some(existing) = entries.get(&module.uadd) {
+            if existing.expires_us.is_none() {
+                entries.insert(
+                    module.uadd,
+                    LeasedEntry {
+                        module,
+                        expires_us: None,
+                    },
+                );
+                return;
+            }
+        }
+        entries.insert(
+            module.uadd,
+            LeasedEntry {
+                module,
+                expires_us: Some(expires_us),
+            },
+        );
     }
 
     /// Drops a cached entry (after an address fault).
@@ -206,6 +282,28 @@ mod tests {
         assert!(r.get(u).is_some());
         r.invalidate(u);
         assert!(r.get(u).is_none());
+    }
+
+    #[test]
+    fn leases_expire_but_preloads_do_not() {
+        let r = StaticResolver::new();
+        let wk = UAdd::NAME_SERVER;
+        r.preload(wk, vec![phys(0)], MachineType::Sun);
+        let leased = ResolvedModule {
+            uadd: UAdd::from_raw(0x2000),
+            machine_type: MachineType::Vax,
+            addrs: vec![phys(1)],
+        };
+        r.cache_leased(leased.clone(), 1_000);
+        assert_eq!(r.probe(wk, u64::MAX), LeaseProbe::Fresh(r.get(wk).unwrap()));
+        assert_eq!(r.probe(leased.uadd, 999), LeaseProbe::Fresh(leased.clone()));
+        assert_eq!(r.probe(leased.uadd, 1_000), LeaseProbe::Stale(leased.clone()));
+        // Stale-if-error: the raw get still answers.
+        assert_eq!(r.get(leased.uadd), Some(leased.clone()));
+        assert_eq!(r.probe(UAdd::from_raw(0x9999), 0), LeaseProbe::Miss);
+        // A leased write never demotes a preload.
+        r.cache_leased(r.get(wk).unwrap(), 1);
+        assert_eq!(r.probe(wk, u64::MAX), LeaseProbe::Fresh(r.get(wk).unwrap()));
     }
 
     #[test]

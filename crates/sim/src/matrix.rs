@@ -23,6 +23,9 @@ use ntcs::{
     dump_snapshot, ntcs_message, ComMod, FlowSettings, MachineId, MachineType, MetricsRegistry,
     NetKind, NetworkId, NtcsError, Result, Testbed, UAdd,
 };
+use ntcs_naming::cache::CacheProbe;
+use ntcs_naming::protocol::NS_INVALIDATE_TYPE;
+use ntcs_naming::ShardMap;
 use parking_lot::Mutex;
 
 use crate::rng::SimRng;
@@ -56,6 +59,18 @@ pub enum Fault {
     StuckCreditWindow,
     /// The machine hosting the splicing gateway crashes mid-conversation.
     CrashDuringSplice,
+    /// A Name-Service shard's primary crashes while clients are mid-lookup;
+    /// resolution must fail over to the shard's replica.
+    ShardReplicaCrash,
+    /// The lease-invalidation push for a relocated module never reaches the
+    /// client; the cache's lease TTL must bound the staleness window.
+    DroppedInvalidation,
+    /// A client's lookup loop races the destination's relocation.
+    LookupRacesRelocation,
+    /// One shard group is partitioned away: its names must error typed (the
+    /// hash routing leaves no second authority to diverge), the others must
+    /// keep resolving.
+    ShardSplitBrain,
 }
 
 impl std::fmt::Display for Fault {
@@ -68,6 +83,10 @@ impl std::fmt::Display for Fault {
             Fault::ReorderControlFrames => "reorder-control-frames",
             Fault::StuckCreditWindow => "stuck-credit-window",
             Fault::CrashDuringSplice => "crash-during-splice",
+            Fault::ShardReplicaCrash => "shard-replica-crash",
+            Fault::DroppedInvalidation => "dropped-invalidation",
+            Fault::LookupRacesRelocation => "lookup-races-relocation",
+            Fault::ShardSplitBrain => "shard-split-brain",
         };
         f.write_str(s)
     }
@@ -85,6 +104,8 @@ pub enum MatrixLayer {
     /// The relocation path: the fault lands while the destination module
     /// is moving machines.
     Relocation,
+    /// The sharded Name Service and the leased client-side name cache.
+    Naming,
 }
 
 impl std::fmt::Display for MatrixLayer {
@@ -94,6 +115,7 @@ impl std::fmt::Display for MatrixLayer {
             MatrixLayer::Flow => "flow",
             MatrixLayer::Gateway => "gateway",
             MatrixLayer::Relocation => "relocation",
+            MatrixLayer::Naming => "naming",
         };
         f.write_str(s)
     }
@@ -171,6 +193,10 @@ pub fn cells() -> Vec<(Fault, MatrixLayer)> {
         (Fault::CorruptCircuit, MatrixLayer::Gateway),
         (Fault::CrashDuringSplice, MatrixLayer::Gateway),
         (Fault::HalfCompletedSend, MatrixLayer::Relocation),
+        (Fault::ShardReplicaCrash, MatrixLayer::Naming),
+        (Fault::DroppedInvalidation, MatrixLayer::Naming),
+        (Fault::LookupRacesRelocation, MatrixLayer::Naming),
+        (Fault::ShardSplitBrain, MatrixLayer::Naming),
     ]
 }
 
@@ -200,6 +226,18 @@ pub fn expected(fault: Fault, layer: MatrixLayer) -> &'static [Verdict] {
         // Losing the gateway mid-splice: recovery through a respawned
         // gateway, or a typed dead-letter if re-routing loses the race.
         (Fault::CrashDuringSplice, _) => &[Recovered, DeadLettered],
+        // A crashed shard primary fails lookups over to the replica; if the
+        // replication race loses, the typed NS error is the legal escape.
+        (Fault::ShardReplicaCrash, _) => &[Recovered, CleanlyErrored],
+        // A lost invalidation may serve staleness only inside the lease
+        // TTL; past it the re-resolve must recover end to end.
+        (Fault::DroppedInvalidation, _) => &[Recovered],
+        // A lookup racing a relocation sees the old or the new incarnation
+        // — never a third — and converges once the move commits.
+        (Fault::LookupRacesRelocation, _) => &[Recovered],
+        // A partitioned shard group must surface typed errors for its
+        // names: hash routing admits no second authority to diverge to.
+        (Fault::ShardSplitBrain, _) => &[CleanlyErrored],
         _ => &[Recovered],
     }
 }
@@ -481,6 +519,12 @@ fn cell_body(fault: Fault, layer: MatrixLayer, seed: u64) -> (Verdict, String) {
         (Fault::HalfCompletedSend, MatrixLayer::Relocation) => {
             half_completed_send_relocation(&mut rng)
         }
+        (Fault::ShardReplicaCrash, MatrixLayer::Naming) => shard_replica_crash_naming(&mut rng),
+        (Fault::DroppedInvalidation, MatrixLayer::Naming) => dropped_invalidation_naming(&mut rng),
+        (Fault::LookupRacesRelocation, MatrixLayer::Naming) => {
+            lookup_races_relocation_naming(&mut rng)
+        }
+        (Fault::ShardSplitBrain, MatrixLayer::Naming) => shard_split_brain_naming(),
         other => panic!("no cell body for {other:?}"),
     }
 }
@@ -824,6 +868,313 @@ fn half_completed_send_relocation(rng: &mut SimRng) -> (Verdict, String) {
     (
         v,
         format!("{d} ({drops} dropped frame(s) racing a relocation)"),
+    )
+}
+
+/// A two-shard Name Service across four machines: shard 0's primary on
+/// m0, shard 1's on m1; with `replicas` each shard gets one replica
+/// (shard 0's on m2, shard 1's on m3).
+fn sharded_net(replicas: bool) -> Result<(Testbed, Vec<MachineId>)> {
+    let mut tb = Testbed::builder();
+    let net = tb.add_network(NetKind::Mbx, "cell-lan");
+    let mut machines = Vec::with_capacity(4);
+    for i in 0..4 {
+        machines.push(tb.add_machine(
+            TYPE_CYCLE[i % TYPE_CYCLE.len()],
+            &format!("m{i}"),
+            &[net],
+        )?);
+    }
+    tb.name_server_on(machines[0]);
+    let s1 = tb.ns_shard_on(machines[1]);
+    if replicas {
+        tb.shard_replica_on(0, machines[2]);
+        tb.shard_replica_on(s1, machines[3]);
+    }
+    let testbed = tb.start()?;
+    note_cell_registry(&testbed);
+    Ok((testbed, machines))
+}
+
+/// The first `"{stem}-{i}"` that hashes to `shard`.
+fn name_on_shard(map: &ShardMap, shard: usize, stem: &str) -> String {
+    (0u32..64)
+        .map(|i| format!("{stem}-{i}"))
+        .find(|n| map.shard_for_name(n) == shard)
+        .expect("64 candidate names never hit the shard")
+}
+
+/// Whether a resolution error is one the naming layer is allowed to
+/// surface while its servers are unreachable.
+fn typed_naming_error(e: &NtcsError) -> bool {
+    matches!(
+        e,
+        NtcsError::Timeout
+            | NtcsError::DeadlineExceeded
+            | NtcsError::NameServerUnreachable
+            | NtcsError::ConnectionClosed
+            | NtcsError::ConnectRefused(_)
+            | NtcsError::CircuitBroken(_)
+            | NtcsError::UnknownAddress(_)
+            | NtcsError::AddressFault(_)
+    )
+}
+
+fn shard_replica_crash_naming(rng: &mut SimRng) -> (Verdict, String) {
+    let (testbed, ms) = sharded_net(true).expect("cell deployment");
+    let map = testbed.shard_map();
+    let shard = (rng.next_u64() % 2) as usize;
+    let name = name_on_shard(&map, shard, "cell-sink");
+    let server = testbed.module(ms[2], &name).expect("sink module");
+    let live = server.my_uadd();
+    let client = testbed.module(ms[3], "cell-src").expect("src module");
+    assert_eq!(client.locate(&name).expect("warm locate"), live);
+    thread::sleep(Duration::from_millis(300)); // replication drains
+
+    // A lookup loop is mid-flight when the shard's primary machine dies.
+    let stop = Arc::new(AtomicBool::new(false));
+    let errs = Arc::new(Mutex::new(Vec::new()));
+    let looper = {
+        let stop = Arc::clone(&stop);
+        let errs = Arc::clone(&errs);
+        let client = testbed.module(ms[3], "cell-looker").expect("looker");
+        let name = name.clone();
+        thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                match client.locate(&name) {
+                    Ok(u) => assert_eq!(u, live, "lookup resolved a dead incarnation"),
+                    Err(e) => {
+                        assert!(typed_naming_error(&e), "untyped mid-crash lookup: {e:?}");
+                        errs.lock().push(format!("{e:?}"));
+                    }
+                }
+                thread::sleep(Duration::from_millis(2));
+            }
+        })
+    };
+    thread::sleep(Duration::from_millis(5 + rng.next_u64() % 20));
+    testbed.world().crash(ms[shard]);
+
+    // Post-crash, resolution must settle on the replica within a bounded
+    // budget — or keep failing typed (replication lost the race).
+    let deadline = Instant::now() + Duration::from_secs(6);
+    let mut last_err = String::new();
+    let verdict = loop {
+        match client.locate(&name) {
+            Ok(u) => {
+                assert_eq!(u, live, "failover resolved a dead incarnation");
+                break Verdict::Recovered;
+            }
+            Err(e) => {
+                assert!(typed_naming_error(&e), "untyped post-crash lookup: {e:?}");
+                last_err = format!("{e:?}");
+            }
+        }
+        if Instant::now() >= deadline {
+            break Verdict::CleanlyErrored;
+        }
+        thread::sleep(Duration::from_millis(50));
+    };
+    stop.store(true, Ordering::Relaxed);
+    let _ = looper.join();
+    let mid_errs = errs.lock().len();
+    let detail = match verdict {
+        Verdict::Recovered => format!(
+            "shard {shard} primary crashed; replica answered ({mid_errs} typed mid-crash errors)"
+        ),
+        _ => format!("failover never settled; last typed error {last_err}"),
+    };
+    (verdict, detail)
+}
+
+fn dropped_invalidation_naming(rng: &mut SimRng) -> (Verdict, String) {
+    let (testbed, ms) = sharded_net(false).expect("cell deployment");
+    // Seed-varied (but short) lease so the staleness window fits a cell.
+    let ttl = Duration::from_millis(300 + rng.next_u64() % 300);
+    testbed.set_config_hook(Some(Arc::new(move |c: ntcs::NucleusConfig| {
+        c.with_name_cache(ttl, Duration::from_millis(100))
+    })));
+    let server = testbed.module(ms[2], "cell-sink").expect("sink module");
+    let client = testbed.module(ms[3], "cell-src").expect("src module");
+    let dst = client.locate("cell-sink").expect("locate sink");
+    warm_direct(&client, dst, &server);
+    let leased_at = client.nucleus().now_us();
+
+    // The fault: the client never decodes the invalidation push — exactly
+    // what a dropped NsInvalidate frame looks like from its side.
+    client.nucleus().clear_control_intercept(NS_INVALIDATE_TYPE);
+    let relocated = server.relocate_to(ms[1]).expect("relocate sink");
+    let still_cached = matches!(
+        client.nsp().cache().probe(dst, client.nucleus().now_us()),
+        CacheProbe::Hit(_) | CacheProbe::Stale(_)
+    );
+
+    // The staleness bound: once the lease TTL has elapsed, the cache must
+    // refuse to serve the (now wrong) entry.
+    let ttl_us = u64::try_from(ttl.as_micros()).unwrap_or(u64::MAX);
+    loop {
+        let now = client.nucleus().now_us();
+        if now.saturating_sub(leased_at) > ttl_us + 150_000 {
+            break;
+        }
+        thread::sleep(Duration::from_millis(25));
+    }
+    let now = client.nucleus().now_us();
+    assert!(
+        !matches!(client.nsp().cache().probe(dst, now), CacheProbe::Hit(_)),
+        "cache served an entry past its lease TTL with the invalidation lost"
+    );
+    assert!(
+        client
+            .nsp()
+            .cache()
+            .serve(dst, now)
+            .expect("positive entries never error")
+            .is_none(),
+        "serve() handed out a lease older than its TTL"
+    );
+
+    // End to end: the next send re-resolves and lands on the relocated
+    // incarnation, exactly once.
+    let stop = Arc::new(AtomicBool::new(false));
+    let (tally, pump) = spawn_pump(relocated, Arc::clone(&stop));
+    let res = client.send_reliable(dst, &probe(1), Duration::from_secs(5));
+    let (v, d) = reliable_verdict(res, &tally, 1);
+    stop.store(true, Ordering::Relaxed);
+    let _ = pump.join();
+    (
+        v,
+        format!("{d} (lease {ttl:?}, entry survived the lost push: {still_cached})"),
+    )
+}
+
+fn lookup_races_relocation_naming(rng: &mut SimRng) -> (Verdict, String) {
+    let (testbed, ms) = sharded_net(false).expect("cell deployment");
+    let server = testbed.module(ms[2], "cell-sink").expect("sink module");
+    let old = server.my_uadd();
+    let client = testbed.module(ms[3], "cell-src").expect("src module");
+    assert_eq!(client.locate("cell-sink").expect("warm locate"), old);
+
+    // Lookups hammer the name while the module moves under them. Each may
+    // see the old or the new incarnation — never a third, and never the
+    // old again once the new one has been observed.
+    let stop = Arc::new(AtomicBool::new(false));
+    let seen = Arc::new(Mutex::new(Vec::<UAdd>::new()));
+    let looper = {
+        let stop = Arc::clone(&stop);
+        let seen = Arc::clone(&seen);
+        let client = testbed.module(ms[3], "cell-looker").expect("looker");
+        thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                match client.locate("cell-sink") {
+                    Ok(u) => seen.lock().push(u),
+                    Err(e) => assert!(typed_naming_error(&e), "untyped racing lookup: {e:?}"),
+                }
+            }
+        })
+    };
+    thread::sleep(Duration::from_millis(1 + rng.next_u64() % 8));
+    // The armed race can also eat the relocation handshake; a typed
+    // failure hands the original binding back and the race assertions
+    // still apply to it.
+    let relocated = match server.relocate_to(ms[1]) {
+        Ok(c) => c,
+        Err(e) if typed_naming_error(&e.error) => e.commod,
+        Err(e) => panic!("untyped relocation failure: {:?}", e.error),
+    };
+    let live = relocated.my_uadd();
+    thread::sleep(Duration::from_millis(30));
+    stop.store(true, Ordering::Relaxed);
+    let _ = looper.join();
+
+    let observed = seen.lock().clone();
+    let mut saw_live = false;
+    for u in &observed {
+        assert!(
+            *u == old || *u == live,
+            "racing lookup resolved a third incarnation {u:?}"
+        );
+        if *u == live {
+            saw_live = true;
+        }
+        assert!(
+            !(saw_live && *u == old),
+            "lookup went back in time: old incarnation after new"
+        );
+    }
+
+    // Converged: resolution lands on the live incarnation and a reliable
+    // send delivers to it exactly once.
+    let deadline = Instant::now() + Duration::from_secs(4);
+    loop {
+        match client.locate("cell-sink") {
+            Ok(u) if u == live => break,
+            Ok(u) => assert_eq!(u, live, "settled lookup returned a dead incarnation"),
+            Err(e) => assert!(typed_naming_error(&e), "untyped settled lookup: {e:?}"),
+        }
+        assert!(Instant::now() < deadline, "lookup never settled on the live incarnation");
+        thread::sleep(Duration::from_millis(25));
+    }
+    let stop2 = Arc::new(AtomicBool::new(false));
+    let (tally, pump) = spawn_pump(relocated, Arc::clone(&stop2));
+    let res = client.send_reliable(live, &probe(9), Duration::from_secs(5));
+    let (v, d) = reliable_verdict(res, &tally, 9);
+    stop2.store(true, Ordering::Relaxed);
+    let _ = pump.join();
+    (
+        v,
+        format!("{d} ({} raced lookups, live incarnation observed: {saw_live})", observed.len()),
+    )
+}
+
+fn shard_split_brain_naming() -> (Verdict, String) {
+    let (testbed, ms) = sharded_net(false).expect("cell deployment");
+    let map = testbed.shard_map();
+    let name0 = name_on_shard(&map, 0, "cell-a");
+    let name1 = name_on_shard(&map, 1, "cell-b");
+    let s0 = testbed.module(ms[2], &name0).expect("shard-0 module");
+    let s1 = testbed.module(ms[2], &name1).expect("shard-1 module");
+    let client = testbed.module(ms[3], "cell-src").expect("src module");
+    assert_eq!(client.locate(&name0).expect("warm locate 0"), s0.my_uadd());
+    let dst1 = client.locate(&name1).expect("warm locate 1");
+    assert_eq!(dst1, s1.my_uadd());
+    warm_direct(&client, dst1, &s1);
+
+    // Partition shard 1's group away.
+    testbed.world().crash(ms[1]);
+
+    // The surviving shard keeps resolving.
+    assert_eq!(
+        client.locate(&name0).expect("reachable shard must resolve"),
+        s0.my_uadd()
+    );
+    // The partitioned shard's names error typed — and so do registrations
+    // for them: the hash routing admits no second authority, so a split
+    // brain cannot mint a conflicting record.
+    let e = client
+        .locate(&name1)
+        .expect_err("resolved through a partitioned shard");
+    assert!(typed_naming_error(&e), "untyped partitioned lookup: {e:?}");
+    let usurper = testbed.commod(ms[3], "cell-usurper").expect("usurper commod");
+    let reg = usurper
+        .register(&name1)
+        .expect_err("registered into a partitioned shard");
+    assert!(typed_naming_error(&reg), "untyped partitioned register: {reg:?}");
+    // Already-leased bindings keep working across the partition: the
+    // warmed circuit to the shard-1 module still delivers.
+    thread::scope(|scope| {
+        let rx = scope.spawn(|| s1.receive(Some(Duration::from_secs(3))));
+        client
+            .send_reliable(dst1, &probe(4), Duration::from_secs(3))
+            .expect("cached binding must ride out the partition");
+        let inc = rx.join().expect("recv thread").expect("partition recv");
+        assert_eq!(inc.decode::<Probe>().expect("probe").n, 4);
+    });
+    (
+        Verdict::CleanlyErrored,
+        format!(
+            "partitioned shard errored typed ({e:?}); survivor shard and leased bindings stayed live"
+        ),
     )
 }
 

@@ -135,6 +135,46 @@ pub mod scenarios {
         })
     }
 
+    /// [`single_net`] with a `shards`-way sharded Name Service: shard 0's
+    /// primary on machine 0 (as in [`single_net`]), shard `s`'s primary on
+    /// machine `s % n`. Pass `replicas_per_shard > 0` to give every shard
+    /// that many replicas (placed round-robin on the remaining machines).
+    ///
+    /// # Errors
+    ///
+    /// Construction failures.
+    pub fn sharded_net(
+        n: usize,
+        shards: usize,
+        replicas_per_shard: usize,
+        kind: NetKind,
+    ) -> Result<SingleNet> {
+        let mut tb = Testbed::builder();
+        let net = tb.add_network(kind, "lan");
+        let mut machines = Vec::with_capacity(n);
+        for i in 0..n {
+            machines.push(tb.add_machine(
+                TYPE_CYCLE[i % TYPE_CYCLE.len()],
+                &format!("host{i}"),
+                &[net],
+            )?);
+        }
+        tb.name_server_on(machines[0]);
+        for s in 1..shards {
+            tb.ns_shard_on(machines[s % n]);
+        }
+        for s in 0..shards {
+            for r in 0..replicas_per_shard {
+                tb.shard_replica_on(s, machines[(s + r + 1) % n]);
+            }
+        }
+        Ok(SingleNet {
+            testbed: tb.start()?,
+            net,
+            machines,
+        })
+    }
+
     /// A line of `k` disjoint networks: net0 — gw0 — net1 — gw1 — … Each
     /// network gets one ordinary machine (`edge_machines[i]`); gateway `i`
     /// joins nets `i` and `i+1`. The Name Server's machine is multi-homed on

@@ -120,6 +120,16 @@ fn traced_journey_reconstructed_from_monitor_records() {
     let warm = server.receive(Some(Duration::from_secs(5))).unwrap();
     assert_eq!(warm.trace_id(), 0, "untraced sends must stay untraced");
 
+    // The sharded NS pushes a lease invalidation naming the successor as
+    // soon as the server re-registers — which would hand the client the
+    // new route up front and skip the detour this scenario exists to
+    // trace. Ignore the push: the traced send must discover the move the
+    // §3.5 way, as it would if the push were lost. (Push-covered recovery
+    // is exercised by tests/naming_scale.rs.)
+    client
+        .nucleus()
+        .clear_control_intercept(ntcs_naming::protocol::NS_INVALIDATE_TYPE);
+
     // Relocate the server across the gateway, then send ONE traced message
     // to the stale UAdd: its journey is send → fault → reconnect → splice
     // → deliver, all under one trace id.

@@ -19,11 +19,17 @@ use std::time::{Duration, Instant};
 
 use ntcs::{ComMod, MachineType, NetworkId, TraceId, UAdd};
 use ntcs_drts::MonitorService;
+use ntcs_naming::protocol::NS_INVALIDATE_TYPE;
 use ntcs_repro::messages::Ask;
 use ntcs_sim::{
     DcId, EventLog, FaultInjector, SimConfig, SimHarness, SimRng, Simulation, Topology, Workload,
 };
 use parking_lot::Mutex;
+
+/// The step at which `det-mover` relocates: after the split-brain window
+/// (latest `partition_step + 1` is 7) so the forwarding walk sees a healed
+/// network.
+const RELOCATE_STEP: u64 = 8;
 
 /// Seed-planned fault schedule: every decision drawn up front from a fork
 /// of the run seed, so the schedule is identical no matter what the
@@ -86,6 +92,11 @@ struct SeededTraffic {
     corrupt_step: u64,
     client: Option<ComMod>,
     monitor: Option<MonitorService>,
+    /// A module relocated at [`RELOCATE_STEP`] so the client's next send to
+    /// its old address walks the forwarding path and invalidates the
+    /// cached lease — synchronously, on the workload thread.
+    mover: Option<ComMod>,
+    mover_dst: UAdd,
     dst: UAdd,
     stop: Arc<AtomicBool>,
     tally: Arc<Mutex<HashMap<u32, u32>>>,
@@ -104,6 +115,8 @@ impl SeededTraffic {
             corrupt_step: r.range(3, 5),
             client: None,
             monitor: None,
+            mover: None,
+            mover_dst: UAdd::NAME_SERVER,
             dst: UAdd::NAME_SERVER,
             stop: Arc::new(AtomicBool::new(false)),
             tally: Arc::new(Mutex::new(HashMap::new())),
@@ -134,6 +147,22 @@ impl Workload for SeededTraffic {
         sink.set_hop_monitor(monitor.uadd());
         client.set_hop_monitor(monitor.uadd());
         self.dst = client.locate("det-sink")?;
+        // A second destination exists only to be relocated. The NS lease
+        // push that relocation triggers lands on the client's pump at a
+        // wall-dependent step, so it is suppressed; the stale lease then
+        // survives until the client's own send walks the forwarding path —
+        // a synchronous, seed-deterministic invalidation.
+        client.nucleus().clear_control_intercept(NS_INVALIDATE_TYPE);
+        let mover = tb.module(self.machines[1], "det-mover")?;
+        self.mover_dst = client.locate("det-mover")?;
+        client.send(
+            self.mover_dst,
+            &Ask {
+                n: 901,
+                body: String::new(),
+            },
+        )?;
+        self.mover = Some(mover);
         let stop = Arc::clone(&self.stop);
         let tally = Arc::clone(&self.tally);
         self.pump = Some(std::thread::spawn(move || loop {
@@ -174,6 +203,27 @@ impl Workload for SeededTraffic {
         if step == self.corrupt_step {
             let hit = self.client().chaos_corrupt_circuit(self.dst);
             h.record("fault", &format!("corrupt circuit hit={hit}"));
+        }
+        if step == RELOCATE_STEP {
+            // Relocate the mover, then poke its OLD address: the broken
+            // circuit forces an address fault, the forwarding lookup finds
+            // the new incarnation, and the stale lease is invalidated — all
+            // synchronously at this step's virtual instant.
+            let moved = self
+                .mover
+                .take()
+                .unwrap()
+                .relocate_to(self.machines[0])
+                .map_err(|e| e.error)?;
+            self.mover = Some(moved);
+            let res = self.client().send(
+                self.mover_dst,
+                &Ask {
+                    n: 902,
+                    body: String::new(),
+                },
+            );
+            h.record("fault", &format!("mover relocated; stale-send ok={}", res.is_ok()));
         }
         let partitioned = step == self.partition_step;
         if partitioned {
@@ -269,6 +319,32 @@ impl Workload for SeededTraffic {
         let mut acked = self.acked.clone();
         acked.sort_unstable();
         h.record("tally", &format!("acked={acked:?}"));
+        // The name-cache lease events (hit / miss / invalidate) are seed
+        // facts too: which resolutions hit a lease, which went cold, and
+        // which entries the corruption fault invalidated. A wall-clock-
+        // bounded retry loop may repeat one (kind, peer, aux) tuple at the
+        // same virtual instant a run-dependent number of times, so the log
+        // records first appearances only — the deterministic projection.
+        let mut seen = std::collections::HashSet::new();
+        for ev in self.client().nucleus().recorder().events() {
+            if !(ntcs::event_kind::CACHE_HIT..=ntcs::event_kind::CACHE_INVALIDATE)
+                .contains(&ev.kind)
+            {
+                continue;
+            }
+            if seen.insert((ev.kind, ev.timestamp_us, ev.peer, ev.aux)) {
+                h.record(
+                    "cache",
+                    &format!(
+                        "{}@{}us peer={:#x} aux={}",
+                        ntcs::event_kind::name(ev.kind),
+                        ev.timestamp_us,
+                        ev.peer,
+                        ev.aux
+                    ),
+                );
+            }
+        }
         // Consume one draw so the log also proves the workload stream
         // itself replays (the value is seed-derived, wall-independent).
         let stamp = self.rng.next_u64();
@@ -345,6 +421,40 @@ fn same_seed_replays_byte_identically() {
         "same seed must produce a byte-identical event log"
     );
     assert_eq!(a.digest(), b.digest());
+}
+
+#[test]
+fn cache_events_replay_byte_identically() {
+    // The leased name cache's flight-recorder events — hits, misses, and
+    // the invalidations forced by the mid-run circuit corruption — must be
+    // byte-identical between two runs of the same seed, faults and all.
+    let seed = 0xCAC4_E5EED;
+    let cache_lines = |log: &EventLog| -> Vec<String> {
+        log.lines()
+            .iter()
+            .filter(|l| l.contains(" cache: "))
+            .cloned()
+            .collect()
+    };
+    let (a, _) = run_once(seed);
+    let (b, _) = run_once(seed);
+    let (ca, cb) = (cache_lines(&a), cache_lines(&b));
+    assert!(
+        ca.iter().any(|l| l.contains("cache-hit")),
+        "the run must serve at least one lease: {ca:?}"
+    );
+    assert!(
+        ca.iter().any(|l| l.contains("cache-miss")),
+        "the run must resolve cold at least once: {ca:?}"
+    );
+    assert!(
+        ca.iter().any(|l| l.contains("cache-invalidate")),
+        "the corruption fault must invalidate a lease: {ca:?}"
+    );
+    assert_eq!(
+        ca, cb,
+        "same seed must record byte-identical cache lease events"
+    );
 }
 
 #[test]

@@ -8,6 +8,12 @@
 //! window (must surface `FlowStalled`, never a hang) and the half-completed
 //! send racing a relocation (exactly-once-or-dead-letter) each run over
 //! ≥ 32 derived seeds.
+//!
+//! The naming layer contributes four cells: a shard primary crashing
+//! mid-lookup (replica failover), a lost lease-invalidation push (the
+//! lease TTL must bound staleness — swept over ≥ 32 seeds), a lookup
+//! racing a relocation, and a partitioned shard group (typed errors, no
+//! split-brain authority).
 
 use std::time::Duration;
 
@@ -107,6 +113,50 @@ fn stuck_credit_window_dump_names_the_wedged_circuit() {
         json.contains("\"module\":\"cell-sink\""),
         "dump must include the unresponsive receiver's report: {json}"
     );
+}
+
+#[test]
+fn naming_cells_reach_expected_verdicts() {
+    let _serial = MATRIX_SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    for fault in [
+        Fault::ShardReplicaCrash,
+        Fault::DroppedInvalidation,
+        Fault::LookupRacesRelocation,
+        Fault::ShardSplitBrain,
+    ] {
+        for seed in [0x5EED_0001_u64, 0x0BAD_CAFE] {
+            run_expecting(fault, MatrixLayer::Naming, seed);
+        }
+    }
+}
+
+#[test]
+fn dropped_invalidation_staleness_bounded_by_lease_across_seeds() {
+    let _serial = MATRIX_SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    // ≥ 32 seeds: with the invalidation push lost, the cell itself asserts
+    // the cache never serves an entry older than its lease TTL (a probe
+    // past expiry must not be a hit) — a violated bound panics the cell
+    // into Failed, which no expected set accepts. The verdict must be a
+    // full Recovered: the post-expiry send re-resolves to the relocated
+    // incarnation, exactly once.
+    for seed in seed_list_from(32, None) {
+        let out = run_cell(
+            Fault::DroppedInvalidation,
+            MatrixLayer::Naming,
+            seed,
+            CELL_BUDGET,
+        );
+        assert_eq!(
+            out.verdict,
+            Verdict::Recovered,
+            "seed {seed:#x}: {}",
+            out.detail
+        );
+    }
 }
 
 #[test]

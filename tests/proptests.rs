@@ -5,12 +5,16 @@
 use proptest::prelude::*;
 
 use ntcs::{AttrQuery, AttrSet, MachineType, NetworkId, PhysAddr, UAdd};
-use ntcs_naming::NameDb;
+use ntcs_naming::cache::{shard_primary_server_id, shard_primary_uadd, shard_replica_uadd};
+use ntcs_naming::protocol::NsInvalidate;
+use ntcs_naming::{CacheProbe, NameCache, NameDb, ShardMap};
+use ntcs_nucleus::ResolvedModule;
 use ntcs_wire::bytes::Bytes;
 use ntcs_wire::pack::{pack_to_vec, unpack_from_slice, Blob};
 use ntcs_wire::{
-    decode_batch, decode_batch_frames, encode_batch_into, image, ConvMode, Frame, FrameHeader,
-    FrameType, PackReader, PackWriter, ShiftReader, ShiftWriter,
+    decode_batch, decode_batch_frames, encode_batch_into, encode_payload, image, ConvMode, Frame,
+    FrameHeader, FrameType, InboundPayload, Message, PackReader, PackWriter, ShiftReader,
+    ShiftWriter,
 };
 
 fn machine_type() -> impl Strategy<Value = MachineType> {
@@ -652,6 +656,171 @@ proptest! {
         let mut dup = bytes.clone();
         dup.insert(0, dup[0]);
         prop_assert!(PackReader::new(&dup).get_str().is_err());
+    }
+
+    #[test]
+    fn shard_placement_is_total_and_stable(
+        shards in 1usize..6,
+        replicas in 0usize..3,
+        name in token(),
+        raw in any::<u64>(),
+    ) {
+        let groups: Vec<Vec<UAdd>> = (0..shards)
+            .map(|s| {
+                let mut g = vec![shard_primary_uadd(s)];
+                g.extend((0..replicas).map(|r| shard_replica_uadd(s, r)));
+                g
+            })
+            .collect();
+        let map = ShardMap::new(groups);
+        // Total over all names, and pure: the same name always lands on the
+        // same shard, independent of group composition.
+        let by_name = map.shard_for_name(&name);
+        prop_assert!(by_name < shards);
+        prop_assert_eq!(map.shard_for_name(&name), by_name);
+        let solo = ShardMap::new((0..shards).map(|s| vec![shard_primary_uadd(s)]).collect());
+        prop_assert_eq!(solo.shard_for_name(&name), by_name);
+        // Total over the full UAdd space — arbitrary raw addresses (even
+        // garbage) route to *some* shard, and temporaries pin to shard 0.
+        let by_uadd = map.shard_for_uadd(UAdd::from_raw(raw));
+        prop_assert!(by_uadd < shards);
+        if UAdd::from_raw(raw).is_temporary() {
+            prop_assert_eq!(by_uadd, 0);
+        }
+        // Round trip: a UAdd minted by shard s's generator routes back to s.
+        for s in 0..shards {
+            let minted = ntcs_addr::UAddGenerator::new(shard_primary_server_id(s)).generate();
+            prop_assert_eq!(map.shard_for_uadd(minted), s);
+        }
+    }
+
+    #[test]
+    fn name_cache_never_serves_past_ttl(
+        ops in proptest::collection::vec(
+            (0u8..4, 0u64..8, 1u64..5_000, 0u64..10_000),
+            1..50,
+        ),
+    ) {
+        // Model-checked lease state machine: `model` is (uadd -> (negative,
+        // expires_us)); the cache must agree with it at every step, and in
+        // particular must never serve a positive entry at or past its
+        // expiry, nor a negative entry past its negative TTL.
+        let cache = NameCache::new();
+        let mut model: std::collections::HashMap<u64, (bool, u64)> =
+            std::collections::HashMap::new();
+        let mut now: u64 = 0;
+        for (op, slot, ttl_us, advance_us) in ops {
+            let uadd = UAdd::from_raw(0x100 + slot);
+            match op {
+                0 => {
+                    let module = ResolvedModule {
+                        uadd,
+                        machine_type: MachineType::Sun,
+                        addrs: vec![PhysAddr::Mbx {
+                            network: NetworkId(0),
+                            path: format!("/m/{slot}"),
+                        }],
+                    };
+                    cache.insert(module, now, ttl_us);
+                    model.insert(uadd.raw(), (false, now + ttl_us));
+                }
+                1 => {
+                    cache.insert_negative(uadd, now, ttl_us);
+                    model.insert(uadd.raw(), (true, now + ttl_us));
+                }
+                2 => {
+                    let had = model.remove(&uadd.raw());
+                    prop_assert_eq!(cache.invalidate(uadd), had.is_some());
+                }
+                _ => now += advance_us,
+            }
+            // Check every slot against the model at the current instant.
+            for slot in 0..8u64 {
+                let u = UAdd::from_raw(0x100 + slot);
+                let probe = cache.probe(u, now);
+                match model.get(&u.raw()) {
+                    Some((false, exp)) if now < *exp => {
+                        prop_assert!(matches!(probe, CacheProbe::Hit(_)));
+                        let served = cache.serve(u, now).unwrap();
+                        prop_assert_eq!(served.map(|m| m.uadd), Some(u));
+                    }
+                    Some((true, exp)) if now < *exp => {
+                        prop_assert!(matches!(probe, CacheProbe::NegativeHit));
+                        prop_assert!(cache.serve(u, now).is_err());
+                    }
+                    Some((false, _)) => {
+                        // Expired positive: stale, never a hit; serve()
+                        // must fall through to a real resolution.
+                        prop_assert!(matches!(probe, CacheProbe::Stale(_)));
+                        prop_assert!(cache.serve(u, now).unwrap().is_none());
+                    }
+                    Some((true, _)) | None => {
+                        // Expired negative or absent: a plain miss.
+                        prop_assert!(matches!(probe, CacheProbe::Miss));
+                        prop_assert!(cache.serve(u, now).unwrap().is_none());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ns_invalidate_codec_round_trips_and_rejects_garbage(
+        uadd in any::<u64>(),
+        replacement in any::<u64>(),
+        generation in any::<u32>(),
+        src in machine_type(),
+        dst in machine_type(),
+        cut in any::<usize>(),
+        bit in 0u8..8,
+        idx in any::<usize>(),
+    ) {
+        let msg = NsInvalidate { uadd, replacement, generation };
+        for mode in [ConvMode::Packed, ConvMode::Image] {
+            // The stack only ever selects Image between image-compatible
+            // machines (§5); don't ask the codec for a conversion the
+            // negotiation forbids.
+            if mode == ConvMode::Image && !src.image_compatible(dst) {
+                continue;
+            }
+            let bytes = encode_payload(&msg, mode, src);
+            let inbound = InboundPayload {
+                type_id: NsInvalidate::TYPE_ID,
+                mode,
+                src_machine: src,
+                bytes: bytes.clone(),
+            };
+            let got: NsInvalidate = inbound.decode(dst).unwrap();
+            prop_assert_eq!(&got, &msg);
+
+            // Truncated frames fail cleanly — never panic, never a
+            // half-decoded invalidation.
+            let cut = cut % (bytes.len() + 1);
+            if cut < bytes.len() {
+                let trunc = InboundPayload {
+                    type_id: NsInvalidate::TYPE_ID,
+                    mode,
+                    src_machine: src,
+                    bytes: bytes.slice(0..cut),
+                };
+                let _ = trunc.decode::<NsInvalidate>(dst);
+            }
+
+            // A flipped bit either still decodes to *some* well-formed
+            // triple or errors cleanly; nothing panics.
+            let mut corrupt = bytes.to_vec();
+            if !corrupt.is_empty() {
+                let i = idx % corrupt.len();
+                corrupt[i] ^= 1 << bit;
+                let mangled = InboundPayload {
+                    type_id: NsInvalidate::TYPE_ID,
+                    mode,
+                    src_machine: src,
+                    bytes: corrupt.into(),
+                };
+                let _ = mangled.decode::<NsInvalidate>(dst);
+            }
+        }
     }
 
     #[test]
