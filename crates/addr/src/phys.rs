@@ -36,6 +36,24 @@ pub enum PhysAddr {
         /// TCP port.
         port: u16,
     },
+    /// A shared-memory ring endpoint on a shared-memory network. Only
+    /// reachable from the machine that owns it — the co-location fast path.
+    Shm {
+        /// The network this ring lives on.
+        network: NetworkId,
+        /// The ring pathname, e.g. `/sys/shm/name_server`.
+        path: String,
+    },
+    /// A UDP datagram endpoint on a UDP network (connectionless,
+    /// best-effort — the unreliable-cast substrate).
+    Udp {
+        /// The logical network this endpoint belongs to.
+        network: NetworkId,
+        /// Host, as a dotted string (always `127.0.0.1` in the testbed).
+        host: String,
+        /// UDP port.
+        port: u16,
+    },
 }
 
 impl PhysAddr {
@@ -43,7 +61,10 @@ impl PhysAddr {
     #[must_use]
     pub fn network(&self) -> NetworkId {
         match self {
-            PhysAddr::Mbx { network, .. } | PhysAddr::Tcp { network, .. } => *network,
+            PhysAddr::Mbx { network, .. }
+            | PhysAddr::Tcp { network, .. }
+            | PhysAddr::Shm { network, .. }
+            | PhysAddr::Udp { network, .. } => *network,
         }
     }
 
@@ -61,6 +82,12 @@ impl PhysAddr {
                 host,
                 port,
             } => format!("tcp:{}:{}:{}", network.0, host, port).into_bytes(),
+            PhysAddr::Shm { network, path } => format!("shm:{}:{}", network.0, path).into_bytes(),
+            PhysAddr::Udp {
+                network,
+                host,
+                port,
+            } => format!("udp:{}:{}:{}", network.0, host, port).into_bytes(),
         }
     }
 
@@ -94,27 +121,54 @@ impl PhysAddr {
                     path: path.to_owned(),
                 })
             }
-            "tcp" => {
-                let mut f = rest.splitn(3, ':');
-                let net = f
-                    .next()
-                    .ok_or_else(|| NtcsError::Protocol(format!("malformed tcp address {s:?}")))?;
-                let host = f
-                    .next()
-                    .ok_or_else(|| NtcsError::Protocol(format!("malformed tcp address {s:?}")))?;
-                let port = f
-                    .next()
-                    .ok_or_else(|| NtcsError::Protocol(format!("malformed tcp address {s:?}")))?;
-                Ok(PhysAddr::Tcp {
-                    network: NetworkId(
-                        net.parse()
-                            .map_err(|_| NtcsError::Protocol(format!("bad network id in {s:?}")))?,
-                    ),
-                    host: host.to_owned(),
-                    port: port
-                        .parse()
-                        .map_err(|_| NtcsError::Protocol(format!("bad port in {s:?}")))?,
+            "shm" => {
+                let (net, path) = rest
+                    .split_once(':')
+                    .ok_or_else(|| NtcsError::Protocol(format!("malformed shm address {s:?}")))?;
+                let network = NetworkId(
+                    net.parse()
+                        .map_err(|_| NtcsError::Protocol(format!("bad network id in {s:?}")))?,
+                );
+                if path.is_empty() {
+                    return Err(NtcsError::Protocol("empty shm ring path".into()));
+                }
+                Ok(PhysAddr::Shm {
+                    network,
+                    path: path.to_owned(),
                 })
+            }
+            "tcp" | "udp" => {
+                let mut f = rest.splitn(3, ':');
+                let net = f.next().ok_or_else(|| {
+                    NtcsError::Protocol(format!("malformed {scheme} address {s:?}"))
+                })?;
+                let host = f.next().ok_or_else(|| {
+                    NtcsError::Protocol(format!("malformed {scheme} address {s:?}"))
+                })?;
+                let port = f.next().ok_or_else(|| {
+                    NtcsError::Protocol(format!("malformed {scheme} address {s:?}"))
+                })?;
+                let network = NetworkId(
+                    net.parse()
+                        .map_err(|_| NtcsError::Protocol(format!("bad network id in {s:?}")))?,
+                );
+                let host = host.to_owned();
+                let port = port
+                    .parse()
+                    .map_err(|_| NtcsError::Protocol(format!("bad port in {s:?}")))?;
+                if scheme == "tcp" {
+                    Ok(PhysAddr::Tcp {
+                        network,
+                        host,
+                        port,
+                    })
+                } else {
+                    Ok(PhysAddr::Udp {
+                        network,
+                        host,
+                        port,
+                    })
+                }
             }
             other => Err(NtcsError::Protocol(format!(
                 "unknown physical address scheme {other:?}"
@@ -132,6 +186,12 @@ impl fmt::Display for PhysAddr {
                 host,
                 port,
             } => write!(f, "tcp://{network}/{host}:{port}"),
+            PhysAddr::Shm { network, path } => write!(f, "shm://{network}{path}"),
+            PhysAddr::Udp {
+                network,
+                host,
+                port,
+            } => write!(f, "udp://{network}/{host}:{port}"),
         }
     }
 }
@@ -169,6 +229,25 @@ mod tests {
     }
 
     #[test]
+    fn shm_opaque_round_trip() {
+        let a = PhysAddr::Shm {
+            network: NetworkId(7),
+            path: "/sys/shm/ring-0".into(),
+        };
+        assert_eq!(PhysAddr::from_opaque(&a.to_opaque()).unwrap(), a);
+    }
+
+    #[test]
+    fn udp_opaque_round_trip() {
+        let a = PhysAddr::Udp {
+            network: NetworkId(2),
+            host: "127.0.0.1".into(),
+            port: 40123,
+        };
+        assert_eq!(PhysAddr::from_opaque(&a.to_opaque()).unwrap(), a);
+    }
+
+    #[test]
     fn malformed_opaque_is_rejected() {
         assert!(PhysAddr::from_opaque(b"").is_err());
         assert!(PhysAddr::from_opaque(b"bogus").is_err());
@@ -177,6 +256,10 @@ mod tests {
         assert!(PhysAddr::from_opaque(b"tcp:x:127.0.0.1:80").is_err());
         assert!(PhysAddr::from_opaque(b"tcp:1:127.0.0.1:notaport").is_err());
         assert!(PhysAddr::from_opaque(b"mbx:2:").is_err());
+        assert!(PhysAddr::from_opaque(b"shm:2:").is_err());
+        assert!(PhysAddr::from_opaque(b"shm:x:/p").is_err());
+        assert!(PhysAddr::from_opaque(b"udp:1:127.0.0.1").is_err());
+        assert!(PhysAddr::from_opaque(b"udp:1:127.0.0.1:notaport").is_err());
         assert!(PhysAddr::from_opaque(&[0xFF, 0xFE]).is_err());
     }
 
@@ -208,5 +291,16 @@ mod tests {
             port: 80,
         };
         assert_eq!(b.to_string(), "tcp://net0/127.0.0.1:80");
+        let c = PhysAddr::Shm {
+            network: NetworkId(1),
+            path: "/ring".into(),
+        };
+        assert_eq!(c.to_string(), "shm://net1/ring");
+        let d = PhysAddr::Udp {
+            network: NetworkId(3),
+            host: "127.0.0.1".into(),
+            port: 53,
+        };
+        assert_eq!(d.to_string(), "udp://net3/127.0.0.1:53");
     }
 }

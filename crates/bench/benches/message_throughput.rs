@@ -12,9 +12,11 @@
 //! `BENCH_PR5.json` (credit accounting on vs off with a wide-open flow
 //! window), `BENCH_PR7.json` (flight recorder on vs off), and
 //! `BENCH_PR8.json` (leased name-cache resolution vs cold NSP round
-//! trips, plus a relocation storm) at the repository root, which CI's
+//! trips, plus a relocation storm), and `BENCH_PR10.json` (direct-LVC
+//! substrate sweep: SHM ring vs TCP loopback vs UDP datagrams, with a
+//! bare-ring memory-speed baseline) at the repository root, which CI's
 //! bench-smoke job regenerates in `--quick` mode to catch batching,
-//! flow-control, observability, and naming regressions.
+//! flow-control, observability, naming, and substrate regressions.
 //!
 //! Run: `cargo bench --bench message_throughput [-- --quick]`
 
@@ -23,8 +25,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ntcs::{ComMod, FlowSettings, Gateway, MachineId, MachineType, NetKind, NtcsError, Testbed};
+use ntcs::{
+    ComMod, FlowSettings, Gateway, MachineId, MachineType, NetKind, NtcsError, Testbed, World,
+};
 use ntcs_bench::round_trip;
+use ntcs_ipcs::{ShmRing, SHM_RING_CAP};
+use ntcs_nucleus::Lvc;
 use ntcs_repro::messages::{Answer, Ask, Bulk};
 
 /// Frames per batch when batching is on (the `NucleusConfig` default).
@@ -270,6 +276,166 @@ fn run_case(
         elapsed_us,
         msgs_per_sec: delivered as f64 / secs,
         mbytes_per_sec: (delivered as f64 * payload_bytes as f64) / secs / (1024.0 * 1024.0),
+    }
+}
+
+struct SubstrateCase {
+    substrate: String,
+    payload_bytes: usize,
+    messages: u64,
+    delivered: u64,
+    elapsed_us: u64,
+    msgs_per_sec: f64,
+    mbytes_per_sec: f64,
+}
+
+/// Length of the phase-5 fence block — distinct from every payload size
+/// and from the 8-byte count reply.
+const FENCE_LEN: usize = 4;
+
+/// One direct-LVC sweep case over a native substrate: raw blocks from a
+/// source [`Lvc`] into a sink thread, fenced by a count-reply block. No
+/// LCM, no naming, no batching — the measurement isolates the substrate
+/// under the ND layer. SHM runs co-located on one machine (its only legal
+/// deployment); TCP and UDP run across a two-machine loopback. UDP is
+/// lossy under burst (kernel receive buffers), so its throughput is
+/// computed on *delivered* messages; the connection-oriented substrates
+/// must deliver everything.
+fn run_substrate_case(kind: NetKind, payload_bytes: usize, messages: u64) -> SubstrateCase {
+    let world = World::new();
+    let net = world.add_network(kind, "bench-net");
+    let (src_m, dst_m) = if kind == NetKind::Shm {
+        let m = world
+            .add_machine(MachineType::Sun, "colo", &[net])
+            .expect("machine");
+        (m, m)
+    } else {
+        (
+            world
+                .add_machine(MachineType::Sun, "src", &[net])
+                .expect("machine"),
+            world
+                .add_machine(MachineType::Sun, "dst", &[net])
+                .expect("machine"),
+        )
+    };
+    let (addr, listener) = world
+        .create_listener(dst_m, net, "bench-sink")
+        .expect("listener");
+
+    let sink = std::thread::Builder::new()
+        .name("substrate-sink".into())
+        .spawn(move || {
+            let chan = listener
+                .accept(Some(Duration::from_secs(10)))
+                .expect("accept");
+            let lvc = Lvc::new(Arc::from(chan), net);
+            let mut count: u64 = 0;
+            loop {
+                match lvc.recv_raw(Some(Duration::from_secs(2))) {
+                    Ok(block) if block.len() == payload_bytes => count += 1,
+                    Ok(block) if block.len() == FENCE_LEN => {
+                        // Report how many payload blocks made it; the
+                        // client resends the fence until a reply lands.
+                        let _ = lvc.send_raw(bytes::Bytes::from(count.to_be_bytes().to_vec()));
+                    }
+                    Ok(_) => {}
+                    Err(_) => return,
+                }
+            }
+        })
+        .expect("spawn sink");
+
+    let chan = world.connect(src_m, &addr).expect("connect");
+    let lvc = Lvc::new(Arc::from(chan), net);
+    let block = bytes::Bytes::from(vec![0xB5u8; payload_bytes]);
+    let start = Instant::now();
+    for _ in 0..messages {
+        lvc.send_raw(block.clone()).expect("send block");
+    }
+    let delivered;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        lvc.send_raw(bytes::Bytes::from(vec![0xFEu8; FENCE_LEN]))
+            .expect("send fence");
+        match lvc.recv_raw(Some(Duration::from_millis(250))) {
+            Ok(b) if b.len() == 8 => {
+                delivered = u64::from_be_bytes(b.as_ref().try_into().expect("count block"));
+                break;
+            }
+            _ if Instant::now() > deadline => panic!("fence never answered over {kind}"),
+            _ => {}
+        }
+    }
+    let elapsed = start.elapsed();
+    lvc.close();
+    let _ = sink.join();
+    if kind != NetKind::Udp {
+        assert_eq!(
+            delivered, messages,
+            "{kind} is connection-oriented and must deliver every block"
+        );
+    }
+    let secs = elapsed.as_secs_f64();
+    SubstrateCase {
+        substrate: kind.to_string(),
+        payload_bytes,
+        messages,
+        delivered,
+        elapsed_us: elapsed.as_micros() as u64,
+        msgs_per_sec: delivered as f64 / secs,
+        mbytes_per_sec: (delivered as f64 * payload_bytes as f64) / secs / (1024.0 * 1024.0),
+    }
+}
+
+/// The memory-speed ceiling: the bare [`ShmRing`] with no channel framing,
+/// no fault conditions, no buffer pool — one producer and one consumer
+/// thread moving `messages` refcounted 1 KiB blocks.
+fn run_memory_baseline(messages: u64) -> SubstrateCase {
+    let ring: Arc<ShmRing<bytes::Bytes>> = Arc::new(ShmRing::new(SHM_RING_CAP));
+    let consumer = {
+        let ring = Arc::clone(&ring);
+        std::thread::Builder::new()
+            .name("ring-consumer".into())
+            .spawn(move || {
+                let mut got = 0u64;
+                while got < messages {
+                    if ring.try_pop().is_some() {
+                        got += 1;
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            })
+            .expect("spawn consumer")
+    };
+    let block = bytes::Bytes::from(vec![0xB5u8; 1024]);
+    let start = Instant::now();
+    let mut sent = 0u64;
+    while sent < messages {
+        let mut b = block.clone();
+        loop {
+            match ring.try_push(b) {
+                Ok(()) => break,
+                Err(back) => {
+                    b = back;
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        sent += 1;
+    }
+    consumer.join().expect("consumer");
+    let elapsed = start.elapsed();
+    let secs = elapsed.as_secs_f64();
+    SubstrateCase {
+        substrate: "memory".into(),
+        payload_bytes: 1024,
+        messages,
+        delivered: messages,
+        elapsed_us: elapsed.as_micros() as u64,
+        msgs_per_sec: messages as f64 / secs,
+        mbytes_per_sec: (messages as f64 * 1024.0) / secs / (1024.0 * 1024.0),
     }
 }
 
@@ -727,7 +893,11 @@ fn main() {
             client.nsp().cache().invalidate(dst);
             nucleus.resolve(dst).expect("uncached resolve");
         }
-        naming_results.push(naming_case("lookup_uncached", uncached_ops, start.elapsed()));
+        naming_results.push(naming_case(
+            "lookup_uncached",
+            uncached_ops,
+            start.elapsed(),
+        ));
 
         let m = client.metrics();
         assert!(
@@ -802,7 +972,10 @@ fn main() {
                             }
                         }
                     }
-                    assert!(delivered, "relocated service must receive post-relocation traffic");
+                    assert!(
+                        delivered,
+                        "relocated service must receive post-relocation traffic"
+                    );
                     storm_ops += 1;
                     moved
                 })
@@ -838,11 +1011,17 @@ fn main() {
             .avg_latency_us
     };
     let cache_speedup = latency_of("lookup_uncached") / latency_of("lookup_cached");
-    eprintln!("{:>13} cached/uncached lookup speedup = {cache_speedup:.1}x", "naming");
+    eprintln!(
+        "{:>13} cached/uncached lookup speedup = {cache_speedup:.1}x",
+        "naming"
+    );
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"bench\": \"message_throughput/name_cache_sweep\",");
+    let _ = writeln!(
+        json,
+        "  \"bench\": \"message_throughput/name_cache_sweep\","
+    );
     let _ = writeln!(
         json,
         "  \"mode\": \"{}\",",
@@ -882,6 +1061,100 @@ fn main() {
         format!(
             "cached lookups must be >= 5x faster than uncached NSP round trips \
              (got {cache_speedup:.3}x)"
+        )
+    });
+
+    // -- phase 5: substrate sweep (PR 10 baseline) --
+    //
+    // Direct LVC raw blocks over each native substrate — no LCM, no
+    // naming, no batching — so the numbers isolate the IPCS itself: the
+    // co-location SHM ring vs TCP loopback vs UDP datagrams, with the
+    // bare ShmRing push/pop pair as the memory-speed ceiling.
+    let substrate_sizes: Vec<(usize, u64)> = if quick {
+        vec![(1024, 10_000)]
+    } else {
+        vec![(64, 50_000), (1024, 50_000), (65_536, 2_000)]
+    };
+    let mut substrate_results: Vec<SubstrateCase> = Vec::new();
+    for &(payload, messages) in &substrate_sizes {
+        for kind in [NetKind::Shm, NetKind::Udp, NetKind::Tcp] {
+            let r = run_substrate_case(kind, payload, messages);
+            eprintln!(
+                "{:>13} {:>6} B {:>9}: {:>10.0} msgs/s  {:>8.2} MiB/s  ({} of {} delivered in {} ms)",
+                "substrate",
+                r.payload_bytes,
+                r.substrate,
+                r.msgs_per_sec,
+                r.mbytes_per_sec,
+                r.delivered,
+                r.messages,
+                r.elapsed_us / 1000,
+            );
+            substrate_results.push(r);
+        }
+    }
+    let mem = run_memory_baseline(if quick { 50_000 } else { 200_000 });
+    eprintln!(
+        "{:>13} {:>6} B {:>9}: {:>10.0} msgs/s  {:>8.2} MiB/s (bare ring ceiling)",
+        "substrate", mem.payload_bytes, mem.substrate, mem.msgs_per_sec, mem.mbytes_per_sec,
+    );
+
+    let substrate_rate = |substrate: &str, payload: usize| {
+        substrate_results
+            .iter()
+            .find(|r| r.substrate == substrate && r.payload_bytes == payload)
+            .expect("case ran")
+            .msgs_per_sec
+    };
+    let shm_over_tcp_1k = substrate_rate("shm", 1024) / substrate_rate("tcp", 1024);
+    eprintln!(
+        "{:>13} shm/tcp at 1 KiB = {shm_over_tcp_1k:.2}x",
+        "substrate"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"message_throughput/substrate_sweep\",");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if quick { "quick" } else { "full" }
+    );
+    json.push_str("  \"results\": [\n");
+    let all: Vec<&SubstrateCase> = substrate_results.iter().chain([&mem]).collect();
+    for (i, r) in all.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"substrate\": \"{}\", \"payload_bytes\": {}, \"messages\": {}, \
+             \"delivered\": {}, \"elapsed_us\": {}, \"msgs_per_sec\": {:.1}, \
+             \"mbytes_per_sec\": {:.3}}}",
+            r.substrate,
+            r.payload_bytes,
+            r.messages,
+            r.delivered,
+            r.elapsed_us,
+            r.msgs_per_sec,
+            r.mbytes_per_sec,
+        );
+        json.push_str(if i + 1 < all.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"shm_over_tcp_1k\": {shm_over_tcp_1k:.3}");
+    json.push_str("}\n");
+
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_PR10.json");
+    std::fs::write(&out, &json).expect("write BENCH_PR10.json");
+    eprintln!("wrote {}", out.display());
+
+    // PR-10 gate: the co-location ring must beat TCP loopback by at least
+    // 5x at 1 KiB — otherwise the SHM substrate is not paying for its
+    // placement constraints.
+    gate(shm_over_tcp_1k >= 5.0, || {
+        format!(
+            "SHM must be >= 5x faster than TCP loopback at 1 KiB \
+             (got {shm_over_tcp_1k:.3}x)"
         )
     });
 }

@@ -433,6 +433,16 @@ impl ComMod {
                 "re-established on the forwarded address".into(),
             );
         }
+        if after.substrate_handoffs > before.substrate_handoffs {
+            self.hop(
+                hop_kind::HANDOFF,
+                trace.raw(),
+                2,
+                dst,
+                msg_id,
+                "circuit re-selected onto a different substrate".into(),
+            );
+        }
         // "Upon success, the LCM-layer sends data to the monitor" (§6.1).
         self.monitor(MonitorEventKind::Send, dst, msg_id, ts);
         Ok((msg_id, trace))
@@ -593,6 +603,16 @@ impl ComMod {
         let after = self.nucleus.metrics().snapshot();
         self.stall_hops(&before, &after, trace.raw(), dst);
         let id = sent?;
+        if after.substrate_handoffs > before.substrate_handoffs {
+            self.hop(
+                hop_kind::HANDOFF,
+                trace.raw(),
+                2,
+                dst,
+                id,
+                "circuit re-selected onto a different substrate".into(),
+            );
+        }
         self.monitor(MonitorEventKind::Send, dst, id, ts);
         Ok((id, trace))
     }

@@ -79,7 +79,7 @@ pub use ntcs_nucleus::{
     FlightRecorder, FlowPolicy, FlowSettings, GaugeSampler, GaugeSource, Histogram,
     HistogramSnapshot, HopRecord, Lane, Layer, LayerTrace, MetricsRegistry, ModuleReport, Nucleus,
     NucleusConfig, NucleusMetricsSnapshot, ObsCollect, ObsCollectReply, ObsQuery, ObsReply,
-    RecordedEvent, RecorderSettings, RetryPolicy, TraceEvent, TraceId, TraceQuery, TraceReply,
-    CONTROL_TYPE_MAX,
+    RecordedEvent, RecorderSettings, RetryPolicy, SubstrateBinding, SubstrateSettings, TraceEvent,
+    TraceId, TraceQuery, TraceReply, CONTROL_TYPE_MAX,
 };
 pub use ntcs_wire::{ntcs_message, ConvMode, InboundPayload, Message, Packable};

@@ -84,6 +84,29 @@ impl TestbedBuilder {
         self.world.add_machine(machine_type, name, networks)
     }
 
+    /// Adds a machine that carries its own private shared-memory network
+    /// (the co-location fast path) in addition to `networks`, returning
+    /// the machine and its SHM network. Modules on the machine listen on
+    /// every attached network, so adaptive substrate selection rides
+    /// memory-speed rings between co-located modules and falls back to
+    /// the wire when a peer lives (or relocates) elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TestbedBuilder::add_machine`].
+    pub fn add_colocated_machine(
+        &mut self,
+        machine_type: MachineType,
+        name: &str,
+        networks: &[NetworkId],
+    ) -> Result<(MachineId, NetworkId)> {
+        let shm_net = self.add_network(NetKind::Shm, &format!("{name}-shm"));
+        let mut nets = vec![shm_net];
+        nets.extend_from_slice(networks);
+        let machine = self.add_machine(machine_type, name, &nets)?;
+        Ok((machine, shm_net))
+    }
+
     /// Adds a machine whose clock is skewed (grist for the DRTS time
     /// corrector).
     ///
@@ -374,7 +397,9 @@ impl Testbed {
         if shard == 0 {
             self.primary.as_ref()
         } else {
-            self.extra_shards.get(shard - 1).and_then(|(p, _)| p.as_ref())
+            self.extra_shards
+                .get(shard - 1)
+                .and_then(|(p, _)| p.as_ref())
         }
     }
 

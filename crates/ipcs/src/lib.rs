@@ -14,6 +14,12 @@
 //! * [`tcp`] — **real TCP** over the loopback interface with
 //!   length-prefixed frames; disjointness of the simulated networks is
 //!   enforced by a logical-network handshake.
+//! * [`shm`] — a lock-minimal shared-ring substrate ([`NetKind::Shm`]) for
+//!   co-located modules: zero-copy frame hand-off at memory speed, only
+//!   reachable from the owning machine.
+//! * [`udp`] — **real UDP** datagrams on loopback ([`NetKind::Udp`]) with
+//!   fragmentation, per-fragment checksums, and best-effort semantics for
+//!   the unreliable-cast path.
 //! * [`SimClock`] — per-machine clocks with configurable offset and drift,
 //!   the raw material for the DRTS precision time corrector.
 //! * Fault injection — machine crash, pairwise partition, per-network
@@ -33,10 +39,15 @@ pub mod channel;
 pub mod clock;
 pub mod mbx;
 pub mod pool;
+pub mod shm;
 pub mod tcp;
+pub mod udp;
 pub mod world;
 
+pub use bytes::Bytes;
 pub use channel::{IpcsChannel, IpcsListener};
 pub use clock::{SimClock, VirtualTime};
 pub use pool::{BufferPool, PoolStats};
+pub use shm::{ShmRing, SHM_RING_CAP};
+pub use udp::{decode_datagram, encode_datagrams, udp_checksum, UdpFragment, UDP_MAX_FRAGMENT};
 pub use world::{MachineInfo, NetKind, NetworkInfo, World};

@@ -41,6 +41,10 @@ pub struct LinkConditions {
     /// Deterministic reordering: this many times, a frame is held back and
     /// delivered after its successor on the same link direction.
     pub reorder_next: AtomicU32,
+    /// Deterministic corruption: this many upcoming frames have one byte
+    /// flipped in flight (substrates with integrity checks discard them;
+    /// raw substrates deliver the garbled bytes).
+    pub corrupt_next: AtomicU32,
     rng: Mutex<SmallRng>,
 }
 
@@ -70,6 +74,7 @@ impl LinkConditions {
             drop_next: AtomicU32::new(0),
             dup_next: AtomicU32::new(0),
             reorder_next: AtomicU32::new(0),
+            corrupt_next: AtomicU32::new(0),
             rng: Mutex::new(SmallRng::seed_from_u64(seed)),
         }
     }
@@ -92,6 +97,11 @@ impl LinkConditions {
     /// Consumes one armed hold-back (reordering), if any.
     pub(crate) fn should_hold(&self) -> bool {
         take_armed(&self.reorder_next)
+    }
+
+    /// Consumes one armed corruption, if any.
+    pub(crate) fn should_corrupt(&self) -> bool {
+        take_armed(&self.corrupt_next)
     }
 
     fn latency(&self) -> Duration {
@@ -221,6 +231,16 @@ impl IpcsChannel for MbxChannel {
             // Silent loss, as on a flaky wire.
             return Ok(());
         }
+        // Corruption injection: one byte flipped in flight. MBX frames carry
+        // no integrity check, so the garbled bytes reach the layer above.
+        let frame = if self.shared.conditions.should_corrupt() && !frame.is_empty() {
+            let mut buf = frame.as_ref().to_vec();
+            let mid = buf.len() / 2;
+            buf[mid] ^= 0xFF;
+            Bytes::from(buf)
+        } else {
+            frame
+        };
         let pending = TimedFrame {
             deliver_at: Instant::now() + self.shared.conditions.latency(),
             data: frame,

@@ -163,6 +163,13 @@ impl IpcsChannel for TcpChannel {
         let mut msg = self.pool.take(4 + frame.len());
         put_u32(&mut msg, frame.len() as u32);
         msg.extend_from_slice(&frame);
+        // Corruption injection: flip one payload byte (never the length
+        // prefix — a garbled body, not a desynced stream). TCP framing has
+        // no checksum, so the garbled bytes reach the layer above.
+        if !frame.is_empty() && self.conditions.should_corrupt() {
+            let mid = 4 + frame.len() / 2;
+            msg[mid] ^= 0xFF;
+        }
         let result = {
             let mut w = self.write.lock();
             w.write_all(&msg)

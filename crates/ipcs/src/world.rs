@@ -19,7 +19,9 @@ use crate::channel::{IpcsChannel, IpcsListener};
 use crate::clock::{SimClock, VirtualTime};
 use crate::mbx::{self, LinkCloseHandle, LinkConditions, MbxIpcs};
 use crate::pool::BufferPool;
+use crate::shm::{self, ShmIpcs, ShmLinkHandle};
 use crate::tcp::{tcp_connect, TcpIpcsListener, TcpShared};
+use crate::udp::{udp_connect, UdpIpcsListener, UdpShared};
 
 /// The native IPCS kind backing a network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -28,6 +30,11 @@ pub enum NetKind {
     Mbx,
     /// Real TCP over loopback.
     Tcp,
+    /// Shared-memory rings, reachable only within one machine (the
+    /// co-location fast path).
+    Shm,
+    /// Real UDP datagrams over loopback (connectionless, best-effort).
+    Udp,
 }
 
 impl std::fmt::Display for NetKind {
@@ -35,6 +42,8 @@ impl std::fmt::Display for NetKind {
         f.write_str(match self {
             NetKind::Mbx => "mbx",
             NetKind::Tcp => "tcp",
+            NetKind::Shm => "shm",
+            NetKind::Udp => "udp",
         })
     }
 }
@@ -74,8 +83,11 @@ struct MachineState {
     clock: SimClock,
     mbx_links: Mutex<Vec<LinkCloseHandle>>,
     tcp_links: Mutex<Vec<Arc<TcpShared>>>,
+    shm_links: Mutex<Vec<ShmLinkHandle>>,
+    udp_links: Mutex<Vec<Arc<UdpShared>>>,
     listeners: Mutex<Vec<Arc<dyn IpcsListener>>>,
     tcp_listeners: Mutex<Vec<Arc<TcpIpcsListener>>>,
+    udp_listeners: Mutex<Vec<Arc<UdpIpcsListener>>>,
 }
 
 struct WorldInner {
@@ -86,11 +98,14 @@ struct WorldInner {
     networks: RwLock<Vec<NetworkState>>,
     machines: RwLock<Vec<Arc<MachineState>>>,
     mbx: MbxIpcs,
+    shm: ShmIpcs,
     /// Normalized (low, high) machine pairs currently partitioned.
     partitions: RwLock<std::collections::HashSet<(u32, u32)>>,
     /// TCP port → (owner machine, network), so connects can be validated and
     /// refused fast after a crash.
     tcp_ports: RwLock<HashMap<u16, (MachineId, NetworkId)>>,
+    /// UDP port → (owner machine, network); same role as `tcp_ports`.
+    udp_ports: RwLock<HashMap<u16, (MachineId, NetworkId)>>,
     mbx_counter: AtomicU64,
     seed: AtomicU64,
     pool: BufferPool,
@@ -153,8 +168,10 @@ impl World {
                 networks: RwLock::new(Vec::new()),
                 machines: RwLock::new(Vec::new()),
                 mbx: MbxIpcs::new(),
+                shm: ShmIpcs::new(),
                 partitions: RwLock::new(std::collections::HashSet::new()),
                 tcp_ports: RwLock::new(HashMap::new()),
+                udp_ports: RwLock::new(HashMap::new()),
                 mbx_counter: AtomicU64::new(0),
                 seed: AtomicU64::new(0x5EED),
                 pool: BufferPool::new(),
@@ -250,8 +267,11 @@ impl World {
             },
             mbx_links: Mutex::new(Vec::new()),
             tcp_links: Mutex::new(Vec::new()),
+            shm_links: Mutex::new(Vec::new()),
+            udp_links: Mutex::new(Vec::new()),
             listeners: Mutex::new(Vec::new()),
             tcp_listeners: Mutex::new(Vec::new()),
+            udp_listeners: Mutex::new(Vec::new()),
         }));
         Ok(id)
     }
@@ -416,6 +436,36 @@ impl World {
                     listener,
                 ))
             }
+            NetKind::Shm => {
+                let n = self.inner.mbx_counter.fetch_add(1, Ordering::Relaxed);
+                let path = format!("/sys/shm/{hint}-{n}");
+                let listener = Arc::new(self.inner.shm.create_ring(network, &path, machine)?);
+                state.listeners.lock().push(listener.clone());
+                Ok((PhysAddr::Shm { network, path }, listener))
+            }
+            NetKind::Udp => {
+                let listener = Arc::new(UdpIpcsListener::bind(
+                    network,
+                    machine,
+                    conditions,
+                    self.inner.pool.clone(),
+                )?);
+                let port = listener.port();
+                self.inner
+                    .udp_ports
+                    .write()
+                    .insert(port, (machine, network));
+                state.udp_listeners.lock().push(listener.clone());
+                state.listeners.lock().push(listener.clone());
+                Ok((
+                    PhysAddr::Udp {
+                        network,
+                        host: "127.0.0.1".into(),
+                        port,
+                    },
+                    listener,
+                ))
+            }
         }
     }
 
@@ -482,6 +532,51 @@ impl World {
                 state.tcp_links.lock().push(chan.shared_handle());
                 Ok(Box::new(chan))
             }
+            (NetKind::Shm, PhysAddr::Shm { path, .. }) => {
+                // `ShmIpcs::connect` refuses any dial from a machine other
+                // than the ring's owner — shared memory does not cross
+                // machine boundaries, and the ND layer leans on that refusal
+                // to fall back to a network substrate.
+                let chan = self.inner.shm.connect(
+                    network,
+                    path,
+                    from,
+                    conditions,
+                    self.inner.pool.clone(),
+                )?;
+                self.register_shm_link(from, chan.shared_close_handle());
+                Ok(Box::new(chan))
+            }
+            (NetKind::Udp, PhysAddr::Udp { host, port, .. }) => {
+                let (owner, owner_net) =
+                    *self.inner.udp_ports.read().get(port).ok_or_else(|| {
+                        NtcsError::ConnectRefused(format!("nothing listening on udp port {port}"))
+                    })?;
+                if owner_net != network {
+                    return Err(NtcsError::ConnectRefused(format!(
+                        "udp port {port} belongs to {owner_net}, not {network}"
+                    )));
+                }
+                if self.is_partitioned(from, owner) {
+                    return Err(NtcsError::ConnectRefused(format!(
+                        "{from} and {owner} are partitioned"
+                    )));
+                }
+                if !self.is_alive(owner) {
+                    return Err(NtcsError::ConnectRefused(format!("{owner} is down")));
+                }
+                let chan = udp_connect(
+                    host,
+                    *port,
+                    network,
+                    from,
+                    owner,
+                    conditions,
+                    self.inner.pool.clone(),
+                )?;
+                state.udp_links.lock().push(chan.shared_handle());
+                Ok(Box::new(chan))
+            }
             _ => Err(NtcsError::InvalidArgument(format!(
                 "address {addr} does not match network kind {}",
                 info.kind
@@ -522,6 +617,14 @@ impl World {
         }
     }
 
+    fn register_shm_link(&self, m: MachineId, h: ShmLinkHandle) {
+        if let Ok(state) = self.machine(m) {
+            let mut links = state.shm_links.lock();
+            links.retain(|l| !shm::shm_link_is_closed(l));
+            links.push(h);
+        }
+    }
+
     /// Whether `a` and `b` are currently partitioned.
     #[must_use]
     pub fn is_partitioned(&self, a: MachineId, b: MachineId) -> bool {
@@ -548,6 +651,20 @@ impl World {
                         }
                     }
                     for listener in state.tcp_listeners.lock().iter() {
+                        for l in listener.accepted.lock().iter() {
+                            if norm_pair(l.machines.0, l.machines.1) == pair {
+                                l.force_close();
+                            }
+                        }
+                    }
+                    // SHM links never span machines, so a partition cannot
+                    // match one; UDP links and accepted server ends can.
+                    for l in state.udp_links.lock().iter() {
+                        if norm_pair(l.machines.0, l.machines.1) == pair {
+                            l.force_close();
+                        }
+                    }
+                    for listener in state.udp_listeners.lock().iter() {
                         for l in listener.accepted.lock().iter() {
                             if norm_pair(l.machines.0, l.machines.1) == pair {
                                 l.force_close();
@@ -619,15 +736,37 @@ impl World {
             let mut ports = self.inner.tcp_ports.write();
             ports.retain(|_, (owner, _)| *owner != m);
         }
+        {
+            let mut ports = self.inner.udp_ports.write();
+            ports.retain(|_, (owner, _)| *owner != m);
+        }
         for l in state.mbx_links.lock().drain(..) {
             mbx::close_link(&l);
         }
         for l in state.tcp_links.lock().drain(..) {
             l.force_close();
         }
+        for l in state.shm_links.lock().drain(..) {
+            shm::close_shm_link(&l);
+        }
+        for l in state.udp_links.lock().drain(..) {
+            l.force_close();
+        }
         for listener in state.tcp_listeners.lock().drain(..) {
             for l in listener.accepted.lock().drain(..) {
                 l.force_close();
+            }
+        }
+        for listener in state.udp_listeners.lock().drain(..) {
+            listener.force_close_accepted();
+        }
+        // UDP is connectionless: a dead peer produces silence, not a socket
+        // teardown, so the world severs the surviving end of each link too.
+        for other in self.inner.machines.read().iter() {
+            for l in other.udp_links.lock().iter() {
+                if l.machines.0 == m || l.machines.1 == m {
+                    l.force_close();
+                }
             }
         }
     }
@@ -706,6 +845,21 @@ impl World {
         c.reorder_next.store(count, Ordering::Relaxed);
         Ok(())
     }
+
+    /// Arms deterministic *corruption* on a network: each of the next
+    /// `count` frames sent on it has one byte flipped in flight. Substrates
+    /// with per-frame integrity checks (UDP checksums) discard the frame —
+    /// indistinguishable from loss — while raw in-memory substrates deliver
+    /// the garbled bytes to the codec layer above.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NtcsError::InvalidArgument`] for an unknown network.
+    pub fn corrupt_next_frames(&self, n: NetworkId, count: u32) -> Result<()> {
+        let (_, c) = self.network_state(n)?;
+        c.corrupt_next.store(count, Ordering::Relaxed);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -747,6 +901,84 @@ mod tests {
     fn tcp_end_to_end() {
         let (w, a, b, net) = two_machine_world(NetKind::Tcp);
         ping(&w, a, b, net).unwrap();
+    }
+
+    #[test]
+    fn shm_end_to_end_colocated() {
+        // Shared memory only spans one machine: dial the ring from its owner.
+        let (w, _a, b, net) = two_machine_world(NetKind::Shm);
+        ping(&w, b, b, net).unwrap();
+    }
+
+    #[test]
+    fn shm_cross_machine_connect_is_refused() {
+        let (w, a, b, net) = two_machine_world(NetKind::Shm);
+        let (addr, _l) = w.create_listener(b, net, "svc").unwrap();
+        let err = w.connect(a, &addr).unwrap_err();
+        assert!(matches!(err, NtcsError::ConnectRefused(_)), "{err}");
+    }
+
+    #[test]
+    fn udp_end_to_end() {
+        let (w, a, b, net) = two_machine_world(NetKind::Udp);
+        ping(&w, a, b, net).unwrap();
+    }
+
+    #[test]
+    fn udp_crash_refuses_and_severs() {
+        let (w, a, b, net) = two_machine_world(NetKind::Udp);
+        let (addr, listener) = w.create_listener(b, net, "svc").unwrap();
+        let w2 = w.clone();
+        let addr2 = addr.clone();
+        let t = std::thread::spawn(move || w2.connect(a, &addr2).unwrap());
+        let server = listener.accept(Some(Duration::from_secs(2))).unwrap();
+        let chan = t.join().unwrap();
+        chan.send(Bytes::from_static(b"pre")).unwrap();
+        assert_eq!(
+            server.recv(Some(Duration::from_secs(2))).unwrap(),
+            Bytes::from_static(b"pre")
+        );
+        w.crash(b);
+        let got = chan.recv(Some(Duration::from_secs(2)));
+        assert!(matches!(got, Err(NtcsError::ConnectionClosed)), "{got:?}");
+        let err = w.connect(a, &addr).unwrap_err();
+        assert!(matches!(err, NtcsError::ConnectRefused(_)), "{err}");
+    }
+
+    #[test]
+    fn udp_partition_severs_existing_links() {
+        let (w, a, b, net) = two_machine_world(NetKind::Udp);
+        let (addr, listener) = w.create_listener(b, net, "svc").unwrap();
+        let w2 = w.clone();
+        let t = std::thread::spawn(move || w2.connect(a, &addr).unwrap());
+        let server = listener.accept(Some(Duration::from_secs(2))).unwrap();
+        let chan = t.join().unwrap();
+        w.set_partition(a, b, true);
+        drop(server);
+        assert!(matches!(
+            chan.recv(Some(Duration::from_secs(2))),
+            Err(NtcsError::ConnectionClosed)
+        ));
+    }
+
+    #[test]
+    fn corrupt_next_frames_loses_checksummed_udp_message() {
+        let (w, a, b, net) = two_machine_world(NetKind::Udp);
+        let (addr, listener) = w.create_listener(b, net, "svc").unwrap();
+        let w2 = w.clone();
+        let t = std::thread::spawn(move || w2.connect(a, &addr).unwrap());
+        let server = listener.accept(Some(Duration::from_secs(2))).unwrap();
+        let chan = t.join().unwrap();
+        w.corrupt_next_frames(net, 1).unwrap();
+        chan.send(Bytes::from_static(b"garbled")).unwrap();
+        chan.send(Bytes::from_static(b"clean")).unwrap();
+        // The corrupted datagram fails its checksum and is discarded; the
+        // next message flows through untouched.
+        assert_eq!(
+            server.recv(Some(Duration::from_secs(2))).unwrap(),
+            Bytes::from_static(b"clean")
+        );
+        assert!(w.corrupt_next_frames(NetworkId(77), 1).is_err());
     }
 
     #[test]

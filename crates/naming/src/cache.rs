@@ -150,8 +150,13 @@ pub enum CacheProbe {
 
 #[derive(Debug, Clone)]
 enum Entry {
-    Positive { module: ResolvedModule, expires_us: u64 },
-    Negative { expires_us: u64 },
+    Positive {
+        module: ResolvedModule,
+        expires_us: u64,
+    },
+    Negative {
+        expires_us: u64,
+    },
 }
 
 /// The NSP-Layer's leased location cache (L2; the LCM's static resolver is
@@ -179,9 +184,7 @@ impl NameCache {
                 CacheProbe::Hit(module.clone())
             }
             Some(Entry::Positive { module, .. }) => CacheProbe::Stale(module.clone()),
-            Some(Entry::Negative { expires_us }) if now_us < *expires_us => {
-                CacheProbe::NegativeHit
-            }
+            Some(Entry::Negative { expires_us }) if now_us < *expires_us => CacheProbe::NegativeHit,
             Some(Entry::Negative { .. }) | None => CacheProbe::Miss,
         }
     }

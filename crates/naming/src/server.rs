@@ -197,7 +197,12 @@ impl NameServer {
     /// Adds another shard's primary as a cross-shard replication target
     /// after spawn — how a deployment wires primaries together when their
     /// physical addresses only exist once every shard is up.
-    pub fn add_cross_shard_peer(&self, uadd: UAdd, machine_type: MachineType, addrs: Vec<PhysAddr>) {
+    pub fn add_cross_shard_peer(
+        &self,
+        uadd: UAdd,
+        machine_type: MachineType,
+        addrs: Vec<PhysAddr>,
+    ) {
         self.nucleus.statics().preload(uadd, addrs, machine_type);
         let mut cross = self.ctx.cross_shard.write();
         if !cross.contains(&uadd) {

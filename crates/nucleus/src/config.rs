@@ -98,6 +98,40 @@ pub struct NucleusConfig {
     /// entries, consulted before any NSP round trip. On by default — lease
     /// expiry (not cache absence) is what bounds staleness.
     pub name_cache: NameCacheSettings,
+    /// Substrate-selection policy: how the ND layer ranks a peer's physical
+    /// addresses at LVC open (SHM for co-located peers, UDP vs TCP by
+    /// reliability class) and re-selects after relocation.
+    pub substrate: SubstrateSettings,
+}
+
+/// Runtime transport-selection tuning. With `adaptive` on, the LCM ranks a
+/// resolved peer's physical addresses instead of taking them in registry
+/// order: shared-memory first (co-location fast path — a cross-machine dial
+/// is refused by the world and falls through to the next candidate), then
+/// UDP for connectionless sends under `udp_max_payload`, then connection-
+/// oriented substrates (TCP/MBX). Every choice, fallback, and relocation
+/// handoff is counted and flight-recorded.
+#[derive(Debug, Clone, Copy)]
+pub struct SubstrateSettings {
+    /// Whether adaptive ranking runs at all. Off restores registry-order
+    /// address selection (the pre-PR10 behaviour).
+    pub adaptive: bool,
+    /// Whether UDP endpoints may be chosen for connectionless traffic.
+    /// Reliable conversations never select UDP regardless.
+    pub allow_udp: bool,
+    /// Largest payload routed over UDP; bigger messages prefer a
+    /// connection-oriented substrate even when `allow_udp` is set.
+    pub udp_max_payload: usize,
+}
+
+impl Default for SubstrateSettings {
+    fn default() -> Self {
+        SubstrateSettings {
+            adaptive: true,
+            allow_udp: true,
+            udp_max_payload: 32 * 1024,
+        }
+    }
 }
 
 /// Resolver-side name-cache tuning (the shard extension's leased cache).
@@ -211,7 +245,31 @@ impl NucleusConfig {
             inbox_cap: 8192,
             recorder: RecorderSettings::default(),
             name_cache: NameCacheSettings::default(),
+            substrate: SubstrateSettings::default(),
         }
+    }
+
+    /// Disables adaptive substrate selection (builder style): peers are
+    /// dialed in registry address order, as before PR10.
+    #[must_use]
+    pub fn without_adaptive_substrate(mut self) -> Self {
+        self.substrate.adaptive = false;
+        self
+    }
+
+    /// Forbids UDP endpoints even for connectionless traffic (builder
+    /// style).
+    #[must_use]
+    pub fn without_udp(mut self) -> Self {
+        self.substrate.allow_udp = false;
+        self
+    }
+
+    /// Replaces the largest payload routed over UDP (builder style).
+    #[must_use]
+    pub fn with_udp_max_payload(mut self, bytes: usize) -> Self {
+        self.substrate.udp_max_payload = bytes;
+        self
     }
 
     /// Adds a well-known address entry (builder style).
@@ -364,6 +422,17 @@ impl NucleusConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn substrate_builders_compose() {
+        let c = NucleusConfig::new(MachineId(0), "m");
+        assert!(c.substrate.adaptive, "adaptive selection is the default");
+        assert!(c.substrate.allow_udp);
+        let c = c.with_udp_max_payload(512).without_udp();
+        assert!(!c.substrate.allow_udp);
+        assert_eq!(c.substrate.udp_max_payload, 512);
+        assert!(!c.without_adaptive_substrate().substrate.adaptive);
+    }
 
     #[test]
     fn defaults_are_sane() {

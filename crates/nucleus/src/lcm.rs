@@ -29,7 +29,7 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam_channel::{unbounded, Receiver, Sender};
-use ntcs_addr::{MachineType, NtcsError, Result, TAddGenerator, UAdd};
+use ntcs_addr::{MachineType, NtcsError, PhysAddr, Result, TAddGenerator, UAdd};
 use ntcs_flow::{BoundedDeque, CreditLedger, CreditWindow, Lane};
 use ntcs_ipcs::{SimClock, World};
 use ntcs_wire::{ConvMode, Frame, FrameHeader, FrameType, InboundPayload, Message};
@@ -37,7 +37,7 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::config::NucleusConfig;
 use crate::metrics::NucleusMetrics;
-use crate::nd::{Lvc, NdLayer};
+use crate::nd::{Lvc, NdLayer, SubstrateBinding};
 use crate::obs::{
     event_kind, FlightRecorder, ModuleReport, NucleusHistograms, TraceId, TraceIdGen,
 };
@@ -140,6 +140,9 @@ struct ConnEntry {
     closed: bool,
     /// Credit state when flow control is enabled (`None` otherwise).
     flow: Option<Arc<CircuitFlow>>,
+    /// Which substrate this circuit rides, decided at LVC open (`None`
+    /// for inbound circuits, whose substrate the acceptor chose).
+    binding: Option<SubstrateBinding>,
 }
 
 #[derive(Debug)]
@@ -167,6 +170,10 @@ struct LcmState {
     /// suppression; bounded FIFO.
     seen_reliable: std::collections::HashSet<(u64, u64)>,
     seen_reliable_order: VecDeque<(u64, u64)>,
+    /// Last substrate code chosen per peer, so a re-selection that lands
+    /// on a different substrate (the relocation handoff) is detected.
+    /// Entries follow forwarding addresses when a peer relocates.
+    last_substrate: HashMap<UAdd, u32>,
 }
 
 impl LcmState {
@@ -180,6 +187,7 @@ impl LcmState {
             acks: std::collections::HashSet::new(),
             seen_reliable: std::collections::HashSet::new(),
             seen_reliable_order: VecDeque::new(),
+            last_substrate: HashMap::new(),
         }
     }
 }
@@ -1134,7 +1142,7 @@ impl Nucleus {
     pub fn ping(&self, dst: UAdd, timeout: Option<Duration>) -> Result<Duration> {
         let started = Instant::now();
         let msg_id = self.next_msg_id();
-        let (conn_id, _) = self.ensure_conn(dst)?;
+        let (conn_id, _) = self.ensure_conn(dst, false)?;
         {
             let st = self.inner.state.lock();
             let e = st.conns.get(&conn_id).ok_or(NtcsError::ConnectionClosed)?;
@@ -1393,7 +1401,7 @@ impl Nucleus {
         trace_id: u64,
         span: u32,
     ) -> Result<()> {
-        let (conn_id, _) = self.ensure_conn(target)?;
+        let (conn_id, _) = self.ensure_conn(target, connectionless && !reliable)?;
         let (frame, lvc, flow) = {
             let st = self.inner.state.lock();
             let e = st.conns.get(&conn_id).ok_or(NtcsError::ConnectionClosed)?;
@@ -1564,12 +1572,20 @@ impl Nucleus {
                 // The old address is dead for good; drop its cached location
                 // and route future sends to the replacement.
                 self.inner.statics.invalidate(target);
-                self.inner.metrics.bump(&self.inner.metrics.ns_invalidations);
+                self.inner
+                    .metrics
+                    .bump(&self.inner.metrics.ns_invalidations);
                 self.inner
                     .recorder
                     .record(event_kind::CACHE_INVALIDATE, target.raw(), 0, 0);
                 let mut st = self.inner.state.lock();
                 st.forwarding.insert(target, new_uadd);
+                // The substrate memory follows the peer to its new
+                // identity, so the next open under the forwarded UAdd can
+                // recognise a substrate change as a relocation handoff.
+                if let Some(code) = st.last_substrate.remove(&target) {
+                    st.last_substrate.insert(new_uadd, code);
+                }
                 Ok(())
             }
             Err(NtcsError::NoForwardingAddress(_)) => {
@@ -1603,24 +1619,50 @@ impl Nucleus {
     // ------------------------------------------------------------------
 
     /// Returns (conn id, established now?) for a live circuit to `target`.
-    fn ensure_conn(&self, target: UAdd) -> Result<(u64, bool)> {
+    ///
+    /// `datagram` tells the selection policy the caller's reliability
+    /// class: connectionless best-effort traffic may ride (and keep) a UDP
+    /// circuit, while anything stronger forces a connection-oriented
+    /// substrate. A reliable send arriving on a UDP-bound circuit closes it
+    /// (draining the batcher first — FIFO fencing) and re-opens on a
+    /// substrate that can carry the stronger class.
+    fn ensure_conn(&self, target: UAdd, datagram: bool) -> Result<(u64, bool)> {
+        let mut upgrade = None;
         {
             let mut st = self.inner.state.lock();
             if let Some(&id) = st.by_peer.get(&target) {
                 match st.conns.get(&id) {
-                    Some(e) if !e.closed => return Ok((id, false)),
+                    Some(e) if !e.closed => {
+                        let udp_bound = e.binding.is_some_and(|b| b.code == SubstrateBinding::UDP);
+                        if udp_bound && !datagram && self.inner.config.substrate.adaptive {
+                            upgrade = Some(id);
+                        } else {
+                            return Ok((id, false));
+                        }
+                    }
                     _ => {
                         st.by_peer.remove(&target);
                     }
                 }
             }
         }
+        if let Some(id) = upgrade {
+            // Reliability-class upgrade: drain-then-switch off the
+            // datagram circuit before the connection-oriented open.
+            self.inner.trace.record(
+                self.inner.gauge.depth(),
+                Layer::Lcm,
+                "substrate-upgrade",
+                format!("{target}: reliable send leaves the udp circuit"),
+            );
+            self.mark_conn_closed(id);
+        }
         if target.is_temporary() {
             // TAdds "are of no use in locating objects" (§3.4).
             return Err(NtcsError::UnknownAddress(target.raw()));
         }
         let resolved = self.resolve_module(target)?;
-        let conn_id = self.open_circuit(&resolved)?;
+        let conn_id = self.open_circuit(&resolved, datagram)?;
         Ok((conn_id, true))
     }
 
@@ -1713,62 +1755,187 @@ impl Nucleus {
     /// Establishes the IVC: a direct LVC when the destination shares a
     /// network, otherwise a chained circuit through the gateway route
     /// obtained from the naming service (§4.2).
-    fn open_circuit(&self, resolved: &ResolvedModule) -> Result<u64> {
-        let establish_started_us = self.inner.clock.now_us();
+    /// Ranks the peer's directly reachable physical addresses for an open.
+    ///
+    /// With adaptive selection off, this is the pre-PR10 behaviour: the
+    /// first address on any locally attached network, in registry order.
+    /// With it on, the endpoint-placement policy applies: shared memory
+    /// first (the co-location fast path — a cross-machine SHM dial is
+    /// refused by the substrate and falls through to the next candidate),
+    /// then UDP for best-effort datagram traffic when allowed, then the
+    /// connection-oriented substrates in registry order.
+    fn ranked_direct_addrs(&self, resolved: &ResolvedModule, datagram: bool) -> Vec<PhysAddr> {
         let my_nets = self.inner.nd.networks();
-        let (first_addr, payload) = if let Some(direct) = resolved.addr_on_any(&my_nets) {
-            (direct.clone(), OpenPayload::direct())
-        } else if resolved.uadd == UAdd::NAME_SERVER && !self.inner.config.ns_route.is_empty() {
-            // Prime-gateway route to the Name Server (§3.4).
-            let hops = self.inner.config.ns_route.clone();
-            let first = hops[0].entry.clone();
-            let dst_phys = resolved
-                .addrs
-                .first()
-                .cloned()
-                .ok_or(NtcsError::UnknownAddress(resolved.uadd.raw()))?;
-            (
-                first,
-                OpenPayload {
-                    route: hops[1..].to_vec(),
-                    dst_phys: Some(dst_phys),
-                },
-            )
-        } else {
-            let resolver = self
-                .inner
-                .resolver
-                .read()
-                .clone()
-                .ok_or(NtcsError::NoRoute {
-                    from: my_nets.first().map_or(0, |n| n.0),
-                    to: resolved.addrs.first().map_or(u32::MAX, |a| a.network().0),
-                })?;
-            let _scope = self.inner.gauge.enter()?;
-            self.inner.metrics.bump(&self.inner.metrics.route_queries);
-            self.inner.trace.record(
-                self.inner.gauge.depth(),
-                Layer::Ip,
-                "route-query",
-                format!("destination {} is on a foreign network", resolved.uadd),
-            );
-            let route = resolver.route(&my_nets, resolved.uadd)?;
-            if route.hops.is_empty() {
-                return Err(NtcsError::NoRoute {
-                    from: my_nets.first().map_or(0, |n| n.0),
-                    to: route.dst_phys.network().0,
-                });
-            }
-            let first = route.hops[0].entry.clone();
-            (
-                first,
-                OpenPayload {
-                    route: route.hops[1..].to_vec(),
-                    dst_phys: Some(route.dst_phys),
-                },
-            )
-        };
+        let mut addrs: Vec<PhysAddr> = resolved
+            .addrs
+            .iter()
+            .filter(|a| my_nets.contains(&a.network()))
+            .cloned()
+            .collect();
+        let sub = self.inner.config.substrate;
+        if !sub.adaptive {
+            addrs.truncate(1);
+            return addrs;
+        }
+        addrs.sort_by_key(|a| match SubstrateBinding::for_addr(a).code {
+            SubstrateBinding::SHM => 0u32,
+            SubstrateBinding::UDP if datagram && sub.allow_udp => 1,
+            SubstrateBinding::MBX => 2,
+            SubstrateBinding::TCP => 3,
+            // UDP for reliability classes it cannot honour ranks last: it
+            // is still dialed when nothing better exists (the reliable
+            // extension's retransmissions carry the loss).
+            _ => 4,
+        });
+        addrs
+    }
 
+    /// Counts and records a substrate-selection decision, and detects the
+    /// relocation handoff: a re-selection for a peer (under its current or
+    /// forwarded UAdd) that lands on a different substrate kind.
+    fn note_substrate_choice(&self, peer: UAdd, addr: &PhysAddr) {
+        let binding = SubstrateBinding::for_addr(addr);
+        self.inner
+            .metrics
+            .bump(&self.inner.metrics.substrate_selects);
+        self.inner.recorder.record(
+            event_kind::SUBSTRATE,
+            peer.raw(),
+            0,
+            u64::from(binding.code),
+        );
+        let prev = {
+            let mut st = self.inner.state.lock();
+            st.last_substrate.insert(peer, binding.code)
+        };
+        if let Some(old) = prev {
+            if old != binding.code {
+                self.inner
+                    .metrics
+                    .bump(&self.inner.metrics.substrate_handoffs);
+                self.inner.recorder.record(
+                    event_kind::SUBSTRATE,
+                    peer.raw(),
+                    0,
+                    u64::from(0x100 | (old << 4) | binding.code),
+                );
+                self.inner.trace.record(
+                    self.inner.gauge.depth(),
+                    Layer::Nd,
+                    "substrate-handoff",
+                    format!(
+                        "{peer}: {} → {}",
+                        SubstrateBinding::code_name(old),
+                        binding.name()
+                    ),
+                );
+            }
+        }
+    }
+
+    fn open_circuit(&self, resolved: &ResolvedModule, datagram: bool) -> Result<u64> {
+        let my_nets = self.inner.nd.networks();
+        let direct = self.ranked_direct_addrs(resolved, datagram);
+        if !direct.is_empty() {
+            // Try each candidate substrate in rank order. Non-final
+            // candidates get a single quick attempt — their failure mode is
+            // a placement refusal (SHM from off-machine, a dead port), not
+            // a transient worth a supervised retry; the final candidate
+            // runs under the full retry policy as before.
+            let count = direct.len();
+            let mut last = NtcsError::ConnectRefused("no substrate candidate".into());
+            for (i, addr) in direct.into_iter().enumerate() {
+                let quick = i + 1 < count;
+                match self.open_circuit_at(resolved, &addr, OpenPayload::direct(), quick) {
+                    Ok(conn_id) => {
+                        self.note_substrate_choice(resolved.uadd, &addr);
+                        return Ok(conn_id);
+                    }
+                    Err(e) => {
+                        if quick {
+                            self.inner
+                                .metrics
+                                .bump(&self.inner.metrics.substrate_fallbacks);
+                            self.inner.trace.record(
+                                self.inner.gauge.depth(),
+                                Layer::Nd,
+                                "substrate-fallback",
+                                format!("{addr}: {e}; trying next substrate"),
+                            );
+                        }
+                        last = e;
+                    }
+                }
+            }
+            return Err(last);
+        }
+        let (first_addr, payload) =
+            if resolved.uadd == UAdd::NAME_SERVER && !self.inner.config.ns_route.is_empty() {
+                // Prime-gateway route to the Name Server (§3.4).
+                let hops = self.inner.config.ns_route.clone();
+                let first = hops[0].entry.clone();
+                let dst_phys = resolved
+                    .addrs
+                    .first()
+                    .cloned()
+                    .ok_or(NtcsError::UnknownAddress(resolved.uadd.raw()))?;
+                (
+                    first,
+                    OpenPayload {
+                        route: hops[1..].to_vec(),
+                        dst_phys: Some(dst_phys),
+                    },
+                )
+            } else {
+                let resolver = self
+                    .inner
+                    .resolver
+                    .read()
+                    .clone()
+                    .ok_or(NtcsError::NoRoute {
+                        from: my_nets.first().map_or(0, |n| n.0),
+                        to: resolved.addrs.first().map_or(u32::MAX, |a| a.network().0),
+                    })?;
+                let _scope = self.inner.gauge.enter()?;
+                self.inner.metrics.bump(&self.inner.metrics.route_queries);
+                self.inner.trace.record(
+                    self.inner.gauge.depth(),
+                    Layer::Ip,
+                    "route-query",
+                    format!("destination {} is on a foreign network", resolved.uadd),
+                );
+                let route = resolver.route(&my_nets, resolved.uadd)?;
+                if route.hops.is_empty() {
+                    return Err(NtcsError::NoRoute {
+                        from: my_nets.first().map_or(0, |n| n.0),
+                        to: route.dst_phys.network().0,
+                    });
+                }
+                let first = route.hops[0].entry.clone();
+                (
+                    first,
+                    OpenPayload {
+                        route: route.hops[1..].to_vec(),
+                        dst_phys: Some(route.dst_phys),
+                    },
+                )
+            };
+        self.open_circuit_at(resolved, &first_addr, payload, false)
+    }
+
+    /// Opens one circuit over one concrete substrate endpoint: dials
+    /// `first_addr`, sends the `LvcOpen`, registers the provisional
+    /// [`ConnEntry`], and pumps until the ack. `quick` dials with a single
+    /// attempt (the candidate-probing mode of the substrate-selection
+    /// loop); otherwise the full retry policy supervises the open.
+    fn open_circuit_at(
+        &self,
+        resolved: &ResolvedModule,
+        first_addr: &PhysAddr,
+        payload: OpenPayload,
+        quick: bool,
+    ) -> Result<u64> {
+        let establish_started_us = self.inner.clock.now_us();
         self.inner.trace.record(
             self.inner.gauge.depth(),
             Layer::Nd,
@@ -1778,10 +1945,12 @@ impl Nucleus {
         self.inner
             .metrics
             .bump(&self.inner.metrics.nd_open_attempts);
-        let lvc =
+        let lvc = if quick {
+            self.inner.nd.open(first_addr, 0)?
+        } else {
             self.inner
                 .nd
-                .open_with_policy(&first_addr, &self.inner.config.retry, |n, e| {
+                .open_with_policy(first_addr, &self.inner.config.retry, |n, e| {
                     self.inner.metrics.bump(&self.inner.metrics.retry_attempts);
                     self.inner.recorder.record(
                         event_kind::RETRY,
@@ -1798,7 +1967,8 @@ impl Nucleus {
                         "retry",
                         format!("open {first_addr} retry {n}: {e}"),
                     );
-                })?;
+                })?
+        };
 
         let mut h = FrameHeader::new(
             FrameType::LvcOpen,
@@ -1830,6 +2000,7 @@ impl Nucleus {
                     established: false,
                     closed: false,
                     flow: new_circuit_flow(&self.inner.config),
+                    binding: Some(SubstrateBinding::for_addr(first_addr)),
                 },
             );
             st.by_peer.insert(resolved.uadd, conn_id);
@@ -2252,6 +2423,7 @@ fn greet_inbound(inner: &Arc<Inner>, lvc: Lvc) {
                 established: true,
                 closed: false,
                 flow: new_circuit_flow(&inner.config),
+                binding: None,
             },
         );
         st.by_peer.insert(peer_key, conn_id);

@@ -43,10 +43,10 @@ pub mod retry;
 pub mod supervisor;
 pub mod trace;
 
-pub use config::{NameCacheSettings, NucleusConfig, RecorderSettings};
+pub use config::{NameCacheSettings, NucleusConfig, RecorderSettings, SubstrateSettings};
 pub use lcm::{ControlIntercept, GatewayHandler, Nucleus, Outbound, Received};
 pub use metrics::{NucleusMetrics, NucleusMetricsSnapshot};
-pub use nd::{BatchStats, Lvc, NdLayer};
+pub use nd::{BatchStats, Lvc, NdLayer, SubstrateBinding};
 pub use ntcs_flow::{FlowPolicy, FlowSettings, Lane, CONTROL_TYPE_MAX};
 pub use obs::{
     cluster_snapshot_json, dump_snapshot, event_kind, hop_kind, json_escape,

@@ -68,6 +68,15 @@ pub struct NucleusMetrics {
     /// Lease invalidations applied (pushed by a shard, or local on a
     /// forwarding address).
     pub ns_invalidations: AtomicU64,
+    /// Substrate choices made at LVC open (adaptive ranking picked an
+    /// endpoint, whatever it picked).
+    pub substrate_selects: AtomicU64,
+    /// Ranked candidates that refused the dial (e.g. SHM from off-machine)
+    /// and fell through to the next substrate in the ranking.
+    pub substrate_fallbacks: AtomicU64,
+    /// Re-selections that changed substrate kind for an already-known peer
+    /// (the drain-then-switch handoff after a relocation).
+    pub substrate_handoffs: AtomicU64,
 }
 
 /// A point-in-time copy of [`NucleusMetrics`].
@@ -100,6 +109,9 @@ pub struct NucleusMetricsSnapshot {
     pub ns_cache_misses: u64,
     pub ns_cache_stale: u64,
     pub ns_invalidations: u64,
+    pub substrate_selects: u64,
+    pub substrate_fallbacks: u64,
+    pub substrate_handoffs: u64,
 }
 
 impl NucleusMetrics {
@@ -144,6 +156,9 @@ impl NucleusMetrics {
             ns_cache_misses: self.ns_cache_misses.load(Ordering::Relaxed),
             ns_cache_stale: self.ns_cache_stale.load(Ordering::Relaxed),
             ns_invalidations: self.ns_invalidations.load(Ordering::Relaxed),
+            substrate_selects: self.substrate_selects.load(Ordering::Relaxed),
+            substrate_fallbacks: self.substrate_fallbacks.load(Ordering::Relaxed),
+            substrate_handoffs: self.substrate_handoffs.load(Ordering::Relaxed),
         }
     }
 }
@@ -181,6 +196,9 @@ impl NucleusMetricsSnapshot {
             ("ns_cache_misses", self.ns_cache_misses),
             ("ns_cache_stale", self.ns_cache_stale),
             ("ns_invalidations", self.ns_invalidations),
+            ("substrate_selects", self.substrate_selects),
+            ("substrate_fallbacks", self.substrate_fallbacks),
+            ("substrate_handoffs", self.substrate_handoffs),
         ]
     }
 }

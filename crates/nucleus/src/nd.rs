@@ -498,6 +498,63 @@ impl Lvc {
     }
 }
 
+/// Which substrate a circuit is bound to, decided at LVC open and recorded
+/// per circuit. The LCM compares the binding chosen by a re-selection with
+/// the one it replaces to detect a relocation handoff (e.g. SHM → TCP when
+/// a peer moves off-machine); observers read it back through metrics and
+/// flight-recorder `SUBSTRATE` events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubstrateBinding {
+    /// Substrate code — [`SubstrateBinding::SHM`] … [`SubstrateBinding::TCP`].
+    pub code: u32,
+    /// The network of the bound endpoint.
+    pub network: NetworkId,
+}
+
+impl SubstrateBinding {
+    /// Shared-memory ring (co-located peers; the speed ceiling).
+    pub const SHM: u32 = 1;
+    /// In-process mailbox.
+    pub const MBX: u32 = 2;
+    /// Connectionless datagrams.
+    pub const UDP: u32 = 3;
+    /// Connection-oriented byte stream.
+    pub const TCP: u32 = 4;
+
+    /// The binding a physical address implies.
+    #[must_use]
+    pub fn for_addr(addr: &PhysAddr) -> Self {
+        let code = match addr {
+            PhysAddr::Shm { .. } => Self::SHM,
+            PhysAddr::Mbx { .. } => Self::MBX,
+            PhysAddr::Udp { .. } => Self::UDP,
+            PhysAddr::Tcp { .. } => Self::TCP,
+        };
+        SubstrateBinding {
+            code,
+            network: addr.network(),
+        }
+    }
+
+    /// Human name of a substrate code.
+    #[must_use]
+    pub fn code_name(code: u32) -> &'static str {
+        match code {
+            Self::SHM => "shm",
+            Self::MBX => "mbx",
+            Self::UDP => "udp",
+            Self::TCP => "tcp",
+            _ => "unknown",
+        }
+    }
+
+    /// Human name of this binding's substrate.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        Self::code_name(self.code)
+    }
+}
+
 /// One listening endpoint of the ND-Layer.
 #[derive(Debug)]
 pub struct NdEndpoint {

@@ -287,6 +287,9 @@ pub mod hop_kind {
     /// The send waited on an exhausted credit window before proceeding
     /// (flow-control backpressure).
     pub const STALL: u32 = 8;
+    /// The sender's circuit changed substrate kind mid-conversation (the
+    /// drain-then-switch relocation handoff, e.g. SHM → TCP).
+    pub const HANDOFF: u32 = 9;
 
     /// Human name of a hop kind code.
     #[must_use]
@@ -300,6 +303,7 @@ pub mod hop_kind {
             RETRANSMIT => "retransmit",
             DEAD_LETTER => "dead-letter",
             STALL => "stall",
+            HANDOFF => "handoff",
             _ => "unknown",
         }
     }
@@ -342,9 +346,13 @@ pub mod event_kind {
     /// A cached lease was invalidated (aux = 1 pushed by the shard,
     /// 0 local, e.g. on a forwarding address).
     pub const CACHE_INVALIDATE: u32 = 15;
+    /// A substrate-selection decision. For a fresh choice or a fallback,
+    /// aux is the chosen substrate code (1 shm, 2 mbx, 3 udp, 4 tcp); for
+    /// a relocation handoff, aux = `0x100 | (old_code << 4) | new_code`.
+    pub const SUBSTRATE: u32 = 16;
 
     /// Number of distinct event kinds (for per-kind sampling counters).
-    pub(crate) const COUNT: usize = 16;
+    pub(crate) const COUNT: usize = 17;
 
     /// Whether a kind is hot-path (per-message) and therefore subject to
     /// 1-in-2^shift sampling. Failure-path kinds always record.
@@ -372,6 +380,7 @@ pub mod event_kind {
             CACHE_HIT => "cache-hit",
             CACHE_MISS => "cache-miss",
             CACHE_INVALIDATE => "cache-invalidate",
+            SUBSTRATE => "substrate",
             _ => "unknown",
         }
     }
@@ -1011,6 +1020,9 @@ pub fn help_for(name: &str) -> &'static str {
         "pool_misses" => "BufferPool leases that had to allocate.",
         "pool_returns" => "Buffers returned to the BufferPool.",
         "pool_discards" => "Returned buffers the BufferPool discarded.",
+        "substrate_selects" => "Substrate choices made at LVC open.",
+        "substrate_fallbacks" => "Substrate candidates refused, next one tried.",
+        "substrate_handoffs" => "Circuits that changed substrate after relocation.",
         "mbx_backlog_bytes" => "Bytes queued across MBX links right now.",
         "mbx_backlog_peak_bytes" => "Peak bytes queued on any MBX link.",
         "send_to_deliver_us" => "Application send to receiver-side delivery latency.",

@@ -297,7 +297,10 @@ mod tests {
         r.cache_leased(leased.clone(), 1_000);
         assert_eq!(r.probe(wk, u64::MAX), LeaseProbe::Fresh(r.get(wk).unwrap()));
         assert_eq!(r.probe(leased.uadd, 999), LeaseProbe::Fresh(leased.clone()));
-        assert_eq!(r.probe(leased.uadd, 1_000), LeaseProbe::Stale(leased.clone()));
+        assert_eq!(
+            r.probe(leased.uadd, 1_000),
+            LeaseProbe::Stale(leased.clone())
+        );
         // Stale-if-error: the raw get still answers.
         assert_eq!(r.get(leased.uadd), Some(leased.clone()));
         assert_eq!(r.probe(UAdd::from_raw(0x9999), 0), LeaseProbe::Miss);

@@ -21,7 +21,7 @@ use std::time::{Duration, Instant};
 
 use ntcs::{
     dump_snapshot, ntcs_message, ComMod, FlowSettings, MachineId, MachineType, MetricsRegistry,
-    NetKind, NetworkId, NtcsError, Result, Testbed, UAdd,
+    NetKind, NetworkId, NtcsError, Result, Testbed, UAdd, World,
 };
 use ntcs_naming::cache::CacheProbe;
 use ntcs_naming::protocol::NS_INVALIDATE_TYPE;
@@ -71,6 +71,13 @@ pub enum Fault {
     /// hash routing leaves no second authority to diverge), the others must
     /// keep resolving.
     ShardSplitBrain,
+    /// A reliable send races the relocation that forces its circuit off the
+    /// co-location SHM ring onto the wire (substrate handoff
+    /// mid-conversation).
+    SendRacesHandoff,
+    /// A co-located SHM ring fills while its reader is wedged: the producer
+    /// must surface a typed stall, never hang.
+    WedgedShmRing,
 }
 
 impl std::fmt::Display for Fault {
@@ -87,6 +94,8 @@ impl std::fmt::Display for Fault {
             Fault::DroppedInvalidation => "dropped-invalidation",
             Fault::LookupRacesRelocation => "lookup-races-relocation",
             Fault::ShardSplitBrain => "shard-split-brain",
+            Fault::SendRacesHandoff => "send-races-handoff",
+            Fault::WedgedShmRing => "wedged-shm-ring",
         };
         f.write_str(s)
     }
@@ -106,6 +115,9 @@ pub enum MatrixLayer {
     Relocation,
     /// The sharded Name Service and the leased client-side name cache.
     Naming,
+    /// The substrate-selection plane: SHM/UDP/TCP choice, fallback, and
+    /// the relocation handoff between substrates.
+    Substrate,
 }
 
 impl std::fmt::Display for MatrixLayer {
@@ -116,6 +128,7 @@ impl std::fmt::Display for MatrixLayer {
             MatrixLayer::Gateway => "gateway",
             MatrixLayer::Relocation => "relocation",
             MatrixLayer::Naming => "naming",
+            MatrixLayer::Substrate => "substrate",
         };
         f.write_str(s)
     }
@@ -197,6 +210,8 @@ pub fn cells() -> Vec<(Fault, MatrixLayer)> {
         (Fault::DroppedInvalidation, MatrixLayer::Naming),
         (Fault::LookupRacesRelocation, MatrixLayer::Naming),
         (Fault::ShardSplitBrain, MatrixLayer::Naming),
+        (Fault::SendRacesHandoff, MatrixLayer::Substrate),
+        (Fault::WedgedShmRing, MatrixLayer::Substrate),
     ]
 }
 
@@ -238,6 +253,12 @@ pub fn expected(fault: Fault, layer: MatrixLayer) -> &'static [Verdict] {
         // A partitioned shard group must surface typed errors for its
         // names: hash routing admits no second authority to diverge to.
         (Fault::ShardSplitBrain, _) => &[CleanlyErrored],
+        // A send racing the SHM→TCP handoff: drain-then-switch either lands
+        // it exactly once or dead-letters typed within the deadline.
+        (Fault::SendRacesHandoff, _) => &[Recovered, DeadLettered],
+        // A full ring with a dead reader must surface the typed stall
+        // (`FlowStalled`) — never a hang, never silent loss.
+        (Fault::WedgedShmRing, _) => &[CleanlyErrored],
         _ => &[Recovered],
     }
 }
@@ -525,6 +546,8 @@ fn cell_body(fault: Fault, layer: MatrixLayer, seed: u64) -> (Verdict, String) {
             lookup_races_relocation_naming(&mut rng)
         }
         (Fault::ShardSplitBrain, MatrixLayer::Naming) => shard_split_brain_naming(),
+        (Fault::SendRacesHandoff, MatrixLayer::Substrate) => send_races_handoff_substrate(&mut rng),
+        (Fault::WedgedShmRing, MatrixLayer::Substrate) => wedged_shm_ring_substrate(&mut rng),
         other => panic!("no cell body for {other:?}"),
     }
 }
@@ -871,6 +894,115 @@ fn half_completed_send_relocation(rng: &mut SimRng) -> (Verdict, String) {
     )
 }
 
+/// A co-location pair: `host` carries a private SHM network plus a TCP
+/// wire shared with `remote`; the Name Server on `host`.
+fn colocated_cell() -> Result<(Testbed, MachineId, MachineId)> {
+    let mut tb = Testbed::builder();
+    let wire = tb.add_network(NetKind::Tcp, "cell-wire");
+    let (host, _shm) = tb.add_colocated_machine(MachineType::Sun, "cell-host", &[wire])?;
+    let remote = tb.add_machine(MachineType::Vax, "cell-remote", &[wire])?;
+    tb.name_server_on(host);
+    let testbed = tb.start()?;
+    note_cell_registry(&testbed);
+    Ok((testbed, host, remote))
+}
+
+fn send_races_handoff_substrate(rng: &mut SimRng) -> (Verdict, String) {
+    let (testbed, host, remote) = colocated_cell().expect("cell deployment");
+    let server = testbed.module(host, "cell-sink").expect("sink module");
+    let client = testbed.commod(host, "cell-src").expect("src commod");
+    let dst = client.locate("cell-sink").expect("locate sink");
+    warm_direct(&client, dst, &server);
+    assert!(
+        client.metrics().substrate_selects >= 1,
+        "warm circuit made no substrate choice"
+    );
+
+    // Fire a reliable send while the destination leaves the machine — the
+    // circuit must come off the SHM ring onto the wire under it.
+    let pace = Duration::from_millis(1 + rng.next_u64() % 8);
+    let sender = thread::spawn(move || {
+        let res = client.send_reliable(dst, &probe(7), Duration::from_secs(4));
+        (client, res)
+    });
+    thread::sleep(pace);
+    let (relocated, moved) = match server.relocate_to(remote) {
+        Ok(c) => (c, true),
+        Err(e)
+            if matches!(
+                e.error,
+                NtcsError::DeadlineExceeded
+                    | NtcsError::Timeout
+                    | NtcsError::CircuitBroken(_)
+                    | NtcsError::ConnectionClosed
+            ) =>
+        {
+            // Typed relocation failure hands the original, still-live (and
+            // still co-located) binding back — no handoff to observe.
+            (e.commod, false)
+        }
+        Err(e) => panic!("untyped relocation failure: {:?}", e.error),
+    };
+    let stop = Arc::new(AtomicBool::new(false));
+    let (tally, pump) = spawn_pump(relocated, Arc::clone(&stop));
+    let (client, res) = sender.join().expect("sender thread");
+    let (v, d) = reliable_verdict(res, &tally, 7);
+    // A follow-up send must converge on the post-move substrate.
+    let (v2, d2) = if v == Verdict::Recovered {
+        reliable_verdict(
+            client.send_reliable(dst, &probe(8), Duration::from_secs(4)),
+            &tally,
+            8,
+        )
+    } else {
+        (v, "follow-up skipped after dead-letter".to_string())
+    };
+    let handoffs = client.metrics().substrate_handoffs;
+    if moved && v == Verdict::Recovered && v2 == Verdict::Recovered {
+        assert!(
+            handoffs >= 1,
+            "peer left the machine but the circuit never changed substrate"
+        );
+    }
+    stop.store(true, Ordering::Relaxed);
+    let _ = pump.join();
+    let worst = if v2 == Verdict::Recovered { v } else { v2 };
+    (
+        worst,
+        format!("{d}; {d2} (moved={moved}, substrate handoffs: {handoffs})"),
+    )
+}
+
+fn wedged_shm_ring_substrate(rng: &mut SimRng) -> (Verdict, String) {
+    // Raw IPCS level by design: the LCM's reader thread always drains its
+    // channel, so a truly wedged reader can only be staged below it — a
+    // ring whose consumer never runs at all.
+    let world = World::new();
+    let net = world.add_network(NetKind::Shm, "cell-colo");
+    let m = world
+        .add_machine(MachineType::Sun, "cell-host", &[net])
+        .expect("machine");
+    let (addr, _listener) = world.create_listener(m, net, "wedged").expect("listener");
+    let chan = world.connect(m, &addr).expect("connect");
+    // Fill the ring past capacity with nobody draining. The producer must
+    // surface the typed stall; the cell watchdog catches a hang.
+    let payload = vec![0xA5u8; 16 + (rng.next_u64() % 48) as usize];
+    let attempts = ntcs_ipcs::SHM_RING_CAP * 2;
+    for i in 0..attempts {
+        match chan.send(ntcs_ipcs::Bytes::from(payload.clone())) {
+            Ok(()) => {}
+            Err(NtcsError::FlowStalled(_)) => {
+                return (
+                    Verdict::CleanlyErrored,
+                    format!("FlowStalled surfaced after {i} sends into a wedged ring"),
+                );
+            }
+            Err(e) => panic!("wedged ring surfaced wrong error type: {e:?}"),
+        }
+    }
+    panic!("{attempts} sends never filled a wedged ring");
+}
+
 /// A two-shard Name Service across four machines: shard 0's primary on
 /// m0, shard 1's on m1; with `replicas` each shard gets one replica
 /// (shard 0's on m2, shard 1's on m3).
@@ -1112,7 +1244,10 @@ fn lookup_races_relocation_naming(rng: &mut SimRng) -> (Verdict, String) {
             Ok(u) => assert_eq!(u, live, "settled lookup returned a dead incarnation"),
             Err(e) => assert!(typed_naming_error(&e), "untyped settled lookup: {e:?}"),
         }
-        assert!(Instant::now() < deadline, "lookup never settled on the live incarnation");
+        assert!(
+            Instant::now() < deadline,
+            "lookup never settled on the live incarnation"
+        );
         thread::sleep(Duration::from_millis(25));
     }
     let stop2 = Arc::new(AtomicBool::new(false));
@@ -1123,7 +1258,10 @@ fn lookup_races_relocation_naming(rng: &mut SimRng) -> (Verdict, String) {
     let _ = pump.join();
     (
         v,
-        format!("{d} ({} raced lookups, live incarnation observed: {saw_live})", observed.len()),
+        format!(
+            "{d} ({} raced lookups, live incarnation observed: {saw_live})",
+            observed.len()
+        ),
     )
 }
 
@@ -1155,11 +1293,16 @@ fn shard_split_brain_naming() -> (Verdict, String) {
         .locate(&name1)
         .expect_err("resolved through a partitioned shard");
     assert!(typed_naming_error(&e), "untyped partitioned lookup: {e:?}");
-    let usurper = testbed.commod(ms[3], "cell-usurper").expect("usurper commod");
+    let usurper = testbed
+        .commod(ms[3], "cell-usurper")
+        .expect("usurper commod");
     let reg = usurper
         .register(&name1)
         .expect_err("registered into a partitioned shard");
-    assert!(typed_naming_error(&reg), "untyped partitioned register: {reg:?}");
+    assert!(
+        typed_naming_error(&reg),
+        "untyped partitioned register: {reg:?}"
+    );
     // Already-leased bindings keep working across the partition: the
     // warmed circuit to the shard-1 module still delivers.
     thread::scope(|scope| {

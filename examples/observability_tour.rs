@@ -11,10 +11,11 @@
 
 use std::time::Duration;
 
-use ntcs::{hop_kind, FlowSettings, NetKind};
-use ntcs_drts::MonitorService;
+use ntcs::{hop_kind, FlowSettings, NetKind, SubstrateBinding};
+use ntcs_drts::{MonitorService, ServiceHost};
+use ntcs_nucleus::event_kind;
 use ntcs_repro::messages::Ask;
-use ntcs_repro::scenarios::line_internet;
+use ntcs_repro::scenarios::{colocated, line_internet};
 
 fn main() -> ntcs::Result<()> {
     // Two disjoint networks joined by one gateway; the Name Server's
@@ -147,6 +148,63 @@ fn main() -> ntcs::Result<()> {
         "cluster snapshot: {} bytes of aggregated JSON\n",
         cluster.len()
     );
+
+    // -- substrate selection: the co-location fast path and its handoff --
+    // A second, two-machine lab where the server starts co-located with
+    // the client: the ND layer binds their circuit to the SHM ring, and a
+    // relocation onto the wire-only machine forces a live SHM→TCP handoff
+    // (drain-then-switch) mid-conversation — all of it visible in the
+    // substrate counters and SUBSTRATE flight-recorder events.
+    println!("\n-- substrate selection: SHM fast path, then a live SHM→TCP handoff --");
+    let colo = colocated(NetKind::Tcp)?;
+    let sink = ServiceHost::spawn(
+        &colo.testbed,
+        colo.host,
+        "colo-sink",
+        Box::new(|_, msg| {
+            let _ = msg.decode::<Ask>();
+        }),
+    )?;
+    let src = colo.testbed.module(colo.host, "colo-source")?;
+    let colo_dst = src.locate("colo-sink")?;
+    for n in 0..6 {
+        if n == 3 {
+            // Mid-conversation, the sink leaves the co-location host.
+            sink.relocate(colo.remote)?;
+        }
+        src.send_reliable(
+            colo_dst,
+            &Ask {
+                n,
+                body: String::new(),
+            },
+            Duration::from_secs(10),
+        )?;
+    }
+    let sub = src.metrics();
+    println!(
+        "client substrate counters: selects={} fallbacks={} handoffs={}",
+        sub.substrate_selects, sub.substrate_fallbacks, sub.substrate_handoffs
+    );
+    for e in src
+        .module_report()
+        .events
+        .iter()
+        .filter(|e| e.kind == event_kind::SUBSTRATE)
+    {
+        if e.aux >= 0x100 {
+            println!(
+                "  substrate event: handoff {} -> {}",
+                SubstrateBinding::code_name(((e.aux >> 4) & 0xF) as u32),
+                SubstrateBinding::code_name((e.aux & 0xF) as u32)
+            );
+        } else {
+            println!(
+                "  substrate event: selected {}",
+                SubstrateBinding::code_name(e.aux as u32)
+            );
+        }
+    }
 
     println!("\n-- Prometheus text exposition (excerpt) --");
     let prom = lab.testbed.observability_report();

@@ -175,6 +175,45 @@ pub mod scenarios {
         })
     }
 
+    /// A co-location world: `host` carries a private shared-memory network
+    /// (its co-location fast path) plus a wire network shared with
+    /// `remote`; the Name Server runs on `host`. Modules placed on `host`
+    /// register both their SHM and wire endpoints, so adaptive substrate
+    /// selection picks memory-speed rings between co-located modules and
+    /// falls to the wire when a peer lives on — or relocates to — `remote`.
+    pub struct Colocated {
+        /// The running testbed.
+        pub testbed: Testbed,
+        /// `host`'s private shared-memory network.
+        pub shm_net: NetworkId,
+        /// The wire network joining `host` and `remote`.
+        pub wire_net: NetworkId,
+        /// The multi-substrate machine (Name Server here).
+        pub host: MachineId,
+        /// The wire-only machine.
+        pub remote: MachineId,
+    }
+
+    /// Builds [`Colocated`]; `kind` is the wire network's native IPCS.
+    ///
+    /// # Errors
+    ///
+    /// Construction failures.
+    pub fn colocated(kind: NetKind) -> Result<Colocated> {
+        let mut tb = Testbed::builder();
+        let wire_net = tb.add_network(kind, "lan");
+        let (host, shm_net) = tb.add_colocated_machine(MachineType::Sun, "host", &[wire_net])?;
+        let remote = tb.add_machine(MachineType::Vax, "remote", &[wire_net])?;
+        tb.name_server_on(host);
+        Ok(Colocated {
+            testbed: tb.start()?,
+            shm_net,
+            wire_net,
+            host,
+            remote,
+        })
+    }
+
     /// A line of `k` disjoint networks: net0 — gw0 — net1 — gw1 — … Each
     /// network gets one ordinary machine (`edge_machines[i]`); gateway `i`
     /// joins nets `i` and `i+1`. The Name Server's machine is multi-homed on

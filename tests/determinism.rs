@@ -18,7 +18,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ntcs::{ComMod, MachineType, NetworkId, TraceId, UAdd};
-use ntcs_drts::MonitorService;
+use ntcs_drts::host::Handler;
+use ntcs_drts::{MonitorService, ServiceHost};
 use ntcs_naming::protocol::NS_INVALIDATE_TYPE;
 use ntcs_repro::messages::Ask;
 use ntcs_sim::{
@@ -223,7 +224,10 @@ impl Workload for SeededTraffic {
                     body: String::new(),
                 },
             );
-            h.record("fault", &format!("mover relocated; stale-send ok={}", res.is_ok()));
+            h.record(
+                "fault",
+                &format!("mover relocated; stale-send ok={}", res.is_ok()),
+            );
         }
         let partitioned = step == self.partition_step;
         if partitioned {
@@ -454,6 +458,104 @@ fn cache_events_replay_byte_identically() {
     assert_eq!(
         ca, cb,
         "same seed must record byte-identical cache lease events"
+    );
+}
+
+/// One seeded run over a virtual-time co-location world: a client and a
+/// service share the SHM fast path on `host`, the service relocates to
+/// `remote` mid-conversation (forcing the SHM→TCP handoff), and the run
+/// returns the client's SUBSTRATE flight-recorder events as the
+/// first-appearance projection (a wall-clock-bounded retry may repeat a
+/// tuple at one virtual instant a run-dependent number of times).
+fn run_substrate_once(seed: u64) -> Vec<String> {
+    let mut tb = Simulation::builder();
+    let wire = tb.add_network(ntcs::NetKind::Tcp, "sub-wire");
+    let (host, _shm) = tb
+        .add_colocated_machine(MachineType::Sun, "sub-host", &[wire])
+        .unwrap();
+    let remote = tb
+        .add_machine(MachineType::Vax, "sub-remote", &[wire])
+        .unwrap();
+    tb.name_server_on(host);
+    let testbed = tb.start().unwrap();
+    let vt = testbed.world().virtual_time().unwrap();
+    let mut rng = SimRng::new(seed).fork("substrate");
+
+    let handler: Handler = Box::new(|_commod, msg| {
+        let _ = msg.decode::<Ask>();
+    });
+    let srv = ServiceHost::spawn(&testbed, host, "sub-srv", handler).unwrap();
+    let client = testbed.module(host, "sub-cli").unwrap();
+    let dst = client.locate("sub-srv").unwrap();
+
+    // Seed-derived schedule: how many messages ride the SHM ring before
+    // the relocation, and how far the virtual clock steps between sends.
+    let pre = 2 + rng.next_u64() % 3;
+    let quantum = 1_000 + (rng.next_u64() % 5) as i64 * 500;
+    let mut n = 0u32;
+    let mut send = |client: &ComMod| {
+        vt.advance_us(quantum);
+        client
+            .send_reliable(
+                dst,
+                &Ask {
+                    n,
+                    body: String::new(),
+                },
+                Duration::from_secs(10),
+            )
+            .unwrap();
+        n += 1;
+    };
+    for _ in 0..pre {
+        send(&client);
+    }
+    vt.advance_us(quantum);
+    srv.relocate(remote).unwrap();
+    for _ in 0..2 {
+        send(&client);
+    }
+
+    let mut seen = std::collections::HashSet::new();
+    let mut lines = Vec::new();
+    for ev in client.nucleus().recorder().events() {
+        if ev.kind != ntcs::event_kind::SUBSTRATE {
+            continue;
+        }
+        if seen.insert((ev.timestamp_us, ev.peer, ev.aux)) {
+            lines.push(format!(
+                "substrate@{}us peer={:#x} aux={:#x}",
+                ev.timestamp_us, ev.peer, ev.aux
+            ));
+        }
+    }
+    lines
+}
+
+#[test]
+fn substrate_events_replay_byte_identically() {
+    // Substrate selection and the relocation handoff are seed facts: the
+    // same seed must choose, fall back, and hand off at the same virtual
+    // instants with the same aux codings, byte for byte.
+    let seed = 0x5B57_0001;
+    let a = run_substrate_once(seed);
+    let b = run_substrate_once(seed);
+    assert!(
+        a.iter().any(|l| l.ends_with("aux=0x1")),
+        "the co-located circuit must select SHM: {a:?}"
+    );
+    assert!(
+        a.iter().any(|l| {
+            l.rsplit("aux=")
+                .next()
+                .and_then(|h| u64::from_str_radix(h.trim_start_matches("0x"), 16).ok())
+                .is_some_and(|aux| aux >= 0x100)
+        }),
+        "the relocation must record a handoff-encoded event: {a:?}"
+    );
+    assert_eq!(
+        a, b,
+        "same seed must record byte-identical substrate events"
     );
 }
 

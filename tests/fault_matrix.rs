@@ -14,6 +14,11 @@
 //! lease TTL must bound staleness — swept over ≥ 32 seeds), a lookup
 //! racing a relocation, and a partitioned shard group (typed errors, no
 //! split-brain authority).
+//!
+//! The substrate layer contributes two cells, each swept over ≥ 32 seeds:
+//! a reliable send racing the SHM→TCP relocation handoff (exactly-once or
+//! typed dead-letter) and a wedged SHM ring (full ring, dead reader ⇒
+//! typed `FlowStalled`, never a hang).
 
 use std::time::Duration;
 
@@ -153,6 +158,55 @@ fn dropped_invalidation_staleness_bounded_by_lease_across_seeds() {
         assert_eq!(
             out.verdict,
             Verdict::Recovered,
+            "seed {seed:#x}: {}",
+            out.detail
+        );
+    }
+}
+
+#[test]
+fn send_racing_substrate_handoff_across_seeds() {
+    let _serial = MATRIX_SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    // ≥ 32 seeds: a reliable send racing the SHM→TCP handoff (the peer
+    // relocates off the co-location host mid-send) must end exactly-once
+    // (Recovered) or exactly-zero-with-typed-error (DeadLettered) — never
+    // a duplicate, never a hang.
+    for seed in seed_list_from(32, None) {
+        let out = run_cell(
+            Fault::SendRacesHandoff,
+            MatrixLayer::Substrate,
+            seed,
+            CELL_BUDGET,
+        );
+        assert!(
+            matches!(out.verdict, Verdict::Recovered | Verdict::DeadLettered),
+            "seed {seed:#x}: verdict {}: {}",
+            out.verdict,
+            out.detail
+        );
+    }
+}
+
+#[test]
+fn wedged_shm_ring_stalls_cleanly_across_seeds() {
+    let _serial = MATRIX_SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    // ≥ 32 seeds: filling a co-located SHM ring whose reader never runs
+    // must ALWAYS surface the typed FlowStalled — never a hang, whatever
+    // payload sizes the seed picks.
+    for seed in seed_list_from(32, None) {
+        let out = run_cell(
+            Fault::WedgedShmRing,
+            MatrixLayer::Substrate,
+            seed,
+            CELL_BUDGET,
+        );
+        assert_eq!(
+            out.verdict,
+            Verdict::CleanlyErrored,
             "seed {seed:#x}: {}",
             out.detail
         );

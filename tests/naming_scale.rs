@@ -144,7 +144,10 @@ fn sharded_lookups_survive_relocation_churn_with_cache_metrics() {
                     },
                 )
                 .unwrap();
-            assert_eq!(h.receive(T).unwrap().decode::<Ask>().unwrap().body, format!("warm-{i}"));
+            assert_eq!(
+                h.receive(T).unwrap().decode::<Ask>().unwrap().body,
+                format!("warm-{i}")
+            );
         }
     }
     let warm = client.metrics();
@@ -182,7 +185,11 @@ fn sharded_lookups_survive_relocation_churn_with_cache_metrics() {
     }
     for (i, h) in churned.iter().enumerate() {
         let name = format!("svc-{i}");
-        assert_eq!(client.locate(&name).unwrap(), h.my_uadd(), "post-churn {name}");
+        assert_eq!(
+            client.locate(&name).unwrap(),
+            h.my_uadd(),
+            "post-churn {name}"
+        );
     }
     // Invalidations were pushed for the leases the client held; give the
     // pump a bounded moment to drain them.

@@ -841,4 +841,133 @@ proptest! {
         let b: Vec<_> = p.schedule().collect();
         prop_assert_eq!(a, b);
     }
+
+    // The SHM ring is strict FIFO under any interleaving of produce and
+    // consume, including wraparound: values pop in push order, none lost,
+    // none duplicated, and a full ring refuses (never overwrites).
+    #[test]
+    fn shm_ring_is_fifo_under_arbitrary_interleaving(
+        cap_pow in 1u32..6,
+        ops in proptest::collection::vec(any::<bool>(), 1..300),
+    ) {
+        let ring = ntcs_ipcs::ShmRing::new(1usize << cap_pow);
+        let mut next_push = 0u64;
+        let mut next_pop = 0u64;
+        for push in ops {
+            if push {
+                match ring.try_push(next_push) {
+                    Ok(()) => next_push += 1,
+                    Err(v) => {
+                        prop_assert_eq!(v, next_push);
+                        prop_assert_eq!(ring.len(), ring.capacity());
+                    }
+                }
+            } else if let Some(v) = ring.try_pop() {
+                prop_assert_eq!(v, next_pop);
+                next_pop += 1;
+            }
+            prop_assert!(ring.len() <= ring.capacity());
+        }
+        while let Some(v) = ring.try_pop() {
+            prop_assert_eq!(v, next_pop);
+            next_pop += 1;
+        }
+        prop_assert_eq!(next_pop, next_push);
+    }
+
+    // A concurrent producer/consumer pair over a small ring (forcing many
+    // wraparounds) observes every multi-word value intact and in order —
+    // no torn reads, no reordering.
+    #[test]
+    fn shm_ring_never_tears_across_threads(
+        n in 1usize..400,
+        cap_pow in 1u32..5,
+    ) {
+        let ring = std::sync::Arc::new(ntcs_ipcs::ShmRing::new(1usize << cap_pow));
+        let producer_ring = std::sync::Arc::clone(&ring);
+        let producer = std::thread::spawn(move || {
+            for i in 0..n as u64 {
+                // The payload's halves must always agree: a torn slot
+                // would surface as a mismatched pair on the consumer.
+                let mut v = (i, !i);
+                while let Err(back) = producer_ring.try_push(v) {
+                    v = back;
+                    std::thread::yield_now();
+                }
+            }
+        });
+        let mut popped = 0u64;
+        while popped < n as u64 {
+            if let Some((a, b)) = ring.try_pop() {
+                prop_assert_eq!(a, popped);
+                prop_assert_eq!(b, !popped);
+                popped += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+        prop_assert!(ring.try_pop().is_none());
+    }
+
+    // The UDP datagram codec round-trips: every fragment decodes, indices
+    // and totals are consistent, and concatenating payloads in index
+    // order reconstructs the original frame.
+    #[test]
+    fn udp_codec_round_trips(
+        seq in any::<u32>(),
+        frame in proptest::collection::vec(any::<u8>(), 0..1024),
+    ) {
+        let datagrams = ntcs_ipcs::encode_datagrams(seq, &frame);
+        prop_assert!(!datagrams.is_empty());
+        let total = datagrams.len() as u16;
+        let mut rebuilt = Vec::new();
+        for (ix, d) in datagrams.iter().enumerate() {
+            let frag = ntcs_ipcs::decode_datagram(d)
+                .expect("well-formed datagram must decode");
+            prop_assert_eq!(frag.seq, seq);
+            prop_assert_eq!(frag.index as usize, ix);
+            prop_assert_eq!(frag.total, total);
+            rebuilt.extend_from_slice(&frag.payload);
+        }
+        prop_assert_eq!(rebuilt, frame);
+    }
+
+    // Truncating a valid datagram at any point, or flipping any single
+    // bit in it, never panics the decoder; a flip inside the checksummed
+    // region (length word or payload) is always rejected.
+    #[test]
+    fn udp_decoder_survives_truncation_and_bit_flips(
+        seq in any::<u32>(),
+        frame in proptest::collection::vec(any::<u8>(), 0..256),
+        cut in any::<usize>(),
+        flip_at in any::<usize>(),
+        flip_bit in 0u8..8,
+    ) {
+        let d = ntcs_ipcs::encode_datagrams(seq, &frame).remove(0);
+        let truncated = &d[..cut % (d.len() + 1)];
+        let _ = ntcs_ipcs::decode_datagram(truncated);
+
+        let mut flipped = d.clone();
+        let at = flip_at % flipped.len();
+        flipped[at] ^= 1 << flip_bit;
+        let decoded = ntcs_ipcs::decode_datagram(&flipped);
+        // Bytes 0..4 are the magic (flip ⇒ not a datagram at all); byte 12
+        // onward is the length word, the checksum word, and the payload —
+        // a flip in any of them breaks the length or checksum match and
+        // must be rejected. Flips in the seq / index / total words may
+        // decode (loss shows up as reassembly mismatch, handled a layer
+        // up), but must never panic.
+        if !(4..12).contains(&at) {
+            prop_assert!(decoded.is_none(), "flip at byte {} accepted", at);
+        }
+    }
+
+    // Garbage bytes never panic the UDP decoder.
+    #[test]
+    fn udp_decoder_never_panics_on_garbage(
+        garbage in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let _ = ntcs_ipcs::decode_datagram(&garbage);
+    }
 }

@@ -5,9 +5,10 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use ntcs::{MachineId, NetKind, NtcsError, World};
+use ntcs::{MachineId, MachineType, NetKind, NtcsError, World};
+use ntcs_ipcs::{Bytes, IpcsChannel};
 use ntcs_repro::chaos::{spawn_counter, SERIAL};
 use ntcs_repro::messages::Ask;
 use ntcs_repro::scenarios::{primed_internet, primed_module, single_net};
@@ -363,4 +364,137 @@ fn split_brain_cuts_minority_and_heal_restores_prime_routes() {
     let tally = delivered.lock();
     assert_eq!(tally.get(&1), Some(&1));
     assert!(tally.get(&2).copied().unwrap_or(0) <= 1);
+}
+
+// ---------------------------------------------------------------------
+// Cross-substrate fault regression: the World knobs are armed per
+// network, so the SAME chaos recipe must land on every substrate kind —
+// the original MBX pipes, real TCP sockets, and the PR-10 SHM ring and
+// UDP datagram substrates alike. Exercised at the raw
+// `create_listener`/`connect` channel level so no LCM retransmission can
+// mask a knob a substrate forgot to honor.
+// ---------------------------------------------------------------------
+
+/// One listener/dialer channel pair on a fresh world of the given kind.
+/// SHM networks are single-machine by construction (co-location is the
+/// whole point), so the SHM pair dials from the listening machine itself.
+fn raw_pair(
+    kind: NetKind,
+) -> (
+    World,
+    ntcs::NetworkId,
+    Box<dyn IpcsChannel>,
+    Box<dyn IpcsChannel>,
+) {
+    let world = World::new();
+    let net = world.add_network(kind, "fault-lab");
+    let host = world.add_machine(MachineType::Sun, "host", &[net]).unwrap();
+    let dialer = if kind == NetKind::Shm {
+        host
+    } else {
+        world.add_machine(MachineType::Vax, "peer", &[net]).unwrap()
+    };
+    let (addr, listener) = world.create_listener(host, net, "svc").unwrap();
+    // UDP completes a rendezvous handshake inside accept, so accept must
+    // run concurrently with the dial (harmless for the other kinds).
+    let acceptor =
+        std::thread::spawn(move || listener.accept(Some(Duration::from_secs(5))).unwrap());
+    let tx = world.connect(dialer, &addr).unwrap();
+    let rx = acceptor.join().unwrap();
+    (world, net, tx, rx)
+}
+
+#[test]
+fn fault_knobs_apply_uniformly_across_substrates() {
+    const RT: Option<Duration> = Some(Duration::from_millis(1500));
+    for kind in [NetKind::Mbx, NetKind::Tcp, NetKind::Udp, NetKind::Shm] {
+        let (world, net, tx, rx) = raw_pair(kind);
+
+        // Baseline: the healthy link delivers verbatim.
+        tx.send(Bytes::from_static(b"baseline")).unwrap();
+        assert_eq!(&rx.recv(RT).unwrap()[..], b"baseline", "{kind:?}");
+
+        // drop_next_frames: exactly the next frame vanishes, silently
+        // (send still returns Ok), and the one after it gets through.
+        world.drop_next_frames(net, 1).unwrap();
+        tx.send(Bytes::from_static(b"swallowed")).unwrap();
+        let mut after_drop = None;
+        // UDP datagrams can also be lost by the kernel; resending the
+        // follow-up is fine — the armed count only hits the first frame.
+        for _ in 0..3 {
+            tx.send(Bytes::from_static(b"survivor")).unwrap();
+            if let Ok(f) = rx.recv(RT) {
+                after_drop = Some(f);
+                break;
+            }
+        }
+        let after_drop = after_drop.expect("frame after the armed drop must arrive");
+        assert_eq!(
+            &after_drop[..],
+            b"survivor",
+            "{kind:?}: the armed drop must swallow exactly the next frame"
+        );
+
+        // corrupt_next_frames: one byte flipped in flight. Substrates with
+        // per-frame integrity checks (UDP) discard the frame — loss — while
+        // the in-memory/stream substrates deliver the garbled bytes upward.
+        world.corrupt_next_frames(net, 1).unwrap();
+        let payload = Bytes::from_static(b"payload-integrity");
+        tx.send(payload.clone()).unwrap();
+        if kind == NetKind::Udp {
+            let mut after_corrupt = None;
+            for _ in 0..3 {
+                tx.send(Bytes::from_static(b"post-corrupt")).unwrap();
+                if let Ok(f) = rx.recv(RT) {
+                    after_corrupt = Some(f);
+                    break;
+                }
+            }
+            assert_eq!(
+                &after_corrupt.expect("frame after the corrupted one must arrive")[..],
+                b"post-corrupt",
+                "udp: a corrupted datagram must fail its checksum and vanish"
+            );
+        } else {
+            let garbled = rx.recv(RT).unwrap();
+            assert_eq!(garbled.len(), payload.len(), "{kind:?}");
+            assert_ne!(
+                &garbled[..],
+                &payload[..],
+                "{kind:?}: the armed corruption must garble the frame"
+            );
+        }
+
+        // dup_next_frames: the next frame is delivered twice, back to
+        // back. TCP is exempt by design — duplicating frames inside a
+        // byte stream would break stream semantics, and the stream
+        // substrate never implemented the knob.
+        if kind != NetKind::Tcp {
+            world.dup_next_frames(net, 1).unwrap();
+            tx.send(Bytes::from_static(b"twin")).unwrap();
+            assert_eq!(&rx.recv(RT).unwrap()[..], b"twin", "{kind:?}");
+            assert_eq!(
+                &rx.recv(RT).unwrap()[..],
+                b"twin",
+                "{kind:?}: the armed dup must deliver a second copy"
+            );
+        }
+
+        // set_latency: delivery still happens, measurably delayed.
+        world.set_latency(net, Duration::from_millis(60)).unwrap();
+        let t0 = Instant::now();
+        tx.send(Bytes::from_static(b"delayed")).unwrap();
+        let f = rx.recv(Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(&f[..], b"delayed", "{kind:?}");
+        assert!(
+            t0.elapsed() >= Duration::from_millis(40),
+            "{kind:?}: injected latency must delay delivery (saw {:?})",
+            t0.elapsed()
+        );
+        world.set_latency(net, Duration::ZERO).unwrap();
+
+        // And the link is healthy again once every knob is disarmed.
+        tx.send(Bytes::from_static(b"healed")).unwrap();
+        assert_eq!(&rx.recv(RT).unwrap()[..], b"healed", "{kind:?}");
+    }
 }
